@@ -1,0 +1,416 @@
+// Package repro hosts the benchmark harness: one testing.B benchmark per
+// experiment in DESIGN.md / EXPERIMENTS.md (the paper publishes no
+// quantitative tables; these measure its prose claims — see EXPERIMENTS.md).
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/deploy"
+	"repro/internal/enclave"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/headerspace"
+	"repro/internal/openflow"
+	"repro/internal/switchsim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// ---------------------------------------------------------------- E1 ----
+
+// BenchmarkE1QueryLatency measures the full Figure-1+2 round trip: in-band
+// query injection, Packet-In interception, header-space analysis, in-band
+// endpoint authentication, enclave signing, and verified response delivery.
+func BenchmarkE1QueryLatency(b *testing.B) {
+	for _, nt := range experiments.StandardSweep() {
+		for _, kind := range []wire.QueryKind{wire.QueryReachableDestinations, wire.QueryGeoRegions} {
+			b.Run(fmt.Sprintf("%s/%s", nt.Name, kind), func(b *testing.B) {
+				topo, err := nt.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := deploy.New(topo, deploy.Options{AuthTimeout: 500 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				aps := topo.AccessPoints()
+				agent := d.Agent(aps[0].ClientID)
+				constraints := []wire.FieldConstraint{
+					{Field: wire.FieldIPDst, Value: uint64(aps[len(aps)-1].HostIP), Mask: 0xFFFFFFFF},
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := agent.Query(kind, constraints, ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+// BenchmarkE2HSAReachability measures logical verification cost versus
+// installed rule count and network size.
+func BenchmarkE2HSAReachability(b *testing.B) {
+	for _, cfg := range []struct{ switches, rulesPer int }{
+		{4, 10}, {4, 100}, {16, 100}, {32, 250},
+	} {
+		name := fmt.Sprintf("sw%d-rules%d", cfg.switches, cfg.switches*cfg.rulesPer)
+		b.Run(name, func(b *testing.B) {
+			net, inject := buildHSAChain(cfg.switches, cfg.rulesPer)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Reach(1, 1, inject, headerspace.ReachOptions{})
+			}
+		})
+	}
+}
+
+func buildHSAChain(switches, rulesPer int) (*headerspace.Network, headerspace.Space) {
+	net := headerspace.NewNetwork(wire.HeaderWidth)
+	for s := 1; s <= switches; s++ {
+		tf := headerspace.NewTransferFunction(wire.HeaderWidth)
+		for r := 0; r < rulesPer; r++ {
+			match := wire.FieldHeader(wire.FieldIPDst, uint64(0x0A000000+r), 0xFFFFFFFF)
+			_ = tf.AddRule(headerspace.Rule{
+				Priority: r, Match: match,
+				OutPorts: []headerspace.PortID{2},
+			})
+		}
+		_ = net.AddNode(headerspace.NodeID(s), tf)
+	}
+	for s := 1; s < switches; s++ {
+		net.AddLink(headerspace.Link{
+			FromNode: headerspace.NodeID(s), FromPort: 2,
+			ToNode: headerspace.NodeID(s + 1), ToPort: 1,
+		})
+	}
+	inject := headerspace.NewSpace(wire.HeaderWidth,
+		wire.FieldHeader(wire.FieldIPDst, 0x0A000000, 0xFFFFFFFF))
+	return net, inject
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+// BenchmarkE3Monitoring measures the active-poll path (full state fetch of
+// every switch) and the passive event-ingestion path.
+func BenchmarkE3Monitoring(b *testing.B) {
+	for _, nt := range experiments.StandardSweep() {
+		b.Run("poll-all/"+nt.Name, func(b *testing.B) {
+			topo, err := nt.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := deploy.New(topo, deploy.Options{SkipAgents: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.RVaaS.PollAll(5 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("passive-event", func(b *testing.B) {
+		topo, err := topology.Linear(4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := deploy.New(topo, deploy.Options{SkipAgents: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		before := d.RVaaS.Stats().PassiveEvents
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := openflow.FlowEntry{
+				Priority: uint16(3000 + i%1000),
+				Match: openflow.Match{Fields: []openflow.FieldMatch{
+					{Field: wire.FieldIPDst, Value: uint64(0x0B000000 + i), Mask: 0xFFFFFFFF},
+				}},
+				Actions: []openflow.Action{openflow.Output(1)},
+			}
+			d.Fabric.Switch(1).InstallDirect(e)
+			d.Fabric.Switch(1).RemoveDirect(e)
+		}
+		// Wait until the controller absorbed all 2*N events before stopping
+		// the timer, so the measurement covers ingestion, not just emission.
+		want := before + uint64(2*b.N)
+		for d.RVaaS.Stats().PassiveEvents < want {
+			time.Sleep(50 * time.Microsecond)
+		}
+	})
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+// BenchmarkE4Detection runs the full seven-attack detection matrix per
+// iteration (the cost of the complete adversarial evaluation).
+func BenchmarkE4Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiments.DetectionMatrix(true)
+		score := experiments.DetectionScore(results)
+		if score["rvaas"] != 7 {
+			b.Fatalf("rvaas score %d/7", score["rvaas"])
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+// BenchmarkE5FlapDetection measures one full randomized-polling flap
+// simulation (virtual horizon 300s, duty cycle 0.4).
+func BenchmarkE5FlapDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FlapDetection(true, 4*time.Second, 10*time.Second, 300*time.Second, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+// BenchmarkE6Isolation measures the isolation case study's full query on
+// growing tenant networks.
+func BenchmarkE6Isolation(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("switches-%d", n), func(b *testing.B) {
+			clientIDs := make([]uint64, n)
+			for i := range clientIDs {
+				clientIDs[i] = uint64(i/2 + 1)
+			}
+			topo, err := topology.Linear(n, clientIDs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := deploy.New(topo, deploy.Options{TenantRouting: true, AuthTimeout: 500 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			ap := topo.AccessPoints()[0]
+			agent := d.Agent(ap.ClientID)
+			constraints := []wire.FieldConstraint{
+				{Field: wire.FieldIPDst, Value: uint64(ap.HostIP), Mask: 0xFFFFFFFF},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := agent.Query(wire.QueryIsolation, constraints, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+// BenchmarkE7Geo measures the geo case study on growing WANs.
+func BenchmarkE7Geo(b *testing.B) {
+	for _, per := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("per-region-%d", per), func(b *testing.B) {
+			topo, err := topology.MultiRegionWAN(
+				[]topology.Region{"eu-west", "offshore", "us-east"}, per)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := deploy.New(topo, deploy.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			aps := topo.AccessPoints()
+			agent := d.Agent(aps[0].ClientID)
+			constraints := []wire.FieldConstraint{
+				{Field: wire.FieldIPDst, Value: uint64(aps[len(aps)-1].HostIP), Mask: 0xFFFFFFFF},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := agent.Query(wire.QueryGeoRegions, constraints, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+// BenchmarkE8CryptoBudget contrasts the crypto-free per-packet data path
+// with the per-query control-path crypto, the paper's "no per-packet
+// cryptographic operations" requirement (§III).
+func BenchmarkE8CryptoBudget(b *testing.B) {
+	b.Run("data-plane-forward", func(b *testing.B) {
+		sw := switchsim.New(1, 4, func(topology.PortNo, *wire.Packet) {})
+		sw.InstallDirect(openflow.FlowEntry{
+			Priority: 100,
+			Match: openflow.Match{Fields: []openflow.FieldMatch{
+				{Field: wire.FieldIPDst, Value: 0x0A000001, Mask: 0xFFFFFFFF},
+			}},
+			Actions: []openflow.Action{openflow.Output(2)},
+		})
+		pkt := &wire.Packet{EthType: wire.EthTypeIPv4, IPDst: 0x0A000001, IPProto: wire.IPProtoUDP, TTL: 64}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sw.ProcessPacket(1, pkt, 0)
+		}
+	})
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 512)
+	b.Run("enclave-sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = encl.Sign(msg)
+		}
+	})
+	sig := encl.Sign(msg)
+	b.Run("signature-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !enclave.VerifyFrom(encl.PublicKey(), msg, sig) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	quote := encl.KeyQuote()
+	b.Run("quote-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := enclave.VerifyKeyQuote(platform.RootKey(), quote, encl.Measurement(), encl.PublicKey()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+// BenchmarkE9MultiProvider measures one recursive federation query per
+// iteration across growing provider chains (setup excluded).
+func BenchmarkE9MultiProvider(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("providers-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.MultiProviderChain(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------- E10 ----
+
+// BenchmarkE10Attestation measures quote generation and verification.
+func BenchmarkE10Attestation(b *testing.B) {
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("quote-generate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = encl.KeyQuote()
+		}
+	})
+	q := encl.KeyQuote()
+	b.Run("quote-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := enclave.VerifyKeyQuote(platform.RootKey(), q, encl.Measurement(), encl.PublicKey()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------- ablations ----
+
+// BenchmarkAblationPollingStrategy contrasts fixed and randomized polling
+// cost (the security difference is measured by E5; this shows the overhead
+// difference is nil).
+func BenchmarkAblationPollingStrategy(b *testing.B) {
+	for _, randomized := range []bool{false, true} {
+		name := "fixed"
+		if randomized {
+			name = "randomized"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.FlapDetection(randomized, 2*time.Second, 10*time.Second, 100*time.Second, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTenantVsAllPairs contrasts routing-compilation cost of
+// the two provider strategies DESIGN.md calls out.
+func BenchmarkAblationTenantVsAllPairs(b *testing.B) {
+	build := func() *topology.Topology {
+		clientIDs := make([]uint64, 12)
+		for i := range clientIDs {
+			clientIDs[i] = uint64(i/2 + 1)
+		}
+		topo, err := topology.Linear(12, clientIDs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return topo
+	}
+	b.Run("all-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topo := build()
+			fab, err := newFabric(topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := controlplane.New(fab).InstallAllPairs(); err != nil {
+				b.Fatal(err)
+			}
+			fab.Close()
+		}
+	})
+	b.Run("tenant-isolated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topo := build()
+			fab, err := newFabric(topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := controlplane.New(fab).InstallTenantRouting(); err != nil {
+				b.Fatal(err)
+			}
+			fab.Close()
+		}
+	})
+}
+
+func newFabric(topo *topology.Topology) (*fabric.Fabric, error) {
+	return fabric.New(topo)
+}

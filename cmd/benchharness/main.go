@@ -1,0 +1,344 @@
+// Command benchharness regenerates every experiment table of the
+// reproduction (DESIGN.md E1..E10) and prints them in the format recorded
+// in EXPERIMENTS.md. The paper itself publishes no quantitative tables (it
+// is an architecture paper); these tables measure the claims its prose
+// makes — see EXPERIMENTS.md for the mapping.
+package main
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/experiments"
+	"repro/internal/headerspace"
+	"repro/internal/openflow"
+	"repro/internal/switchsim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
+	iters := fs.Int("iters", 10, "iterations per latency measurement")
+	only := fs.String("only", "", "run a single experiment (e1..e10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := *only == ""
+	want := func(id string) bool { return all || *only == id }
+
+	if want("e1") {
+		if err := e1(*iters); err != nil {
+			return err
+		}
+	}
+	if want("e2") {
+		e2()
+	}
+	if want("e3") {
+		if err := e3(); err != nil {
+			return err
+		}
+	}
+	if want("e4") {
+		e4()
+	}
+	if want("e5") {
+		if err := e5(); err != nil {
+			return err
+		}
+	}
+	if want("e6") {
+		if err := e6(*iters); err != nil {
+			return err
+		}
+	}
+	if want("e7") {
+		if err := e7(*iters); err != nil {
+			return err
+		}
+	}
+	if want("e8") {
+		e8()
+	}
+	if want("e9") {
+		if err := e9(); err != nil {
+			return err
+		}
+	}
+	if want("e10") {
+		if err := e10(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func header(id, claim string) {
+	fmt.Printf("\n=== %s: %s ===\n", id, claim)
+}
+
+func e1(iters int) error {
+	header("E1", "end-to-end query latency (Fig.1+2 round trip)")
+	fmt.Printf("%-12s %-9s %-7s %-26s %-12s %-12s\n",
+		"topology", "switches", "rules", "kind", "mean", "per-switch")
+	for _, nt := range experiments.StandardSweep() {
+		for _, kind := range []wire.QueryKind{wire.QueryReachableDestinations, wire.QueryGeoRegions} {
+			row, err := experiments.QueryLatency(nt, kind, iters)
+			if err != nil {
+				return fmt.Errorf("e1 %s/%s: %w", nt.Name, kind, err)
+			}
+			fmt.Printf("%-12s %-9d %-7d %-26s %-12s %-12s\n",
+				row.Topology, row.Switches, row.Rules, row.Kind,
+				row.Mean.Round(time.Microsecond), row.PerSwitch.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+func e2() {
+	header("E2", "HSA reachability cost vs rule count")
+	fmt.Printf("%-10s %-10s %-14s\n", "rules", "switches", "reach time")
+	for _, cfg := range []struct{ switches, rulesPer int }{
+		{4, 10}, {4, 100}, {16, 10}, {16, 100}, {32, 100}, {32, 250},
+	} {
+		net, inject := buildHSAChain(cfg.switches, cfg.rulesPer)
+		start := time.Now()
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			net.Reach(1, 1, inject, headerspace.ReachOptions{})
+		}
+		elapsed := time.Since(start) / reps
+		fmt.Printf("%-10d %-10d %-14s\n", cfg.switches*cfg.rulesPer, cfg.switches, elapsed.Round(time.Microsecond))
+	}
+}
+
+// buildHSAChain programs a chain of switches with rulesPer distinct
+// destination-prefix rules each (all forwarding right), returning the
+// network and an injection space matching one of them.
+func buildHSAChain(switches, rulesPer int) (*headerspace.Network, headerspace.Space) {
+	net := headerspace.NewNetwork(wire.HeaderWidth)
+	for s := 1; s <= switches; s++ {
+		tf := headerspace.NewTransferFunction(wire.HeaderWidth)
+		for r := 0; r < rulesPer; r++ {
+			match := wire.FieldHeader(wire.FieldIPDst, uint64(0x0A000000+r), 0xFFFFFFFF)
+			_ = tf.AddRule(headerspace.Rule{
+				Priority: r, Match: match,
+				OutPorts: []headerspace.PortID{2},
+			})
+		}
+		_ = net.AddNode(headerspace.NodeID(s), tf)
+	}
+	for s := 1; s < switches; s++ {
+		net.AddLink(headerspace.Link{
+			FromNode: headerspace.NodeID(s), FromPort: 2,
+			ToNode: headerspace.NodeID(s + 1), ToPort: 1,
+		})
+	}
+	inject := headerspace.NewSpace(wire.HeaderWidth,
+		wire.FieldHeader(wire.FieldIPDst, 0x0A000000, 0xFFFFFFFF))
+	return net, inject
+}
+
+func e3() error {
+	header("E3", "monitoring overhead: active polls and passive event path")
+	fmt.Printf("%-12s %-9s %-14s %-16s\n", "topology", "switches", "poll-all mean", "event ingest")
+	for _, nt := range experiments.StandardSweep() {
+		row, err := experiments.MonitoringOverhead(nt, 5, 100)
+		if err != nil {
+			return fmt.Errorf("e3 %s: %w", nt.Name, err)
+		}
+		fmt.Printf("%-12s %-9d %-14s %-16s\n",
+			row.Topology, row.Switches,
+			row.PollAllMean.Round(time.Microsecond), row.EventApply.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func e4() {
+	header("E4", "detection matrix: RVaaS vs baselines per attack")
+	fmt.Println("-- lying provider (paper threat model):")
+	lying := experiments.DetectionMatrix(true)
+	fmt.Print(experiments.FormatMatrix(lying))
+	fmt.Println("-- honest provider (ablation):")
+	honest := experiments.DetectionMatrix(false)
+	fmt.Print(experiments.FormatMatrix(honest))
+}
+
+func e5() error {
+	header("E5", "flap detection: randomized vs fixed polling")
+	rows, err := experiments.FlapSweep(
+		[]float64{0.1, 0.3, 0.5, 0.7, 0.9}, 10*time.Second, 600*time.Second, 17)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-12s\n", "duty cycle", "fixed", "randomized")
+	for _, r := range rows {
+		fmt.Printf("%-12.1f %-12.2f %-12.2f\n", r.WindowFraction, r.FixedRate, r.RandomRate)
+	}
+	return nil
+}
+
+func e6(iters int) error {
+	header("E6", "isolation-check cost (case study 1) vs tenant network size")
+	fmt.Printf("%-12s %-9s %-12s\n", "tenants", "switches", "query mean")
+	for _, n := range []int{4, 8, 16} {
+		clientIDs := make([]uint64, n)
+		for i := range clientIDs {
+			clientIDs[i] = uint64(i/2 + 1) // two access points per tenant
+		}
+		nt := experiments.NamedTopology{
+			Name: fmt.Sprintf("linear-%d", n),
+			Build: func() (*topology.Topology, error) {
+				return topology.Linear(n, clientIDs)
+			},
+		}
+		row, err := experiments.IsolationLatency(nt, iters)
+		if err != nil {
+			return fmt.Errorf("e6 n=%d: %w", n, err)
+		}
+		fmt.Printf("%-12d %-9d %-12s\n", n/2, row.Switches, row.Mean.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func e7(iters int) error {
+	header("E7", "geo-check cost (case study 2) vs WAN size")
+	fmt.Printf("%-12s %-9s %-12s\n", "regions", "switches", "query mean")
+	for _, per := range []int{2, 4, 8} {
+		nt := experiments.NamedTopology{
+			Name: fmt.Sprintf("wan-3x%d", per),
+			Build: func() (*topology.Topology, error) {
+				return topology.MultiRegionWAN(
+					[]topology.Region{"eu-west", "offshore", "us-east"}, per)
+			},
+		}
+		row, err := experiments.QueryLatency(nt, wire.QueryGeoRegions, iters)
+		if err != nil {
+			return fmt.Errorf("e7 per=%d: %w", per, err)
+		}
+		fmt.Printf("%-12d %-9d %-12s\n", 3, row.Switches, row.Mean.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func e8() {
+	header("E8", "crypto budget: per-packet forwarding vs per-query signing")
+	// Per-packet data-plane cost: one switch forwarding.
+	sw := switchsim.New(1, 4, func(topology.PortNo, *wire.Packet) {})
+	sw.InstallDirect(openflow.FlowEntry{
+		Priority: 100,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: 0x0A000001, Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(2)},
+	})
+	pkt := &wire.Packet{
+		EthType: wire.EthTypeIPv4, IPDst: 0x0A000001,
+		IPProto: wire.IPProtoUDP, TTL: 64,
+	}
+	const pkts = 200000
+	start := time.Now()
+	for i := 0; i < pkts; i++ {
+		sw.ProcessPacket(1, pkt, 0)
+	}
+	perPacket := time.Since(start) / pkts
+
+	// Per-query control-plane crypto: Ed25519 sign + verify + quote verify.
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		fmt.Printf("e8: %v\n", err)
+		return
+	}
+	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
+	if err != nil {
+		fmt.Printf("e8: %v\n", err)
+		return
+	}
+	msg := make([]byte, 512)
+	const sigs = 2000
+	start = time.Now()
+	for i := 0; i < sigs; i++ {
+		_ = encl.Sign(msg)
+	}
+	perSign := time.Since(start) / sigs
+	sig := encl.Sign(msg)
+	start = time.Now()
+	for i := 0; i < sigs; i++ {
+		enclave.VerifyFrom(encl.PublicKey(), msg, sig)
+	}
+	perVerify := time.Since(start) / sigs
+	quote := encl.KeyQuote()
+	start = time.Now()
+	for i := 0; i < sigs; i++ {
+		_ = enclave.VerifyKeyQuote(platform.RootKey(), quote, encl.Measurement(), encl.PublicKey())
+	}
+	perQuote := time.Since(start) / sigs
+
+	fmt.Printf("%-32s %s\n", "data-plane forward (per packet)", perPacket)
+	fmt.Printf("%-32s %s\n", "enclave sign (per query)", perSign)
+	fmt.Printf("%-32s %s\n", "signature verify (per query)", perVerify)
+	fmt.Printf("%-32s %s\n", "quote verify (per query)", perQuote)
+	fmt.Printf("ratio: one query costs ~%d packet-forwards of crypto — none of it on the data path\n",
+		(perSign+perVerify+perQuote)/perPacket)
+}
+
+func e9() error {
+	header("E9", "multi-provider recursion cost vs chain length")
+	fmt.Printf("%-10s %-14s %-10s\n", "providers", "query time", "endpoints")
+	for _, n := range []int{1, 2, 4, 8} {
+		elapsed, eps, err := experiments.MultiProviderChain(n)
+		if err != nil {
+			return fmt.Errorf("e9 n=%d: %w", n, err)
+		}
+		fmt.Printf("%-10d %-14s %-10d\n", n, elapsed.Round(time.Microsecond), eps)
+	}
+	return nil
+}
+
+func e10() error {
+	header("E10", "attestation handshake cost")
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return err
+	}
+	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
+	if err != nil {
+		return err
+	}
+	const reps = 2000
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		_ = encl.KeyQuote()
+	}
+	genTime := time.Since(start) / reps
+	q := encl.KeyQuote()
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		_ = enclave.VerifyKeyQuote(platform.RootKey(), q, encl.Measurement(), encl.PublicKey())
+	}
+	verTime := time.Since(start) / reps
+
+	// Key material sanity.
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	_ = priv
+	fmt.Printf("%-28s %s\n", "quote generation", genTime)
+	fmt.Printf("%-28s %s\n", "quote verification", verTime)
+	fmt.Printf("%-28s %d bytes\n", "quote size", len(q.Marshal()))
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestBuildTopologyAllKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"linear", 4}, {"ring", 4}, {"star", 3}, {"grid", 3},
+		{"fattree", 4}, {"wan", 2}, {"random", 6},
+	}
+	for _, c := range cases {
+		topo, err := BuildTopology(c.name, c.size)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(topo.Switches()) == 0 || len(topo.AccessPoints()) == 0 {
+			t.Errorf("%s: empty topology", c.name)
+		}
+	}
+	if _, err := BuildTopology("nonsense", 3); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a deployment")
+	}
+	if err := run([]string{"-topo", "linear", "-size", "3", "-poll", "0", "-queries", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topo", "linear", "-size", "4", "-poll", "0", "-queries", "1", "-tenant"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-topo", "nonsense"}); err == nil {
+		t.Error("bad topology accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Geo-location check: the paper's second case study (§IV-B2). A client in
+// eu-west sends traffic to us-east and verifies which jurisdictions its
+// packets can traverse. A compromised control plane re-routes the flow
+// through an offshore region; the client's geo query exposes it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/deploy"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := topology.MultiRegionWAN(
+		[]topology.Region{"eu-west", "offshore", "us-east"}, 3)
+	if err != nil {
+		return err
+	}
+	d, err := deploy.New(topo, deploy.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	var src, dst topology.AccessPoint
+	for _, ap := range topo.AccessPoints() {
+		switch topo.RegionOf(ap.Endpoint.Switch) {
+		case "eu-west":
+			src = ap
+		case "us-east":
+			dst = ap
+		}
+	}
+	agent := d.Agent(src.ClientID)
+	constraint := []wire.FieldConstraint{
+		{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF},
+	}
+
+	query := func(label string) error {
+		resp, err := agent.Query(wire.QueryGeoRegions, constraint, "offshore")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n  regions traversable: %v\n  status: %s",
+			label, resp.Regions, resp.Status)
+		if resp.Detail != "" {
+			fmt.Printf(" (%s)", resp.Detail)
+		}
+		fmt.Println()
+		fmt.Println()
+		return nil
+	}
+
+	fmt.Printf("geo check: %s (eu-west) -> %s (us-east), forbidden region: offshore\n\n",
+		wire.IPString(src.HostIP), wire.IPString(dst.HostIP))
+	if err := query("clean network:"); err != nil {
+		return err
+	}
+
+	var offshore topology.SwitchID
+	for _, sw := range topo.Switches() {
+		if topo.RegionOf(sw) == "offshore" {
+			offshore = sw
+			break
+		}
+	}
+	fmt.Println(">>> compromised control plane re-routes the flow through offshore")
+	fmt.Println()
+	atk := &controlplane.GeoViolation{SrcIP: src.HostIP, DstIP: dst.HostIP, Via: offshore}
+	if err := atk.Launch(d.Provider); err != nil {
+		return err
+	}
+	if err := d.RVaaS.PollAll(2 * time.Second); err != nil {
+		return err
+	}
+	if err := query("after geo-violation attack:"); err != nil {
+		return err
+	}
+
+	fmt.Println("The client never learned the provider's topology — only the set of")
+	fmt.Println("jurisdictions its own traffic is exposed to (paper §IV-B2).")
+	return nil
+}

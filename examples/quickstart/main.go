@@ -1,0 +1,73 @@
+// Quickstart: bring up a small software-defined network with an RVaaS
+// controller attached and ask the most basic question the paper supports:
+// "which destinations can be reached by the traffic leaving my network
+// card?" — verified both logically (header space analysis on the monitored
+// configuration) and physically (in-band authentication of each endpoint).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/deploy"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 4-switch chain, one client per switch, all-pairs routing installed
+	// by the provider's controller.
+	topo, err := topology.Linear(4, nil)
+	if err != nil {
+		return err
+	}
+	d, err := deploy.New(topo, deploy.Options{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	fmt.Println("RVaaS quickstart")
+	fmt.Printf("  switches: %d, clients: %d\n", len(topo.Switches()), len(topo.AccessPoints()))
+	fmt.Printf("  enclave measurement: %x...\n", rvaasMeasurementPrefix(d))
+	fmt.Println()
+
+	// Client 1 asks which endpoints its traffic to client 4's address can
+	// reach. The query travels in-band (magic UDP header), is intercepted
+	// at the ingress switch as an OpenFlow Packet-In, analyzed against the
+	// monitored configuration, and every discovered endpoint is challenged
+	// with an authentication request before the signed answer returns.
+	agent := d.Agent(1)
+	dst := topo.AccessPoints()[3]
+	resp, err := agent.Query(wire.QueryReachableDestinations, []wire.FieldConstraint{
+		{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF},
+	}, "")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("query: reachable destinations for traffic to %s\n", wire.IPString(dst.HostIP))
+	fmt.Printf("  status:         %s\n", resp.Status)
+	fmt.Printf("  snapshot:       #%d\n", resp.SnapshotID)
+	fmt.Printf("  auth requested: %d, replied: %d\n", resp.AuthRequested, resp.AuthReplied)
+	for _, e := range resp.Endpoints {
+		fmt.Printf("  endpoint: switch %d port %d client %d authenticated=%v\n",
+			e.SwitchID, e.Port, e.ClientID, e.Authenticated)
+	}
+	fmt.Println()
+	fmt.Println("The response was signed inside the RVaaS enclave and verified against")
+	fmt.Println("the pinned code measurement — the provider's control plane never had")
+	fmt.Println("to be trusted for any part of this answer.")
+	return nil
+}
+
+func rvaasMeasurementPrefix(d *deploy.Deployment) []byte {
+	m := d.RVaaS.KeyQuote().Measurement
+	return m[:6]
+}

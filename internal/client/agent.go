@@ -1,0 +1,264 @@
+// Package client implements the user-side agent of RVaaS: it issues
+// magic-header query packets, answers authentication requests ("clients run
+// a software which responds to our authentication requests, in user space",
+// paper §IV-A3), and verifies that responses really come from an attested
+// RVaaS enclave.
+package client
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Agent errors.
+var (
+	ErrTimeout       = errors.New("client: response timeout")
+	ErrBadSignature  = errors.New("client: response signature invalid")
+	ErrBadAttestaton = errors.New("client: attestation failed")
+	ErrClosed        = errors.New("client: agent closed")
+)
+
+// NIC abstracts the agent's attachment to the network: frame injection at
+// its access point. The fabric satisfies this.
+type NIC interface {
+	InjectFromHost(ep topology.Endpoint, pkt *wire.Packet) error
+}
+
+// TrustAnchors pin what the client trusts: the enclave platform root and
+// the RVaaS code measurement (§IV-A: "through attestation, the client can
+// verify that RVaaS is the one that securely responds to its queries").
+type TrustAnchors struct {
+	PlatformRoot ed25519.PublicKey
+	Measurement  enclave.Measurement
+}
+
+// Config describes one agent.
+type Config struct {
+	ClientID uint64
+	Access   topology.AccessPoint
+	NIC      NIC
+	Trust    TrustAnchors
+	// ResponseTimeout bounds Query; default 2s.
+	ResponseTimeout time.Duration
+}
+
+// Agent is a running client agent.
+type Agent struct {
+	cfg  Config
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+
+	mu        sync.Mutex
+	waiting   map[uint64]chan *wire.QueryResponse // by nonce
+	serverKey ed25519.PublicKey
+	authSeen  uint64
+	closed    bool
+}
+
+// New creates an agent with a fresh key pair.
+func New(cfg Config) (*Agent, error) {
+	if cfg.NIC == nil {
+		return nil, errors.New("client: config needs a NIC")
+	}
+	if cfg.ResponseTimeout == 0 {
+		cfg.ResponseTimeout = 2 * time.Second
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("client: keygen: %w", err)
+	}
+	return &Agent{
+		cfg:     cfg,
+		pub:     pub,
+		priv:    priv,
+		waiting: make(map[uint64]chan *wire.QueryResponse),
+	}, nil
+}
+
+// PublicKey returns the agent's auth-reply verification key (registered
+// with RVaaS out of band).
+func (a *Agent) PublicKey() ed25519.PublicKey { return a.pub }
+
+// ClientID returns the agent's identity.
+func (a *Agent) ClientID() uint64 { return a.cfg.ClientID }
+
+// AuthRequestsSeen counts authentication requests this agent answered.
+func (a *Agent) AuthRequestsSeen() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.authSeen
+}
+
+// Close fails all outstanding queries.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closed = true
+	for nonce, ch := range a.waiting {
+		close(ch)
+		delete(a.waiting, nonce)
+	}
+}
+
+// HandleFrame is the agent's NIC receive path at its primary access point;
+// attach it to the fabric as the host handler.
+func (a *Agent) HandleFrame(pkt *wire.Packet) {
+	a.handleFrameAt(a.cfg.Access, pkt)
+}
+
+// HandlerFor returns a receive path bound to one of the client's (possibly
+// several) access points; auth replies are injected back at that point.
+func (a *Agent) HandlerFor(ap topology.AccessPoint) func(*wire.Packet) {
+	return func(pkt *wire.Packet) { a.handleFrameAt(ap, pkt) }
+}
+
+func (a *Agent) handleFrameAt(ap topology.AccessPoint, pkt *wire.Packet) {
+	switch {
+	case pkt.IsAuthRequest():
+		a.handleAuthRequest(ap, pkt)
+	case pkt.EthType == wire.EthTypeIPv4 && pkt.IPProto == wire.IPProtoUDP && pkt.L4Src == wire.PortRVaaSResponse:
+		a.handleResponse(pkt)
+	}
+}
+
+// handleAuthRequest publishes the agent: it signs the challenge and sends
+// the magic-header UDP reply that the ingress switch reports to RVaaS.
+func (a *Agent) handleAuthRequest(ap topology.AccessPoint, pkt *wire.Packet) {
+	ar, err := wire.UnmarshalAuthRequest(pkt.Payload)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	a.authSeen++
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return
+	}
+	rep := &wire.AuthReply{
+		QueryNonce: ar.QueryNonce,
+		Challenge:  ar.Challenge,
+		ClientID:   a.cfg.ClientID,
+		PubKey:     a.pub,
+	}
+	rep.Signature = ed25519.Sign(a.priv, rep.SigningBytes())
+	out := wire.NewAuthReplyPacket(ap.HostMAC, ap.HostIP, rep)
+	_ = a.cfg.NIC.InjectFromHost(ap.Endpoint, out)
+}
+
+// handleResponse verifies and routes an RVaaS response to its waiter.
+func (a *Agent) handleResponse(pkt *wire.Packet) {
+	resp, err := wire.UnmarshalQueryResponse(pkt.Payload)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	ch, ok := a.waiting[resp.Nonce]
+	if ok {
+		delete(a.waiting, resp.Nonce)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return
+	}
+	ch <- resp
+}
+
+// VerifyResponse checks the response signature and the attestation quote
+// against the agent's trust anchors.
+func (a *Agent) VerifyResponse(resp *wire.QueryResponse) error {
+	quote, err := enclave.UnmarshalQuote(resp.Quote)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadAttestaton, err)
+	}
+	// The quote's report data commits to sha256(serviceKey); the key itself
+	// is pinned at registration time (PinServerKey). Verify the pinned key
+	// against the quote, then the signature against the key.
+	a.mu.Lock()
+	key := a.serverKey
+	a.mu.Unlock()
+	if len(key) == 0 {
+		return fmt.Errorf("%w: no pinned server key", ErrBadAttestaton)
+	}
+	if err := enclave.VerifyKeyQuote(a.cfg.Trust.PlatformRoot, quote, a.cfg.Trust.Measurement, key); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadAttestaton, err)
+	}
+	if !enclave.VerifyFrom(key, resp.SigningBytes(), resp.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// PinServerKey pins the RVaaS service key (obtained out of band or from a
+// prior attested exchange); VerifyResponse checks quotes against it.
+func (a *Agent) PinServerKey(key ed25519.PublicKey) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.serverKey = append(ed25519.PublicKey(nil), key...)
+}
+
+// Query sends a verification query and waits for the verified response.
+func (a *Agent) Query(kind wire.QueryKind, constraints []wire.FieldConstraint, param string) (*wire.QueryResponse, error) {
+	nonce, err := randomNonce()
+	if err != nil {
+		return nil, err
+	}
+	q := &wire.QueryRequest{
+		Version:     wire.CurrentVersion,
+		Kind:        kind,
+		ClientID:    a.cfg.ClientID,
+		Nonce:       nonce,
+		Constraints: constraints,
+		Param:       param,
+	}
+	ch := make(chan *wire.QueryResponse, 1)
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	a.waiting[nonce] = ch
+	a.mu.Unlock()
+
+	pkt := wire.NewQueryPacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, q)
+	if err := a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt); err != nil {
+		a.mu.Lock()
+		delete(a.waiting, nonce)
+		a.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(a.cfg.ResponseTimeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if err := a.VerifyResponse(resp); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	case <-timer.C:
+		a.mu.Lock()
+		delete(a.waiting, nonce)
+		a.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+func randomNonce() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("client: nonce: %w", err)
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}

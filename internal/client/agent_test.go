@@ -1,0 +1,302 @@
+package client
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// fakeNIC records injected frames.
+type fakeNIC struct {
+	mu     sync.Mutex
+	frames []*wire.Packet
+	eps    []topology.Endpoint
+}
+
+func (f *fakeNIC) InjectFromHost(ep topology.Endpoint, pkt *wire.Packet) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.frames = append(f.frames, pkt)
+	f.eps = append(f.eps, ep)
+	return nil
+}
+
+func (f *fakeNIC) last() (*wire.Packet, topology.Endpoint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.frames) == 0 {
+		return nil, topology.Endpoint{}
+	}
+	return f.frames[len(f.frames)-1], f.eps[len(f.eps)-1]
+}
+
+func testAgent(t *testing.T) (*Agent, *fakeNIC, *enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := &fakeNIC{}
+	ap := topology.AccessPoint{
+		Endpoint: topology.Endpoint{Switch: 1, Port: 3},
+		ClientID: 7, HostMAC: 0xAA, HostIP: wire.IPv4(10, 0, 1, 1),
+	}
+	a, err := New(Config{
+		ClientID: 7,
+		Access:   ap,
+		NIC:      nic,
+		Trust: TrustAnchors{
+			PlatformRoot: platform.RootKey(),
+			Measurement:  enclave.MeasurementOf([]byte("rvaas-controller-v1")),
+		},
+		ResponseTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PinServerKey(encl.PublicKey())
+	return a, nic, platform, encl
+}
+
+// signedResponse builds a correctly signed+attested response for a nonce.
+func signedResponse(encl *enclave.Enclave, nonce uint64) *wire.QueryResponse {
+	resp := &wire.QueryResponse{
+		Version: wire.CurrentVersion,
+		Kind:    wire.QueryIsolation,
+		Nonce:   nonce,
+		Status:  wire.StatusOK,
+	}
+	resp.Signature = encl.Sign(resp.SigningBytes())
+	resp.Quote = encl.KeyQuote().Marshal()
+	return resp
+}
+
+func TestAgentAuthReplyPath(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	req := &wire.AuthRequest{QueryNonce: 99, Challenge: 1234, ServerKey: encl.PublicKey()}
+	a.HandleFrame(wire.NewAuthRequestPacket(0xAA, wire.IPv4(10, 0, 1, 1), req))
+
+	pkt, ep := nic.last()
+	if pkt == nil {
+		t.Fatal("no auth reply injected")
+	}
+	if !pkt.IsAuthReply() {
+		t.Fatalf("injected packet is not an auth reply: %v", pkt)
+	}
+	if ep != (topology.Endpoint{Switch: 1, Port: 3}) {
+		t.Errorf("reply injected at %v", ep)
+	}
+	rep, err := wire.UnmarshalAuthReply(pkt.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueryNonce != 99 || rep.Challenge != 1234 || rep.ClientID != 7 {
+		t.Errorf("reply fields: %+v", rep)
+	}
+	if !ed25519.Verify(a.PublicKey(), rep.SigningBytes(), rep.Signature) {
+		t.Error("reply signature invalid")
+	}
+	if a.AuthRequestsSeen() != 1 {
+		t.Errorf("auth seen = %d", a.AuthRequestsSeen())
+	}
+}
+
+func TestAgentHandlerForSecondaryAP(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	secondary := topology.AccessPoint{
+		Endpoint: topology.Endpoint{Switch: 5, Port: 2},
+		ClientID: 7, HostMAC: 0xBB, HostIP: wire.IPv4(10, 0, 5, 1),
+	}
+	h := a.HandlerFor(secondary)
+	req := &wire.AuthRequest{QueryNonce: 1, Challenge: 2, ServerKey: encl.PublicKey()}
+	h(wire.NewAuthRequestPacket(0xBB, secondary.HostIP, req))
+	pkt, ep := nic.last()
+	if pkt == nil || ep != secondary.Endpoint {
+		t.Fatalf("secondary reply at %v", ep)
+	}
+	if pkt.IPSrc != secondary.HostIP || pkt.EthSrc != secondary.HostMAC {
+		t.Errorf("secondary addressing wrong: %v", pkt)
+	}
+}
+
+func TestAgentQueryTimeout(t *testing.T) {
+	a, _, _, _ := testAgent(t)
+	_, err := a.Query(wire.QueryIsolation, nil, "")
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// deliverResponse feeds a response packet into the agent as if it arrived
+// from the fabric.
+func deliverResponse(a *Agent, resp *wire.QueryResponse) {
+	pkt := wire.NewResponsePacket(0xAA, wire.IPv4(10, 0, 1, 1), resp)
+	a.HandleFrame(pkt)
+}
+
+// queryAsync starts a query and returns channels with its outcome, plus the
+// nonce the agent used (sniffed from the injected packet).
+func queryAsync(t *testing.T, a *Agent, nic *fakeNIC) (chan *wire.QueryResponse, chan error, uint64) {
+	t.Helper()
+	respCh := make(chan *wire.QueryResponse, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := a.Query(wire.QueryIsolation, nil, "")
+		respCh <- resp
+		errCh <- err
+	}()
+	// Wait for the query packet to be injected.
+	deadline := time.Now().Add(time.Second)
+	for {
+		pkt, _ := nic.last()
+		if pkt != nil && pkt.IsRVaaSQuery() {
+			q, err := wire.UnmarshalQueryRequest(pkt.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return respCh, errCh, q.Nonce
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query packet never injected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAgentQueryVerifiesGoodResponse(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	respCh, errCh, nonce := queryAsync(t, a, nic)
+	deliverResponse(a, signedResponse(encl, nonce))
+	resp := <-respCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if resp.Nonce != nonce {
+		t.Errorf("nonce mismatch")
+	}
+}
+
+func TestAgentRejectsForgedSignature(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	respCh, errCh, nonce := queryAsync(t, a, nic)
+	resp := signedResponse(encl, nonce)
+	resp.Status = wire.StatusViolation // tamper after signing
+	deliverResponse(a, resp)
+	<-respCh
+	if err := <-errCh; !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestAgentRejectsWrongEnclave(t *testing.T) {
+	a, nic, platform, _ := testAgent(t)
+	// An enclave running DIFFERENT code on the same platform signs the
+	// response; measurement check must fail even though the platform quote
+	// verifies.
+	evil, err := platform.Launch([]byte("evil-controller"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PinServerKey(evil.PublicKey())
+	respCh, errCh, nonce := queryAsync(t, a, nic)
+	resp := &wire.QueryResponse{Version: 1, Kind: wire.QueryIsolation, Nonce: nonce, Status: wire.StatusOK}
+	resp.Signature = evil.Sign(resp.SigningBytes())
+	resp.Quote = evil.KeyQuote().Marshal()
+	deliverResponse(a, resp)
+	<-respCh
+	if err := <-errCh; !errors.Is(err, ErrBadAttestaton) {
+		t.Errorf("err = %v, want ErrBadAttestaton", err)
+	}
+}
+
+func TestAgentRejectsGarbageQuote(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	respCh, errCh, nonce := queryAsync(t, a, nic)
+	resp := signedResponse(encl, nonce)
+	resp.Quote = []byte{1, 2, 3}
+	deliverResponse(a, resp)
+	<-respCh
+	if err := <-errCh; !errors.Is(err, ErrBadAttestaton) {
+		t.Errorf("err = %v, want ErrBadAttestaton", err)
+	}
+}
+
+func TestAgentIgnoresUnknownNonce(t *testing.T) {
+	a, _, _, encl := testAgent(t)
+	// No outstanding query; must not panic or deadlock.
+	deliverResponse(a, signedResponse(encl, 424242))
+}
+
+func TestAgentCloseFailsOutstanding(t *testing.T) {
+	a, nic, _, _ := testAgent(t)
+	respCh, errCh, _ := queryAsync(t, a, nic)
+	a.Close()
+	<-respCh
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Query after close fails immediately.
+	if _, err := a.Query(wire.QueryIsolation, nil, ""); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close query: %v", err)
+	}
+}
+
+func TestAgentNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("config without NIC accepted")
+	}
+}
+
+func TestAgentNoPinnedKey(t *testing.T) {
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := &fakeNIC{}
+	a, err := New(Config{ClientID: 1, NIC: nic, Trust: TrustAnchors{
+		PlatformRoot: platform.RootKey(),
+		Measurement:  enclave.MeasurementOf([]byte("rvaas-controller-v1")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No PinServerKey: verification must fail closed.
+	err = a.VerifyResponse(signedResponse(encl, 1))
+	if !errors.Is(err, ErrBadAttestaton) {
+		t.Errorf("err = %v, want ErrBadAttestaton", err)
+	}
+}
+
+func TestRandomNonceUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		n, err := randomNonce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[n] {
+			t.Fatal("nonce collision")
+		}
+		seen[n] = true
+	}
+	// Sanity: crypto/rand reachable.
+	var b [1]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,510 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Attack is a compromise of the control plane: it mutates the data-plane
+// configuration through the provider's legitimate control session. Launch
+// installs the malicious state; Revert removes it (used by the flap attack
+// and by experiments that restore the network between trials).
+type Attack interface {
+	Name() string
+	Launch(c *Controller) error
+	Revert(c *Controller) error
+}
+
+// attackPriority outranks legitimate routing so malicious rules win.
+const attackPriority uint16 = 900
+
+// TrafficDiversion re-routes traffic destined to VictimIP through the
+// detour switch before delivering it, lengthening the path (and possibly
+// changing the regions traversed). The paper's canonical "divert client
+// traffic ... through undesired jurisdiction" attack.
+type TrafficDiversion struct {
+	VictimIP uint32
+	// Detour is the switch the traffic must additionally traverse.
+	Detour topology.SwitchID
+
+	installed []placedEntry
+}
+
+type placedEntry struct {
+	sw topology.SwitchID
+	e  openflow.FlowEntry
+}
+
+// Name implements Attack.
+func (a *TrafficDiversion) Name() string { return "traffic-diversion" }
+
+// VLAN tags the diversion uses to steer traffic without looping: 0x29A
+// ("to detour") and 0x29B ("returning from detour"). Real-world diversions
+// use exactly this kind of tagging to override destination-based trees.
+const (
+	vlanToDetour   uint64 = 0x29A
+	vlanFromDetour uint64 = 0x29B
+)
+
+// Launch implements Attack. Untagged victim-bound traffic is tagged and
+// steered to the detour at the victim's upstream neighbours; tagged traffic
+// follows explicit detour paths; the detour re-tags it for the return leg,
+// and the victim's access switch strips the tag before delivery.
+func (a *TrafficDiversion) Launch(c *Controller) error {
+	ap, ok := c.topo.AccessPointByIP(a.VictimIP)
+	if !ok {
+		return fmt.Errorf("diversion: no access point with IP %s", wire.IPString(a.VictimIP))
+	}
+	victimSw := ap.Endpoint.Switch
+	if a.Detour == victimSw {
+		return fmt.Errorf("diversion: detour equals victim switch")
+	}
+	pathBack := c.topo.ShortestPath(a.Detour, victimSw)
+	if pathBack == nil {
+		return fmt.Errorf("diversion: detour %d cannot reach victim switch %d", a.Detour, victimSw)
+	}
+	place := func(sw topology.SwitchID, e openflow.FlowEntry) {
+		c.InstallEntry(sw, e)
+		a.installed = append(a.installed, placedEntry{sw, e})
+	}
+	matchVictim := func(vlan uint64) openflow.Match {
+		return openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(a.VictimIP), Mask: 0xFFFFFFFF},
+			{Field: wire.FieldVLAN, Value: vlan, Mask: 0xFFF},
+		}}
+	}
+	// 1. Hijack untagged victim-bound traffic at the victim's neighbours.
+	for _, nb := range c.topo.Neighbors(victimSw) {
+		if nb.Peer == a.Detour {
+			continue
+		}
+		path := c.topo.ShortestPath(nb.Peer, a.Detour)
+		if path == nil || len(path) < 2 {
+			continue
+		}
+		out := c.topo.PortTowards(nb.Peer, path[1])
+		if out == 0 {
+			continue
+		}
+		place(nb.Peer, openflow.FlowEntry{
+			Priority: attackPriority,
+			Match:    matchVictim(0),
+			Actions: []openflow.Action{
+				openflow.SetField(wire.FieldVLAN, vlanToDetour),
+				openflow.Output(uint32(out)),
+			},
+			Cookie: CookieAttack | 1,
+		})
+	}
+	// 2. Carry tagged traffic toward the detour on every other switch.
+	for _, sw := range c.topo.Switches() {
+		if sw == a.Detour {
+			continue
+		}
+		path := c.topo.ShortestPath(sw, a.Detour)
+		if path == nil || len(path) < 2 {
+			continue
+		}
+		out := c.topo.PortTowards(sw, path[1])
+		if out == 0 {
+			continue
+		}
+		place(sw, openflow.FlowEntry{
+			Priority: attackPriority + 1,
+			Match:    matchVictim(vlanToDetour),
+			Actions:  []openflow.Action{openflow.Output(uint32(out))},
+			Cookie:   CookieAttack | 1,
+		})
+	}
+	// 3. At the detour: re-tag for the return leg.
+	if len(pathBack) >= 2 {
+		out := c.topo.PortTowards(a.Detour, pathBack[1])
+		place(a.Detour, openflow.FlowEntry{
+			Priority: attackPriority + 1,
+			Match:    matchVictim(vlanToDetour),
+			Actions: []openflow.Action{
+				openflow.SetField(wire.FieldVLAN, vlanFromDetour),
+				openflow.Output(uint32(out)),
+			},
+			Cookie: CookieAttack | 1,
+		})
+	}
+	// 4. Return leg: forward toward the victim, strip the tag on delivery.
+	for i := 1; i < len(pathBack); i++ {
+		sw := pathBack[i]
+		if sw == victimSw {
+			place(sw, openflow.FlowEntry{
+				Priority: attackPriority + 1,
+				Match:    matchVictim(vlanFromDetour),
+				Actions: []openflow.Action{
+					openflow.SetField(wire.FieldVLAN, 0),
+					openflow.Output(uint32(ap.Endpoint.Port)),
+				},
+				Cookie: CookieAttack | 1,
+			})
+			continue
+		}
+		out := c.topo.PortTowards(sw, pathBack[i+1])
+		place(sw, openflow.FlowEntry{
+			Priority: attackPriority + 1,
+			Match:    matchVictim(vlanFromDetour),
+			Actions:  []openflow.Action{openflow.Output(uint32(out))},
+			Cookie:   CookieAttack | 1,
+		})
+	}
+	return nil
+}
+
+// Revert implements Attack.
+func (a *TrafficDiversion) Revert(c *Controller) error {
+	for _, pe := range a.installed {
+		c.RemoveEntry(pe.sw, pe.e)
+	}
+	a.installed = nil
+	return nil
+}
+
+// Exfiltration clones traffic destined to VictimIP out of an extra edge
+// port (the attacker's unsupervised tap), while still delivering the
+// original so the victim notices nothing.
+type Exfiltration struct {
+	VictimIP uint32
+	// Tap is the edge endpoint the copies leave on.
+	Tap topology.Endpoint
+
+	installed []placedEntry
+}
+
+// Name implements Attack.
+func (a *Exfiltration) Name() string { return "exfiltration" }
+
+// Launch implements Attack.
+func (a *Exfiltration) Launch(c *Controller) error {
+	ap, ok := c.topo.AccessPointByIP(a.VictimIP)
+	if !ok {
+		return fmt.Errorf("exfiltration: no access point with IP %s", wire.IPString(a.VictimIP))
+	}
+	if c.topo.IsInternal(a.Tap) {
+		return fmt.Errorf("exfiltration: tap %s is an internal port", a.Tap)
+	}
+	tapSw := a.Tap.Switch
+	// On the tap switch: duplicate victim-bound traffic to both the normal
+	// next hop and the tap port.
+	var normalOut topology.PortNo
+	if tapSw == ap.Endpoint.Switch {
+		normalOut = ap.Endpoint.Port
+	} else {
+		path := c.topo.ShortestPath(tapSw, ap.Endpoint.Switch)
+		if path == nil {
+			return fmt.Errorf("exfiltration: tap switch cannot reach victim")
+		}
+		normalOut = c.topo.PortTowards(tapSw, path[1])
+	}
+	e := openflow.FlowEntry{
+		Priority: attackPriority,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(a.VictimIP), Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{
+			openflow.Output(uint32(normalOut)),
+			openflow.Output(uint32(a.Tap.Port)),
+		},
+		Cookie: CookieAttack | 2,
+	}
+	c.InstallEntry(tapSw, e)
+	a.installed = append(a.installed, placedEntry{tapSw, e})
+	return nil
+}
+
+// Revert implements Attack.
+func (a *Exfiltration) Revert(c *Controller) error {
+	for _, pe := range a.installed {
+		c.RemoveEntry(pe.sw, pe.e)
+	}
+	a.installed = nil
+	return nil
+}
+
+// JoinAttack secretly connects an unsupervised access point into a victim's
+// reachable set: "an attacker first manipulates the network operation, and
+// secretly adds access points which can then be used to access and/or
+// damage client assets" (§IV-B1).
+type JoinAttack struct {
+	VictimIP uint32
+	// SecretAP is the unused edge port the attacker joins from.
+	SecretAP topology.Endpoint
+	// AttackerIP is the source address the attacker will use.
+	AttackerIP uint32
+
+	installed []placedEntry
+}
+
+// Name implements Attack.
+func (a *JoinAttack) Name() string { return "join-attack" }
+
+// Launch implements Attack: installs forwarding from the secret access
+// point toward the victim on every switch along the path.
+func (a *JoinAttack) Launch(c *Controller) error {
+	ap, ok := c.topo.AccessPointByIP(a.VictimIP)
+	if !ok {
+		return fmt.Errorf("join: no access point with IP %s", wire.IPString(a.VictimIP))
+	}
+	if c.topo.IsInternal(a.SecretAP) {
+		return fmt.Errorf("join: secret port %s is internal", a.SecretAP)
+	}
+	path := c.topo.ShortestPath(a.SecretAP.Switch, ap.Endpoint.Switch)
+	if path == nil {
+		return fmt.Errorf("join: secret switch cannot reach victim")
+	}
+	for i, sw := range path {
+		var out topology.PortNo
+		if i == len(path)-1 {
+			out = ap.Endpoint.Port
+		} else {
+			out = c.topo.PortTowards(sw, path[i+1])
+		}
+		e := openflow.FlowEntry{
+			Priority: attackPriority,
+			Match: openflow.Match{Fields: []openflow.FieldMatch{
+				{Field: wire.FieldIPSrc, Value: uint64(a.AttackerIP), Mask: 0xFFFFFFFF},
+				{Field: wire.FieldIPDst, Value: uint64(a.VictimIP), Mask: 0xFFFFFFFF},
+			}},
+			Actions: []openflow.Action{openflow.Output(uint32(out))},
+			Cookie:  CookieAttack | 3,
+		}
+		c.InstallEntry(sw, e)
+		a.installed = append(a.installed, placedEntry{sw, e})
+	}
+	return nil
+}
+
+// Revert implements Attack.
+func (a *JoinAttack) Revert(c *Controller) error {
+	for _, pe := range a.installed {
+		c.RemoveEntry(pe.sw, pe.e)
+	}
+	a.installed = nil
+	return nil
+}
+
+// GeoViolation re-routes traffic between two hosts so it traverses a
+// forbidden region (paper §IV-B2: "different jurisdictions exercise
+// different privacy policies regarding user data").
+type GeoViolation struct {
+	SrcIP, DstIP uint32
+	// Via is a switch inside the forbidden region the path must traverse.
+	Via topology.SwitchID
+
+	installed []placedEntry
+}
+
+// Name implements Attack.
+func (a *GeoViolation) Name() string { return "geo-violation" }
+
+// Launch implements Attack: hijacks (src,dst)-flow routing at the source's
+// access switch toward Via, then from Via to the destination.
+func (a *GeoViolation) Launch(c *Controller) error {
+	srcAP, ok := c.topo.AccessPointByIP(a.SrcIP)
+	if !ok {
+		return fmt.Errorf("geo: unknown src %s", wire.IPString(a.SrcIP))
+	}
+	dstAP, ok := c.topo.AccessPointByIP(a.DstIP)
+	if !ok {
+		return fmt.Errorf("geo: unknown dst %s", wire.IPString(a.DstIP))
+	}
+	toVia := c.topo.ShortestPath(srcAP.Endpoint.Switch, a.Via)
+	fromVia := c.topo.ShortestPath(a.Via, dstAP.Endpoint.Switch)
+	if toVia == nil || fromVia == nil {
+		return fmt.Errorf("geo: via switch unreachable")
+	}
+	match := openflow.Match{Fields: []openflow.FieldMatch{
+		{Field: wire.FieldIPSrc, Value: uint64(a.SrcIP), Mask: 0xFFFFFFFF},
+		{Field: wire.FieldIPDst, Value: uint64(a.DstIP), Mask: 0xFFFFFFFF},
+	}}
+	install := func(sw topology.SwitchID, out topology.PortNo) {
+		e := openflow.FlowEntry{
+			Priority: attackPriority,
+			Match:    match,
+			Actions:  []openflow.Action{openflow.Output(uint32(out))},
+			Cookie:   CookieAttack | 4,
+		}
+		c.InstallEntry(sw, e)
+		a.installed = append(a.installed, placedEntry{sw, e})
+	}
+	for i := 0; i+1 < len(toVia); i++ {
+		install(toVia[i], c.topo.PortTowards(toVia[i], toVia[i+1]))
+	}
+	for i := 0; i+1 < len(fromVia); i++ {
+		install(fromVia[i], c.topo.PortTowards(fromVia[i], fromVia[i+1]))
+	}
+	install(dstAP.Endpoint.Switch, dstAP.Endpoint.Port)
+	return nil
+}
+
+// Revert implements Attack.
+func (a *GeoViolation) Revert(c *Controller) error {
+	for _, pe := range a.installed {
+		c.RemoveEntry(pe.sw, pe.e)
+	}
+	a.installed = nil
+	return nil
+}
+
+// NeutralityViolation silently drops (or could deprioritize) a victim's
+// traffic class — e.g. a competing video service's UDP port — violating the
+// neutrality conditions the paper lists among verifiable properties.
+type NeutralityViolation struct {
+	VictimIP uint32
+	// L4Dst selects the traffic class being throttled.
+	L4Dst uint16
+
+	installed []placedEntry
+}
+
+// Name implements Attack.
+func (a *NeutralityViolation) Name() string { return "neutrality-violation" }
+
+// Launch implements Attack: a drop rule for the victim's class at its
+// access switch.
+func (a *NeutralityViolation) Launch(c *Controller) error {
+	ap, ok := c.topo.AccessPointByIP(a.VictimIP)
+	if !ok {
+		return fmt.Errorf("neutrality: unknown victim %s", wire.IPString(a.VictimIP))
+	}
+	e := openflow.FlowEntry{
+		Priority: attackPriority,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(a.VictimIP), Mask: 0xFFFFFFFF},
+			{Field: wire.FieldL4Dst, Value: uint64(a.L4Dst), Mask: 0xFFFF},
+		}},
+		Actions: nil, // drop
+		Cookie:  CookieAttack | 5,
+	}
+	c.InstallEntry(ap.Endpoint.Switch, e)
+	a.installed = append(a.installed, placedEntry{ap.Endpoint.Switch, e})
+	return nil
+}
+
+// Revert implements Attack.
+func (a *NeutralityViolation) Revert(c *Controller) error {
+	for _, pe := range a.installed {
+		c.RemoveEntry(pe.sw, pe.e)
+	}
+	a.installed = nil
+	return nil
+}
+
+// MeterThrottle violates neutrality covertly: instead of dropping the
+// victim's traffic class, it attaches a starvation-rate meter to it — the
+// "meter tables meet network neutrality requirements" case of §IV-C.
+// Reachability is unchanged; only the meter table betrays the attack.
+type MeterThrottle struct {
+	VictimIP uint32
+	L4Dst    uint16
+	RateKbps uint32
+
+	meterSwitch topology.SwitchID
+	meterID     uint32
+	installed   []placedEntry
+}
+
+// Name implements Attack.
+func (a *MeterThrottle) Name() string { return "meter-throttle" }
+
+// Launch implements Attack.
+func (a *MeterThrottle) Launch(c *Controller) error {
+	ap, ok := c.topo.AccessPointByIP(a.VictimIP)
+	if !ok {
+		return fmt.Errorf("meter-throttle: unknown victim %s", wire.IPString(a.VictimIP))
+	}
+	a.meterSwitch = ap.Endpoint.Switch
+	a.meterID = 0xBAD1
+	rate := a.RateKbps
+	if rate == 0 {
+		rate = 8 // starvation: 1 KB/s
+	}
+	c.fab.Switch(a.meterSwitch).InstallMeterDirect(openflow.MeterConfig{
+		MeterID: a.meterID, RateKbps: rate, BurstKB: 1,
+	})
+	e := openflow.FlowEntry{
+		Priority: attackPriority,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(a.VictimIP), Mask: 0xFFFFFFFF},
+			{Field: wire.FieldL4Dst, Value: uint64(a.L4Dst), Mask: 0xFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(uint32(ap.Endpoint.Port))},
+		Cookie:  CookieAttack | 6,
+		MeterID: a.meterID,
+	}
+	c.InstallEntry(a.meterSwitch, e)
+	a.installed = append(a.installed, placedEntry{a.meterSwitch, e})
+	return nil
+}
+
+// Revert implements Attack.
+func (a *MeterThrottle) Revert(c *Controller) error {
+	for _, pe := range a.installed {
+		c.RemoveEntry(pe.sw, pe.e)
+	}
+	a.installed = nil
+	if a.meterID != 0 {
+		c.fab.Switch(a.meterSwitch).RemoveMeterDirect(a.meterID)
+		a.meterID = 0
+	}
+	return nil
+}
+
+// FlapAttack wraps another attack and exposes explicit install/remove
+// phases, modelling the adversary that "simply sets the correct rules for
+// the short time periods in which the box checks the configuration" (§IV-A)
+// — or conversely installs bad rules only between checks. Experiments drive
+// the phases on a simulated clock.
+type FlapAttack struct {
+	Inner Attack
+	// active tracks whether the inner attack is currently installed.
+	active bool
+}
+
+// Name implements Attack.
+func (a *FlapAttack) Name() string { return "flap(" + a.Inner.Name() + ")" }
+
+// Launch implements Attack (enters the active phase).
+func (a *FlapAttack) Launch(c *Controller) error {
+	if a.active {
+		return nil
+	}
+	if err := a.Inner.Launch(c); err != nil {
+		return err
+	}
+	a.active = true
+	return nil
+}
+
+// Revert implements Attack (enters the clean phase).
+func (a *FlapAttack) Revert(c *Controller) error {
+	if !a.active {
+		return nil
+	}
+	if err := a.Inner.Revert(c); err != nil {
+		return err
+	}
+	a.active = false
+	return nil
+}
+
+// Active reports whether the malicious rules are currently installed.
+func (a *FlapAttack) Active() bool { return a.active }
+
+// Compile-time interface checks.
+var (
+	_ Attack = (*TrafficDiversion)(nil)
+	_ Attack = (*Exfiltration)(nil)
+	_ Attack = (*JoinAttack)(nil)
+	_ Attack = (*GeoViolation)(nil)
+	_ Attack = (*NeutralityViolation)(nil)
+	_ Attack = (*MeterThrottle)(nil)
+	_ Attack = (*FlapAttack)(nil)
+)

@@ -1,0 +1,193 @@
+// Package deploy wires a complete RVaaS deployment: a fabric built from a
+// wiring plan, the provider's (compromisable) controller, a secured RVaaS
+// controller attached to every switch over authenticated encrypted
+// channels, and one client agent per access point. Examples, experiments
+// and integration tests all build on it.
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlplane"
+	"repro/internal/enclave"
+	"repro/internal/fabric"
+	"repro/internal/openflow"
+	"repro/internal/rvaas"
+	"repro/internal/topology"
+)
+
+// Options tunes a deployment.
+type Options struct {
+	// SkipRouting leaves the network unprogrammed (empty-network
+	// experiments); by default all-pairs shortest-path routing is
+	// installed via the provider controller.
+	SkipRouting bool
+	// TenantRouting installs isolated per-tenant flows (with ingress-port
+	// pinning) instead of all-pairs destination trees. Used by the
+	// isolation case study.
+	TenantRouting bool
+	// PollInterval / RandomizePolls configure RVaaS active polling.
+	PollInterval   time.Duration
+	RandomizePolls bool
+	// AuthTimeout bounds per-query in-band authentication.
+	AuthTimeout time.Duration
+	// Seed for RVaaS's poll-time randomness.
+	Seed int64
+	// Clock injection for simulated-time experiments.
+	Clock func() time.Time
+	// SkipAgents skips client agent creation.
+	SkipAgents bool
+}
+
+// Deployment is a running system.
+type Deployment struct {
+	Topology *topology.Topology
+	Fabric   *fabric.Fabric
+	Provider *controlplane.Controller
+	RVaaS    *rvaas.Controller
+	Platform *enclave.Platform
+	CA       *openflow.CA
+	// Agents maps client id -> agent (one per access point; when a client
+	// has several access points the first wins).
+	Agents map[uint64]*client.Agent
+}
+
+// New builds and starts a deployment on the given wiring plan.
+func New(topo *topology.Topology, opt Options) (*Deployment, error) {
+	if opt.AuthTimeout == 0 {
+		opt.AuthTimeout = 250 * time.Millisecond
+	}
+	fab, err := fabric.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	provider := controlplane.New(fab)
+	if !opt.SkipRouting {
+		var rerr error
+		if opt.TenantRouting {
+			rerr = provider.InstallTenantRouting()
+		} else {
+			rerr = provider.InstallAllPairs()
+		}
+		if rerr != nil {
+			fab.Close()
+			return nil, fmt.Errorf("deploy: install routing: %w", rerr)
+		}
+	}
+
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		fab.Close()
+		return nil, err
+	}
+	ctl, err := rvaas.New(rvaas.Config{
+		Topology:       topo,
+		Platform:       platform,
+		PollInterval:   opt.PollInterval,
+		RandomizePolls: opt.RandomizePolls,
+		AuthTimeout:    opt.AuthTimeout,
+		Seed:           opt.Seed,
+		Clock:          opt.Clock,
+	})
+	if err != nil {
+		fab.Close()
+		return nil, err
+	}
+
+	// PKI: the infrastructure owner's CA provisions switch certificates and
+	// the RVaaS controller certificate (paper §III).
+	ca, err := openflow.NewCA()
+	if err != nil {
+		fab.Close()
+		return nil, err
+	}
+	ctlID, err := openflow.NewIdentity("rvaas")
+	if err != nil {
+		fab.Close()
+		return nil, err
+	}
+	ctlCert := ca.Issue(ctlID)
+	for _, swID := range topo.Switches() {
+		swIdent, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", swID))
+		if err != nil {
+			fab.Close()
+			return nil, err
+		}
+		ctlConn, swConn, err := openflow.ConnectSecure(ctlID, ctlCert, swIdent, ca.Issue(swIdent), ca.Pub)
+		if err != nil {
+			fab.Close()
+			return nil, fmt.Errorf("deploy: secure channel to %d: %w", swID, err)
+		}
+		if err := fab.Switch(swID).Serve(swConn); err != nil {
+			fab.Close()
+			return nil, err
+		}
+		if err := ctl.Attach(swID, ctlConn); err != nil {
+			fab.Close()
+			return nil, fmt.Errorf("deploy: attach %d: %w", swID, err)
+		}
+	}
+
+	d := &Deployment{
+		Topology: topo,
+		Fabric:   fab,
+		Provider: provider,
+		RVaaS:    ctl,
+		Platform: platform,
+		CA:       ca,
+		Agents:   make(map[uint64]*client.Agent),
+	}
+	if !opt.SkipAgents {
+		if err := d.createAgents(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	ctl.Start()
+	return d, nil
+}
+
+func (d *Deployment) createAgents() error {
+	trust := client.TrustAnchors{
+		PlatformRoot: d.Platform.RootKey(),
+		Measurement:  rvaas.Measurement(),
+	}
+	for _, ap := range d.Topology.AccessPoints() {
+		ag, exists := d.Agents[ap.ClientID]
+		if !exists {
+			var err error
+			ag, err = client.New(client.Config{
+				ClientID: ap.ClientID,
+				Access:   ap,
+				NIC:      d.Fabric,
+				Trust:    trust,
+			})
+			if err != nil {
+				return err
+			}
+			ag.PinServerKey(d.RVaaS.PublicKey())
+			d.RVaaS.RegisterClient(ap.ClientID, ag.PublicKey())
+			d.Agents[ap.ClientID] = ag
+		}
+		// A client with several access points answers auth requests at each
+		// of them with the same identity key.
+		if err := d.Fabric.AttachHost(ap.Endpoint, ag.HandlerFor(ap)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Agent returns the agent for a client id (nil if absent).
+func (d *Deployment) Agent(id uint64) *client.Agent { return d.Agents[id] }
+
+// Close tears everything down.
+func (d *Deployment) Close() {
+	for _, ag := range d.Agents {
+		ag.Close()
+	}
+	d.RVaaS.Close()
+	d.Fabric.Close()
+}

@@ -1,0 +1,131 @@
+package deploy
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func TestDeployLifecycle(t *testing.T) {
+	topo, err := topology.Linear(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(topo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Agents) != 3 {
+		t.Errorf("agents = %d", len(d.Agents))
+	}
+	if d.Agent(1) == nil || d.Agent(99) != nil {
+		t.Error("Agent lookup wrong")
+	}
+	// Double close must be safe.
+	d.Close()
+	d.Close()
+}
+
+func TestDeploySkipOptions(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(topo, Options{SkipRouting: true, SkipAgents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(d.Agents) != 0 {
+		t.Error("agents created despite SkipAgents")
+	}
+	// No routing: only RVaaS interception rules on the switches.
+	for _, sw := range d.Fabric.Switches() {
+		for _, e := range sw.Table() {
+			if e.Cookie&0x5AA5_0000_0000 != 0x5AA5_0000_0000 {
+				t.Errorf("unexpected rule with cookie %#x", e.Cookie)
+			}
+		}
+	}
+}
+
+func TestDeploySharedClientAgents(t *testing.T) {
+	topo, err := topology.Linear(4, []uint64{1, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(topo, Options{TenantRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(d.Agents) != 2 {
+		t.Fatalf("agents = %d, want 2 (one per client)", len(d.Agents))
+	}
+}
+
+func TestDeployBackgroundPoller(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(topo, Options{
+		PollInterval:   20 * time.Millisecond,
+		RandomizePolls: true,
+		SkipAgents:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.RVaaS.Stats().ActivePolls >= 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("background poller inactive: %+v", d.RVaaS.Stats())
+}
+
+func TestDeployConcurrentQueries(t *testing.T) {
+	topo, err := topology.Linear(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(topo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	aps := topo.AccessPoints()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(aps)*3)
+	for round := 0; round < 3; round++ {
+		for i, ap := range aps {
+			wg.Add(1)
+			go func(clientID uint64, dst topology.AccessPoint) {
+				defer wg.Done()
+				agent := d.Agent(clientID)
+				_, err := agent.Query(wire.QueryReachableDestinations, []wire.FieldConstraint{
+					{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF},
+				}, "")
+				if err != nil {
+					errs <- err
+				}
+			}(ap.ClientID, aps[(i+1)%len(aps)])
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query: %v", err)
+	}
+	if got := d.RVaaS.Stats().QueriesServed; got != uint64(len(aps)*3) {
+		t.Errorf("queries served = %d, want %d", got, len(aps)*3)
+	}
+}

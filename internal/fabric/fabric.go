@@ -1,0 +1,187 @@
+// Package fabric binds topology, switches and hosts into a runnable network
+// emulator. Frames are forwarded exclusively by consulting switch flow
+// tables, so whatever the (possibly compromised) control plane installed is
+// exactly what the data plane does — the property RVaaS's in-band tests
+// depend on.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/switchsim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// HostHandler consumes frames delivered to a host NIC.
+type HostHandler func(pkt *wire.Packet)
+
+// TraceEvent records one link traversal or host delivery (ground truth for
+// tests and experiments; invisible to RVaaS itself).
+type TraceEvent struct {
+	From topology.Endpoint
+	To   topology.Endpoint // zero Switch for host deliveries
+	Host bool
+	Pkt  string // compact packet summary
+}
+
+// Fabric is the running network.
+type Fabric struct {
+	topo     *topology.Topology
+	switches map[topology.SwitchID]*switchsim.Switch
+
+	mu      sync.Mutex
+	hosts   map[topology.Endpoint]HostHandler
+	tracing bool
+	trace   []TraceEvent
+	// delivered counts total link traversals (for overhead experiments).
+	delivered uint64
+	hostRx    uint64
+}
+
+// New builds a fabric (and its switches) from a wiring plan.
+func New(topo *topology.Topology) (*Fabric, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
+	f := &Fabric{
+		topo:     topo,
+		switches: make(map[topology.SwitchID]*switchsim.Switch),
+		hosts:    make(map[topology.Endpoint]HostHandler),
+	}
+	for _, id := range topo.Switches() {
+		sid := id
+		f.switches[sid] = switchsim.New(sid, topo.PortCount(sid), func(port topology.PortNo, pkt *wire.Packet) {
+			f.deliver(topology.Endpoint{Switch: sid, Port: port}, pkt)
+		})
+	}
+	return f, nil
+}
+
+// Topology returns the wiring plan.
+func (f *Fabric) Topology() *topology.Topology { return f.topo }
+
+// Switch returns the datapath with the given id (nil if absent).
+func (f *Fabric) Switch(id topology.SwitchID) *switchsim.Switch { return f.switches[id] }
+
+// Switches returns all datapaths keyed by id.
+func (f *Fabric) Switches() map[topology.SwitchID]*switchsim.Switch {
+	out := make(map[topology.SwitchID]*switchsim.Switch, len(f.switches))
+	for k, v := range f.switches {
+		out[k] = v
+	}
+	return out
+}
+
+// AttachHost registers a host NIC handler at an access-point endpoint.
+func (f *Fabric) AttachHost(ep topology.Endpoint, h HostHandler) error {
+	if f.topo.IsInternal(ep) {
+		return fmt.Errorf("fabric: %s is an internal port", ep)
+	}
+	if _, ok := f.switches[ep.Switch]; !ok {
+		return fmt.Errorf("fabric: unknown switch %d", ep.Switch)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[ep] = h
+	return nil
+}
+
+// DetachHost removes a host handler.
+func (f *Fabric) DetachHost(ep topology.Endpoint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.hosts, ep)
+}
+
+// InjectFromHost feeds a frame from a host NIC into its access switch.
+func (f *Fabric) InjectFromHost(ep topology.Endpoint, pkt *wire.Packet) error {
+	sw, ok := f.switches[ep.Switch]
+	if !ok {
+		return fmt.Errorf("fabric: unknown switch %d", ep.Switch)
+	}
+	f.recordTrace(TraceEvent{From: topology.Endpoint{}, To: ep, Pkt: pkt.String()})
+	sw.ProcessPacket(ep.Port, pkt, 0)
+	return nil
+}
+
+// deliver carries a frame out of (switch, port) to the far end: the peer
+// switch's pipeline for internal ports, the host handler for edge ports.
+func (f *Fabric) deliver(from topology.Endpoint, pkt *wire.Packet) {
+	if peer, ok := f.topo.Peer(from); ok {
+		// Internal link: decrement TTL for IPv4 to bound forwarding loops
+		// exactly like a real router fabric does.
+		if pkt.EthType == wire.EthTypeIPv4 {
+			if pkt.TTL <= 1 {
+				return
+			}
+			pkt.TTL--
+		}
+		f.mu.Lock()
+		f.delivered++
+		f.mu.Unlock()
+		f.recordTrace(TraceEvent{From: from, To: peer, Pkt: pkt.String()})
+		f.switches[peer.Switch].ProcessPacket(peer.Port, pkt, 0)
+		return
+	}
+	// Edge port: host delivery.
+	f.mu.Lock()
+	h := f.hosts[from]
+	f.hostRx++
+	f.mu.Unlock()
+	f.recordTrace(TraceEvent{From: from, Host: true, Pkt: pkt.String()})
+	if h != nil {
+		h(pkt)
+	}
+}
+
+// SetTracing toggles ground-truth trace capture.
+func (f *Fabric) SetTracing(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tracing = on
+	if !on {
+		f.trace = nil
+	}
+}
+
+// Trace returns a copy of captured events and clears the buffer.
+func (f *Fabric) Trace() []TraceEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]TraceEvent, len(f.trace))
+	copy(out, f.trace)
+	f.trace = f.trace[:0]
+	return out
+}
+
+func (f *Fabric) recordTrace(ev TraceEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.tracing {
+		return
+	}
+	f.trace = append(f.trace, ev)
+}
+
+// LinkDeliveries returns the number of internal-link traversals so far.
+func (f *Fabric) LinkDeliveries() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delivered
+}
+
+// HostDeliveries returns the number of frames handed to host NICs.
+func (f *Fabric) HostDeliveries() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hostRx
+}
+
+// Close shuts down every switch.
+func (f *Fabric) Close() {
+	for _, sw := range f.switches {
+		sw.Close()
+	}
+}

@@ -1,0 +1,106 @@
+package headerspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The complement decomposition must be pairwise disjoint — the property the
+// reachability engine's term-count bound relies on (see DESIGN.md).
+func TestComplementTermsDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		h := randHeader(rr, quickWidth)
+		terms := h.Complement().Terms()
+		for i := 0; i < len(terms); i++ {
+			for j := i + 1; j < len(terms); j++ {
+				if terms[i].Overlaps(terms[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Complement term count equals the number of fixed bits.
+func TestComplementTermCount(t *testing.T) {
+	h := MustParse("10xx01")
+	if got := h.Complement().Size(); got != 4 {
+		t.Errorf("terms = %d, want 4", got)
+	}
+	if got := AllX(6).Complement().Size(); got != 0 {
+		t.Errorf("complement of full = %d terms, want 0", got)
+	}
+}
+
+// Re-subtracting the same match must be idempotent in term count: the
+// pattern that occurs when the same rule shadows a flow at every switch
+// along a path.
+func TestRepeatedSubtractionIdempotent(t *testing.T) {
+	m := FromValueMask(32, 8, 16, 0x5AA5, 0xFFFF)
+	s := FullSpace(32).SubtractHeader(m).Compact()
+	first := s.Size()
+	for i := 0; i < 10; i++ {
+		s = s.SubtractHeader(m).Compact()
+	}
+	if s.Size() != first {
+		t.Errorf("repeated subtraction grew %d -> %d terms", first, s.Size())
+	}
+}
+
+// The interception-rule pattern (three near-identical magic-header matches,
+// as RVaaS installs on every switch) must stay compact: the two UDP port
+// matches share all but two bits, so the chain must not multiply.
+func TestInterceptionPatternCompact(t *testing.T) {
+	s := FullSpace(48)
+	// proto=17 at [0,8), l4dst at [8,24), ethtype at [24,40).
+	udp := uint64(17)
+	for _, port := range []uint64{0x5AA5, 0x5AA7} {
+		m, err := FromValueMask(48, 0, 8, udp, 0xFF).
+			Intersect(FromValueMask(48, 8, 16, port, 0xFFFF))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s = s.SubtractHeader(m).Compact()
+	}
+	probe := FromValueMask(48, 24, 16, 0x88B5, 0xFFFF)
+	s = s.SubtractHeader(probe).Compact()
+	// The DNF of three intersected complements is inherently a few hundred
+	// terms; the regression guard is against the naive overlapping
+	// decomposition, which multiplied this into many thousands.
+	if s.Size() > 500 {
+		t.Errorf("interception pattern grew to %d terms", s.Size())
+	}
+	if s.IsEmpty() {
+		t.Error("pattern should not empty the space")
+	}
+}
+
+// Equivalence with the membership oracle after a chain of operations.
+func TestChainedOpsMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := randHeader(rr, quickWidth)
+		b := randHeader(rr, quickWidth)
+		c := randHeader(rr, quickWidth)
+		// (a \ b) ∪ (b ∩ c)
+		got := a.Subtract(b).Union(NewSpace(quickWidth, b).IntersectHeader(c))
+		for trial := 0; trial < 24; trial++ {
+			v := randValue(rr, quickWidth)
+			want := (a.MatchesValue(v) && !b.MatchesValue(v)) ||
+				(b.MatchesValue(v) && c.MatchesValue(v))
+			if got.MatchesValue(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package headerspace implements the Header Space Analysis (HSA) algebra of
+// Kazemian, Varghese and McKeown (NSDI'12), which RVaaS uses as its logical
+// data-plane verification engine.
+//
+// A header is a ternary bit vector: every bit position is 0, 1 or x
+// (wildcard). A Space is a union of such vectors. Transfer functions model
+// the match/rewrite behaviour of switch rules, and the reachability engine
+// in reach.go propagates spaces across a network of transfer functions.
+package headerspace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Ternary bit encoding, two physical bits (hi, lo) per header bit:
+//
+//	01 -> 0
+//	10 -> 1
+//	11 -> x (wildcard, matches both)
+//	00 -> z (empty; the whole header denotes the empty set)
+//
+// With this encoding intersection is a bitwise AND, which is what makes HSA
+// fast in practice.
+const (
+	bitsPerWord = 32 // ternary bits per uint64 word (2 physical bits each)
+)
+
+// Bit is the value of a single ternary position.
+type Bit byte
+
+// Ternary bit values. BitZ marks an empty (contradictory) position.
+const (
+	Bit0 Bit = iota + 1
+	Bit1
+	BitX
+	BitZ
+)
+
+// String returns "0", "1", "x" or "z".
+func (b Bit) String() string {
+	switch b {
+	case Bit0:
+		return "0"
+	case Bit1:
+		return "1"
+	case BitX:
+		return "x"
+	case BitZ:
+		return "z"
+	}
+	return "?"
+}
+
+// ErrWidthMismatch is returned when combining headers of different widths.
+var ErrWidthMismatch = errors.New("headerspace: width mismatch")
+
+// Header is a single ternary wildcard expression over Width() bits.
+// The zero value is unusable; construct headers with NewHeader, AllX or
+// Parse.
+type Header struct {
+	width int
+	words []uint64
+}
+
+// NewHeader returns a header of the given width with every bit set to x.
+func NewHeader(width int) Header {
+	return AllX(width)
+}
+
+// AllX returns the header matching everything (all bits wildcarded).
+func AllX(width int) Header {
+	h := Header{width: width, words: make([]uint64, wordsFor(width))}
+	for i := range h.words {
+		h.words[i] = ^uint64(0)
+	}
+	h.maskTail()
+	return h
+}
+
+// Empty returns a header denoting the empty set (all bits z).
+func Empty(width int) Header {
+	return Header{width: width, words: make([]uint64, wordsFor(width))}
+}
+
+// Filled returns a header with every position set to the given ternary bit.
+func Filled(width int, b Bit) Header {
+	var pattern uint64
+	switch b {
+	case Bit0:
+		pattern = 0x5555555555555555
+	case Bit1:
+		pattern = 0xAAAAAAAAAAAAAAAA
+	case BitX:
+		pattern = ^uint64(0)
+	}
+	h := Header{width: width, words: make([]uint64, wordsFor(width))}
+	for i := range h.words {
+		h.words[i] = pattern
+	}
+	h.maskTail()
+	return h
+}
+
+func wordsFor(width int) int {
+	return (width + bitsPerWord - 1) / bitsPerWord
+}
+
+// maskTail zeroes the unused encoding bits past width so that comparisons
+// and emptiness checks work word-wise.
+func (h *Header) maskTail() {
+	rem := h.width % bitsPerWord
+	if rem == 0 || len(h.words) == 0 {
+		return
+	}
+	keep := uint64(1)<<(uint(rem)*2) - 1
+	h.words[len(h.words)-1] &= keep
+}
+
+// Width returns the number of ternary bits in the header.
+func (h Header) Width() int { return h.width }
+
+// Clone returns a deep copy of the header.
+func (h Header) Clone() Header {
+	out := Header{width: h.width, words: make([]uint64, len(h.words))}
+	copy(out.words, h.words)
+	return out
+}
+
+// Bit returns the ternary value at position i (0 = least significant).
+func (h Header) Bit(i int) Bit {
+	if i < 0 || i >= h.width {
+		return BitZ
+	}
+	word := h.words[i/bitsPerWord]
+	shift := uint(i%bitsPerWord) * 2
+	switch (word >> shift) & 3 {
+	case 1:
+		return Bit0
+	case 2:
+		return Bit1
+	case 3:
+		return BitX
+	}
+	return BitZ
+}
+
+// SetBit sets position i to the given ternary value, returning a new header.
+func (h Header) SetBit(i int, b Bit) Header {
+	out := h.Clone()
+	out.setBitInPlace(i, b)
+	return out
+}
+
+func (h *Header) setBitInPlace(i int, b Bit) {
+	if i < 0 || i >= h.width {
+		return
+	}
+	shift := uint(i%bitsPerWord) * 2
+	var enc uint64
+	switch b {
+	case Bit0:
+		enc = 1
+	case Bit1:
+		enc = 2
+	case BitX:
+		enc = 3
+	case BitZ:
+		enc = 0
+	}
+	w := &h.words[i/bitsPerWord]
+	*w = (*w &^ (3 << shift)) | (enc << shift)
+}
+
+// IsEmpty reports whether the header denotes the empty set, i.e. any
+// position is z.
+func (h Header) IsEmpty() bool {
+	full := h.width / bitsPerWord
+	for i := 0; i < full; i++ {
+		if hasZPair(h.words[i], bitsPerWord) {
+			return true
+		}
+	}
+	rem := h.width % bitsPerWord
+	if rem > 0 {
+		if hasZPair(h.words[full], rem) {
+			return true
+		}
+	}
+	return h.width == 0
+}
+
+// hasZPair reports whether any of the first n ternary positions in word is
+// encoded 00.
+func hasZPair(word uint64, n int) bool {
+	// A position is z iff both its bits are 0. Extract lo bits and hi bits.
+	lo := word & 0x5555555555555555
+	hi := (word >> 1) & 0x5555555555555555
+	present := lo | hi // 1 in lo-position iff the ternary bit is non-z
+	want := uint64(1)<<(uint(n)*2) - 1
+	want &= 0x5555555555555555
+	return present&want != want
+}
+
+// Intersect returns the header matching exactly the packets matched by both
+// h and o. The result may be empty.
+func (h Header) Intersect(o Header) (Header, error) {
+	if h.width != o.width {
+		return Header{}, ErrWidthMismatch
+	}
+	out := Header{width: h.width, words: make([]uint64, len(h.words))}
+	for i := range h.words {
+		out.words[i] = h.words[i] & o.words[i]
+	}
+	return out, nil
+}
+
+// Overlaps reports whether h and o match at least one common packet.
+func (h Header) Overlaps(o Header) bool {
+	x, err := h.Intersect(o)
+	if err != nil {
+		return false
+	}
+	return !x.IsEmpty()
+}
+
+// Covers reports whether every packet matched by o is matched by h
+// (h ⊇ o). An empty o is covered by everything.
+func (h Header) Covers(o Header) bool {
+	if h.width != o.width {
+		return false
+	}
+	if o.IsEmpty() {
+		return true
+	}
+	// h covers o iff o ∩ h == o at every position, i.e. o's encoding bits are
+	// a subset of h's.
+	for i := range h.words {
+		if o.words[i]&h.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two headers are bit-identical. Two empty headers
+// of the same width are considered equal even if their z positions differ.
+func (h Header) Equal(o Header) bool {
+	if h.width != o.width {
+		return false
+	}
+	he, oe := h.IsEmpty(), o.IsEmpty()
+	if he || oe {
+		return he == oe
+	}
+	for i := range h.words {
+		if h.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Complement returns the set of packets NOT matched by h, as a union of
+// pairwise-DISJOINT headers (one per non-wildcard position, with all lower
+// fixed positions pinned to h's values). Disjointness keeps downstream
+// subtraction chains from blowing up in term count.
+func (h Header) Complement() Space {
+	if h.IsEmpty() {
+		return Space{width: h.width, terms: []Header{AllX(h.width)}}
+	}
+	var terms []Header
+	prefix := AllX(h.width) // accumulates h's values at already-seen fixed bits
+	for i := 0; i < h.width; i++ {
+		b := h.Bit(i)
+		if b != Bit0 && b != Bit1 {
+			continue
+		}
+		flipped := Bit0
+		if b == Bit0 {
+			flipped = Bit1
+		}
+		terms = append(terms, prefix.SetBit(i, flipped))
+		prefix.setBitInPlace(i, b)
+	}
+	return Space{width: h.width, terms: terms}
+}
+
+// Subtract returns h minus o as a Space.
+func (h Header) Subtract(o Header) Space {
+	comp := o.Complement()
+	var terms []Header
+	for _, c := range comp.terms {
+		x, err := h.Intersect(c)
+		if err == nil && !x.IsEmpty() {
+			terms = append(terms, x)
+		}
+	}
+	return Space{width: h.width, terms: terms}.Compact()
+}
+
+// CountWildcards returns the number of x positions.
+func (h Header) CountWildcards() int {
+	n := 0
+	for i := 0; i < h.width; i++ {
+		if h.Bit(i) == BitX {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchesValue reports whether the concrete bit string v (v[i] in {0,1},
+// index 0 = LSB) is matched by h.
+func (h Header) MatchesValue(v []byte) bool {
+	if len(v) != h.width {
+		return false
+	}
+	for i := 0; i < h.width; i++ {
+		switch h.Bit(i) {
+		case Bit0:
+			if v[i] != 0 {
+				return false
+			}
+		case Bit1:
+			if v[i] != 1 {
+				return false
+			}
+		case BitZ:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the header MSB-first, e.g. "1x0" for width 3.
+func (h Header) String() string {
+	if h.IsEmpty() {
+		return fmt.Sprintf("(empty/%d)", h.width)
+	}
+	var sb strings.Builder
+	sb.Grow(h.width)
+	for i := h.width - 1; i >= 0; i-- {
+		sb.WriteString(h.Bit(i).String())
+	}
+	return sb.String()
+}
+
+// Parse builds a header from an MSB-first string of '0', '1', 'x'/'X' and
+// '*' characters. Underscores and spaces are ignored as separators.
+func Parse(s string) (Header, error) {
+	cleaned := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c == ' ' {
+			continue
+		}
+		cleaned = append(cleaned, c)
+	}
+	h := AllX(len(cleaned))
+	for i, c := range cleaned {
+		pos := len(cleaned) - 1 - i // MSB-first input
+		switch c {
+		case '0':
+			h.setBitInPlace(pos, Bit0)
+		case '1':
+			h.setBitInPlace(pos, Bit1)
+		case 'x', 'X', '*':
+			h.setBitInPlace(pos, BitX)
+		default:
+			return Header{}, fmt.Errorf("headerspace: invalid character %q at %d", c, i)
+		}
+	}
+	return h, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(s string) Header {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FromValueMask builds a header where mask bits set to 1 force the
+// corresponding value bit and mask bits 0 are wildcards. Only the low
+// `width` bits are used. Bit 0 of value/mask is header bit `offset`.
+func FromValueMask(total, offset, width int, value, mask uint64) Header {
+	h := AllX(total)
+	for i := 0; i < width; i++ {
+		if mask>>uint(i)&1 == 0 {
+			continue
+		}
+		if value>>uint(i)&1 == 1 {
+			h.setBitInPlace(offset+i, Bit1)
+		} else {
+			h.setBitInPlace(offset+i, Bit0)
+		}
+	}
+	return h
+}
+
+// ExtractValue reads `width` concrete bits starting at offset. Wildcard
+// positions read as 0. The second return is false if any read bit is z.
+func (h Header) ExtractValue(offset, width int) (uint64, bool) {
+	var v uint64
+	for i := 0; i < width; i++ {
+		switch h.Bit(offset + i) {
+		case Bit1:
+			v |= 1 << uint(i)
+		case BitZ:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// Rewrite returns a copy of h where every position with mask bit 1 is set to
+// the corresponding bit of value. mask/value are headers of the same width:
+// mask positions that are Bit1 are rewritten, everything else passes
+// through. value must be concrete (0/1) at rewritten positions.
+func (h Header) Rewrite(mask, value Header) (Header, error) {
+	if h.width != mask.width || h.width != value.width {
+		return Header{}, ErrWidthMismatch
+	}
+	out := h.Clone()
+	for i := 0; i < h.width; i++ {
+		if mask.Bit(i) == Bit1 {
+			out.setBitInPlace(i, value.Bit(i))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package headerspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randHeader draws a random ternary header of the given width.
+func randHeader(r *rand.Rand, width int) Header {
+	h := AllX(width)
+	for i := 0; i < width; i++ {
+		switch r.Intn(3) {
+		case 0:
+			h.setBitInPlace(i, Bit0)
+		case 1:
+			h.setBitInPlace(i, Bit1)
+		}
+	}
+	return h
+}
+
+// randValue draws a random concrete packet as a bit slice.
+func randValue(r *rand.Rand, width int) []byte {
+	v := make([]byte, width)
+	for i := range v {
+		v[i] = byte(r.Intn(2))
+	}
+	return v
+}
+
+const quickWidth = 12
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 300}
+}
+
+// Property: membership distributes over intersection.
+func TestQuickIntersectMembership(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randHeader(rr, quickWidth), randHeader(rr, quickWidth)
+		v := randValue(rr, quickWidth)
+		x, err := a.Intersect(b)
+		if err != nil {
+			return false
+		}
+		want := a.MatchesValue(v) && b.MatchesValue(v)
+		return x.MatchesValue(v) == want
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+// Property: complement is exact on concrete packets.
+func TestQuickComplementMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		h := randHeader(rr, quickWidth)
+		v := randValue(rr, quickWidth)
+		return h.Complement().MatchesValue(v) == !h.MatchesValue(v)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: subtraction is exact on concrete packets.
+func TestQuickSubtractMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randHeader(rr, quickWidth), randHeader(rr, quickWidth)
+		v := randValue(rr, quickWidth)
+		want := a.MatchesValue(v) && !b.MatchesValue(v)
+		return a.Subtract(b).MatchesValue(v) == want
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compact preserves membership.
+func TestQuickCompactPreservesMembership(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(5)
+		terms := make([]Header, n)
+		for i := range terms {
+			terms[i] = randHeader(rr, quickWidth)
+		}
+		s := NewSpace(quickWidth, terms...)
+		c := s.Compact()
+		for trial := 0; trial < 16; trial++ {
+			v := randValue(rr, quickWidth)
+			if s.MatchesValue(v) != c.MatchesValue(v) {
+				return false
+			}
+		}
+		return c.Size() <= s.Size()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Covers is consistent with membership sampling.
+func TestQuickCoversSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randHeader(rr, quickWidth), randHeader(rr, quickWidth)
+		if !a.Covers(b) {
+			return true // only test the positive direction (soundness)
+		}
+		for trial := 0; trial < 32; trial++ {
+			v := randValue(rr, quickWidth)
+			if b.MatchesValue(v) && !a.MatchesValue(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan on spaces — ¬(a ∪ b) == ¬a ∩ ¬b (checked by sampling).
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := NewSpace(quickWidth, randHeader(rr, quickWidth))
+		b := NewSpace(quickWidth, randHeader(rr, quickWidth))
+		lhs := a.Union(b).Complement()
+		rhs := a.Complement().Intersect(b.Complement())
+		for trial := 0; trial < 16; trial++ {
+			v := randValue(rr, quickWidth)
+			if lhs.MatchesValue(v) != rhs.MatchesValue(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer function priority semantics — every packet is handled
+// by at most the first matching rule (verified by simulating a concrete
+// packet against the rule list).
+func TestQuickTransferSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tf := NewTransferFunction(quickWidth)
+		n := 1 + rr.Intn(6)
+		for i := 0; i < n; i++ {
+			r := Rule{
+				Priority: rr.Intn(10),
+				Match:    randHeader(rr, quickWidth),
+				OutPorts: []PortID{PortID(1 + rr.Intn(3))},
+			}
+			if err := tf.AddRule(r); err != nil {
+				return false
+			}
+		}
+		v := randValue(rr, quickWidth)
+		// Oracle: scan rules in priority order for the first match.
+		var wantPort PortID
+		found := false
+		for _, r := range tf.Rules() {
+			if r.Match.MatchesValue(v) {
+				wantPort = r.OutPorts[0]
+				found = true
+				break
+			}
+		}
+		// HSA result: find which emission contains v.
+		in := NewSpace(quickWidth, valueHeader(v))
+		ems := tf.Apply(in, 0)
+		var gotPort PortID
+		got := false
+		for _, em := range ems {
+			if em.Space.MatchesValue(v) {
+				if got {
+					return false // same packet emitted by two rules
+				}
+				gotPort = em.Port
+				got = true
+			}
+		}
+		return got == found && (!found || gotPort == wantPort)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func valueHeader(v []byte) Header {
+	h := AllX(len(v))
+	for i, b := range v {
+		if b == 1 {
+			h.setBitInPlace(i, Bit1)
+		} else {
+			h.setBitInPlace(i, Bit0)
+		}
+	}
+	return h
+}

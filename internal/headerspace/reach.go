@@ -1,0 +1,265 @@
+package headerspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a box (switch) in the reachability network.
+type NodeID uint32
+
+// Link is a unidirectional wire from one node's port to another's.
+// Bidirectional links are modelled as two Links.
+type Link struct {
+	FromNode NodeID
+	FromPort PortID
+	ToNode   NodeID
+	ToPort   PortID
+}
+
+// Network is the static model reachability runs on: one transfer function
+// per node plus the wiring. Ports not connected by any link are edge
+// (access) ports.
+type Network struct {
+	width int
+	nodes map[NodeID]*TransferFunction
+	// wires maps (node, outPort) to the far end.
+	wires map[nodePort]nodePort
+}
+
+type nodePort struct {
+	node NodeID
+	port PortID
+}
+
+// NewNetwork returns an empty network for the given header width.
+func NewNetwork(width int) *Network {
+	return &Network{
+		width: width,
+		nodes: make(map[NodeID]*TransferFunction),
+		wires: make(map[nodePort]nodePort),
+	}
+}
+
+// Width returns the header width.
+func (n *Network) Width() int { return n.width }
+
+// AddNode registers a node with its transfer function. Re-adding replaces.
+func (n *Network) AddNode(id NodeID, tf *TransferFunction) error {
+	if tf.Width() != n.width {
+		return fmt.Errorf("headerspace: node %d width %d != network width %d", id, tf.Width(), n.width)
+	}
+	n.nodes[id] = tf
+	return nil
+}
+
+// Node returns the transfer function for id, or nil.
+func (n *Network) Node(id NodeID) *TransferFunction { return n.nodes[id] }
+
+// NodeIDs returns the registered node ids in ascending order.
+func (n *Network) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AddLink wires from → to (unidirectional).
+func (n *Network) AddLink(l Link) {
+	n.wires[nodePort{l.FromNode, l.FromPort}] = nodePort{l.ToNode, l.ToPort}
+}
+
+// AddDuplex wires both directions between (a, ap) and (b, bp).
+func (n *Network) AddDuplex(a NodeID, ap PortID, b NodeID, bp PortID) {
+	n.AddLink(Link{a, ap, b, bp})
+	n.AddLink(Link{b, bp, a, ap})
+}
+
+// Peer returns the far end of (node, port) and whether it is wired.
+func (n *Network) Peer(node NodeID, port PortID) (NodeID, PortID, bool) {
+	np, ok := n.wires[nodePort{node, port}]
+	return np.node, np.port, ok
+}
+
+// IsEdgePort reports whether (node, port) has no outgoing wire, i.e. packets
+// emitted there leave the network.
+func (n *Network) IsEdgePort(node NodeID, port PortID) bool {
+	_, ok := n.wires[nodePort{node, port}]
+	return !ok
+}
+
+// Hop records one traversal step in a reachability path.
+type Hop struct {
+	Node    NodeID
+	InPort  PortID
+	OutPort PortID
+}
+
+// ReachResult is one place a header space can escape the network.
+type ReachResult struct {
+	// EgressNode/EgressPort is the edge port the space leaves on.
+	EgressNode NodeID
+	EgressPort PortID
+	// Space is the set of packets (as transformed along the way) arriving
+	// at the egress.
+	Space Space
+	// Path is the switch-level route taken (ingress hop first).
+	Path []Hop
+	// Looped marks results cut off by loop detection rather than egress.
+	Looped bool
+}
+
+// ReachOptions tunes the reachability traversal.
+type ReachOptions struct {
+	// MaxHops bounds the path length; 0 means 4 × number of nodes.
+	MaxHops int
+	// KeepLoops includes looped results (Looped=true) in the output.
+	KeepLoops bool
+	// MaxResults truncates the result list; 0 means unlimited.
+	MaxResults int
+}
+
+type reachState struct {
+	node   NodeID
+	inPort PortID
+	space  Space
+	path   []Hop
+}
+
+// Reach propagates the space `in`, injected into node `at` on port `port`,
+// until it leaves the network at edge ports, is dropped or loops. It returns
+// every distinct egress with the (possibly rewritten) space reaching it.
+//
+// Loop detection follows HSA: a branch terminates when the space arriving at
+// a (node, port) is covered by a space previously seen at the same
+// (node, port) on this branch's path.
+func (n *Network) Reach(at NodeID, port PortID, in Space, opt ReachOptions) []ReachResult {
+	maxHops := opt.MaxHops
+	if maxHops <= 0 {
+		maxHops = 4 * len(n.nodes)
+		if maxHops < 16 {
+			maxHops = 16
+		}
+	}
+	var results []ReachResult
+	type visitKey struct {
+		node NodeID
+		port PortID
+	}
+
+	var walk func(st reachState, seen map[visitKey][]Space)
+	walk = func(st reachState, seen map[visitKey][]Space) {
+		if opt.MaxResults > 0 && len(results) >= opt.MaxResults {
+			return
+		}
+		if len(st.path) >= maxHops {
+			if opt.KeepLoops {
+				results = append(results, ReachResult{
+					EgressNode: st.node, EgressPort: st.inPort,
+					Space: st.space, Path: clonePath(st.path), Looped: true,
+				})
+			}
+			return
+		}
+		vk := visitKey{st.node, st.inPort}
+		for _, prev := range seen[vk] {
+			if prev.Covers(st.space) {
+				if opt.KeepLoops {
+					results = append(results, ReachResult{
+						EgressNode: st.node, EgressPort: st.inPort,
+						Space: st.space, Path: clonePath(st.path), Looped: true,
+					})
+				}
+				return
+			}
+		}
+		tf := n.nodes[st.node]
+		if tf == nil {
+			return
+		}
+		// Extend the seen map for this branch.
+		newSeen := make(map[visitKey][]Space, len(seen)+1)
+		for k, v := range seen {
+			newSeen[k] = v
+		}
+		newSeen[vk] = append(append([]Space(nil), seen[vk]...), st.space)
+
+		for _, em := range tf.Apply(st.space, st.inPort) {
+			hop := Hop{Node: st.node, InPort: st.inPort, OutPort: em.Port}
+			nextPath := append(clonePath(st.path), hop)
+			if peerNode, peerPort, wired := n.Peer(st.node, em.Port); wired {
+				walk(reachState{node: peerNode, inPort: peerPort, space: em.Space, path: nextPath}, newSeen)
+			} else {
+				results = append(results, ReachResult{
+					EgressNode: st.node, EgressPort: em.Port,
+					Space: em.Space, Path: nextPath,
+				})
+			}
+		}
+	}
+
+	walk(reachState{node: at, inPort: port, space: in.Clone()}, map[visitKey][]Space{})
+	return results
+}
+
+func clonePath(p []Hop) []Hop {
+	out := make([]Hop, len(p))
+	copy(out, p)
+	return out
+}
+
+// EgressSet aggregates reach results into the union of spaces per edge port.
+func EgressSet(results []ReachResult) map[NodeID]map[PortID]Space {
+	out := make(map[NodeID]map[PortID]Space)
+	for _, r := range results {
+		if r.Looped {
+			continue
+		}
+		ports := out[r.EgressNode]
+		if ports == nil {
+			ports = make(map[PortID]Space)
+			out[r.EgressNode] = ports
+		}
+		if cur, ok := ports[r.EgressPort]; ok {
+			ports[r.EgressPort] = cur.Union(r.Space)
+		} else {
+			ports[r.EgressPort] = r.Space.Clone()
+		}
+	}
+	return out
+}
+
+// TraversedNodes returns the distinct node ids any non-looped result passes
+// through, in ascending order. Useful for geo queries.
+func TraversedNodes(results []ReachResult) []NodeID {
+	set := make(map[NodeID]struct{})
+	for _, r := range results {
+		if r.Looped {
+			continue
+		}
+		for _, h := range r.Path {
+			set[h.Node] = struct{}{}
+		}
+	}
+	ids := make([]NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// DetectLoops runs reachability with loop retention and returns only the
+// looped branches; an empty result means the injected space cannot loop.
+func (n *Network) DetectLoops(at NodeID, port PortID, in Space) []ReachResult {
+	all := n.Reach(at, port, in, ReachOptions{KeepLoops: true})
+	var loops []ReachResult
+	for _, r := range all {
+		if r.Looped {
+			loops = append(loops, r)
+		}
+	}
+	return loops
+}

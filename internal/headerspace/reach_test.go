@@ -1,0 +1,183 @@
+package headerspace
+
+import "testing"
+
+// lineNetwork builds a chain s1 -> s2 -> ... -> sn where each switch
+// forwards everything from port 1 (left) to port 2 (right). Port 1 of s1 and
+// port 2 of sn are edge ports.
+func lineNetwork(t *testing.T, n, width int) *Network {
+	t.Helper()
+	net := NewNetwork(width)
+	for i := 1; i <= n; i++ {
+		tf := NewTransferFunction(width)
+		if err := tf.AddRule(Rule{Priority: 1, Match: AllX(width), InPorts: []PortID{1}, OutPorts: []PortID{2}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(NodeID(i), tf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		net.AddLink(Link{NodeID(i), 2, NodeID(i + 1), 1})
+	}
+	return net
+}
+
+func TestReachLine(t *testing.T) {
+	net := lineNetwork(t, 4, 8)
+	res := net.Reach(1, 1, FullSpace(8), ReachOptions{})
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	r := res[0]
+	if r.EgressNode != 4 || r.EgressPort != 2 {
+		t.Errorf("egress = (%d,%d), want (4,2)", r.EgressNode, r.EgressPort)
+	}
+	if len(r.Path) != 4 {
+		t.Errorf("path hops = %d, want 4", len(r.Path))
+	}
+	if !r.Space.Equal(FullSpace(8)) {
+		t.Errorf("space transformed unexpectedly: %s", r.Space)
+	}
+}
+
+func TestReachBranching(t *testing.T) {
+	// s1 splits: 1xxxxxxx to port 2 (-> s2), 0xxxxxxx to port 3 (-> s3).
+	width := 8
+	net := NewNetwork(width)
+	s1 := NewTransferFunction(width)
+	mustAdd(t, s1, Rule{Priority: 1, Match: MustParse("1xxxxxxx"), OutPorts: []PortID{2}})
+	mustAdd(t, s1, Rule{Priority: 1, Match: MustParse("0xxxxxxx"), OutPorts: []PortID{3}})
+	fwd := func() *TransferFunction {
+		tf := NewTransferFunction(width)
+		mustAdd(t, tf, Rule{Priority: 1, Match: AllX(width), OutPorts: []PortID{2}})
+		return tf
+	}
+	if err := net.AddNode(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(2, fwd()); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(3, fwd()); err != nil {
+		t.Fatal(err)
+	}
+	net.AddLink(Link{1, 2, 2, 1})
+	net.AddLink(Link{1, 3, 3, 1})
+
+	res := net.Reach(1, 1, FullSpace(width), ReachOptions{})
+	eg := EgressSet(res)
+	if len(eg) != 2 {
+		t.Fatalf("egress nodes = %d, want 2", len(eg))
+	}
+	if s, ok := eg[2][2]; !ok || !s.Equal(sp("1xxxxxxx")) {
+		t.Errorf("node2 egress = %v", eg[2])
+	}
+	if s, ok := eg[3][2]; !ok || !s.Equal(sp("0xxxxxxx")) {
+		t.Errorf("node3 egress = %v", eg[3])
+	}
+}
+
+func TestReachRewriteAlongPath(t *testing.T) {
+	width := 4
+	net := NewNetwork(width)
+	tf := NewTransferFunction(width)
+	// Rewrite low 2 bits to 01 and forward.
+	mustAdd(t, tf, Rule{
+		Priority: 1, Match: AllX(width),
+		Mask: MustParse("0011"), Value: MustParse("xx01"),
+		OutPorts: []PortID{2},
+	})
+	if err := net.AddNode(1, tf); err != nil {
+		t.Fatal(err)
+	}
+	res := net.Reach(1, 1, sp("1x1x"), ReachOptions{})
+	if len(res) != 1 || !res[0].Space.Equal(sp("1x01")) {
+		t.Fatalf("rewrite lost: %+v", res)
+	}
+}
+
+func TestReachLoopDetection(t *testing.T) {
+	// Two switches forwarding everything to each other: pure loop.
+	width := 4
+	net := NewNetwork(width)
+	for i := 1; i <= 2; i++ {
+		tf := NewTransferFunction(width)
+		mustAdd(t, tf, Rule{Priority: 1, Match: AllX(width), InPorts: []PortID{1}, OutPorts: []PortID{2}})
+		if err := net.AddNode(NodeID(i), tf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.AddLink(Link{1, 2, 2, 1})
+	net.AddLink(Link{2, 2, 1, 1})
+
+	res := net.Reach(1, 1, FullSpace(width), ReachOptions{})
+	if len(res) != 0 {
+		t.Errorf("loop produced egress results: %+v", res)
+	}
+	loops := net.DetectLoops(1, 1, FullSpace(width))
+	if len(loops) == 0 {
+		t.Error("DetectLoops found nothing")
+	}
+}
+
+func TestReachDropsUnmatched(t *testing.T) {
+	width := 2
+	net := NewNetwork(width)
+	tf := NewTransferFunction(width)
+	mustAdd(t, tf, Rule{Priority: 1, Match: MustParse("11"), OutPorts: []PortID{2}})
+	if err := net.AddNode(1, tf); err != nil {
+		t.Fatal(err)
+	}
+	res := net.Reach(1, 1, sp("00"), ReachOptions{})
+	if len(res) != 0 {
+		t.Errorf("unmatched space should be dropped, got %+v", res)
+	}
+}
+
+func TestTraversedNodes(t *testing.T) {
+	net := lineNetwork(t, 3, 4)
+	res := net.Reach(1, 1, FullSpace(4), ReachOptions{})
+	nodes := TraversedNodes(res)
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[2] != 3 {
+		t.Errorf("traversed = %v", nodes)
+	}
+}
+
+func TestReachMaxResults(t *testing.T) {
+	net := lineNetwork(t, 2, 4)
+	res := net.Reach(1, 1, FullSpace(4), ReachOptions{MaxResults: 1})
+	if len(res) > 1 {
+		t.Errorf("MaxResults ignored: %d", len(res))
+	}
+}
+
+func TestIsEdgePort(t *testing.T) {
+	net := lineNetwork(t, 2, 4)
+	if net.IsEdgePort(1, 2) {
+		t.Error("(1,2) is wired, not edge")
+	}
+	if !net.IsEdgePort(2, 2) {
+		t.Error("(2,2) should be edge")
+	}
+}
+
+func TestNodeIDsSorted(t *testing.T) {
+	net := NewNetwork(2)
+	for _, id := range []NodeID{7, 3, 5} {
+		if err := net.AddNode(id, NewTransferFunction(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := net.NodeIDs()
+	if len(ids) != 3 || ids[0] != 3 || ids[1] != 5 || ids[2] != 7 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestAddNodeWidthMismatch(t *testing.T) {
+	net := NewNetwork(4)
+	if err := net.AddNode(1, NewTransferFunction(8)); err == nil {
+		t.Error("want width mismatch error")
+	}
+}

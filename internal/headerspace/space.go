@@ -1,0 +1,297 @@
+package headerspace
+
+import (
+	"sort"
+	"strings"
+)
+
+// Space is a union of wildcard expressions over a common width. The zero
+// value denotes the empty set of width 0; construct with NewSpace or the
+// set operations.
+type Space struct {
+	width int
+	terms []Header
+}
+
+// NewSpace returns the space containing exactly the given headers.
+// All headers must share a width; empty headers are dropped.
+func NewSpace(width int, hs ...Header) Space {
+	s := Space{width: width}
+	for _, h := range hs {
+		if h.width == width && !h.IsEmpty() {
+			s.terms = append(s.terms, h.Clone())
+		}
+	}
+	return s
+}
+
+// FullSpace returns the space matching every packet of the given width.
+func FullSpace(width int) Space {
+	return Space{width: width, terms: []Header{AllX(width)}}
+}
+
+// EmptySpace returns the empty space of the given width.
+func EmptySpace(width int) Space {
+	return Space{width: width}
+}
+
+// Width returns the bit width of the space.
+func (s Space) Width() int { return s.width }
+
+// Terms returns a copy of the wildcard expressions in the union.
+func (s Space) Terms() []Header {
+	out := make([]Header, len(s.terms))
+	for i, t := range s.terms {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Size returns the number of union terms (not the number of packets).
+func (s Space) Size() int { return len(s.terms) }
+
+// IsEmpty reports whether the space matches no packet.
+func (s Space) IsEmpty() bool {
+	for _, t := range s.terms {
+		if !t.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s Space) Clone() Space {
+	return Space{width: s.width, terms: s.Terms()}
+}
+
+// Union returns s ∪ o.
+func (s Space) Union(o Space) Space {
+	w := s.width
+	if w == 0 {
+		w = o.width
+	}
+	out := Space{width: w}
+	out.terms = append(out.terms, s.Terms()...)
+	for _, t := range o.terms {
+		if t.width == w && !t.IsEmpty() {
+			out.terms = append(out.terms, t.Clone())
+		}
+	}
+	return out.Compact()
+}
+
+// UnionHeader returns s ∪ {h}.
+func (s Space) UnionHeader(h Header) Space {
+	return s.Union(NewSpace(h.width, h))
+}
+
+// Intersect returns s ∩ o by distributing over the union terms.
+func (s Space) Intersect(o Space) Space {
+	out := Space{width: s.width}
+	for _, a := range s.terms {
+		for _, b := range o.terms {
+			x, err := a.Intersect(b)
+			if err == nil && !x.IsEmpty() {
+				out.terms = append(out.terms, x)
+			}
+		}
+	}
+	return out.Compact()
+}
+
+// IntersectHeader returns s ∩ {h}.
+func (s Space) IntersectHeader(h Header) Space {
+	out := Space{width: s.width}
+	for _, a := range s.terms {
+		x, err := a.Intersect(h)
+		if err == nil && !x.IsEmpty() {
+			out.terms = append(out.terms, x)
+		}
+	}
+	return out
+}
+
+// Subtract returns s \ o.
+func (s Space) Subtract(o Space) Space {
+	out := s.Clone()
+	for _, b := range o.terms {
+		out = out.SubtractHeader(b)
+		if out.IsEmpty() {
+			return EmptySpace(s.width)
+		}
+	}
+	return out.Compact()
+}
+
+// SubtractHeader returns s \ {h}.
+func (s Space) SubtractHeader(h Header) Space {
+	out := Space{width: s.width}
+	for _, a := range s.terms {
+		if !a.Overlaps(h) {
+			out.terms = append(out.terms, a.Clone())
+			continue
+		}
+		diff := a.Subtract(h)
+		out.terms = append(out.terms, diff.terms...)
+	}
+	return out
+}
+
+// Complement returns the set of packets not in s.
+func (s Space) Complement() Space {
+	out := FullSpace(s.width)
+	for _, t := range s.terms {
+		out = out.SubtractHeader(t)
+	}
+	return out.Compact()
+}
+
+// Covers reports whether every packet in o is in s.
+func (s Space) Covers(o Space) bool {
+	return o.Subtract(s).IsEmpty()
+}
+
+// CoversHeader reports whether every packet matched by h is in s.
+func (s Space) CoversHeader(h Header) bool {
+	// Fast path: a single term covering h.
+	for _, t := range s.terms {
+		if t.Covers(h) {
+			return true
+		}
+	}
+	return NewSpace(h.width, h).Subtract(s).IsEmpty()
+}
+
+// Overlaps reports whether s and o share at least one packet.
+func (s Space) Overlaps(o Space) bool {
+	for _, a := range s.terms {
+		for _, b := range o.terms {
+			if a.Overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Equal reports set equality.
+func (s Space) Equal(o Space) bool {
+	return s.Covers(o) && o.Covers(s)
+}
+
+// MatchesValue reports whether the concrete bit string v is in the space.
+func (s Space) MatchesValue(v []byte) bool {
+	for _, t := range s.terms {
+		if t.MatchesValue(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Compact removes empty and subsumed terms and merges pairs of terms that
+// differ in exactly one concrete bit. It returns a space equal to s with at
+// most as many terms.
+func (s Space) Compact() Space {
+	terms := make([]Header, 0, len(s.terms))
+	for _, t := range s.terms {
+		if !t.IsEmpty() {
+			terms = append(terms, t)
+		}
+	}
+	// Sort widest (most wildcards) first so subsumption removal keeps the
+	// most general terms.
+	sort.SliceStable(terms, func(i, j int) bool {
+		return terms[i].CountWildcards() > terms[j].CountWildcards()
+	})
+	kept := terms[:0]
+	for _, t := range terms {
+		subsumed := false
+		for _, k := range kept {
+			if k.Covers(t) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			kept = append(kept, t)
+		}
+	}
+	merged := mergeOnce(kept)
+	for len(merged) < len(kept) {
+		kept = merged
+		merged = mergeOnce(kept)
+	}
+	return Space{width: s.width, terms: merged}
+}
+
+// mergeOnce performs one pass of merging term pairs that differ in exactly
+// one bit where one has 0 and the other 1 (replaceable by x).
+func mergeOnce(terms []Header) []Header {
+	used := make([]bool, len(terms))
+	var out []Header
+	for i := 0; i < len(terms); i++ {
+		if used[i] {
+			continue
+		}
+		mergedAny := false
+		for j := i + 1; j < len(terms); j++ {
+			if used[j] {
+				continue
+			}
+			if m, ok := tryMerge(terms[i], terms[j]); ok {
+				out = append(out, m)
+				used[i], used[j] = true, true
+				mergedAny = true
+				break
+			}
+		}
+		if !mergedAny {
+			out = append(out, terms[i])
+			used[i] = true
+		}
+	}
+	return out
+}
+
+// tryMerge merges two headers differing at exactly one position with
+// complementary concrete bits.
+func tryMerge(a, b Header) (Header, bool) {
+	if a.width != b.width {
+		return Header{}, false
+	}
+	diff := -1
+	for i := 0; i < a.width; i++ {
+		ab, bb := a.Bit(i), b.Bit(i)
+		if ab == bb {
+			continue
+		}
+		if (ab == Bit0 && bb == Bit1) || (ab == Bit1 && bb == Bit0) {
+			if diff >= 0 {
+				return Header{}, false
+			}
+			diff = i
+			continue
+		}
+		return Header{}, false
+	}
+	if diff < 0 {
+		return a.Clone(), true // identical
+	}
+	return a.SetBit(diff, BitX), true
+}
+
+// String renders the space as "{term | term | ...}".
+func (s Space) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, 0, len(s.terms))
+	for _, t := range s.terms {
+		if !t.IsEmpty() {
+			parts = append(parts, t.String())
+		}
+	}
+	return "{" + strings.Join(parts, " | ") + "}"
+}

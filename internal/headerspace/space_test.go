@@ -1,0 +1,138 @@
+package headerspace
+
+import "testing"
+
+func sp(terms ...string) Space {
+	if len(terms) == 0 {
+		return EmptySpace(0)
+	}
+	hs := make([]Header, len(terms))
+	for i, t := range terms {
+		hs[i] = MustParse(t)
+	}
+	return NewSpace(hs[0].Width(), hs...)
+}
+
+func TestSpaceUnionCompact(t *testing.T) {
+	s := sp("10", "11")
+	c := s.Compact()
+	// 10 ∪ 11 merges to 1x.
+	if c.Size() != 1 {
+		t.Fatalf("compacted size = %d (%s), want 1", c.Size(), c)
+	}
+	if !c.Equal(sp("1x")) {
+		t.Errorf("compacted = %s, want {1x}", c)
+	}
+}
+
+func TestSpaceSubsumption(t *testing.T) {
+	s := sp("1x", "10").Compact()
+	if s.Size() != 1 {
+		t.Errorf("subsumed term kept: %s", s)
+	}
+}
+
+func TestSpaceIntersect(t *testing.T) {
+	a := sp("1x", "x0")
+	b := sp("11")
+	got := a.Intersect(b)
+	if !got.Equal(sp("11")) {
+		t.Errorf("got %s, want {11}", got)
+	}
+	if !a.Intersect(EmptySpace(2)).IsEmpty() {
+		t.Error("s ∩ ∅ must be empty")
+	}
+}
+
+func TestSpaceSubtract(t *testing.T) {
+	full := FullSpace(3)
+	got := full.Subtract(sp("1xx"))
+	if !got.Equal(sp("0xx")) {
+		t.Errorf("full \\ 1xx = %s, want {0xx}", got)
+	}
+	// Subtracting everything leaves nothing.
+	if !full.Subtract(FullSpace(3)).IsEmpty() {
+		t.Error("full \\ full should be empty")
+	}
+}
+
+func TestSpaceComplementIdentities(t *testing.T) {
+	s := sp("10x", "0x1")
+	comp := s.Complement()
+	if s.Overlaps(comp) {
+		t.Error("s overlaps its complement")
+	}
+	if !s.Union(comp).Equal(FullSpace(3)) {
+		t.Error("s ∪ ¬s != full")
+	}
+	// Double complement.
+	if !comp.Complement().Equal(s) {
+		t.Errorf("¬¬s = %s, want %s", comp.Complement(), s)
+	}
+}
+
+func TestSpaceCovers(t *testing.T) {
+	if !sp("1x", "0x").Covers(sp("10", "01")) {
+		t.Error("union of halves covers concretes")
+	}
+	if sp("1x").Covers(sp("0x")) {
+		t.Error("1x does not cover 0x")
+	}
+	if !sp("xx").CoversHeader(MustParse("01")) {
+		t.Error("full covers 01")
+	}
+	// Cover requiring multiple terms (no single term covers).
+	if !sp("1x", "0x").CoversHeader(MustParse("xx")) {
+		t.Error("{1x,0x} covers xx via union")
+	}
+}
+
+func TestSpaceEqual(t *testing.T) {
+	a := sp("1x")
+	b := sp("10", "11")
+	if !a.Equal(b) {
+		t.Errorf("%s should equal %s", a, b)
+	}
+	if a.Equal(sp("0x")) {
+		t.Error("distinct spaces reported equal")
+	}
+}
+
+func TestSpaceMatchesValue(t *testing.T) {
+	s := sp("1x0", "001")
+	if !s.MatchesValue([]byte{0, 1, 1}) { // 110
+		t.Error("should match 110")
+	}
+	if !s.MatchesValue([]byte{1, 0, 0}) { // 001
+		t.Error("should match 001")
+	}
+	if s.MatchesValue([]byte{1, 1, 0}) { // 011
+		t.Error("should not match 011")
+	}
+}
+
+func TestNewSpaceDropsEmptyAndMismatched(t *testing.T) {
+	s := NewSpace(2, Empty(2), MustParse("10"), MustParse("111"))
+	if s.Size() != 1 {
+		t.Errorf("size = %d, want 1 (%s)", s.Size(), s)
+	}
+}
+
+func TestSpaceCloneIsolation(t *testing.T) {
+	a := sp("1x")
+	b := a.Clone()
+	b = b.UnionHeader(MustParse("0x"))
+	if a.Size() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	_ = b
+}
+
+func TestTermsReturnsCopies(t *testing.T) {
+	a := sp("1x")
+	terms := a.Terms()
+	terms[0] = terms[0].SetBit(0, Bit0)
+	if !a.Equal(sp("1x")) {
+		t.Error("Terms() must return deep copies")
+	}
+}

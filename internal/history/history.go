@@ -1,0 +1,247 @@
+// Package history keeps a bounded, time-indexed record of configuration
+// snapshots. The paper uses it against short-term reconfiguration attacks:
+// "short term reconfiguration attacks can also be prevented by maintaining
+// some history" (§IV-A), and for attack traceback ("a slightly more complex
+// service may also maintain some history of the recent past", §IV-C).
+package history
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// Source says how a snapshot was obtained.
+type Source uint8
+
+// Snapshot sources.
+const (
+	SourcePassive Source = iota + 1 // flow-monitor event stream
+	SourceActivePoll
+)
+
+// Record is one stored snapshot.
+type Record struct {
+	At         time.Time
+	SnapshotID uint64
+	Source     Source
+	Tables     map[topology.SwitchID][]openflow.FlowEntry
+}
+
+// cloneTables deep-copies a table map.
+func cloneTables(in map[topology.SwitchID][]openflow.FlowEntry) map[topology.SwitchID][]openflow.FlowEntry {
+	out := make(map[topology.SwitchID][]openflow.FlowEntry, len(in))
+	for k, v := range in {
+		out[k] = append([]openflow.FlowEntry(nil), v...)
+	}
+	return out
+}
+
+// Store is a bounded ring of snapshot records. The zero value is unusable;
+// use NewStore.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	records  []Record
+}
+
+// NewStore returns a store retaining up to capacity records.
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{capacity: capacity}
+}
+
+// Append stores a snapshot, evicting the oldest record if full.
+func (s *Store) Append(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Tables = cloneTables(r.Tables)
+	s.records = append(s.records, r)
+	if len(s.records) > s.capacity {
+		s.records = s.records[len(s.records)-s.capacity:]
+	}
+}
+
+// Len returns the number of retained records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Latest returns the most recent record (ok=false if empty).
+func (s *Store) Latest() (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.records) == 0 {
+		return Record{}, false
+	}
+	r := s.records[len(s.records)-1]
+	r.Tables = cloneTables(r.Tables)
+	return r, true
+}
+
+// At returns the latest record not after t (ok=false if none).
+func (s *Store) At(t time.Time) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.records) - 1; i >= 0; i-- {
+		if !s.records[i].At.After(t) {
+			r := s.records[i]
+			r.Tables = cloneTables(r.Tables)
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Range returns copies of all records within [from, to].
+func (s *Store) Range(from, to time.Time) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, r := range s.records {
+		if r.At.Before(from) || r.At.After(to) {
+			continue
+		}
+		c := r
+		c.Tables = cloneTables(r.Tables)
+		out = append(out, c)
+	}
+	return out
+}
+
+// EntryKey fingerprints a flow entry (priority + match + actions + cookie)
+// for churn tracking.
+func EntryKey(sw topology.SwitchID, e openflow.FlowEntry) string {
+	data := openflow.Encode(&openflow.FlowMod{Command: openflow.FlowAdd, Entry: e})
+	h := sha256.Sum256(append(data, byte(sw), byte(sw>>8), byte(sw>>16), byte(sw>>24)))
+	return hex.EncodeToString(h[:12])
+}
+
+// Diff summarizes the table changes between two records.
+type Diff struct {
+	Added   map[topology.SwitchID][]openflow.FlowEntry
+	Removed map[topology.SwitchID][]openflow.FlowEntry
+}
+
+// Total returns the total number of added+removed entries.
+func (d Diff) Total() int {
+	n := 0
+	for _, v := range d.Added {
+		n += len(v)
+	}
+	for _, v := range d.Removed {
+		n += len(v)
+	}
+	return n
+}
+
+// DiffRecords computes the per-switch entry delta from a to b.
+func DiffRecords(a, b Record) Diff {
+	d := Diff{
+		Added:   make(map[topology.SwitchID][]openflow.FlowEntry),
+		Removed: make(map[topology.SwitchID][]openflow.FlowEntry),
+	}
+	switches := make(map[topology.SwitchID]struct{})
+	for sw := range a.Tables {
+		switches[sw] = struct{}{}
+	}
+	for sw := range b.Tables {
+		switches[sw] = struct{}{}
+	}
+	for sw := range switches {
+		aKeys := make(map[string]openflow.FlowEntry)
+		for _, e := range a.Tables[sw] {
+			aKeys[EntryKey(sw, e)] = e
+		}
+		bKeys := make(map[string]openflow.FlowEntry)
+		for _, e := range b.Tables[sw] {
+			bKeys[EntryKey(sw, e)] = e
+		}
+		for k, e := range bKeys {
+			if _, ok := aKeys[k]; !ok {
+				d.Added[sw] = append(d.Added[sw], e)
+			}
+		}
+		for k, e := range aKeys {
+			if _, ok := bKeys[k]; !ok {
+				d.Removed[sw] = append(d.Removed[sw], e)
+			}
+		}
+	}
+	return d
+}
+
+// Churn is a rule that appeared and later disappeared — the signature of a
+// short-term reconfiguration (flap) attack.
+type Churn struct {
+	Switch    topology.SwitchID
+	Entry     openflow.FlowEntry
+	AddedAt   time.Time
+	RemovedAt time.Time
+}
+
+// Lifetime returns how long the churned rule was installed.
+func (c Churn) Lifetime() time.Duration { return c.RemovedAt.Sub(c.AddedAt) }
+
+// ChurnEvents scans the retained records (oldest to newest) for entries
+// that were added in one snapshot and removed in a later one, with a
+// lifetime of at most maxLifetime (0 = unbounded).
+func (s *Store) ChurnEvents(maxLifetime time.Duration) []Churn {
+	s.mu.Lock()
+	records := append([]Record(nil), s.records...)
+	s.mu.Unlock()
+	if len(records) < 2 {
+		return nil
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].At.Before(records[j].At) })
+
+	type liveEntry struct {
+		entry openflow.FlowEntry
+		sw    topology.SwitchID
+		since time.Time
+	}
+	// Entries present in the first snapshot are considered pre-existing
+	// (since = first snapshot time).
+	live := make(map[string]liveEntry)
+	for sw, entries := range records[0].Tables {
+		for _, e := range entries {
+			live[EntryKey(sw, e)] = liveEntry{entry: e, sw: sw, since: records[0].At}
+		}
+	}
+	var churn []Churn
+	for i := 1; i < len(records); i++ {
+		cur := make(map[string]liveEntry)
+		for sw, entries := range records[i].Tables {
+			for _, e := range entries {
+				k := EntryKey(sw, e)
+				if prev, ok := live[k]; ok {
+					cur[k] = prev
+				} else {
+					cur[k] = liveEntry{entry: e, sw: sw, since: records[i].At}
+				}
+			}
+		}
+		// Anything live before but absent now was removed.
+		for k, le := range live {
+			if _, still := cur[k]; still {
+				continue
+			}
+			c := Churn{Switch: le.sw, Entry: le.entry, AddedAt: le.since, RemovedAt: records[i].At}
+			if maxLifetime == 0 || c.Lifetime() <= maxLifetime {
+				churn = append(churn, c)
+			}
+		}
+		live = cur
+	}
+	sort.Slice(churn, func(i, j int) bool { return churn[i].AddedAt.Before(churn[j].AddedAt) })
+	return churn
+}

@@ -1,0 +1,424 @@
+package openflow
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The paper requires "encrypted OpenFlow sessions and a-priori configured
+// switch certificates for authentication" (§III). This file implements that
+// channel: mutual authentication with CA-issued Ed25519 certificates, an
+// X25519 key agreement, and AES-GCM framing.
+
+// Channel errors.
+var (
+	ErrChannelClosed = errors.New("openflow: channel closed")
+	ErrBadCert       = errors.New("openflow: certificate verification failed")
+	ErrBadHandshake  = errors.New("openflow: handshake verification failed")
+)
+
+// Identity is a named Ed25519 key pair (switch or controller).
+type Identity struct {
+	Name string
+	Pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewIdentity generates a fresh identity.
+func NewIdentity(name string) (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate identity: %w", err)
+	}
+	return &Identity{Name: name, Pub: pub, priv: priv}, nil
+}
+
+// Sign signs msg with the identity's private key.
+func (id *Identity) Sign(msg []byte) []byte {
+	return ed25519.Sign(id.priv, msg)
+}
+
+// Certificate binds a name to a public key under a CA signature.
+type Certificate struct {
+	Name string
+	Pub  ed25519.PublicKey
+	Sig  []byte
+}
+
+func certSigningBytes(name string, pub ed25519.PublicKey) []byte {
+	out := make([]byte, 0, 8+len(name)+len(pub))
+	out = append(out, "ofcert.1"...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(name)))
+	out = append(out, name...)
+	out = append(out, pub...)
+	return out
+}
+
+// Verify checks the certificate against the CA public key.
+func (c *Certificate) Verify(caPub ed25519.PublicKey) bool {
+	if len(c.Pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(caPub, certSigningBytes(c.Name, c.Pub), c.Sig)
+}
+
+func (c *Certificate) marshal() []byte {
+	var e enc
+	e.str(c.Name)
+	e.bytesN(c.Pub)
+	e.bytesN(c.Sig)
+	return e.buf
+}
+
+func unmarshalCert(d *dec) Certificate {
+	return Certificate{Name: d.str(), Pub: d.bytesN(), Sig: d.bytesN()}
+}
+
+// CA issues channel certificates. In the paper's deployment the CA role is
+// played by whoever provisions switch certificates (the infrastructure
+// owner), independent of the possibly-compromised control plane.
+type CA struct {
+	Pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewCA generates a certificate authority.
+func NewCA() (*CA, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate ca: %w", err)
+	}
+	return &CA{Pub: pub, priv: priv}, nil
+}
+
+// Issue signs a certificate for the identity.
+func (ca *CA) Issue(id *Identity) Certificate {
+	return Certificate{
+		Name: id.Name,
+		Pub:  id.Pub,
+		Sig:  ed25519.Sign(ca.priv, certSigningBytes(id.Name, id.Pub)),
+	}
+}
+
+// rawPipe is one direction of an in-memory byte-message pipe.
+type rawPipe struct {
+	ch chan []byte
+}
+
+// RawConn is an unauthenticated duplex byte-message connection (the
+// "TCP socket" of the simulation). Both ends share a single done signal:
+// closing either end tears the connection down, like a TCP close. The data
+// channels themselves are never closed, so concurrent senders can never hit
+// a send-on-closed-channel race.
+type RawConn struct {
+	send *rawPipe
+	recv *rawPipe
+
+	done      chan struct{} // shared by both ends
+	closeOnce *sync.Once    // shared by both ends
+}
+
+// Pipe returns the two ends of an in-memory duplex connection. The buffer
+// absorbs control-plane bursts (flow-monitor event storms) without
+// deadlocking the switch pipeline against a slow controller.
+func Pipe() (*RawConn, *RawConn) {
+	const depth = 1024
+	ab := &rawPipe{ch: make(chan []byte, depth)}
+	ba := &rawPipe{ch: make(chan []byte, depth)}
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &RawConn{send: ab, recv: ba, done: done, closeOnce: once}
+	b := &RawConn{send: ba, recv: ab, done: done, closeOnce: once}
+	return a, b
+}
+
+// Send transmits one message, blocking if the peer is slow.
+func (c *RawConn) Send(data []byte) error {
+	select {
+	case <-c.done:
+		return ErrChannelClosed
+	default:
+	}
+	select {
+	case c.send.ch <- data:
+		return nil
+	case <-c.done:
+		return ErrChannelClosed
+	}
+}
+
+// Recv blocks for the next message; io.EOF after close. Messages queued
+// before the close are still drained.
+func (c *RawConn) Recv() ([]byte, error) {
+	select {
+	case data := <-c.recv.ch:
+		return data, nil
+	case <-c.done:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case data := <-c.recv.ch:
+			return data, nil
+		default:
+		}
+		return nil, io.EOF
+	}
+}
+
+// Close tears down the connection; both ends' Recv unblock with EOF once
+// the queues drain.
+func (c *RawConn) Close() {
+	c.closeOnce.Do(func() { close(c.done) })
+}
+
+// SecureConn is an authenticated, encrypted OpenFlow message channel.
+type SecureConn struct {
+	raw      *RawConn
+	peerName string
+
+	sendAEAD cipher.AEAD
+	recvAEAD cipher.AEAD
+
+	sendMu  sync.Mutex
+	sendCtr uint64
+	recvMu  sync.Mutex
+	recvCtr uint64
+}
+
+// PeerName returns the authenticated name of the remote end.
+func (s *SecureConn) PeerName() string { return s.peerName }
+
+// handshakeMsg is the single round-trip handshake payload.
+type handshakeMsg struct {
+	cert   Certificate
+	ephPub []byte
+	sig    []byte // present only in round 2/3
+}
+
+func (h *handshakeMsg) marshal() []byte {
+	var e enc
+	e.bytesN(h.cert.marshal())
+	e.bytesN(h.ephPub)
+	e.bytesN(h.sig)
+	return e.buf
+}
+
+func unmarshalHandshake(data []byte) (*handshakeMsg, error) {
+	d := &dec{buf: data}
+	certBytes := d.bytesN()
+	eph := d.bytesN()
+	sig := d.bytesN()
+	if d.err != nil {
+		return nil, d.err
+	}
+	cd := &dec{buf: certBytes}
+	cert := unmarshalCert(cd)
+	if cd.err != nil {
+		return nil, cd.err
+	}
+	return &handshakeMsg{cert: cert, ephPub: eph, sig: sig}, nil
+}
+
+func transcript(initEph, respEph []byte) []byte {
+	out := make([]byte, 0, 8+len(initEph)+len(respEph))
+	out = append(out, "ofhs.1"...)
+	out = append(out, initEph...)
+	out = append(out, respEph...)
+	return out
+}
+
+// SecureClient runs the initiator side of the handshake over raw.
+func SecureClient(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.PublicKey) (*SecureConn, error) {
+	return handshake(raw, id, cert, caPub, true)
+}
+
+// SecureServer runs the responder side of the handshake over raw.
+func SecureServer(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.PublicKey) (*SecureConn, error) {
+	return handshake(raw, id, cert, caPub, false)
+}
+
+func handshake(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.PublicKey, initiator bool) (*SecureConn, error) {
+	curve := ecdh.X25519()
+	ephPriv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("handshake keygen: %w", err)
+	}
+	ephPub := ephPriv.PublicKey().Bytes()
+
+	var peer *handshakeMsg
+	var initEph, respEph []byte
+	if initiator {
+		// Round 1: send cert + eph.
+		if err := raw.Send((&handshakeMsg{cert: cert, ephPub: ephPub}).marshal()); err != nil {
+			return nil, err
+		}
+		data, err := raw.Recv()
+		if err != nil {
+			return nil, err
+		}
+		peer, err = unmarshalHandshake(data)
+		if err != nil {
+			return nil, err
+		}
+		initEph, respEph = ephPub, peer.ephPub
+		// Round 3: prove possession of our identity key over the transcript.
+		final := &handshakeMsg{cert: cert, ephPub: ephPub, sig: id.Sign(transcript(initEph, respEph))}
+		if err := raw.Send(final.marshal()); err != nil {
+			return nil, err
+		}
+	} else {
+		data, err := raw.Recv()
+		if err != nil {
+			return nil, err
+		}
+		peer, err = unmarshalHandshake(data)
+		if err != nil {
+			return nil, err
+		}
+		initEph, respEph = peer.ephPub, ephPub
+		reply := &handshakeMsg{cert: cert, ephPub: ephPub, sig: id.Sign(transcript(initEph, respEph))}
+		if err := raw.Send(reply.marshal()); err != nil {
+			return nil, err
+		}
+		final, err := raw.Recv()
+		if err != nil {
+			return nil, err
+		}
+		fm, err := unmarshalHandshake(final)
+		if err != nil {
+			return nil, err
+		}
+		peer.sig = fm.sig
+	}
+
+	if !peer.cert.Verify(caPub) {
+		return nil, ErrBadCert
+	}
+	if !ed25519.Verify(peer.cert.Pub, transcript(initEph, respEph), peer.sig) {
+		return nil, ErrBadHandshake
+	}
+
+	peerKey, err := curve.NewPublicKey(peer.ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("peer ephemeral key: %w", err)
+	}
+	shared, err := ephPriv.ECDH(peerKey)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	ikSend, ikRecv := deriveKeys(shared, initEph, respEph, initiator)
+	sendAEAD, err := newAEAD(ikSend)
+	if err != nil {
+		return nil, err
+	}
+	recvAEAD, err := newAEAD(ikRecv)
+	if err != nil {
+		return nil, err
+	}
+	return &SecureConn{
+		raw:      raw,
+		peerName: peer.cert.Name,
+		sendAEAD: sendAEAD,
+		recvAEAD: recvAEAD,
+	}, nil
+}
+
+func deriveKeys(shared, initEph, respEph []byte, initiator bool) (sendKey, recvKey []byte) {
+	mix := func(label byte) []byte {
+		h := sha256.New()
+		h.Write(shared)
+		h.Write(initEph)
+		h.Write(respEph)
+		h.Write([]byte{label})
+		return h.Sum(nil)
+	}
+	i2r := mix(1) // initiator → responder
+	r2i := mix(2)
+	if initiator {
+		return i2r, r2i
+	}
+	return r2i, i2r
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:32])
+	if err != nil {
+		return nil, fmt.Errorf("aead: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// Send encrypts and transmits one OpenFlow message.
+func (s *SecureConn) Send(m Message) error {
+	plain := Encode(m)
+	s.sendMu.Lock()
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], s.sendCtr)
+	s.sendCtr++
+	ct := s.sendAEAD.Seal(nonce, nonce, plain, nil)
+	s.sendMu.Unlock()
+	return s.raw.Send(ct)
+}
+
+// Recv receives and decrypts the next OpenFlow message. It enforces nonce
+// monotonicity, so replayed or reordered ciphertexts fail.
+func (s *SecureConn) Recv() (Message, error) {
+	data, err := s.raw.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 12 {
+		return nil, ErrShortMessage
+	}
+	nonce, ct := data[:12], data[12:]
+	s.recvMu.Lock()
+	want := s.recvCtr
+	got := binary.BigEndian.Uint64(nonce[4:])
+	if got != want {
+		s.recvMu.Unlock()
+		return nil, fmt.Errorf("openflow: nonce replay/reorder (got %d want %d)", got, want)
+	}
+	s.recvCtr++
+	s.recvMu.Unlock()
+	plain, err := s.recvAEAD.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: decrypt: %w", err)
+	}
+	m, _, err := Decode(plain)
+	return m, err
+}
+
+// Close tears down the underlying connection.
+func (s *SecureConn) Close() { s.raw.Close() }
+
+// ConnectSecure is a convenience that wires a Pipe and runs both handshake
+// sides concurrently, returning the two authenticated ends.
+func ConnectSecure(a *Identity, aCert Certificate, b *Identity, bCert Certificate, caPub ed25519.PublicKey) (*SecureConn, *SecureConn, error) {
+	rawA, rawB := Pipe()
+	type result struct {
+		conn *SecureConn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := SecureServer(rawB, b, bCert, caPub)
+		ch <- result{conn, err}
+	}()
+	connA, errA := SecureClient(rawA, a, aCert, caPub)
+	resB := <-ch
+	if errA != nil {
+		return nil, nil, errA
+	}
+	if resB.err != nil {
+		return nil, nil, resB.err
+	}
+	return connA, resB.conn, nil
+}

@@ -1,0 +1,346 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Codec errors.
+var (
+	ErrShortMessage = errors.New("openflow: short message")
+	ErrBadVersion   = errors.New("openflow: bad version")
+	ErrUnknownType  = errors.New("openflow: unknown message type")
+)
+
+const envelopeLen = 1 + 1 + 4 // version, type, body length
+
+// Encode serializes a message with its envelope.
+func Encode(m Message) []byte {
+	body := encodeBody(m)
+	out := make([]byte, envelopeLen+len(body))
+	out[0] = Version
+	out[1] = byte(m.Type())
+	binary.BigEndian.PutUint32(out[2:], uint32(len(body)))
+	copy(out[envelopeLen:], body)
+	return out
+}
+
+// Decode parses one message from data and returns it along with the number
+// of bytes consumed, allowing streams of concatenated messages.
+func Decode(data []byte) (Message, int, error) {
+	if len(data) < envelopeLen {
+		return nil, 0, ErrShortMessage
+	}
+	if data[0] != Version {
+		return nil, 0, ErrBadVersion
+	}
+	bodyLen := int(binary.BigEndian.Uint32(data[2:]))
+	total := envelopeLen + bodyLen
+	if len(data) < total {
+		return nil, 0, ErrShortMessage
+	}
+	m, err := decodeBody(MsgType(data[1]), data[envelopeLen:total])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+// enc is a byte-appending big-endian encoder.
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *enc) bytesN(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *enc) str(s string) { e.bytesN([]byte(s)) }
+
+func (e *enc) bool(b bool) {
+	if b {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// dec is a big-endian decoder with a sticky error.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.err = ErrShortMessage
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) bytesN() []byte {
+	n := int(d.u32())
+	if !d.need(n) {
+		return nil
+	}
+	out := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return out
+}
+
+func (d *dec) str() string { return string(d.bytesN()) }
+
+func (d *dec) bool() bool { return d.u8() == 1 }
+
+func encodeMatch(e *enc, m Match) {
+	e.u32(m.InPort)
+	e.u16(uint16(len(m.Fields)))
+	for _, f := range m.Fields {
+		e.u8(uint8(f.Field))
+		e.u64(f.Value)
+		e.u64(f.Mask)
+	}
+}
+
+func decodeMatch(d *dec) Match {
+	m := Match{InPort: d.u32()}
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Fields = append(m.Fields, FieldMatch{
+			Field: wire.Field(d.u8()),
+			Value: d.u64(),
+			Mask:  d.u64(),
+		})
+	}
+	return m
+}
+
+func encodeActions(e *enc, as []Action) {
+	e.u16(uint16(len(as)))
+	for _, a := range as {
+		e.u8(uint8(a.Type))
+		e.u32(a.Port)
+		e.u8(uint8(a.Field))
+		e.u64(a.Value)
+	}
+}
+
+func decodeActions(d *dec) []Action {
+	n := int(d.u16())
+	var as []Action
+	for i := 0; i < n && d.err == nil; i++ {
+		as = append(as, Action{
+			Type:  ActionType(d.u8()),
+			Port:  d.u32(),
+			Field: wire.Field(d.u8()),
+			Value: d.u64(),
+		})
+	}
+	return as
+}
+
+func encodeEntry(e *enc, fe FlowEntry) {
+	e.u16(fe.Priority)
+	encodeMatch(e, fe.Match)
+	encodeActions(e, fe.Actions)
+	e.u64(fe.Cookie)
+	e.u16(fe.IdleTimeout)
+	e.u16(fe.HardTimeout)
+	e.u32(fe.MeterID)
+}
+
+func decodeEntry(d *dec) FlowEntry {
+	return FlowEntry{
+		Priority:    d.u16(),
+		Match:       decodeMatch(d),
+		Actions:     decodeActions(d),
+		Cookie:      d.u64(),
+		IdleTimeout: d.u16(),
+		HardTimeout: d.u16(),
+		MeterID:     d.u32(),
+	}
+}
+
+func encodeBody(m Message) []byte {
+	var e enc
+	switch v := m.(type) {
+	case *Hello:
+		e.u32(v.XID)
+		e.u64(v.DatapathID)
+	case *EchoRequest:
+		e.u32(v.XID)
+		e.bytesN(v.Data)
+	case *EchoReply:
+		e.u32(v.XID)
+		e.bytesN(v.Data)
+	case *ErrorMsg:
+		e.u32(v.XID)
+		e.u16(v.Code)
+		e.str(v.Reason)
+	case *FlowMod:
+		e.u32(v.XID)
+		e.u8(uint8(v.Command))
+		encodeEntry(&e, v.Entry)
+	case *PacketIn:
+		e.u32(v.XID)
+		e.u8(uint8(v.Reason))
+		e.u32(v.InPort)
+		e.u64(v.Cookie)
+		e.bytesN(v.Data)
+	case *PacketOut:
+		e.u32(v.XID)
+		e.u32(v.InPort)
+		encodeActions(&e, v.Actions)
+		e.bytesN(v.Data)
+	case *FlowMonitorRequest:
+		e.u32(v.XID)
+		e.u32(v.MonitorID)
+	case *FlowMonitorReply:
+		e.u32(v.XID)
+		e.u32(v.MonitorID)
+		e.u8(uint8(v.Kind))
+		encodeEntry(&e, v.Entry)
+		e.u64(v.Seq)
+	case *StatsRequest:
+		e.u32(v.XID)
+	case *StatsReply:
+		e.u32(v.XID)
+		e.u64(v.DatapathID)
+		e.u16(uint16(len(v.Entries)))
+		for _, fe := range v.Entries {
+			encodeEntry(&e, fe)
+		}
+		e.u16(uint16(len(v.Ports)))
+		for _, p := range v.Ports {
+			e.u32(p)
+		}
+		e.u16(uint16(len(v.Meters)))
+		for _, mc := range v.Meters {
+			e.u32(mc.MeterID)
+			e.u32(mc.RateKbps)
+			e.u32(mc.BurstKB)
+		}
+		e.u64(v.TableSeq)
+	case *BarrierRequest:
+		e.u32(v.XID)
+	case *BarrierReply:
+		e.u32(v.XID)
+	case *PortStatus:
+		e.u32(v.XID)
+		e.u32(v.Port)
+		e.bool(v.Up)
+	case *MeterMod:
+		e.u32(v.XID)
+		e.u8(uint8(v.Command))
+		e.u32(v.Config.MeterID)
+		e.u32(v.Config.RateKbps)
+		e.u32(v.Config.BurstKB)
+	default:
+		// Unknown concrete type: encode nothing; Decode will fail loudly.
+	}
+	return e.buf
+}
+
+func decodeBody(t MsgType, body []byte) (Message, error) {
+	d := &dec{buf: body}
+	var m Message
+	switch t {
+	case TypeHello:
+		m = &Hello{XID: d.u32(), DatapathID: d.u64()}
+	case TypeEchoRequest:
+		m = &EchoRequest{XID: d.u32(), Data: d.bytesN()}
+	case TypeEchoReply:
+		m = &EchoReply{XID: d.u32(), Data: d.bytesN()}
+	case TypeError:
+		m = &ErrorMsg{XID: d.u32(), Code: d.u16(), Reason: d.str()}
+	case TypeFlowMod:
+		m = &FlowMod{XID: d.u32(), Command: FlowModCommand(d.u8()), Entry: decodeEntry(d)}
+	case TypePacketIn:
+		m = &PacketIn{XID: d.u32(), Reason: PacketInReason(d.u8()), InPort: d.u32(), Cookie: d.u64(), Data: d.bytesN()}
+	case TypePacketOut:
+		m = &PacketOut{XID: d.u32(), InPort: d.u32(), Actions: decodeActions(d), Data: d.bytesN()}
+	case TypeFlowMonitorRequest:
+		m = &FlowMonitorRequest{XID: d.u32(), MonitorID: d.u32()}
+	case TypeFlowMonitorReply:
+		m = &FlowMonitorReply{XID: d.u32(), MonitorID: d.u32(), Kind: FlowEventKind(d.u8()), Entry: decodeEntry(d), Seq: d.u64()}
+	case TypeStatsRequest:
+		m = &StatsRequest{XID: d.u32()}
+	case TypeStatsReply:
+		sr := &StatsReply{XID: d.u32(), DatapathID: d.u64()}
+		n := int(d.u16())
+		for i := 0; i < n && d.err == nil; i++ {
+			sr.Entries = append(sr.Entries, decodeEntry(d))
+		}
+		np := int(d.u16())
+		for i := 0; i < np && d.err == nil; i++ {
+			sr.Ports = append(sr.Ports, d.u32())
+		}
+		nm := int(d.u16())
+		for i := 0; i < nm && d.err == nil; i++ {
+			sr.Meters = append(sr.Meters, MeterConfig{
+				MeterID: d.u32(), RateKbps: d.u32(), BurstKB: d.u32(),
+			})
+		}
+		sr.TableSeq = d.u64()
+		m = sr
+	case TypeBarrierRequest:
+		m = &BarrierRequest{XID: d.u32()}
+	case TypeBarrierReply:
+		m = &BarrierReply{XID: d.u32()}
+	case TypePortStatus:
+		m = &PortStatus{XID: d.u32(), Port: d.u32(), Up: d.bool()}
+	case TypeMeterMod:
+		m = &MeterMod{XID: d.u32(), Command: MeterModCommand(d.u8()), Config: MeterConfig{
+			MeterID: d.u32(), RateKbps: d.u32(), BurstKB: d.u32(),
+		}}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}

@@ -1,0 +1,174 @@
+package openflow
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func sampleEntry() FlowEntry {
+	return FlowEntry{
+		Priority: 100,
+		Match: Match{
+			InPort: 3,
+			Fields: []FieldMatch{
+				{Field: wire.FieldIPDst, Value: uint64(wire.IPv4(10, 0, 1, 0)), Mask: 0xFFFFFF00},
+				{Field: wire.FieldIPProto, Value: uint64(wire.IPProtoUDP), Mask: 0xFF},
+			},
+		},
+		Actions: []Action{Output(7), SetField(wire.FieldVLAN, 42)},
+		Cookie:  0xC00C1E,
+	}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data := Encode(m)
+	got, n, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", m.Type(), err)
+	}
+	if n != len(data) {
+		t.Fatalf("consumed %d of %d bytes", n, len(data))
+	}
+	return got
+}
+
+func TestEncodeDecodeAllTypes(t *testing.T) {
+	msgs := []Message{
+		&Hello{XID: 1, DatapathID: 99},
+		&EchoRequest{XID: 2, Data: []byte("ping")},
+		&EchoReply{XID: 2, Data: []byte("ping")},
+		&ErrorMsg{XID: 3, Code: ErrCodeBadMatch, Reason: "bad match"},
+		&FlowMod{XID: 4, Command: FlowAdd, Entry: sampleEntry()},
+		&PacketIn{XID: 5, Reason: ReasonNoMatch, InPort: 2, Cookie: 77, Data: []byte{1, 2, 3}},
+		&PacketOut{XID: 6, InPort: AnyPort, Actions: []Action{Output(4)}, Data: []byte{9}},
+		&FlowMonitorRequest{XID: 7, MonitorID: 1},
+		&FlowMonitorReply{XID: 8, MonitorID: 1, Kind: FlowEventAdded, Entry: sampleEntry(), Seq: 12},
+		&StatsRequest{XID: 9},
+		&StatsReply{XID: 10, DatapathID: 5, Entries: []FlowEntry{sampleEntry()}, Ports: []uint32{1, 2, 3}, TableSeq: 44},
+		&BarrierRequest{XID: 11},
+		&BarrierReply{XID: 11},
+		&PortStatus{XID: 12, Port: 3, Up: true},
+		&MeterMod{XID: 13, Command: MeterAdd, Config: MeterConfig{MeterID: 9, RateKbps: 512, BurstKB: 64}},
+		&StatsReply{XID: 14, DatapathID: 5, Entries: []FlowEntry{sampleEntry()},
+			Ports: []uint32{1}, Meters: []MeterConfig{{MeterID: 2, RateKbps: 100, BurstKB: 8}}, TableSeq: 9},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	a := Encode(&Hello{XID: 1})
+	b := Encode(&BarrierRequest{XID: 2})
+	stream := append(append([]byte{}, a...), b...)
+	m1, n1, err := Decode(stream)
+	if err != nil || m1.Type() != TypeHello {
+		t.Fatalf("first: %v %v", m1, err)
+	}
+	m2, n2, err := Decode(stream[n1:])
+	if err != nil || m2.Type() != TypeBarrierRequest {
+		t.Fatalf("second: %v %v", m2, err)
+	}
+	if n1+n2 != len(stream) {
+		t.Errorf("consumed %d, want %d", n1+n2, len(stream))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	bad := Encode(&Hello{XID: 1})
+	bad[0] = 0x01
+	if _, _, err := Decode(bad); err != ErrBadVersion {
+		t.Errorf("version check: %v", err)
+	}
+	unknown := Encode(&Hello{XID: 1})
+	unknown[1] = 0xEE
+	if _, _, err := Decode(unknown); err == nil {
+		t.Error("unknown type should fail")
+	}
+	short := Encode(&FlowMod{XID: 4, Command: FlowAdd, Entry: sampleEntry()})
+	if _, _, err := Decode(short[:len(short)-3]); err == nil {
+		t.Error("truncated body should fail")
+	}
+}
+
+func TestMatchToHeader(t *testing.T) {
+	m := Match{Fields: []FieldMatch{
+		{Field: wire.FieldIPDst, Value: uint64(wire.IPv4(10, 0, 1, 2)), Mask: 0xFFFFFFFF},
+	}}
+	h := m.ToHeader()
+	pkt := &wire.Packet{EthType: wire.EthTypeIPv4, IPDst: wire.IPv4(10, 0, 1, 2)}
+	if !h.MatchesValue(wire.PacketBits(pkt)) {
+		t.Error("header should match the packet")
+	}
+	pkt.IPDst = wire.IPv4(10, 0, 1, 3)
+	if h.MatchesValue(wire.PacketBits(pkt)) {
+		t.Error("header should not match a different dst")
+	}
+}
+
+func TestMatchesPacket(t *testing.T) {
+	m := Match{
+		InPort: 2,
+		Fields: []FieldMatch{
+			{Field: wire.FieldL4Dst, Value: uint64(wire.PortRVaaSQuery), Mask: 0xFFFF},
+			{Field: wire.FieldIPProto, Value: uint64(wire.IPProtoUDP), Mask: 0xFF},
+		},
+	}
+	p := &wire.Packet{
+		EthType: wire.EthTypeIPv4, IPProto: wire.IPProtoUDP, L4Dst: wire.PortRVaaSQuery,
+	}
+	if !m.MatchesPacket(p, 2) {
+		t.Error("should match on port 2")
+	}
+	if m.MatchesPacket(p, 3) {
+		t.Error("should not match on port 3")
+	}
+	p.L4Dst = 80
+	if m.MatchesPacket(p, 2) {
+		t.Error("should not match different dst port")
+	}
+}
+
+func TestMatchAllMatchesEverything(t *testing.T) {
+	m := MatchAll()
+	p := &wire.Packet{EthType: wire.EthTypeIPv4, IPDst: 1}
+	if !m.MatchesPacket(p, 99) {
+		t.Error("MatchAll should match")
+	}
+	if m.HasInPort() {
+		t.Error("MatchAll has no in-port constraint")
+	}
+}
+
+func TestOutputPorts(t *testing.T) {
+	e := sampleEntry()
+	ports := e.OutputPorts()
+	if len(ports) != 1 || ports[0] != 7 {
+		t.Errorf("ports = %v", ports)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := TypeHello; mt <= TypePortStatus; mt++ {
+		if mt.String() == "" {
+			t.Errorf("type %d unnamed", mt)
+		}
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	m := &FlowMod{XID: 4, Command: FlowAdd, Entry: sampleEntry()}
+	if !bytes.Equal(Encode(m), Encode(m)) {
+		t.Error("encoding must be deterministic")
+	}
+}

@@ -1,0 +1,414 @@
+// Package rvaas implements the paper's primary contribution: the
+// Routing-Verification-as-a-Service controller. It is a stand-alone,
+// enclave-hosted OpenFlow controller that (1) monitors switch
+// configurations passively and at randomized active-poll times, (2)
+// verifies routing properties in the logical space using header space
+// analysis, and (3) runs in-band authentication tests against the endpoints
+// the logical analysis discovers, closing the loop between configuration
+// and physical reality (paper §IV).
+package rvaas
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/history"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// CodeIdentity is the canonical code identity string measured by the
+// enclave; clients pin MeasurementOf(CodeIdentity).
+const CodeIdentity = "rvaas-controller-v1"
+
+// CookieRVaaS marks RVaaS's own interception rules so it can detect
+// tampering with them.
+const CookieRVaaS uint64 = 0x5AA5_0000_0000
+
+// interceptPriority outranks everything else so client messages always
+// reach RVaaS.
+const interceptPriority uint16 = 0xFFF0
+
+// Config tunes a Controller.
+type Config struct {
+	// Topology is the trusted wiring plan (paper §III: "internal network
+	// ports are known, and follow a well-defined wiring plan").
+	Topology *topology.Topology
+	// Platform hosts the enclave.
+	Platform *enclave.Platform
+	// PollInterval is the mean period of active state polls; 0 disables the
+	// background poller (PollOnce can still be called manually).
+	PollInterval time.Duration
+	// RandomizePolls draws each inter-poll gap uniformly from
+	// [PollInterval/2, 3*PollInterval/2] ("the latter however needs to
+	// happen at random times, which are hard to guess for the adversary",
+	// §IV-A). When false, polls are strictly periodic — the ablation the
+	// E5 experiment measures.
+	RandomizePolls bool
+	// AuthTimeout bounds in-band authentication collection per query.
+	AuthTimeout time.Duration
+	// HistoryDepth is the number of snapshots retained.
+	HistoryDepth int
+	// Seed makes the poll-time randomness reproducible in experiments.
+	Seed int64
+	// Clock is injectable for simulated-time experiments; defaults to
+	// time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.AuthTimeout == 0 {
+		c.AuthTimeout = 200 * time.Millisecond
+	}
+	if c.HistoryDepth == 0 {
+		c.HistoryDepth = 256
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Stats counts controller activity for the monitoring experiments.
+type Stats struct {
+	PassiveEvents   uint64
+	Resyncs         uint64
+	ActivePolls     uint64
+	QueriesServed   uint64
+	AuthRequested   uint64
+	AuthReceived    uint64
+	PacketIns       uint64
+	ResponsesSigned uint64
+}
+
+// Controller is one RVaaS instance.
+type Controller struct {
+	cfg     Config
+	enclave *enclave.Enclave
+	topo    *topology.Topology
+	snap    *snapshotStore
+	hist    *history.Store
+	rng     *rand.Rand
+
+	mu          sync.Mutex
+	sessions    map[topology.SwitchID]*session
+	clients     map[uint64]ed25519.PublicKey
+	pending     map[uint64]*pendingQuery // by query nonce
+	waiters     map[uint32]chan openflow.Message
+	nextXID     uint32
+	stats       Stats
+	peers       map[string]Federation
+	peerEntries map[string]topology.Endpoint
+	peerNames   map[string]string
+	// probe bookkeeping for active wiring verification.
+	probeExpect  map[uint64]topology.Endpoint
+	probeConfirm map[uint64]topology.Endpoint
+	probeNext    uint64
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type session struct {
+	sw   topology.SwitchID
+	conn *openflow.SecureConn
+	done chan struct{}
+}
+
+// New creates a controller and launches its enclave.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topology == nil {
+		return nil, errors.New("rvaas: config needs a topology")
+	}
+	if cfg.Platform == nil {
+		return nil, errors.New("rvaas: config needs an enclave platform")
+	}
+	encl, err := cfg.Platform.Launch([]byte(CodeIdentity))
+	if err != nil {
+		return nil, fmt.Errorf("rvaas: launch enclave: %w", err)
+	}
+	return &Controller{
+		cfg:          cfg,
+		enclave:      encl,
+		topo:         cfg.Topology,
+		snap:         newSnapshotStore(),
+		hist:         history.NewStore(cfg.HistoryDepth),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		sessions:     make(map[topology.SwitchID]*session),
+		clients:      make(map[uint64]ed25519.PublicKey),
+		pending:      make(map[uint64]*pendingQuery),
+		waiters:      make(map[uint32]chan openflow.Message),
+		peers:        make(map[string]Federation),
+		peerEntries:  make(map[string]topology.Endpoint),
+		peerNames:    make(map[string]string),
+		probeExpect:  make(map[uint64]topology.Endpoint),
+		probeConfirm: make(map[uint64]topology.Endpoint),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}, nil
+}
+
+// PublicKey returns the enclave-held response signing key.
+func (c *Controller) PublicKey() ed25519.PublicKey { return c.enclave.PublicKey() }
+
+// KeyQuote returns the attestation quote binding the signing key to the
+// RVaaS code measurement.
+func (c *Controller) KeyQuote() *enclave.Quote { return c.enclave.KeyQuote() }
+
+// Measurement returns the enclave measurement clients should pin.
+func Measurement() enclave.Measurement {
+	return enclave.MeasurementOf([]byte(CodeIdentity))
+}
+
+// RegisterClient records a client's public key for auth-reply verification.
+func (c *Controller) RegisterClient(id uint64, pub ed25519.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clients[id] = append(ed25519.PublicKey(nil), pub...)
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// History exposes the snapshot history (read-only use).
+func (c *Controller) History() *history.Store { return c.hist }
+
+// SnapshotID returns the current configuration version.
+func (c *Controller) SnapshotID() uint64 { return c.snap.snapshotID() }
+
+// Attach connects the controller to one switch over an established secure
+// channel. It subscribes to flow-monitor events, installs the in-band
+// interception rules, performs an initial full-state sync, and starts the
+// session reader.
+func (c *Controller) Attach(sw topology.SwitchID, conn *openflow.SecureConn) error {
+	sess := &session{sw: sw, conn: conn, done: make(chan struct{})}
+	c.mu.Lock()
+	if _, dup := c.sessions[sw]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("rvaas: switch %d already attached", sw)
+	}
+	c.sessions[sw] = sess
+	c.mu.Unlock()
+
+	if err := conn.Send(&openflow.Hello{XID: c.xid()}); err != nil {
+		return fmt.Errorf("rvaas: hello to %d: %w", sw, err)
+	}
+	if err := conn.Send(&openflow.FlowMonitorRequest{XID: c.xid(), MonitorID: uint32(sw)}); err != nil {
+		return fmt.Errorf("rvaas: monitor subscribe %d: %w", sw, err)
+	}
+	for _, fm := range c.interceptionRules() {
+		fm.XID = c.xid()
+		if err := conn.Send(fm); err != nil {
+			return fmt.Errorf("rvaas: install interception on %d: %w", sw, err)
+		}
+	}
+	c.wg.Add(1)
+	go c.readLoop(sess)
+
+	// Initial sync after the reader is running so the reply is routed.
+	if err := c.pollSwitch(sw, 2*time.Second); err != nil {
+		return fmt.Errorf("rvaas: initial sync %d: %w", sw, err)
+	}
+	return nil
+}
+
+// interceptionRules are the magic-header rules RVaaS installs on every
+// switch so client queries and auth replies are reported as Packet-Ins
+// (paper §IV-A3).
+func (c *Controller) interceptionRules() []*openflow.FlowMod {
+	mkUDP := func(dstPort uint16, tag uint64) *openflow.FlowMod {
+		return &openflow.FlowMod{
+			Command: openflow.FlowAdd,
+			Entry: openflow.FlowEntry{
+				Priority: interceptPriority,
+				Match: openflow.Match{Fields: []openflow.FieldMatch{
+					{Field: wire.FieldIPProto, Value: uint64(wire.IPProtoUDP), Mask: 0xFF},
+					{Field: wire.FieldL4Dst, Value: uint64(dstPort), Mask: 0xFFFF},
+				}},
+				Actions: []openflow.Action{openflow.Output(openflow.ControllerPort)},
+				Cookie:  CookieRVaaS | tag,
+			},
+		}
+	}
+	probe := &openflow.FlowMod{
+		Command: openflow.FlowAdd,
+		Entry: openflow.FlowEntry{
+			Priority: interceptPriority,
+			Match: openflow.Match{Fields: []openflow.FieldMatch{
+				{Field: wire.FieldEthType, Value: uint64(wire.EthTypeProbe), Mask: 0xFFFF},
+			}},
+			Actions: []openflow.Action{openflow.Output(openflow.ControllerPort)},
+			Cookie:  CookieRVaaS | 3,
+		},
+	}
+	return []*openflow.FlowMod{
+		mkUDP(wire.PortRVaaSQuery, 1),
+		mkUDP(wire.PortRVaaSAuthRep, 2),
+		probe,
+	}
+}
+
+// Start launches the randomized active poller ("proactively query the
+// switches for their current configuration ... at random times").
+func (c *Controller) Start() {
+	if c.cfg.PollInterval <= 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			gap := c.nextPollGap()
+			timer := time.NewTimer(gap)
+			select {
+			case <-timer.C:
+				_ = c.PollAll(2 * time.Second)
+			case <-c.stop:
+				timer.Stop()
+				return
+			}
+		}
+	}()
+}
+
+func (c *Controller) nextPollGap() time.Duration {
+	base := c.cfg.PollInterval
+	if !c.cfg.RandomizePolls {
+		return base
+	}
+	c.mu.Lock()
+	jitter := c.rng.Int63n(int64(base))
+	c.mu.Unlock()
+	return base/2 + time.Duration(jitter)
+}
+
+// Close stops all background work and tears down the sessions.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	select {
+	case <-c.stop:
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	default:
+	}
+	close(c.stop)
+	sessions := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]*pendingQuery)
+	c.mu.Unlock()
+	for _, p := range pend {
+		p.cancel()
+	}
+	for _, s := range sessions {
+		s.conn.Close()
+	}
+	c.wg.Wait()
+}
+
+func (c *Controller) xid() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextXID++
+	return c.nextXID
+}
+
+// readLoop dispatches messages from one switch session.
+func (c *Controller) readLoop(sess *session) {
+	defer c.wg.Done()
+	defer close(sess.done)
+	for {
+		msg, err := sess.conn.Recv()
+		if err != nil {
+			return
+		}
+		// Route request/reply pairs to waiters first.
+		c.mu.Lock()
+		if ch, ok := c.waiters[msg.XIDValue()]; ok {
+			delete(c.waiters, msg.XIDValue())
+			c.mu.Unlock()
+			ch <- msg
+			continue
+		}
+		c.mu.Unlock()
+
+		switch m := msg.(type) {
+		case *openflow.FlowMonitorReply:
+			c.handleMonitorEvent(sess.sw, m)
+		case *openflow.StatsReply:
+			// Unsolicited full state (e.g. late reply): still apply it.
+			c.applyStats(sess.sw, m, history.SourceActivePoll)
+		case *openflow.PacketIn:
+			c.handlePacketIn(sess.sw, m)
+		case *openflow.EchoRequest:
+			_ = sess.conn.Send(&openflow.EchoReply{XID: m.XID, Data: m.Data})
+		default:
+			// Hellos, errors, barriers without waiters: ignore.
+		}
+	}
+}
+
+// request sends a message and waits for the reply with the same XID.
+func (c *Controller) request(sw topology.SwitchID, msg openflow.Message, xid uint32, timeout time.Duration) (openflow.Message, error) {
+	c.mu.Lock()
+	sess := c.sessions[sw]
+	if sess == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rvaas: no session for switch %d", sw)
+	}
+	ch := make(chan openflow.Message, 1)
+	c.waiters[xid] = ch
+	c.mu.Unlock()
+
+	if err := sess.conn.Send(msg); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, xid)
+		c.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.waiters, xid)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rvaas: switch %d reply timeout", sw)
+	case <-c.stop:
+		return nil, errors.New("rvaas: controller closed")
+	}
+}
+
+// sendPacketOut injects a frame at a switch ("responses are sent via
+// packet-outs").
+func (c *Controller) sendPacketOut(sw topology.SwitchID, outPort topology.PortNo, pkt *wire.Packet) error {
+	c.mu.Lock()
+	sess := c.sessions[sw]
+	c.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("rvaas: no session for switch %d", sw)
+	}
+	return sess.conn.Send(&openflow.PacketOut{
+		XID:     c.xid(),
+		InPort:  openflow.AnyPort,
+		Actions: []openflow.Action{openflow.Output(uint32(outPort))},
+		Data:    pkt.Marshal(),
+	})
+}

@@ -1,0 +1,132 @@
+package rvaas
+
+import (
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// handleMonitorEvent applies one passive flow-monitor event. Sequence gaps
+// (lost events) force a full resync of that switch — RVaaS "needs to ensure
+// that it receives all the relevant updates from the switches" (§IV-A).
+func (c *Controller) handleMonitorEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) {
+	c.mu.Lock()
+	c.stats.PassiveEvents++
+	c.mu.Unlock()
+	if c.snap.applyEvent(sw, ev) {
+		c.recordHistory(history.SourcePassive)
+		return
+	}
+	c.mu.Lock()
+	c.stats.Resyncs++
+	c.mu.Unlock()
+	// Resync asynchronously: pollSwitch waits for a reply that arrives on
+	// the very read loop this handler runs in, so it must not block here.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.pollSwitch(sw, 2*time.Second)
+	}()
+}
+
+// applyStats installs a full-state snapshot for one switch.
+func (c *Controller) applyStats(sw topology.SwitchID, m *openflow.StatsReply, src history.Source) {
+	c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq)
+	c.recordHistory(src)
+}
+
+// recordHistory appends the current global snapshot to the history ring.
+func (c *Controller) recordHistory(src history.Source) {
+	c.hist.Append(history.Record{
+		At:         c.cfg.Clock(),
+		SnapshotID: c.snap.snapshotID(),
+		Source:     src,
+		Tables:     c.snap.allTables(),
+	})
+}
+
+// pollSwitch actively fetches one switch's full state and waits for it.
+func (c *Controller) pollSwitch(sw topology.SwitchID, timeout time.Duration) error {
+	xid := c.xid()
+	reply, err := c.request(sw, &openflow.StatsRequest{XID: xid}, xid, timeout)
+	if err != nil {
+		return err
+	}
+	stats, ok := reply.(*openflow.StatsReply)
+	if !ok {
+		return errUnexpectedReply
+	}
+	c.applyStats(sw, stats, history.SourceActivePoll)
+	return nil
+}
+
+var errUnexpectedReply = errTyped("rvaas: unexpected reply type")
+
+type errTyped string
+
+func (e errTyped) Error() string { return string(e) }
+
+// PollAll actively polls every attached switch and waits for all replies
+// (the paper's "proactively query the switches for their current
+// configuration"). It returns the first error encountered but polls every
+// switch regardless.
+func (c *Controller) PollAll(timeout time.Duration) error {
+	c.mu.Lock()
+	c.stats.ActivePolls++
+	switches := make([]topology.SwitchID, 0, len(c.sessions))
+	for sw := range c.sessions {
+		switches = append(switches, sw)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, sw := range switches {
+		if err := c.pollSwitch(sw, timeout); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// TamperReport lists switches whose RVaaS interception rules are missing
+// from the current snapshot — evidence that the provider's controller
+// removed them.
+type TamperReport struct {
+	MissingOn []topology.SwitchID
+}
+
+// Clean reports whether all interception rules are intact.
+func (r TamperReport) Clean() bool { return len(r.MissingOn) == 0 }
+
+// CheckSelfRules verifies RVaaS's own interception rules are still present
+// in the latest snapshot of every attached switch.
+func (c *Controller) CheckSelfRules() TamperReport {
+	c.mu.Lock()
+	switches := make([]topology.SwitchID, 0, len(c.sessions))
+	for sw := range c.sessions {
+		switches = append(switches, sw)
+	}
+	c.mu.Unlock()
+	want := len(c.interceptionRules())
+	var rep TamperReport
+	for _, sw := range switches {
+		found := 0
+		for _, e := range c.snap.table(sw) {
+			if e.Cookie&CookieRVaaS == CookieRVaaS {
+				found++
+			}
+		}
+		if found < want {
+			rep.MissingOn = append(rep.MissingOn, sw)
+		}
+	}
+	return rep
+}
+
+// FlapEvidence scans the retained history for rules that appeared and
+// disappeared within maxLifetime — the fingerprint of a short-term
+// reconfiguration attack (§IV-A).
+func (c *Controller) FlapEvidence(maxLifetime time.Duration) []history.Churn {
+	return c.hist.ChurnEvents(maxLifetime)
+}

@@ -1,0 +1,196 @@
+package rvaas
+
+import (
+	"sync"
+
+	"repro/internal/headerspace"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// snapshotStore maintains RVaaS's up-to-date view of every switch's
+// configuration ("the controller maintains an up-to-date snapshot of the
+// network configuration, either passively (monitoring events) or actively
+// (query the switch state)", §IV-A1).
+type snapshotStore struct {
+	mu     sync.Mutex
+	tables map[topology.SwitchID][]openflow.FlowEntry
+	ports  map[topology.SwitchID][]uint32
+	meters map[topology.SwitchID][]openflow.MeterConfig
+	// seq tracks the last flow-monitor event sequence seen per switch, used
+	// to detect gaps (missed events force a full resync).
+	seq map[topology.SwitchID]uint64
+	// id increments on every applied change; responses carry it so clients
+	// can correlate answers with configuration versions.
+	id uint64
+}
+
+func newSnapshotStore() *snapshotStore {
+	return &snapshotStore{
+		tables: make(map[topology.SwitchID][]openflow.FlowEntry),
+		ports:  make(map[topology.SwitchID][]uint32),
+		meters: make(map[topology.SwitchID][]openflow.MeterConfig),
+		seq:    make(map[topology.SwitchID]uint64),
+	}
+}
+
+// replaceTable installs a full-table snapshot (active poll result).
+func (s *snapshotStore) replaceTable(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, seq uint64) {
+	s.replaceState(sw, entries, ports, nil, seq)
+}
+
+// replaceState installs a full snapshot including the meter table.
+func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, meters []openflow.MeterConfig, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[sw] = append([]openflow.FlowEntry(nil), entries...)
+	if ports != nil {
+		s.ports[sw] = append([]uint32(nil), ports...)
+	}
+	if meters != nil {
+		s.meters[sw] = append([]openflow.MeterConfig(nil), meters...)
+	} else {
+		delete(s.meters, sw)
+	}
+	s.seq[sw] = seq
+	s.id++
+}
+
+// metersOf returns a copy of a switch's polled meter table.
+func (s *snapshotStore) metersOf(sw topology.SwitchID) []openflow.MeterConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]openflow.MeterConfig(nil), s.meters[sw]...)
+}
+
+// applyEvent folds one flow-monitor event into the table. It returns false
+// when a sequence gap is detected, signalling the caller to resync.
+func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	last := s.seq[sw]
+	if ev.Seq != last+1 {
+		return false
+	}
+	s.seq[sw] = ev.Seq
+	s.id++
+	switch ev.Kind {
+	case openflow.FlowEventAdded:
+		s.tables[sw] = append(s.tables[sw], ev.Entry)
+	case openflow.FlowEventRemoved:
+		kept := s.tables[sw][:0]
+		for _, e := range s.tables[sw] {
+			if !sameEntry(e, ev.Entry) {
+				kept = append(kept, e)
+			}
+		}
+		s.tables[sw] = kept
+	case openflow.FlowEventModified:
+		replaced := false
+		for i, e := range s.tables[sw] {
+			if e.Priority == ev.Entry.Priority && sameMatch(e.Match, ev.Entry.Match) {
+				s.tables[sw][i] = ev.Entry
+				replaced = true
+			}
+		}
+		if !replaced {
+			s.tables[sw] = append(s.tables[sw], ev.Entry)
+		}
+	}
+	return true
+}
+
+func sameMatch(a, b openflow.Match) bool {
+	if a.InPort != b.InPort || len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameEntry(a, b openflow.FlowEntry) bool {
+	if a.Priority != b.Priority || a.Cookie != b.Cookie || !sameMatch(a.Match, b.Match) {
+		return false
+	}
+	if len(a.Actions) != len(b.Actions) {
+		return false
+	}
+	for i := range a.Actions {
+		if a.Actions[i] != b.Actions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// table returns a copy of one switch's entries.
+func (s *snapshotStore) table(sw topology.SwitchID) []openflow.FlowEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]openflow.FlowEntry(nil), s.tables[sw]...)
+}
+
+// allTables returns a deep copy of every table (for history records).
+func (s *snapshotStore) allTables() map[topology.SwitchID][]openflow.FlowEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[topology.SwitchID][]openflow.FlowEntry, len(s.tables))
+	for k, v := range s.tables {
+		out[k] = append([]openflow.FlowEntry(nil), v...)
+	}
+	return out
+}
+
+// snapshotID returns the current configuration version.
+func (s *snapshotStore) snapshotID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
+
+// buildNetwork compiles the current snapshot plus the wiring plan into a
+// header-space network for logical verification (§IV-A2). Port numbering:
+// headerspace.PortID == physical port number, headerspace.NodeID == switch
+// id.
+func (s *snapshotStore) buildNetwork(topo *topology.Topology) *headerspace.Network {
+	net := headerspace.NewNetwork(wire.HeaderWidth)
+	s.mu.Lock()
+	type swTable struct {
+		id      topology.SwitchID
+		entries []openflow.FlowEntry
+		ports   []uint32
+	}
+	var snap []swTable
+	for _, sw := range topo.Switches() {
+		ports := s.ports[sw]
+		if ports == nil {
+			for p := topology.PortNo(1); p <= topo.PortCount(sw); p++ {
+				ports = append(ports, uint32(p))
+			}
+		}
+		snap = append(snap, swTable{
+			id:      sw,
+			entries: append([]openflow.FlowEntry(nil), s.tables[sw]...),
+			ports:   ports,
+		})
+	}
+	s.mu.Unlock()
+
+	for _, st := range snap {
+		tf := openflow.BuildTransferFunction(st.entries, st.ports)
+		// Width is fixed by construction; AddNode cannot fail.
+		_ = net.AddNode(headerspace.NodeID(st.id), tf)
+	}
+	for _, l := range topo.Links() {
+		net.AddDuplex(
+			headerspace.NodeID(l.A.Switch), headerspace.PortID(l.A.Port),
+			headerspace.NodeID(l.B.Switch), headerspace.PortID(l.B.Port),
+		)
+	}
+	return net
+}

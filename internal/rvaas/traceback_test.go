@@ -1,0 +1,123 @@
+package rvaas_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/deploy"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// simClock is a race-safe simulated time source for tests that advance
+// virtual time while controller goroutines read it.
+type simClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *simClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *simClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+// TestTracebackIngress reproduces the paper's §IV-C extension: after a join
+// attack flaps through the network, the history lets RVaaS name the edge
+// port the attack path originated from.
+func TestTracebackIngress(t *testing.T) {
+	topo, err := topology.Linear(4, []uint64{1, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated clock so history timestamps are deterministic.
+	clk := &simClock{t: time.Date(2026, 6, 1, 10, 0, 0, 0, time.UTC)}
+	d, err := deploy.New(topo, deploy.Options{TenantRouting: true, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	victim := topo.AccessPoints()[0]
+	secret := topo.AccessPoints()[2].Endpoint
+
+	// Window starts after deployment-time changes have settled, so the
+	// diff contains only the attack.
+	start := clk.Advance(time.Second)
+	if err := d.RVaaS.PollAll(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(10 * time.Second)
+	atk := &controlplane.JoinAttack{
+		VictimIP:   victim.HostIP,
+		SecretAP:   secret,
+		AttackerIP: wire.IPv4(172, 16, 6, 6),
+	}
+	if err := atk.Launch(d.Provider); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RVaaS.PollAll(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	end := clk.Advance(10 * time.Second)
+
+	rep := d.RVaaS.TracebackIngress(victim, start, end)
+	if len(rep.Changes) == 0 {
+		t.Fatal("no config changes recorded in the window")
+	}
+	foundAttackRule := false
+	for _, ch := range rep.Changes {
+		if !ch.Removed && ch.Entry.Cookie&controlplane.CookieAttack == controlplane.CookieAttack {
+			foundAttackRule = true
+		}
+	}
+	if !foundAttackRule {
+		t.Error("attack rules not in the diff")
+	}
+	// The secret ingress port must be among the traced ingress candidates.
+	found := false
+	for _, ep := range rep.IngressPorts {
+		if ep == secret {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("traceback missed the attack ingress %s: %v", secret, rep.IngressPorts)
+	}
+}
+
+// TestConfigDiffEmptyWindow checks a quiet window reports nothing.
+func TestConfigDiffEmptyWindow(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &simClock{t: time.Date(2026, 6, 1, 10, 0, 0, 0, time.UTC)}
+	d, err := deploy.New(topo, deploy.Options{Clock: clk.Now, SkipAgents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Let deployment-time table changes settle outside the window.
+	start := clk.Advance(time.Second)
+	if err := d.RVaaS.PollAll(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	end := clk.Advance(time.Minute)
+	if err := d.RVaaS.PollAll(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	changes := d.RVaaS.ConfigDiff(start, end)
+	if len(changes) != 0 {
+		t.Errorf("quiet window produced %d changes", len(changes))
+	}
+}

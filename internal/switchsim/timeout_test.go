@@ -1,0 +1,114 @@
+package switchsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/openflow"
+	"repro/internal/wire"
+)
+
+var timeoutBase = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func clockAt(t *time.Time) func() time.Time {
+	return func() time.Time { return *t }
+}
+
+func TestHardTimeoutExpiry(t *testing.T) {
+	now := timeoutBase
+	sw := New(1, 4, nil)
+	sw.SetClock(clockAt(&now))
+	e := fwdEntry(10, wire.IPv4(10, 0, 1, 1), 2)
+	e.HardTimeout = 5 // seconds
+	sw.InstallDirect(e)
+
+	now = now.Add(4 * time.Second)
+	if n := sw.ExpireFlows(now); n != 0 {
+		t.Errorf("expired %d before deadline", n)
+	}
+	now = now.Add(2 * time.Second)
+	if n := sw.ExpireFlows(now); n != 1 {
+		t.Errorf("expired %d, want 1", n)
+	}
+	if len(sw.Table()) != 0 {
+		t.Error("entry still installed after hard timeout")
+	}
+}
+
+func TestIdleTimeoutRefreshedByTraffic(t *testing.T) {
+	now := timeoutBase
+	sw := New(1, 4, nil)
+	sw.SetClock(clockAt(&now))
+	dst := wire.IPv4(10, 0, 1, 1)
+	e := fwdEntry(10, dst, 2)
+	e.IdleTimeout = 5
+	sw.InstallDirect(e)
+
+	// Traffic at t+4 refreshes the idle timer.
+	now = now.Add(4 * time.Second)
+	sw.ProcessPacket(1, udpTo(dst), 0)
+	now = now.Add(4 * time.Second) // t+8: only 4s idle
+	if n := sw.ExpireFlows(now); n != 0 {
+		t.Errorf("expired %d despite refresh", n)
+	}
+	now = now.Add(6 * time.Second) // t+14: 10s idle
+	if n := sw.ExpireFlows(now); n != 1 {
+		t.Errorf("expired %d after idle, want 1", n)
+	}
+}
+
+func TestZeroTimeoutsNeverExpire(t *testing.T) {
+	now := timeoutBase
+	sw := New(1, 4, nil)
+	sw.SetClock(clockAt(&now))
+	sw.InstallDirect(fwdEntry(10, wire.IPv4(10, 0, 1, 1), 2))
+	now = now.Add(1000 * time.Hour)
+	if n := sw.ExpireFlows(now); n != 0 {
+		t.Errorf("permanent entry expired (%d)", n)
+	}
+}
+
+func TestExpiryEmitsMonitorEvent(t *testing.T) {
+	now := timeoutBase
+	sw := New(7, 4, nil)
+	sw.SetClock(clockAt(&now))
+	conn := controllerHarness(t, sw)
+	recvType(t, conn, openflow.TypeHello)
+	if err := conn.Send(&openflow.FlowMonitorRequest{XID: 1, MonitorID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&openflow.BarrierRequest{XID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recvType(t, conn, openflow.TypeBarrierReply)
+
+	e := fwdEntry(10, wire.IPv4(10, 0, 1, 1), 2)
+	e.HardTimeout = 1
+	sw.InstallDirect(e)
+	recvType(t, conn, openflow.TypeFlowMonitorReply) // added
+
+	now = now.Add(2 * time.Second)
+	if n := sw.ExpireFlows(now); n != 1 {
+		t.Fatalf("expired %d", n)
+	}
+	ev, ok := recvType(t, conn, openflow.TypeFlowMonitorReply).(*openflow.FlowMonitorReply)
+	if !ok || ev.Kind != openflow.FlowEventRemoved {
+		t.Errorf("expiry event: %+v", ev)
+	}
+}
+
+func TestReplaceResetsTimers(t *testing.T) {
+	now := timeoutBase
+	sw := New(1, 4, nil)
+	sw.SetClock(clockAt(&now))
+	e := fwdEntry(10, wire.IPv4(10, 0, 1, 1), 2)
+	e.HardTimeout = 5
+	sw.InstallDirect(e)
+	now = now.Add(4 * time.Second)
+	// Re-adding the same match/priority replaces and restarts the clock.
+	sw.InstallDirect(e)
+	now = now.Add(3 * time.Second) // 7s since first install, 3s since replace
+	if n := sw.ExpireFlows(now); n != 0 {
+		t.Errorf("replaced entry expired early (%d)", n)
+	}
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrShortBuffer is returned when decoding runs past the end of input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// writer is an append-only big-endian encoder.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// bytesN writes a 16-bit length prefix followed by the bytes.
+func (w *writer) bytesN(b []byte) {
+	if len(b) > 0xffff {
+		b = b[:0xffff]
+	}
+	w.u16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// str writes a length-prefixed UTF-8 string.
+func (w *writer) str(s string) { w.bytesN([]byte(s)) }
+
+// reader is a big-endian decoder with sticky error handling.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() { r.err = ErrShortBuffer }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytesN() []byte {
+	n := int(r.u16())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytesN()) }

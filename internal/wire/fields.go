@@ -1,0 +1,155 @@
+// Package wire defines the concrete packet model of the reproduction: the
+// header fields switches match on, their bit layout inside the header-space
+// vector, Ethernet/IPv4/UDP framing, the RVaaS magic header values used for
+// in-band client interaction (paper §IV-A3), and the binary codecs for
+// query/authentication messages.
+package wire
+
+import (
+	"repro/internal/headerspace"
+)
+
+// Field identifies one matchable packet header field.
+type Field int
+
+// Matchable fields, mirroring the OpenFlow 1.0 12-tuple subset we model.
+const (
+	FieldEthDst Field = iota + 1
+	FieldEthSrc
+	FieldEthType
+	FieldVLAN
+	FieldIPSrc
+	FieldIPDst
+	FieldIPProto
+	FieldL4Src
+	FieldL4Dst
+)
+
+// fieldSpec describes where a field lives inside the header-space vector.
+type fieldSpec struct {
+	offset int
+	width  int
+	name   string
+}
+
+var fieldSpecs = map[Field]fieldSpec{
+	FieldEthDst:  {0, 48, "eth_dst"},
+	FieldEthSrc:  {48, 48, "eth_src"},
+	FieldEthType: {96, 16, "eth_type"},
+	FieldVLAN:    {112, 12, "vlan"},
+	FieldIPSrc:   {124, 32, "ip_src"},
+	FieldIPDst:   {156, 32, "ip_dst"},
+	FieldIPProto: {188, 8, "ip_proto"},
+	FieldL4Src:   {196, 16, "l4_src"},
+	FieldL4Dst:   {212, 16, "l4_dst"},
+}
+
+// HeaderWidth is the total ternary width of the header-space vector covering
+// all matchable fields.
+const HeaderWidth = 228
+
+// FieldOffset returns the bit offset and width of the field inside the
+// header-space vector.
+func FieldOffset(f Field) (offset, width int) {
+	s := fieldSpecs[f]
+	return s.offset, s.width
+}
+
+// FieldName returns a short protocol name for the field.
+func FieldName(f Field) string { return fieldSpecs[f].name }
+
+// Fields lists every matchable field in layout order.
+func Fields() []Field {
+	return []Field{
+		FieldEthDst, FieldEthSrc, FieldEthType, FieldVLAN,
+		FieldIPSrc, FieldIPDst, FieldIPProto, FieldL4Src, FieldL4Dst,
+	}
+}
+
+// FieldHeader builds an all-wildcard header constraining only the given
+// field to value under mask (mask bit 1 = exact).
+func FieldHeader(f Field, value, mask uint64) headerspace.Header {
+	s := fieldSpecs[f]
+	m := mask
+	if s.width < 64 {
+		m &= (1 << uint(s.width)) - 1
+	}
+	return headerspace.FromValueMask(HeaderWidth, s.offset, s.width, value, m)
+}
+
+// ExactField is FieldHeader with a full mask.
+func ExactField(f Field, value uint64) headerspace.Header {
+	s := fieldSpecs[f]
+	full := ^uint64(0)
+	if s.width < 64 {
+		full = (1 << uint(s.width)) - 1
+	}
+	return FieldHeader(f, value, full)
+}
+
+// PacketBits converts a packet's matchable fields into the concrete bit
+// slice (index 0 = LSB of the header-space vector) used by
+// headerspace.MatchesValue.
+func PacketBits(p *Packet) []byte {
+	bits := make([]byte, HeaderWidth)
+	put := func(f Field, v uint64) {
+		s := fieldSpecs[f]
+		for i := 0; i < s.width; i++ {
+			bits[s.offset+i] = byte(v >> uint(i) & 1)
+		}
+	}
+	put(FieldEthDst, p.EthDst)
+	put(FieldEthSrc, p.EthSrc)
+	put(FieldEthType, uint64(p.EthType))
+	put(FieldVLAN, uint64(p.VLAN))
+	put(FieldIPSrc, uint64(p.IPSrc))
+	put(FieldIPDst, uint64(p.IPDst))
+	put(FieldIPProto, uint64(p.IPProto))
+	put(FieldL4Src, uint64(p.L4Src))
+	put(FieldL4Dst, uint64(p.L4Dst))
+	return bits
+}
+
+// PacketHeader converts a packet into a fully-concrete header-space header.
+func PacketHeader(p *Packet) headerspace.Header {
+	h := headerspace.AllX(HeaderWidth)
+	apply := func(f Field, v uint64) {
+		fh := ExactField(f, v)
+		x, err := h.Intersect(fh)
+		if err == nil {
+			h = x
+		}
+	}
+	apply(FieldEthDst, p.EthDst)
+	apply(FieldEthSrc, p.EthSrc)
+	apply(FieldEthType, uint64(p.EthType))
+	apply(FieldVLAN, uint64(p.VLAN))
+	apply(FieldIPSrc, uint64(p.IPSrc))
+	apply(FieldIPDst, uint64(p.IPDst))
+	apply(FieldIPProto, uint64(p.IPProto))
+	apply(FieldL4Src, uint64(p.L4Src))
+	apply(FieldL4Dst, uint64(p.L4Dst))
+	return h
+}
+
+// HeaderToPacket extracts the concrete field values from a fully- or
+// partially-concrete header (wildcard bits read as 0). It is the inverse of
+// PacketHeader for concrete headers.
+func HeaderToPacket(h headerspace.Header) *Packet {
+	get := func(f Field) uint64 {
+		s := fieldSpecs[f]
+		v, _ := h.ExtractValue(s.offset, s.width)
+		return v
+	}
+	return &Packet{
+		EthDst:  get(FieldEthDst),
+		EthSrc:  get(FieldEthSrc),
+		EthType: uint16(get(FieldEthType)),
+		VLAN:    uint16(get(FieldVLAN)),
+		IPSrc:   uint32(get(FieldIPSrc)),
+		IPDst:   uint32(get(FieldIPDst)),
+		IPProto: uint8(get(FieldIPProto)),
+		L4Src:   uint16(get(FieldL4Src)),
+		L4Dst:   uint16(get(FieldL4Dst)),
+	}
+}

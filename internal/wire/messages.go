@@ -1,0 +1,479 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// QueryKind enumerates the verification queries RVaaS supports (paper §IV-A:
+// connectivity, path lengths, traversed geographic regions, fairness, and a
+// compact transfer-function representation).
+type QueryKind uint8
+
+// Supported query kinds.
+const (
+	QueryReachableDestinations QueryKind = iota + 1
+	QueryReachingSources
+	QueryIsolation
+	QueryGeoRegions
+	QueryPathLength
+	QueryWaypointAvoidance
+	QueryNeutrality
+	QueryTransferFunction
+)
+
+// String names the query kind.
+func (k QueryKind) String() string {
+	switch k {
+	case QueryReachableDestinations:
+		return "reachable-destinations"
+	case QueryReachingSources:
+		return "reaching-sources"
+	case QueryIsolation:
+		return "isolation"
+	case QueryGeoRegions:
+		return "geo-regions"
+	case QueryPathLength:
+		return "path-length"
+	case QueryWaypointAvoidance:
+		return "waypoint-avoidance"
+	case QueryNeutrality:
+		return "neutrality"
+	case QueryTransferFunction:
+		return "transfer-function"
+	}
+	return fmt.Sprintf("query(%d)", uint8(k))
+}
+
+// FieldConstraint restricts one packet field in a query's header-space scope
+// ("constrained to traffic within a certain header space", §IV-A).
+type FieldConstraint struct {
+	Field Field
+	Value uint64
+	Mask  uint64
+}
+
+// QueryRequest is the client → RVaaS query payload, carried in a UDP packet
+// to PortRVaaSQuery and intercepted at the ingress switch as a Packet-In.
+type QueryRequest struct {
+	Version     uint8
+	Kind        QueryKind
+	ClientID    uint64
+	Nonce       uint64
+	Constraints []FieldConstraint
+	// Param carries kind-specific data: the max path length for
+	// QueryPathLength, the forbidden region name for QueryWaypointAvoidance
+	// and QueryGeoRegions, etc.
+	Param string
+	// Deadline is the client's per-query auth collection budget in
+	// milliseconds; 0 lets the server choose.
+	DeadlineMillis uint32
+}
+
+// CurrentVersion is the query protocol version.
+const CurrentVersion = 1
+
+var errBadVersion = errors.New("wire: unsupported query version")
+
+// Marshal encodes the request.
+func (q *QueryRequest) Marshal() []byte {
+	var w writer
+	w.u8(q.Version)
+	w.u8(uint8(q.Kind))
+	w.u64(q.ClientID)
+	w.u64(q.Nonce)
+	w.u16(uint16(len(q.Constraints)))
+	for _, c := range q.Constraints {
+		w.u8(uint8(c.Field))
+		w.u64(c.Value)
+		w.u64(c.Mask)
+	}
+	w.str(q.Param)
+	w.u32(q.DeadlineMillis)
+	return w.buf
+}
+
+// UnmarshalQueryRequest decodes a request payload.
+func UnmarshalQueryRequest(data []byte) (*QueryRequest, error) {
+	r := reader{buf: data}
+	q := &QueryRequest{
+		Version:  r.u8(),
+		Kind:     QueryKind(r.u8()),
+		ClientID: r.u64(),
+		Nonce:    r.u64(),
+	}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		q.Constraints = append(q.Constraints, FieldConstraint{
+			Field: Field(r.u8()),
+			Value: r.u64(),
+			Mask:  r.u64(),
+		})
+	}
+	q.Param = r.str()
+	q.DeadlineMillis = r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if q.Version != CurrentVersion {
+		return nil, errBadVersion
+	}
+	return q, nil
+}
+
+// ResponseStatus reports the outcome of a query.
+type ResponseStatus uint8
+
+// Response statuses.
+const (
+	StatusOK ResponseStatus = iota + 1
+	StatusViolation
+	StatusError
+	StatusUnsupported
+)
+
+// String names the status.
+func (s ResponseStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusViolation:
+		return "violation"
+	case StatusError:
+		return "error"
+	case StatusUnsupported:
+		return "unsupported"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Endpoint describes one access point in a response (e.g. a reachable
+// destination), together with whether it authenticated in-band.
+type Endpoint struct {
+	ClientID      uint64
+	SwitchID      uint32
+	Port          uint32
+	Authenticated bool
+	// Detail carries e.g. the geographic region of the endpoint.
+	Detail string
+}
+
+// QueryResponse is the RVaaS → client response payload, injected as a
+// Packet-Out. The paper notes the server "also forwards to the client the
+// total number of authentication requests that were made, such that it can
+// detect cases where some access points did not respond" — AuthRequested vs
+// AuthReplied carries exactly that.
+type QueryResponse struct {
+	Version       uint8
+	Kind          QueryKind
+	Nonce         uint64
+	Status        ResponseStatus
+	Detail        string
+	Endpoints     []Endpoint
+	Regions       []string
+	AuthRequested uint32
+	AuthReplied   uint32
+	// SnapshotID identifies the configuration snapshot the answer was
+	// computed on; clients may compare across queries.
+	SnapshotID uint64
+	// Signature is the enclave's Ed25519 signature over SigningBytes().
+	Signature []byte
+	// Quote is the serialized attestation quote binding the signature key
+	// to the RVaaS code measurement.
+	Quote []byte
+}
+
+// Marshal encodes the response including signature and quote.
+func (resp *QueryResponse) Marshal() []byte {
+	w := writer{buf: resp.core()}
+	w.bytesN(resp.Signature)
+	w.bytesN(resp.Quote)
+	return w.buf
+}
+
+// SigningBytes returns the canonical bytes covered by the signature
+// (everything except the signature and quote).
+func (resp *QueryResponse) SigningBytes() []byte {
+	return resp.core()
+}
+
+func (resp *QueryResponse) core() []byte {
+	var w writer
+	w.u8(resp.Version)
+	w.u8(uint8(resp.Kind))
+	w.u64(resp.Nonce)
+	w.u8(uint8(resp.Status))
+	w.str(resp.Detail)
+	w.u16(uint16(len(resp.Endpoints)))
+	for _, e := range resp.Endpoints {
+		w.u64(e.ClientID)
+		w.u32(e.SwitchID)
+		w.u32(e.Port)
+		if e.Authenticated {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.str(e.Detail)
+	}
+	w.u16(uint16(len(resp.Regions)))
+	for _, g := range resp.Regions {
+		w.str(g)
+	}
+	w.u32(resp.AuthRequested)
+	w.u32(resp.AuthReplied)
+	w.u64(resp.SnapshotID)
+	return w.buf
+}
+
+// UnmarshalQueryResponse decodes a response payload.
+func UnmarshalQueryResponse(data []byte) (*QueryResponse, error) {
+	r := reader{buf: data}
+	resp := &QueryResponse{
+		Version: r.u8(),
+		Kind:    QueryKind(r.u8()),
+		Nonce:   r.u64(),
+		Status:  ResponseStatus(r.u8()),
+		Detail:  r.str(),
+	}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		e := Endpoint{
+			ClientID: r.u64(),
+			SwitchID: r.u32(),
+			Port:     r.u32(),
+		}
+		e.Authenticated = r.u8() == 1
+		e.Detail = r.str()
+		resp.Endpoints = append(resp.Endpoints, e)
+	}
+	ng := int(r.u16())
+	for i := 0; i < ng && r.err == nil; i++ {
+		resp.Regions = append(resp.Regions, r.str())
+	}
+	resp.AuthRequested = r.u32()
+	resp.AuthReplied = r.u32()
+	resp.SnapshotID = r.u64()
+	resp.Signature = r.bytesN()
+	resp.Quote = r.bytesN()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return resp, nil
+}
+
+// AuthRequest is the payload RVaaS injects toward endpoints discovered by
+// logical verification ("these packets trigger destination clients to
+// respond to the querying clients, in an authenticated manner", §IV-A3).
+type AuthRequest struct {
+	QueryNonce uint64
+	Challenge  uint64
+	// ServerKey is the RVaaS public key fingerprint so agents can address
+	// the reply.
+	ServerKey []byte
+}
+
+// Marshal encodes the auth request.
+func (a *AuthRequest) Marshal() []byte {
+	var w writer
+	w.u64(a.QueryNonce)
+	w.u64(a.Challenge)
+	w.bytesN(a.ServerKey)
+	return w.buf
+}
+
+// UnmarshalAuthRequest decodes an auth request payload.
+func UnmarshalAuthRequest(data []byte) (*AuthRequest, error) {
+	r := reader{buf: data}
+	a := &AuthRequest{
+		QueryNonce: r.u64(),
+		Challenge:  r.u64(),
+		ServerKey:  r.bytesN(),
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return a, nil
+}
+
+// AuthReply is the client agent's authenticated reply to a challenge.
+type AuthReply struct {
+	QueryNonce uint64
+	Challenge  uint64
+	ClientID   uint64
+	// Signature is the agent's signature over the canonical reply bytes.
+	Signature []byte
+	// PubKey is the agent's public key (verified against RVaaS's client
+	// registry).
+	PubKey []byte
+}
+
+// SigningBytes returns the canonical bytes the agent signs.
+func (a *AuthReply) SigningBytes() []byte {
+	var w writer
+	w.u64(a.QueryNonce)
+	w.u64(a.Challenge)
+	w.u64(a.ClientID)
+	return w.buf
+}
+
+// Marshal encodes the auth reply.
+func (a *AuthReply) Marshal() []byte {
+	w := writer{buf: a.SigningBytes()}
+	w.bytesN(a.Signature)
+	w.bytesN(a.PubKey)
+	return w.buf
+}
+
+// UnmarshalAuthReply decodes an auth reply payload.
+func UnmarshalAuthReply(data []byte) (*AuthReply, error) {
+	r := reader{buf: data}
+	a := &AuthReply{
+		QueryNonce: r.u64(),
+		Challenge:  r.u64(),
+		ClientID:   r.u64(),
+	}
+	a.Signature = r.bytesN()
+	a.PubKey = r.bytesN()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return a, nil
+}
+
+// ProbePayload is the body of an RVaaS topology probe frame (LLDP-like
+// packets issued "through all internal ports", §IV-A1). The HMAC prevents a
+// compromised controller from forging plausible probes.
+type ProbePayload struct {
+	ProbeID    uint64
+	SrcSwitch  uint32
+	SrcPort    uint32
+	IssuedUnix int64
+	MAC        []byte
+}
+
+// SigningBytes returns the canonical bytes covered by the MAC.
+func (pp *ProbePayload) SigningBytes() []byte {
+	var w writer
+	w.u64(pp.ProbeID)
+	w.u32(pp.SrcSwitch)
+	w.u32(pp.SrcPort)
+	w.u64(uint64(pp.IssuedUnix))
+	return w.buf
+}
+
+// Marshal encodes the probe payload.
+func (pp *ProbePayload) Marshal() []byte {
+	w := writer{buf: pp.SigningBytes()}
+	w.bytesN(pp.MAC)
+	return w.buf
+}
+
+// UnmarshalProbePayload decodes a probe payload.
+func UnmarshalProbePayload(data []byte) (*ProbePayload, error) {
+	r := reader{buf: data}
+	pp := &ProbePayload{
+		ProbeID:   r.u64(),
+		SrcSwitch: r.u32(),
+		SrcPort:   r.u32(),
+	}
+	pp.IssuedUnix = int64(r.u64())
+	pp.MAC = r.bytesN()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return pp, nil
+}
+
+// NewQueryPacket wraps a query request into a UDP packet with the RVaaS
+// magic destination port, ready for injection at the client's access point.
+func NewQueryPacket(srcMAC uint64, srcIP uint32, q *QueryRequest) *Packet {
+	return &Packet{
+		EthDst:  0xFFFFFFFFFFFF, // query packets need no concrete dst
+		EthSrc:  srcMAC,
+		EthType: EthTypeIPv4,
+		IPSrc:   srcIP,
+		IPDst:   IPv4(10, 255, 255, 254), // RVaaS anycast address
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   ephemeralPort(q.Nonce),
+		L4Dst:   PortRVaaSQuery,
+		Payload: q.Marshal(),
+	}
+}
+
+// NewAuthRequestPacket wraps an auth request for injection at an egress
+// port toward a discovered endpoint.
+func NewAuthRequestPacket(dstMAC uint64, dstIP uint32, a *AuthRequest) *Packet {
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  0x02005AA5_0001, // locally-administered RVaaS source MAC
+		EthType: EthTypeIPv4,
+		IPSrc:   IPv4(10, 255, 255, 254),
+		IPDst:   dstIP,
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   PortRVaaSResponse,
+		L4Dst:   PortRVaaSAuthReq,
+		Payload: a.Marshal(),
+	}
+}
+
+// NewAuthReplyPacket wraps an auth reply for sending from a client agent.
+func NewAuthReplyPacket(srcMAC uint64, srcIP uint32, a *AuthReply) *Packet {
+	return &Packet{
+		EthDst:  0xFFFFFFFFFFFF,
+		EthSrc:  srcMAC,
+		EthType: EthTypeIPv4,
+		IPSrc:   srcIP,
+		IPDst:   IPv4(10, 255, 255, 254),
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   ephemeralPort(a.Challenge),
+		L4Dst:   PortRVaaSAuthRep,
+		Payload: a.Marshal(),
+	}
+}
+
+// NewResponsePacket wraps a query response for Packet-Out injection back to
+// the querying client.
+func NewResponsePacket(dstMAC uint64, dstIP uint32, resp *QueryResponse) *Packet {
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  0x02005AA5_0001,
+		EthType: EthTypeIPv4,
+		IPSrc:   IPv4(10, 255, 255, 254),
+		IPDst:   dstIP,
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   PortRVaaSResponse,
+		L4Dst:   ephemeralPort(resp.Nonce),
+		Payload: resp.Marshal(),
+	}
+}
+
+// NewProbePacket wraps a probe payload in a probe EthType frame.
+func NewProbePacket(pp *ProbePayload) *Packet {
+	return &Packet{
+		EthDst:  0x0180C200000E, // LLDP multicast
+		EthSrc:  0x02005AA5_0002,
+		EthType: EthTypeProbe,
+		Payload: pp.Marshal(),
+	}
+}
+
+// ephemeralPort derives a stable pseudo-ephemeral port from a nonce so the
+// response can be routed back without per-flow state. The result avoids
+// both well-known ports and the reserved RVaaS magic range — a collision
+// with PortRVaaSAuthReq would make a response packet classify as an auth
+// request at the receiving agent.
+func ephemeralPort(nonce uint64) uint16 {
+	p := uint16(nonce>>48) ^ uint16(nonce>>32) ^ uint16(nonce>>16) ^ uint16(nonce)
+	if p < 1024 {
+		p += 1024
+	}
+	if p >= PortRVaaSQuery && p <= PortRVaaSResponse {
+		p += 8
+	}
+	return p
+}

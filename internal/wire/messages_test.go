@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	q := &QueryRequest{
+		Version:  CurrentVersion,
+		Kind:     QueryIsolation,
+		ClientID: 77,
+		Nonce:    0xDEADBEEF12345678,
+		Constraints: []FieldConstraint{
+			{Field: FieldIPDst, Value: uint64(IPv4(10, 0, 0, 0)), Mask: 0xFF000000},
+			{Field: FieldIPProto, Value: uint64(IPProtoUDP), Mask: 0xFF},
+		},
+		Param:          "eu-west",
+		DeadlineMillis: 1500,
+	}
+	got, err := UnmarshalQueryRequest(q.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != q.Kind || got.ClientID != q.ClientID || got.Nonce != q.Nonce {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Constraints) != 2 || got.Constraints[0].Field != FieldIPDst {
+		t.Errorf("constraints mismatch: %+v", got.Constraints)
+	}
+	if got.Param != "eu-west" || got.DeadlineMillis != 1500 {
+		t.Errorf("param/deadline mismatch: %+v", got)
+	}
+}
+
+func TestQueryRequestBadVersion(t *testing.T) {
+	q := &QueryRequest{Version: 9, Kind: QueryIsolation}
+	if _, err := UnmarshalQueryRequest(q.Marshal()); err == nil {
+		t.Error("want version error")
+	}
+}
+
+func TestQueryRequestTruncated(t *testing.T) {
+	q := &QueryRequest{Version: CurrentVersion, Kind: QueryIsolation, Param: "x"}
+	data := q.Marshal()
+	for i := 0; i < len(data)-1; i++ {
+		if _, err := UnmarshalQueryRequest(data[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	resp := &QueryResponse{
+		Version: CurrentVersion,
+		Kind:    QueryReachableDestinations,
+		Nonce:   42,
+		Status:  StatusViolation,
+		Detail:  "unexpected endpoint",
+		Endpoints: []Endpoint{
+			{ClientID: 1, SwitchID: 3, Port: 9, Authenticated: true, Detail: "eu"},
+			{ClientID: 0, SwitchID: 5, Port: 2, Authenticated: false, Detail: "unknown"},
+		},
+		Regions:       []string{"eu-west", "us-east"},
+		AuthRequested: 2,
+		AuthReplied:   1,
+		SnapshotID:    991,
+		Signature:     []byte{1, 2, 3},
+		Quote:         []byte{4, 5},
+	}
+	got, err := UnmarshalQueryResponse(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusViolation || got.Nonce != 42 || got.SnapshotID != 991 {
+		t.Errorf("core mismatch: %+v", got)
+	}
+	if len(got.Endpoints) != 2 || !got.Endpoints[0].Authenticated || got.Endpoints[1].Authenticated {
+		t.Errorf("endpoints mismatch: %+v", got.Endpoints)
+	}
+	if len(got.Regions) != 2 || got.Regions[0] != "eu-west" {
+		t.Errorf("regions mismatch: %v", got.Regions)
+	}
+	if got.AuthRequested != 2 || got.AuthReplied != 1 {
+		t.Errorf("auth counters mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Signature, resp.Signature) || !bytes.Equal(got.Quote, resp.Quote) {
+		t.Error("signature/quote mismatch")
+	}
+}
+
+func TestSigningBytesExcludesSignature(t *testing.T) {
+	resp := &QueryResponse{Version: 1, Kind: QueryIsolation, Nonce: 7, Status: StatusOK}
+	a := resp.SigningBytes()
+	resp.Signature = []byte("sig")
+	resp.Quote = []byte("quote")
+	b := resp.SigningBytes()
+	if !bytes.Equal(a, b) {
+		t.Error("SigningBytes must not depend on signature/quote")
+	}
+}
+
+func TestAuthRequestReplyRoundTrip(t *testing.T) {
+	ar := &AuthRequest{QueryNonce: 11, Challenge: 22, ServerKey: []byte{9, 9}}
+	gotReq, err := UnmarshalAuthRequest(ar.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.QueryNonce != 11 || gotReq.Challenge != 22 || !bytes.Equal(gotReq.ServerKey, []byte{9, 9}) {
+		t.Errorf("auth request mismatch: %+v", gotReq)
+	}
+
+	rep := &AuthReply{QueryNonce: 11, Challenge: 22, ClientID: 5, Signature: []byte("s"), PubKey: []byte("p")}
+	gotRep, err := UnmarshalAuthReply(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.ClientID != 5 || !bytes.Equal(gotRep.Signature, []byte("s")) {
+		t.Errorf("auth reply mismatch: %+v", gotRep)
+	}
+	if !bytes.Equal(rep.SigningBytes(), gotRep.SigningBytes()) {
+		t.Error("signing bytes differ across round trip")
+	}
+}
+
+func TestProbePayloadRoundTrip(t *testing.T) {
+	pp := &ProbePayload{ProbeID: 1234, SrcSwitch: 7, SrcPort: 3, IssuedUnix: 1717171717, MAC: []byte{0xaa}}
+	got, err := UnmarshalProbePayload(pp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProbeID != 1234 || got.SrcSwitch != 7 || got.SrcPort != 3 || got.IssuedUnix != 1717171717 {
+		t.Errorf("probe mismatch: %+v", got)
+	}
+	if !bytes.Equal(pp.SigningBytes(), got.SigningBytes()) {
+		t.Error("probe signing bytes differ")
+	}
+}
+
+func TestPacketConstructors(t *testing.T) {
+	q := &QueryRequest{Version: CurrentVersion, Kind: QueryGeoRegions, ClientID: 1, Nonce: 99}
+	qp := NewQueryPacket(0xAA, IPv4(10, 0, 0, 1), q)
+	if !qp.IsRVaaSQuery() {
+		t.Error("query packet not recognized")
+	}
+	decoded, err := UnmarshalQueryRequest(qp.Payload)
+	if err != nil || decoded.Nonce != 99 {
+		t.Errorf("query payload decode: %v %+v", err, decoded)
+	}
+
+	ar := NewAuthRequestPacket(0xBB, IPv4(10, 0, 0, 2), &AuthRequest{QueryNonce: 99, Challenge: 1})
+	if !ar.IsAuthRequest() {
+		t.Error("auth request packet not recognized")
+	}
+	rep := NewAuthReplyPacket(0xCC, IPv4(10, 0, 0, 3), &AuthReply{QueryNonce: 99, Challenge: 1, ClientID: 2})
+	if !rep.IsAuthReply() {
+		t.Error("auth reply packet not recognized")
+	}
+	respPkt := NewResponsePacket(0xAA, IPv4(10, 0, 0, 1), &QueryResponse{Version: 1, Kind: QueryGeoRegions, Nonce: 99, Status: StatusOK})
+	if respPkt.L4Src != PortRVaaSResponse {
+		t.Error("response packet source port wrong")
+	}
+	probe := NewProbePacket(&ProbePayload{ProbeID: 5})
+	if !probe.IsProbe() {
+		t.Error("probe packet not recognized")
+	}
+}
+
+func TestQueryKindStrings(t *testing.T) {
+	kinds := []QueryKind{
+		QueryReachableDestinations, QueryReachingSources, QueryIsolation,
+		QueryGeoRegions, QueryPathLength, QueryWaypointAvoidance,
+		QueryNeutrality, QueryTransferFunction,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if QueryKind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestResponseStatusStrings(t *testing.T) {
+	for _, s := range []ResponseStatus{StatusOK, StatusViolation, StatusError, StatusUnsupported} {
+		if s.String() == "" {
+			t.Errorf("status %d unnamed", s)
+		}
+	}
+}
+
+func TestEphemeralPortAvoidsWellKnown(t *testing.T) {
+	for n := uint64(0); n < 4096; n++ {
+		if p := ephemeralPort(n * 0x9E3779B97F4A7C15); p < 1024 {
+			t.Fatalf("ephemeral port %d < 1024 for nonce %d", p, n)
+		}
+	}
+}
+
+// TestEphemeralPortAvoidsMagicRange sweeps nonces whose raw fold lands
+// exactly on the reserved RVaaS ports: a collision would misclassify a
+// response packet as an auth request at the agent.
+func TestEphemeralPortAvoidsMagicRange(t *testing.T) {
+	for _, magic := range []uint64{
+		uint64(PortRVaaSQuery), uint64(PortRVaaSAuthReq),
+		uint64(PortRVaaSAuthRep), uint64(PortRVaaSResponse),
+	} {
+		p := ephemeralPort(magic) // folds to exactly the magic value
+		if p >= PortRVaaSQuery && p <= PortRVaaSResponse {
+			t.Errorf("nonce %#x yields reserved port %#x", magic, p)
+		}
+	}
+	// Exhaustive over the low 16 bits.
+	for n := uint64(0); n < 0x10000; n++ {
+		p := ephemeralPort(n)
+		if p >= PortRVaaSQuery && p <= PortRVaaSResponse {
+			t.Fatalf("nonce %#x yields reserved port %#x", n, p)
+		}
+	}
+}
