@@ -100,6 +100,91 @@ func buildHSAChain(switches, rulesPer int) (*headerspace.Network, headerspace.Sp
 	return net, inject
 }
 
+// --------------------------------------------------------------- E11 ----
+
+// BenchmarkReachParallel measures one full "which sources can reach me"
+// injection sweep (ReachAll over every edge port) at growing worker counts
+// on the fattree and grid topologies. The compiled network is built once —
+// through the controller's compile cache — and shared read-only by all
+// workers, so the benchmark isolates traversal parallelism. On a multi-core
+// machine the 4-worker rows show ≥2× the serial throughput; on a single
+// core all rows degenerate to the serial path.
+func BenchmarkReachParallel(b *testing.B) {
+	tops := []experiments.NamedTopology{
+		{Name: "fattree-4", Build: func() (*topology.Topology, error) { return topology.FatTree(4) }},
+		{Name: "grid-4x4", Build: func() (*topology.Topology, error) { return topology.Grid(4, 4) }},
+	}
+	for _, nt := range tops {
+		topo, err := nt.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := deploy.New(topo, deploy.Options{SkipAgents: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := d.RVaaS.CompiledNetwork()
+		points := experiments.EdgePoints(topo)
+		aps := topo.AccessPoints()
+		space := headerspace.NewSpace(wire.HeaderWidth,
+			wire.FieldHeader(wire.FieldIPDst, uint64(aps[len(aps)-1].HostIP), 0xFFFFFFFF))
+		for _, workers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/points-%d/workers-%d", nt.Name, len(points), workers), func(b *testing.B) {
+				opt := headerspace.ReachOptions{Parallelism: workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					net.ReachAll(points, space, opt)
+				}
+			})
+		}
+		d.Close()
+	}
+}
+
+// BenchmarkSnapshotCompileCache contrasts a query-path network fetch on an
+// unchanged snapshot (pure cache hit) with the same fetch after a one-switch
+// change (incremental recompile of that switch only). The win over the old
+// full recompile grows linearly with switch count.
+func BenchmarkSnapshotCompileCache(b *testing.B) {
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := deploy.New(topo, deploy.Options{SkipAgents: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.Run("hit", func(b *testing.B) {
+		d.RVaaS.CompiledNetwork() // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.RVaaS.CompiledNetwork()
+		}
+	})
+	b.Run("one-switch-change", func(b *testing.B) {
+		sw := topo.Switches()[0]
+		for i := 0; i < b.N; i++ {
+			before := d.RVaaS.SnapshotID()
+			e := openflow.FlowEntry{
+				Priority: uint16(5000 + i%1000),
+				Match: openflow.Match{Fields: []openflow.FieldMatch{
+					{Field: wire.FieldIPDst, Value: uint64(0x0C000000 + i), Mask: 0xFFFFFFFF},
+				}},
+				Actions: []openflow.Action{openflow.Output(1)},
+			}
+			d.Fabric.Switch(sw).InstallDirect(e)
+			// Wait for the passive event so the change is in the snapshot,
+			// then rebuild (recompiles only sw).
+			for d.RVaaS.SnapshotID() == before {
+				time.Sleep(10 * time.Microsecond)
+			}
+			d.RVaaS.CompiledNetwork()
+		}
+	})
+}
+
 // ---------------------------------------------------------------- E3 ----
 
 // BenchmarkE3Monitoring measures the active-poll path (full state fetch of

@@ -36,6 +36,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *iters < 1 {
+		*iters = 1
+	}
 	all := *only == ""
 	want := func(id string) bool { return all || *only == id }
 
@@ -80,6 +83,11 @@ func run(args []string) error {
 	}
 	if want("e10") {
 		if err := e10(); err != nil {
+			return err
+		}
+	}
+	if want("e11") {
+		if err := e11(*iters); err != nil {
 			return err
 		}
 	}
@@ -340,5 +348,27 @@ func e10() error {
 	fmt.Printf("%-28s %s\n", "quote generation", genTime)
 	fmt.Printf("%-28s %s\n", "quote verification", verTime)
 	fmt.Printf("%-28s %d bytes\n", "quote size", len(q.Marshal()))
+	return nil
+}
+
+func e11(iters int) error {
+	header("E11", "parallel reachability sweep scaling (workers vs throughput)")
+	fmt.Printf("%-12s %-8s %-9s %-14s %-12s %-8s\n",
+		"topology", "points", "workers", "sweep mean", "sweeps/sec", "speedup")
+	tops := []experiments.NamedTopology{
+		{Name: "fattree-4", Build: func() (*topology.Topology, error) { return topology.FatTree(4) }},
+		{Name: "grid-4x4", Build: func() (*topology.Topology, error) { return topology.Grid(4, 4) }},
+	}
+	for _, nt := range tops {
+		rows, err := experiments.ReachScaling(nt, []int{1, 4, 16}, iters)
+		if err != nil {
+			return fmt.Errorf("e11 %s: %w", nt.Name, err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-12s %-8d %-9d %-14s %-12.1f %-8.2f\n",
+				r.Topology, r.Points, r.Workers,
+				r.Mean.Round(time.Microsecond), r.Sweeps, r.Speedup)
+		}
+	}
 	return nil
 }

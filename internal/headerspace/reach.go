@@ -2,7 +2,10 @@ package headerspace
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a box (switch) in the reachability network.
@@ -20,6 +23,10 @@ type Link struct {
 // Network is the static model reachability runs on: one transfer function
 // per node plus the wiring. Ports not connected by any link are edge
 // (access) ports.
+//
+// A Network is safe for concurrent readers (Reach, ReachAll, Peer, ...)
+// once construction (AddNode/AddLink) is finished; the RVaaS controller
+// relies on this to share one compiled network across parallel queries.
 type Network struct {
 	width int
 	nodes map[NodeID]*TransferFunction
@@ -117,15 +124,63 @@ type ReachOptions struct {
 	MaxHops int
 	// KeepLoops includes looped results (Looped=true) in the output.
 	KeepLoops bool
-	// MaxResults truncates the result list; 0 means unlimited.
+	// MaxResults truncates the result list; 0 means unlimited. The bound is
+	// exact: the traversal stops as soon as it is hit, even mid-emission.
 	MaxResults int
+	// Parallelism is the worker count ReachAll fans injection points across;
+	// 0 or negative means GOMAXPROCS. A single Reach call is always
+	// sequential.
+	Parallelism int
 }
 
-type reachState struct {
+// seenEntry is one node of the per-branch visited list. The list is a
+// persistent (immutable, structurally shared) stack: extending a branch
+// pushes one node; sibling branches share the common prefix. This replaces
+// the per-hop full copy of a map[visitKey][]Space the recursive engine made,
+// turning O(path × visited) allocation per hop into O(1).
+type seenEntry struct {
+	node   NodeID
+	port   PortID
+	space  Space
+	parent *seenEntry
+}
+
+// pathEntry is the persistent analogue for paths: hops are only materialised
+// into a []Hop when a result is emitted.
+type pathEntry struct {
+	hop    Hop
+	depth  int
+	parent *pathEntry
+}
+
+func (p *pathEntry) len() int {
+	if p == nil {
+		return 0
+	}
+	return p.depth
+}
+
+// materialize renders the persistent path ingress-hop-first.
+func (p *pathEntry) materialize() []Hop {
+	out := make([]Hop, p.len())
+	for e := p; e != nil; e = e.parent {
+		out[e.depth-1] = e.hop
+	}
+	return out
+}
+
+// frame is one pending traversal state on the explicit stack. An egress
+// frame carries a result to emit (node/inPort are the egress coordinates);
+// a traversal frame continues the walk at (node, inPort). Deferring egress
+// emissions onto the stack keeps result order identical to the recursive
+// engine's depth-first rule order.
+type frame struct {
 	node   NodeID
 	inPort PortID
 	space  Space
-	path   []Hop
+	path   *pathEntry
+	seen   *seenEntry
+	egress bool
 }
 
 // Reach propagates the space `in`, injected into node `at` on port `port`,
@@ -135,6 +190,10 @@ type reachState struct {
 // Loop detection follows HSA: a branch terminates when the space arriving at
 // a (node, port) is covered by a space previously seen at the same
 // (node, port) on this branch's path.
+//
+// The traversal is an explicit-stack depth-first walk (no recursion), so
+// deep topologies cannot exhaust goroutine stacks, and branch state (seen
+// sets, paths) is structurally shared between siblings instead of copied.
 func (n *Network) Reach(at NodeID, port PortID, in Space, opt ReachOptions) []ReachResult {
 	maxHops := opt.MaxHops
 	if maxHops <= 0 {
@@ -144,73 +203,155 @@ func (n *Network) Reach(at NodeID, port PortID, in Space, opt ReachOptions) []Re
 		}
 	}
 	var results []ReachResult
-	type visitKey struct {
-		node NodeID
-		port PortID
+	// emit appends one result, enforcing MaxResults at every append (the
+	// recursive engine only checked at branch entry and could overshoot
+	// inside a multi-port emission loop).
+	emit := func(r ReachResult) bool {
+		if opt.MaxResults > 0 && len(results) >= opt.MaxResults {
+			return false
+		}
+		results = append(results, r)
+		return true
 	}
 
-	var walk func(st reachState, seen map[visitKey][]Space)
-	walk = func(st reachState, seen map[visitKey][]Space) {
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{node: at, inPort: port, space: in.Clone()}
+	// scratch reverses emissions so the stack pops them in rule order,
+	// keeping result order identical to the recursive engine's DFS.
+	var scratch []frame
+
+	for len(stack) > 0 {
 		if opt.MaxResults > 0 && len(results) >= opt.MaxResults {
-			return
+			break
 		}
-		if len(st.path) >= maxHops {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if st.egress {
+			if !emit(ReachResult{
+				EgressNode: st.node, EgressPort: st.inPort,
+				Space: st.space, Path: st.path.materialize(),
+			}) {
+				break
+			}
+			continue
+		}
+		if st.path.len() >= maxHops {
 			if opt.KeepLoops {
-				results = append(results, ReachResult{
+				if !emit(ReachResult{
 					EgressNode: st.node, EgressPort: st.inPort,
-					Space: st.space, Path: clonePath(st.path), Looped: true,
-				})
-			}
-			return
-		}
-		vk := visitKey{st.node, st.inPort}
-		for _, prev := range seen[vk] {
-			if prev.Covers(st.space) {
-				if opt.KeepLoops {
-					results = append(results, ReachResult{
-						EgressNode: st.node, EgressPort: st.inPort,
-						Space: st.space, Path: clonePath(st.path), Looped: true,
-					})
+					Space: st.space, Path: st.path.materialize(), Looped: true,
+				}) {
+					break
 				}
-				return
 			}
+			continue
+		}
+		looped := false
+		for e := st.seen; e != nil; e = e.parent {
+			if e.node == st.node && e.port == st.inPort && e.space.Covers(st.space) {
+				looped = true
+				break
+			}
+		}
+		if looped {
+			if opt.KeepLoops {
+				if !emit(ReachResult{
+					EgressNode: st.node, EgressPort: st.inPort,
+					Space: st.space, Path: st.path.materialize(), Looped: true,
+				}) {
+					break
+				}
+			}
+			continue
 		}
 		tf := n.nodes[st.node]
 		if tf == nil {
-			return
+			continue
 		}
-		// Extend the seen map for this branch.
-		newSeen := make(map[visitKey][]Space, len(seen)+1)
-		for k, v := range seen {
-			newSeen[k] = v
-		}
-		newSeen[vk] = append(append([]Space(nil), seen[vk]...), st.space)
+		seen := &seenEntry{node: st.node, port: st.inPort, space: st.space, parent: st.seen}
 
+		scratch = scratch[:0]
 		for _, em := range tf.Apply(st.space, st.inPort) {
 			hop := Hop{Node: st.node, InPort: st.inPort, OutPort: em.Port}
-			nextPath := append(clonePath(st.path), hop)
+			next := &pathEntry{hop: hop, depth: st.path.len() + 1, parent: st.path}
 			if peerNode, peerPort, wired := n.Peer(st.node, em.Port); wired {
-				walk(reachState{node: peerNode, inPort: peerPort, space: em.Space, path: nextPath}, newSeen)
+				scratch = append(scratch, frame{
+					node: peerNode, inPort: peerPort, space: em.Space,
+					path: next, seen: seen,
+				})
 			} else {
-				results = append(results, ReachResult{
-					EgressNode: st.node, EgressPort: em.Port,
-					Space: em.Space, Path: nextPath,
+				scratch = append(scratch, frame{
+					node: st.node, inPort: em.Port, space: em.Space,
+					path: next, egress: true,
 				})
 			}
 		}
+		for i := len(scratch) - 1; i >= 0; i-- {
+			stack = append(stack, scratch[i])
+		}
 	}
-
-	walk(reachState{node: at, inPort: port, space: in.Clone()}, map[visitKey][]Space{})
 	return results
 }
 
-func clonePath(p []Hop) []Hop {
-	out := make([]Hop, len(p))
-	copy(out, p)
+// InjectionPoint names one (node, port) a space is injected at.
+type InjectionPoint struct {
+	Node NodeID
+	Port PortID
+}
+
+// PointResult couples an injection point with its reachability results.
+type PointResult struct {
+	At      InjectionPoint
+	Results []ReachResult
+}
+
+// ReachAll runs Reach for the same space from every injection point, fanning
+// the points across opt.Parallelism workers (default GOMAXPROCS). Results
+// are returned in input order. The per-point traversals are independent:
+// opt.MaxResults bounds each point's result list, not the total.
+func (n *Network) ReachAll(points []InjectionPoint, in Space, opt ReachOptions) []PointResult {
+	out := make([]PointResult, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, p := range points {
+			out[i] = PointResult{At: p, Results: n.Reach(p.Node, p.Port, in, opt)}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				p := points[i]
+				out[i] = PointResult{At: p, Results: n.Reach(p.Node, p.Port, in, opt)}
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
 // EgressSet aggregates reach results into the union of spaces per edge port.
+// The aggregate owns its spaces: every inserted space is deep-copied, so
+// mutating the returned map (or the underlying terms) can never alias back
+// into the ReachResults, and vice versa.
 func EgressSet(results []ReachResult) map[NodeID]map[PortID]Space {
 	out := make(map[NodeID]map[PortID]Space)
 	for _, r := range results {
@@ -223,6 +364,8 @@ func EgressSet(results []ReachResult) map[NodeID]map[PortID]Space {
 			out[r.EgressNode] = ports
 		}
 		if cur, ok := ports[r.EgressPort]; ok {
+			// Union deep-copies both operands' terms before compaction, so
+			// the stored space shares nothing with r.Space.
 			ports[r.EgressPort] = cur.Union(r.Space)
 		} else {
 			ports[r.EgressPort] = r.Space.Clone()

@@ -152,6 +152,129 @@ func TestReachMaxResults(t *testing.T) {
 	}
 }
 
+// TestReachMaxResultsExactOnMultiPortEmission is the regression test for
+// the cap overshoot: a single rule emitting on several edge ports appends
+// multiple results in one emission loop, and the old engine only checked
+// MaxResults at branch entry, so it could return more than the cap.
+func TestReachMaxResultsExactOnMultiPortEmission(t *testing.T) {
+	width := 4
+	net := NewNetwork(width)
+	tf := NewTransferFunction(width)
+	mustAdd(t, tf, Rule{Priority: 1, Match: AllX(width), OutPorts: []PortID{2, 3, 4}})
+	if err := net.AddNode(1, tf); err != nil {
+		t.Fatal(err)
+	}
+	for _, max := range []int{1, 2} {
+		res := net.Reach(1, 1, FullSpace(width), ReachOptions{MaxResults: max})
+		if len(res) != max {
+			t.Errorf("MaxResults=%d returned %d results", max, len(res))
+		}
+	}
+	// Sanity: uncapped returns all three egresses.
+	if res := net.Reach(1, 1, FullSpace(width), ReachOptions{}); len(res) != 3 {
+		t.Errorf("uncapped results = %d, want 3", len(res))
+	}
+}
+
+// TestReachMaxResultsExactWithLoops covers the same overshoot for looped
+// results under KeepLoops.
+func TestReachMaxResultsExactWithLoops(t *testing.T) {
+	width := 4
+	net := NewNetwork(width)
+	for i := 1; i <= 2; i++ {
+		tf := NewTransferFunction(width)
+		mustAdd(t, tf, Rule{Priority: 1, Match: AllX(width), InPorts: []PortID{1}, OutPorts: []PortID{2}})
+		if err := net.AddNode(NodeID(i), tf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.AddLink(Link{1, 2, 2, 1})
+	net.AddLink(Link{2, 2, 1, 1})
+	res := net.Reach(1, 1, FullSpace(width), ReachOptions{KeepLoops: true, MaxResults: 1})
+	if len(res) != 1 {
+		t.Errorf("MaxResults=1 with KeepLoops returned %d results", len(res))
+	}
+}
+
+func TestReachAllMatchesSerial(t *testing.T) {
+	net := lineNetwork(t, 6, 8)
+	var points []InjectionPoint
+	for i := 1; i <= 6; i++ {
+		points = append(points, InjectionPoint{NodeID(i), 1}, InjectionPoint{NodeID(i), 2})
+	}
+	in := FullSpace(8)
+	serial := net.ReachAll(points, in, ReachOptions{Parallelism: 1})
+	for _, par := range []int{2, 4, 16} {
+		got := net.ReachAll(points, in, ReachOptions{Parallelism: par})
+		if len(got) != len(serial) {
+			t.Fatalf("parallelism %d: %d point results, want %d", par, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i].At != serial[i].At {
+				t.Fatalf("parallelism %d: point %d order changed: %v vs %v", par, i, got[i].At, serial[i].At)
+			}
+			if len(got[i].Results) != len(serial[i].Results) {
+				t.Fatalf("parallelism %d: point %v result count %d vs %d",
+					par, got[i].At, len(got[i].Results), len(serial[i].Results))
+			}
+			for j := range got[i].Results {
+				if !got[i].Results[j].Space.Equal(serial[i].Results[j].Space) {
+					t.Errorf("parallelism %d: point %v result %d space differs", par, got[i].At, j)
+				}
+			}
+		}
+	}
+}
+
+
+// TestEgressSetOwnership is the regression test for aggregate aliasing: the
+// spaces stored in an EgressSet must not share term storage with the reach
+// results they were built from, on either the first-insert (Clone) path or
+// the union path — otherwise a caller mutating the aggregate would corrupt
+// the results (and vice versa).
+func TestEgressSetOwnership(t *testing.T) {
+	width := 8
+	results := []ReachResult{
+		{EgressNode: 1, EgressPort: 2, Space: sp("1100xxxx")},
+		{EgressNode: 1, EgressPort: 2, Space: sp("0011xxxx")}, // union path
+		{EgressNode: 3, EgressPort: 1, Space: sp("1111xxxx")}, // clone path
+	}
+	agg := EgressSet(results)
+	snapshotBefore := make([]string, len(results))
+	for i, r := range results {
+		snapshotBefore[i] = r.Space.String()
+	}
+	// Mutate every term of every aggregated space in place.
+	for _, ports := range agg {
+		for _, s := range ports {
+			for i := range s.terms {
+				for b := 0; b < width; b++ {
+					s.terms[i].setBitInPlace(b, Bit0)
+				}
+			}
+		}
+	}
+	for i, r := range results {
+		if got := r.Space.String(); got != snapshotBefore[i] {
+			t.Errorf("result %d mutated through aggregate: %s != %s", i, got, snapshotBefore[i])
+		}
+	}
+	// And the reverse direction: rebuilding and mutating the results must
+	// not change a previously computed aggregate.
+	agg = EgressSet(results)
+	before := agg[1][2].String()
+	for _, r := range results {
+		for i := range r.Space.terms {
+			for b := 0; b < width; b++ {
+				r.Space.terms[i].setBitInPlace(b, Bit1)
+			}
+		}
+	}
+	if got := agg[1][2].String(); got != before {
+		t.Errorf("aggregate mutated through results: %s != %s", got, before)
+	}
+}
+
 func TestIsEdgePort(t *testing.T) {
 	net := lineNetwork(t, 2, 4)
 	if net.IsEdgePort(1, 2) {

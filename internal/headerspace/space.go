@@ -112,9 +112,14 @@ func (s Space) IntersectHeader(h Header) Space {
 	return out
 }
 
-// Subtract returns s \ o.
+// Subtract returns s \ o. The result never shares term storage with s or o.
 func (s Space) Subtract(o Space) Space {
-	out := s.Clone()
+	if len(o.terms) == 0 {
+		return s.Clone()
+	}
+	// SubtractHeader is functional (it clones every surviving term), so the
+	// first pass already detaches the result from s — no up-front deep copy.
+	out := s
 	for _, b := range o.terms {
 		out = out.SubtractHeader(b)
 		if out.IsEmpty() {
@@ -147,9 +152,58 @@ func (s Space) Complement() Space {
 	return out.Compact()
 }
 
+// residual computes s \ o with NO ownership guarantee: surviving terms may
+// alias s's storage and the result is not compacted. It exists for read-only
+// predicates (Covers, Equal) that discard the result after an emptiness
+// check — the reachability loop-detection scan calls Covers once per visited
+// hop, and the full clone Subtract would make dominates that path.
+func (s Space) residual(o Space) Space {
+	out := s
+	for _, b := range o.terms {
+		if out.IsEmpty() {
+			break
+		}
+		out = out.residualHeader(b)
+	}
+	return out
+}
+
+// residualHeader is SubtractHeader without the defensive clones of
+// non-overlapping terms.
+func (s Space) residualHeader(h Header) Space {
+	out := Space{width: s.width}
+	for _, a := range s.terms {
+		if !a.Overlaps(h) {
+			out.terms = append(out.terms, a)
+			continue
+		}
+		diff := a.Subtract(h)
+		out.terms = append(out.terms, diff.terms...)
+	}
+	return out
+}
+
 // Covers reports whether every packet in o is in s.
 func (s Space) Covers(o Space) bool {
-	return o.Subtract(s).IsEmpty()
+	// Fast path: every term of o already inside a single term of s.
+	allSingle := true
+	for _, t := range o.terms {
+		single := false
+		for _, st := range s.terms {
+			if st.Covers(t) {
+				single = true
+				break
+			}
+		}
+		if !single {
+			allSingle = false
+			break
+		}
+	}
+	if allSingle {
+		return true
+	}
+	return o.residual(s).IsEmpty()
 }
 
 // CoversHeader reports whether every packet matched by h is in s.
@@ -160,7 +214,7 @@ func (s Space) CoversHeader(h Header) bool {
 			return true
 		}
 	}
-	return NewSpace(h.width, h).Subtract(s).IsEmpty()
+	return NewSpace(h.width, h).residual(s).IsEmpty()
 }
 
 // Overlaps reports whether s and o share at least one packet.

@@ -134,9 +134,16 @@ type Emission struct {
 // highest-priority rule matching it; lower-priority rules only see the
 // remainder. Unmatched packets are dropped (OpenFlow table-miss without a
 // miss rule).
+//
+// Ownership: every returned Emission.Space is freshly allocated and shares
+// no terms with `in` or with any other emission, so callers may hand the
+// spaces off without cloning. `in` itself is never mutated.
 func (tf *TransferFunction) Apply(in Space, on PortID) []Emission {
 	var out []Emission
-	remaining := in.Clone()
+	// All space operations below are functional (they allocate their result
+	// terms), so the running remainder can alias `in` until the first
+	// subtraction replaces it — no up-front deep copy needed.
+	remaining := in
 	for _, r := range tf.rules {
 		if remaining.IsEmpty() {
 			break
@@ -153,8 +160,15 @@ func (tf *TransferFunction) Apply(in Space, on PortID) []Emission {
 		if r.hasRewrite() {
 			emitted = rewriteSpace(hit, r.Mask, r.Value)
 		}
-		for _, p := range r.OutPorts {
-			out = append(out, Emission{Port: p, Space: emitted.Clone(), Rule: r})
+		for i, p := range r.OutPorts {
+			// `emitted` is fresh (built by IntersectHeader/rewriteSpace
+			// above), so the first port takes it as-is; only multi-port
+			// rules pay for clones of the extra copies.
+			sp := emitted
+			if i > 0 {
+				sp = emitted.Clone()
+			}
+			out = append(out, Emission{Port: p, Space: sp, Rule: r})
 		}
 	}
 	return out

@@ -58,12 +58,26 @@ func NewStore(capacity int) *Store {
 	return &Store{capacity: capacity}
 }
 
-// Append stores a snapshot, evicting the oldest record if full.
+// Append stores a snapshot, evicting the oldest record if full. Records
+// are kept ordered by (At, SnapshotID): concurrent appenders (parallel
+// active polls racing passive events) may call Append out of order, and
+// At()'s newest-first scan relies on the ordering. The insertion scan runs
+// from the tail, so the common in-order append stays O(1).
 func (s *Store) Append(r Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r.Tables = cloneTables(r.Tables)
-	s.records = append(s.records, r)
+	i := len(s.records)
+	for i > 0 {
+		prev := s.records[i-1]
+		if prev.At.Before(r.At) || (prev.At.Equal(r.At) && prev.SnapshotID <= r.SnapshotID) {
+			break
+		}
+		i--
+	}
+	s.records = append(s.records, Record{})
+	copy(s.records[i+1:], s.records[i:])
+	s.records[i] = r
 	if len(s.records) > s.capacity {
 		s.records = s.records[len(s.records)-s.capacity:]
 	}

@@ -186,3 +186,32 @@ func TestRecordIsolation(t *testing.T) {
 		t.Error("store shares table slices with reader")
 	}
 }
+
+// TestAppendOutOfOrder: concurrent appenders (parallel active polls racing
+// passive events) may deliver records out of time order; the store must
+// keep them sorted so At()'s newest-first scan and Latest() stay correct.
+func TestAppendOutOfOrder(t *testing.T) {
+	s := NewStore(10)
+	s.Append(rec(t0.Add(2*time.Second), 3, nil))
+	s.Append(rec(t0, 1, nil))                    // late arrival, earlier time
+	s.Append(rec(t0.Add(1*time.Second), 2, nil)) // late arrival, middle time
+	latest, ok := s.Latest()
+	if !ok || latest.SnapshotID != 3 {
+		t.Fatalf("Latest = %+v, want id 3", latest)
+	}
+	mid, ok := s.At(t0.Add(1500 * time.Millisecond))
+	if !ok || mid.SnapshotID != 2 {
+		t.Errorf("At(+1.5s) = id %d, want 2", mid.SnapshotID)
+	}
+	first, ok := s.At(t0)
+	if !ok || first.SnapshotID != 1 {
+		t.Errorf("At(t0) = id %d, want 1", first.SnapshotID)
+	}
+	// Equal timestamps order by SnapshotID.
+	s.Append(rec(t0.Add(3*time.Second), 5, nil))
+	s.Append(rec(t0.Add(3*time.Second), 4, nil))
+	latest, _ = s.Latest()
+	if latest.SnapshotID != 5 {
+		t.Errorf("equal-time Latest = id %d, want 5", latest.SnapshotID)
+	}
+}

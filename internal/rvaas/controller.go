@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/enclave"
+	"repro/internal/headerspace"
 	"repro/internal/history"
 	"repro/internal/openflow"
 	"repro/internal/topology"
@@ -187,6 +188,20 @@ func (c *Controller) History() *history.Store { return c.hist }
 
 // SnapshotID returns the current configuration version.
 func (c *Controller) SnapshotID() uint64 { return c.snap.snapshotID() }
+
+// CompiledNetwork returns the header-space network compiled from the
+// current snapshot, served from the compile cache when the snapshot has not
+// changed since the last call. The returned network is shared and must be
+// treated as read-only (it is safe for concurrent Reach/ReachAll callers).
+func (c *Controller) CompiledNetwork() *headerspace.Network {
+	return c.snap.buildNetwork(c.topo)
+}
+
+// CompileCacheStats returns the compiled-network cache counters (hits,
+// rebuilds, per-switch recompilations).
+func (c *Controller) CompileCacheStats() CompileStats {
+	return c.snap.compileStats()
+}
 
 // Attach connects the controller to one switch over an established secure
 // channel. It subscribes to flow-monitor events, installs the in-band

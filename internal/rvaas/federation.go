@@ -57,7 +57,7 @@ func (c *Controller) peerAt(ep topology.Endpoint) (Federation, topology.Endpoint
 // FederatedRegions implements Federation for this controller: it runs the
 // geo analysis from the entry endpoint and recurses into further peers.
 func (c *Controller) FederatedRegions(entry topology.Endpoint, constraints []wire.FieldConstraint) []string {
-	net := c.snap.buildNetwork(c.topo)
+	net := c.CompiledNetwork()
 	req := requesterInfo{sw: entry.Switch, port: entry.Port}
 	resp := &wire.QueryResponse{Version: wire.CurrentVersion, Kind: wire.QueryGeoRegions}
 	c.answerGeo(net, req, &wire.QueryRequest{Version: wire.CurrentVersion, Kind: wire.QueryGeoRegions, Constraints: constraints}, resp)
@@ -68,7 +68,7 @@ func (c *Controller) FederatedRegions(entry topology.Endpoint, constraints []wir
 // entry point, qualified as "switch:port" strings (topology details beyond
 // endpoints stay confidential).
 func (c *Controller) FederatedReachable(entry topology.Endpoint, constraints []wire.FieldConstraint) []string {
-	net := c.snap.buildNetwork(c.topo)
+	net := c.CompiledNetwork()
 	req := requesterInfo{sw: entry.Switch, port: entry.Port}
 	eps := c.reachableEndpoints(net, req, &wire.QueryRequest{
 		Version: wire.CurrentVersion, Kind: wire.QueryReachableDestinations, Constraints: constraints,

@@ -1,6 +1,8 @@
 package rvaas
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/history"
@@ -15,8 +17,8 @@ func (c *Controller) handleMonitorEvent(sw topology.SwitchID, ev *openflow.FlowM
 	c.mu.Lock()
 	c.stats.PassiveEvents++
 	c.mu.Unlock()
-	if c.snap.applyEvent(sw, ev) {
-		c.recordHistory(history.SourcePassive)
+	if cap, ok := c.snap.applyEvent(sw, ev); ok {
+		c.recordHistory(history.SourcePassive, cap)
 		return
 	}
 	c.mu.Lock()
@@ -33,17 +35,20 @@ func (c *Controller) handleMonitorEvent(sw topology.SwitchID, ev *openflow.FlowM
 
 // applyStats installs a full-state snapshot for one switch.
 func (c *Controller) applyStats(sw topology.SwitchID, m *openflow.StatsReply, src history.Source) {
-	c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq)
-	c.recordHistory(src)
+	cap := c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq)
+	c.recordHistory(src, cap)
 }
 
-// recordHistory appends the current global snapshot to the history ring.
-func (c *Controller) recordHistory(src history.Source) {
+// recordHistory appends one applied change to the history ring. The capture
+// was taken atomically with the mutation, so concurrent appliers (parallel
+// polls, passive events) each record the id/tables pair of exactly their
+// own change — no ids are duplicated or skipped.
+func (c *Controller) recordHistory(src history.Source, cap capture) {
 	c.hist.Append(history.Record{
 		At:         c.cfg.Clock(),
-		SnapshotID: c.snap.snapshotID(),
+		SnapshotID: cap.id,
 		Source:     src,
-		Tables:     c.snap.allTables(),
+		Tables:     cap.tables,
 	})
 }
 
@@ -70,8 +75,10 @@ func (e errTyped) Error() string { return string(e) }
 
 // PollAll actively polls every attached switch and waits for all replies
 // (the paper's "proactively query the switches for their current
-// configuration"). It returns the first error encountered but polls every
-// switch regardless.
+// configuration"). The polls run concurrently — each is an independent
+// request/reply on its own switch session, so the wall-clock cost is the
+// slowest switch, not the sum. It returns the first error encountered (in
+// switch order) but polls every switch regardless.
 func (c *Controller) PollAll(timeout time.Duration) error {
 	c.mu.Lock()
 	c.stats.ActivePolls++
@@ -80,13 +87,23 @@ func (c *Controller) PollAll(timeout time.Duration) error {
 		switches = append(switches, sw)
 	}
 	c.mu.Unlock()
-	var firstErr error
-	for _, sw := range switches {
-		if err := c.pollSwitch(sw, timeout); err != nil && firstErr == nil {
-			firstErr = err
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	errs := make([]error, len(switches))
+	var wg sync.WaitGroup
+	wg.Add(len(switches))
+	for i, sw := range switches {
+		go func(i int, sw topology.SwitchID) {
+			defer wg.Done()
+			errs[i] = c.pollSwitch(sw, timeout)
+		}(i, sw)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // TamperReport lists switches whose RVaaS interception rules are missing

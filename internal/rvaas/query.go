@@ -80,7 +80,8 @@ func (c *Controller) handleQuery(sw topology.SwitchID, inPort topology.PortNo, p
 		SnapshotID: c.snap.snapshotID(),
 	}
 
-	net := c.snap.buildNetwork(c.topo)
+	// Served from the compile cache whenever the snapshot is unchanged.
+	net := c.CompiledNetwork()
 	var authTargets []discoveredEndpoint
 
 	switch q.Kind {
@@ -133,41 +134,44 @@ func (c *Controller) reachableEndpoints(net *headerspace.Network, req requesterI
 // reachingSources answers "for which sources currently exist routing paths
 // which can reach my network card?". It injects the scope at every edge
 // port of the network — including unregistered ones, which is exactly how a
-// join attack's secret access point is discovered.
+// join attack's secret access point is discovered. The per-port traversals
+// are independent, so they fan out across a worker pool (ReachAll); the
+// compiled network is shared read-only between the workers.
 func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo, q *wire.QueryRequest) []discoveredEndpoint {
 	space := scopeSpace(q.Constraints)
-	var found []discoveredEndpoint
-	for _, sw := range c.topo.Switches() {
-		for p := topology.PortNo(1); p <= c.topo.PortCount(sw); p++ {
-			ep := topology.Endpoint{Switch: sw, Port: p}
-			if c.topo.IsInternal(ep) {
-				continue
-			}
-			if ep.Switch == req.sw && ep.Port == req.port {
-				continue // the request point trivially reaches itself
-			}
-			results := net.Reach(headerspace.NodeID(sw), headerspace.PortID(p), space, headerspace.ReachOptions{})
-			reaches := false
-			var lens []int
-			for _, r := range results {
-				if r.Looped {
-					continue
-				}
-				if r.EgressNode == headerspace.NodeID(req.sw) && r.EgressPort == headerspace.PortID(req.port) {
-					reaches = true
-					lens = append(lens, len(r.Path))
-				}
-			}
-			if !reaches {
-				continue
-			}
-			de := discoveredEndpoint{ep: ep, pathLens: lens}
-			if ap, ok := c.topo.AccessPointAt(ep); ok {
-				de.ap = ap
-				de.known = true
-			}
-			found = append(found, de)
+	var points []headerspace.InjectionPoint
+	var eps []topology.Endpoint
+	for _, ep := range c.topo.EdgePorts() {
+		if ep.Switch == req.sw && ep.Port == req.port {
+			continue // the request point trivially reaches itself
 		}
+		points = append(points, headerspace.InjectionPoint{
+			Node: headerspace.NodeID(ep.Switch), Port: headerspace.PortID(ep.Port),
+		})
+		eps = append(eps, ep)
+	}
+	var found []discoveredEndpoint
+	for i, pr := range net.ReachAll(points, space, headerspace.ReachOptions{}) {
+		reaches := false
+		var lens []int
+		for _, r := range pr.Results {
+			if r.Looped {
+				continue
+			}
+			if r.EgressNode == headerspace.NodeID(req.sw) && r.EgressPort == headerspace.PortID(req.port) {
+				reaches = true
+				lens = append(lens, len(r.Path))
+			}
+		}
+		if !reaches {
+			continue
+		}
+		de := discoveredEndpoint{ep: eps[i], pathLens: lens}
+		if ap, ok := c.topo.AccessPointAt(eps[i]); ok {
+			de.ap = ap
+			de.known = true
+		}
+		found = append(found, de)
 	}
 	sortEndpoints(found)
 	return found

@@ -1,0 +1,63 @@
+package rvaas_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/wire"
+)
+
+// TestRepeatedQueriesHitCompileCache asserts the tentpole acceptance
+// criterion end-to-end: repeated queries against an unchanged snapshot must
+// skip network compilation entirely (served from the compile cache).
+func TestRepeatedQueriesHitCompileCache(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{})
+	aps := d.Topology.AccessPoints()
+	agent := d.Agent(1)
+
+	// Setup-time flow-monitor events (RVaaS's own interception rules) land
+	// asynchronously after deploy returns; wait for the snapshot to go
+	// quiet so the cache counters below measure only the queries.
+	last := d.RVaaS.SnapshotID()
+	for stable := 0; stable < 3; {
+		time.Sleep(10 * time.Millisecond)
+		if cur := d.RVaaS.SnapshotID(); cur == last {
+			stable++
+		} else {
+			last, stable = cur, 0
+		}
+	}
+
+	if _, err := agent.Query(wire.QueryReachableDestinations, ipConstraint(aps[2].HostIP), ""); err != nil {
+		t.Fatal(err)
+	}
+	base := d.RVaaS.CompileCacheStats()
+
+	const extra = 5
+	for i := 0; i < extra; i++ {
+		if _, err := agent.Query(wire.QueryReachableDestinations, ipConstraint(aps[2].HostIP), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.RVaaS.CompileCacheStats()
+	if got := st.NetworkHits - base.NetworkHits; got != extra {
+		t.Errorf("cache hits = %d, want %d (every repeat query must hit)", got, extra)
+	}
+	if st.NetworkBuilds != base.NetworkBuilds {
+		t.Errorf("repeat queries rebuilt the network %d time(s)", st.NetworkBuilds-base.NetworkBuilds)
+	}
+	if st.SwitchCompiles != base.SwitchCompiles {
+		t.Errorf("repeat queries recompiled %d switch(es)", st.SwitchCompiles-base.SwitchCompiles)
+	}
+
+	// A reaching-sources sweep (the parallel ReachAll path) must share the
+	// same cached network too.
+	if _, err := agent.Query(wire.QueryReachingSources, ipConstraint(aps[0].HostIP), ""); err != nil {
+		t.Fatal(err)
+	}
+	st2 := d.RVaaS.CompileCacheStats()
+	if st2.NetworkBuilds != st.NetworkBuilds {
+		t.Errorf("reaching-sources rebuilt the network")
+	}
+}

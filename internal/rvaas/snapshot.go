@@ -9,10 +9,37 @@ import (
 	"repro/internal/wire"
 )
 
+// CompileStats counts compiled-network cache activity. Queries against an
+// unchanged snapshot must not pay compilation at all (NetworkHits); after a
+// single-switch change only that switch's transfer function is recompiled
+// (SwitchCompiles grows by 1, SwitchReuses by the rest).
+type CompileStats struct {
+	// NetworkHits counts buildNetwork calls served entirely from cache.
+	NetworkHits uint64
+	// NetworkBuilds counts buildNetwork calls that had to assemble a new
+	// Network (even if most transfer functions were reused).
+	NetworkBuilds uint64
+	// SwitchCompiles counts per-switch transfer-function compilations.
+	SwitchCompiles uint64
+	// SwitchReuses counts per-switch compilations avoided by the cache.
+	SwitchReuses uint64
+}
+
+// compiledSwitch memoizes one switch's compiled transfer function together
+// with the snapshot generation it was compiled from.
+type compiledSwitch struct {
+	gen uint64
+	tf  *headerspace.TransferFunction
+}
+
 // snapshotStore maintains RVaaS's up-to-date view of every switch's
 // configuration ("the controller maintains an up-to-date snapshot of the
 // network configuration, either passively (monitoring events) or actively
 // (query the switch state)", §IV-A1).
+//
+// It also owns the compiled-network cache: buildNetwork memoizes its result
+// per snapshot id and recompiles only the transfer functions of switches
+// whose state actually changed (tracked by per-switch generation counters).
 type snapshotStore struct {
 	mu     sync.Mutex
 	tables map[topology.SwitchID][]openflow.FlowEntry
@@ -24,15 +51,53 @@ type snapshotStore struct {
 	// id increments on every applied change; responses carry it so clients
 	// can correlate answers with configuration versions.
 	id uint64
+	// gen increments per switch on every change to that switch's state;
+	// the compile cache keys on it.
+	gen map[topology.SwitchID]uint64
+
+	// Compiled-network cache. Guarded by mu; the cached *Network itself is
+	// immutable once published and safe for concurrent readers.
+	compiled  map[topology.SwitchID]compiledSwitch
+	cachedNet *headerspace.Network
+	cachedID  uint64              // snapshot id cachedNet was built from
+	cachedFor *topology.Topology  // topology cachedNet/compiled are valid for
+	stats     CompileStats
 }
 
 func newSnapshotStore() *snapshotStore {
 	return &snapshotStore{
-		tables: make(map[topology.SwitchID][]openflow.FlowEntry),
-		ports:  make(map[topology.SwitchID][]uint32),
-		meters: make(map[topology.SwitchID][]openflow.MeterConfig),
-		seq:    make(map[topology.SwitchID]uint64),
+		tables:   make(map[topology.SwitchID][]openflow.FlowEntry),
+		ports:    make(map[topology.SwitchID][]uint32),
+		meters:   make(map[topology.SwitchID][]openflow.MeterConfig),
+		seq:      make(map[topology.SwitchID]uint64),
+		gen:      make(map[topology.SwitchID]uint64),
+		compiled: make(map[topology.SwitchID]compiledSwitch),
 	}
+}
+
+// bumpLocked records a state change on sw. Callers hold s.mu.
+func (s *snapshotStore) bumpLocked(sw topology.SwitchID) {
+	s.id++
+	s.gen[sw]++
+}
+
+// capture is a consistent (id, tables) pair taken atomically with the
+// mutation that produced it, so concurrent mutators (parallel PollAll,
+// passive events) each get a history record matching exactly their own
+// change — re-reading id and tables after releasing the lock could pair a
+// later id with later tables, duplicating or skipping snapshot ids.
+type capture struct {
+	id     uint64
+	tables map[topology.SwitchID][]openflow.FlowEntry
+}
+
+// captureLocked deep-copies the current state. Callers hold s.mu.
+func (s *snapshotStore) captureLocked() capture {
+	c := capture{id: s.id, tables: make(map[topology.SwitchID][]openflow.FlowEntry, len(s.tables))}
+	for k, v := range s.tables {
+		c.tables[k] = append([]openflow.FlowEntry(nil), v...)
+	}
+	return c
 }
 
 // replaceTable installs a full-table snapshot (active poll result).
@@ -40,8 +105,10 @@ func (s *snapshotStore) replaceTable(sw topology.SwitchID, entries []openflow.Fl
 	s.replaceState(sw, entries, ports, nil, seq)
 }
 
-// replaceState installs a full snapshot including the meter table.
-func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, meters []openflow.MeterConfig, seq uint64) {
+// replaceState installs a full snapshot including the meter table. The
+// returned capture pairs the new snapshot id with the tables as of exactly
+// this change.
+func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, meters []openflow.MeterConfig, seq uint64) capture {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables[sw] = append([]openflow.FlowEntry(nil), entries...)
@@ -54,7 +121,8 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 		delete(s.meters, sw)
 	}
 	s.seq[sw] = seq
-	s.id++
+	s.bumpLocked(sw)
+	return s.captureLocked()
 }
 
 // metersOf returns a copy of a switch's polled meter table.
@@ -64,17 +132,18 @@ func (s *snapshotStore) metersOf(sw topology.SwitchID) []openflow.MeterConfig {
 	return append([]openflow.MeterConfig(nil), s.meters[sw]...)
 }
 
-// applyEvent folds one flow-monitor event into the table. It returns false
-// when a sequence gap is detected, signalling the caller to resync.
-func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) bool {
+// applyEvent folds one flow-monitor event into the table. ok is false when
+// a sequence gap is detected, signalling the caller to resync; on success
+// the capture pairs the new snapshot id with the tables as of this event.
+func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) (cap capture, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	last := s.seq[sw]
 	if ev.Seq != last+1 {
-		return false
+		return capture{}, false
 	}
 	s.seq[sw] = ev.Seq
-	s.id++
+	s.bumpLocked(sw)
 	switch ev.Kind {
 	case openflow.FlowEventAdded:
 		s.tables[sw] = append(s.tables[sw], ev.Entry)
@@ -98,7 +167,7 @@ func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonito
 			s.tables[sw] = append(s.tables[sw], ev.Entry)
 		}
 	}
-	return true
+	return s.captureLocked(), true
 }
 
 func sameMatch(a, b openflow.Match) bool {
@@ -135,17 +204,6 @@ func (s *snapshotStore) table(sw topology.SwitchID) []openflow.FlowEntry {
 	return append([]openflow.FlowEntry(nil), s.tables[sw]...)
 }
 
-// allTables returns a deep copy of every table (for history records).
-func (s *snapshotStore) allTables() map[topology.SwitchID][]openflow.FlowEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[topology.SwitchID][]openflow.FlowEntry, len(s.tables))
-	for k, v := range s.tables {
-		out[k] = append([]openflow.FlowEntry(nil), v...)
-	}
-	return out
-}
-
 // snapshotID returns the current configuration version.
 func (s *snapshotStore) snapshotID() uint64 {
 	s.mu.Lock()
@@ -153,38 +211,85 @@ func (s *snapshotStore) snapshotID() uint64 {
 	return s.id
 }
 
+// compileStats returns a copy of the cache counters.
+func (s *snapshotStore) compileStats() CompileStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
 // buildNetwork compiles the current snapshot plus the wiring plan into a
 // header-space network for logical verification (§IV-A2). Port numbering:
 // headerspace.PortID == physical port number, headerspace.NodeID == switch
 // id.
+//
+// The result is cached: a query against an unchanged snapshot returns the
+// previously compiled network without touching a single flow entry, and
+// after an incremental change only the switches whose generation advanced
+// are recompiled. The returned network is immutable — callers must treat it
+// as read-only (headerspace.Network is safe for concurrent readers).
 func (s *snapshotStore) buildNetwork(topo *topology.Topology) *headerspace.Network {
-	net := headerspace.NewNetwork(wire.HeaderWidth)
-	s.mu.Lock()
-	type swTable struct {
+	type compileJob struct {
 		id      topology.SwitchID
+		gen     uint64
 		entries []openflow.FlowEntry
 		ports   []uint32
 	}
-	var snap []swTable
+
+	s.mu.Lock()
+	if s.cachedFor != topo {
+		// Topology changed identity (different deployment): every cached
+		// compilation is for the wrong wiring plan.
+		s.compiled = make(map[topology.SwitchID]compiledSwitch)
+		s.cachedNet = nil
+		s.cachedFor = topo
+	}
+	if s.cachedNet != nil && s.cachedID == s.id {
+		s.stats.NetworkHits++
+		net := s.cachedNet
+		s.mu.Unlock()
+		return net
+	}
+	s.stats.NetworkBuilds++
+	builtID := s.id
+	reuse := make(map[topology.SwitchID]*headerspace.TransferFunction)
+	var jobs []compileJob
 	for _, sw := range topo.Switches() {
+		if cs, ok := s.compiled[sw]; ok && cs.gen == s.gen[sw] {
+			s.stats.SwitchReuses++
+			reuse[sw] = cs.tf
+			continue
+		}
+		s.stats.SwitchCompiles++
 		ports := s.ports[sw]
 		if ports == nil {
 			for p := topology.PortNo(1); p <= topo.PortCount(sw); p++ {
 				ports = append(ports, uint32(p))
 			}
 		}
-		snap = append(snap, swTable{
+		jobs = append(jobs, compileJob{
 			id:      sw,
+			gen:     s.gen[sw],
 			entries: append([]openflow.FlowEntry(nil), s.tables[sw]...),
 			ports:   ports,
 		})
 	}
 	s.mu.Unlock()
 
-	for _, st := range snap {
-		tf := openflow.BuildTransferFunction(st.entries, st.ports)
+	// Compile outside the lock so the monitor ingestion path is never
+	// blocked behind rule compilation.
+	fresh := make(map[topology.SwitchID]compiledSwitch, len(jobs))
+	for _, j := range jobs {
+		fresh[j.id] = compiledSwitch{gen: j.gen, tf: openflow.BuildTransferFunction(j.entries, j.ports)}
+	}
+
+	net := headerspace.NewNetwork(wire.HeaderWidth)
+	for sw, tf := range reuse {
 		// Width is fixed by construction; AddNode cannot fail.
-		_ = net.AddNode(headerspace.NodeID(st.id), tf)
+		_ = net.AddNode(headerspace.NodeID(sw), tf)
+	}
+	for sw, cs := range fresh {
+		_ = net.AddNode(headerspace.NodeID(sw), cs.tf)
 	}
 	for _, l := range topo.Links() {
 		net.AddDuplex(
@@ -192,5 +297,24 @@ func (s *snapshotStore) buildNetwork(topo *topology.Topology) *headerspace.Netwo
 			headerspace.NodeID(l.B.Switch), headerspace.PortID(l.B.Port),
 		)
 	}
+
+	s.mu.Lock()
+	if s.cachedFor == topo {
+		// Publish per-switch compilations tagged with the generation they
+		// were read at: if a switch changed while we compiled, its stored
+		// gen is stale and the next build recompiles it.
+		for sw, cs := range fresh {
+			if cur, ok := s.compiled[sw]; !ok || cur.gen <= cs.gen {
+				s.compiled[sw] = cs
+			}
+		}
+		// Only publish the assembled network if nothing changed mid-build;
+		// otherwise the next query rebuilds (cheaply, from cached TFs).
+		if builtID == s.id {
+			s.cachedNet = net
+			s.cachedID = builtID
+		}
+	}
+	s.mu.Unlock()
 	return net
 }

@@ -1,0 +1,131 @@
+package rvaas
+
+import (
+	"testing"
+
+	"repro/internal/headerspace"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+func cacheEntry(ip uint32, out uint32) openflow.FlowEntry {
+	return openflow.FlowEntry{
+		Priority: 100,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(ip), Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(out)},
+	}
+}
+
+// TestCompiledNetworkCache asserts the three cache behaviours the compile
+// cache exists for: (1) an unchanged snapshot serves the identical network
+// with zero compilation, (2) a single-switch change recompiles exactly that
+// switch, (3) the rebuilt network reflects the change.
+func TestCompiledNetworkCache(t *testing.T) {
+	topo, err := topology.Linear(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSnapshotStore()
+	for _, sw := range topo.Switches() {
+		s.replaceState(sw, []openflow.FlowEntry{cacheEntry(0x0A000001, 2)}, nil, nil, 1)
+	}
+
+	n1 := s.buildNetwork(topo)
+	st := s.compileStats()
+	if st.NetworkBuilds != 1 || st.NetworkHits != 0 {
+		t.Fatalf("after first build: %+v", st)
+	}
+	if st.SwitchCompiles != 3 || st.SwitchReuses != 0 {
+		t.Fatalf("first build compiled %d switches (reused %d), want 3 (0)", st.SwitchCompiles, st.SwitchReuses)
+	}
+
+	// Unchanged snapshot: cache hit, same network object, no compilation.
+	n2 := s.buildNetwork(topo)
+	st = s.compileStats()
+	if n2 != n1 {
+		t.Error("unchanged snapshot rebuilt the network")
+	}
+	if st.NetworkHits != 1 || st.NetworkBuilds != 1 || st.SwitchCompiles != 3 {
+		t.Fatalf("after cache hit: %+v", st)
+	}
+
+	// One passive event on switch 1: only switch 1 recompiles.
+	cap, ok := s.applyEvent(1, &openflow.FlowMonitorReply{
+		Seq: 2, Kind: openflow.FlowEventAdded, Entry: cacheEntry(0x0A000002, 1),
+	})
+	if !ok {
+		t.Fatal("applyEvent rejected in-sequence event")
+	}
+	if cap.id != s.snapshotID() || len(cap.tables[1]) != 2 {
+		t.Fatalf("capture = id %d, %d entries on sw1; want id %d, 2", cap.id, len(cap.tables[1]), s.snapshotID())
+	}
+	n3 := s.buildNetwork(topo)
+	st = s.compileStats()
+	if n3 == n2 {
+		t.Error("changed snapshot served the stale cached network")
+	}
+	if st.NetworkBuilds != 2 {
+		t.Fatalf("builds = %d, want 2", st.NetworkBuilds)
+	}
+	if st.SwitchCompiles != 4 {
+		t.Errorf("switch compiles = %d, want 4 (one incremental recompile)", st.SwitchCompiles)
+	}
+	if st.SwitchReuses != 2 {
+		t.Errorf("switch reuses = %d, want 2", st.SwitchReuses)
+	}
+	// The incremental rebuild must see the new rule on switch 1 only.
+	if got := n3.Node(headerspace.NodeID(1)).Len(); got != 2 {
+		t.Errorf("switch 1 compiled rules = %d, want 2", got)
+	}
+	if got := n3.Node(headerspace.NodeID(2)).Len(); got != 1 {
+		t.Errorf("switch 2 compiled rules = %d, want 1", got)
+	}
+	// Unchanged transfer functions are shared between network generations.
+	if n3.Node(headerspace.NodeID(2)) != n2.Node(headerspace.NodeID(2)) {
+		t.Error("unchanged switch 2 transfer function was recompiled")
+	}
+
+	// Full resync of one switch also invalidates just that switch.
+	s.replaceState(2, []openflow.FlowEntry{cacheEntry(0x0A000003, 2)}, nil, nil, 9)
+	_ = s.buildNetwork(topo)
+	st = s.compileStats()
+	if st.SwitchCompiles != 5 {
+		t.Errorf("switch compiles after resync = %d, want 5", st.SwitchCompiles)
+	}
+
+	// A different topology object invalidates everything.
+	topo2, err := topology.Linear(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.buildNetwork(topo2)
+	st = s.compileStats()
+	if st.SwitchCompiles != 8 {
+		t.Errorf("switch compiles after topology swap = %d, want 8", st.SwitchCompiles)
+	}
+}
+
+// TestCompiledNetworkCacheConcurrentChange makes sure a network assembled
+// while the snapshot moved underneath it is not published as current.
+func TestCompiledNetworkCacheSeqGapUnchanged(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSnapshotStore()
+	s.replaceState(1, nil, nil, nil, 1)
+	s.replaceState(2, nil, nil, nil, 1)
+	_ = s.buildNetwork(topo)
+	// A rejected (out-of-sequence) event must NOT invalidate the cache.
+	if _, ok := s.applyEvent(1, &openflow.FlowMonitorReply{Seq: 7}); ok {
+		t.Fatal("gap event unexpectedly accepted")
+	}
+	_ = s.buildNetwork(topo)
+	st := s.compileStats()
+	if st.NetworkHits != 1 {
+		t.Errorf("rejected event spoiled the cache: %+v", st)
+	}
+}

@@ -145,6 +145,24 @@ func (t *Topology) Switches() []SwitchID {
 // PortCount returns the number of ports on a switch.
 func (t *Topology) PortCount(id SwitchID) PortNo { return t.switches[id] }
 
+// EdgePorts returns every non-internal (access) port of every switch in
+// ascending (switch, port) order — the injection sweep set of source
+// discovery queries. This is the single source of truth for edge-port
+// enumeration; query handling and the experiments both build on it.
+func (t *Topology) EdgePorts() []Endpoint {
+	var out []Endpoint
+	for _, sw := range t.Switches() {
+		for p := PortNo(1); p <= t.PortCount(sw); p++ {
+			ep := Endpoint{Switch: sw, Port: p}
+			if t.IsInternal(ep) {
+				continue
+			}
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
 // Links returns a copy of the cable list.
 func (t *Topology) Links() []Link {
 	out := make([]Link, len(t.links))

@@ -251,3 +251,38 @@ func TestAccessPointByIP(t *testing.T) {
 		t.Error("bogus IP found")
 	}
 }
+
+func TestEdgePorts(t *testing.T) {
+	tp, err := Linear(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := tp.EdgePorts()
+	if len(eps) == 0 {
+		t.Fatal("no edge ports on linear-3")
+	}
+	for i, ep := range eps {
+		if tp.IsInternal(ep) {
+			t.Errorf("edge port %s is internal", ep)
+		}
+		if i > 0 {
+			prev := eps[i-1]
+			if ep.Switch < prev.Switch || (ep.Switch == prev.Switch && ep.Port <= prev.Port) {
+				t.Errorf("edge ports unordered: %s after %s", ep, prev)
+			}
+		}
+	}
+	// Every access point sits on an edge port.
+	for _, ap := range tp.AccessPoints() {
+		found := false
+		for _, ep := range eps {
+			if ep == ap.Endpoint {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("access point %s missing from edge ports", ap.Endpoint)
+		}
+	}
+}
