@@ -436,6 +436,77 @@ func BenchmarkE10Attestation(b *testing.B) {
 // BenchmarkAblationPollingStrategy contrasts fixed and randomized polling
 // cost (the security difference is measured by E5; this shows the overhead
 // difference is nil).
+// ---------------------------------------------------------------- E12 ---
+
+// BenchmarkE12SubscriptionRecheck measures the standing-invariant engine:
+// incremental re-check of a subscription population after a single-switch
+// change (dirty-set-aware; only invariants whose footprint crosses the
+// dirty switch re-run) versus the naive full re-evaluation a client fleet
+// would trigger by re-issuing every query.
+func BenchmarkE12SubscriptionRecheck(b *testing.B) {
+	topo, err := topology.Linear(40, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := deploy.New(topo, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	aps := topo.AccessPoints()
+	for i := 0; i+1 < len(aps); i++ {
+		if _, err := d.RVaaS.Subscribe(aps[i].ClientID, wire.QueryReachableDestinations,
+			[]wire.FieldConstraint{{Field: wire.FieldIPDst, Value: uint64(aps[i+1].HostIP), Mask: 0xFFFFFFFF}},
+			"", aps[i].Endpoint); err != nil {
+			b.Fatal(err)
+		}
+	}
+	victim := topo.Switches()[len(topo.Switches())-1]
+	churn := openflow.FlowEntry{
+		Priority: 3000,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(wire.IPv4(203, 0, 113, 77)), Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(1)},
+		Cookie:  0xE12B_0001,
+	}
+	// Wait on SnapshotID (not event counters): the id advances only once
+	// the change is folded into the snapshot, which is what makes the
+	// timed RecheckNow actually see a dirty switch.
+	dirtyOnce := func(b *testing.B, i int) {
+		want := d.RVaaS.SnapshotID() + 1
+		if i%2 == 0 {
+			d.Fabric.Switch(victim).InstallDirect(churn)
+		} else {
+			d.Fabric.Switch(victim).RemoveDirect(churn)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for d.RVaaS.SnapshotID() < want {
+			if !time.Now().Before(deadline) {
+				// Falling through silently would time a no-dirty recheck
+				// and fake the incremental speedup.
+				b.Fatal("churn event not absorbed into the snapshot")
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dirtyOnce(b, i)
+			b.StartTimer()
+			d.RVaaS.RecheckNow()
+		}
+	})
+	b.Run("naive-requery", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.RVaaS.RevalidateAll()
+		}
+	})
+}
+
 func BenchmarkAblationPollingStrategy(b *testing.B) {
 	for _, randomized := range []bool{false, true} {
 		name := "fixed"

@@ -1,17 +1,28 @@
-// Command benchharness regenerates every experiment table of the
-// reproduction (DESIGN.md E1..E10) and prints them in the format recorded
-// in EXPERIMENTS.md. The paper itself publishes no quantitative tables (it
-// is an architecture paper); these tables measure the claims its prose
-// makes — see EXPERIMENTS.md for the mapping.
+// Command benchharness regenerates the experiment tables of the
+// reproduction and prints them in the format recorded in EXPERIMENTS.md.
+// The set of experiments is data-driven: the experiments slice below is the
+// single source of truth, and the -only flag's help text is generated from
+// it, so documentation cannot drift from the code. The paper itself
+// publishes no quantitative tables (it is an architecture paper); these
+// tables measure the claims its prose makes — see EXPERIMENTS.md for the
+// mapping.
+//
+// With -json, every experiment additionally emits a machine-readable
+// BENCH_<ID>.json file ({experiment, iters, metrics:[{metric, value,
+// unit}]}) into -outdir; CI uploads these as build artifacts so the perf
+// trajectory of the repository is recorded per commit.
 package main
 
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/enclave"
@@ -23,6 +34,75 @@ import (
 	"repro/internal/wire"
 )
 
+// experiment couples an id and claim with its driver. Adding an entry here
+// is the ONLY step needed to register a new experiment: -only validation,
+// help text and JSON emission all derive from this slice.
+type experiment struct {
+	id    string
+	claim string
+	run   func(iters int) error
+}
+
+var experimentTable = []experiment{
+	{"e1", "end-to-end query latency (Fig.1+2 round trip)", e1},
+	{"e2", "HSA reachability cost vs rule count", e2},
+	{"e3", "monitoring overhead: active polls and passive event path", e3},
+	{"e4", "detection matrix: RVaaS vs baselines per attack", e4},
+	{"e5", "flap detection: randomized vs fixed polling", e5},
+	{"e6", "isolation-check cost (case study 1) vs tenant network size", e6},
+	{"e7", "geo-check cost (case study 2) vs WAN size", e7},
+	{"e8", "crypto budget: per-packet forwarding vs per-query signing", e8},
+	{"e9", "multi-provider recursion cost vs chain length", e9},
+	{"e10", "attestation handshake cost", e10},
+	{"e11", "parallel reachability sweep scaling (workers vs throughput)", e11},
+	{"e12", "standing-invariant re-check: incremental vs naive re-query", e12},
+}
+
+func experimentIDs() []string {
+	ids := make([]string, len(experimentTable))
+	for i, e := range experimentTable {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// benchMetric is one recorded measurement.
+type benchMetric struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+}
+
+// benchReport is the BENCH_<ID>.json schema.
+type benchReport struct {
+	Experiment string        `json:"experiment"`
+	Iters      int           `json:"iters"`
+	Metrics    []benchMetric `json:"metrics"`
+}
+
+// recorder collects metrics per experiment when -json is set; nil when
+// JSON output is disabled, so record() is a no-op in table-only runs.
+type recorder struct {
+	current string
+	reports map[string]*benchReport
+}
+
+var rec *recorder
+
+// record adds one measurement to the active experiment's JSON report.
+func record(metric string, value float64, unit string) {
+	if rec == nil || rec.current == "" {
+		return
+	}
+	r := rec.reports[rec.current]
+	r.Metrics = append(r.Metrics, benchMetric{Metric: metric, Value: value, Unit: unit})
+}
+
+// recordDuration records a latency metric in nanoseconds.
+func recordDuration(metric string, d time.Duration) {
+	record(metric, float64(d.Nanoseconds()), "ns")
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		log.Fatal(err)
@@ -32,92 +112,98 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchharness", flag.ContinueOnError)
 	iters := fs.Int("iters", 10, "iterations per latency measurement")
-	only := fs.String("only", "", "run a single experiment (e1..e10)")
+	only := fs.String("only", "", "run a comma-separated subset of experiments ("+strings.Join(experimentIDs(), ",")+")")
+	jsonOut := fs.Bool("json", false, "emit BENCH_<EXPERIMENT>.json files with machine-readable metrics")
+	outDir := fs.String("outdir", ".", "directory for -json output files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *iters < 1 {
 		*iters = 1
 	}
-	all := *only == ""
-	want := func(id string) bool { return all || *only == id }
 
-	if want("e1") {
-		if err := e1(*iters); err != nil {
-			return err
+	want := make(map[string]bool)
+	if *only != "" {
+		valid := make(map[string]bool, len(experimentTable))
+		for _, e := range experimentTable {
+			valid[e.id] = true
+		}
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !valid[id] {
+				return fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(experimentIDs(), ","))
+			}
+			want[id] = true
 		}
 	}
-	if want("e2") {
-		e2()
+
+	if *jsonOut {
+		rec = &recorder{reports: make(map[string]*benchReport)}
 	}
-	if want("e3") {
-		if err := e3(); err != nil {
-			return err
+	for _, e := range experimentTable {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		if rec != nil {
+			rec.current = e.id
+			rec.reports[e.id] = &benchReport{Experiment: e.id, Iters: *iters}
+		}
+		header(e.id, e.claim)
+		if err := e.run(*iters); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
 		}
 	}
-	if want("e4") {
-		e4()
-	}
-	if want("e5") {
-		if err := e5(); err != nil {
-			return err
-		}
-	}
-	if want("e6") {
-		if err := e6(*iters); err != nil {
-			return err
-		}
-	}
-	if want("e7") {
-		if err := e7(*iters); err != nil {
-			return err
-		}
-	}
-	if want("e8") {
-		e8()
-	}
-	if want("e9") {
-		if err := e9(); err != nil {
-			return err
-		}
-	}
-	if want("e10") {
-		if err := e10(); err != nil {
-			return err
-		}
-	}
-	if want("e11") {
-		if err := e11(*iters); err != nil {
+	if rec != nil {
+		rec.current = ""
+		if err := writeReports(*outDir); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeReports dumps one BENCH_<ID>.json per executed experiment.
+func writeReports(dir string) error {
+	for id, r := range rec.reports {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+strings.ToUpper(id)+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d metrics)\n", path, len(r.Metrics))
+	}
+	return nil
+}
+
 func header(id, claim string) {
-	fmt.Printf("\n=== %s: %s ===\n", id, claim)
+	fmt.Printf("\n=== %s: %s ===\n", strings.ToUpper(id), claim)
 }
 
 func e1(iters int) error {
-	header("E1", "end-to-end query latency (Fig.1+2 round trip)")
 	fmt.Printf("%-12s %-9s %-7s %-26s %-12s %-12s\n",
 		"topology", "switches", "rules", "kind", "mean", "per-switch")
 	for _, nt := range experiments.StandardSweep() {
 		for _, kind := range []wire.QueryKind{wire.QueryReachableDestinations, wire.QueryGeoRegions} {
 			row, err := experiments.QueryLatency(nt, kind, iters)
 			if err != nil {
-				return fmt.Errorf("e1 %s/%s: %w", nt.Name, kind, err)
+				return fmt.Errorf("%s/%s: %w", nt.Name, kind, err)
 			}
 			fmt.Printf("%-12s %-9d %-7d %-26s %-12s %-12s\n",
 				row.Topology, row.Switches, row.Rules, row.Kind,
 				row.Mean.Round(time.Microsecond), row.PerSwitch.Round(time.Microsecond))
+			recordDuration(fmt.Sprintf("%s/%s/mean", row.Topology, row.Kind), row.Mean)
 		}
 	}
 	return nil
 }
 
-func e2() {
-	header("E2", "HSA reachability cost vs rule count")
+func e2(int) error {
 	fmt.Printf("%-10s %-10s %-14s\n", "rules", "switches", "reach time")
 	for _, cfg := range []struct{ switches, rulesPer int }{
 		{4, 10}, {4, 100}, {16, 10}, {16, 100}, {32, 100}, {32, 250},
@@ -130,7 +216,9 @@ func e2() {
 		}
 		elapsed := time.Since(start) / reps
 		fmt.Printf("%-10d %-10d %-14s\n", cfg.switches*cfg.rulesPer, cfg.switches, elapsed.Round(time.Microsecond))
+		recordDuration(fmt.Sprintf("rules=%d/switches=%d/reach", cfg.switches*cfg.rulesPer, cfg.switches), elapsed)
 	}
+	return nil
 }
 
 // buildHSAChain programs a chain of switches with rulesPer distinct
@@ -160,33 +248,33 @@ func buildHSAChain(switches, rulesPer int) (*headerspace.Network, headerspace.Sp
 	return net, inject
 }
 
-func e3() error {
-	header("E3", "monitoring overhead: active polls and passive event path")
+func e3(int) error {
 	fmt.Printf("%-12s %-9s %-14s %-16s\n", "topology", "switches", "poll-all mean", "event ingest")
 	for _, nt := range experiments.StandardSweep() {
 		row, err := experiments.MonitoringOverhead(nt, 5, 100)
 		if err != nil {
-			return fmt.Errorf("e3 %s: %w", nt.Name, err)
+			return fmt.Errorf("%s: %w", nt.Name, err)
 		}
 		fmt.Printf("%-12s %-9d %-14s %-16s\n",
 			row.Topology, row.Switches,
 			row.PollAllMean.Round(time.Microsecond), row.EventApply.Round(time.Microsecond))
+		recordDuration(row.Topology+"/poll-all", row.PollAllMean)
+		recordDuration(row.Topology+"/event-ingest", row.EventApply)
 	}
 	return nil
 }
 
-func e4() {
-	header("E4", "detection matrix: RVaaS vs baselines per attack")
+func e4(int) error {
 	fmt.Println("-- lying provider (paper threat model):")
 	lying := experiments.DetectionMatrix(true)
 	fmt.Print(experiments.FormatMatrix(lying))
 	fmt.Println("-- honest provider (ablation):")
 	honest := experiments.DetectionMatrix(false)
 	fmt.Print(experiments.FormatMatrix(honest))
+	return nil
 }
 
-func e5() error {
-	header("E5", "flap detection: randomized vs fixed polling")
+func e5(int) error {
 	rows, err := experiments.FlapSweep(
 		[]float64{0.1, 0.3, 0.5, 0.7, 0.9}, 10*time.Second, 600*time.Second, 17)
 	if err != nil {
@@ -195,12 +283,12 @@ func e5() error {
 	fmt.Printf("%-12s %-12s %-12s\n", "duty cycle", "fixed", "randomized")
 	for _, r := range rows {
 		fmt.Printf("%-12.1f %-12.2f %-12.2f\n", r.WindowFraction, r.FixedRate, r.RandomRate)
+		record(fmt.Sprintf("duty=%.1f/randomized", r.WindowFraction), r.RandomRate, "rate")
 	}
 	return nil
 }
 
 func e6(iters int) error {
-	header("E6", "isolation-check cost (case study 1) vs tenant network size")
 	fmt.Printf("%-12s %-9s %-12s\n", "tenants", "switches", "query mean")
 	for _, n := range []int{4, 8, 16} {
 		clientIDs := make([]uint64, n)
@@ -215,15 +303,15 @@ func e6(iters int) error {
 		}
 		row, err := experiments.IsolationLatency(nt, iters)
 		if err != nil {
-			return fmt.Errorf("e6 n=%d: %w", n, err)
+			return fmt.Errorf("n=%d: %w", n, err)
 		}
 		fmt.Printf("%-12d %-9d %-12s\n", n/2, row.Switches, row.Mean.Round(time.Microsecond))
+		recordDuration(fmt.Sprintf("tenants=%d/isolation", n/2), row.Mean)
 	}
 	return nil
 }
 
 func e7(iters int) error {
-	header("E7", "geo-check cost (case study 2) vs WAN size")
 	fmt.Printf("%-12s %-9s %-12s\n", "regions", "switches", "query mean")
 	for _, per := range []int{2, 4, 8} {
 		nt := experiments.NamedTopology{
@@ -235,15 +323,15 @@ func e7(iters int) error {
 		}
 		row, err := experiments.QueryLatency(nt, wire.QueryGeoRegions, iters)
 		if err != nil {
-			return fmt.Errorf("e7 per=%d: %w", per, err)
+			return fmt.Errorf("per=%d: %w", per, err)
 		}
 		fmt.Printf("%-12d %-9d %-12s\n", 3, row.Switches, row.Mean.Round(time.Microsecond))
+		recordDuration(fmt.Sprintf("%s/geo", row.Topology), row.Mean)
 	}
 	return nil
 }
 
-func e8() {
-	header("E8", "crypto budget: per-packet forwarding vs per-query signing")
+func e8(int) error {
 	// Per-packet data-plane cost: one switch forwarding.
 	sw := switchsim.New(1, 4, func(topology.PortNo, *wire.Packet) {})
 	sw.InstallDirect(openflow.FlowEntry{
@@ -267,13 +355,11 @@ func e8() {
 	// Per-query control-plane crypto: Ed25519 sign + verify + quote verify.
 	platform, err := enclave.NewPlatform()
 	if err != nil {
-		fmt.Printf("e8: %v\n", err)
-		return
+		return err
 	}
 	encl, err := platform.Launch([]byte("rvaas-controller-v1"))
 	if err != nil {
-		fmt.Printf("e8: %v\n", err)
-		return
+		return err
 	}
 	msg := make([]byte, 512)
 	const sigs = 2000
@@ -301,23 +387,25 @@ func e8() {
 	fmt.Printf("%-32s %s\n", "quote verify (per query)", perQuote)
 	fmt.Printf("ratio: one query costs ~%d packet-forwards of crypto — none of it on the data path\n",
 		(perSign+perVerify+perQuote)/perPacket)
+	recordDuration("forward/per-packet", perPacket)
+	recordDuration("sign/per-query", perSign)
+	return nil
 }
 
-func e9() error {
-	header("E9", "multi-provider recursion cost vs chain length")
+func e9(int) error {
 	fmt.Printf("%-10s %-14s %-10s\n", "providers", "query time", "endpoints")
 	for _, n := range []int{1, 2, 4, 8} {
 		elapsed, eps, err := experiments.MultiProviderChain(n)
 		if err != nil {
-			return fmt.Errorf("e9 n=%d: %w", n, err)
+			return fmt.Errorf("n=%d: %w", n, err)
 		}
 		fmt.Printf("%-10d %-14s %-10d\n", n, elapsed.Round(time.Microsecond), eps)
+		recordDuration(fmt.Sprintf("chain-%d/query", n), elapsed)
 	}
 	return nil
 }
 
-func e10() error {
-	header("E10", "attestation handshake cost")
+func e10(int) error {
 	platform, err := enclave.NewPlatform()
 	if err != nil {
 		return err
@@ -348,11 +436,11 @@ func e10() error {
 	fmt.Printf("%-28s %s\n", "quote generation", genTime)
 	fmt.Printf("%-28s %s\n", "quote verification", verTime)
 	fmt.Printf("%-28s %d bytes\n", "quote size", len(q.Marshal()))
+	recordDuration("quote/verify", verTime)
 	return nil
 }
 
 func e11(iters int) error {
-	header("E11", "parallel reachability sweep scaling (workers vs throughput)")
 	fmt.Printf("%-12s %-8s %-9s %-14s %-12s %-8s\n",
 		"topology", "points", "workers", "sweep mean", "sweeps/sec", "speedup")
 	tops := []experiments.NamedTopology{
@@ -362,13 +450,35 @@ func e11(iters int) error {
 	for _, nt := range tops {
 		rows, err := experiments.ReachScaling(nt, []int{1, 4, 16}, iters)
 		if err != nil {
-			return fmt.Errorf("e11 %s: %w", nt.Name, err)
+			return fmt.Errorf("%s: %w", nt.Name, err)
 		}
 		for _, r := range rows {
 			fmt.Printf("%-12s %-8d %-9d %-14s %-12.1f %-8.2f\n",
 				r.Topology, r.Points, r.Workers,
 				r.Mean.Round(time.Microsecond), r.Sweeps, r.Speedup)
+			recordDuration(fmt.Sprintf("%s/workers=%d/sweep", r.Topology, r.Workers), r.Mean)
+			record(fmt.Sprintf("%s/workers=%d/speedup", r.Topology, r.Workers), r.Speedup, "x")
 		}
+	}
+	return nil
+}
+
+func e12(iters int) error {
+	fmt.Printf("%-12s %-9s %-6s %-11s %-14s %-14s %-8s\n",
+		"topology", "switches", "subs", "evals/check", "incremental", "naive", "speedup")
+	rows, err := experiments.SubscriptionSweep(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %-9d %-6d %-11.1f %-14s %-14s %-8.1f\n",
+			r.Topology, r.Switches, r.Subs, r.EvalsPerCheck,
+			r.IncrementalMean.Round(time.Microsecond),
+			r.NaiveMean.Round(time.Microsecond), r.Speedup)
+		recordDuration(r.Topology+"/incremental-recheck", r.IncrementalMean)
+		recordDuration(r.Topology+"/naive-requery", r.NaiveMean)
+		record(r.Topology+"/speedup", r.Speedup, "x")
+		record(r.Topology+"/evals-per-check", r.EvalsPerCheck, "count")
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/openflow"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -33,6 +34,7 @@ func run(args []string) error {
 	poll := fs.Duration("poll", 500*time.Millisecond, "mean active poll interval (0 disables)")
 	queries := fs.Int("queries", 4, "number of demo queries to run")
 	tenant := fs.Bool("tenant", false, "install tenant-isolated routing")
+	subscribe := fs.Bool("subscribe", true, "register standing invariants and demo a violation/recovery cycle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,10 +104,79 @@ func run(args []string) error {
 			resp.AuthReplied, resp.AuthRequested, time.Since(start).Round(10*time.Microsecond))
 	}
 
+	if *subscribe {
+		if err := demoSubscriptions(d); err != nil {
+			return err
+		}
+	}
+
 	st := d.RVaaS.Stats()
 	fmt.Printf("\ncontroller stats: polls=%d passiveEvents=%d resyncs=%d packetIns=%d queries=%d signed=%d\n",
 		st.ActivePolls, st.PassiveEvents, st.Resyncs, st.PacketIns, st.QueriesServed, st.ResponsesSigned)
 	return nil
+}
+
+// demoSubscriptions registers one standing reachability invariant per
+// access point (each watching the next one), injects a transient blackhole
+// on a middle switch to violate them, restores it, and prints the
+// violation log — the continuous-verification loop a one-shot query cannot
+// provide.
+func demoSubscriptions(d *deploy.Deployment) error {
+	aps := d.Topology.AccessPoints()
+	if len(aps) < 2 {
+		return nil
+	}
+	// Every client watches reachability to the last access point, so a
+	// single blackhole on the path serving it violates several tenants.
+	fmt.Println("\nstanding invariants:")
+	dst := aps[len(aps)-1]
+	for i := range aps[:len(aps)-1] {
+		if _, err := d.RVaaS.Subscribe(aps[i].ClientID, wire.QueryReachableDestinations,
+			[]wire.FieldConstraint{{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF}},
+			"", aps[i].Endpoint); err != nil {
+			return err
+		}
+	}
+	st := d.RVaaS.SubscriptionStats()
+	fmt.Printf("registered %d invariants (%d evaluations)\n", st.Active, st.Evaluated)
+
+	// Transient blackhole next to the watched destination: a targeted
+	// single-switch attack between client polls.
+	victim := dst.Endpoint.Switch
+	blackhole := openflow.FlowEntry{
+		Priority: 3000,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF},
+		}},
+		Cookie: 0xB1AC_0001,
+	}
+	d.Fabric.Switch(victim).InstallDirect(blackhole)
+	waitUntil(func() bool { return d.RVaaS.SubscriptionStats().Violations > 0 })
+	d.Fabric.Switch(victim).RemoveDirect(blackhole)
+	waitUntil(func() bool {
+		s := d.RVaaS.SubscriptionStats()
+		return s.Recoveries >= s.Violations
+	})
+
+	st = d.RVaaS.SubscriptionStats()
+	fmt.Printf("after blackhole cycle on switch %d: evaluated=%d revalidated-free=%d violations=%d recoveries=%d\n",
+		victim, st.Evaluated, st.Revalidated, st.Violations, st.Recoveries)
+	for _, v := range d.RVaaS.ViolationLog().All() {
+		fmt.Printf("  %-9s sub=%d client=%d kind=%s snapshot=%d %s\n",
+			v.Event, v.SubID, v.ClientID, v.Kind, v.SnapshotID, v.Detail)
+	}
+	return nil
+}
+
+// waitUntil polls a condition with a bounded deadline.
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // BuildTopology constructs one of the standard evaluation topologies.

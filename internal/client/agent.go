@@ -57,11 +57,39 @@ type Agent struct {
 	pub  ed25519.PublicKey
 	priv ed25519.PrivateKey
 
-	mu        sync.Mutex
-	waiting   map[uint64]chan *wire.QueryResponse // by nonce
-	serverKey ed25519.PublicKey
-	authSeen  uint64
-	closed    bool
+	mu      sync.Mutex
+	waiting map[uint64]chan *wire.QueryResponse // by nonce
+	ackWait map[uint64]chan *wire.Notification  // by subscription-op nonce
+	subs    map[uint64]*Subscription            // by subscription id
+	// subsByNonce routes notifications that arrive before the ack has been
+	// processed locally (the server may push a violation for a brand-new
+	// subscription ahead of the client registering its id).
+	subsByNonce map[uint64]*Subscription
+	serverKey   ed25519.PublicKey
+	authSeen    uint64
+	dropped     uint64
+	closed      bool
+}
+
+// Subscription is one standing invariant registered with RVaaS. Verified
+// violation/recovery notifications arrive on C; the channel is closed by
+// Unsubscribe or Close.
+type Subscription struct {
+	ID   uint64
+	Kind wire.QueryKind
+	// InitialStatus/InitialDetail carry the invariant's verdict at
+	// registration time (from the signed ack).
+	InitialStatus wire.ResponseStatus
+	InitialDetail string
+	C             <-chan *wire.Notification
+
+	nonce uint64
+	ch    chan *wire.Notification
+	// lastSeq is the highest delivered notification sequence (guarded by
+	// the agent mutex): replayed or out-of-order notifications — old but
+	// genuinely signed server messages an on-path adversary re-injects —
+	// are dropped, not delivered as fresh events.
+	lastSeq uint64
 }
 
 // New creates an agent with a fresh key pair.
@@ -77,10 +105,13 @@ func New(cfg Config) (*Agent, error) {
 		return nil, fmt.Errorf("client: keygen: %w", err)
 	}
 	return &Agent{
-		cfg:     cfg,
-		pub:     pub,
-		priv:    priv,
-		waiting: make(map[uint64]chan *wire.QueryResponse),
+		cfg:         cfg,
+		pub:         pub,
+		priv:        priv,
+		waiting:     make(map[uint64]chan *wire.QueryResponse),
+		ackWait:     make(map[uint64]chan *wire.Notification),
+		subs:        make(map[uint64]*Subscription),
+		subsByNonce: make(map[uint64]*Subscription),
 	}, nil
 }
 
@@ -98,7 +129,15 @@ func (a *Agent) AuthRequestsSeen() uint64 {
 	return a.authSeen
 }
 
-// Close fails all outstanding queries.
+// NotificationsDropped counts notifications discarded because a
+// subscription channel was full.
+func (a *Agent) NotificationsDropped() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropped
+}
+
+// Close fails all outstanding queries and closes subscription channels.
 func (a *Agent) Close() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -106,6 +145,25 @@ func (a *Agent) Close() {
 	for nonce, ch := range a.waiting {
 		close(ch)
 		delete(a.waiting, nonce)
+	}
+	for nonce, ch := range a.ackWait {
+		close(ch)
+		delete(a.ackWait, nonce)
+	}
+	closed := make(map[chan *wire.Notification]bool)
+	for id, sub := range a.subs {
+		closed[sub.ch] = true
+		close(sub.ch)
+		delete(a.subs, id)
+	}
+	// Pending subscriptions (sent, ack not yet processed) live only in the
+	// nonce index; established ones appear in both maps — close each
+	// channel once.
+	for nonce, sub := range a.subsByNonce {
+		if !closed[sub.ch] {
+			close(sub.ch)
+		}
+		delete(a.subsByNonce, nonce)
 	}
 }
 
@@ -125,6 +183,8 @@ func (a *Agent) handleFrameAt(ap topology.AccessPoint, pkt *wire.Packet) {
 	switch {
 	case pkt.IsAuthRequest():
 		a.handleAuthRequest(ap, pkt)
+	case pkt.IsNotification():
+		a.handleNotification(pkt)
 	case pkt.EthType == wire.EthTypeIPv4 && pkt.IPProto == wire.IPProtoUDP && pkt.L4Src == wire.PortRVaaSResponse:
 		a.handleResponse(pkt)
 	}
@@ -176,7 +236,19 @@ func (a *Agent) handleResponse(pkt *wire.Packet) {
 // VerifyResponse checks the response signature and the attestation quote
 // against the agent's trust anchors.
 func (a *Agent) VerifyResponse(resp *wire.QueryResponse) error {
-	quote, err := enclave.UnmarshalQuote(resp.Quote)
+	return a.verifyFromServer(resp.SigningBytes(), resp.Signature, resp.Quote)
+}
+
+// VerifyNotification checks a subscription notification's signature and
+// attestation quote against the agent's trust anchors.
+func (a *Agent) VerifyNotification(n *wire.Notification) error {
+	return a.verifyFromServer(n.SigningBytes(), n.Signature, n.Quote)
+}
+
+// verifyFromServer checks an enclave signature plus attestation quote over
+// canonical bytes against the agent's trust anchors.
+func (a *Agent) verifyFromServer(signing, sig, quoteBytes []byte) error {
+	quote, err := enclave.UnmarshalQuote(quoteBytes)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadAttestaton, err)
 	}
@@ -192,7 +264,7 @@ func (a *Agent) VerifyResponse(resp *wire.QueryResponse) error {
 	if err := enclave.VerifyKeyQuote(a.cfg.Trust.PlatformRoot, quote, a.cfg.Trust.Measurement, key); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadAttestaton, err)
 	}
-	if !enclave.VerifyFrom(key, resp.SigningBytes(), resp.Signature) {
+	if !enclave.VerifyFrom(key, signing, sig) {
 		return ErrBadSignature
 	}
 	return nil
@@ -253,6 +325,213 @@ func (a *Agent) Query(kind wire.QueryKind, constraints []wire.FieldConstraint, p
 		a.mu.Unlock()
 		return nil, ErrTimeout
 	}
+}
+
+// handleNotification verifies and routes a subscription notification:
+// acks/errors go to the operation waiter by nonce, violation/recovery
+// events to the established subscription's channel by id.
+func (a *Agent) handleNotification(pkt *wire.Packet) {
+	n, err := wire.UnmarshalNotification(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if err := a.VerifyNotification(n); err != nil {
+		return
+	}
+	switch n.Event {
+	case wire.NotifyAck, wire.NotifyError:
+		a.mu.Lock()
+		ch, ok := a.ackWait[n.Nonce]
+		if ok {
+			delete(a.ackWait, n.Nonce)
+		}
+		a.mu.Unlock()
+		if ok {
+			ch <- n
+		}
+	default:
+		a.mu.Lock()
+		sub, ok := a.subs[n.SubID]
+		if !ok {
+			// The server can push a transition for a fresh subscription
+			// before this agent has processed the ack; the nonce routes it.
+			sub, ok = a.subsByNonce[n.Nonce]
+		}
+		if ok {
+			if n.Seq <= sub.lastSeq {
+				// Replayed or out-of-order: a valid signature only proves
+				// the server said this once, not that it is current.
+				a.dropped++
+			} else {
+				sub.lastSeq = n.Seq
+				select {
+				case sub.ch <- n:
+				default:
+					a.dropped++
+				}
+			}
+		}
+		a.mu.Unlock()
+	}
+}
+
+// subscribeOp signs and sends one subscription operation and waits for
+// the verified ack. Subscription ops mutate server state, so unlike
+// read-only queries they carry the client's signature (verified against
+// the key registered with RVaaS).
+func (a *Agent) subscribeOp(s *wire.SubscribeRequest) (*wire.Notification, error) {
+	s.Signature = ed25519.Sign(a.priv, s.SigningBytes())
+	ch := make(chan *wire.Notification, 1)
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	a.ackWait[s.Nonce] = ch
+	a.mu.Unlock()
+
+	pkt := wire.NewSubscribePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, s)
+	if err := a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt); err != nil {
+		a.mu.Lock()
+		delete(a.ackWait, s.Nonce)
+		a.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(a.cfg.ResponseTimeout)
+	defer timer.Stop()
+	select {
+	case ack, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return ack, nil
+	case <-timer.C:
+		a.mu.Lock()
+		delete(a.ackWait, s.Nonce)
+		a.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// Subscribe registers a standing invariant with RVaaS: instead of polling
+// with repeated queries, the agent is notified whenever the invariant's
+// verdict changes. The returned subscription carries the verdict at
+// registration time and a channel of subsequent verified notifications.
+func (a *Agent) Subscribe(kind wire.QueryKind, constraints []wire.FieldConstraint, param string) (*Subscription, error) {
+	nonce, err := randomNonce()
+	if err != nil {
+		return nil, err
+	}
+	// Register the channel by nonce BEFORE sending: a violation pushed
+	// between the server-side ack and our processing of it must not be
+	// lost (handleNotification falls back to nonce routing).
+	sub := &Subscription{
+		Kind:  kind,
+		nonce: nonce,
+		ch:    make(chan *wire.Notification, 32),
+	}
+	sub.C = sub.ch
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	a.subsByNonce[nonce] = sub
+	a.mu.Unlock()
+	fail := func(err error) (*Subscription, error) {
+		a.mu.Lock()
+		delete(a.subsByNonce, nonce)
+		a.mu.Unlock()
+		return nil, err
+	}
+
+	ack, err := a.subscribeOp(&wire.SubscribeRequest{
+		Version:      wire.CurrentVersion,
+		Op:           wire.SubOpAdd,
+		ClientID:     a.cfg.ClientID,
+		Nonce:        nonce,
+		AnchorSwitch: uint32(a.cfg.Access.Endpoint.Switch),
+		AnchorPort:   uint32(a.cfg.Access.Endpoint.Port),
+		Kind:         kind,
+		Constraints:  constraints,
+		Param:        param,
+	})
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			// The server may have registered the subscription and lost
+			// only the ack: best-effort cleanup by registration nonce so
+			// no orphan keeps evaluating (and notifying) forever.
+			a.abandonSubscription(nonce)
+		}
+		return fail(err)
+	}
+	if ack.Event == wire.NotifyError {
+		return fail(fmt.Errorf("client: subscription rejected: %s", ack.Detail))
+	}
+	sub.ID = ack.SubID
+	sub.InitialStatus = ack.Status
+	sub.InitialDetail = ack.Detail
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fail(ErrClosed)
+	}
+	a.subs[sub.ID] = sub
+	a.mu.Unlock()
+	return sub, nil
+}
+
+// abandonSubscription fire-and-forgets a signed remove-by-nonce for a
+// subscribe whose ack never arrived (no SubID is known). The ack to this
+// cleanup op is intentionally unrouted.
+func (a *Agent) abandonSubscription(nonce uint64) {
+	opNonce, err := randomNonce()
+	if err != nil {
+		return
+	}
+	req := &wire.SubscribeRequest{
+		Version:  wire.CurrentVersion,
+		Op:       wire.SubOpRemove,
+		ClientID: a.cfg.ClientID,
+		Nonce:    opNonce,
+		RefNonce: nonce,
+	}
+	req.Signature = ed25519.Sign(a.priv, req.SigningBytes())
+	pkt := wire.NewSubscribePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, req)
+	_ = a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt)
+}
+
+// Unsubscribe removes a standing invariant and closes its channel.
+func (a *Agent) Unsubscribe(sub *Subscription) error {
+	nonce, err := randomNonce()
+	if err != nil {
+		return err
+	}
+	ack, err := a.subscribeOp(&wire.SubscribeRequest{
+		Version:  wire.CurrentVersion,
+		Op:       wire.SubOpRemove,
+		ClientID: a.cfg.ClientID,
+		Nonce:    nonce,
+		SubID:    sub.ID,
+	})
+	if err != nil {
+		return err
+	}
+	if ack.Event == wire.NotifyError {
+		// The server rejected the op (e.g. auth failure) and still holds
+		// the subscription: keep the local state so notifications keep
+		// flowing and the caller can retry. (Server-side removal is
+		// idempotent, so "already gone" acks success, never error.)
+		return fmt.Errorf("client: unsubscribe rejected: %s", ack.Detail)
+	}
+	a.mu.Lock()
+	if s, ok := a.subs[sub.ID]; ok {
+		close(s.ch)
+		delete(a.subs, sub.ID)
+		delete(a.subsByNonce, s.nonce)
+	}
+	a.mu.Unlock()
+	return nil
 }
 
 func randomNonce() (uint64, error) {

@@ -39,6 +39,10 @@ type Options struct {
 	Clock func() time.Time
 	// SkipAgents skips client agent creation.
 	SkipAgents bool
+	// ManualRecheck disables the automatic subscription re-verification
+	// worker (standing invariants are only re-checked via explicit
+	// RecheckNow / RevalidateAll calls) — used by latency experiments.
+	ManualRecheck bool
 }
 
 // Deployment is a running system.
@@ -90,6 +94,7 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 		AuthTimeout:    opt.AuthTimeout,
 		Seed:           opt.Seed,
 		Clock:          opt.Clock,
+		ManualRecheck:  opt.ManualRecheck,
 	})
 	if err != nil {
 		fab.Close()

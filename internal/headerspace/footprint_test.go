@@ -1,0 +1,89 @@
+package headerspace
+
+import "testing"
+
+// TestFootprintLine checks the footprint of a straight-line traversal covers
+// exactly the consulted chain.
+func TestFootprintLine(t *testing.T) {
+	net := lineNetwork(t, 4, 8)
+	res, fp := net.ReachFootprint(1, 1, FullSpace(8), ReachOptions{})
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	want := []NodeID{1, 2, 3, 4}
+	got := fp.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("footprint = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("footprint = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFootprintIncludesDropNodes checks that a node where the space dies
+// (no matching rule) still enters the footprint: a change there could
+// revive the branch, so it must invalidate the evaluation.
+func TestFootprintIncludesDropNodes(t *testing.T) {
+	width := 8
+	net := NewNetwork(width)
+	fwd := NewTransferFunction(width)
+	mustAdd(t, fwd, Rule{Priority: 1, Match: AllX(width), OutPorts: []PortID{2}})
+	if err := net.AddNode(1, fwd); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 has no rules: everything arriving there is dropped.
+	if err := net.AddNode(2, NewTransferFunction(width)); err != nil {
+		t.Fatal(err)
+	}
+	net.AddLink(Link{1, 2, 2, 1})
+
+	res, fp := net.ReachFootprint(1, 1, FullSpace(width), ReachOptions{})
+	if len(res) != 0 {
+		t.Fatalf("results = %v, want none (dropped)", res)
+	}
+	if !fp.Contains(2) {
+		t.Errorf("footprint %v misses the dropping node 2", fp.Nodes())
+	}
+}
+
+func TestFootprintInvalidated(t *testing.T) {
+	fp := NewFootprint()
+	fp.Add(3)
+	fp.Add(7)
+	if fp.Invalidated([]NodeID{1, 2, 4}) {
+		t.Error("disjoint dirty set must not invalidate")
+	}
+	if !fp.Invalidated([]NodeID{5, 7}) {
+		t.Error("dirty node inside the footprint must invalidate")
+	}
+	var nilFp Footprint
+	if !nilFp.Invalidated(nil) {
+		t.Error("nil footprint (never evaluated) must always be invalidated")
+	}
+}
+
+// TestReachAllFootprints checks per-point footprints from the parallel
+// sweep are captured independently.
+func TestReachAllFootprints(t *testing.T) {
+	net := lineNetwork(t, 4, 8)
+	points := []InjectionPoint{{Node: 1, Port: 1}, {Node: 3, Port: 1}}
+	for _, workers := range []int{1, 2} {
+		prs := net.ReachAll(points, FullSpace(8), ReachOptions{RecordFootprint: true, Parallelism: workers})
+		if len(prs) != 2 {
+			t.Fatalf("workers=%d: point results = %d", workers, len(prs))
+		}
+		if got := prs[0].Footprint.Nodes(); len(got) != 4 {
+			t.Errorf("workers=%d: footprint from node 1 = %v, want 1..4", workers, got)
+		}
+		if got := prs[1].Footprint.Nodes(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+			t.Errorf("workers=%d: footprint from node 3 = %v, want [3 4]", workers, got)
+		}
+	}
+	// Without RecordFootprint no footprints are allocated.
+	prs := net.ReachAll(points, FullSpace(8), ReachOptions{})
+	if prs[0].Footprint != nil || prs[1].Footprint != nil {
+		t.Error("footprints recorded without RecordFootprint")
+	}
+}

@@ -131,6 +131,66 @@ type ReachOptions struct {
 	// 0 or negative means GOMAXPROCS. A single Reach call is always
 	// sequential.
 	Parallelism int
+	// RecordFootprint makes ReachAll capture each injection point's visited
+	// cone into PointResult.Footprint. Single-point callers use
+	// ReachFootprint instead.
+	RecordFootprint bool
+}
+
+// Footprint is the set of nodes a reachability evaluation visited — its
+// "frontier cone". It covers every node the traversal consulted, including
+// nodes where the space was dropped, looped or hop-bounded, not just nodes
+// on emitted witness paths. A reach evaluation is a deterministic function
+// of the wiring plus the transfer functions of exactly these nodes, so a
+// configuration change OUTSIDE the footprint provably cannot alter the
+// evaluation's outcome. Standing invariants exploit this: after a change to
+// switch S, only invariants whose footprint contains S need re-running.
+type Footprint map[NodeID]struct{}
+
+// NewFootprint returns an empty footprint.
+func NewFootprint() Footprint { return make(Footprint) }
+
+// Add records a visited node.
+func (f Footprint) Add(id NodeID) { f[id] = struct{}{} }
+
+// Contains reports whether the node was visited.
+func (f Footprint) Contains(id NodeID) bool {
+	_, ok := f[id]
+	return ok
+}
+
+// Union folds other into f and returns f.
+func (f Footprint) Union(other Footprint) Footprint {
+	for id := range other {
+		f[id] = struct{}{}
+	}
+	return f
+}
+
+// Nodes returns the visited node ids in ascending order.
+func (f Footprint) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(f))
+	for id := range f {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Invalidated reports whether any dirty node lies inside the footprint —
+// i.e. whether an evaluation that produced this footprint must be re-run
+// after the dirty nodes' transfer functions changed. A nil footprint (never
+// evaluated) is always invalidated.
+func (f Footprint) Invalidated(dirty []NodeID) bool {
+	if f == nil {
+		return true
+	}
+	for _, id := range dirty {
+		if _, ok := f[id]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // seenEntry is one node of the per-branch visited list. The list is a
@@ -195,6 +255,17 @@ type frame struct {
 // deep topologies cannot exhaust goroutine stacks, and branch state (seen
 // sets, paths) is structurally shared between siblings instead of copied.
 func (n *Network) Reach(at NodeID, port PortID, in Space, opt ReachOptions) []ReachResult {
+	return n.reach(at, port, in, opt, nil)
+}
+
+// ReachFootprint is Reach plus the visited-node cone of the traversal
+// (see Footprint). The returned footprint is never nil.
+func (n *Network) ReachFootprint(at NodeID, port PortID, in Space, opt ReachOptions) ([]ReachResult, Footprint) {
+	fp := NewFootprint()
+	return n.reach(at, port, in, opt, fp), fp
+}
+
+func (n *Network) reach(at NodeID, port PortID, in Space, opt ReachOptions, fp Footprint) []ReachResult {
 	maxHops := opt.MaxHops
 	if maxHops <= 0 {
 		maxHops = 4 * len(n.nodes)
@@ -235,6 +306,12 @@ func (n *Network) Reach(at NodeID, port PortID, in Space, opt ReachOptions) []Re
 				break
 			}
 			continue
+		}
+		if fp != nil {
+			// Every consulted node enters the footprint — including nodes
+			// where the branch dies (drop, loop, hop bound): a change there
+			// could revive it.
+			fp.Add(st.node)
 		}
 		if st.path.len() >= maxHops {
 			if opt.KeepLoops {
@@ -304,6 +381,9 @@ type InjectionPoint struct {
 type PointResult struct {
 	At      InjectionPoint
 	Results []ReachResult
+	// Footprint is the point's visited cone; only populated when
+	// ReachOptions.RecordFootprint is set.
+	Footprint Footprint
 }
 
 // ReachAll runs Reach for the same space from every injection point, fanning
@@ -322,9 +402,17 @@ func (n *Network) ReachAll(points []InjectionPoint, in Space, opt ReachOptions) 
 	if workers > len(points) {
 		workers = len(points)
 	}
+	one := func(i int) {
+		p := points[i]
+		var fp Footprint
+		if opt.RecordFootprint {
+			fp = NewFootprint()
+		}
+		out[i] = PointResult{At: p, Results: n.reach(p.Node, p.Port, in, opt, fp), Footprint: fp}
+	}
 	if workers <= 1 {
-		for i, p := range points {
-			out[i] = PointResult{At: p, Results: n.Reach(p.Node, p.Port, in, opt)}
+		for i := range points {
+			one(i)
 		}
 		return out
 	}
@@ -339,8 +427,7 @@ func (n *Network) ReachAll(points []InjectionPoint, in Space, opt ReachOptions) 
 				if i >= len(points) {
 					return
 				}
-				p := points[i]
-				out[i] = PointResult{At: p, Results: n.Reach(p.Node, p.Port, in, opt)}
+				one(i)
 			}
 		}()
 	}

@@ -226,7 +226,6 @@ func TestReachAllMatchesSerial(t *testing.T) {
 	}
 }
 
-
 // TestEgressSetOwnership is the regression test for aggregate aliasing: the
 // spaces stored in an EgressSet must not share term storage with the reach
 // results they were built from, on either the first-insert (Clone) path or

@@ -1,0 +1,115 @@
+package history
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies a standing-invariant verdict transition.
+type EventKind uint8
+
+// Verdict transitions.
+const (
+	// EventViolation marks an invariant transitioning OK → violated.
+	EventViolation EventKind = iota + 1
+	// EventRecovery marks the violated → OK transition.
+	EventRecovery
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventViolation:
+		return "violation"
+	case EventRecovery:
+		return "recovery"
+	}
+	return "event(?)"
+}
+
+// Violation is one recorded verdict transition of a standing invariant.
+// The paper's forensic angle ("a slightly more complex service may also
+// maintain some history of the recent past", §IV-C) extends naturally from
+// raw snapshots to verification outcomes: the log shows not just what the
+// configuration was, but when it stopped (and resumed) satisfying each
+// client's invariants — evidence for attacks caught between client polls.
+type Violation struct {
+	At         time.Time
+	Event      EventKind
+	SubID      uint64
+	ClientID   uint64
+	Kind       string // invariant kind (query-kind name)
+	Detail     string
+	SnapshotID uint64
+}
+
+// ViolationLog is a bounded, append-ordered ring of verdict transitions.
+// The zero value is unusable; use NewViolationLog.
+type ViolationLog struct {
+	mu       sync.Mutex
+	capacity int
+	records  []Violation
+}
+
+// NewViolationLog returns a log retaining up to capacity records.
+func NewViolationLog(capacity int) *ViolationLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ViolationLog{capacity: capacity}
+}
+
+// Append stores one transition, evicting the oldest record if full.
+func (l *ViolationLog) Append(v Violation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, v)
+	if len(l.records) > l.capacity {
+		l.records = l.records[len(l.records)-l.capacity:]
+	}
+}
+
+// Len returns the number of retained records.
+func (l *ViolationLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// All returns a copy of every retained record in append order.
+func (l *ViolationLog) All() []Violation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Violation(nil), l.records...)
+}
+
+// PerSub returns the retained records of one subscription in append order.
+func (l *ViolationLog) PerSub(subID uint64) []Violation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Violation
+	for _, v := range l.records {
+		if v.SubID == subID {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Open returns the subscriptions currently in the violated state: those
+// whose latest retained transition is a violation without a later recovery.
+func (l *ViolationLog) Open() []Violation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	latest := make(map[uint64]Violation)
+	for _, v := range l.records {
+		latest[v.SubID] = v
+	}
+	var out []Violation
+	for _, v := range l.records { // keep append order
+		if lv := latest[v.SubID]; lv == v && v.Event == EventViolation {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package history
+
+import (
+	"testing"
+	"time"
+)
+
+func violationAt(sec int, sub uint64, ev EventKind) Violation {
+	return Violation{
+		At:    time.Date(2026, 7, 1, 0, 0, sec, 0, time.UTC),
+		Event: ev, SubID: sub, ClientID: sub, Kind: "isolation",
+	}
+}
+
+func TestViolationLogAppendOrderAndBound(t *testing.T) {
+	l := NewViolationLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append(violationAt(i, uint64(i), EventViolation))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (bounded)", l.Len())
+	}
+	all := l.All()
+	if all[0].SubID != 2 || all[2].SubID != 4 {
+		t.Errorf("eviction kept wrong records: %+v", all)
+	}
+}
+
+func TestViolationLogPerSub(t *testing.T) {
+	l := NewViolationLog(16)
+	l.Append(violationAt(0, 1, EventViolation))
+	l.Append(violationAt(1, 2, EventViolation))
+	l.Append(violationAt(2, 1, EventRecovery))
+	got := l.PerSub(1)
+	if len(got) != 2 || got[0].Event != EventViolation || got[1].Event != EventRecovery {
+		t.Errorf("per-sub records = %+v", got)
+	}
+}
+
+func TestViolationLogOpen(t *testing.T) {
+	l := NewViolationLog(16)
+	l.Append(violationAt(0, 1, EventViolation))
+	l.Append(violationAt(1, 2, EventViolation))
+	l.Append(violationAt(2, 1, EventRecovery))
+	open := l.Open()
+	if len(open) != 1 || open[0].SubID != 2 {
+		t.Errorf("open violations = %+v, want only sub 2", open)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	if EventViolation.String() != "violation" || EventRecovery.String() != "recovery" {
+		t.Error("event kind names wrong")
+	}
+}

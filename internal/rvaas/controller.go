@@ -61,6 +61,11 @@ type Config struct {
 	// Clock is injectable for simulated-time experiments; defaults to
 	// time.Now.
 	Clock func() time.Time
+	// ManualRecheck disables the background subscription worker: standing
+	// invariants are only re-verified by explicit RecheckNow /
+	// RevalidateAll calls. Experiments use this to measure re-check latency
+	// deterministically.
+	ManualRecheck bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,10 +100,20 @@ type Controller struct {
 	topo    *topology.Topology
 	snap    *snapshotStore
 	hist    *history.Store
+	vlog    *history.ViolationLog
+	subs    *subscriptionEngine
+	subKick chan struct{}
 	rng     *rand.Rand
 
-	mu          sync.Mutex
-	sessions    map[topology.SwitchID]*session
+	mu       sync.Mutex
+	sessions map[topology.SwitchID]*session
+	// resyncing / evHigh dedupe event-gap resyncs per switch; staleEvents /
+	// stalePolls count consecutive staleness evidence for sequence-
+	// regression recovery (monitor.go).
+	resyncing   map[topology.SwitchID]bool
+	evHigh      map[topology.SwitchID]uint64
+	staleEvents map[topology.SwitchID]int
+	stalePolls  map[topology.SwitchID]int
 	clients     map[uint64]ed25519.PublicKey
 	pending     map[uint64]*pendingQuery // by query nonce
 	waiters     map[uint32]chan openflow.Message
@@ -142,8 +157,15 @@ func New(cfg Config) (*Controller, error) {
 		topo:         cfg.Topology,
 		snap:         newSnapshotStore(),
 		hist:         history.NewStore(cfg.HistoryDepth),
+		vlog:         history.NewViolationLog(4 * cfg.HistoryDepth),
+		subs:         newSubscriptionEngine(),
+		subKick:      make(chan struct{}, 1),
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		sessions:     make(map[topology.SwitchID]*session),
+		resyncing:    make(map[topology.SwitchID]bool),
+		evHigh:       make(map[topology.SwitchID]uint64),
+		staleEvents:  make(map[topology.SwitchID]int),
+		stalePolls:   make(map[topology.SwitchID]int),
 		clients:      make(map[uint64]ed25519.PublicKey),
 		pending:      make(map[uint64]*pendingQuery),
 		waiters:      make(map[uint32]chan openflow.Message),
@@ -271,13 +293,20 @@ func (c *Controller) interceptionRules() []*openflow.FlowMod {
 	return []*openflow.FlowMod{
 		mkUDP(wire.PortRVaaSQuery, 1),
 		mkUDP(wire.PortRVaaSAuthRep, 2),
+		mkUDP(wire.PortRVaaSSub, 4),
 		probe,
 	}
 }
 
-// Start launches the randomized active poller ("proactively query the
-// switches for their current configuration ... at random times").
+// Start launches the background workers: the randomized active poller
+// ("proactively query the switches for their current configuration ... at
+// random times") and the subscription re-verification worker that
+// re-checks standing invariants after every applied snapshot change.
 func (c *Controller) Start() {
+	if !c.cfg.ManualRecheck {
+		c.wg.Add(1)
+		go c.subscriptionWorker()
+	}
 	if c.cfg.PollInterval <= 0 {
 		return
 	}
@@ -366,8 +395,9 @@ func (c *Controller) readLoop(sess *session) {
 		case *openflow.FlowMonitorReply:
 			c.handleMonitorEvent(sess.sw, m)
 		case *openflow.StatsReply:
-			// Unsolicited full state (e.g. late reply): still apply it.
-			c.applyStats(sess.sw, m, history.SourceActivePoll)
+			// Unsolicited full state (e.g. late reply): still apply it
+			// (subject to staleness protection).
+			c.applyStats(sess.sw, m, history.SourceActivePoll, false)
 		case *openflow.PacketIn:
 			c.handlePacketIn(sess.sw, m)
 		case *openflow.EchoRequest:

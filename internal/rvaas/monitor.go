@@ -10,18 +10,87 @@ import (
 	"repro/internal/topology"
 )
 
+// Monitoring self-healing thresholds.
+const (
+	// maxGapResyncAttempts bounds the catch-up loop after an event gap: a
+	// lying switch advertising an inflated event sequence must not be able
+	// to pin the controller in a poll loop.
+	maxGapResyncAttempts = 3
+	// staleEventResyncThreshold is the number of consecutive
+	// already-superseded events after which the switch's sequence counter
+	// is presumed to have regressed (restart) and a forced resync makes
+	// the switch authoritative again. Legitimate stale events (overtaken
+	// by one resync) come in short bursts.
+	staleEventResyncThreshold = 8
+	// stalePollForceThreshold is the number of consecutive rejected
+	// full-state replies — with no applied events or accepted replies in
+	// between — after which the reply is force-accepted: one rejection is
+	// a late stray answer, two distinct polls both behind a silent store
+	// mean the switch really regressed.
+	stalePollForceThreshold = 2
+)
+
 // handleMonitorEvent applies one passive flow-monitor event. Sequence gaps
 // (lost events) force a full resync of that switch — RVaaS "needs to ensure
 // that it receives all the relevant updates from the switches" (§IV-A).
+// Events already superseded by a newer full snapshot (a resync overtook
+// them) are dropped silently: their effect is in the snapshot. A long run
+// of "stale" events means the switch's counter regressed (restart) — then
+// a forced resync re-bases on the switch's authoritative state.
 func (c *Controller) handleMonitorEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) {
 	c.mu.Lock()
 	c.stats.PassiveEvents++
 	c.mu.Unlock()
-	if cap, ok := c.snap.applyEvent(sw, ev); ok {
+	cap, ok, stale := c.snap.applyEvent(sw, ev)
+	if ok {
+		c.mu.Lock()
+		c.staleEvents[sw] = 0
+		// An applied event proves the event stream is live and in order:
+		// any earlier rejected poll reply was a stray late answer, not
+		// evidence of a sequence regression. Without this reset, two
+		// rejected polls separated by healthy churn would force-accept a
+		// rollback.
+		c.stalePolls[sw] = 0
+		c.mu.Unlock()
 		c.recordHistory(history.SourcePassive, cap)
 		return
 	}
+	if stale {
+		c.mu.Lock()
+		c.staleEvents[sw]++
+		regressed := c.staleEvents[sw] >= staleEventResyncThreshold
+		if regressed {
+			c.staleEvents[sw] = 0
+		}
+		c.mu.Unlock()
+		if regressed {
+			c.forceResync(sw)
+		}
+		return
+	}
 	c.mu.Lock()
+	c.staleEvents[sw] = 0
+	c.mu.Unlock()
+	c.noteGap(sw, ev.Seq)
+}
+
+// noteGap schedules a resync of one switch after a detected event gap. At
+// most one resync loop runs per switch: concurrent gaps (e.g. the burst of
+// events racing the initial sync at attach time) fold into the running
+// loop, which re-polls (boundedly) until the snapshot has caught up with
+// the highest event sequence seen. Without the dedup, every event behind a
+// gap spawned its own poll, and the stale replies re-manufactured gaps ad
+// infinitum.
+func (c *Controller) noteGap(sw topology.SwitchID, seq uint64) {
+	c.mu.Lock()
+	if seq > c.evHigh[sw] {
+		c.evHigh[sw] = seq
+	}
+	if c.resyncing[sw] {
+		c.mu.Unlock()
+		return
+	}
+	c.resyncing[sw] = true
 	c.stats.Resyncs++
 	c.mu.Unlock()
 	// Resync asynchronously: pollSwitch waits for a reply that arrives on
@@ -29,20 +98,88 @@ func (c *Controller) handleMonitorEvent(sw topology.SwitchID, ev *openflow.FlowM
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		_ = c.pollSwitch(sw, 2*time.Second)
+		for attempt := 0; ; attempt++ {
+			err := c.pollSwitchMode(sw, 2*time.Second, false)
+			c.mu.Lock()
+			caughtUp := err == nil && c.snap.seqOf(sw) >= c.evHigh[sw]
+			if caughtUp || err != nil || attempt >= maxGapResyncAttempts {
+				if !caughtUp && err == nil {
+					// The switch's authoritative TableSeq never reached
+					// the advertised event sequence (forged or inflated
+					// Seq): accept the switch's own counter instead of
+					// hot-looping on an unreachable target.
+					c.evHigh[sw] = c.snap.seqOf(sw)
+				}
+				c.resyncing[sw] = false
+				c.mu.Unlock()
+				return
+			}
+			c.stats.Resyncs++
+			c.mu.Unlock()
+		}
 	}()
 }
 
-// applyStats installs a full-state snapshot for one switch.
-func (c *Controller) applyStats(sw topology.SwitchID, m *openflow.StatsReply, src history.Source) {
-	cap := c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq)
-	c.recordHistory(src, cap)
+// forceResync re-bases one switch's snapshot on its authoritative state,
+// bypassing staleness protection — used after repeated evidence of a
+// sequence regression (switch restart).
+func (c *Controller) forceResync(sw topology.SwitchID) {
+	c.mu.Lock()
+	if c.resyncing[sw] {
+		c.mu.Unlock()
+		return
+	}
+	c.resyncing[sw] = true
+	c.stats.Resyncs++
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.pollSwitchMode(sw, 2*time.Second, true)
+		c.mu.Lock()
+		c.evHigh[sw] = c.snap.seqOf(sw)
+		c.resyncing[sw] = false
+		c.mu.Unlock()
+	}()
+}
+
+// applyStats installs a full-state snapshot for one switch. A resync that
+// matches the stored state bit for bit records nothing: the snapshot id
+// did not advance, so appending would duplicate history ids, and standing
+// invariants have nothing to re-verify. A reply behind the store's
+// sequence is rejected once as a stray late answer; repeated rejections
+// mean the switch's counter regressed (restart) and the reply is
+// force-accepted so the snapshot can never freeze on pre-restart state.
+func (c *Controller) applyStats(sw topology.SwitchID, m *openflow.StatsReply, src history.Source, force bool) {
+	cap, changed, rejected := c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq, force)
+	if rejected {
+		c.mu.Lock()
+		c.stalePolls[sw]++
+		regressed := c.stalePolls[sw] >= stalePollForceThreshold
+		if regressed {
+			c.stalePolls[sw] = 0
+		}
+		c.mu.Unlock()
+		if !regressed {
+			return
+		}
+		cap, changed, _ = c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq, true)
+	} else {
+		c.mu.Lock()
+		c.stalePolls[sw] = 0
+		c.mu.Unlock()
+	}
+	if changed {
+		c.recordHistory(src, cap)
+	}
 }
 
 // recordHistory appends one applied change to the history ring. The capture
 // was taken atomically with the mutation, so concurrent appliers (parallel
 // polls, passive events) each record the id/tables pair of exactly their
-// own change — no ids are duplicated or skipped.
+// own change — no ids are duplicated or skipped. Every applied change also
+// nudges the subscription worker: standing invariants re-verify against
+// the new snapshot instead of waiting for the client's next poll.
 func (c *Controller) recordHistory(src history.Source, cap capture) {
 	c.hist.Append(history.Record{
 		At:         c.cfg.Clock(),
@@ -50,10 +187,17 @@ func (c *Controller) recordHistory(src history.Source, cap capture) {
 		Source:     src,
 		Tables:     cap.tables,
 	})
+	c.pokeSubscriptions()
 }
 
 // pollSwitch actively fetches one switch's full state and waits for it.
 func (c *Controller) pollSwitch(sw topology.SwitchID, timeout time.Duration) error {
+	return c.pollSwitchMode(sw, timeout, false)
+}
+
+// pollSwitchMode is pollSwitch with control over staleness forcing (used
+// by forced resyncs after a detected sequence regression).
+func (c *Controller) pollSwitchMode(sw topology.SwitchID, timeout time.Duration, force bool) error {
 	xid := c.xid()
 	reply, err := c.request(sw, &openflow.StatsRequest{XID: xid}, xid, timeout)
 	if err != nil {
@@ -63,7 +207,7 @@ func (c *Controller) pollSwitch(sw topology.SwitchID, timeout time.Duration) err
 	if !ok {
 		return errUnexpectedReply
 	}
-	c.applyStats(sw, stats, history.SourceActivePoll)
+	c.applyStats(sw, stats, history.SourceActivePoll, force)
 	return nil
 }
 

@@ -1,0 +1,109 @@
+package rvaas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// bareController builds a Controller with just enough state to exercise
+// the snapshot/monitor plumbing without sessions or an enclave.
+func bareController() *Controller {
+	return &Controller{
+		cfg:         Config{Clock: time.Now},
+		snap:        newSnapshotStore(),
+		hist:        history.NewStore(16),
+		vlog:        history.NewViolationLog(16),
+		subs:        newSubscriptionEngine(),
+		subKick:     make(chan struct{}, 1),
+		sessions:    make(map[topology.SwitchID]*session),
+		resyncing:   make(map[topology.SwitchID]bool),
+		evHigh:      make(map[topology.SwitchID]uint64),
+		staleEvents: make(map[topology.SwitchID]int),
+		stalePolls:  make(map[topology.SwitchID]int),
+	}
+}
+
+func monEntry(ip uint32) openflow.FlowEntry {
+	return openflow.FlowEntry{
+		Priority: 10,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(ip), Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(2)},
+	}
+}
+
+// TestStaleReplyRejectedOnce verifies a single late full-state reply
+// (sequence behind the store) is dropped without rolling the switch back.
+func TestStaleReplyRejectedOnce(t *testing.T) {
+	c := bareController()
+	fresh := []openflow.FlowEntry{monEntry(0x0A000001), monEntry(0x0A000002)}
+	c.snap.replaceState(1, fresh, nil, nil, 100, false)
+
+	old := &openflow.StatsReply{Entries: []openflow.FlowEntry{monEntry(0x0A000009)}, TableSeq: 50}
+	c.applyStats(1, old, history.SourceActivePoll, false)
+	if got := c.snap.seqOf(1); got != 100 {
+		t.Fatalf("seq rolled back to %d by a stale reply", got)
+	}
+	if got := len(c.snap.table(1)); got != 2 {
+		t.Fatalf("table overwritten by stale reply: %d entries", got)
+	}
+}
+
+// TestSequenceRegressionSelfHeals verifies the switch-restart path: when a
+// switch's counter genuinely regresses, repeated "stale" replies are
+// eventually force-accepted instead of freezing the snapshot on
+// pre-restart state forever.
+func TestSequenceRegressionSelfHeals(t *testing.T) {
+	c := bareController()
+	c.snap.replaceState(1, []openflow.FlowEntry{monEntry(0x0A000001)}, nil, nil, 100, false)
+
+	// The switch restarted: its tables changed and TableSeq restarted low.
+	restarted := &openflow.StatsReply{Entries: []openflow.FlowEntry{monEntry(0x0A000042)}, TableSeq: 3}
+	for i := 0; i < stalePollForceThreshold; i++ {
+		c.applyStats(1, restarted, history.SourceActivePoll, false)
+	}
+	if got := c.snap.seqOf(1); got != 3 {
+		t.Fatalf("seq = %d after %d consistent regressed polls, want re-based 3", got, stalePollForceThreshold)
+	}
+	tbl := c.snap.table(1)
+	if len(tbl) != 1 || tbl[0].Match.Fields[0].Value != 0x0A000042 {
+		t.Fatalf("snapshot not re-based on post-restart state: %+v", tbl)
+	}
+	// After re-basing, the restarted switch's event stream applies cleanly.
+	if _, ok, _ := c.snap.applyEvent(1, &openflow.FlowMonitorReply{
+		Seq: 4, Kind: openflow.FlowEventAdded, Entry: monEntry(0x0A000043),
+	}); !ok {
+		t.Fatal("post-restart event rejected after re-base")
+	}
+}
+
+// TestStaleEventStreakTriggersForcedResync verifies a long run of
+// already-superseded events (the restart signature on the passive path)
+// schedules a forced resync instead of dropping state changes forever.
+func TestStaleEventStreakTriggersForcedResync(t *testing.T) {
+	c := bareController()
+	c.snap.replaceState(1, nil, nil, nil, 100, false)
+
+	before := c.Stats().Resyncs
+	for i := 0; i < staleEventResyncThreshold; i++ {
+		c.handleMonitorEvent(1, &openflow.FlowMonitorReply{Seq: uint64(i + 1), Kind: openflow.FlowEventAdded, Entry: monEntry(1)})
+	}
+	// forceResync was spawned (its poll fails — no session — which must
+	// clear the dedup flag, not wedge it).
+	if got := c.Stats().Resyncs; got != before+1 {
+		t.Fatalf("resyncs = %d, want %d (one forced resync)", got, before+1)
+	}
+	c.wg.Wait()
+	c.mu.Lock()
+	wedged := c.resyncing[1]
+	c.mu.Unlock()
+	if wedged {
+		t.Fatal("resyncing flag wedged after failed forced poll")
+	}
+}

@@ -28,6 +28,12 @@ func (c *Controller) handlePacketIn(sw topology.SwitchID, m *openflow.PacketIn) 
 			return
 		}
 		c.handleQuery(sw, topology.PortNo(m.InPort), pkt, q)
+	case pkt.IsRVaaSSubscribe():
+		sr, err := wire.UnmarshalSubscribeRequest(pkt.Payload)
+		if err != nil {
+			return
+		}
+		c.handleSubscribe(sw, topology.PortNo(m.InPort), pkt, sr)
 	case pkt.IsAuthReply():
 		rep, err := wire.UnmarshalAuthReply(pkt.Payload)
 		if err != nil {
@@ -89,7 +95,7 @@ func (c *Controller) handleQuery(sw topology.SwitchID, inPort topology.PortNo, p
 		eps := c.reachableEndpoints(net, requester, q)
 		authTargets = c.fillEndpoints(resp, eps, q)
 	case wire.QueryReachingSources, wire.QueryIsolation:
-		eps := c.reachingSources(net, requester, q)
+		eps, _ := c.reachingSources(net, requester, q.Constraints, false)
 		authTargets = c.fillEndpoints(resp, eps, q)
 		if q.Kind == wire.QueryIsolation {
 			c.judgeIsolation(resp, eps, q.ClientID)
@@ -137,8 +143,12 @@ func (c *Controller) reachableEndpoints(net *headerspace.Network, req requesterI
 // join attack's secret access point is discovered. The per-port traversals
 // are independent, so they fan out across a worker pool (ReachAll); the
 // compiled network is shared read-only between the workers.
-func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo, q *wire.QueryRequest) []discoveredEndpoint {
-	space := scopeSpace(q.Constraints)
+//
+// With record set, the union of the per-point visited cones is returned as
+// well — the footprint a standing isolation invariant caches for
+// dirty-set-aware re-verification.
+func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo, constraints []wire.FieldConstraint, record bool) ([]discoveredEndpoint, headerspace.Footprint) {
+	space := scopeSpace(constraints)
 	var points []headerspace.InjectionPoint
 	var eps []topology.Endpoint
 	for _, ep := range c.topo.EdgePorts() {
@@ -150,8 +160,15 @@ func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo
 		})
 		eps = append(eps, ep)
 	}
+	var fp headerspace.Footprint
+	if record {
+		fp = headerspace.NewFootprint()
+	}
 	var found []discoveredEndpoint
-	for i, pr := range net.ReachAll(points, space, headerspace.ReachOptions{}) {
+	for i, pr := range net.ReachAll(points, space, headerspace.ReachOptions{RecordFootprint: record}) {
+		if record {
+			fp.Union(pr.Footprint)
+		}
 		reaches := false
 		var lens []int
 		for _, r := range pr.Results {
@@ -174,7 +191,7 @@ func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo
 		found = append(found, de)
 	}
 	sortEndpoints(found)
-	return found
+	return found, fp
 }
 
 // collectEndpoints maps reach results to discovered endpoints.
@@ -243,11 +260,12 @@ func (c *Controller) fillEndpoints(resp *wire.QueryResponse, eps []discoveredEnd
 	return targets
 }
 
-// judgeIsolation sets the violation status: any endpoint able to
-// communicate with the request point that does not belong to the querying
-// client breaks isolation ("no client can gain access to another client's
+// isolationVerdict decides whether the endpoints able to communicate with
+// the request point break isolation: any endpoint that does not belong to
+// the querying client does ("no client can gain access to another client's
 // network except through some access points used by the client", §IV-B1).
-func (c *Controller) judgeIsolation(resp *wire.QueryResponse, eps []discoveredEndpoint, clientID uint64) {
+// Shared between one-shot isolation queries and standing invariants.
+func isolationVerdict(eps []discoveredEndpoint, clientID uint64) (bool, string) {
 	var intruders []string
 	for _, de := range eps {
 		if de.known && de.ap.ClientID == clientID {
@@ -256,8 +274,16 @@ func (c *Controller) judgeIsolation(resp *wire.QueryResponse, eps []discoveredEn
 		intruders = append(intruders, de.ep.String())
 	}
 	if len(intruders) > 0 {
+		return true, fmt.Sprintf("isolation broken by %d endpoint(s): %v", len(intruders), intruders)
+	}
+	return false, fmt.Sprintf("isolation holds across %d reaching endpoint(s)", len(eps))
+}
+
+// judgeIsolation applies the isolation verdict to a one-shot response.
+func (c *Controller) judgeIsolation(resp *wire.QueryResponse, eps []discoveredEndpoint, clientID uint64) {
+	if violated, detail := isolationVerdict(eps, clientID); violated {
 		resp.Status = wire.StatusViolation
-		resp.Detail = fmt.Sprintf("isolation broken by %d endpoint(s): %v", len(intruders), intruders)
+		resp.Detail = detail
 	}
 }
 
@@ -305,11 +331,11 @@ func sortedKeys(m map[string]struct{}) []string {
 	return out
 }
 
-// answerPathLength checks route optimality: the longest possible path for
-// the scoped traffic versus the client-supplied bound.
-func (c *Controller) answerPathLength(net *headerspace.Network, req requesterInfo, q *wire.QueryRequest, resp *wire.QueryResponse) {
-	space := scopeSpace(q.Constraints)
-	results := net.Reach(headerspace.NodeID(req.sw), headerspace.PortID(req.port), space, headerspace.ReachOptions{KeepLoops: true})
+// pathLengthVerdict checks route optimality over reach results computed
+// with KeepLoops: the longest possible path for the scoped traffic versus
+// the client-supplied bound. Shared between one-shot queries and standing
+// invariants.
+func pathLengthVerdict(results []headerspace.ReachResult, bound int) (bool, string) {
 	maxLen := 0
 	looped := false
 	for _, r := range results {
@@ -321,38 +347,54 @@ func (c *Controller) answerPathLength(net *headerspace.Network, req requesterInf
 			maxLen = len(r.Path)
 		}
 	}
-	resp.Detail = strconv.Itoa(maxLen)
+	if looped {
+		return true, "forwarding loop detected"
+	}
+	if maxLen > bound {
+		return true, fmt.Sprintf("max path length %d exceeds bound %d", maxLen, bound)
+	}
+	return false, strconv.Itoa(maxLen)
+}
+
+// answerPathLength applies the path-length verdict to a one-shot response.
+func (c *Controller) answerPathLength(net *headerspace.Network, req requesterInfo, q *wire.QueryRequest, resp *wire.QueryResponse) {
 	bound, err := strconv.Atoi(q.Param)
 	if err != nil {
 		resp.Status = wire.StatusError
 		resp.Detail = "path-length query needs integer Param"
 		return
 	}
-	if looped {
+	space := scopeSpace(q.Constraints)
+	results := net.Reach(headerspace.NodeID(req.sw), headerspace.PortID(req.port), space, headerspace.ReachOptions{KeepLoops: true})
+	violated, detail := pathLengthVerdict(results, bound)
+	resp.Detail = detail
+	if violated {
 		resp.Status = wire.StatusViolation
-		resp.Detail = "forwarding loop detected"
-		return
-	}
-	if maxLen > bound {
-		resp.Status = wire.StatusViolation
-		resp.Detail = fmt.Sprintf("max path length %d exceeds bound %d", maxLen, bound)
 	}
 }
 
-// answerWaypoint verifies avoidance: the scoped traffic must not be able to
-// traverse any switch in the forbidden region (the "verify that certain
-// paths have not been taken" goal, §I).
+// waypointVerdict verifies avoidance over reach results: the scoped
+// traffic must not be able to traverse any switch in the forbidden region
+// (the "verify that certain paths have not been taken" goal, §I). Shared
+// between one-shot queries and standing invariants.
+func (c *Controller) waypointVerdict(results []headerspace.ReachResult, region string) (bool, string) {
+	for _, n := range headerspace.TraversedNodes(results) {
+		if string(c.topo.RegionOf(topology.SwitchID(n))) == region {
+			return true, fmt.Sprintf("switch %d in avoided region %q is traversable", n, region)
+		}
+	}
+	return false, fmt.Sprintf("region %q not traversable", region)
+}
+
+// answerWaypoint applies the waypoint verdict to a one-shot response.
 func (c *Controller) answerWaypoint(net *headerspace.Network, req requesterInfo, q *wire.QueryRequest, resp *wire.QueryResponse) {
 	space := scopeSpace(q.Constraints)
 	results := net.Reach(headerspace.NodeID(req.sw), headerspace.PortID(req.port), space, headerspace.ReachOptions{})
-	for _, n := range headerspace.TraversedNodes(results) {
-		if string(c.topo.RegionOf(topology.SwitchID(n))) == q.Param {
-			resp.Status = wire.StatusViolation
-			resp.Detail = fmt.Sprintf("switch %d in avoided region %q is traversable", n, q.Param)
-			return
-		}
+	violated, detail := c.waypointVerdict(results, q.Param)
+	resp.Detail = detail
+	if violated {
+		resp.Status = wire.StatusViolation
 	}
-	resp.Detail = fmt.Sprintf("region %q not traversable", q.Param)
 }
 
 // answerNeutrality compares the scoped traffic class against the same

@@ -59,8 +59,8 @@ type snapshotStore struct {
 	// immutable once published and safe for concurrent readers.
 	compiled  map[topology.SwitchID]compiledSwitch
 	cachedNet *headerspace.Network
-	cachedID  uint64              // snapshot id cachedNet was built from
-	cachedFor *topology.Topology  // topology cachedNet/compiled are valid for
+	cachedID  uint64             // snapshot id cachedNet was built from
+	cachedFor *topology.Topology // topology cachedNet/compiled are valid for
 	stats     CompileStats
 }
 
@@ -102,15 +102,40 @@ func (s *snapshotStore) captureLocked() capture {
 
 // replaceTable installs a full-table snapshot (active poll result).
 func (s *snapshotStore) replaceTable(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, seq uint64) {
-	s.replaceState(sw, entries, ports, nil, seq)
+	s.replaceState(sw, entries, ports, nil, seq, false)
 }
 
 // replaceState installs a full snapshot including the meter table. The
 // returned capture pairs the new snapshot id with the tables as of exactly
-// this change.
-func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, meters []openflow.MeterConfig, seq uint64) capture {
+// this change; changed reports whether the switch's state actually
+// differed from the stored snapshot. An identical resync (the common case
+// for full active polls of a quiet network) advances neither the snapshot
+// id nor the switch's generation, so the compile cache stays valid and
+// standing invariants revalidate for free.
+//
+// A reply whose sequence is behind the store's is rejected as stale
+// (rejectedStale=true) unless force is set: the monitor layer forces
+// acceptance when repeated evidence says the switch's counter genuinely
+// regressed (restart), making the switch authoritative again.
+func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.FlowEntry, ports []uint32, meters []openflow.MeterConfig, seq uint64, force bool) (cap capture, changed, rejectedStale bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, seen := s.tables[sw]
+	if seen && seq < s.seq[sw] && !force {
+		// Stale full-state reply: a late resync answer computed before
+		// events we have already folded in. Applying it would roll the
+		// switch back in time (and the rolled-back sequence number would
+		// manufacture a gap out of the very next in-order event).
+		return s.captureLocked(), false, true
+	}
+	changed = !seen ||
+		!tablesEqual(s.tables[sw], entries) ||
+		(ports != nil && !portsEqual(s.ports[sw], ports)) ||
+		!metersEqual(s.meters[sw], meters)
+	s.seq[sw] = seq
+	if !changed {
+		return s.captureLocked(), false, false
+	}
 	s.tables[sw] = append([]openflow.FlowEntry(nil), entries...)
 	if ports != nil {
 		s.ports[sw] = append([]uint32(nil), ports...)
@@ -120,9 +145,47 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 	} else {
 		delete(s.meters, sw)
 	}
-	s.seq[sw] = seq
 	s.bumpLocked(sw)
-	return s.captureLocked()
+	return s.captureLocked(), true, false
+}
+
+// tablesEqual compares two flow tables entry-wise (order-sensitive: polls
+// report tables in stable order, and a false mismatch merely costs one
+// recompile).
+func tablesEqual(a, b []openflow.FlowEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameEntry(a[i], b[i]) || a[i].MeterID != b[i].MeterID {
+			return false
+		}
+	}
+	return true
+}
+
+func portsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func metersEqual(a, b []openflow.MeterConfig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // metersOf returns a copy of a switch's polled meter table.
@@ -133,14 +196,19 @@ func (s *snapshotStore) metersOf(sw topology.SwitchID) []openflow.MeterConfig {
 }
 
 // applyEvent folds one flow-monitor event into the table. ok is false when
-// a sequence gap is detected, signalling the caller to resync; on success
+// the event is not the next in sequence: stale marks events already
+// superseded by a newer full snapshot (dropped silently), !stale marks a
+// forward gap (lost events), signalling the caller to resync. On success
 // the capture pairs the new snapshot id with the tables as of this event.
-func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) (cap capture, ok bool) {
+func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonitorReply) (cap capture, ok, stale bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	last := s.seq[sw]
+	if ev.Seq <= last {
+		return capture{}, false, true
+	}
 	if ev.Seq != last+1 {
-		return capture{}, false
+		return capture{}, false, false
 	}
 	s.seq[sw] = ev.Seq
 	s.bumpLocked(sw)
@@ -167,7 +235,14 @@ func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonito
 			s.tables[sw] = append(s.tables[sw], ev.Entry)
 		}
 	}
-	return s.captureLocked(), true
+	return s.captureLocked(), true, false
+}
+
+// seqOf returns the last applied event sequence for one switch.
+func (s *snapshotStore) seqOf(sw topology.SwitchID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq[sw]
 }
 
 func sameMatch(a, b openflow.Match) bool {
@@ -209,6 +284,19 @@ func (s *snapshotStore) snapshotID() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.id
+}
+
+// generations returns the current snapshot id together with a copy of the
+// per-switch generation counters. The subscription engine diffs successive
+// copies to compute the dirty set of an incremental re-verification pass.
+func (s *snapshotStore) generations() (uint64, map[topology.SwitchID]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gens := make(map[topology.SwitchID]uint64, len(s.gen))
+	for sw, g := range s.gen {
+		gens[sw] = g
+	}
+	return s.id, gens
 }
 
 // compileStats returns a copy of the cache counters.

@@ -30,7 +30,7 @@ func TestCompiledNetworkCache(t *testing.T) {
 	}
 	s := newSnapshotStore()
 	for _, sw := range topo.Switches() {
-		s.replaceState(sw, []openflow.FlowEntry{cacheEntry(0x0A000001, 2)}, nil, nil, 1)
+		s.replaceState(sw, []openflow.FlowEntry{cacheEntry(0x0A000001, 2)}, nil, nil, 1, false)
 	}
 
 	n1 := s.buildNetwork(topo)
@@ -53,7 +53,7 @@ func TestCompiledNetworkCache(t *testing.T) {
 	}
 
 	// One passive event on switch 1: only switch 1 recompiles.
-	cap, ok := s.applyEvent(1, &openflow.FlowMonitorReply{
+	cap, ok, _ := s.applyEvent(1, &openflow.FlowMonitorReply{
 		Seq: 2, Kind: openflow.FlowEventAdded, Entry: cacheEntry(0x0A000002, 1),
 	})
 	if !ok {
@@ -89,7 +89,7 @@ func TestCompiledNetworkCache(t *testing.T) {
 	}
 
 	// Full resync of one switch also invalidates just that switch.
-	s.replaceState(2, []openflow.FlowEntry{cacheEntry(0x0A000003, 2)}, nil, nil, 9)
+	s.replaceState(2, []openflow.FlowEntry{cacheEntry(0x0A000003, 2)}, nil, nil, 9, false)
 	_ = s.buildNetwork(topo)
 	st = s.compileStats()
 	if st.SwitchCompiles != 5 {
@@ -116,12 +116,16 @@ func TestCompiledNetworkCacheSeqGapUnchanged(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newSnapshotStore()
-	s.replaceState(1, nil, nil, nil, 1)
-	s.replaceState(2, nil, nil, nil, 1)
+	s.replaceState(1, nil, nil, nil, 1, false)
+	s.replaceState(2, nil, nil, nil, 1, false)
 	_ = s.buildNetwork(topo)
 	// A rejected (out-of-sequence) event must NOT invalidate the cache.
-	if _, ok := s.applyEvent(1, &openflow.FlowMonitorReply{Seq: 7}); ok {
-		t.Fatal("gap event unexpectedly accepted")
+	if _, ok, stale := s.applyEvent(1, &openflow.FlowMonitorReply{Seq: 7}); ok || stale {
+		t.Fatal("gap event unexpectedly accepted or marked stale")
+	}
+	// An already-superseded event is reported stale, not as a gap.
+	if _, ok, stale := s.applyEvent(1, &openflow.FlowMonitorReply{Seq: 1}); ok || !stale {
+		t.Fatal("stale event not classified as stale")
 	}
 	_ = s.buildNetwork(topo)
 	st := s.compileStats()

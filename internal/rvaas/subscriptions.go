@@ -1,0 +1,561 @@
+package rvaas
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/enclave"
+	"repro/internal/headerspace"
+	"repro/internal/history"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// This file implements the standing-invariant subscription engine: the
+// continuous form of the paper's verification service. A one-shot query
+// tells a client its invariant held at one instant; an adversary who
+// reconfigures between two polls is never seen by the client. A
+// subscription instead re-evaluates the invariant after every applied
+// snapshot change and pushes a signed notification on every verdict
+// transition — the monitoring loop the paper runs for its own interception
+// rules, generalized to arbitrary client invariants.
+//
+// Re-verification is incremental. Every evaluation records its footprint:
+// the set of switches the reachability traversal consulted
+// (headerspace.Footprint). An applied event dirties exactly the switches
+// whose per-switch generation counter advanced (snapshotStore.generations);
+// an invariant whose footprint is disjoint from the dirty set is
+// revalidated for free — its evaluation is a deterministic function of the
+// transfer functions of the footprint switches, none of which changed. Only
+// invariants whose cone crosses a dirty switch are re-run, against the
+// compiled-network cache that recompiles just the dirty switches.
+
+// SubscriptionStats counts subscription-engine activity.
+type SubscriptionStats struct {
+	// Registered/Removed/Active count subscription lifecycle events.
+	Registered uint64
+	Removed    uint64
+	Active     uint64
+	// Rechecks counts re-verification passes that inspected the
+	// subscription set (passes with an empty dirty set return early and are
+	// not counted).
+	Rechecks uint64
+	// Evaluated counts invariant evaluations actually run (including the
+	// initial evaluation at registration).
+	Evaluated uint64
+	// Revalidated counts invariants revalidated for free because their
+	// footprint missed the dirty set.
+	Revalidated uint64
+	// Violations/Recoveries count verdict transitions.
+	Violations uint64
+	Recoveries uint64
+	// NotificationsSent counts signed in-band notifications injected.
+	NotificationsSent uint64
+}
+
+// subscription is one standing invariant. Identity fields are immutable
+// after registration; verdict state (violated, detail, fp, seq) is mutated
+// only under the engine's run lock, which serializes re-verification
+// passes.
+type subscription struct {
+	id          uint64
+	clientID    uint64
+	nonce       uint64
+	kind        wire.QueryKind
+	constraints []wire.FieldConstraint
+	param       string
+	bound       int // parsed Param for path-length invariants
+	req         requesterInfo
+
+	violated  bool
+	detail    string
+	fp        headerspace.Footprint
+	evaluated bool
+	seq       uint64
+}
+
+// maxSeenNoncesPerClient bounds the replay-protection memory per client
+// (FIFO eviction). The bound is per client, not global: one tenant
+// churning subscribe ops can only evict its OWN nonce history, never age
+// out another client's — so a captured frame of client A stays
+// unreplayable no matter what client B does.
+const maxSeenNoncesPerClient = 1024
+
+// clientNonces is one client's replay-protection memory.
+type clientNonces struct {
+	seen  map[uint64]struct{}
+	order []uint64
+}
+
+// subscriptionEngine owns the subscription set and the incremental
+// re-verification state.
+type subscriptionEngine struct {
+	// mu guards the subscription map, stats and per-subscription verdict
+	// publication. runMu serializes whole re-verification passes so
+	// concurrent triggers (parallel polls, passive events, manual rechecks)
+	// cannot interleave evaluations and double-report one transition.
+	mu     sync.Mutex
+	runMu  sync.Mutex
+	subs   map[uint64]*subscription
+	nextID uint64
+	// seenNonces remembers wire-registered nonces per client — including
+	// removed subscriptions, so a captured SubOpAdd frame cannot be
+	// replayed after the client unsubscribes.
+	seenNonces map[uint64]*clientNonces
+	// lastGen is the generation baseline of the previous pass; the diff
+	// against the store's current counters is the dirty set.
+	lastGen map[topology.SwitchID]uint64
+	stats   SubscriptionStats
+}
+
+func newSubscriptionEngine() *subscriptionEngine {
+	return &subscriptionEngine{
+		subs:       make(map[uint64]*subscription),
+		seenNonces: make(map[uint64]*clientNonces),
+		lastGen:    make(map[topology.SwitchID]uint64),
+	}
+}
+
+// SubscriptionInfo is a read-only snapshot of one standing invariant.
+type SubscriptionInfo struct {
+	ID       uint64
+	ClientID uint64
+	Kind     wire.QueryKind
+	Param    string
+	Violated bool
+	Detail   string
+	// FootprintSize is the number of switches the last evaluation
+	// consulted.
+	FootprintSize int
+}
+
+// SubscriptionStats returns a copy of the engine counters.
+func (c *Controller) SubscriptionStats() SubscriptionStats {
+	e := c.subs
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Active = uint64(len(e.subs))
+	return st
+}
+
+// Subscriptions lists the standing invariants in id order.
+func (c *Controller) Subscriptions() []SubscriptionInfo {
+	e := c.subs
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SubscriptionInfo, 0, len(e.subs))
+	for _, sub := range e.subs {
+		out = append(out, SubscriptionInfo{
+			ID: sub.id, ClientID: sub.clientID, Kind: sub.kind, Param: sub.param,
+			Violated: sub.violated, Detail: sub.detail, FootprintSize: len(sub.fp),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ViolationLog exposes the recorded verdict transitions (read-only use).
+func (c *Controller) ViolationLog() *history.ViolationLog { return c.vlog }
+
+// Subscribe registers a standing invariant on behalf of clientID, anchored
+// at the access point `at` (the client's network card, where notifications
+// are injected). Supported kinds: reachable-destinations (violated when the
+// scoped traffic can no longer leave the network anywhere), isolation,
+// path-length, waypoint-avoidance (violated exactly when the one-shot
+// query of the same kind would report StatusViolation). The invariant is
+// evaluated immediately; the verdict is readable via Subscriptions and the
+// returned id.
+func (c *Controller) Subscribe(clientID uint64, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, at topology.Endpoint) (uint64, error) {
+	req := requesterInfo{sw: at.Switch, port: at.Port}
+	if ap, ok := c.topo.AccessPointAt(at); ok {
+		req.mac, req.ip = ap.HostMAC, ap.HostIP
+	}
+	return c.subscribe(clientID, 0, kind, constraints, param, req)
+}
+
+func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, req requesterInfo) (uint64, error) {
+	sub := &subscription{
+		clientID:    clientID,
+		nonce:       nonce,
+		kind:        kind,
+		constraints: append([]wire.FieldConstraint(nil), constraints...),
+		param:       param,
+		req:         req,
+	}
+	switch kind {
+	case wire.QueryReachableDestinations, wire.QueryIsolation, wire.QueryWaypointAvoidance:
+	case wire.QueryPathLength:
+		bound, err := strconv.Atoi(param)
+		if err != nil {
+			return 0, fmt.Errorf("rvaas: path-length subscription needs integer Param, got %q", param)
+		}
+		sub.bound = bound
+	default:
+		return 0, fmt.Errorf("rvaas: unsupported subscription kind %s", kind)
+	}
+
+	e := c.subs
+	e.mu.Lock()
+	if nonce != 0 {
+		// Wire-path replay protection: a (client, nonce) pair identifies
+		// one subscribe operation. The memory survives unsubscription so a
+		// captured frame cannot resurrect a removed invariant, and is
+		// bounded per client so no other tenant can age it out.
+		cn := e.seenNonces[clientID]
+		if cn == nil {
+			cn = &clientNonces{seen: make(map[uint64]struct{})}
+			e.seenNonces[clientID] = cn
+		}
+		if _, dup := cn.seen[nonce]; dup {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("rvaas: duplicate subscription nonce %#x for client %d (replay?)", nonce, clientID)
+		}
+		cn.seen[nonce] = struct{}{}
+		cn.order = append(cn.order, nonce)
+		if len(cn.order) > maxSeenNoncesPerClient {
+			delete(cn.seen, cn.order[0])
+			cn.order = cn.order[1:]
+		}
+	}
+	e.nextID++
+	sub.id = e.nextID
+	e.subs[sub.id] = sub
+	e.stats.Registered++
+	e.mu.Unlock()
+
+	// Initial evaluation, serialized with re-verification passes so the
+	// first verdict cannot race a concurrent recheck of the same
+	// subscription. An initially-violated invariant is recorded in the
+	// violation log but not pushed in-band: the ack carries the verdict.
+	e.runMu.Lock()
+	net := c.snap.buildNetwork(c.topo)
+	v := c.evaluateInvariant(net, sub)
+	c.commitVerdict(sub, v, c.snap.snapshotID(), false)
+	e.runMu.Unlock()
+	return sub.id, nil
+}
+
+// Unsubscribe removes a standing invariant; it reports whether the id was
+// registered to the given client.
+func (c *Controller) Unsubscribe(clientID, id uint64) bool {
+	e := c.subs
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sub, ok := e.subs[id]
+	if !ok || sub.clientID != clientID {
+		return false
+	}
+	delete(e.subs, id)
+	e.stats.Removed++
+	return true
+}
+
+// unsubscribeByNonce removes a client's subscription by its registration
+// nonce — the cleanup path for a client whose subscribe ack was lost and
+// who therefore never learned the SubID.
+func (c *Controller) unsubscribeByNonce(clientID, nonce uint64) (uint64, bool) {
+	if nonce == 0 {
+		return 0, false
+	}
+	e := c.subs
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, sub := range e.subs {
+		if sub.clientID == clientID && sub.nonce == nonce {
+			delete(e.subs, id)
+			e.stats.Removed++
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// verdict is one invariant evaluation outcome.
+type verdict struct {
+	violated bool
+	detail   string
+	fp       headerspace.Footprint
+}
+
+// evaluateInvariant runs one standing invariant from scratch against the
+// compiled network, capturing the footprint for future incremental
+// revalidation.
+func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscription) verdict {
+	space := scopeSpace(sub.constraints)
+	at, port := headerspace.NodeID(sub.req.sw), headerspace.PortID(sub.req.port)
+	switch sub.kind {
+	case wire.QueryReachableDestinations:
+		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{})
+		eps := c.collectEndpoints(results, sub.req)
+		if len(eps) == 0 {
+			return verdict{violated: true, detail: "no reachable destinations for scoped traffic", fp: fp}
+		}
+		return verdict{detail: fmt.Sprintf("%d reachable endpoint(s)", len(eps)), fp: fp}
+	case wire.QueryIsolation:
+		eps, fp := c.reachingSources(net, sub.req, sub.constraints, true)
+		violated, detail := isolationVerdict(eps, sub.clientID)
+		// The subscriber's own switch is consulted implicitly (traffic must
+		// arrive there to reach the card); keep it in the footprint so local
+		// reconfigurations always re-run the invariant.
+		fp.Add(headerspace.NodeID(sub.req.sw))
+		return verdict{violated: violated, detail: detail, fp: fp}
+	case wire.QueryPathLength:
+		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{KeepLoops: true})
+		violated, detail := pathLengthVerdict(results, sub.bound)
+		return verdict{violated: violated, detail: detail, fp: fp}
+	case wire.QueryWaypointAvoidance:
+		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{})
+		violated, detail := c.waypointVerdict(results, sub.param)
+		return verdict{violated: violated, detail: detail, fp: fp}
+	}
+	return verdict{violated: false, detail: "unsupported kind", fp: headerspace.NewFootprint()}
+}
+
+// commitVerdict publishes one evaluation outcome and, on a verdict
+// transition, appends a violation-log record and (when notify is set)
+// pushes a signed in-band notification to the subscriber. Callers hold the
+// engine's run lock.
+func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, notify bool) {
+	e := c.subs
+	e.mu.Lock()
+	e.stats.Evaluated++
+	prevViolated, prevEvaluated := sub.violated, sub.evaluated
+	sub.violated = v.violated
+	sub.detail = v.detail
+	sub.fp = v.fp
+	sub.evaluated = true
+	changed := (prevEvaluated && prevViolated != v.violated) || (!prevEvaluated && v.violated)
+	var seq uint64
+	if changed {
+		sub.seq++
+		seq = sub.seq
+		if v.violated {
+			e.stats.Violations++
+		} else {
+			e.stats.Recoveries++
+		}
+	}
+	e.mu.Unlock()
+	if !changed {
+		return
+	}
+
+	event := history.EventRecovery
+	nev := wire.NotifyRecovery
+	status := wire.StatusOK
+	if v.violated {
+		event = history.EventViolation
+		nev = wire.NotifyViolation
+		status = wire.StatusViolation
+	}
+	c.vlog.Append(history.Violation{
+		At:         c.cfg.Clock(),
+		Event:      event,
+		SubID:      sub.id,
+		ClientID:   sub.clientID,
+		Kind:       sub.kind.String(),
+		Detail:     v.detail,
+		SnapshotID: snapID,
+	})
+	if notify {
+		c.sendNotification(sub, nev, status, v.detail, seq, snapID)
+	}
+}
+
+// sendNotification signs and injects one notification at the subscriber's
+// access point.
+func (c *Controller) sendNotification(sub *subscription, event wire.NotifyEvent, status wire.ResponseStatus, detail string, seq, snapID uint64) {
+	n := &wire.Notification{
+		Version:    wire.CurrentVersion,
+		Event:      event,
+		Kind:       sub.kind,
+		Status:     status,
+		SubID:      sub.id,
+		Nonce:      sub.nonce,
+		Seq:        seq,
+		SnapshotID: snapID,
+		Detail:     detail,
+	}
+	n.Signature = c.enclave.Sign(n.SigningBytes())
+	n.Quote = c.enclave.KeyQuote().Marshal()
+	if sub.req.mac == 0 && sub.req.ip == 0 {
+		return // no in-band delivery point (in-process subscriber)
+	}
+	e := c.subs
+	e.mu.Lock()
+	e.stats.NotificationsSent++
+	e.mu.Unlock()
+	_ = c.sendPacketOut(sub.req.sw, sub.req.port, wire.NewNotificationPacket(sub.req.mac, sub.req.ip, n))
+}
+
+// RecheckNow runs one incremental re-verification pass synchronously:
+// invariants whose footprint misses the switches dirtied since the last
+// pass are revalidated for free; the rest are re-evaluated against the
+// compiled-network cache. The background worker calls this after every
+// applied snapshot change; experiments and tests call it directly.
+func (c *Controller) RecheckNow() { c.recheckSubscriptions(false) }
+
+// RevalidateAll re-evaluates every standing invariant from scratch,
+// ignoring footprints — the naive re-query baseline the E12 experiment
+// compares incremental re-verification against.
+func (c *Controller) RevalidateAll() { c.recheckSubscriptions(true) }
+
+func (c *Controller) recheckSubscriptions(force bool) {
+	e := c.subs
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	_, gens := c.snap.generations()
+	e.mu.Lock()
+	var dirty []headerspace.NodeID
+	for sw, g := range gens {
+		if e.lastGen[sw] != g {
+			dirty = append(dirty, headerspace.NodeID(sw))
+		}
+	}
+	e.lastGen = gens
+	subs := make([]*subscription, 0, len(e.subs))
+	for _, sub := range e.subs {
+		subs = append(subs, sub)
+	}
+	e.mu.Unlock()
+
+	if len(subs) == 0 || (!force && len(dirty) == 0) {
+		return
+	}
+	e.mu.Lock()
+	e.stats.Rechecks++
+	e.mu.Unlock()
+
+	// Served from the compile cache: only dirty switches recompile.
+	net := c.snap.buildNetwork(c.topo)
+	snapID := c.snap.snapshotID()
+	revalidated := uint64(0)
+	for _, sub := range subs {
+		if !force && !sub.fp.Invalidated(dirty) {
+			revalidated++
+			continue
+		}
+		v := c.evaluateInvariant(net, sub)
+		c.commitVerdict(sub, v, snapID, true)
+	}
+	if revalidated > 0 {
+		e.mu.Lock()
+		e.stats.Revalidated += revalidated
+		e.mu.Unlock()
+	}
+}
+
+// pokeSubscriptions nudges the background worker; called after every
+// applied snapshot change. Non-blocking: a pending nudge coalesces bursts.
+func (c *Controller) pokeSubscriptions() {
+	select {
+	case c.subKick <- struct{}{}:
+	default:
+	}
+}
+
+// subscriptionWorker drains recheck nudges until the controller closes.
+func (c *Controller) subscriptionWorker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.subKick:
+			c.recheckSubscriptions(false)
+		}
+	}
+}
+
+// handleSubscribe serves one intercepted in-band subscription operation
+// and acknowledges it with a signed notification carrying the initial
+// verdict (SubOpAdd) or the removal outcome (SubOpRemove). Operations
+// mutate server state, so they are only honored when signed by the
+// requesting client's registered key — otherwise any in-network host
+// could forge a SubOpRemove and silently disable a victim's standing
+// monitoring.
+func (c *Controller) handleSubscribe(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, sr *wire.SubscribeRequest) {
+	req := requesterInfo{sw: sw, port: inPort, mac: pkt.EthSrc, ip: pkt.IPSrc}
+	ack := &wire.Notification{
+		Version: wire.CurrentVersion,
+		Event:   wire.NotifyAck,
+		Kind:    sr.Kind,
+		Status:  wire.StatusOK,
+		Nonce:   sr.Nonce,
+	}
+	c.mu.Lock()
+	pub, registered := c.clients[sr.ClientID]
+	c.mu.Unlock()
+	if !registered || !enclave.VerifyFrom(pub, sr.SigningBytes(), sr.Signature) {
+		ack.Event = wire.NotifyError
+		ack.Status = wire.StatusError
+		ack.Detail = fmt.Sprintf("subscription op not signed by registered key of client %d", sr.ClientID)
+		c.finishSubscribeAck(sw, inPort, pkt, ack)
+		return
+	}
+	switch sr.Op {
+	case wire.SubOpAdd:
+		// The signed anchor must match the actual ingress: a captured
+		// subscribe frame replayed from a different port would otherwise
+		// re-anchor the invariant (and its notifications) at the
+		// replayer's endpoint.
+		if sr.AnchorSwitch != uint32(sw) || sr.AnchorPort != uint32(inPort) {
+			ack.Event = wire.NotifyError
+			ack.Status = wire.StatusError
+			ack.Detail = fmt.Sprintf("anchor (%d,%d) does not match ingress (%d,%d)",
+				sr.AnchorSwitch, sr.AnchorPort, sw, inPort)
+			break
+		}
+		id, err := c.subscribe(sr.ClientID, sr.Nonce, sr.Kind, sr.Constraints, sr.Param, req)
+		if err != nil {
+			ack.Event = wire.NotifyError
+			ack.Status = wire.StatusError
+			ack.Detail = err.Error()
+			break
+		}
+		ack.SubID = id
+		e := c.subs
+		e.mu.Lock()
+		if sub := e.subs[id]; sub != nil {
+			ack.Detail = sub.detail
+			if sub.violated {
+				ack.Status = wire.StatusViolation
+			}
+		}
+		e.mu.Unlock()
+	case wire.SubOpRemove:
+		// Removal is idempotent: removing an already-absent subscription
+		// acks success, so clients can always reconcile local teardown
+		// with the server. NotifyError on a remove therefore always means
+		// the op itself was rejected (bad auth), never "already gone".
+		ack.SubID = sr.SubID
+		if sr.SubID == 0 {
+			// Removal by registration nonce: orphan cleanup after a lost
+			// subscribe ack.
+			if id, ok := c.unsubscribeByNonce(sr.ClientID, sr.RefNonce); ok {
+				ack.SubID = id
+			} else {
+				ack.Detail = fmt.Sprintf("no subscription with nonce %#x (already removed)", sr.RefNonce)
+			}
+		} else if !c.Unsubscribe(sr.ClientID, sr.SubID) {
+			ack.Detail = fmt.Sprintf("no subscription %d (already removed)", sr.SubID)
+		}
+	default:
+		ack.Event = wire.NotifyError
+		ack.Status = wire.StatusError
+		ack.Detail = fmt.Sprintf("unknown subscription op %d", sr.Op)
+	}
+	c.finishSubscribeAck(sw, inPort, pkt, ack)
+}
+
+// finishSubscribeAck signs and injects one subscription ack.
+func (c *Controller) finishSubscribeAck(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, ack *wire.Notification) {
+	ack.SnapshotID = c.snap.snapshotID()
+	ack.Signature = c.enclave.Sign(ack.SigningBytes())
+	ack.Quote = c.enclave.KeyQuote().Marshal()
+	_ = c.sendPacketOut(sw, inPort, wire.NewNotificationPacket(pkt.EthSrc, pkt.IPSrc, ack))
+}

@@ -1,0 +1,499 @@
+package rvaas_test
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/history"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// dropEntry builds a high-priority rule with no output action: the switch
+// simulator and the HSA compiler both treat it as a drop, so installing it
+// on a path switch severs reachability for the matched destination.
+func dropEntry(dstIP uint32) openflow.FlowEntry {
+	return openflow.FlowEntry{
+		Priority: 3000,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(dstIP), Mask: 0xFFFFFFFF},
+		}},
+		Cookie: 0xD0D0_0001,
+	}
+}
+
+// settle applies pending switch events deterministically: one active poll
+// plus a synchronous incremental recheck.
+func settle(t *testing.T, d *deploy.Deployment) {
+	t.Helper()
+	if err := d.RVaaS.PollAll(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.RVaaS.RecheckNow()
+}
+
+func TestSubscriptionLifecycle(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	aps := d.Topology.AccessPoints()
+
+	id, err := d.RVaaS.Subscribe(aps[0].ClientID, wire.QueryReachableDestinations,
+		ipConstraint(aps[2].HostIP), "", aps[0].Endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := d.RVaaS.Subscriptions()
+	if len(subs) != 1 || subs[0].ID != id || subs[0].Violated {
+		t.Fatalf("subscriptions = %+v", subs)
+	}
+	if subs[0].FootprintSize == 0 {
+		t.Error("initial evaluation recorded no footprint")
+	}
+	if d.RVaaS.Unsubscribe(aps[0].ClientID+99, id) {
+		t.Error("unsubscribe with wrong client id must fail")
+	}
+	if !d.RVaaS.Unsubscribe(aps[0].ClientID, id) {
+		t.Error("unsubscribe failed")
+	}
+	if len(d.RVaaS.Subscriptions()) != 0 {
+		t.Error("subscription not removed")
+	}
+	if _, err := d.RVaaS.Subscribe(aps[0].ClientID, wire.QueryGeoRegions, nil, "", aps[0].Endpoint); err == nil {
+		t.Error("unsupported kind accepted")
+	}
+	if _, err := d.RVaaS.Subscribe(aps[0].ClientID, wire.QueryPathLength, nil, "not-an-int", aps[0].Endpoint); err == nil {
+		t.Error("bad path-length bound accepted")
+	}
+}
+
+// TestSubscriptionViolationAndRecovery drives the full transition cycle:
+// a standing reachability invariant is violated by a drop rule on a path
+// switch and recovers when the rule is removed, producing exactly one
+// violation and one recovery record.
+func TestSubscriptionViolationAndRecovery(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	aps := d.Topology.AccessPoints()
+	dst := aps[2]
+
+	id, err := d.RVaaS.Subscribe(aps[0].ClientID, wire.QueryReachableDestinations,
+		ipConstraint(dst.HostIP), "", aps[0].Endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mid := d.Topology.Switches()[1]
+	drop := dropEntry(dst.HostIP)
+	d.Fabric.Switch(mid).InstallDirect(drop)
+	settle(t, d)
+	recs := d.RVaaS.ViolationLog().PerSub(id)
+	if len(recs) != 1 || recs[0].Event != history.EventViolation {
+		t.Fatalf("after drop: records = %+v", recs)
+	}
+	if open := d.RVaaS.ViolationLog().Open(); len(open) != 1 {
+		t.Errorf("open violations = %+v", open)
+	}
+
+	// Re-checks without further changes must not duplicate the record.
+	settle(t, d)
+	d.RVaaS.RecheckNow()
+	if recs := d.RVaaS.ViolationLog().PerSub(id); len(recs) != 1 {
+		t.Fatalf("duplicate records after idle rechecks: %+v", recs)
+	}
+
+	d.Fabric.Switch(mid).RemoveDirect(drop)
+	settle(t, d)
+	recs = d.RVaaS.ViolationLog().PerSub(id)
+	if len(recs) != 2 || recs[1].Event != history.EventRecovery {
+		t.Fatalf("after restore: records = %+v", recs)
+	}
+	if open := d.RVaaS.ViolationLog().Open(); len(open) != 0 {
+		t.Errorf("violation still open after recovery: %+v", open)
+	}
+	st := d.RVaaS.SubscriptionStats()
+	if st.Violations != 1 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestIncrementalRecheckSkipsUntouchedInvariants is the core of the
+// dirty-set engine: after a change to one switch, only invariants whose
+// footprint contains that switch are re-evaluated; the rest revalidate for
+// free.
+func TestIncrementalRecheckSkipsUntouchedInvariants(t *testing.T) {
+	d := deployLinear(t, 8, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	aps := d.Topology.AccessPoints()
+	sws := d.Topology.Switches()
+
+	// One neighbor-reachability invariant per adjacent access-point pair:
+	// invariant i's footprint is {switch i, switch i+1}.
+	for i := 0; i+1 < len(aps); i++ {
+		if _, err := d.RVaaS.Subscribe(aps[i].ClientID, wire.QueryReachableDestinations,
+			ipConstraint(aps[i+1].HostIP), "", aps[i].Endpoint); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nSubs := len(aps) - 1
+	settle(t, d) // absorb any deferred event noise into the baseline
+
+	// Dirty the last switch with a rule irrelevant to every invariant.
+	last := sws[len(sws)-1]
+	churn := dropEntry(wire.IPv4(203, 0, 113, 9))
+	before := d.RVaaS.SubscriptionStats()
+	d.Fabric.Switch(last).InstallDirect(churn)
+	settle(t, d)
+	after := d.RVaaS.SubscriptionStats()
+
+	evaluated := after.Evaluated - before.Evaluated
+	revalidated := after.Revalidated - before.Revalidated
+	// Only the invariant ending at the last switch may re-run.
+	if evaluated == 0 || evaluated > 2 {
+		t.Errorf("evaluated %d invariants after a single-switch change, want 1..2 of %d", evaluated, nSubs)
+	}
+	if revalidated < uint64(nSubs-2) {
+		t.Errorf("revalidated = %d, want >= %d free revalidations", revalidated, nSubs-2)
+	}
+	// No verdict flipped: the churn rule touches unrelated traffic only.
+	if after.Violations != before.Violations {
+		t.Errorf("spurious violations: %+v", after)
+	}
+
+	// Naive baseline re-evaluates everything.
+	before = d.RVaaS.SubscriptionStats()
+	d.RVaaS.RevalidateAll()
+	after = d.RVaaS.SubscriptionStats()
+	if after.Evaluated-before.Evaluated != uint64(nSubs) {
+		t.Errorf("RevalidateAll evaluated %d, want %d", after.Evaluated-before.Evaluated, nSubs)
+	}
+}
+
+// TestSubscriptionKindsVerdicts exercises isolation, waypoint and
+// path-length standing invariants end to end.
+func TestSubscriptionKindsVerdicts(t *testing.T) {
+	topo, err := topology.MultiRegionWAN([]topology.Region{"eu-west", "offshore", "us-east"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := deploy.New(topo, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	aps := topo.AccessPoints()
+	ap := aps[0]
+
+	// Waypoint: traffic to a same-region peer must be able to avoid a
+	// region it cannot traverse anyway — expect OK; an always-traversed
+	// region of the destination must violate.
+	dst := aps[len(aps)-1]
+	dstRegion := string(topo.RegionOf(dst.Endpoint.Switch))
+	wID, err := d.RVaaS.Subscribe(ap.ClientID, wire.QueryWaypointAvoidance,
+		ipConstraint(dst.HostIP), dstRegion, ap.Endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wInfo *rvaasSubInfo
+	for _, s := range d.RVaaS.Subscriptions() {
+		if s.ID == wID {
+			wInfo = &rvaasSubInfo{violated: s.Violated, detail: s.Detail}
+		}
+	}
+	if wInfo == nil || !wInfo.violated {
+		t.Errorf("waypoint invariant through destination region should be violated: %+v", wInfo)
+	}
+
+	// Path length with a generous bound holds.
+	plID, err := d.RVaaS.Subscribe(ap.ClientID, wire.QueryPathLength,
+		ipConstraint(dst.HostIP), "64", ap.Endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.RVaaS.Subscriptions() {
+		if s.ID == plID && s.Violated {
+			t.Errorf("path-length bound 64 violated: %s", s.Detail)
+		}
+	}
+
+	// Isolation across tenants on a WAN (all-pairs routing): other tenants
+	// reach the card, so the invariant reports violated from the start and
+	// the initial verdict is recorded in the log.
+	isoID, err := d.RVaaS.Subscribe(ap.ClientID, wire.QueryIsolation,
+		ipConstraint(ap.HostIP), "", ap.Endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs := d.RVaaS.ViolationLog().PerSub(isoID); len(recs) != 1 || recs[0].Event != history.EventViolation {
+		t.Errorf("initially-violated isolation invariant not logged: %+v", recs)
+	}
+}
+
+type rvaasSubInfo struct {
+	violated bool
+	detail   string
+}
+
+// TestSubscribeInBand drives the full wire path: agent subscribes via a
+// magic-header packet, receives the signed ack, then a violation and a
+// recovery notification as the network flaps underneath.
+func TestSubscribeInBand(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{})
+	aps := d.Topology.AccessPoints()
+	agent := d.Agent(aps[0].ClientID)
+	dst := aps[2]
+
+	sub, err := agent.Subscribe(wire.QueryReachableDestinations, ipConstraint(dst.HostIP), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.InitialStatus != wire.StatusOK {
+		t.Fatalf("initial status = %s (%s)", sub.InitialStatus, sub.InitialDetail)
+	}
+
+	mid := d.Topology.Switches()[1]
+	drop := dropEntry(dst.HostIP)
+	d.Fabric.Switch(mid).InstallDirect(drop)
+	n := waitNotification(t, sub.C)
+	if n.Event != wire.NotifyViolation || n.Status != wire.StatusViolation || n.SubID != sub.ID {
+		t.Fatalf("notification = %+v", n)
+	}
+
+	d.Fabric.Switch(mid).RemoveDirect(drop)
+	violation := n
+	n = waitNotification(t, sub.C)
+	if n.Event != wire.NotifyRecovery || n.Status != wire.StatusOK {
+		t.Fatalf("notification = %+v", n)
+	}
+	if n.Seq != 2 {
+		t.Errorf("seq = %d, want 2", n.Seq)
+	}
+
+	// Replaying the captured (genuinely signed) older violation must not
+	// be delivered as a fresh event: its sequence is behind.
+	dropsBefore := agent.NotificationsDropped()
+	agent.HandleFrame(wire.NewNotificationPacket(aps[0].HostMAC, aps[0].HostIP, violation))
+	if agent.NotificationsDropped() != dropsBefore+1 {
+		t.Error("replayed stale notification not dropped")
+	}
+	select {
+	case stray := <-sub.C:
+		t.Fatalf("replayed notification delivered: %+v", stray)
+	default:
+	}
+
+	if err := agent.Unsubscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Error("channel not closed after unsubscribe")
+	}
+	if st := d.RVaaS.SubscriptionStats(); st.Active != 0 || st.Removed != 1 {
+		t.Errorf("server stats = %+v", st)
+	}
+}
+
+func waitNotification(t *testing.T, ch <-chan *wire.Notification) *wire.Notification {
+	t.Helper()
+	select {
+	case n, ok := <-ch:
+		if !ok {
+			t.Fatal("notification channel closed")
+		}
+		return n
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for notification")
+	}
+	return nil
+}
+
+// TestForgedSubscriptionOpsRejected verifies subscription mutations are
+// authenticated: ops not signed by the claimed client's registered key are
+// rejected, so a co-tenant cannot disable a victim's standing monitoring.
+func TestForgedSubscriptionOpsRejected(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{})
+	aps := d.Topology.AccessPoints()
+	victim := d.Agent(aps[0].ClientID)
+	dst := aps[2]
+
+	sub, err := victim.Subscribe(wire.QueryReachableDestinations, ipConstraint(dst.HostIP), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attacker: a different tenant forging ops in the victim's name. The
+	// signature is its own, so verification against the victim's
+	// registered key must fail.
+	attacker := aps[1]
+	forge := func(op wire.SubscribeOp, subID uint64) {
+		t.Helper()
+		req := &wire.SubscribeRequest{
+			Version:  wire.CurrentVersion,
+			Op:       op,
+			ClientID: aps[0].ClientID, // victim's identity
+			Nonce:    0xF0F0_0001 + uint64(op),
+			SubID:    subID,
+			Kind:     wire.QueryReachableDestinations,
+		}
+		// Unsigned (and hence wrongly-signed) request straight onto the wire.
+		pkt := wire.NewSubscribePacket(attacker.HostMAC, attacker.HostIP, req)
+		if err := d.Fabric.InjectFromHost(attacker.Endpoint, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forge(wire.SubOpRemove, sub.ID)
+	forge(wire.SubOpAdd, 0)
+
+	// A correctly-signed request whose signed anchor does not match the
+	// actual ingress (a captured frame replayed from the attacker's port)
+	// must be rejected too.
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RVaaS.RegisterClient(999, pub)
+	misanchored := &wire.SubscribeRequest{
+		Version:      wire.CurrentVersion,
+		Op:           wire.SubOpAdd,
+		ClientID:     999,
+		Nonce:        0xF0F0_0099,
+		AnchorSwitch: uint32(aps[0].Endpoint.Switch), // victim's port
+		AnchorPort:   uint32(aps[0].Endpoint.Port),
+		Kind:         wire.QueryReachableDestinations,
+	}
+	misanchored.Signature = ed25519.Sign(priv, misanchored.SigningBytes())
+	pkt := wire.NewSubscribePacket(attacker.HostMAC, attacker.HostIP, misanchored)
+	if err := d.Fabric.InjectFromHost(attacker.Endpoint, pkt); err != nil { // replayed at attacker's port
+		t.Fatal(err)
+	}
+
+	// Give the packets time to round-trip, then check nothing changed.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && d.RVaaS.Stats().PacketIns < 5 {
+		time.Sleep(time.Millisecond)
+	}
+	st := d.RVaaS.SubscriptionStats()
+	if st.Active != 1 || st.Removed != 0 {
+		t.Fatalf("forged ops mutated state: %+v", st)
+	}
+	subs := d.RVaaS.Subscriptions()
+	if len(subs) != 1 || subs[0].ID != sub.ID {
+		t.Fatalf("victim's subscription gone: %+v", subs)
+	}
+}
+
+// TestReplayedSubscribeRejected verifies that re-sending a valid signed
+// subscribe frame (verbatim replay at the correct port) does not register
+// a duplicate subscription.
+func TestReplayedSubscribeRejected(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{})
+	aps := d.Topology.AccessPoints()
+	ap := aps[0]
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RVaaS.RegisterClient(777, pub)
+	req := &wire.SubscribeRequest{
+		Version:      wire.CurrentVersion,
+		Op:           wire.SubOpAdd,
+		ClientID:     777,
+		Nonce:        0xABAB_0001,
+		AnchorSwitch: uint32(ap.Endpoint.Switch),
+		AnchorPort:   uint32(ap.Endpoint.Port),
+		Kind:         wire.QueryReachableDestinations,
+		Constraints:  ipConstraint(aps[2].HostIP),
+	}
+	req.Signature = ed25519.Sign(priv, req.SigningBytes())
+	for i := 0; i < 3; i++ {
+		pkt := wire.NewSubscribePacket(ap.HostMAC, ap.HostIP, req)
+		if err := d.Fabric.InjectFromHost(ap.Endpoint, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && d.RVaaS.SubscriptionStats().Registered < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the replays land
+	if st := d.RVaaS.SubscriptionStats(); st.Active != 1 || st.Registered != 1 {
+		t.Fatalf("replayed subscribe registered duplicates: %+v", st)
+	}
+
+	// The nonce memory must survive unsubscription: replaying the captured
+	// frame after the client removed the invariant must not resurrect it.
+	id := d.RVaaS.Subscriptions()[0].ID
+	if !d.RVaaS.Unsubscribe(777, id) {
+		t.Fatal("unsubscribe failed")
+	}
+	pkt := wire.NewSubscribePacket(ap.HostMAC, ap.HostIP, req)
+	if err := d.Fabric.InjectFromHost(ap.Endpoint, pkt); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := d.RVaaS.SubscriptionStats(); st.Active != 0 || st.Registered != 1 {
+		t.Fatalf("post-unsubscribe replay resurrected the subscription: %+v", st)
+	}
+
+	// Removal by registration nonce (the lost-ack cleanup path) works for
+	// a live subscription.
+	req2 := &wire.SubscribeRequest{
+		Version:      wire.CurrentVersion,
+		Op:           wire.SubOpAdd,
+		ClientID:     777,
+		Nonce:        0xABAB_0002,
+		AnchorSwitch: uint32(ap.Endpoint.Switch),
+		AnchorPort:   uint32(ap.Endpoint.Port),
+		Kind:         wire.QueryReachableDestinations,
+		Constraints:  ipConstraint(aps[2].HostIP),
+	}
+	req2.Signature = ed25519.Sign(priv, req2.SigningBytes())
+	if err := d.Fabric.InjectFromHost(ap.Endpoint, wire.NewSubscribePacket(ap.HostMAC, ap.HostIP, req2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && d.RVaaS.SubscriptionStats().Active < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	rm := &wire.SubscribeRequest{
+		Version:  wire.CurrentVersion,
+		Op:       wire.SubOpRemove,
+		ClientID: 777,
+		Nonce:    0xABAB_0003,
+		RefNonce: 0xABAB_0002,
+	}
+	rm.Signature = ed25519.Sign(priv, rm.SigningBytes())
+	if err := d.Fabric.InjectFromHost(ap.Endpoint, wire.NewSubscribePacket(ap.HostMAC, ap.HostIP, rm)); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && d.RVaaS.SubscriptionStats().Active > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if st := d.RVaaS.SubscriptionStats(); st.Active != 0 {
+		t.Fatalf("remove-by-nonce did not remove the subscription: %+v", st)
+	}
+}
+
+// TestInterceptionRulesCoverSubscriptionPort ensures the self-rule tamper
+// check counts the subscription interception rule too.
+func TestInterceptionRulesCoverSubscriptionPort(t *testing.T) {
+	d := deployLinear(t, 2, deploy.Options{SkipAgents: true})
+	if rep := d.RVaaS.CheckSelfRules(); !rep.Clean() {
+		t.Fatalf("interception rules missing: %+v", rep)
+	}
+	// Every switch must carry a rule matching the subscription port.
+	for _, sw := range d.Topology.Switches() {
+		found := false
+		for _, e := range d.Fabric.Switch(sw).Table() {
+			for _, f := range e.Match.Fields {
+				if f.Field == wire.FieldL4Dst && f.Value == uint64(wire.PortRVaaSSub) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("switch %d: no interception rule for the subscription port", sw)
+		}
+	}
+}

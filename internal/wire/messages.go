@@ -262,6 +262,223 @@ func UnmarshalQueryResponse(data []byte) (*QueryResponse, error) {
 	return resp, nil
 }
 
+// SubscribeOp selects a subscription operation.
+type SubscribeOp uint8
+
+// Subscription operations.
+const (
+	SubOpAdd SubscribeOp = iota + 1
+	SubOpRemove
+)
+
+// SubscribeRequest is the client → RVaaS payload registering (or removing)
+// a standing invariant. Instead of re-issuing full queries, the client asks
+// RVaaS to re-evaluate the invariant after every applied snapshot change
+// and push a notification on every verdict transition — the continuous
+// form of the paper's one-shot verification queries.
+type SubscribeRequest struct {
+	Version  uint8
+	Op       SubscribeOp
+	ClientID uint64
+	// Nonce correlates the ack with this request and routes notifications
+	// for the resulting subscription.
+	Nonce uint64
+	// SubID names an existing subscription (SubOpRemove only).
+	SubID uint64
+	// RefNonce names a subscription by its registration nonce (SubOpRemove
+	// with SubID 0): a client whose subscribe ack was lost never learned
+	// the SubID, and uses this to clean up the orphaned server-side
+	// subscription.
+	RefNonce uint64
+	// AnchorSwitch/AnchorPort bind the subscription to the client's access
+	// point (SubOpAdd only). They are covered by the signature and checked
+	// against the actual ingress of the packet, so a captured subscribe
+	// frame replayed from another port cannot re-anchor the invariant at
+	// the attacker's endpoint.
+	AnchorSwitch uint32
+	AnchorPort   uint32
+	// Kind/Constraints/Param describe the invariant with the one-shot query
+	// vocabulary (SubOpAdd only). Supported kinds: reachable-destinations,
+	// isolation, path-length, waypoint-avoidance.
+	Kind        QueryKind
+	Constraints []FieldConstraint
+	Param       string
+	// Signature is the client's Ed25519 signature over SigningBytes(),
+	// verified against the key registered for ClientID. Unlike one-shot
+	// queries (read-only), subscription operations mutate server state — a
+	// forged SubOpRemove would silently disable a victim's standing
+	// monitoring, so they must be authenticated.
+	Signature []byte
+}
+
+// SigningBytes returns the canonical bytes covered by the signature
+// (everything except the signature itself).
+func (s *SubscribeRequest) SigningBytes() []byte { return s.core() }
+
+func (s *SubscribeRequest) core() []byte {
+	var w writer
+	w.u8(s.Version)
+	w.u8(uint8(s.Op))
+	w.u64(s.ClientID)
+	w.u64(s.Nonce)
+	w.u64(s.SubID)
+	w.u64(s.RefNonce)
+	w.u32(s.AnchorSwitch)
+	w.u32(s.AnchorPort)
+	w.u8(uint8(s.Kind))
+	w.u16(uint16(len(s.Constraints)))
+	for _, c := range s.Constraints {
+		w.u8(uint8(c.Field))
+		w.u64(c.Value)
+		w.u64(c.Mask)
+	}
+	w.str(s.Param)
+	return w.buf
+}
+
+// Marshal encodes the subscribe request including the signature.
+func (s *SubscribeRequest) Marshal() []byte {
+	w := writer{buf: s.core()}
+	w.bytesN(s.Signature)
+	return w.buf
+}
+
+// UnmarshalSubscribeRequest decodes a subscribe request payload.
+func UnmarshalSubscribeRequest(data []byte) (*SubscribeRequest, error) {
+	r := reader{buf: data}
+	s := &SubscribeRequest{
+		Version:      r.u8(),
+		Op:           SubscribeOp(r.u8()),
+		ClientID:     r.u64(),
+		Nonce:        r.u64(),
+		SubID:        r.u64(),
+		RefNonce:     r.u64(),
+		AnchorSwitch: r.u32(),
+		AnchorPort:   r.u32(),
+		Kind:         QueryKind(r.u8()),
+	}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Constraints = append(s.Constraints, FieldConstraint{
+			Field: Field(r.u8()),
+			Value: r.u64(),
+			Mask:  r.u64(),
+		})
+	}
+	s.Param = r.str()
+	s.Signature = r.bytesN()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if s.Version != CurrentVersion {
+		return nil, errBadVersion
+	}
+	return s, nil
+}
+
+// NotifyEvent classifies a subscription notification.
+type NotifyEvent uint8
+
+// Notification events.
+const (
+	// NotifyAck acknowledges a subscribe/unsubscribe operation; its Status
+	// and Detail carry the invariant's initial verdict.
+	NotifyAck NotifyEvent = iota + 1
+	// NotifyViolation reports a standing invariant transitioning OK →
+	// violated.
+	NotifyViolation
+	// NotifyRecovery reports the violated → OK transition.
+	NotifyRecovery
+	// NotifyError rejects a subscription operation.
+	NotifyError
+)
+
+// String names the event.
+func (e NotifyEvent) String() string {
+	switch e {
+	case NotifyAck:
+		return "ack"
+	case NotifyViolation:
+		return "violation"
+	case NotifyRecovery:
+		return "recovery"
+	case NotifyError:
+		return "error"
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Notification is the RVaaS → client push message for a standing invariant:
+// the subscribe/unsubscribe ack, and asynchronous violation/recovery
+// reports. Like query responses it is signed by the enclave and carries the
+// attestation quote, so a compromised provider cannot forge or suppress
+// verdict transitions without detection.
+type Notification struct {
+	Version uint8
+	Event   NotifyEvent
+	Kind    QueryKind
+	Status  ResponseStatus
+	SubID   uint64
+	// Nonce echoes the subscription nonce (ack routing at the client).
+	Nonce uint64
+	// Seq increments per subscription so clients can detect missed
+	// notifications.
+	Seq        uint64
+	SnapshotID uint64
+	Detail     string
+	// Signature is the enclave's Ed25519 signature over SigningBytes().
+	Signature []byte
+	// Quote is the serialized attestation quote.
+	Quote []byte
+}
+
+// SigningBytes returns the canonical bytes covered by the signature.
+func (n *Notification) SigningBytes() []byte { return n.core() }
+
+func (n *Notification) core() []byte {
+	var w writer
+	w.u8(n.Version)
+	w.u8(uint8(n.Event))
+	w.u8(uint8(n.Kind))
+	w.u8(uint8(n.Status))
+	w.u64(n.SubID)
+	w.u64(n.Nonce)
+	w.u64(n.Seq)
+	w.u64(n.SnapshotID)
+	w.str(n.Detail)
+	return w.buf
+}
+
+// Marshal encodes the notification including signature and quote.
+func (n *Notification) Marshal() []byte {
+	w := writer{buf: n.core()}
+	w.bytesN(n.Signature)
+	w.bytesN(n.Quote)
+	return w.buf
+}
+
+// UnmarshalNotification decodes a notification payload.
+func UnmarshalNotification(data []byte) (*Notification, error) {
+	r := reader{buf: data}
+	n := &Notification{
+		Version: r.u8(),
+		Event:   NotifyEvent(r.u8()),
+		Kind:    QueryKind(r.u8()),
+		Status:  ResponseStatus(r.u8()),
+		SubID:   r.u64(),
+		Nonce:   r.u64(),
+		Seq:     r.u64(),
+	}
+	n.SnapshotID = r.u64()
+	n.Detail = r.str()
+	n.Signature = r.bytesN()
+	n.Quote = r.bytesN()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return n, nil
+}
+
 // AuthRequest is the payload RVaaS injects toward endpoints discovered by
 // logical verification ("these packets trigger destination clients to
 // respond to the querying clients, in an authenticated manner", §IV-A3).
@@ -452,6 +669,41 @@ func NewResponsePacket(dstMAC uint64, dstIP uint32, resp *QueryResponse) *Packet
 	}
 }
 
+// NewSubscribePacket wraps a subscription operation into a UDP packet with
+// the RVaaS subscription magic port, ready for injection at the client's
+// access point.
+func NewSubscribePacket(srcMAC uint64, srcIP uint32, s *SubscribeRequest) *Packet {
+	return &Packet{
+		EthDst:  0xFFFFFFFFFFFF,
+		EthSrc:  srcMAC,
+		EthType: EthTypeIPv4,
+		IPSrc:   srcIP,
+		IPDst:   IPv4(10, 255, 255, 254),
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   ephemeralPort(s.Nonce),
+		L4Dst:   PortRVaaSSub,
+		Payload: s.Marshal(),
+	}
+}
+
+// NewNotificationPacket wraps a subscription notification for Packet-Out
+// injection back to the subscribed client.
+func NewNotificationPacket(dstMAC uint64, dstIP uint32, n *Notification) *Packet {
+	return &Packet{
+		EthDst:  dstMAC,
+		EthSrc:  0x02005AA5_0001,
+		EthType: EthTypeIPv4,
+		IPSrc:   IPv4(10, 255, 255, 254),
+		IPDst:   dstIP,
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   PortRVaaSNotify,
+		L4Dst:   ephemeralPort(n.Nonce),
+		Payload: n.Marshal(),
+	}
+}
+
 // NewProbePacket wraps a probe payload in a probe EthType frame.
 func NewProbePacket(pp *ProbePayload) *Packet {
 	return &Packet{
@@ -464,15 +716,16 @@ func NewProbePacket(pp *ProbePayload) *Packet {
 
 // ephemeralPort derives a stable pseudo-ephemeral port from a nonce so the
 // response can be routed back without per-flow state. The result avoids
-// both well-known ports and the reserved RVaaS magic range — a collision
-// with PortRVaaSAuthReq would make a response packet classify as an auth
-// request at the receiving agent.
+// both well-known ports and the reserved RVaaS magic range
+// [PortRVaaSQuery, PortRVaaSNotify] — a collision with PortRVaaSAuthReq
+// would make a response packet classify as an auth request at the
+// receiving agent.
 func ephemeralPort(nonce uint64) uint16 {
 	p := uint16(nonce>>48) ^ uint16(nonce>>32) ^ uint16(nonce>>16) ^ uint16(nonce)
 	if p < 1024 {
 		p += 1024
 	}
-	if p >= PortRVaaSQuery && p <= PortRVaaSResponse {
+	if p >= PortRVaaSQuery && p <= PortRVaaSNotify {
 		p += 8
 	}
 	return p

@@ -208,17 +208,132 @@ func TestEphemeralPortAvoidsMagicRange(t *testing.T) {
 	for _, magic := range []uint64{
 		uint64(PortRVaaSQuery), uint64(PortRVaaSAuthReq),
 		uint64(PortRVaaSAuthRep), uint64(PortRVaaSResponse),
+		uint64(PortRVaaSSub), uint64(PortRVaaSNotify),
 	} {
 		p := ephemeralPort(magic) // folds to exactly the magic value
-		if p >= PortRVaaSQuery && p <= PortRVaaSResponse {
+		if p >= PortRVaaSQuery && p <= PortRVaaSNotify {
 			t.Errorf("nonce %#x yields reserved port %#x", magic, p)
 		}
 	}
 	// Exhaustive over the low 16 bits.
 	for n := uint64(0); n < 0x10000; n++ {
 		p := ephemeralPort(n)
-		if p >= PortRVaaSQuery && p <= PortRVaaSResponse {
+		if p >= PortRVaaSQuery && p <= PortRVaaSNotify {
 			t.Fatalf("nonce %#x yields reserved port %#x", n, p)
+		}
+	}
+}
+
+func TestSubscribeRequestRoundTrip(t *testing.T) {
+	s := &SubscribeRequest{
+		Version:  CurrentVersion,
+		Op:       SubOpAdd,
+		ClientID: 9,
+		Nonce:    0xABCDEF0123456789,
+		Kind:     QueryWaypointAvoidance,
+		Constraints: []FieldConstraint{
+			{Field: FieldIPDst, Value: uint64(IPv4(10, 0, 0, 7)), Mask: 0xFFFFFFFF},
+		},
+		Param: "offshore",
+	}
+	got, err := UnmarshalSubscribeRequest(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != SubOpAdd || got.ClientID != 9 || got.Nonce != s.Nonce || got.Kind != s.Kind {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Constraints) != 1 || got.Constraints[0] != s.Constraints[0] {
+		t.Errorf("constraints mismatch: %+v", got.Constraints)
+	}
+	if got.Param != "offshore" {
+		t.Errorf("param = %q", got.Param)
+	}
+
+	rm := &SubscribeRequest{Version: CurrentVersion, Op: SubOpRemove, ClientID: 9, Nonce: 4, SubID: 31}
+	got, err = UnmarshalSubscribeRequest(rm.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != SubOpRemove || got.SubID != 31 {
+		t.Errorf("remove mismatch: %+v", got)
+	}
+}
+
+func TestSubscribeRequestBadVersion(t *testing.T) {
+	s := &SubscribeRequest{Version: 7, Op: SubOpAdd}
+	if _, err := UnmarshalSubscribeRequest(s.Marshal()); err == nil {
+		t.Error("want version error")
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := &Notification{
+		Version:    CurrentVersion,
+		Event:      NotifyViolation,
+		Kind:       QueryIsolation,
+		Status:     StatusViolation,
+		SubID:      12,
+		Nonce:      0x1122334455667788,
+		Seq:        3,
+		SnapshotID: 99,
+		Detail:     "isolation broken",
+		Signature:  bytes.Repeat([]byte{0xAB}, 64),
+		Quote:      []byte{1, 2, 3},
+	}
+	got, err := UnmarshalNotification(n.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Event != NotifyViolation || got.Kind != QueryIsolation || got.Status != StatusViolation {
+		t.Errorf("classification mismatch: %+v", got)
+	}
+	if got.SubID != 12 || got.Nonce != n.Nonce || got.Seq != 3 || got.SnapshotID != 99 {
+		t.Errorf("ids mismatch: %+v", got)
+	}
+	if got.Detail != n.Detail || !bytes.Equal(got.Signature, n.Signature) || !bytes.Equal(got.Quote, n.Quote) {
+		t.Errorf("payload mismatch: %+v", got)
+	}
+	// The signature must cover everything except itself and the quote.
+	if !bytes.Equal(n.SigningBytes(), got.SigningBytes()) {
+		t.Error("signing bytes not stable across a round trip")
+	}
+	if bytes.Contains(n.SigningBytes(), n.Signature) {
+		t.Error("signing bytes include the signature")
+	}
+}
+
+func TestSubscriptionPacketClassification(t *testing.T) {
+	sub := NewSubscribePacket(0xAA, IPv4(10, 0, 0, 1), &SubscribeRequest{
+		Version: CurrentVersion, Op: SubOpAdd, Nonce: 5, Kind: QueryReachableDestinations,
+	})
+	if !sub.IsRVaaSSubscribe() || sub.IsRVaaSQuery() || sub.IsAuthReply() {
+		t.Errorf("subscribe packet misclassified: %v", sub)
+	}
+	n := NewNotificationPacket(0xBB, IPv4(10, 0, 0, 2), &Notification{
+		Version: CurrentVersion, Event: NotifyAck, Nonce: 5,
+	})
+	if !n.IsNotification() || n.IsRVaaSSubscribe() || n.IsAuthRequest() {
+		t.Errorf("notification packet misclassified: %v", n)
+	}
+	// Round trip through the on-wire encoding keeps the classification.
+	back, err := Unmarshal(n.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsNotification() {
+		t.Error("notification lost classification through Marshal/Unmarshal")
+	}
+}
+
+func TestNotifyEventStrings(t *testing.T) {
+	for ev, want := range map[NotifyEvent]string{
+		NotifyAck: "ack", NotifyViolation: "violation",
+		NotifyRecovery: "recovery", NotifyError: "error",
+		NotifyEvent(99): "event(99)",
+	} {
+		if ev.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ev, ev.String(), want)
 		}
 	}
 }

@@ -39,6 +39,13 @@ const (
 	// PortRVaaSResponse is the UDP source port of RVaaS responses injected
 	// via Packet-Out.
 	PortRVaaSResponse uint16 = 0x5AA8
+	// PortRVaaSSub is the UDP destination port of standing-invariant
+	// subscription operations (subscribe/unsubscribe), intercepted at the
+	// ingress switch like queries.
+	PortRVaaSSub uint16 = 0x5AA9
+	// PortRVaaSNotify is the UDP source port of asynchronous subscription
+	// notifications (acks, violations, recoveries) injected via Packet-Out.
+	PortRVaaSNotify uint16 = 0x5AAA
 )
 
 // Packet is the in-model representation of a frame: the matchable fields
@@ -267,6 +274,18 @@ func (p *Packet) IsAuthRequest() bool {
 // IsAuthReply reports whether the packet is a client authentication reply.
 func (p *Packet) IsAuthReply() bool {
 	return p.EthType == EthTypeIPv4 && p.IPProto == IPProtoUDP && p.L4Dst == PortRVaaSAuthRep
+}
+
+// IsRVaaSSubscribe reports whether the packet carries a subscription
+// operation for RVaaS's standing-invariant engine.
+func (p *Packet) IsRVaaSSubscribe() bool {
+	return p.EthType == EthTypeIPv4 && p.IPProto == IPProtoUDP && p.L4Dst == PortRVaaSSub
+}
+
+// IsNotification reports whether the packet is an RVaaS subscription
+// notification injected toward a client.
+func (p *Packet) IsNotification() bool {
+	return p.EthType == EthTypeIPv4 && p.IPProto == IPProtoUDP && p.L4Src == PortRVaaSNotify
 }
 
 // IsProbe reports whether the packet is an RVaaS topology probe frame.
