@@ -56,6 +56,7 @@ var experimentTable = []experiment{
 	{"e10", "attestation handshake cost", e10},
 	{"e11", "parallel reachability sweep scaling (workers vs throughput)", e11},
 	{"e12", "standing-invariant re-check: incremental vs naive re-query", e12},
+	{"e13", "sharded recheck engine scale-out: indexed dispatch + worker pool vs linear scan", e13},
 }
 
 func experimentIDs() []string {
@@ -479,6 +480,34 @@ func e12(iters int) error {
 		recordDuration(r.Topology+"/naive-requery", r.NaiveMean)
 		record(r.Topology+"/speedup", r.Speedup, "x")
 		record(r.Topology+"/evals-per-check", r.EvalsPerCheck, "count")
+	}
+	return nil
+}
+
+func e13(iters int) error {
+	fmt.Printf("%-12s %-7s %-5s %-11s %-10s %-12s %-12s %-12s %-8s %-8s\n",
+		"topology", "subs", "iso", "evals/check", "iso-swept", "legacy", "parallel-1", "sharded", "speedup", "pool-x")
+	rows, err := experiments.ScaleOutSweep(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %-7d %-5d %-11.1f %-10.1f %-12s %-12s %-12s %-8.1f %-8.2f\n",
+			r.Topology, r.Subs, r.IsoSubs, r.EvalsPerCheck, r.IsoSweptPerCheck,
+			r.LegacyMean.Round(time.Microsecond),
+			r.Parallel1Mean.Round(time.Microsecond),
+			r.ShardedMean.Round(time.Microsecond),
+			r.Speedup, r.PoolSpeedup)
+		key := fmt.Sprintf("%s/subs=%d", r.Topology, r.Subs)
+		recordDuration(key+"/legacy-recheck", r.LegacyMean)
+		recordDuration(key+"/parallel1-recheck", r.Parallel1Mean)
+		recordDuration(key+"/sharded-recheck", r.ShardedMean)
+		record(key+"/speedup", r.Speedup, "x")
+		record(key+"/pool-speedup", r.PoolSpeedup, "x")
+		record(key+"/subs", float64(r.Subs), "count")
+		record(key+"/evals-per-check", r.EvalsPerCheck, "count")
+		record(key+"/iso-points-swept", r.IsoSweptPerCheck, "count")
+		record(key+"/iso-points-reused", r.IsoReusedPerCheck, "count")
 	}
 	return nil
 }

@@ -68,6 +68,8 @@ type Agent struct {
 	serverKey   ed25519.PublicKey
 	authSeen    uint64
 	dropped     uint64
+	gapsSeen    uint64
+	gapC        chan GapEvent
 	closed      bool
 }
 
@@ -85,11 +87,57 @@ type Subscription struct {
 
 	nonce uint64
 	ch    chan *wire.Notification
+	// constraints/param are retained so a detected notification gap can be
+	// healed by transparently re-registering the same invariant.
+	constraints []wire.FieldConstraint
+	param       string
 	// lastSeq is the highest delivered notification sequence (guarded by
 	// the agent mutex): replayed or out-of-order notifications — old but
 	// genuinely signed server messages an on-path adversary re-injects —
 	// are dropped, not delivered as fresh events.
 	lastSeq uint64
+	// resubbing marks an in-flight gap recovery so one burst of losses
+	// triggers exactly one re-subscribe (guarded by the agent mutex).
+	// While it is set, pendingNonce identifies the replacement server-side
+	// subscription and pendingLastSeq tracks ITS sequence stream: the
+	// replacement restarts numbering at 1, so its pushes must not be
+	// judged against the superseded stream's lastSeq (they would all look
+	// like replays until the old high-water mark was passed).
+	resubbing      bool
+	pendingNonce   uint64
+	pendingLastSeq uint64
+	// unsubscribing marks a user-initiated teardown in flight; a
+	// concurrent gap recovery must not rebind (resurrect) the
+	// subscription past it. chClosed makes channel closing idempotent
+	// across Unsubscribe/Close/recovery interleavings. Both guarded by
+	// the agent mutex.
+	unsubscribing bool
+	chClosed      bool
+}
+
+// GapEvent reports a detected notification loss on one subscription:
+// either the server's Notification.Seq skipped ahead (an in-band push was
+// lost or suppressed) or the local delivery channel overflowed. Delivery
+// is fire-and-forget Packet-Out, so the agent heals the hole itself: it
+// re-registers the invariant (the signed ack carries the CURRENT verdict,
+// resynchronizing the client) and retires the stale server-side
+// subscription. The event is surfaced on Agent.Gaps after recovery
+// completes.
+type GapEvent struct {
+	// SubID is the subscription id at detection time; NewSubID the id after
+	// re-registration (zero when recovery failed — see Err).
+	SubID    uint64
+	NewSubID uint64
+	// MissedFrom/MissedTo bound the lost sequence range.
+	MissedFrom uint64
+	MissedTo   uint64
+	// Status/Detail carry the invariant's current verdict from the
+	// re-subscribe ack.
+	Status wire.ResponseStatus
+	Detail string
+	// Err is non-nil when the automatic re-subscribe failed; the next gap
+	// (or drop) retries.
+	Err error
 }
 
 // New creates an agent with a fresh key pair.
@@ -112,6 +160,7 @@ func New(cfg Config) (*Agent, error) {
 		ackWait:     make(map[uint64]chan *wire.Notification),
 		subs:        make(map[uint64]*Subscription),
 		subsByNonce: make(map[uint64]*Subscription),
+		gapC:        make(chan GapEvent, 16),
 	}, nil
 }
 
@@ -137,6 +186,28 @@ func (a *Agent) NotificationsDropped() uint64 {
 	return a.dropped
 }
 
+// GapsDetected counts notification-loss events that triggered automatic
+// re-subscribe recovery.
+func (a *Agent) GapsDetected() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gapsSeen
+}
+
+// Gaps surfaces notification-loss recoveries (see GapEvent). The channel
+// is buffered and never closed; read it with select. Events that find the
+// buffer full are discarded — GapsDetected still counts them.
+func (a *Agent) Gaps() <-chan GapEvent { return a.gapC }
+
+// closeSubLocked closes a subscription's channel exactly once across
+// Unsubscribe/Close/gap-recovery interleavings. Callers hold a.mu.
+func (a *Agent) closeSubLocked(sub *Subscription) {
+	if !sub.chClosed {
+		sub.chClosed = true
+		close(sub.ch)
+	}
+}
+
 // Close fails all outstanding queries and closes subscription channels.
 func (a *Agent) Close() {
 	a.mu.Lock()
@@ -150,19 +221,15 @@ func (a *Agent) Close() {
 		close(ch)
 		delete(a.ackWait, nonce)
 	}
-	closed := make(map[chan *wire.Notification]bool)
 	for id, sub := range a.subs {
-		closed[sub.ch] = true
-		close(sub.ch)
+		a.closeSubLocked(sub)
 		delete(a.subs, id)
 	}
 	// Pending subscriptions (sent, ack not yet processed) live only in the
-	// nonce index; established ones appear in both maps — close each
-	// channel once.
+	// nonce index; established ones appear in both maps — closeSubLocked
+	// is idempotent.
 	for nonce, sub := range a.subsByNonce {
-		if !closed[sub.ch] {
-			close(sub.ch)
-		}
+		a.closeSubLocked(sub)
 		delete(a.subsByNonce, nonce)
 	}
 }
@@ -358,20 +425,168 @@ func (a *Agent) handleNotification(pkt *wire.Packet) {
 			sub, ok = a.subsByNonce[n.Nonce]
 		}
 		if ok {
-			if n.Seq <= sub.lastSeq {
+			// Each server-side subscription numbers its pushes
+			// independently; during gap recovery two streams can target
+			// this Subscription — the superseded one (by SubID / original
+			// nonce) and the replacement's (by the recovery nonce, before
+			// the ack is processed). Judge each against its own counter.
+			seqRef := &sub.lastSeq
+			if sub.resubbing && n.Nonce == sub.pendingNonce && n.Nonce != sub.nonce {
+				seqRef = &sub.pendingLastSeq
+			}
+			if n.Seq <= *seqRef {
 				// Replayed or out-of-order: a valid signature only proves
 				// the server said this once, not that it is current.
 				a.dropped++
 			} else {
-				sub.lastSeq = n.Seq
+				// Delivery is fire-and-forget Packet-Out: a skipped Seq
+				// means a notification was lost in flight (or deliberately
+				// suppressed), and a full local channel loses this one. Both
+				// leave the client's view of its invariant stale, so both
+				// trigger the same recovery: transparently re-register the
+				// invariant and resynchronize on the ack's current verdict.
+				gap := n.Seq != *seqRef+1
+				from, to := *seqRef+1, n.Seq-1
+				*seqRef = n.Seq
 				select {
 				case sub.ch <- n:
 				default:
 					a.dropped++
+					gap, to = true, n.Seq
+				}
+				if gap && !sub.resubbing && !sub.unsubscribing && !a.closed {
+					sub.resubbing = true
+					a.gapsSeen++
+					go a.recoverGap(sub, from, to)
 				}
 			}
 		}
 		a.mu.Unlock()
+	}
+}
+
+// recoverGap heals one notification loss: it re-registers the invariant
+// under a fresh nonce (the signed ack resynchronizes the current verdict),
+// atomically rebinds the local Subscription to the new server-side id, and
+// retires the superseded subscription. On failure the subscription is left
+// untouched and the next detected loss retries.
+func (a *Agent) recoverGap(sub *Subscription, missedFrom, missedTo uint64) {
+	a.mu.Lock()
+	oldID, oldNonce := sub.ID, sub.nonce
+	a.mu.Unlock()
+	ev := GapEvent{SubID: oldID, MissedFrom: missedFrom, MissedTo: missedTo}
+	fail := func(err error) {
+		a.mu.Lock()
+		sub.resubbing = false
+		sub.pendingNonce = 0
+		a.mu.Unlock()
+		ev.Err = err
+		a.emitGap(ev)
+	}
+
+	nonce, err := randomNonce()
+	if err != nil {
+		fail(err)
+		return
+	}
+	a.mu.Lock()
+	if a.closed {
+		sub.resubbing = false
+		a.mu.Unlock()
+		return
+	}
+	// Route by the new nonce from the start: a transition pushed for the
+	// replacement subscription must not be lost between the server-side
+	// registration and our processing of the ack. pendingNonce marks the
+	// replacement's stream so its fresh numbering is not judged against
+	// the superseded stream's lastSeq.
+	a.subsByNonce[nonce] = sub
+	sub.pendingNonce = nonce
+	sub.pendingLastSeq = 0
+	a.mu.Unlock()
+	ack, err := a.subscribeOp(&wire.SubscribeRequest{
+		Version:      wire.CurrentVersion,
+		Op:           wire.SubOpAdd,
+		ClientID:     a.cfg.ClientID,
+		Nonce:        nonce,
+		AnchorSwitch: uint32(a.cfg.Access.Endpoint.Switch),
+		AnchorPort:   uint32(a.cfg.Access.Endpoint.Port),
+		Kind:         sub.Kind,
+		Constraints:  sub.constraints,
+		Param:        sub.param,
+	})
+	if err == nil && ack.Event == wire.NotifyError {
+		err = fmt.Errorf("client: gap re-subscribe rejected: %s", ack.Detail)
+	}
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			// The server may have registered the replacement and lost only
+			// the ack: clean up by registration nonce so no orphan keeps
+			// evaluating (and pushing) forever — same protection as
+			// Subscribe.
+			a.abandonSubscription(nonce)
+		}
+		a.mu.Lock()
+		delete(a.subsByNonce, nonce)
+		a.mu.Unlock()
+		fail(err)
+		return
+	}
+
+	a.mu.Lock()
+	if a.closed || sub.unsubscribing {
+		// Close or a user Unsubscribe ran while the ack was in flight:
+		// rebinding would resurrect the subscription (and route future
+		// pushes onto a closed channel). Retire the freshly registered
+		// replacement instead.
+		unsubscribing := sub.unsubscribing && !a.closed
+		sub.resubbing = false
+		sub.pendingNonce = 0
+		delete(a.subsByNonce, nonce)
+		a.mu.Unlock()
+		if unsubscribing {
+			a.removeServerSub(ack.SubID)
+		}
+		return
+	}
+	delete(a.subs, oldID)
+	delete(a.subsByNonce, oldNonce)
+	sub.ID = ack.SubID
+	sub.nonce = nonce
+	// Rebase on the replacement's numbering: pushes already routed through
+	// the pending stream advanced pendingLastSeq, and an initially-violated
+	// replacement consumed ack.Seq without any push existing for it.
+	sub.lastSeq = sub.pendingLastSeq
+	if ack.Seq > sub.lastSeq {
+		sub.lastSeq = ack.Seq
+	}
+	sub.pendingNonce = 0
+	sub.pendingLastSeq = 0
+	a.subs[sub.ID] = sub
+	sub.resubbing = false
+	a.mu.Unlock()
+	ev.NewSubID, ev.Status, ev.Detail = ack.SubID, ack.Status, ack.Detail
+	a.emitGap(ev)
+
+	// Retire the superseded server-side subscription; removal is
+	// idempotent, so a failure here only costs the server a dead invariant
+	// until the client unsubscribes for real.
+	if rmNonce, err := randomNonce(); err == nil {
+		_, _ = a.subscribeOp(&wire.SubscribeRequest{
+			Version:  wire.CurrentVersion,
+			Op:       wire.SubOpRemove,
+			ClientID: a.cfg.ClientID,
+			Nonce:    rmNonce,
+			SubID:    oldID,
+		})
+	}
+}
+
+// emitGap publishes one recovery outcome without ever blocking the caller.
+func (a *Agent) emitGap(ev GapEvent) {
+	select {
+	case a.gapC <- ev:
+	default:
 	}
 }
 
@@ -426,9 +641,11 @@ func (a *Agent) Subscribe(kind wire.QueryKind, constraints []wire.FieldConstrain
 	// between the server-side ack and our processing of it must not be
 	// lost (handleNotification falls back to nonce routing).
 	sub := &Subscription{
-		Kind:  kind,
-		nonce: nonce,
-		ch:    make(chan *wire.Notification, 32),
+		Kind:        kind,
+		nonce:       nonce,
+		ch:          make(chan *wire.Notification, 32),
+		constraints: append([]wire.FieldConstraint(nil), constraints...),
+		param:       param,
 	}
 	sub.C = sub.ch
 	a.mu.Lock()
@@ -476,6 +693,13 @@ func (a *Agent) Subscribe(kind wire.QueryKind, constraints []wire.FieldConstrain
 		a.mu.Unlock()
 		return fail(ErrClosed)
 	}
+	// An initially-violated invariant consumes sequence numbers without a
+	// push existing for them (the ack carries the verdict); baseline gap
+	// detection on the ack's seq. Only raise: a push racing the ack may
+	// already have advanced lastSeq past it.
+	if ack.Seq > sub.lastSeq {
+		sub.lastSeq = ack.Seq
+	}
 	a.subs[sub.ID] = sub
 	a.mu.Unlock()
 	return sub, nil
@@ -501,37 +725,82 @@ func (a *Agent) abandonSubscription(nonce uint64) {
 	_ = a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt)
 }
 
-// Unsubscribe removes a standing invariant and closes its channel.
+// Unsubscribe removes a standing invariant and closes its channel. It is
+// safe against a concurrent gap recovery: the unsubscribing flag stops
+// any in-flight recovery from rebinding (resurrecting) the subscription,
+// and if a recovery rebound it to a replacement server id before the flag
+// was seen, that replacement is retired too.
 func (a *Agent) Unsubscribe(sub *Subscription) error {
 	nonce, err := randomNonce()
 	if err != nil {
 		return err
 	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	sub.unsubscribing = true
+	id := sub.ID
+	a.mu.Unlock()
 	ack, err := a.subscribeOp(&wire.SubscribeRequest{
 		Version:  wire.CurrentVersion,
 		Op:       wire.SubOpRemove,
 		ClientID: a.cfg.ClientID,
 		Nonce:    nonce,
-		SubID:    sub.ID,
+		SubID:    id,
 	})
-	if err != nil {
-		return err
-	}
-	if ack.Event == wire.NotifyError {
+	if err == nil && ack.Event == wire.NotifyError {
 		// The server rejected the op (e.g. auth failure) and still holds
 		// the subscription: keep the local state so notifications keep
 		// flowing and the caller can retry. (Server-side removal is
 		// idempotent, so "already gone" acks success, never error.)
-		return fmt.Errorf("client: unsubscribe rejected: %s", ack.Detail)
+		err = fmt.Errorf("client: unsubscribe rejected: %s", ack.Detail)
 	}
+	if err != nil {
+		a.mu.Lock()
+		sub.unsubscribing = false
+		a.mu.Unlock()
+		return err
+	}
+	var staleID uint64
 	a.mu.Lock()
-	if s, ok := a.subs[sub.ID]; ok {
-		close(s.ch)
-		delete(a.subs, sub.ID)
-		delete(a.subsByNonce, s.nonce)
+	if sub.ID != id {
+		// A gap recovery rebound the subscription to a replacement server
+		// id while the removal was in flight; retire that one too.
+		staleID = sub.ID
 	}
+	for _, k := range []uint64{id, sub.ID} {
+		if s, ok := a.subs[k]; ok && s == sub {
+			delete(a.subs, k)
+		}
+	}
+	delete(a.subsByNonce, sub.nonce)
+	if sub.pendingNonce != 0 {
+		delete(a.subsByNonce, sub.pendingNonce)
+	}
+	a.closeSubLocked(sub)
 	a.mu.Unlock()
+	if staleID != 0 {
+		a.removeServerSub(staleID)
+	}
 	return nil
+}
+
+// removeServerSub fires a best-effort signed SubOpRemove for a server-side
+// subscription id the client no longer tracks.
+func (a *Agent) removeServerSub(id uint64) {
+	nonce, err := randomNonce()
+	if err != nil {
+		return
+	}
+	_, _ = a.subscribeOp(&wire.SubscribeRequest{
+		Version:  wire.CurrentVersion,
+		Op:       wire.SubOpRemove,
+		ClientID: a.cfg.ClientID,
+		Nonce:    nonce,
+		SubID:    id,
+	})
 }
 
 func randomNonce() (uint64, error) {

@@ -300,3 +300,298 @@ func TestRandomNonceUnique(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ------------------------------------------------------------- gaps -----
+
+// signedNotification builds a correctly signed+attested push notification.
+func signedNotification(encl *enclave.Enclave, event wire.NotifyEvent, subID, nonce, seq uint64) *wire.Notification {
+	n := &wire.Notification{
+		Version: wire.CurrentVersion,
+		Event:   event,
+		Kind:    wire.QueryReachableDestinations,
+		Status:  wire.StatusViolation,
+		SubID:   subID,
+		Nonce:   nonce,
+		Seq:     seq,
+		Detail:  "test transition",
+	}
+	if event == wire.NotifyRecovery || event == wire.NotifyAck {
+		n.Status = wire.StatusOK
+	}
+	n.Signature = encl.Sign(n.SigningBytes())
+	n.Quote = encl.KeyQuote().Marshal()
+	return n
+}
+
+// sniffSubscribeOp polls the NIC for the next subscribe request of the
+// given op whose nonce is not in seen, returning it.
+func sniffSubscribeOp(t *testing.T, nic *fakeNIC, op wire.SubscribeOp, seen map[uint64]bool) *wire.SubscribeRequest {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		nic.mu.Lock()
+		frames := append([]*wire.Packet(nil), nic.frames...)
+		nic.mu.Unlock()
+		for _, pkt := range frames {
+			if !pkt.IsRVaaSSubscribe() {
+				continue
+			}
+			sr, err := wire.UnmarshalSubscribeRequest(pkt.Payload)
+			if err != nil || sr.Op != op || seen[sr.Nonce] {
+				continue
+			}
+			seen[sr.Nonce] = true
+			return sr
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no subscribe op %d injected", op)
+	return nil
+}
+
+// TestAgentSeqGapTriggersResubscribe drives the client-side delivery-hole
+// recovery: a skipped Notification.Seq (a push lost in the fire-and-forget
+// Packet-Out path) must surface a GapEvent and transparently re-register
+// the invariant, resynchronizing on the new ack's verdict.
+func TestAgentSeqGapTriggersResubscribe(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+
+	subCh := make(chan *Subscription, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		sub, err := a.Subscribe(wire.QueryReachableDestinations, nil, "")
+		subCh <- sub
+		errCh <- err
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	ack := signedNotification(encl, wire.NotifyAck, 41, add.Nonce, 0)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1), ack))
+	sub := <-subCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != 41 {
+		t.Fatalf("sub id = %d", sub.ID)
+	}
+
+	// Seq 1 delivered normally.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 41, add.Nonce, 1)))
+	if n := <-sub.C; n.Seq != 1 {
+		t.Fatalf("first notification seq = %d", n.Seq)
+	}
+
+	// Seq 3 skips 2: the newer event must still be delivered, and the agent
+	// must start gap recovery.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyRecovery, 41, add.Nonce, 3)))
+	if n := <-sub.C; n.Seq != 3 {
+		t.Fatalf("post-gap notification seq = %d", n.Seq)
+	}
+	if a.GapsDetected() != 1 {
+		t.Fatalf("gaps detected = %d", a.GapsDetected())
+	}
+
+	// The recovery re-subscribe goes out; ack it with a fresh id.
+	readd := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	if readd.Kind != wire.QueryReachableDestinations {
+		t.Fatalf("re-subscribe kind = %v", readd.Kind)
+	}
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 42, readd.Nonce, 0)))
+
+	var ev GapEvent
+	select {
+	case ev = <-a.Gaps():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no gap event surfaced")
+	}
+	if ev.SubID != 41 || ev.NewSubID != 42 || ev.MissedFrom != 2 || ev.MissedTo != 2 || ev.Err != nil {
+		t.Fatalf("gap event = %+v", ev)
+	}
+
+	// The superseded server-side subscription is retired.
+	rm := sniffSubscribeOp(t, nic, wire.SubOpRemove, seen)
+	if rm.SubID != 41 {
+		t.Fatalf("remove targets sub %d, want 41", rm.SubID)
+	}
+
+	// The rebound subscription keeps flowing on the same channel with the
+	// replacement's fresh sequence numbering.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 42, readd.Nonce, 1)))
+	select {
+	case n := <-sub.C:
+		if n.SubID != 42 || n.Seq != 1 {
+			t.Fatalf("post-recovery notification = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification after recovery")
+	}
+}
+
+// TestAgentLocalOverflowTriggersRecovery: a full local channel loses a
+// verified event, which must trigger the same re-subscribe recovery as an
+// in-network loss.
+func TestAgentLocalOverflowTriggersRecovery(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+	subCh := make(chan *Subscription, 1)
+	go func() {
+		sub, _ := a.Subscribe(wire.QueryReachableDestinations, nil, "")
+		subCh <- sub
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 77, add.Nonce, 0)))
+	sub := <-subCh
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+
+	// Fill the channel (capacity 32) without draining, then overflow it.
+	for seq := uint64(1); seq <= 33; seq++ {
+		ev := wire.NotifyViolation
+		if seq%2 == 0 {
+			ev = wire.NotifyRecovery
+		}
+		a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+			signedNotification(encl, ev, 77, add.Nonce, seq)))
+	}
+	if a.NotificationsDropped() == 0 {
+		t.Fatal("overflow not recorded")
+	}
+	if a.GapsDetected() != 1 {
+		t.Fatalf("gaps detected = %d, want 1 (single in-flight recovery)", a.GapsDetected())
+	}
+	// Recovery proceeds exactly as for an in-network loss.
+	readd := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 78, readd.Nonce, 0)))
+	select {
+	case ev := <-a.Gaps():
+		if ev.SubID != 77 || ev.NewSubID != 78 || ev.Err != nil {
+			t.Fatalf("gap event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no gap event surfaced")
+	}
+}
+
+// TestAgentRecoveryRacingPush: a push for the REPLACEMENT subscription
+// arriving before its ack is processed restarts numbering at 1; it must be
+// delivered via the pending stream, not dropped as a replay against the
+// superseded stream's high sequence.
+func TestAgentRecoveryRacingPush(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+	subCh := make(chan *Subscription, 1)
+	go func() {
+		sub, _ := a.Subscribe(wire.QueryReachableDestinations, nil, "")
+		subCh <- sub
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 50, add.Nonce, 0)))
+	sub := <-subCh
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+
+	// Drive the old stream high, then force a gap.
+	for _, seq := range []uint64{1, 2, 3} {
+		ev := wire.NotifyViolation
+		if seq%2 == 0 {
+			ev = wire.NotifyRecovery
+		}
+		a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+			signedNotification(encl, ev, 50, add.Nonce, seq)))
+		<-sub.C
+	}
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 50, add.Nonce, 5))) // skips 4
+	<-sub.C
+
+	readd := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	// The replacement's first push (Seq=1) races ahead of its ack: with
+	// lastSeq=5 on the superseded stream, it must still be delivered.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyRecovery, 51, readd.Nonce, 1)))
+	select {
+	case n := <-sub.C:
+		if n.SubID != 51 || n.Seq != 1 {
+			t.Fatalf("racing replacement push = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("replacement push dropped as a replay of the old stream")
+	}
+	// Now the ack lands; the rebased stream continues from the delivered
+	// push, so Seq=2 flows and Seq=1 is a replay.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 51, readd.Nonce, 0)))
+	select {
+	case ev := <-a.Gaps():
+		if ev.NewSubID != 51 || ev.Err != nil {
+			t.Fatalf("gap event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no gap event")
+	}
+	drops := a.NotificationsDropped()
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyRecovery, 51, readd.Nonce, 1))) // replay
+	if a.NotificationsDropped() != drops+1 {
+		t.Error("replayed replacement push not dropped after rebase")
+	}
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 51, readd.Nonce, 2)))
+	select {
+	case n := <-sub.C:
+		if n.Seq != 2 {
+			t.Fatalf("post-rebase push = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-rebase push not delivered")
+	}
+}
+
+// TestAgentInitiallyViolatedNoSpuriousGap: an invariant violated at
+// registration consumes Seq=1 server-side with no push existing for it
+// (the ack carries the verdict and its seq); the first real push arrives
+// with Seq=2 and must NOT be misread as a loss.
+func TestAgentInitiallyViolatedNoSpuriousGap(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+	subCh := make(chan *Subscription, 1)
+	go func() {
+		sub, _ := a.Subscribe(wire.QueryIsolation, nil, "")
+		subCh <- sub
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	ack := signedNotification(encl, wire.NotifyAck, 60, add.Nonce, 1) // seq already consumed
+	ack.Status = wire.StatusViolation
+	ack.Signature = encl.Sign(ack.SigningBytes())
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1), ack))
+	sub := <-subCh
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+	if sub.InitialStatus != wire.StatusViolation {
+		t.Fatalf("initial status = %v", sub.InitialStatus)
+	}
+
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyRecovery, 60, add.Nonce, 2)))
+	select {
+	case n := <-sub.C:
+		if n.Seq != 2 {
+			t.Fatalf("first push = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("first push not delivered")
+	}
+	if a.GapsDetected() != 0 {
+		t.Fatalf("spurious gap on initially-violated subscription: %d", a.GapsDetected())
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/rvaas"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Experiment E13: recheck-engine scale-out. A controller serving ~10⁴
+// standing invariants absorbs a single-switch configuration event; we
+// measure how long one re-verification pass takes under
+//
+//   - the PR 2 engine (LegacyScan ablation): linear footprint scan over
+//     every subscription, sequential evaluation, full isolation sweeps;
+//   - the sharded engine at worker-pool parallelism 1: inverted-index
+//     dirty dispatch and isolation cone caching, no evaluation fan-out;
+//   - the sharded engine at full parallelism (GOMAXPROCS workers).
+//
+// The claims under test: the indexed engine re-checks ≥5× faster than the
+// linear-scan engine at 10⁴ invariants, its evaluation count per pass is
+// the dirty-bucket size (not the subscription count), and the worker pool
+// scales the pass wall-time down with GOMAXPROCS.
+
+// ScaleOutRow is one row of the E13 table.
+type ScaleOutRow struct {
+	Topology string
+	Switches int
+	// Subs is the registered invariant population; IsoSubs of them are
+	// isolation invariants (every-edge-port sweeps, the expensive kind).
+	Subs    int
+	IsoSubs int
+	// EvalsPerCheck is how many invariants one incremental pass actually
+	// re-evaluated — the dirty-bucket size.
+	EvalsPerCheck float64
+	// IsoSweptPerCheck/IsoReusedPerCheck count per-injection-point
+	// isolation traversals re-run versus served from the cone cache, per
+	// incremental pass.
+	IsoSweptPerCheck  float64
+	IsoReusedPerCheck float64
+	// LegacyMean is the mean pass latency of the PR 2 (linear scan,
+	// sequential) engine; Parallel1Mean the sharded engine at one worker;
+	// ShardedMean the sharded engine at Workers workers.
+	LegacyMean    time.Duration
+	Parallel1Mean time.Duration
+	ShardedMean   time.Duration
+	Workers       int
+	// Speedup is LegacyMean / ShardedMean; PoolSpeedup is
+	// Parallel1Mean / ShardedMean (the worker pool's contribution alone).
+	Speedup     float64
+	PoolSpeedup float64
+}
+
+// BuildRecheckPopulation registers a mixed standing-invariant population:
+// total-iso cheap neighbor-reachability invariants spread round-robin over
+// the adjacent access-point pairs (each footprint is a two-switch
+// segment), plus iso isolation invariants spread over the access points
+// (each sweeps every edge port). It returns the number registered.
+func BuildRecheckPopulation(d *deploy.Deployment, topo *topology.Topology, total, iso int) (int, error) {
+	aps := topo.AccessPoints()
+	if len(aps) < 2 {
+		return 0, fmt.Errorf("experiments: need >= 2 access points, have %d", len(aps))
+	}
+	if iso > total {
+		iso = total
+	}
+	registered := 0
+	for k := 0; k < total-iso; k++ {
+		i := k % (len(aps) - 1)
+		dst := aps[i+1]
+		if _, err := d.RVaaS.Subscribe(aps[i].ClientID, wire.QueryReachableDestinations,
+			[]wire.FieldConstraint{{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF}},
+			"", aps[i].Endpoint); err != nil {
+			return registered, err
+		}
+		registered++
+	}
+	// Isolation invariants skip the last access point: experiments churn the
+	// last switch, and an isolation invariant anchored THERE has every
+	// injection-point cone dirtied by the churn — one invariant whose
+	// re-sweep is as large as a full evaluation, which would swamp the
+	// dirty-bucket measurement the experiment is after.
+	for k := 0; k < iso; k++ {
+		ap := aps[k%(len(aps)-1)]
+		if _, err := d.RVaaS.Subscribe(ap.ClientID, wire.QueryIsolation,
+			[]wire.FieldConstraint{{Field: wire.FieldIPDst, Value: uint64(ap.HostIP), Mask: 0xFFFFFFFF}},
+			"", ap.Endpoint); err != nil {
+			return registered, err
+		}
+		registered++
+	}
+	return registered, nil
+}
+
+// ScaleOutRecheck measures E13 on one topology with the given population.
+func ScaleOutRecheck(nt NamedTopology, totalSubs, isoSubs, iters int) (ScaleOutRow, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	row := ScaleOutRow{Topology: nt.Name, Workers: runtime.GOMAXPROCS(0)}
+	topo, err := nt.Build()
+	if err != nil {
+		return row, err
+	}
+	d, err := deploy.New(topo, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	if err != nil {
+		return row, err
+	}
+	defer d.Close()
+	row.Switches = len(topo.Switches())
+
+	n, err := BuildRecheckPopulation(d, topo, totalSubs, isoSubs)
+	if err != nil {
+		return row, err
+	}
+	row.Subs, row.IsoSubs = n, isoSubs
+
+	// The churned switch: an end of the topology, so the dirty bucket is a
+	// small slice of the population — the steady-state case of a targeted
+	// single-switch reconfiguration.
+	sws := topo.Switches()
+	victim := sws[len(sws)-1]
+	churn := 0
+	settle := func() error {
+		churn++
+		want := d.RVaaS.SnapshotID() + 2
+		e := subscriptionChurnEntry(churn)
+		d.Fabric.Switch(victim).InstallDirect(e)
+		d.Fabric.Switch(victim).RemoveDirect(e)
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if d.RVaaS.SnapshotID() >= want {
+				return nil
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return fmt.Errorf("experiments: churn events not absorbed on %s", nt.Name)
+	}
+
+	// Warm up: populate footprints, cones and the compile-cache baseline.
+	if err := settle(); err != nil {
+		return row, err
+	}
+	d.RVaaS.RecheckNow()
+
+	measure := func(t rvaas.RecheckTuning) (time.Duration, rvaas.SubscriptionStats, error) {
+		d.RVaaS.SetRecheckTuning(t)
+		before := d.RVaaS.SubscriptionStats()
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			if err := settle(); err != nil {
+				return 0, before, err
+			}
+			start := time.Now()
+			d.RVaaS.RecheckNow()
+			total += time.Since(start)
+		}
+		after := d.RVaaS.SubscriptionStats()
+		delta := rvaas.SubscriptionStats{
+			Rechecks:        after.Rechecks - before.Rechecks,
+			Evaluated:       after.Evaluated - before.Evaluated,
+			IsoPointsSwept:  after.IsoPointsSwept - before.IsoPointsSwept,
+			IsoPointsReused: after.IsoPointsReused - before.IsoPointsReused,
+		}
+		return total / time.Duration(iters), delta, nil
+	}
+
+	legacyMean, _, err := measure(rvaas.RecheckTuning{LegacyScan: true})
+	if err != nil {
+		return row, err
+	}
+	row.LegacyMean = legacyMean
+	p1Mean, _, err := measure(rvaas.RecheckTuning{Parallelism: 1})
+	if err != nil {
+		return row, err
+	}
+	row.Parallel1Mean = p1Mean
+	shardedMean, delta, err := measure(rvaas.RecheckTuning{})
+	if err != nil {
+		return row, err
+	}
+	row.ShardedMean = shardedMean
+	d.RVaaS.SetRecheckTuning(rvaas.RecheckTuning{})
+
+	if delta.Rechecks > 0 {
+		checks := float64(delta.Rechecks)
+		row.EvalsPerCheck = float64(delta.Evaluated) / checks
+		row.IsoSweptPerCheck = float64(delta.IsoPointsSwept) / checks
+		row.IsoReusedPerCheck = float64(delta.IsoPointsReused) / checks
+	}
+	if row.ShardedMean > 0 {
+		row.Speedup = float64(row.LegacyMean) / float64(row.ShardedMean)
+		row.PoolSpeedup = float64(row.Parallel1Mean) / float64(row.ShardedMean)
+	}
+	return row, nil
+}
+
+// ScaleOutSweep runs E13 at the headline population (10⁴ invariants on
+// linear-40) plus a smaller control point.
+func ScaleOutSweep(iters int) ([]ScaleOutRow, error) {
+	cases := []struct {
+		nt    NamedTopology
+		total int
+		iso   int
+	}{
+		{NamedTopology{Name: "linear-40", Build: func() (*topology.Topology, error) { return topology.Linear(40, nil) }}, 1000, 20},
+		{NamedTopology{Name: "linear-40", Build: func() (*topology.Topology, error) { return topology.Linear(40, nil) }}, 10000, 40},
+	}
+	rows := make([]ScaleOutRow, 0, len(cases))
+	for _, cs := range cases {
+		row, err := ScaleOutRecheck(cs.nt, cs.total, cs.iso, iters)
+		if err != nil {
+			return nil, fmt.Errorf("e13 %s/%d: %w", cs.nt.Name, cs.total, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -177,6 +177,24 @@ func (f Footprint) Nodes() []NodeID {
 	return ids
 }
 
+// DiffFootprints returns the nodes present only in next (added) and only
+// in prev (removed). The subscription engine diffs the footprint recorded
+// by each re-evaluation against the previous one to keep its inverted
+// switch → subscriptions index in sync without rebuilding it.
+func DiffFootprints(prev, next Footprint) (added, removed []NodeID) {
+	for id := range next {
+		if _, ok := prev[id]; !ok {
+			added = append(added, id)
+		}
+	}
+	for id := range prev {
+		if _, ok := next[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	return added, removed
+}
+
 // Invalidated reports whether any dirty node lies inside the footprint —
 // i.e. whether an evaluation that produced this footprint must be re-run
 // after the dirty nodes' transfer functions changed. A nil footprint (never

@@ -156,6 +156,26 @@ func (c *RawConn) Send(data []byte) error {
 	}
 }
 
+// TrySend transmits one message without ever blocking: if the peer's
+// buffer is full the message is discarded and sent reports false. Callers
+// use it for traffic that tolerates loss (notification pushes) where a
+// wedged peer must not be able to stall the sender.
+func (c *RawConn) TrySend(data []byte) (sent bool, err error) {
+	select {
+	case <-c.done:
+		return false, ErrChannelClosed
+	default:
+	}
+	select {
+	case c.send.ch <- data:
+		return true, nil
+	case <-c.done:
+		return false, ErrChannelClosed
+	default:
+		return false, nil
+	}
+}
+
 // Recv blocks for the next message; io.EOF after close. Messages queued
 // before the close are still drained.
 func (c *RawConn) Recv() ([]byte, error) {
@@ -366,6 +386,25 @@ func (s *SecureConn) Send(m Message) error {
 	ct := s.sendAEAD.Seal(nonce, nonce, plain, nil)
 	s.sendMu.Unlock()
 	return s.raw.Send(ct)
+}
+
+// TrySend encrypts and transmits one OpenFlow message without blocking;
+// sent reports whether the peer accepted it. The AEAD nonce counter only
+// advances on accepted sends, so a dropped frame cannot desynchronize the
+// receiver's replay window (the discarded ciphertext is never transmitted,
+// so reusing its nonce for the next frame reveals nothing).
+func (s *SecureConn) TrySend(m Message) (sent bool, err error) {
+	plain := Encode(m)
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint64(nonce[4:], s.sendCtr)
+	ct := s.sendAEAD.Seal(nonce, nonce, plain, nil)
+	sent, err = s.raw.TrySend(ct)
+	if sent {
+		s.sendCtr++
+	}
+	return sent, err
 }
 
 // Recv receives and decrypts the next OpenFlow message. It enforces nonce

@@ -1,0 +1,104 @@
+package openflow
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRawConnTrySendNeverBlocks fills the pipe to capacity and verifies
+// the overflowing send is reported dropped instead of blocking.
+func TestRawConnTrySendNeverBlocks(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	accepted := 0
+	for i := 0; i < 5000; i++ {
+		sent, err := a.TrySend([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sent {
+			break
+		}
+		accepted++
+	}
+	if accepted == 0 || accepted >= 5000 {
+		t.Fatalf("accepted %d sends, want the pipe depth", accepted)
+	}
+	// Still non-blocking and dropped on a full pipe.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if sent, _ := a.TrySend([]byte{0xFF}); sent {
+			t.Error("send accepted on a full pipe")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("TrySend blocked on a full pipe")
+	}
+	// The peer drains everything that was accepted.
+	for i := 0; i < accepted; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+}
+
+// TestSecureConnTrySendCounterIntegrity verifies a dropped TrySend does
+// not desynchronize the AEAD nonce stream: the counter only advances on
+// accepted sends, so the receiver decodes every delivered frame after an
+// arbitrary number of drops.
+func TestSecureConnTrySendCounterIntegrity(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := NewIdentity("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := NewIdentity("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	connA, connB, err := ConnectSecure(idA, ca.Issue(idA), idB, ca.Issue(idB), ca.Pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+
+	// Saturate the channel with non-blocking sends.
+	accepted, dropped := 0, 0
+	for i := 0; i < 2000; i++ {
+		sent, err := connA.TrySend(&EchoRequest{XID: uint32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sent {
+			accepted++
+		} else {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatalf("no drops after 2000 sends into an undrained channel (accepted %d)", accepted)
+	}
+	// Every accepted frame decrypts in order despite the interleaved drops.
+	for i := 0; i < accepted; i++ {
+		if _, err := connB.Recv(); err != nil {
+			t.Fatalf("recv %d/%d after drops: %v", i, accepted, err)
+		}
+	}
+	// The stream continues cleanly with blocking sends afterwards.
+	if err := connA.Send(&EchoRequest{XID: 9999}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := connB.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.XIDValue() != 9999 {
+		t.Fatalf("post-drop message XID = %d", m.XIDValue())
+	}
+}

@@ -66,6 +66,10 @@ type Config struct {
 	// RevalidateAll calls. Experiments use this to measure re-check latency
 	// deterministically.
 	ManualRecheck bool
+	// RecheckParallelism is the worker count one subscription re-check pass
+	// fans independent invariant evaluations across; <= 0 means GOMAXPROCS.
+	// Runtime-adjustable via SetRecheckTuning.
+	RecheckParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +107,7 @@ type Controller struct {
 	vlog    *history.ViolationLog
 	subs    *subscriptionEngine
 	subKick chan struct{}
+	notifyQ chan notifyJob
 	rng     *rand.Rand
 
 	mu       sync.Mutex
@@ -151,6 +156,8 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rvaas: launch enclave: %w", err)
 	}
+	engine := newSubscriptionEngine()
+	engine.parallelism.Store(int64(cfg.RecheckParallelism))
 	return &Controller{
 		cfg:          cfg,
 		enclave:      encl,
@@ -158,8 +165,9 @@ func New(cfg Config) (*Controller, error) {
 		snap:         newSnapshotStore(),
 		hist:         history.NewStore(cfg.HistoryDepth),
 		vlog:         history.NewViolationLog(4 * cfg.HistoryDepth),
-		subs:         newSubscriptionEngine(),
+		subs:         engine,
 		subKick:      make(chan struct{}, 1),
+		notifyQ:      make(chan notifyJob, 1024),
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		sessions:     make(map[topology.SwitchID]*session),
 		resyncing:    make(map[topology.SwitchID]bool),
@@ -303,6 +311,8 @@ func (c *Controller) interceptionRules() []*openflow.FlowMod {
 // random times") and the subscription re-verification worker that
 // re-checks standing invariants after every applied snapshot change.
 func (c *Controller) Start() {
+	c.wg.Add(1)
+	go c.notifier()
 	if !c.cfg.ManualRecheck {
 		c.wg.Add(1)
 		go c.subscriptionWorker()

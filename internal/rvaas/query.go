@@ -95,7 +95,7 @@ func (c *Controller) handleQuery(sw topology.SwitchID, inPort topology.PortNo, p
 		eps := c.reachableEndpoints(net, requester, q)
 		authTargets = c.fillEndpoints(resp, eps, q)
 	case wire.QueryReachingSources, wire.QueryIsolation:
-		eps, _ := c.reachingSources(net, requester, q.Constraints, false)
+		eps := c.reachingSources(net, requester, q.Constraints)
 		authTargets = c.fillEndpoints(resp, eps, q)
 		if q.Kind == wire.QueryIsolation {
 			c.judgeIsolation(resp, eps, q.ClientID)
@@ -142,12 +142,10 @@ func (c *Controller) reachableEndpoints(net *headerspace.Network, req requesterI
 // port of the network — including unregistered ones, which is exactly how a
 // join attack's secret access point is discovered. The per-port traversals
 // are independent, so they fan out across a worker pool (ReachAll); the
-// compiled network is shared read-only between the workers.
-//
-// With record set, the union of the per-point visited cones is returned as
-// well — the footprint a standing isolation invariant caches for
-// dirty-set-aware re-verification.
-func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo, constraints []wire.FieldConstraint, record bool) ([]discoveredEndpoint, headerspace.Footprint) {
+// compiled network is shared read-only between the workers. (Standing
+// isolation invariants use the cone-cached variant in isolation.go
+// instead, which additionally records per-point footprints.)
+func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo, constraints []wire.FieldConstraint) []discoveredEndpoint {
 	space := scopeSpace(constraints)
 	var points []headerspace.InjectionPoint
 	var eps []topology.Endpoint
@@ -160,15 +158,8 @@ func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo
 		})
 		eps = append(eps, ep)
 	}
-	var fp headerspace.Footprint
-	if record {
-		fp = headerspace.NewFootprint()
-	}
 	var found []discoveredEndpoint
-	for i, pr := range net.ReachAll(points, space, headerspace.ReachOptions{RecordFootprint: record}) {
-		if record {
-			fp.Union(pr.Footprint)
-		}
+	for i, pr := range net.ReachAll(points, space, headerspace.ReachOptions{}) {
 		reaches := false
 		var lens []int
 		for _, r := range pr.Results {
@@ -191,7 +182,7 @@ func (c *Controller) reachingSources(net *headerspace.Network, req requesterInfo
 		found = append(found, de)
 	}
 	sortEndpoints(found)
-	return found, fp
+	return found
 }
 
 // collectEndpoints maps reach results to discovered endpoints.

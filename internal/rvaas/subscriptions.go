@@ -2,13 +2,16 @@ package rvaas
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/enclave"
 	"repro/internal/headerspace"
 	"repro/internal/history"
+	"repro/internal/openflow"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -22,15 +25,29 @@ import (
 // transition — the monitoring loop the paper runs for its own interception
 // rules, generalized to arbitrary client invariants.
 //
-// Re-verification is incremental. Every evaluation records its footprint:
-// the set of switches the reachability traversal consulted
+// Re-verification is incremental and indexed. Every evaluation records its
+// footprint: the set of switches the reachability traversal consulted
 // (headerspace.Footprint). An applied event dirties exactly the switches
 // whose per-switch generation counter advanced (snapshotStore.generations);
 // an invariant whose footprint is disjoint from the dirty set is
 // revalidated for free — its evaluation is a deterministic function of the
-// transfer functions of the footprint switches, none of which changed. Only
-// invariants whose cone crosses a dirty switch are re-run, against the
-// compiled-network cache that recompiles just the dirty switches.
+// transfer functions of the footprint switches, none of which changed.
+//
+// The engine is built for ~10⁵ standing invariants per controller:
+//
+//   - The subscription map is split across a fixed number of shards with
+//     per-shard locks, so Subscribe/Unsubscribe and verdict publication
+//     from parallel recheck workers do not contend on one mutex.
+//   - An inverted index switch → subscription bucket is kept in sync with
+//     each evaluation's recorded footprint (diffed on every commit), so a
+//     single-switch event dispatches only the affected bucket — O(touched)
+//     instead of a linear footprint scan over every subscription.
+//   - The per-invariant evaluations of one pass are independent and fan
+//     out across a bounded worker pool. Passes themselves stay serialized
+//     (runMu), and each subscription is evaluated at most once per pass,
+//     so per-subscription Notification.Seq remains strictly ordered.
+//   - Isolation invariants cache one traversal cone per injection point
+//     (isolation.go) and re-sweep only the points whose cone was dirtied.
 
 // SubscriptionStats counts subscription-engine activity.
 type SubscriptionStats struct {
@@ -48,17 +65,30 @@ type SubscriptionStats struct {
 	// Revalidated counts invariants revalidated for free because their
 	// footprint missed the dirty set.
 	Revalidated uint64
+	// IndexDispatched counts invariants dispatched through the inverted
+	// switch → subscriptions index (zero when the legacy linear scan is
+	// forced).
+	IndexDispatched uint64
 	// Violations/Recoveries count verdict transitions.
 	Violations uint64
 	Recoveries uint64
-	// NotificationsSent counts signed in-band notifications injected.
-	NotificationsSent uint64
+	// NotificationsSent counts signed in-band notifications accepted for
+	// delivery; NotificationsDropped counts notifications discarded because
+	// the delivery queue or the subscriber's switch session was saturated
+	// (clients recover via Notification.Seq gap detection).
+	NotificationsSent    uint64
+	NotificationsDropped uint64
+	// IsoPointsSwept/IsoPointsReused count per-injection-point isolation
+	// cone evaluations re-run versus served from the cone cache.
+	IsoPointsSwept  uint64
+	IsoPointsReused uint64
 }
 
 // subscription is one standing invariant. Identity fields are immutable
-// after registration; verdict state (violated, detail, fp, seq) is mutated
-// only under the engine's run lock, which serializes re-verification
-// passes.
+// after registration; verdict state (violated, detail, fp, seq, removed) is
+// guarded by the owning shard's mutex. The isolation cone cache (cones) is
+// touched only during evaluation, which the engine's run lock serializes
+// per subscription.
 type subscription struct {
 	id          uint64
 	clientID    uint64
@@ -73,7 +103,10 @@ type subscription struct {
 	detail    string
 	fp        headerspace.Footprint
 	evaluated bool
+	removed   bool
 	seq       uint64
+
+	cones *isoConeCache
 }
 
 // maxSeenNoncesPerClient bounds the replay-protection memory per client
@@ -89,33 +122,148 @@ type clientNonces struct {
 	order []uint64
 }
 
+// subShardCount fixes the number of subscription map shards and inverted
+// index shards (power of two so the shard pick is a mask).
+const subShardCount = 32
+
+// subShard is one slice of the subscription map.
+type subShard struct {
+	mu   sync.Mutex
+	subs map[uint64]*subscription
+}
+
+// indexShard is one slice of the inverted footprint index. buckets[n] holds
+// every live subscription whose recorded footprint contains switch n.
+type indexShard struct {
+	mu      sync.Mutex
+	buckets map[headerspace.NodeID]map[uint64]*subscription
+}
+
+// engineCounters are the hot-path statistics, kept as atomics so parallel
+// recheck workers never serialize on a stats mutex.
+type engineCounters struct {
+	registered, removed                  atomic.Uint64
+	rechecks, evaluated, revalidated     atomic.Uint64
+	indexDispatched                      atomic.Uint64
+	violations, recoveries               atomic.Uint64
+	notificationsSent, notificationsDrop atomic.Uint64
+	isoPointsSwept, isoPointsReused      atomic.Uint64
+}
+
+// RecheckTuning controls the recheck engine's dispatch strategy and
+// evaluation fan-out. Experiments use it for ablations; production
+// deployments keep the zero value (indexed dispatch, GOMAXPROCS workers).
+type RecheckTuning struct {
+	// Parallelism is the worker count one recheck pass fans independent
+	// invariant evaluations across; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// LegacyScan restores the pre-sharding engine for comparison: a linear
+	// footprint scan over every subscription, sequential evaluation, and
+	// full isolation sweeps (no cone cache exploitation).
+	LegacyScan bool
+}
+
 // subscriptionEngine owns the subscription set and the incremental
 // re-verification state.
 type subscriptionEngine struct {
-	// mu guards the subscription map, stats and per-subscription verdict
-	// publication. runMu serializes whole re-verification passes so
-	// concurrent triggers (parallel polls, passive events, manual rechecks)
-	// cannot interleave evaluations and double-report one transition.
-	mu     sync.Mutex
+	// runMu serializes whole re-verification passes so concurrent triggers
+	// (parallel polls, passive events, manual rechecks) cannot interleave
+	// evaluations and double-report one transition. It also guards lastGen
+	// and every subscription's evaluation-only state (isolation cones).
 	runMu  sync.Mutex
-	subs   map[uint64]*subscription
-	nextID uint64
-	// seenNonces remembers wire-registered nonces per client — including
-	// removed subscriptions, so a captured SubOpAdd frame cannot be
-	// replayed after the client unsubscribes.
+	shards [subShardCount]subShard
+	index  [subShardCount]indexShard
+	nextID atomic.Uint64
+
+	// nonceMu guards seenNonces: wire-registered nonces per client —
+	// including removed subscriptions, so a captured SubOpAdd frame cannot
+	// be replayed after the client unsubscribes.
+	nonceMu    sync.Mutex
 	seenNonces map[uint64]*clientNonces
+
 	// lastGen is the generation baseline of the previous pass; the diff
-	// against the store's current counters is the dirty set.
+	// against the store's current counters is the dirty set. Guarded by
+	// runMu.
 	lastGen map[topology.SwitchID]uint64
-	stats   SubscriptionStats
+
+	parallelism atomic.Int64
+	legacyScan  atomic.Bool
+
+	stats engineCounters
 }
 
 func newSubscriptionEngine() *subscriptionEngine {
-	return &subscriptionEngine{
-		subs:       make(map[uint64]*subscription),
+	e := &subscriptionEngine{
 		seenNonces: make(map[uint64]*clientNonces),
 		lastGen:    make(map[topology.SwitchID]uint64),
 	}
+	for i := range e.shards {
+		e.shards[i].subs = make(map[uint64]*subscription)
+	}
+	for i := range e.index {
+		e.index[i].buckets = make(map[headerspace.NodeID]map[uint64]*subscription)
+	}
+	return e
+}
+
+func (e *subscriptionEngine) shardFor(id uint64) *subShard {
+	return &e.shards[id&(subShardCount-1)]
+}
+
+func (e *subscriptionEngine) indexFor(n headerspace.NodeID) *indexShard {
+	return &e.index[uint32(n)&(subShardCount-1)]
+}
+
+// indexAdd/indexRemove maintain the inverted footprint index. Callers hold
+// the subscription's shard mutex; index shard mutexes nest inside shard
+// mutexes (never the other way around), so the lock order is acyclic.
+func (e *subscriptionEngine) indexAdd(sub *subscription, nodes []headerspace.NodeID) {
+	for _, n := range nodes {
+		ish := e.indexFor(n)
+		ish.mu.Lock()
+		bucket := ish.buckets[n]
+		if bucket == nil {
+			bucket = make(map[uint64]*subscription)
+			ish.buckets[n] = bucket
+		}
+		bucket[sub.id] = sub
+		ish.mu.Unlock()
+	}
+}
+
+func (e *subscriptionEngine) indexRemove(sub *subscription, nodes []headerspace.NodeID) {
+	for _, n := range nodes {
+		ish := e.indexFor(n)
+		ish.mu.Lock()
+		if bucket := ish.buckets[n]; bucket != nil {
+			delete(bucket, sub.id)
+			if len(bucket) == 0 {
+				delete(ish.buckets, n)
+			}
+		}
+		ish.mu.Unlock()
+	}
+}
+
+// removeLocked unlinks one subscription from its shard map and the inverted
+// index. Callers hold sh.mu (the shard owning sub).
+func (e *subscriptionEngine) removeLocked(sh *subShard, sub *subscription) {
+	sub.removed = true
+	delete(sh.subs, sub.id)
+	e.indexRemove(sub, sub.fp.Nodes())
+	e.stats.removed.Add(1)
+}
+
+// activeCount sums the shard sizes.
+func (e *subscriptionEngine) activeCount() uint64 {
+	var n uint64
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += uint64(len(sh.subs))
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SubscriptionInfo is a read-only snapshot of one standing invariant.
@@ -134,24 +282,45 @@ type SubscriptionInfo struct {
 // SubscriptionStats returns a copy of the engine counters.
 func (c *Controller) SubscriptionStats() SubscriptionStats {
 	e := c.subs
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.stats
-	st.Active = uint64(len(e.subs))
-	return st
+	return SubscriptionStats{
+		Registered:           e.stats.registered.Load(),
+		Removed:              e.stats.removed.Load(),
+		Active:               e.activeCount(),
+		Rechecks:             e.stats.rechecks.Load(),
+		Evaluated:            e.stats.evaluated.Load(),
+		Revalidated:          e.stats.revalidated.Load(),
+		IndexDispatched:      e.stats.indexDispatched.Load(),
+		Violations:           e.stats.violations.Load(),
+		Recoveries:           e.stats.recoveries.Load(),
+		NotificationsSent:    e.stats.notificationsSent.Load(),
+		NotificationsDropped: e.stats.notificationsDrop.Load(),
+		IsoPointsSwept:       e.stats.isoPointsSwept.Load(),
+		IsoPointsReused:      e.stats.isoPointsReused.Load(),
+	}
+}
+
+// SetRecheckTuning adjusts the recheck engine's dispatch strategy and
+// worker-pool width at runtime (safe concurrently with passes: the next
+// pass observes the new tuning).
+func (c *Controller) SetRecheckTuning(t RecheckTuning) {
+	c.subs.parallelism.Store(int64(t.Parallelism))
+	c.subs.legacyScan.Store(t.LegacyScan)
 }
 
 // Subscriptions lists the standing invariants in id order.
 func (c *Controller) Subscriptions() []SubscriptionInfo {
 	e := c.subs
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]SubscriptionInfo, 0, len(e.subs))
-	for _, sub := range e.subs {
-		out = append(out, SubscriptionInfo{
-			ID: sub.id, ClientID: sub.clientID, Kind: sub.kind, Param: sub.param,
-			Violated: sub.violated, Detail: sub.detail, FootprintSize: len(sub.fp),
-		})
+	var out []SubscriptionInfo
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, sub := range sh.subs {
+			out = append(out, SubscriptionInfo{
+				ID: sub.id, ClientID: sub.clientID, Kind: sub.kind, Param: sub.param,
+				Violated: sub.violated, Detail: sub.detail, FootprintSize: len(sub.fp),
+			})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -198,19 +367,19 @@ func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, cons
 	}
 
 	e := c.subs
-	e.mu.Lock()
 	if nonce != 0 {
 		// Wire-path replay protection: a (client, nonce) pair identifies
 		// one subscribe operation. The memory survives unsubscription so a
 		// captured frame cannot resurrect a removed invariant, and is
 		// bounded per client so no other tenant can age it out.
+		e.nonceMu.Lock()
 		cn := e.seenNonces[clientID]
 		if cn == nil {
 			cn = &clientNonces{seen: make(map[uint64]struct{})}
 			e.seenNonces[clientID] = cn
 		}
 		if _, dup := cn.seen[nonce]; dup {
-			e.mu.Unlock()
+			e.nonceMu.Unlock()
 			return 0, fmt.Errorf("rvaas: duplicate subscription nonce %#x for client %d (replay?)", nonce, clientID)
 		}
 		cn.seen[nonce] = struct{}{}
@@ -219,12 +388,14 @@ func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, cons
 			delete(cn.seen, cn.order[0])
 			cn.order = cn.order[1:]
 		}
+		e.nonceMu.Unlock()
 	}
-	e.nextID++
-	sub.id = e.nextID
-	e.subs[sub.id] = sub
-	e.stats.Registered++
-	e.mu.Unlock()
+	sub.id = e.nextID.Add(1)
+	sh := e.shardFor(sub.id)
+	sh.mu.Lock()
+	sh.subs[sub.id] = sub
+	sh.mu.Unlock()
+	e.stats.registered.Add(1)
 
 	// Initial evaluation, serialized with re-verification passes so the
 	// first verdict cannot race a concurrent recheck of the same
@@ -232,7 +403,7 @@ func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, cons
 	// violation log but not pushed in-band: the ack carries the verdict.
 	e.runMu.Lock()
 	net := c.snap.buildNetwork(c.topo)
-	v := c.evaluateInvariant(net, sub)
+	v := c.evaluateInvariant(net, sub, nil, true, false)
 	c.commitVerdict(sub, v, c.snap.snapshotID(), false)
 	e.runMu.Unlock()
 	return sub.id, nil
@@ -242,14 +413,14 @@ func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, cons
 // registered to the given client.
 func (c *Controller) Unsubscribe(clientID, id uint64) bool {
 	e := c.subs
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	sub, ok := e.subs[id]
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sub, ok := sh.subs[id]
 	if !ok || sub.clientID != clientID {
 		return false
 	}
-	delete(e.subs, id)
-	e.stats.Removed++
+	e.removeLocked(sh, sub)
 	return true
 }
 
@@ -261,14 +432,17 @@ func (c *Controller) unsubscribeByNonce(clientID, nonce uint64) (uint64, bool) {
 		return 0, false
 	}
 	e := c.subs
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for id, sub := range e.subs {
-		if sub.clientID == clientID && sub.nonce == nonce {
-			delete(e.subs, id)
-			e.stats.Removed++
-			return id, true
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for id, sub := range sh.subs {
+			if sub.clientID == clientID && sub.nonce == nonce {
+				e.removeLocked(sh, sub)
+				sh.mu.Unlock()
+				return id, true
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return 0, false
 }
@@ -280,10 +454,16 @@ type verdict struct {
 	fp       headerspace.Footprint
 }
 
-// evaluateInvariant runs one standing invariant from scratch against the
-// compiled network, capturing the footprint for future incremental
-// revalidation.
-func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscription) verdict {
+// evaluateInvariant runs one standing invariant against the compiled
+// network, capturing the footprint for future incremental revalidation.
+// dirty is the current pass's dirty switch set; fullSweep forces
+// from-scratch evaluation (registration, RevalidateAll, legacy mode) —
+// isolation invariants otherwise re-sweep only the injection points whose
+// cached cone was dirtied (isolation.go). pooled marks evaluation inside
+// a multi-worker pass, where isolation sweeps must not nest a second
+// fan-out. Callers hold the engine's run lock (directly or by running
+// inside a pass's worker pool).
+func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, fullSweep, pooled bool) verdict {
 	space := scopeSpace(sub.constraints)
 	at, port := headerspace.NodeID(sub.req.sw), headerspace.PortID(sub.req.port)
 	switch sub.kind {
@@ -295,13 +475,7 @@ func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscripti
 		}
 		return verdict{detail: fmt.Sprintf("%d reachable endpoint(s)", len(eps)), fp: fp}
 	case wire.QueryIsolation:
-		eps, fp := c.reachingSources(net, sub.req, sub.constraints, true)
-		violated, detail := isolationVerdict(eps, sub.clientID)
-		// The subscriber's own switch is consulted implicitly (traffic must
-		// arrive there to reach the card); keep it in the footprint so local
-		// reconfigurations always re-run the invariant.
-		fp.Add(headerspace.NodeID(sub.req.sw))
-		return verdict{violated: violated, detail: detail, fp: fp}
+		return c.evaluateIsolation(net, sub, dirty, fullSweep, pooled)
 	case wire.QueryPathLength:
 		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{KeepLoops: true})
 		violated, detail := pathLengthVerdict(results, sub.bound)
@@ -314,31 +488,44 @@ func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscripti
 	return verdict{violated: false, detail: "unsupported kind", fp: headerspace.NewFootprint()}
 }
 
-// commitVerdict publishes one evaluation outcome and, on a verdict
-// transition, appends a violation-log record and (when notify is set)
-// pushes a signed in-band notification to the subscriber. Callers hold the
-// engine's run lock.
+// commitVerdict publishes one evaluation outcome, re-syncs the inverted
+// footprint index with the new footprint and, on a verdict transition,
+// appends a violation-log record and (when notify is set) queues a signed
+// in-band notification to the subscriber. Callers hold the engine's run
+// lock; the shard mutex makes the publication atomic against concurrent
+// Subscribe/Unsubscribe on other subscriptions of the same shard.
 func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, notify bool) {
 	e := c.subs
-	e.mu.Lock()
-	e.stats.Evaluated++
+	sh := e.shardFor(sub.id)
+	sh.mu.Lock()
+	if sub.removed {
+		// Unsubscribed while the evaluation ran: the index entries are
+		// gone; publishing (or re-indexing) would resurrect a dead
+		// invariant.
+		sh.mu.Unlock()
+		return
+	}
+	e.stats.evaluated.Add(1)
 	prevViolated, prevEvaluated := sub.violated, sub.evaluated
+	added, removed := headerspace.DiffFootprints(sub.fp, v.fp)
 	sub.violated = v.violated
 	sub.detail = v.detail
 	sub.fp = v.fp
 	sub.evaluated = true
+	e.indexAdd(sub, added)
+	e.indexRemove(sub, removed)
 	changed := (prevEvaluated && prevViolated != v.violated) || (!prevEvaluated && v.violated)
 	var seq uint64
 	if changed {
 		sub.seq++
 		seq = sub.seq
 		if v.violated {
-			e.stats.Violations++
+			e.stats.violations.Add(1)
 		} else {
-			e.stats.Recoveries++
+			e.stats.recoveries.Add(1)
 		}
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	if !changed {
 		return
 	}
@@ -365,9 +552,15 @@ func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, 
 	}
 }
 
-// sendNotification signs and injects one notification at the subscriber's
-// access point.
+// sendNotification signs one notification and hands it to the asynchronous
+// delivery queue. The queue is bounded and the enqueue never blocks: a
+// wedged or dead subscriber can stall neither a recheck worker nor the
+// engine's run lock. Dropped notifications surface at the client as a
+// Notification.Seq gap, which triggers its re-subscribe recovery.
 func (c *Controller) sendNotification(sub *subscription, event wire.NotifyEvent, status wire.ResponseStatus, detail string, seq, snapID uint64) {
+	if sub.req.mac == 0 && sub.req.ip == 0 {
+		return // no in-band delivery point (in-process subscriber)
+	}
 	n := &wire.Notification{
 		Version:    wire.CurrentVersion,
 		Event:      event,
@@ -381,21 +574,67 @@ func (c *Controller) sendNotification(sub *subscription, event wire.NotifyEvent,
 	}
 	n.Signature = c.enclave.Sign(n.SigningBytes())
 	n.Quote = c.enclave.KeyQuote().Marshal()
-	if sub.req.mac == 0 && sub.req.ip == 0 {
-		return // no in-band delivery point (in-process subscriber)
+	job := notifyJob{
+		sw:   sub.req.sw,
+		port: sub.req.port,
+		pkt:  wire.NewNotificationPacket(sub.req.mac, sub.req.ip, n),
 	}
-	e := c.subs
-	e.mu.Lock()
-	e.stats.NotificationsSent++
-	e.mu.Unlock()
-	_ = c.sendPacketOut(sub.req.sw, sub.req.port, wire.NewNotificationPacket(sub.req.mac, sub.req.ip, n))
+	select {
+	case c.notifyQ <- job:
+		c.subs.stats.notificationsSent.Add(1)
+	default:
+		c.subs.stats.notificationsDrop.Add(1)
+	}
+}
+
+// notifyJob is one queued in-band notification delivery.
+type notifyJob struct {
+	sw   topology.SwitchID
+	port topology.PortNo
+	pkt  *wire.Packet
+}
+
+// notifier drains the notification queue onto switch sessions with
+// non-blocking sends: a switch whose control channel is saturated (e.g.
+// its serve loop is stuck behind a wedged host) costs a dropped
+// notification, never a stalled engine.
+func (c *Controller) notifier() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case j := <-c.notifyQ:
+			if !c.trySendPacketOut(j.sw, j.port, j.pkt) {
+				c.subs.stats.notificationsDrop.Add(1)
+			}
+		}
+	}
+}
+
+// trySendPacketOut injects a frame at a switch without ever blocking on the
+// session's send buffer.
+func (c *Controller) trySendPacketOut(sw topology.SwitchID, outPort topology.PortNo, pkt *wire.Packet) bool {
+	c.mu.Lock()
+	sess := c.sessions[sw]
+	c.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	sent, err := sess.conn.TrySend(&openflow.PacketOut{
+		XID:     c.xid(),
+		InPort:  openflow.AnyPort,
+		Actions: []openflow.Action{openflow.Output(uint32(outPort))},
+		Data:    pkt.Marshal(),
+	})
+	return sent && err == nil
 }
 
 // RecheckNow runs one incremental re-verification pass synchronously:
-// invariants whose footprint misses the switches dirtied since the last
-// pass are revalidated for free; the rest are re-evaluated against the
-// compiled-network cache. The background worker calls this after every
-// applied snapshot change; experiments and tests call it directly.
+// the dirty switches since the last pass select the affected subscription
+// buckets from the inverted index, and only those invariants re-run —
+// fanned across the worker pool. The background worker calls this after
+// every applied snapshot change; experiments and tests call it directly.
 func (c *Controller) RecheckNow() { c.recheckSubscriptions(false) }
 
 // RevalidateAll re-evaluates every standing invariant from scratch,
@@ -409,7 +648,6 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	defer e.runMu.Unlock()
 
 	_, gens := c.snap.generations()
-	e.mu.Lock()
 	var dirty []headerspace.NodeID
 	for sw, g := range gens {
 		if e.lastGen[sw] != g {
@@ -417,36 +655,104 @@ func (c *Controller) recheckSubscriptions(force bool) {
 		}
 	}
 	e.lastGen = gens
-	subs := make([]*subscription, 0, len(e.subs))
-	for _, sub := range e.subs {
-		subs = append(subs, sub)
-	}
-	e.mu.Unlock()
-
-	if len(subs) == 0 || (!force && len(dirty) == 0) {
+	if !force && len(dirty) == 0 {
 		return
 	}
-	e.mu.Lock()
-	e.stats.Rechecks++
-	e.mu.Unlock()
+
+	legacy := e.legacyScan.Load()
+	var targets []*subscription
+	var active, free uint64
+	if force || legacy {
+		// Full enumeration: RevalidateAll re-runs everything; the legacy
+		// ablation reproduces the pre-index engine's linear footprint scan.
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			for _, sub := range sh.subs {
+				active++
+				if force || sub.fp.Invalidated(dirty) {
+					targets = append(targets, sub)
+				} else {
+					free++
+				}
+			}
+			sh.mu.Unlock()
+		}
+	} else {
+		// Indexed dirty dispatch: the union of the dirty switches' buckets
+		// is exactly the set of invariants whose footprint was touched.
+		seen := make(map[uint64]*subscription)
+		for _, n := range dirty {
+			ish := e.indexFor(n)
+			ish.mu.Lock()
+			for id, sub := range ish.buckets[n] {
+				seen[id] = sub
+			}
+			ish.mu.Unlock()
+		}
+		targets = make([]*subscription, 0, len(seen))
+		for _, sub := range seen {
+			targets = append(targets, sub)
+		}
+		active = e.activeCount()
+		if n := uint64(len(targets)); active > n {
+			free = active - n
+		}
+		e.stats.indexDispatched.Add(uint64(len(targets)))
+	}
+	if active == 0 {
+		return
+	}
+	e.stats.rechecks.Add(1)
+	if free > 0 {
+		e.stats.revalidated.Add(free)
+	}
+	if len(targets) == 0 {
+		return
+	}
 
 	// Served from the compile cache: only dirty switches recompile.
 	net := c.snap.buildNetwork(c.topo)
 	snapID := c.snap.snapshotID()
-	revalidated := uint64(0)
-	for _, sub := range subs {
-		if !force && !sub.fp.Invalidated(dirty) {
-			revalidated++
-			continue
-		}
-		v := c.evaluateInvariant(net, sub)
+	fullSweep := force || legacy
+
+	workers := int(e.parallelism.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if legacy {
+		workers = 1
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	pooled := workers > 1
+	run := func(sub *subscription) {
+		v := c.evaluateInvariant(net, sub, dirty, fullSweep, pooled)
 		c.commitVerdict(sub, v, snapID, true)
 	}
-	if revalidated > 0 {
-		e.mu.Lock()
-		e.stats.Revalidated += revalidated
-		e.mu.Unlock()
+	if workers <= 1 {
+		for _, sub := range targets {
+			run(sub)
+		}
+		return
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				run(targets[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // pokeSubscriptions nudges the background worker; called after every
@@ -519,14 +825,20 @@ func (c *Controller) handleSubscribe(sw topology.SwitchID, inPort topology.PortN
 		}
 		ack.SubID = id
 		e := c.subs
-		e.mu.Lock()
-		if sub := e.subs[id]; sub != nil {
+		sh := e.shardFor(id)
+		sh.mu.Lock()
+		if sub := sh.subs[id]; sub != nil {
 			ack.Detail = sub.detail
 			if sub.violated {
 				ack.Status = wire.StatusViolation
 			}
+			// An initially-violated invariant consumes sequence number 1
+			// without any push existing for it (the ack IS the verdict).
+			// Carrying the current seq lets the client baseline its gap
+			// detection so the first real push is not misread as a loss.
+			ack.Seq = sub.seq
 		}
-		e.mu.Unlock()
+		sh.mu.Unlock()
 	case wire.SubOpRemove:
 		// Removal is idempotent: removing an already-absent subscription
 		// acks success, so clients can always reconcile local teardown

@@ -3,12 +3,15 @@ package rvaas_test
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/deploy"
 	"repro/internal/history"
 	"repro/internal/openflow"
+	"repro/internal/rvaas"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
@@ -495,5 +498,174 @@ func TestInterceptionRulesCoverSubscriptionPort(t *testing.T) {
 		if !found {
 			t.Errorf("switch %d: no interception rule for the subscription port", sw)
 		}
+	}
+}
+
+// TestWedgedSubscriberDoesNotBlockRecheck: notification delivery is
+// asynchronous and loss-tolerant, so a subscriber whose host handler never
+// returns (wedging its switch's packet-out path) must not stall a
+// re-verification pass — the engine's workers only ever enqueue.
+func TestWedgedSubscriberDoesNotBlockRecheck(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	aps := d.Topology.AccessPoints()
+	dst := aps[2]
+
+	wedge := make(chan struct{})
+	t.Cleanup(func() { close(wedge) }) // unblock before d.Close tears down switches
+	if err := d.Fabric.AttachHost(aps[0].Endpoint, func(pkt *wire.Packet) {
+		if pkt.IsNotification() {
+			<-wedge
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := d.RVaaS.Subscribe(aps[0].ClientID, wire.QueryReachableDestinations,
+		ipConstraint(dst.HostIP), "", aps[0].Endpoint); err != nil {
+		t.Fatal(err)
+	}
+
+	mid := d.Topology.Switches()[1]
+	drop := dropEntry(dst.HostIP)
+	flip := func(install bool) {
+		want := d.RVaaS.SnapshotID() + 1
+		if install {
+			d.Fabric.Switch(mid).InstallDirect(drop)
+		} else {
+			d.Fabric.Switch(mid).RemoveDirect(drop)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for d.RVaaS.SnapshotID() < want {
+			if !time.Now().Before(deadline) {
+				t.Fatal("churn event not absorbed")
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		start := time.Now()
+		d.RVaaS.RecheckNow()
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("recheck blocked %v behind a wedged subscriber", elapsed)
+		}
+	}
+	// Two transitions: the first notification wedges the subscriber's
+	// switch serve loop; the second must still commit promptly.
+	flip(true)
+	flip(false)
+
+	st := d.RVaaS.SubscriptionStats()
+	if st.Violations != 1 || st.Recoveries != 1 {
+		t.Fatalf("transitions not committed behind wedged subscriber: %+v", st)
+	}
+	if st.NotificationsSent != 2 {
+		t.Fatalf("notifications enqueued = %d, want 2", st.NotificationsSent)
+	}
+}
+
+// TestGapRecoveryEndToEnd drives the full delivery-hole loop over the
+// wire: a violation notification is lost in-network (the fire-and-forget
+// Packet-Out hole), the next transition arrives with a skipped Seq, and
+// the agent transparently re-subscribes — ending with exactly one live
+// server-side subscription and a resynchronized client.
+func TestGapRecoveryEndToEnd(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{SkipAgents: true})
+	aps := d.Topology.AccessPoints()
+	ap, dst := aps[0], aps[2]
+
+	agent, err := client.New(client.Config{
+		ClientID: ap.ClientID,
+		Access:   ap,
+		NIC:      d.Fabric,
+		Trust: client.TrustAnchors{
+			PlatformRoot: d.Platform.RootKey(),
+			Measurement:  rvaas.Measurement(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agent.Close)
+	agent.PinServerKey(d.RVaaS.PublicKey())
+	d.RVaaS.RegisterClient(ap.ClientID, agent.PublicKey())
+	// Interpose the agent's NIC receive path: while dropNotifs is set,
+	// pushed notifications vanish in flight (droppedSeen counts them, so
+	// the test can wait for the loss to have actually happened).
+	var dropNotifs atomic.Bool
+	var droppedSeen atomic.Uint64
+	if err := d.Fabric.AttachHost(ap.Endpoint, func(pkt *wire.Packet) {
+		if dropNotifs.Load() && pkt.IsNotification() {
+			droppedSeen.Add(1)
+			return
+		}
+		agent.HandleFrame(pkt)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := agent.Subscribe(wire.QueryReachableDestinations, ipConstraint(dst.HostIP), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldID := sub.ID
+
+	// Lose the violation push in-network: delivery is re-enabled only
+	// after the frame has demonstrably been dropped at the wire.
+	dropNotifs.Store(true)
+	mid := d.Topology.Switches()[1]
+	drop := dropEntry(dst.HostIP)
+	d.Fabric.Switch(mid).InstallDirect(drop)
+	deadline := time.Now().Add(5 * time.Second)
+	for droppedSeen.Load() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("violation notification never reached the wire")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dropNotifs.Store(false)
+
+	// The recovery push (Seq 2) lands on a client that never saw Seq 1.
+	d.Fabric.Switch(mid).RemoveDirect(drop)
+	n := waitNotification(t, sub.C)
+	if n.Event != wire.NotifyRecovery || n.Seq != 2 {
+		t.Fatalf("post-gap notification = %+v", n)
+	}
+
+	var ev client.GapEvent
+	select {
+	case ev = <-agent.Gaps():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no gap event surfaced")
+	}
+	if ev.Err != nil {
+		t.Fatalf("gap recovery failed: %v", ev.Err)
+	}
+	if ev.SubID != oldID || ev.NewSubID == 0 || ev.NewSubID == oldID {
+		t.Fatalf("gap event = %+v", ev)
+	}
+	if ev.MissedFrom != 1 || ev.MissedTo != 1 {
+		t.Fatalf("missed range = [%d,%d], want [1,1]", ev.MissedFrom, ev.MissedTo)
+	}
+	if ev.Status != wire.StatusOK {
+		t.Fatalf("resynchronized verdict = %v (%s)", ev.Status, ev.Detail)
+	}
+
+	// The superseded server-side subscription is retired: exactly one
+	// active invariant remains.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := d.RVaaS.SubscriptionStats()
+		if st.Active == 1 && st.Removed >= 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("stale server-side subscription not retired: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Monitoring continues seamlessly on the replacement subscription.
+	d.Fabric.Switch(mid).InstallDirect(drop)
+	n = waitNotification(t, sub.C)
+	if n.Event != wire.NotifyViolation || n.SubID != ev.NewSubID || n.Seq != 1 {
+		t.Fatalf("post-recovery notification = %+v", n)
 	}
 }

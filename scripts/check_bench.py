@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI benchmark gate.
+
+Two layers of checking over the BENCH_<EXP>.json files the bench harness
+emits (cmd/benchharness -json):
+
+1. Absolute claims — invariants of the architecture that must hold on any
+   healthy runner:
+     * E12: incremental re-check of standing invariants is >= 5x faster
+       than naive full re-evaluation on linear-40.
+     * E13: the sharded recheck engine (inverted-index dispatch + worker
+       pool + isolation cone caching) is >= 5x faster than the legacy
+       linear-scan engine at the 10^4-invariant population, and one
+       incremental pass evaluates only the dirty bucket (<= 10% of the
+       subscription population).
+
+2. Regression gate — when a previous run's artifacts are available (pass
+   the directory as --prev), every key metric is diffed against its
+   previous value and the run fails on > REGRESSION_TOLERANCE relative
+   regression. Latency metrics (unit "ns") regress upwards; speedup
+   metrics (unit "x") regress downwards. Tiny latencies are skipped as
+   noise-dominated.
+
+Usage: check_bench.py [--prev DIR] [--cur DIR]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REGRESSION_TOLERANCE = 0.25  # fail on >25% regression vs previous run
+NOISE_FLOOR_NS = 200_000     # latencies under 200us are noise-dominated
+
+
+def load_reports(directory):
+    """Map experiment id -> {metric -> (value, unit)}."""
+    reports = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        with open(path) as f:
+            report = json.load(f)
+        metrics = {}
+        for m in report.get("metrics", []):
+            metrics[m["metric"]] = (float(m["value"]), m.get("unit", ""))
+        reports[report["experiment"]] = metrics
+    return reports
+
+
+def check_claims(cur):
+    failures = []
+
+    e12 = cur.get("e12", {})
+    speedup = e12.get("linear-40/speedup", (0.0, ""))[0]
+    print(f"e12: linear-40 incremental speedup = {speedup:.1f}x (require >= 5)")
+    if speedup < 5.0:
+        failures.append(f"e12: linear-40 incremental speedup {speedup:.1f}x < 5x")
+
+    e13 = cur.get("e13", {})
+    key = "linear-40/subs=10000"
+    speedup = e13.get(f"{key}/speedup", (0.0, ""))[0]
+    subs = e13.get(f"{key}/subs", (0.0, ""))[0]
+    evals = e13.get(f"{key}/evals-per-check", (float("inf"), ""))[0]
+    print(f"e13: {key} sharded-vs-legacy speedup = {speedup:.1f}x (require >= 5)")
+    print(f"e13: {key} evals/check = {evals:.1f} of {subs:.0f} subs (require <= 10%)")
+    if speedup < 5.0:
+        failures.append(f"e13: {key} sharded speedup {speedup:.1f}x < 5x")
+    if subs <= 0 or evals > subs * 0.10:
+        failures.append(
+            f"e13: {key} evals-per-check {evals:.1f} exceeds 10% of {subs:.0f} subs "
+            "(dirty dispatch is touching more than the affected bucket)")
+    return failures
+
+
+def check_regressions(prev, cur):
+    failures = []
+    compared = 0
+    for exp, cur_metrics in sorted(cur.items()):
+        prev_metrics = prev.get(exp)
+        if not prev_metrics:
+            print(f"{exp}: no previous artifact, skipping regression diff")
+            continue
+        for metric, (cur_val, unit) in sorted(cur_metrics.items()):
+            if metric not in prev_metrics:
+                continue
+            prev_val = prev_metrics[metric][0]
+            if prev_val <= 0 or cur_val <= 0:
+                continue
+            if unit == "ns":
+                if max(prev_val, cur_val) < NOISE_FLOOR_NS:
+                    continue
+                ratio = cur_val / prev_val
+                regressed = ratio > 1.0 + REGRESSION_TOLERANCE
+            elif unit == "x":
+                ratio = cur_val / prev_val
+                regressed = ratio < 1.0 - REGRESSION_TOLERANCE
+            else:
+                continue
+            compared += 1
+            if regressed:
+                failures.append(
+                    f"{exp}: {metric} regressed {prev_val:.0f} -> {cur_val:.0f} {unit} "
+                    f"({(ratio - 1.0) * 100:+.0f}%)")
+    print(f"regression gate: compared {compared} metrics against the previous run")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--cur", default=".", help="directory with this run's BENCH_*.json")
+    ap.add_argument("--prev", default="", help="directory with the previous run's BENCH_*.json")
+    args = ap.parse_args()
+
+    cur = load_reports(args.cur)
+    if not cur:
+        print(f"no BENCH_*.json found in {args.cur}", file=sys.stderr)
+        return 1
+
+    failures = check_claims(cur)
+    if args.prev and Path(args.prev).is_dir():
+        failures += check_regressions(load_reports(args.prev), cur)
+    elif args.prev:
+        print(f"previous artifact dir {args.prev} absent; skipping regression diff")
+
+    if failures:
+        print("\nBENCH GATE FAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
