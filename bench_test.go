@@ -569,11 +569,14 @@ func BenchmarkE13ShardedRecheck(b *testing.B) {
 		name   string
 		tuning rvaas.RecheckTuning
 	}{
+		// Sharded rows pin per-switch dispatch so E13 keeps measuring
+		// sharding + indexing + cone caching; the rule-delta refinement on
+		// top is measured by BenchmarkE14RuleDeltaRecheck.
 		{"legacy-scan", rvaas.RecheckTuning{LegacyScan: true}},
-		{"sharded/parallel-1", rvaas.RecheckTuning{Parallelism: 1}},
+		{"sharded/parallel-1", rvaas.RecheckTuning{Parallelism: 1, PerSwitchDispatch: true}},
 		// "parallel-max" runs GOMAXPROCS workers; the name is fixed so
 		// benchmark keys stay comparable across machines.
-		{"sharded/parallel-max", rvaas.RecheckTuning{}},
+		{"sharded/parallel-max", rvaas.RecheckTuning{PerSwitchDispatch: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			d.RVaaS.SetRecheckTuning(cfg.tuning)
@@ -590,6 +593,82 @@ func BenchmarkE13ShardedRecheck(b *testing.B) {
 	st := d.RVaaS.SubscriptionStats()
 	b.Logf("subs=%d evaluated=%d revalidated=%d index-dispatched=%d iso swept/reused=%d/%d",
 		st.Active, st.Evaluated, st.Revalidated, st.IndexDispatched, st.IsoPointsSwept, st.IsoPointsReused)
+}
+
+// ---------------------------------------------------------------- E14 ---
+
+// BenchmarkE14RuleDeltaRecheck measures one incremental pass over a
+// 10⁴-invariant population on a hub (star) topology after a single
+// low-priority shadow-free rule insert on the hub — the worst case for
+// per-switch dirty dispatch (every invariant crosses the hub, so the
+// dirty bucket is the whole population) and the best case for rule-delta
+// dispatch (the changed header space overlaps no invariant's traversal
+// slice, so nothing re-runs).
+func BenchmarkE14RuleDeltaRecheck(b *testing.B) {
+	const totalSubs, isoSubs = 10000, 40
+	topo, err := topology.Star(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := deploy.New(topo, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := experiments.BuildRecheckPopulation(d, topo, totalSubs, isoSubs); err != nil {
+		b.Fatal(err)
+	}
+	hub := topo.Switches()[0]
+	churnN := 0
+	dirtyOnce := func(b *testing.B) {
+		churnN++
+		want := d.RVaaS.SnapshotID() + 1
+		churn := openflow.FlowEntry{
+			Priority: 2,
+			Match: openflow.Match{Fields: []openflow.FieldMatch{
+				{Field: wire.FieldIPDst, Value: uint64(wire.IPv4(203, 0, 114, 77)), Mask: 0xFFFFFFFF},
+			}},
+			Actions: []openflow.Action{openflow.Output(1)},
+			Cookie:  0xE14B_0001,
+		}
+		if churnN%2 == 1 {
+			d.Fabric.Switch(hub).InstallDirect(churn)
+		} else {
+			d.Fabric.Switch(hub).RemoveDirect(churn)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for d.RVaaS.SnapshotID() < want {
+			if !time.Now().Before(deadline) {
+				b.Fatal("hub churn event not absorbed into the snapshot")
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	dirtyOnce(b)
+	d.RVaaS.RecheckNow()
+
+	for _, cfg := range []struct {
+		name   string
+		tuning rvaas.RecheckTuning
+	}{
+		{"per-switch", rvaas.RecheckTuning{PerSwitchDispatch: true}},
+		{"rule-delta", rvaas.RecheckTuning{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d.RVaaS.SetRecheckTuning(cfg.tuning)
+			defer d.RVaaS.SetRecheckTuning(rvaas.RecheckTuning{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dirtyOnce(b)
+				b.StartTimer()
+				d.RVaaS.RecheckNow()
+			}
+		})
+	}
+	st := d.RVaaS.SubscriptionStats()
+	b.Logf("subs=%d evaluated=%d delta-skipped=%d index-dispatched=%d",
+		st.Active, st.Evaluated, st.DeltaSkipped, st.IndexDispatched)
 }
 
 func BenchmarkAblationPollingStrategy(b *testing.B) {

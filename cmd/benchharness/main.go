@@ -57,6 +57,7 @@ var experimentTable = []experiment{
 	{"e11", "parallel reachability sweep scaling (workers vs throughput)", e11},
 	{"e12", "standing-invariant re-check: incremental vs naive re-query", e12},
 	{"e13", "sharded recheck engine scale-out: indexed dispatch + worker pool vs linear scan", e13},
+	{"e14", "rule-delta dispatch: header-space overlap filter vs per-switch dirty bucket on a hub", e14},
 }
 
 func experimentIDs() []string {
@@ -508,6 +509,31 @@ func e13(iters int) error {
 		record(key+"/evals-per-check", r.EvalsPerCheck, "count")
 		record(key+"/iso-points-swept", r.IsoSweptPerCheck, "count")
 		record(key+"/iso-points-reused", r.IsoReusedPerCheck, "count")
+	}
+	return nil
+}
+
+func e14(iters int) error {
+	fmt.Printf("%-12s %-7s %-5s %-16s %-13s %-14s %-14s %-8s\n",
+		"topology", "subs", "iso", "per-switch-evals", "delta-evals", "per-switch", "delta", "speedup")
+	rows, err := experiments.RuleDeltaSweep(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %-7d %-5d %-16.1f %-13.1f %-14s %-14s %-8.1f\n",
+			r.Topology, r.Subs, r.IsoSubs, r.PerSwitchEvals, r.DeltaEvals,
+			r.PerSwitchMean.Round(time.Microsecond),
+			r.DeltaMean.Round(time.Microsecond),
+			r.Speedup)
+		key := fmt.Sprintf("%s/subs=%d", r.Topology, r.Subs)
+		recordDuration(key+"/per-switch-recheck", r.PerSwitchMean)
+		recordDuration(key+"/delta-recheck", r.DeltaMean)
+		record(key+"/speedup", r.Speedup, "x")
+		record(key+"/subs", float64(r.Subs), "count")
+		record(key+"/per-switch-evals", r.PerSwitchEvals, "count")
+		record(key+"/delta-evals", r.DeltaEvals, "count")
+		record(key+"/delta-skipped", r.DeltaSkipped, "count")
 	}
 	return nil
 }

@@ -118,21 +118,25 @@ type Subscription struct {
 // GapEvent reports a detected notification loss on one subscription:
 // either the server's Notification.Seq skipped ahead (an in-band push was
 // lost or suppressed) or the local delivery channel overflowed. Delivery
-// is fire-and-forget Packet-Out, so the agent heals the hole itself: it
-// re-registers the invariant (the signed ack carries the CURRENT verdict,
-// resynchronizing the client) and retires the stale server-side
-// subscription. The event is surfaced on Agent.Gaps after recovery
+// is fire-and-forget Packet-Out, so the agent heals the hole itself —
+// normally with a current-verdict query (SubOpQueryVerdict) that
+// resynchronizes the client in place, falling back to re-registering the
+// invariant (and retiring the stale server-side subscription) when the
+// query fails. The event is surfaced on Agent.Gaps after recovery
 // completes.
 type GapEvent struct {
-	// SubID is the subscription id at detection time; NewSubID the id after
-	// re-registration (zero when recovery failed — see Err).
+	// SubID is the subscription id at detection time. NewSubID == SubID
+	// marks an in-place verdict-query resync (the server-side subscription
+	// survived; per-SubID client state remains valid); a different NewSubID
+	// marks the re-subscribe fallback (a replacement server-side
+	// subscription); zero means recovery failed — see Err.
 	SubID    uint64
 	NewSubID uint64
 	// MissedFrom/MissedTo bound the lost sequence range.
 	MissedFrom uint64
 	MissedTo   uint64
 	// Status/Detail carry the invariant's current verdict from the
-	// re-subscribe ack.
+	// verdict-query or re-subscribe ack.
 	Status wire.ResponseStatus
 	Detail string
 	// Err is non-nil when the automatic re-subscribe failed; the next gap
@@ -465,16 +469,45 @@ func (a *Agent) handleNotification(pkt *wire.Packet) {
 	}
 }
 
-// recoverGap heals one notification loss: it re-registers the invariant
-// under a fresh nonce (the signed ack resynchronizes the current verdict),
-// atomically rebinds the local Subscription to the new server-side id, and
-// retires the superseded subscription. On failure the subscription is left
-// untouched and the next detected loss retries.
+// recoverGap heals one notification loss. It first asks the server for
+// the subscription's current verdict (SubOpQueryVerdict): the signed ack
+// resynchronizes the client's view — verdict and sequence baseline — while
+// the server keeps the subscription (and its footprint, cone cache and
+// index state) untouched. Only when the verdict query itself fails (lost
+// frames both ways, or the server no longer knows the subscription, e.g.
+// after a controller restart) does it fall back to the heavyweight path:
+// re-register the invariant under a fresh nonce, atomically rebind the
+// local Subscription to the new server-side id, and retire the superseded
+// subscription. On failure the subscription is left untouched and the next
+// detected loss retries.
 func (a *Agent) recoverGap(sub *Subscription, missedFrom, missedTo uint64) {
 	a.mu.Lock()
 	oldID, oldNonce := sub.ID, sub.nonce
 	a.mu.Unlock()
 	ev := GapEvent{SubID: oldID, MissedFrom: missedFrom, MissedTo: missedTo}
+
+	if ack, err := a.queryVerdictByID(oldID); err == nil && ack.Event == wire.NotifyAck {
+		a.mu.Lock()
+		if !a.closed && !sub.unsubscribing && sub.ID == oldID {
+			// Rebase gap detection on the verdict's sequence number: every
+			// push at or below it is superseded by the verdict we now hold,
+			// so in-flight stale pushes are dropped instead of re-triggering
+			// recovery. Only raise — a fresh push may already have advanced
+			// the counter past the ack.
+			if ack.Seq > sub.lastSeq {
+				sub.lastSeq = ack.Seq
+			}
+			sub.resubbing = false
+			a.mu.Unlock()
+			ev.NewSubID, ev.Status, ev.Detail = oldID, ack.Status, ack.Detail
+			a.emitGap(ev)
+			return
+		}
+		// Closed or a user Unsubscribe raced the resync: nothing to rebind.
+		sub.resubbing = false
+		a.mu.Unlock()
+		return
+	}
 	fail := func(err error) {
 		a.mu.Lock()
 		sub.resubbing = false
@@ -580,6 +613,41 @@ func (a *Agent) recoverGap(sub *Subscription, missedFrom, missedTo uint64) {
 			SubID:    oldID,
 		})
 	}
+}
+
+// QueryVerdict asks RVaaS for the subscription's latest verdict on demand
+// and returns the verified signed ack (Status/Detail/Seq/SnapshotID). It
+// is read-only on both sides: the agent's gap-detection state is not
+// touched, so pushes in flight keep flowing (and keep triggering recovery)
+// normally.
+func (a *Agent) QueryVerdict(sub *Subscription) (*wire.Notification, error) {
+	a.mu.Lock()
+	id := sub.ID
+	a.mu.Unlock()
+	ack, err := a.queryVerdictByID(id)
+	if err != nil {
+		return nil, err
+	}
+	if ack.Event == wire.NotifyError {
+		return nil, fmt.Errorf("client: verdict query rejected: %s", ack.Detail)
+	}
+	return ack, nil
+}
+
+// queryVerdictByID sends one signed SubOpQueryVerdict and waits for the
+// verified ack.
+func (a *Agent) queryVerdictByID(id uint64) (*wire.Notification, error) {
+	nonce, err := randomNonce()
+	if err != nil {
+		return nil, err
+	}
+	return a.subscribeOp(&wire.SubscribeRequest{
+		Version:  wire.CurrentVersion,
+		Op:       wire.SubOpQueryVerdict,
+		ClientID: a.cfg.ClientID,
+		Nonce:    nonce,
+		SubID:    id,
+	})
 }
 
 // emitGap publishes one recovery outcome without ever blocking the caller.

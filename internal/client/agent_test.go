@@ -556,6 +556,189 @@ func TestAgentRecoveryRacingPush(t *testing.T) {
 	}
 }
 
+// TestAgentGapResyncsViaVerdictQuery: a detected loss is healed by the
+// lightweight path — a SubOpQueryVerdict whose signed ack carries the
+// current verdict and sequence number. The subscription is NOT re-
+// registered, the gap event reports the same id, the sequence baseline is
+// rebased on the ack (in-flight stale pushes drop as replays), and newer
+// pushes keep flowing on the original stream.
+func TestAgentGapResyncsViaVerdictQuery(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+	subCh := make(chan *Subscription, 1)
+	go func() {
+		sub, _ := a.Subscribe(wire.QueryReachableDestinations, nil, "")
+		subCh <- sub
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 61, add.Nonce, 0)))
+	sub := <-subCh
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+
+	// Seq 3 skips 1..2: recovery starts with a verdict query.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 61, add.Nonce, 3)))
+	if n := <-sub.C; n.Seq != 3 {
+		t.Fatalf("post-gap notification seq = %d", n.Seq)
+	}
+	q := sniffSubscribeOp(t, nic, wire.SubOpQueryVerdict, seen)
+	if q.SubID != 61 {
+		t.Fatalf("verdict query targets sub %d, want 61", q.SubID)
+	}
+	// The server's current verdict covers everything up to Seq 4 (a push
+	// for 4 is still in flight and must later be dropped as superseded).
+	vack := signedNotification(encl, wire.NotifyAck, 61, q.Nonce, 4)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1), vack))
+
+	var ev GapEvent
+	select {
+	case ev = <-a.Gaps():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no gap event surfaced")
+	}
+	if ev.SubID != 61 || ev.NewSubID != 61 || ev.Err != nil {
+		t.Fatalf("gap event = %+v, want in-place resync of sub 61", ev)
+	}
+	if ev.MissedFrom != 1 || ev.MissedTo != 2 {
+		t.Fatalf("missed range = [%d,%d], want [1,2]", ev.MissedFrom, ev.MissedTo)
+	}
+
+	// No re-subscribe went out: every SubOpAdd on the wire is accounted for.
+	nic.mu.Lock()
+	for _, pkt := range nic.frames {
+		if !pkt.IsRVaaSSubscribe() {
+			continue
+		}
+		sr, err := wire.UnmarshalSubscribeRequest(pkt.Payload)
+		if err == nil && sr.Op == wire.SubOpAdd && !seen[sr.Nonce] {
+			nic.mu.Unlock()
+			t.Fatalf("verdict-query resync still re-subscribed (nonce %#x)", sr.Nonce)
+		}
+	}
+	nic.mu.Unlock()
+
+	// The superseded in-flight push (Seq 4 <= rebased baseline) drops as a
+	// replay; the next transition (Seq 5) flows normally.
+	drops := a.NotificationsDropped()
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyRecovery, 61, add.Nonce, 4)))
+	if a.NotificationsDropped() != drops+1 {
+		t.Error("superseded push not dropped after seq rebase")
+	}
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 61, add.Nonce, 5)))
+	select {
+	case n := <-sub.C:
+		if n.Seq != 5 {
+			t.Fatalf("post-resync push = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-resync push not delivered")
+	}
+	if a.GapsDetected() != 1 {
+		t.Fatalf("gaps detected = %d, want 1", a.GapsDetected())
+	}
+}
+
+// TestAgentVerdictQueryRejectedFallsBack: when the server no longer knows
+// the subscription (NotifyError on the verdict query — e.g. a controller
+// restart dropped the in-memory engine), recovery falls back to the full
+// re-subscribe path.
+func TestAgentVerdictQueryRejectedFallsBack(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+	subCh := make(chan *Subscription, 1)
+	go func() {
+		sub, _ := a.Subscribe(wire.QueryReachableDestinations, nil, "")
+		subCh <- sub
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 71, add.Nonce, 0)))
+	sub := <-subCh
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 71, add.Nonce, 2))) // skips 1
+	<-sub.C
+	q := sniffSubscribeOp(t, nic, wire.SubOpQueryVerdict, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyError, 0, q.Nonce, 0)))
+
+	// Fallback: full re-subscribe, rebind to the replacement id.
+	readd := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 72, readd.Nonce, 0)))
+	select {
+	case ev := <-a.Gaps():
+		if ev.SubID != 71 || ev.NewSubID != 72 || ev.Err != nil {
+			t.Fatalf("gap event = %+v, want re-subscribe fallback", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no gap event surfaced")
+	}
+}
+
+// TestAgentQueryVerdictOnDemand: the public QueryVerdict call returns the
+// verified current verdict without touching gap-detection state.
+func TestAgentQueryVerdictOnDemand(t *testing.T) {
+	a, nic, _, encl := testAgent(t)
+	seen := map[uint64]bool{}
+	subCh := make(chan *Subscription, 1)
+	go func() {
+		sub, _ := a.Subscribe(wire.QueryReachableDestinations, nil, "")
+		subCh <- sub
+	}()
+	add := sniffSubscribeOp(t, nic, wire.SubOpAdd, seen)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyAck, 81, add.Nonce, 0)))
+	sub := <-subCh
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+
+	ackCh := make(chan *wire.Notification, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		ack, err := a.QueryVerdict(sub)
+		ackCh <- ack
+		errCh <- err
+	}()
+	q := sniffSubscribeOp(t, nic, wire.SubOpQueryVerdict, seen)
+	if q.SubID != 81 || q.ClientID != 7 {
+		t.Fatalf("verdict query = %+v", q)
+	}
+	if !ed25519.Verify(a.PublicKey(), q.SigningBytes(), q.Signature) {
+		t.Error("verdict query not signed by the client key")
+	}
+	resp := signedNotification(encl, wire.NotifyAck, 81, q.Nonce, 2)
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1), resp))
+	ack := <-ackCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if ack.SubID != 81 || ack.Seq != 2 {
+		t.Fatalf("verdict ack = %+v", ack)
+	}
+	// Read-only: a later push with Seq 1 is still judged against the
+	// untouched baseline (0), so it is delivered, then Seq 2 follows.
+	a.HandleFrame(wire.NewNotificationPacket(0xAA, wire.IPv4(10, 0, 1, 1),
+		signedNotification(encl, wire.NotifyViolation, 81, add.Nonce, 1)))
+	select {
+	case n := <-sub.C:
+		if n.Seq != 1 {
+			t.Fatalf("push after on-demand query = %+v", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push swallowed by on-demand verdict query")
+	}
+}
+
 // TestAgentInitiallyViolatedNoSpuriousGap: an invariant violated at
 // registration consumes Seq=1 server-side with no push existing for it
 // (the ack carries the verdict and its seq); the first real push arrives

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/openflow"
+	"repro/internal/rvaas"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Experiment E14: rule-delta (header-space) dispatch versus per-switch
+// dirty dispatch. The worst case for switch-granularity rechecking is a
+// hub topology: every invariant's path crosses the hub, so ANY rule change
+// there — even one touching traffic no invariant cares about — lands the
+// entire population in the dirty bucket. The PR 4 engine diffs old vs. new
+// flow tables at commit time, extracts the header-space delta of the
+// changed rules (minus higher-priority shadowing), and re-runs only the
+// invariants whose recorded traversal slice at the hub overlaps it.
+//
+// The scenario under test is the ROADMAP's motivating one: a star network,
+// 10⁴ standing invariants (every one crossing the hub), and a single
+// low-priority shadow-free rule insert on the hub matching a destination
+// no invariant's scope contains. Per-switch dispatch re-evaluates all 10⁴;
+// rule-delta dispatch re-evaluates none — and the differential test
+// (internal/rvaas TestDeltaDispatchDifferential plus the in-run check
+// below) pins that the verdicts are identical either way.
+
+// RuleDeltaRow is one row of the E14 table.
+type RuleDeltaRow struct {
+	Topology string
+	Switches int
+	// Subs is the registered invariant population; IsoSubs of them are
+	// isolation invariants.
+	Subs    int
+	IsoSubs int
+	// PerSwitchEvals is evals-per-check under forced per-switch dispatch —
+	// the dirty-bucket size (≈ the whole population on a hub topology).
+	PerSwitchEvals float64
+	// DeltaEvals is evals-per-check under rule-delta dispatch; DeltaSkipped
+	// counts the bucketed invariants the overlap filter discarded per
+	// check.
+	DeltaEvals   float64
+	DeltaSkipped float64
+	// PerSwitchMean/DeltaMean are the mean incremental pass latencies.
+	PerSwitchMean time.Duration
+	DeltaMean     time.Duration
+	// Speedup is PerSwitchMean / DeltaMean.
+	Speedup float64
+	Workers int
+}
+
+// hubChurnEntry is a low-priority rule matching a destination outside
+// every invariant's scope. It is shadow-free (no higher-priority rule
+// covers its match — the provider's routing rules match other
+// destinations), so its delta is its full match space; that space simply
+// overlaps no invariant's traversal slice.
+func hubChurnEntry(i int) openflow.FlowEntry {
+	return openflow.FlowEntry{
+		Priority: 2, // below the provider's routing rules (priority 100)
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(0xCB007200 + i%97), Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(1)},
+		Cookie:  uint64(0xE1400000 + i),
+	}
+}
+
+// RuleDeltaRecheck measures E14 on one topology: the hub (first switch) is
+// churned with a single low-priority insert+remove per iteration and the
+// incremental pass is timed under per-switch versus rule-delta dispatch.
+func RuleDeltaRecheck(nt NamedTopology, totalSubs, isoSubs, iters int) (RuleDeltaRow, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	row := RuleDeltaRow{Topology: nt.Name, Workers: runtime.GOMAXPROCS(0)}
+	topo, err := nt.Build()
+	if err != nil {
+		return row, err
+	}
+	d, err := deploy.New(topo, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	if err != nil {
+		return row, err
+	}
+	defer d.Close()
+	row.Switches = len(topo.Switches())
+
+	n, err := BuildRecheckPopulation(d, topo, totalSubs, isoSubs)
+	if err != nil {
+		return row, err
+	}
+	row.Subs, row.IsoSubs = n, isoSubs
+
+	// The churned switch is the hub: every invariant's footprint contains
+	// it, so the per-switch dirty bucket is the whole population.
+	hub := topo.Switches()[0]
+	churn := 0
+	settle := func() error {
+		churn++
+		want := d.RVaaS.SnapshotID() + 2
+		e := hubChurnEntry(churn)
+		d.Fabric.Switch(hub).InstallDirect(e)
+		d.Fabric.Switch(hub).RemoveDirect(e)
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if d.RVaaS.SnapshotID() >= want {
+				return nil
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return fmt.Errorf("experiments: hub churn events not absorbed on %s", nt.Name)
+	}
+
+	// Warm up: populate footprints, cones and the compile-cache baseline.
+	if err := settle(); err != nil {
+		return row, err
+	}
+	d.RVaaS.RecheckNow()
+
+	measure := func(t rvaas.RecheckTuning) (time.Duration, rvaas.SubscriptionStats, error) {
+		d.RVaaS.SetRecheckTuning(t)
+		before := d.RVaaS.SubscriptionStats()
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			if err := settle(); err != nil {
+				return 0, before, err
+			}
+			start := time.Now()
+			d.RVaaS.RecheckNow()
+			total += time.Since(start)
+		}
+		after := d.RVaaS.SubscriptionStats()
+		delta := rvaas.SubscriptionStats{
+			Rechecks:     after.Rechecks - before.Rechecks,
+			Evaluated:    after.Evaluated - before.Evaluated,
+			DeltaSkipped: after.DeltaSkipped - before.DeltaSkipped,
+			Violations:   after.Violations - before.Violations,
+			Recoveries:   after.Recoveries - before.Recoveries,
+		}
+		return total / time.Duration(iters), delta, nil
+	}
+
+	verdictsBefore := verdictSummary(d.RVaaS)
+	psMean, psDelta, err := measure(rvaas.RecheckTuning{PerSwitchDispatch: true})
+	if err != nil {
+		return row, err
+	}
+	row.PerSwitchMean = psMean
+	if psDelta.Rechecks > 0 {
+		row.PerSwitchEvals = float64(psDelta.Evaluated) / float64(psDelta.Rechecks)
+	}
+
+	dMean, dDelta, err := measure(rvaas.RecheckTuning{})
+	if err != nil {
+		return row, err
+	}
+	row.DeltaMean = dMean
+	if dDelta.Rechecks > 0 {
+		row.DeltaEvals = float64(dDelta.Evaluated) / float64(dDelta.Rechecks)
+		row.DeltaSkipped = float64(dDelta.DeltaSkipped) / float64(dDelta.Rechecks)
+	}
+	d.RVaaS.SetRecheckTuning(rvaas.RecheckTuning{})
+	if row.DeltaMean > 0 {
+		row.Speedup = float64(row.PerSwitchMean) / float64(row.DeltaMean)
+	}
+
+	// Differential guard: the churn is verdict-neutral and both dispatch
+	// modes ran over it — no verdict may have flipped, and the final
+	// verdict set must match the warmed-up baseline exactly.
+	if psDelta.Violations+psDelta.Recoveries+dDelta.Violations+dDelta.Recoveries != 0 {
+		return row, fmt.Errorf("experiments: e14 churn flipped verdicts (per-switch %d/%d, delta %d/%d)",
+			psDelta.Violations, psDelta.Recoveries, dDelta.Violations, dDelta.Recoveries)
+	}
+	if got := verdictSummary(d.RVaaS); got != verdictsBefore {
+		return row, fmt.Errorf("experiments: e14 verdict summary diverged: %s != %s", got, verdictsBefore)
+	}
+	return row, nil
+}
+
+// verdictSummary folds every subscription's verdict into a comparable
+// string (count + violated ids).
+func verdictSummary(c *rvaas.Controller) string {
+	subs := c.Subscriptions()
+	violated := 0
+	for _, s := range subs {
+		if s.Violated {
+			violated++
+		}
+	}
+	return fmt.Sprintf("%d subs / %d violated", len(subs), violated)
+}
+
+// RuleDeltaSweep runs E14 at the headline population (10⁴ invariants on a
+// 40-leaf star) plus a smaller control point.
+func RuleDeltaSweep(iters int) ([]RuleDeltaRow, error) {
+	cases := []struct {
+		nt    NamedTopology
+		total int
+		iso   int
+	}{
+		{NamedTopology{Name: "star-40", Build: func() (*topology.Topology, error) { return topology.Star(40) }}, 1000, 20},
+		{NamedTopology{Name: "star-40", Build: func() (*topology.Topology, error) { return topology.Star(40) }}, 10000, 40},
+	}
+	rows := make([]RuleDeltaRow, 0, len(cases))
+	for _, cs := range cases {
+		row, err := RuleDeltaRecheck(cs.nt, cs.total, cs.iso, iters)
+		if err != nil {
+			return nil, fmt.Errorf("e14 %s/%d: %w", cs.nt.Name, cs.total, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

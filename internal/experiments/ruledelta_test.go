@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestRuleDeltaExperiment smoke-runs the E14 driver on a small star and
+// checks its headline claim deterministically: per-switch dispatch
+// re-evaluates (essentially) the whole population after a hub change,
+// rule-delta dispatch re-evaluates none of it, and no verdict differs.
+func TestRuleDeltaExperiment(t *testing.T) {
+	row, err := RuleDeltaRecheck(NamedTopology{
+		Name:  "star-8",
+		Build: func() (*topology.Topology, error) { return topology.Star(8) },
+	}, 40, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Subs != 40 {
+		t.Fatalf("subs = %d, want 40", row.Subs)
+	}
+	if row.PerSwitchMean <= 0 || row.DeltaMean <= 0 {
+		t.Fatalf("degenerate timings: %+v", row)
+	}
+	// Every invariant crosses the hub: the per-switch dirty bucket is the
+	// whole population.
+	if row.PerSwitchEvals < 0.9*float64(row.Subs) {
+		t.Errorf("per-switch evals/check = %.1f, want ≈ %d (hub topology)", row.PerSwitchEvals, row.Subs)
+	}
+	// The churn rule's header space overlaps no invariant's traversal
+	// slice: rule-delta dispatch runs nothing at all.
+	if row.DeltaEvals != 0 {
+		t.Errorf("rule-delta evals/check = %.1f, want 0", row.DeltaEvals)
+	}
+	if row.DeltaSkipped < 0.9*float64(row.Subs) {
+		t.Errorf("delta-skipped/check = %.1f, want ≈ %d (whole bucket filtered)", row.DeltaSkipped, row.Subs)
+	}
+	if row.DeltaEvals >= row.PerSwitchEvals {
+		t.Errorf("delta dispatch (%.1f evals) not below per-switch dirty bucket (%.1f)", row.DeltaEvals, row.PerSwitchEvals)
+	}
+}

@@ -25,6 +25,12 @@ import (
 // linear-scan engine at 10⁴ invariants, its evaluation count per pass is
 // the dirty-bucket size (not the subscription count), and the worker pool
 // scales the pass wall-time down with GOMAXPROCS.
+//
+// Both sharded configurations pin RecheckTuning.PerSwitchDispatch: E13
+// isolates sharding + indexing + cone caching against the legacy scan at
+// SWITCH granularity. The rule-delta refinement layered on top (PR 4,
+// enabled by default in production) is measured separately by E14, which
+// compares it against exactly the per-switch dirty bucket measured here.
 
 // ScaleOutRow is one row of the E13 table.
 type ScaleOutRow struct {
@@ -174,12 +180,12 @@ func ScaleOutRecheck(nt NamedTopology, totalSubs, isoSubs, iters int) (ScaleOutR
 		return row, err
 	}
 	row.LegacyMean = legacyMean
-	p1Mean, _, err := measure(rvaas.RecheckTuning{Parallelism: 1})
+	p1Mean, _, err := measure(rvaas.RecheckTuning{Parallelism: 1, PerSwitchDispatch: true})
 	if err != nil {
 		return row, err
 	}
 	row.Parallel1Mean = p1Mean
-	shardedMean, delta, err := measure(rvaas.RecheckTuning{})
+	shardedMean, delta, err := measure(rvaas.RecheckTuning{PerSwitchDispatch: true})
 	if err != nil {
 		return row, err
 	}

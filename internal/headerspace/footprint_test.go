@@ -64,6 +64,124 @@ func TestFootprintInvalidated(t *testing.T) {
 	}
 }
 
+// TestFootprintSlices checks that traversal footprints record the
+// header-space slice presented at each node, and that the delta overlap
+// predicates use it: a delta disjoint from a node's slice does not
+// invalidate, a delta overlapping it does, and unconstrained entries
+// (plain Add) conservatively overlap everything.
+func TestFootprintSlices(t *testing.T) {
+	width := 8
+	net := NewNetwork(width)
+	tf := NewTransferFunction(width)
+	// Forward only headers with bit 0 == 1.
+	match := AllX(width).SetBit(0, Bit1)
+	mustAdd(t, tf, Rule{Priority: 1, Match: match, OutPorts: []PortID{2}})
+	if err := net.AddNode(1, tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(2, NewTransferFunction(width)); err != nil {
+		t.Fatal(err)
+	}
+	net.AddLink(Link{1, 2, 2, 1})
+
+	in := NewSpace(width, AllX(width).SetBit(1, Bit1))
+	_, fp := net.ReachFootprint(1, 1, in, ReachOptions{})
+	// Node 1 saw the injected slice; node 2 only the bit0=1 half of it.
+	sl1, ok := fp.SliceAt(1)
+	if !ok || !sl1.Covers(in) {
+		t.Fatalf("slice at 1 = %v, want to cover %v", sl1, in)
+	}
+	sl2, ok := fp.SliceAt(2)
+	if !ok {
+		t.Fatal("node 2 missing from footprint")
+	}
+	bit0zero := NewSpace(width, AllX(width).SetBit(0, Bit0))
+	if sl2.Overlaps(bit0zero) {
+		t.Errorf("slice at 2 = %v includes headers the traversal never presented", sl2)
+	}
+
+	// Delta disjoint from node 2's slice (bit1=0 traffic) must not
+	// invalidate; a delta inside it must.
+	disjoint := NewSpace(width, AllX(width).SetBit(1, Bit0))
+	if fp.OverlapsAt(2, disjoint) {
+		t.Error("disjoint delta overlaps node 2's slice")
+	}
+	if fp.InvalidatedBy(map[NodeID]Space{2: disjoint}) {
+		t.Error("disjoint delta invalidated the footprint")
+	}
+	hit := NewSpace(width, AllX(width).SetBit(0, Bit1).SetBit(1, Bit1))
+	if !fp.InvalidatedBy(map[NodeID]Space{2: hit}) {
+		t.Error("overlapping delta did not invalidate the footprint")
+	}
+	// Deltas at unvisited nodes never invalidate.
+	if fp.InvalidatedBy(map[NodeID]Space{9: FullSpace(width)}) {
+		t.Error("delta at unvisited node invalidated the footprint")
+	}
+
+	// Unconstrained entries (Add without slice) overlap everything.
+	fp.Add(7)
+	if !fp.OverlapsAt(7, disjoint) {
+		t.Error("unconstrained entry must overlap every delta")
+	}
+	var nilFp Footprint
+	if !nilFp.InvalidatedBy(nil) {
+		t.Error("nil footprint must always be invalidated")
+	}
+}
+
+// TestFootprintSliceCap checks the per-node term cap collapses to the full
+// space (conservative) instead of growing without bound.
+func TestFootprintSliceCap(t *testing.T) {
+	width := 8
+	fp := NewFootprint()
+	for i := 0; i < footprintSliceTermCap+8; i++ {
+		h := AllX(width)
+		for b := 0; b < 5; b++ {
+			bit := Bit0
+			if i>>b&1 == 1 {
+				bit = Bit1
+			}
+			h = h.SetBit(b, bit)
+		}
+		fp.AddSlice(3, NewSpace(width, h))
+	}
+	sl, ok := fp.SliceAt(3)
+	if !ok {
+		t.Fatal("node missing")
+	}
+	if sl.Size() > footprintSliceTermCap {
+		t.Fatalf("slice terms = %d, cap = %d", sl.Size(), footprintSliceTermCap)
+	}
+	// Post-collapse the slice must still cover everything accumulated.
+	if !fp.OverlapsAt(3, NewSpace(width, AllX(width).SetBit(0, Bit0))) {
+		t.Error("collapsed slice lost coverage")
+	}
+}
+
+// TestFootprintUnionSlices checks Union merges per-node slices and keeps
+// unconstrained entries unconstrained.
+func TestFootprintUnionSlices(t *testing.T) {
+	width := 8
+	a, b := NewFootprint(), NewFootprint()
+	h0 := AllX(width).SetBit(0, Bit0)
+	h1 := AllX(width).SetBit(0, Bit1)
+	a.AddSlice(1, NewSpace(width, h0))
+	b.AddSlice(1, NewSpace(width, h1))
+	b.AddSlice(2, NewSpace(width, h1))
+	a.Add(3)
+	b.AddSlice(3, NewSpace(width, h1))
+	a.Union(b)
+	if !a.OverlapsAt(1, NewSpace(width, h1)) || !a.OverlapsAt(1, NewSpace(width, h0)) {
+		t.Error("union lost one side's slice at node 1")
+	}
+	if !a.Contains(2) {
+		t.Error("union missed node 2")
+	}
+	if !a.OverlapsAt(3, NewSpace(width, h0)) {
+		t.Error("unconstrained entry must stay unconstrained after union")
+	}
+}
+
 // TestReachAllFootprints checks per-point footprints from the parallel
 // sweep are captured independently.
 func TestReachAllFootprints(t *testing.T) {

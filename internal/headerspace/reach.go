@@ -138,20 +138,82 @@ type ReachOptions struct {
 }
 
 // Footprint is the set of nodes a reachability evaluation visited — its
-// "frontier cone". It covers every node the traversal consulted, including
-// nodes where the space was dropped, looped or hop-bounded, not just nodes
-// on emitted witness paths. A reach evaluation is a deterministic function
-// of the wiring plus the transfer functions of exactly these nodes, so a
-// configuration change OUTSIDE the footprint provably cannot alter the
-// evaluation's outcome. Standing invariants exploit this: after a change to
-// switch S, only invariants whose footprint contains S need re-running.
-type Footprint map[NodeID]struct{}
+// "frontier cone" — together with, per node, the header-space slice the
+// traversal actually presented there. It covers every node the traversal
+// consulted, including nodes where the space was dropped, looped or
+// hop-bounded, not just nodes on emitted witness paths. A reach evaluation
+// is a deterministic function of the wiring plus the transfer functions of
+// exactly these nodes applied to exactly these arriving slices, so a
+// configuration change OUTSIDE the footprint — or INSIDE it but disjoint
+// from the node's recorded slice — provably cannot alter the evaluation's
+// outcome. Standing invariants exploit both levels: after a change to
+// switch S, only invariants whose footprint contains S need considering,
+// and among those only the ones whose slice at S overlaps the change's
+// header-space delta need re-running.
+//
+// A node mapped to an EMPTY space marks an unconstrained visit (recorded
+// via Add, with no slice information): it conservatively overlaps every
+// delta. Genuinely-visited nodes always carry the non-empty arriving
+// space.
+type Footprint map[NodeID]Space
+
+// footprintSliceTermCap bounds the union-term count accumulated per node;
+// past it the slice collapses to the full header space (conservative:
+// every delta overlaps it), keeping footprint memory and overlap-test cost
+// bounded on term-explosive traversals.
+const footprintSliceTermCap = 32
 
 // NewFootprint returns an empty footprint.
 func NewFootprint() Footprint { return make(Footprint) }
 
-// Add records a visited node.
-func (f Footprint) Add(id NodeID) { f[id] = struct{}{} }
+// Add records a visited node with no slice information (unconstrained:
+// treated as overlapping every delta). AddSlice is the precise form.
+func (f Footprint) Add(id NodeID) { f[id] = Space{} }
+
+// AddSlice records a visit of id by the arriving space s, unioning it into
+// the node's recorded slice. The stored terms are detached from s's spare
+// capacity but alias its headers (headers are treated as immutable
+// throughout the package).
+func (f Footprint) AddSlice(id NodeID, s Space) {
+	cur, ok := f[id]
+	if !ok {
+		f[id] = Space{width: s.width, terms: s.terms[:len(s.terms):len(s.terms)]}
+		return
+	}
+	if len(cur.terms) == 0 {
+		return // unconstrained already: nothing to refine
+	}
+	// Plain term append, no compaction: this runs once per traversal frame,
+	// and Overlaps is pairwise anyway. The cap bounds degenerate growth.
+	cur.terms = append(cur.terms, s.terms...)
+	if len(cur.terms) > footprintSliceTermCap {
+		cur.terms = []Header{AllX(cur.width)}
+	}
+	f[id] = cur
+}
+
+// SliceAt returns the recorded slice for one node and whether the node is
+// in the footprint. An empty returned space on a present node means
+// "unconstrained" (see Footprint).
+func (f Footprint) SliceAt(id NodeID) (Space, bool) {
+	s, ok := f[id]
+	return s, ok
+}
+
+// OverlapsAt reports whether a header-space delta at node id can affect an
+// evaluation that produced this footprint: the node was visited and its
+// recorded slice overlaps the delta (an unconstrained visit overlaps
+// everything).
+func (f Footprint) OverlapsAt(id NodeID, delta Space) bool {
+	sl, ok := f[id]
+	if !ok {
+		return false
+	}
+	if len(sl.terms) == 0 {
+		return true // unconstrained visit: conservatively affected
+	}
+	return sl.Overlaps(delta)
+}
 
 // Contains reports whether the node was visited.
 func (f Footprint) Contains(id NodeID) bool {
@@ -159,10 +221,30 @@ func (f Footprint) Contains(id NodeID) bool {
 	return ok
 }
 
-// Union folds other into f and returns f.
+// Union folds other into f and returns f, unioning per-node slices (an
+// unconstrained entry on either side stays unconstrained).
 func (f Footprint) Union(other Footprint) Footprint {
-	for id := range other {
-		f[id] = struct{}{}
+	for id, sl := range other {
+		cur, ok := f[id]
+		if !ok {
+			// Clamp capacity so a later AddSlice on the merged footprint
+			// can't append into the source footprint's backing array.
+			sl.terms = sl.terms[:len(sl.terms):len(sl.terms)]
+			f[id] = sl
+			continue
+		}
+		if len(cur.terms) == 0 {
+			continue // already unconstrained
+		}
+		if len(sl.terms) == 0 {
+			f[id] = Space{}
+			continue
+		}
+		cur.terms = append(cur.terms[:len(cur.terms):len(cur.terms)], sl.terms...)
+		if len(cur.terms) > footprintSliceTermCap {
+			cur.terms = []Header{AllX(cur.width)}
+		}
+		f[id] = cur
 	}
 	return f
 }
@@ -205,6 +287,26 @@ func (f Footprint) Invalidated(dirty []NodeID) bool {
 	}
 	for _, id := range dirty {
 		if _, ok := f[id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidatedBy is the rule-delta refinement of Invalidated: deltas maps
+// each changed node to the header-space slice its configuration change can
+// affect, and the footprint is invalidated only when some changed node's
+// delta overlaps the slice this evaluation actually presented there. A nil
+// footprint (never evaluated) is always invalidated. Callers must omit
+// nodes whose delta is semantically empty (e.g. a fully-shadowed rule
+// insert) from the map — an unconstrained footprint entry overlaps every
+// listed delta.
+func (f Footprint) InvalidatedBy(deltas map[NodeID]Space) bool {
+	if f == nil {
+		return true
+	}
+	for id, d := range deltas {
+		if f.OverlapsAt(id, d) {
 			return true
 		}
 	}
@@ -328,8 +430,10 @@ func (n *Network) reach(at NodeID, port PortID, in Space, opt ReachOptions, fp F
 		if fp != nil {
 			// Every consulted node enters the footprint — including nodes
 			// where the branch dies (drop, loop, hop bound): a change there
-			// could revive it.
-			fp.Add(st.node)
+			// could revive it. The arriving space is recorded as the node's
+			// slice: a rule delta disjoint from every slice presented here
+			// cannot change any Apply outcome, hence not the evaluation.
+			fp.AddSlice(st.node, st.space)
 		}
 		if st.path.len() >= maxHops {
 			if opt.KeepLoops {

@@ -86,6 +86,15 @@ func BuildTransferFunction(entries []FlowEntry, ports []uint32) *headerspace.Tra
 	return tf
 }
 
+// DataPlaneTransparent reports whether the entry is omitted from the
+// compiled transfer function entirely (all its outputs target the
+// controller — see the BuildTransferFunction semantics above). Such
+// entries neither forward, drop, nor shadow data-plane traffic in the
+// logical model, so adding or removing one cannot change any reachability
+// evaluation; the snapshot store's rule-delta diff uses this to exclude
+// them from both the change set and the shadow set.
+func (e FlowEntry) DataPlaneTransparent() bool { return controllerOnly(e.Actions) }
+
 // controllerOnly reports whether the action list has output actions and all
 // of them target the controller.
 func controllerOnly(actions []Action) bool {

@@ -62,10 +62,14 @@ func (c *Controller) newIsoConeCache(req requesterInfo) *isoConeCache {
 // evaluateIsolation runs one standing isolation invariant. With fullSweep
 // (registration, RevalidateAll, legacy ablation) every injection point is
 // traversed; otherwise only the points whose cached cone crosses the dirty
-// set re-run, and the rest reuse their cached outcome. The aggregate
-// verdict and footprint are byte-identical to a full sweep, so switching
-// between the two paths can never manufacture a verdict transition.
-func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, fullSweep, pooled bool) verdict {
+// set re-run — refined, when the pass carries rule deltas, to the points
+// whose cone SLICE at some dirty switch overlaps that switch's delta (a
+// cone that merely passes through a dirty hub is reused when the changed
+// rules touch none of the headers it carried there). The rest reuse their
+// cached outcome. The aggregate verdict and footprint are byte-identical
+// to a full sweep, so switching between the paths can never manufacture a
+// verdict transition.
+func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Space, fullSweep, pooled bool) verdict {
 	cache := sub.cones
 	if cache == nil {
 		cache = c.newIsoConeCache(sub.req)
@@ -81,7 +85,13 @@ func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscripti
 		}
 	} else {
 		for i := range cache.cones {
-			if cache.cones[i].fp.Invalidated(dirty) {
+			invalidated := false
+			if deltas != nil {
+				invalidated = cache.cones[i].fp.InvalidatedBy(deltas)
+			} else {
+				invalidated = cache.cones[i].fp.Invalidated(dirty)
+			}
+			if invalidated {
 				sweep = append(sweep, i)
 			}
 		}

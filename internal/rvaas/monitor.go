@@ -151,7 +151,17 @@ func (c *Controller) forceResync(sw topology.SwitchID) {
 // mean the switch's counter regressed (restart) and the reply is
 // force-accepted so the snapshot can never freeze on pre-restart state.
 func (c *Controller) applyStats(sw topology.SwitchID, m *openflow.StatsReply, src history.Source, force bool) {
-	cap, changed, rejected := c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq, force)
+	// A StatsReply is a FULL state snapshot: it always carries the meter
+	// section, so an absent slice here means "the switch has zero meters",
+	// not "unknown". The wire codec decodes an empty section to nil —
+	// without this normalization, replaceState's nil-means-keep rule
+	// (which exists for table-only resyncs) would make a meter deletion
+	// invisible to polls forever.
+	meters := m.Meters
+	if meters == nil {
+		meters = []openflow.MeterConfig{}
+	}
+	cap, changed, rejected := c.snap.replaceState(sw, m.Entries, m.Ports, meters, m.TableSeq, force)
 	if rejected {
 		c.mu.Lock()
 		c.stalePolls[sw]++
@@ -163,7 +173,7 @@ func (c *Controller) applyStats(sw topology.SwitchID, m *openflow.StatsReply, sr
 		if !regressed {
 			return
 		}
-		cap, changed, _ = c.snap.replaceState(sw, m.Entries, m.Ports, m.Meters, m.TableSeq, true)
+		cap, changed, _ = c.snap.replaceState(sw, m.Entries, m.Ports, meters, m.TableSeq, true)
 	} else {
 		c.mu.Lock()
 		c.stalePolls[sw] = 0

@@ -54,6 +54,14 @@ type snapshotStore struct {
 	// gen increments per switch on every change to that switch's state;
 	// the compile cache keys on it.
 	gen map[topology.SwitchID]uint64
+	// deltas accumulates, per switch, the header-space delta of every
+	// change applied since the subscription engine last drained it
+	// (generationsAndDeltas): the set of packets whose forwarding behavior
+	// at that switch may differ from the drained baseline (see
+	// ruledelta.go). A switch with a bumped generation but a semantically
+	// empty delta (fully shadowed insert, meter-only change, interception-
+	// rule churn) dispatches no re-verification at all.
+	deltas map[topology.SwitchID]headerspace.Space
 
 	// Compiled-network cache. Guarded by mu; the cached *Network itself is
 	// immutable once published and safe for concurrent readers.
@@ -71,8 +79,25 @@ func newSnapshotStore() *snapshotStore {
 		meters:   make(map[topology.SwitchID][]openflow.MeterConfig),
 		seq:      make(map[topology.SwitchID]uint64),
 		gen:      make(map[topology.SwitchID]uint64),
+		deltas:   make(map[topology.SwitchID]headerspace.Space),
 		compiled: make(map[topology.SwitchID]compiledSwitch),
 	}
+}
+
+// accumulateDeltaLocked folds one change's header-space delta into the
+// switch's pending delta, collapsing to the full space past the term cap
+// (conservative: equivalent to per-switch dispatch). Callers hold s.mu.
+func (s *snapshotStore) accumulateDeltaLocked(sw topology.SwitchID, d headerspace.Space) {
+	cur, ok := s.deltas[sw]
+	if !ok {
+		s.deltas[sw] = d
+		return
+	}
+	merged := cur.Union(d)
+	if merged.Size() > deltaTermCap {
+		merged = headerspace.FullSpace(wire.HeaderWidth)
+	}
+	s.deltas[sw] = merged
 }
 
 // bumpLocked records a state change on sw. Callers hold s.mu.
@@ -128,13 +153,27 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 		// manufacture a gap out of the very next in-order event).
 		return s.captureLocked(), false, true
 	}
+	// nil ports and nil meters both mean "this reply carries no such
+	// section — keep the stored state". Treating nil meters as "wipe" made
+	// every table-only resync (replaceTable) both delete the switch's meter
+	// state and spuriously count as changed, bumping the snapshot id and
+	// invalidating the compile cache on a byte-identical poll.
 	changed = !seen ||
 		!tablesEqual(s.tables[sw], entries) ||
 		(ports != nil && !portsEqual(s.ports[sw], ports)) ||
-		!metersEqual(s.meters[sw], meters)
+		(meters != nil && !metersEqual(s.meters[sw], meters))
 	s.seq[sw] = seq
 	if !changed {
 		return s.captureLocked(), false, false
+	}
+	// Rule-delta extraction against the outgoing state: a first-ever
+	// snapshot or a port-set change (which alters flood expansion for the
+	// whole table) widens to the full header space.
+	switch {
+	case !seen || (ports != nil && !portsEqual(s.ports[sw], ports)):
+		s.accumulateDeltaLocked(sw, headerspace.FullSpace(wire.HeaderWidth))
+	default:
+		s.accumulateDeltaLocked(sw, tableDelta(s.tables[sw], entries))
 	}
 	s.tables[sw] = append([]openflow.FlowEntry(nil), entries...)
 	if ports != nil {
@@ -142,8 +181,6 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 	}
 	if meters != nil {
 		s.meters[sw] = append([]openflow.MeterConfig(nil), meters...)
-	} else {
-		delete(s.meters, sw)
 	}
 	s.bumpLocked(sw)
 	return s.captureLocked(), true, false
@@ -157,7 +194,7 @@ func tablesEqual(a, b []openflow.FlowEntry) bool {
 		return false
 	}
 	for i := range a {
-		if !sameEntry(a[i], b[i]) || a[i].MeterID != b[i].MeterID {
+		if !sameEntry(a[i], b[i]) {
 			return false
 		}
 	}
@@ -211,6 +248,7 @@ func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonito
 		return capture{}, false, false
 	}
 	s.seq[sw] = ev.Seq
+	s.accumulateDeltaLocked(sw, eventDelta(s.tables[sw], ev))
 	s.bumpLocked(sw)
 	switch ev.Kind {
 	case openflow.FlowEventAdded:
@@ -257,8 +295,12 @@ func sameMatch(a, b openflow.Match) bool {
 	return true
 }
 
+// sameEntry is the single definition of "the same rule": every field that
+// distinguishes two flow entries — including MeterID — is compared here, so
+// applyEvent's entry matching and tablesEqual (and the rule-delta diff)
+// can never disagree about rule identity.
 func sameEntry(a, b openflow.FlowEntry) bool {
-	if a.Priority != b.Priority || a.Cookie != b.Cookie || !sameMatch(a.Match, b.Match) {
+	if a.Priority != b.Priority || a.Cookie != b.Cookie || a.MeterID != b.MeterID || !sameMatch(a.Match, b.Match) {
 		return false
 	}
 	if len(a.Actions) != len(b.Actions) {
@@ -297,6 +339,23 @@ func (s *snapshotStore) generations() (uint64, map[topology.SwitchID]uint64) {
 		gens[sw] = g
 	}
 	return s.id, gens
+}
+
+// generationsAndDeltas is generations plus an atomic drain of the pending
+// per-switch rule deltas: the returned deltas describe exactly the changes
+// between the previous drain and the returned generation counters (both
+// are read under one lock acquisition, so no change can fall between
+// them). Ownership of the returned spaces transfers to the caller.
+func (s *snapshotStore) generationsAndDeltas() (uint64, map[topology.SwitchID]uint64, map[topology.SwitchID]headerspace.Space) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gens := make(map[topology.SwitchID]uint64, len(s.gen))
+	for sw, g := range s.gen {
+		gens[sw] = g
+	}
+	deltas := s.deltas
+	s.deltas = make(map[topology.SwitchID]headerspace.Space)
+	return s.id, gens, deltas
 }
 
 // compileStats returns a copy of the cache counters.

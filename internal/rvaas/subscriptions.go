@@ -69,6 +69,15 @@ type SubscriptionStats struct {
 	// switch → subscriptions index (zero when the legacy linear scan is
 	// forced).
 	IndexDispatched uint64
+	// DeltaSkipped counts invariants that sat in a dirty switch's index
+	// bucket but were revalidated for free because their recorded traversal
+	// slice at every dirty switch was disjoint from the change's
+	// header-space delta (rule-delta dispatch; zero when per-switch
+	// dispatch is forced).
+	DeltaSkipped uint64
+	// VerdictQueries counts served SubOpQueryVerdict requests (gap-recovery
+	// resyncs answered without a re-subscribe).
+	VerdictQueries uint64
 	// Violations/Recoveries count verdict transitions.
 	Violations uint64
 	Recoveries uint64
@@ -144,7 +153,8 @@ type indexShard struct {
 type engineCounters struct {
 	registered, removed                  atomic.Uint64
 	rechecks, evaluated, revalidated     atomic.Uint64
-	indexDispatched                      atomic.Uint64
+	indexDispatched, deltaSkipped        atomic.Uint64
+	verdictQueries                       atomic.Uint64
 	violations, recoveries               atomic.Uint64
 	notificationsSent, notificationsDrop atomic.Uint64
 	isoPointsSwept, isoPointsReused      atomic.Uint64
@@ -161,6 +171,12 @@ type RecheckTuning struct {
 	// footprint scan over every subscription, sequential evaluation, and
 	// full isolation sweeps (no cone cache exploitation).
 	LegacyScan bool
+	// PerSwitchDispatch restores switch-granularity dirty dispatch (the
+	// PR 3 engine, kept as the differential reference): every invariant in
+	// a dirty switch's index bucket re-runs, without the footprint-slice ∩
+	// rule-delta overlap filter. Verdicts are identical either way — the
+	// filter only skips evaluations whose outcome provably cannot change.
+	PerSwitchDispatch bool
 }
 
 // subscriptionEngine owns the subscription set and the incremental
@@ -188,6 +204,7 @@ type subscriptionEngine struct {
 
 	parallelism atomic.Int64
 	legacyScan  atomic.Bool
+	perSwitch   atomic.Bool
 
 	stats engineCounters
 }
@@ -290,6 +307,8 @@ func (c *Controller) SubscriptionStats() SubscriptionStats {
 		Evaluated:            e.stats.evaluated.Load(),
 		Revalidated:          e.stats.revalidated.Load(),
 		IndexDispatched:      e.stats.indexDispatched.Load(),
+		DeltaSkipped:         e.stats.deltaSkipped.Load(),
+		VerdictQueries:       e.stats.verdictQueries.Load(),
 		Violations:           e.stats.violations.Load(),
 		Recoveries:           e.stats.recoveries.Load(),
 		NotificationsSent:    e.stats.notificationsSent.Load(),
@@ -305,6 +324,7 @@ func (c *Controller) SubscriptionStats() SubscriptionStats {
 func (c *Controller) SetRecheckTuning(t RecheckTuning) {
 	c.subs.parallelism.Store(int64(t.Parallelism))
 	c.subs.legacyScan.Store(t.LegacyScan)
+	c.subs.perSwitch.Store(t.PerSwitchDispatch)
 }
 
 // Subscriptions lists the standing invariants in id order.
@@ -403,7 +423,7 @@ func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, cons
 	// violation log but not pushed in-band: the ack carries the verdict.
 	e.runMu.Lock()
 	net := c.snap.buildNetwork(c.topo)
-	v := c.evaluateInvariant(net, sub, nil, true, false)
+	v := c.evaluateInvariant(net, sub, nil, nil, true, false)
 	c.commitVerdict(sub, v, c.snap.snapshotID(), false)
 	e.runMu.Unlock()
 	return sub.id, nil
@@ -456,14 +476,16 @@ type verdict struct {
 
 // evaluateInvariant runs one standing invariant against the compiled
 // network, capturing the footprint for future incremental revalidation.
-// dirty is the current pass's dirty switch set; fullSweep forces
+// dirty is the current pass's dirty switch set; deltas (nil under
+// per-switch dispatch, RevalidateAll and the legacy ablation) refines it
+// with each dirty switch's rule-delta header space. fullSweep forces
 // from-scratch evaluation (registration, RevalidateAll, legacy mode) —
 // isolation invariants otherwise re-sweep only the injection points whose
 // cached cone was dirtied (isolation.go). pooled marks evaluation inside
 // a multi-worker pass, where isolation sweeps must not nest a second
 // fan-out. Callers hold the engine's run lock (directly or by running
 // inside a pass's worker pool).
-func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, fullSweep, pooled bool) verdict {
+func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Space, fullSweep, pooled bool) verdict {
 	space := scopeSpace(sub.constraints)
 	at, port := headerspace.NodeID(sub.req.sw), headerspace.PortID(sub.req.port)
 	switch sub.kind {
@@ -475,7 +497,7 @@ func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscripti
 		}
 		return verdict{detail: fmt.Sprintf("%d reachable endpoint(s)", len(eps)), fp: fp}
 	case wire.QueryIsolation:
-		return c.evaluateIsolation(net, sub, dirty, fullSweep, pooled)
+		return c.evaluateIsolation(net, sub, dirty, deltas, fullSweep, pooled)
 	case wire.QueryPathLength:
 		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{KeepLoops: true})
 		violated, detail := pathLengthVerdict(results, sub.bound)
@@ -647,7 +669,10 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 
-	_, gens := c.snap.generations()
+	// The drained deltas describe exactly the changes between the previous
+	// pass's generation baseline and this one (one lock acquisition covers
+	// both), so dirty-set membership and delta content can never disagree.
+	_, gens, deltas := c.snap.generationsAndDeltas()
 	var dirty []headerspace.NodeID
 	for sw, g := range gens {
 		if e.lastGen[sw] != g {
@@ -660,6 +685,31 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	}
 
 	legacy := e.legacyScan.Load()
+	perSwitch := e.perSwitch.Load() || force || legacy
+	// deltaByNode maps each dirty switch to its pending rule delta. Dirty
+	// switches whose delta is semantically empty — a fully shadowed insert,
+	// meter-only churn, interception-rule churn — are dropped from dispatch
+	// entirely: no packet's forwarding behavior changed, so no invariant
+	// can flip. A dirty switch with no drained delta (engine attached after
+	// store churn) conservatively widens to the full header space.
+	var deltaByNode map[headerspace.NodeID]headerspace.Space
+	dispatch := dirty
+	if !perSwitch {
+		deltaByNode = make(map[headerspace.NodeID]headerspace.Space, len(dirty))
+		dispatch = make([]headerspace.NodeID, 0, len(dirty))
+		for _, n := range dirty {
+			d, ok := deltas[topology.SwitchID(n)]
+			if !ok {
+				d = headerspace.FullSpace(wire.HeaderWidth)
+			}
+			if d.IsEmpty() {
+				continue
+			}
+			deltaByNode[n] = d
+			dispatch = append(dispatch, n)
+		}
+	}
+
 	var targets []*subscription
 	var active, free uint64
 	if force || legacy {
@@ -679,10 +729,14 @@ func (c *Controller) recheckSubscriptions(force bool) {
 			sh.mu.Unlock()
 		}
 	} else {
-		// Indexed dirty dispatch: the union of the dirty switches' buckets
-		// is exactly the set of invariants whose footprint was touched.
+		// Indexed dirty dispatch: the union of the dispatch switches'
+		// buckets is the set of invariants whose footprint was touched;
+		// the rule-delta overlap filter then discards the ones whose
+		// recorded traversal slice misses every delta (their evaluation is
+		// a function of transfer-function behavior on exactly those
+		// slices, none of which changed).
 		seen := make(map[uint64]*subscription)
-		for _, n := range dirty {
+		for _, n := range dispatch {
 			ish := e.indexFor(n)
 			ish.mu.Lock()
 			for id, sub := range ish.buckets[n] {
@@ -692,7 +746,17 @@ func (c *Controller) recheckSubscriptions(force bool) {
 		}
 		targets = make([]*subscription, 0, len(seen))
 		for _, sub := range seen {
-			targets = append(targets, sub)
+			// sub.fp is written only under runMu (commitVerdict), which we
+			// hold: the read is race-free. The pass-start perSwitch capture
+			// (not a re-load) decides the filter: a concurrent
+			// SetRecheckTuning flip must not turn a per-switch pass (nil
+			// deltaByNode) into a delta-filtered one mid-loop, which would
+			// skip every target against an empty delta map.
+			if perSwitch || sub.fp.InvalidatedBy(deltaByNode) {
+				targets = append(targets, sub)
+			} else {
+				e.stats.deltaSkipped.Add(1)
+			}
 		}
 		active = e.activeCount()
 		if n := uint64(len(targets)); active > n {
@@ -728,7 +792,7 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	}
 	pooled := workers > 1
 	run := func(sub *subscription) {
-		v := c.evaluateInvariant(net, sub, dirty, fullSweep, pooled)
+		v := c.evaluateInvariant(net, sub, dirty, deltaByNode, fullSweep, pooled)
 		c.commitVerdict(sub, v, snapID, true)
 	}
 	if workers <= 1 {
@@ -839,6 +903,47 @@ func (c *Controller) handleSubscribe(sw topology.SwitchID, inPort topology.PortN
 			ack.Seq = sub.seq
 		}
 		sh.mu.Unlock()
+	case wire.SubOpQueryVerdict:
+		// Current-verdict query: gap recovery resyncs from the signed ack
+		// (status, detail, sequence number) without a re-subscribe. The
+		// signature check above bound the request to the client, and the
+		// ownership check below keeps one tenant from reading another's
+		// verdicts.
+		ack.SubID = sr.SubID
+		sh := c.subs.shardFor(sr.SubID)
+		sh.mu.Lock()
+		sub := sh.subs[sr.SubID]
+		if sub == nil || sub.clientID != sr.ClientID {
+			sh.mu.Unlock()
+			ack.Event = wire.NotifyError
+			ack.Status = wire.StatusError
+			ack.Detail = fmt.Sprintf("no subscription %d for client %d", sr.SubID, sr.ClientID)
+			break
+		}
+		if sub.req.sw != sw || sub.req.port != inPort {
+			// Ingress must match the subscription's anchor — the same
+			// defense SubOpAdd applies: a captured (authentically signed)
+			// query frame replayed from another port would otherwise
+			// deliver the tenant's signed verdict to the replayer's
+			// endpoint.
+			sh.mu.Unlock()
+			ack.Event = wire.NotifyError
+			ack.Status = wire.StatusError
+			ack.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
+				sw, inPort, sub.req.sw, sub.req.port)
+			break
+		}
+		ack.Kind = sub.kind
+		ack.Detail = sub.detail
+		if sub.violated {
+			ack.Status = wire.StatusViolation
+		}
+		// The current per-subscription sequence number lets the client
+		// rebase its gap detection: every push at or below it is covered
+		// by this verdict.
+		ack.Seq = sub.seq
+		sh.mu.Unlock()
+		c.subs.stats.verdictQueries.Add(1)
 	case wire.SubOpRemove:
 		// Removal is idempotent: removing an already-absent subscription
 		// acks success, so clients can always reconcile local teardown

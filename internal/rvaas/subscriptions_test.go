@@ -142,6 +142,10 @@ func TestIncrementalRecheckSkipsUntouchedInvariants(t *testing.T) {
 	settle(t, d) // absorb any deferred event noise into the baseline
 
 	// Dirty the last switch with a rule irrelevant to every invariant.
+	// Rule-delta dispatch sees that the changed rule's header space
+	// (IPDst 203.0.113.9) misses every invariant's recorded traversal
+	// slice and evaluates NOTHING — even the invariant whose footprint
+	// contains the churned switch revalidates for free.
 	last := sws[len(sws)-1]
 	churn := dropEntry(wire.IPv4(203, 0, 113, 9))
 	before := d.RVaaS.SubscriptionStats()
@@ -151,16 +155,31 @@ func TestIncrementalRecheckSkipsUntouchedInvariants(t *testing.T) {
 
 	evaluated := after.Evaluated - before.Evaluated
 	revalidated := after.Revalidated - before.Revalidated
-	// Only the invariant ending at the last switch may re-run.
-	if evaluated == 0 || evaluated > 2 {
-		t.Errorf("evaluated %d invariants after a single-switch change, want 1..2 of %d", evaluated, nSubs)
+	if evaluated != 0 {
+		t.Errorf("evaluated %d invariants after an irrelevant change, want 0 of %d (rule-delta dispatch)", evaluated, nSubs)
 	}
-	if revalidated < uint64(nSubs-2) {
-		t.Errorf("revalidated = %d, want >= %d free revalidations", revalidated, nSubs-2)
+	if skipped := after.DeltaSkipped - before.DeltaSkipped; skipped == 0 {
+		t.Error("no invariant was delta-skipped: the dirty bucket should have been filtered")
+	}
+	if revalidated < uint64(nSubs-1) {
+		t.Errorf("revalidated = %d, want >= %d free revalidations", revalidated, nSubs-1)
 	}
 	// No verdict flipped: the churn rule touches unrelated traffic only.
 	if after.Violations != before.Violations {
 		t.Errorf("spurious violations: %+v", after)
+	}
+
+	// Per-switch dispatch (the PR 3 reference) re-runs every invariant in
+	// the dirty switch's bucket: the one(s) whose footprint ends there.
+	d.RVaaS.SetRecheckTuning(rvaas.RecheckTuning{PerSwitchDispatch: true})
+	before = d.RVaaS.SubscriptionStats()
+	d.Fabric.Switch(last).RemoveDirect(churn)
+	settle(t, d)
+	after = d.RVaaS.SubscriptionStats()
+	d.RVaaS.SetRecheckTuning(rvaas.RecheckTuning{})
+	evaluated = after.Evaluated - before.Evaluated
+	if evaluated == 0 || evaluated > 2 {
+		t.Errorf("per-switch dispatch evaluated %d invariants, want 1..2 of %d", evaluated, nSubs)
 	}
 
 	// Naive baseline re-evaluates everything.
@@ -564,8 +583,10 @@ func TestWedgedSubscriberDoesNotBlockRecheck(t *testing.T) {
 // TestGapRecoveryEndToEnd drives the full delivery-hole loop over the
 // wire: a violation notification is lost in-network (the fire-and-forget
 // Packet-Out hole), the next transition arrives with a skipped Seq, and
-// the agent transparently re-subscribes — ending with exactly one live
-// server-side subscription and a resynchronized client.
+// the agent transparently resynchronizes via a current-verdict query
+// (SubOpQueryVerdict) — keeping the SAME server-side subscription alive,
+// no re-subscribe needed — ending with a resynchronized client that keeps
+// receiving subsequent transitions.
 func TestGapRecoveryEndToEnd(t *testing.T) {
 	d := deployLinear(t, 3, deploy.Options{SkipAgents: true})
 	aps := d.Topology.AccessPoints()
@@ -638,8 +659,8 @@ func TestGapRecoveryEndToEnd(t *testing.T) {
 	if ev.Err != nil {
 		t.Fatalf("gap recovery failed: %v", ev.Err)
 	}
-	if ev.SubID != oldID || ev.NewSubID == 0 || ev.NewSubID == oldID {
-		t.Fatalf("gap event = %+v", ev)
+	if ev.SubID != oldID || ev.NewSubID != oldID {
+		t.Fatalf("gap event = %+v, want in-place verdict-query resync of sub %d", ev, oldID)
 	}
 	if ev.MissedFrom != 1 || ev.MissedTo != 1 {
 		t.Fatalf("missed range = [%d,%d], want [1,1]", ev.MissedFrom, ev.MissedTo)
@@ -648,24 +669,21 @@ func TestGapRecoveryEndToEnd(t *testing.T) {
 		t.Fatalf("resynchronized verdict = %v (%s)", ev.Status, ev.Detail)
 	}
 
-	// The superseded server-side subscription is retired: exactly one
-	// active invariant remains.
-	deadline = time.Now().Add(5 * time.Second)
-	for {
-		st := d.RVaaS.SubscriptionStats()
-		if st.Active == 1 && st.Removed >= 1 {
-			break
-		}
-		if !time.Now().Before(deadline) {
-			t.Fatalf("stale server-side subscription not retired: %+v", st)
-		}
-		time.Sleep(time.Millisecond)
+	// The server answered the resync from its retained verdict: the
+	// subscription was never torn down or replaced.
+	st := d.RVaaS.SubscriptionStats()
+	if st.Active != 1 || st.Removed != 0 || st.Registered != 1 {
+		t.Fatalf("verdict-query resync churned server state: %+v", st)
+	}
+	if st.VerdictQueries == 0 {
+		t.Fatalf("no verdict query served: %+v", st)
 	}
 
-	// Monitoring continues seamlessly on the replacement subscription.
+	// Monitoring continues seamlessly on the same subscription with the
+	// original sequence stream.
 	d.Fabric.Switch(mid).InstallDirect(drop)
 	n = waitNotification(t, sub.C)
-	if n.Event != wire.NotifyViolation || n.SubID != ev.NewSubID || n.Seq != 1 {
+	if n.Event != wire.NotifyViolation || n.SubID != oldID || n.Seq != 3 {
 		t.Fatalf("post-recovery notification = %+v", n)
 	}
 }

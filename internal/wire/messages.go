@@ -269,6 +269,16 @@ type SubscribeOp uint8
 const (
 	SubOpAdd SubscribeOp = iota + 1
 	SubOpRemove
+	// SubOpQueryVerdict asks RVaaS for a subscription's latest verdict on
+	// demand: the signed ack carries the current status, detail and
+	// notification sequence number. A client that detected a notification
+	// gap resynchronizes from the ack without tearing down and
+	// re-registering the invariant (and the server keeps its footprint,
+	// cones and index state). Read-only for server state; the server
+	// rejects queries whose ingress does not match the subscription's
+	// anchor, so a captured frame replayed from another port cannot leak
+	// the tenant's verdict to the replayer.
+	SubOpQueryVerdict
 )
 
 // SubscribeRequest is the client → RVaaS payload registering (or removing)
@@ -283,7 +293,8 @@ type SubscribeRequest struct {
 	// Nonce correlates the ack with this request and routes notifications
 	// for the resulting subscription.
 	Nonce uint64
-	// SubID names an existing subscription (SubOpRemove only).
+	// SubID names an existing subscription (SubOpRemove and
+	// SubOpQueryVerdict).
 	SubID uint64
 	// RefNonce names a subscription by its registration nonce (SubOpRemove
 	// with SubID 0): a client whose subscribe ack was lost never learned

@@ -258,6 +258,22 @@ func TestSubscribeRequestRoundTrip(t *testing.T) {
 	if got.Op != SubOpRemove || got.SubID != 31 {
 		t.Errorf("remove mismatch: %+v", got)
 	}
+
+	qv := &SubscribeRequest{
+		Version: CurrentVersion, Op: SubOpQueryVerdict,
+		ClientID: 9, Nonce: 5, SubID: 31,
+		Signature: []byte{1, 2, 3},
+	}
+	got, err = UnmarshalSubscribeRequest(qv.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != SubOpQueryVerdict || got.SubID != 31 || got.ClientID != 9 {
+		t.Errorf("verdict query mismatch: %+v", got)
+	}
+	if len(got.Signature) != 3 {
+		t.Errorf("verdict query signature = %v", got.Signature)
+	}
 }
 
 func TestSubscribeRequestBadVersion(t *testing.T) {
