@@ -58,6 +58,7 @@ var experimentTable = []experiment{
 	{"e12", "standing-invariant re-check: incremental vs naive re-query", e12},
 	{"e13", "sharded recheck engine scale-out: indexed dispatch + worker pool vs linear scan", e13},
 	{"e14", "rule-delta dispatch: header-space overlap filter vs per-switch dirty bucket on a hub", e14},
+	{"e15", "protocol v2: batch registration vs sequential round-trips; kill/restart restore + re-verify", e15},
 }
 
 func experimentIDs() []string {
@@ -75,11 +76,14 @@ type benchMetric struct {
 	Unit   string  `json:"unit"`
 }
 
-// benchReport is the BENCH_<ID>.json schema.
+// benchReport is the BENCH_<ID>.json schema. EnvelopeVersion records the
+// protocol revision the binary speaks, so the perf trajectory can be
+// correlated with protocol changes across commits.
 type benchReport struct {
-	Experiment string        `json:"experiment"`
-	Iters      int           `json:"iters"`
-	Metrics    []benchMetric `json:"metrics"`
+	Experiment      string        `json:"experiment"`
+	Iters           int           `json:"iters"`
+	EnvelopeVersion int           `json:"envelope_version"`
+	Metrics         []benchMetric `json:"metrics"`
 }
 
 // recorder collects metrics per experiment when -json is set; nil when
@@ -151,7 +155,11 @@ func run(args []string) error {
 		}
 		if rec != nil {
 			rec.current = e.id
-			rec.reports[e.id] = &benchReport{Experiment: e.id, Iters: *iters}
+			rec.reports[e.id] = &benchReport{
+				Experiment:      e.id,
+				Iters:           *iters,
+				EnvelopeVersion: wire.EnvelopeVersion,
+			}
 		}
 		header(e.id, e.claim)
 		if err := e.run(*iters); err != nil {
@@ -534,6 +542,33 @@ func e14(iters int) error {
 		record(key+"/per-switch-evals", r.PerSwitchEvals, "count")
 		record(key+"/delta-evals", r.DeltaEvals, "count")
 		record(key+"/delta-skipped", r.DeltaSkipped, "count")
+	}
+	return nil
+}
+
+func e15(iters int) error {
+	fmt.Printf("%-12s %-7s %-14s %-14s %-8s %-16s %-9s %-11s\n",
+		"topology", "subs", "sequential", "batch", "speedup", "restart-restore", "restored", "reverified")
+	rows, err := experiments.ProtocolSweep(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %-7d %-14s %-14s %-8.1f %-16s %-9d %-11d\n",
+			r.Topology, r.Subs,
+			r.SequentialTotal.Round(time.Millisecond),
+			r.BatchTotal.Round(time.Millisecond),
+			r.Speedup,
+			r.RestartRestore.Round(time.Millisecond),
+			r.Restored, r.Reverified)
+		key := fmt.Sprintf("%s/subs=%d", r.Topology, r.Subs)
+		recordDuration(key+"/sequential-register", r.SequentialTotal)
+		recordDuration(key+"/batch-register", r.BatchTotal)
+		record(key+"/batch-speedup", r.Speedup, "x")
+		recordDuration(key+"/restart-restore", r.RestartRestore)
+		record(key+"/subs", float64(r.Subs), "count")
+		record(key+"/restored", float64(r.Restored), "count")
+		record(key+"/reverified", float64(r.Reverified), "count")
 	}
 	return nil
 }

@@ -49,6 +49,12 @@ type Config struct {
 	Trust    TrustAnchors
 	// ResponseTimeout bounds Query; default 2s.
 	ResponseTimeout time.Duration
+	// Protocol selects the wire encoding: 1 (default) speaks the legacy
+	// per-shape v1 frames; wire.EnvelopeVersion speaks protocol v2
+	// envelopes, which additionally enable sessions (durable restore via
+	// ResumeSession) and batch operations. Runtime-switchable with
+	// SetProtocol.
+	Protocol uint8
 }
 
 // Agent is a running client agent.
@@ -56,10 +62,16 @@ type Agent struct {
 	cfg  Config
 	pub  ed25519.PublicKey
 	priv ed25519.PrivateKey
+	// sessionID names this agent's session in protocol v2 envelopes;
+	// subscriptions registered under it survive a controller restart and
+	// are resumed with one ResumeSession exchange.
+	sessionID uint64
 
 	mu      sync.Mutex
+	proto   uint8
 	waiting map[uint64]chan *wire.QueryResponse // by nonce
 	ackWait map[uint64]chan *wire.Notification  // by subscription-op nonce
+	envWait map[uint64]chan *wire.Envelope      // by envelope correlation id (batch/resume replies)
 	subs    map[uint64]*Subscription            // by subscription id
 	// subsByNonce routes notifications that arrive before the ack has been
 	// processed locally (the server may push a violation for a brand-new
@@ -69,8 +81,16 @@ type Agent struct {
 	authSeen    uint64
 	dropped     uint64
 	gapsSeen    uint64
+	resumes     uint64
 	gapC        chan GapEvent
 	closed      bool
+	// resumeShared coalesces concurrent gap recoveries: while a
+	// ResumeSession exchange is in flight, later recoveries wait on this
+	// channel and reuse resumeResult/resumeErr instead of issuing their
+	// own exchange (one resume rebases EVERY subscription anyway).
+	resumeShared chan struct{}
+	resumeResult []wire.ResumeVerdict
+	resumeErr    error
 }
 
 // Subscription is one standing invariant registered with RVaaS. Verified
@@ -152,20 +172,51 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.ResponseTimeout == 0 {
 		cfg.ResponseTimeout = 2 * time.Second
 	}
+	if cfg.Protocol == 0 {
+		cfg.Protocol = 1
+	}
 	pub, priv, err := ed25519.GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("client: keygen: %w", err)
+	}
+	session, err := randomNonce()
+	if err != nil {
+		return nil, err
 	}
 	return &Agent{
 		cfg:         cfg,
 		pub:         pub,
 		priv:        priv,
+		sessionID:   session,
+		proto:       cfg.Protocol,
 		waiting:     make(map[uint64]chan *wire.QueryResponse),
 		ackWait:     make(map[uint64]chan *wire.Notification),
+		envWait:     make(map[uint64]chan *wire.Envelope),
 		subs:        make(map[uint64]*Subscription),
 		subsByNonce: make(map[uint64]*Subscription),
 		gapC:        make(chan GapEvent, 16),
 	}, nil
+}
+
+// SessionID returns the agent's protocol v2 session identifier.
+func (a *Agent) SessionID() uint64 { return a.sessionID }
+
+// SetProtocol switches the wire encoding for subsequent operations (1 =
+// legacy frames, wire.EnvelopeVersion = envelopes). Existing subscriptions
+// keep receiving pushes in the protocol version they were registered with.
+func (a *Agent) SetProtocol(v uint8) {
+	if v == 0 {
+		v = 1
+	}
+	a.mu.Lock()
+	a.proto = v
+	a.mu.Unlock()
+}
+
+func (a *Agent) protocol() uint8 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.proto
 }
 
 // PublicKey returns the agent's auth-reply verification key (registered
@@ -225,6 +276,10 @@ func (a *Agent) Close() {
 		close(ch)
 		delete(a.ackWait, nonce)
 	}
+	for corr, ch := range a.envWait {
+		close(ch)
+		delete(a.envWait, corr)
+	}
 	for id, sub := range a.subs {
 		a.closeSubLocked(sub)
 		delete(a.subs, id)
@@ -254,10 +309,39 @@ func (a *Agent) handleFrameAt(ap topology.AccessPoint, pkt *wire.Packet) {
 	switch {
 	case pkt.IsAuthRequest():
 		a.handleAuthRequest(ap, pkt)
+	case pkt.IsRVaaSV2Reply():
+		a.handleEnvelope(pkt)
 	case pkt.IsNotification():
-		a.handleNotification(pkt)
+		a.handleNotification(pkt.Payload)
 	case pkt.EthType == wire.EthTypeIPv4 && pkt.IPProto == wire.IPProtoUDP && pkt.L4Src == wire.PortRVaaSResponse:
-		a.handleResponse(pkt)
+		a.handleResponse(pkt.Payload)
+	}
+}
+
+// handleEnvelope unwraps one protocol v2 frame: query responses and
+// notifications reuse the v1 body handlers (the body codecs are shared
+// across protocol versions); batch and resume replies route to their
+// correlation waiter.
+func (a *Agent) handleEnvelope(pkt *wire.Packet) {
+	env, err := wire.UnmarshalEnvelope(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch env.Op {
+	case wire.OpQueryResponse:
+		a.handleResponse(env.Body)
+	case wire.OpNotify:
+		a.handleNotification(env.Body)
+	case wire.OpBatchReply, wire.OpBatchQueryReply, wire.OpSessionResumeReply:
+		a.mu.Lock()
+		ch, ok := a.envWait[env.CorrelationID]
+		if ok {
+			delete(a.envWait, env.CorrelationID)
+		}
+		a.mu.Unlock()
+		if ok {
+			ch <- env
+		}
 	}
 }
 
@@ -287,8 +371,8 @@ func (a *Agent) handleAuthRequest(ap topology.AccessPoint, pkt *wire.Packet) {
 }
 
 // handleResponse verifies and routes an RVaaS response to its waiter.
-func (a *Agent) handleResponse(pkt *wire.Packet) {
-	resp, err := wire.UnmarshalQueryResponse(pkt.Payload)
+func (a *Agent) handleResponse(payload []byte) {
+	resp, err := wire.UnmarshalQueryResponse(payload)
 	if err != nil {
 		return
 	}
@@ -372,8 +456,9 @@ func (a *Agent) Query(kind wire.QueryKind, constraints []wire.FieldConstraint, p
 	a.waiting[nonce] = ch
 	a.mu.Unlock()
 
-	pkt := wire.NewQueryPacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, q)
-	if err := a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt); err != nil {
+	err = a.sendRequest(wire.OpQuery, nonce, func() []byte { return q.Marshal() },
+		func() *wire.Packet { return wire.NewQueryPacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, q) })
+	if err != nil {
 		a.mu.Lock()
 		delete(a.waiting, nonce)
 		a.mu.Unlock()
@@ -401,8 +486,8 @@ func (a *Agent) Query(kind wire.QueryKind, constraints []wire.FieldConstraint, p
 // handleNotification verifies and routes a subscription notification:
 // acks/errors go to the operation waiter by nonce, violation/recovery
 // events to the established subscription's channel by id.
-func (a *Agent) handleNotification(pkt *wire.Packet) {
-	n, err := wire.UnmarshalNotification(pkt.Payload)
+func (a *Agent) handleNotification(payload []byte) {
+	n, err := wire.UnmarshalNotification(payload)
 	if err != nil {
 		return
 	}
@@ -485,6 +570,33 @@ func (a *Agent) recoverGap(sub *Subscription, missedFrom, missedTo uint64) {
 	oldID, oldNonce := sub.ID, sub.nonce
 	a.mu.Unlock()
 	ev := GapEvent{SubID: oldID, MissedFrom: missedFrom, MissedTo: missedTo}
+
+	// Protocol v2 heals losses at session granularity first: one signed
+	// resume exchange rebases EVERY subscription of the session (resumes
+	// racing from a burst of gaps coalesce onto a single in-flight
+	// exchange, and a restarted-then-restored controller resumes the whole
+	// fleet without a single re-subscribe). Only when the server cannot
+	// resume this subscription does recovery fall through to the
+	// per-subscription tiers below.
+	if a.protocol() >= wire.EnvelopeVersion {
+		if entries, err := a.sharedResume(); err == nil {
+			for _, ent := range entries {
+				if ent.SubID != oldID || ent.Status == wire.StatusError {
+					continue
+				}
+				// ResumeSession already rebased lastSeq under the lock.
+				a.mu.Lock()
+				stillBound := !a.closed && !sub.unsubscribing && sub.ID == oldID
+				sub.resubbing = false
+				a.mu.Unlock()
+				if stillBound {
+					ev.NewSubID, ev.Status, ev.Detail = oldID, ent.Status, ent.Detail
+					a.emitGap(ev)
+				}
+				return
+			}
+		}
+	}
 
 	if ack, err := a.queryVerdictByID(oldID); err == nil && ack.Event == wire.NotifyAck {
 		a.mu.Lock()
@@ -663,7 +775,11 @@ func (a *Agent) emitGap(ev GapEvent) {
 // read-only queries they carry the client's signature (verified against
 // the key registered with RVaaS).
 func (a *Agent) subscribeOp(s *wire.SubscribeRequest) (*wire.Notification, error) {
-	s.Signature = ed25519.Sign(a.priv, s.SigningBytes())
+	// The protocol version is captured once per operation: the signature
+	// must match the framing the op is actually sent with (v2 signatures
+	// are session-bound — see wire.SessionSigningBytes).
+	proto := a.protocol()
+	s.Signature = ed25519.Sign(a.priv, wire.SessionSigningBytes(s.SigningBytes(), proto, a.sessionID))
 	ch := make(chan *wire.Notification, 1)
 	a.mu.Lock()
 	if a.closed {
@@ -673,8 +789,16 @@ func (a *Agent) subscribeOp(s *wire.SubscribeRequest) (*wire.Notification, error
 	a.ackWait[s.Nonce] = ch
 	a.mu.Unlock()
 
-	pkt := wire.NewSubscribePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, s)
-	if err := a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt); err != nil {
+	op := wire.OpSubscribe
+	switch s.Op {
+	case wire.SubOpRemove:
+		op = wire.OpUnsubscribe
+	case wire.SubOpQueryVerdict:
+		op = wire.OpQueryVerdict
+	}
+	err := a.sendAs(proto, op, s.Nonce, func() []byte { return s.Marshal() },
+		func() *wire.Packet { return wire.NewSubscribePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, s) })
+	if err != nil {
 		a.mu.Lock()
 		delete(a.ackWait, s.Nonce)
 		a.mu.Unlock()
@@ -773,6 +897,223 @@ func (a *Agent) Subscribe(kind wire.QueryKind, constraints []wire.FieldConstrain
 	return sub, nil
 }
 
+// BatchSubscribe registers many standing invariants in ONE signed exchange
+// (protocol v2 only): one client signature covers every item, the server
+// fans the initial evaluations across its worker pool, and one verified
+// reply signature covers every ack. The returned slice is index-aligned
+// with items; a rejected item yields nil at its position (its error is in
+// the aggregate error when every item failed, otherwise rejected items are
+// silently nil — inspect the result).
+func (a *Agent) BatchSubscribe(items []wire.BatchItem) ([]*Subscription, error) {
+	if a.protocol() < wire.EnvelopeVersion {
+		return nil, ErrNeedV2
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	nonce, err := randomNonce()
+	if err != nil {
+		return nil, err
+	}
+	// Pre-register every item under its derived nonce BEFORE sending, so a
+	// violation pushed for a brand-new subscription ahead of the reply is
+	// routed, exactly like single subscribes.
+	subs := make([]*Subscription, len(items))
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for i, it := range items {
+		sub := &Subscription{
+			Kind:        it.Kind,
+			nonce:       wire.BatchItemNonce(nonce, i),
+			ch:          make(chan *wire.Notification, 32),
+			constraints: append([]wire.FieldConstraint(nil), it.Constraints...),
+			param:       it.Param,
+		}
+		sub.C = sub.ch
+		subs[i] = sub
+		a.subsByNonce[sub.nonce] = sub
+	}
+	a.mu.Unlock()
+	unregister := func() {
+		a.mu.Lock()
+		for _, sub := range subs {
+			if sub != nil {
+				delete(a.subsByNonce, sub.nonce)
+			}
+		}
+		a.mu.Unlock()
+	}
+
+	req := &wire.BatchSubscribeRequest{
+		Version:      wire.CurrentVersion,
+		ClientID:     a.cfg.ClientID,
+		Nonce:        nonce,
+		AnchorSwitch: uint32(a.cfg.Access.Endpoint.Switch),
+		AnchorPort:   uint32(a.cfg.Access.Endpoint.Port),
+		Items:        items,
+	}
+	req.Signature = ed25519.Sign(a.priv,
+		wire.SessionSigningBytes(req.SigningBytes(), wire.EnvelopeVersion, a.sessionID))
+	env, err := a.rpcEnvelope(wire.OpBatchSubscribe, nonce, req.Marshal())
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			// The server may have registered the batch and lost only the
+			// reply: clean up every item by its derived registration nonce
+			// so no orphan keeps evaluating forever.
+			for i := range items {
+				a.abandonSubscription(wire.BatchItemNonce(nonce, i))
+			}
+		}
+		unregister()
+		return nil, err
+	}
+	reply, err := wire.UnmarshalBatchReply(env.Body)
+	if err != nil {
+		unregister()
+		return nil, err
+	}
+	if err := a.verifyFromServer(reply.SigningBytes(), reply.Signature, reply.Quote); err != nil {
+		unregister()
+		return nil, err
+	}
+	if reply.Status == wire.StatusError {
+		unregister()
+		return nil, fmt.Errorf("client: batch subscribe rejected: %s", reply.Detail)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, ErrClosed
+	}
+	for i := range subs {
+		if i >= len(reply.Items) {
+			delete(a.subsByNonce, subs[i].nonce)
+			subs[i] = nil
+			continue
+		}
+		it := reply.Items[i]
+		if it.SubID == 0 || it.Status == wire.StatusError {
+			delete(a.subsByNonce, subs[i].nonce)
+			subs[i] = nil
+			continue
+		}
+		sub := subs[i]
+		sub.ID = it.SubID
+		sub.InitialStatus = it.Status
+		sub.InitialDetail = it.Detail
+		if it.Seq > sub.lastSeq {
+			sub.lastSeq = it.Seq
+		}
+		a.subs[sub.ID] = sub
+	}
+	return subs, nil
+}
+
+// ResumeSession resynchronizes every subscription of this agent's session
+// in one signed exchange — the recovery path after notification loss or a
+// controller restart whose persistence layer restored the server-side set.
+// Each live entry rebases the subscription's gap-detection baseline on the
+// server's current sequence number; entries the server cannot resume come
+// back StatusError and are left untouched (callers re-subscribe those).
+// The verified reply entries are returned for inspection.
+func (a *Agent) ResumeSession() ([]wire.ResumeVerdict, error) {
+	if a.protocol() < wire.EnvelopeVersion {
+		return nil, ErrNeedV2
+	}
+	nonce, err := randomNonce()
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.SessionResumeRequest{
+		Version:   wire.CurrentVersion,
+		ClientID:  a.cfg.ClientID,
+		Nonce:     nonce,
+		SessionID: a.sessionID,
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for id, sub := range a.subs {
+		req.Entries = append(req.Entries, wire.ResumeEntry{SubID: id, LastSeq: sub.lastSeq})
+	}
+	a.resumes++
+	a.mu.Unlock()
+	req.Signature = ed25519.Sign(a.priv,
+		wire.SessionSigningBytes(req.SigningBytes(), wire.EnvelopeVersion, a.sessionID))
+	env, err := a.rpcEnvelope(wire.OpSessionResume, nonce, req.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	reply, err := wire.UnmarshalSessionResumeReply(env.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.verifyFromServer(reply.SigningBytes(), reply.Signature, reply.Quote); err != nil {
+		return nil, err
+	}
+	if reply.Status == wire.StatusError {
+		return nil, fmt.Errorf("client: session resume rejected: %s", reply.Detail)
+	}
+	a.mu.Lock()
+	for _, ent := range reply.Entries {
+		if ent.Status == wire.StatusError {
+			continue
+		}
+		if sub, ok := a.subs[ent.SubID]; ok {
+			// Rebase gap detection: every push at or below the resumed seq
+			// is superseded by the verdict we now hold. Only raise — a
+			// fresh push may already have advanced the counter.
+			if ent.Seq > sub.lastSeq {
+				sub.lastSeq = ent.Seq
+			}
+		}
+	}
+	a.mu.Unlock()
+	return reply.Entries, nil
+}
+
+// sharedResume coalesces concurrent gap recoveries into one in-flight
+// ResumeSession: the first caller performs the exchange, every caller that
+// arrives while it is in flight waits and shares its result. A burst of
+// gaps across many subscriptions (the post-restart steady state) thus
+// costs ONE signed round-trip, not one per subscription.
+func (a *Agent) sharedResume() ([]wire.ResumeVerdict, error) {
+	a.mu.Lock()
+	if ch := a.resumeShared; ch != nil {
+		a.mu.Unlock()
+		<-ch
+		a.mu.Lock()
+		res, err := a.resumeResult, a.resumeErr
+		a.mu.Unlock()
+		return res, err
+	}
+	ch := make(chan struct{})
+	a.resumeShared = ch
+	a.mu.Unlock()
+
+	res, err := a.ResumeSession()
+	a.mu.Lock()
+	a.resumeResult, a.resumeErr = res, err
+	a.resumeShared = nil
+	a.mu.Unlock()
+	close(ch)
+	return res, err
+}
+
+// SessionResumesSent counts ResumeSession exchanges this agent issued
+// (including those triggered by automatic gap recovery).
+func (a *Agent) SessionResumesSent() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resumes
+}
+
 // abandonSubscription fire-and-forgets a signed remove-by-nonce for a
 // subscribe whose ack never arrived (no SubID is known). The ack to this
 // cleanup op is intentionally unrouted.
@@ -788,9 +1129,73 @@ func (a *Agent) abandonSubscription(nonce uint64) {
 		Nonce:    opNonce,
 		RefNonce: nonce,
 	}
-	req.Signature = ed25519.Sign(a.priv, req.SigningBytes())
-	pkt := wire.NewSubscribePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, req)
-	_ = a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt)
+	proto := a.protocol()
+	req.Signature = ed25519.Sign(a.priv, wire.SessionSigningBytes(req.SigningBytes(), proto, a.sessionID))
+	_ = a.sendAs(proto, wire.OpUnsubscribe, req.Nonce, func() []byte { return req.Marshal() },
+		func() *wire.Packet { return wire.NewSubscribePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, req) })
+}
+
+// sendRequest injects one operation in the agent's current protocol
+// version: a v2 envelope carrying the body, or the legacy v1 frame built
+// by v1Frame.
+func (a *Agent) sendRequest(op wire.Op, corr uint64, body func() []byte, v1Frame func() *wire.Packet) error {
+	return a.sendAs(a.protocol(), op, corr, body, v1Frame)
+}
+
+// sendAs is sendRequest with an explicitly captured protocol version, for
+// signed operations whose signature already committed to the framing.
+func (a *Agent) sendAs(proto uint8, op wire.Op, corr uint64, body func() []byte, v1Frame func() *wire.Packet) error {
+	if proto >= wire.EnvelopeVersion {
+		env := &wire.Envelope{
+			Version:       wire.EnvelopeVersion,
+			Op:            op,
+			CorrelationID: corr,
+			SessionID:     a.sessionID,
+			Body:          body(),
+		}
+		pkt := wire.NewEnvelopePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, env)
+		return a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt)
+	}
+	return a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, v1Frame())
+}
+
+// ErrNeedV2 marks operations that only exist in protocol v2.
+var ErrNeedV2 = errors.New("client: operation requires protocol v2")
+
+// rpcEnvelope sends one v2 operation and waits for its correlated reply
+// envelope (batch and resume ops, which have no v1 frame shape).
+func (a *Agent) rpcEnvelope(op wire.Op, corr uint64, body []byte) (*wire.Envelope, error) {
+	if a.protocol() < wire.EnvelopeVersion {
+		return nil, ErrNeedV2
+	}
+	ch := make(chan *wire.Envelope, 1)
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrClosed
+	}
+	a.envWait[corr] = ch
+	a.mu.Unlock()
+	if err := a.sendRequest(op, corr, func() []byte { return body }, nil); err != nil {
+		a.mu.Lock()
+		delete(a.envWait, corr)
+		a.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(a.cfg.ResponseTimeout)
+	defer timer.Stop()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return env, nil
+	case <-timer.C:
+		a.mu.Lock()
+		delete(a.envWait, corr)
+		a.mu.Unlock()
+		return nil, ErrTimeout
+	}
 }
 
 // Unsubscribe removes a standing invariant and closes its channel. It is

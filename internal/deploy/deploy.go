@@ -43,6 +43,14 @@ type Options struct {
 	// worker (standing invariants are only re-checked via explicit
 	// RecheckNow / RevalidateAll calls) — used by latency experiments.
 	ManualRecheck bool
+	// Persist durably stores the standing-invariant set; with it,
+	// RestartRVaaS restores every subscription across a simulated
+	// controller crash. The caller owns (and closes) the store.
+	Persist rvaas.SubscriptionStore
+	// AgentProtocol selects the client agents' wire encoding (0/1 =
+	// legacy v1 frames, wire.EnvelopeVersion = protocol v2 envelopes with
+	// sessions and batching).
+	AgentProtocol uint8
 }
 
 // Deployment is a running system.
@@ -56,6 +64,8 @@ type Deployment struct {
 	// Agents maps client id -> agent (one per access point; when a client
 	// has several access points the first wins).
 	Agents map[uint64]*client.Agent
+
+	opt Options
 }
 
 // New builds and starts a deployment on the given wiring plan.
@@ -95,6 +105,7 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 		Seed:           opt.Seed,
 		Clock:          opt.Clock,
 		ManualRecheck:  opt.ManualRecheck,
+		Persist:        opt.Persist,
 	})
 	if err != nil {
 		fab.Close()
@@ -143,6 +154,7 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 		Platform: platform,
 		CA:       ca,
 		Agents:   make(map[uint64]*client.Agent),
+		opt:      opt,
 	}
 	if !opt.SkipAgents {
 		if err := d.createAgents(); err != nil {
@@ -168,6 +180,7 @@ func (d *Deployment) createAgents() error {
 				Access:   ap,
 				NIC:      d.Fabric,
 				Trust:    trust,
+				Protocol: d.opt.AgentProtocol,
 			})
 			if err != nil {
 				return err
@@ -187,6 +200,60 @@ func (d *Deployment) createAgents() error {
 
 // Agent returns the agent for a client id (nil if absent).
 func (d *Deployment) Agent(id uint64) *client.Agent { return d.Agents[id] }
+
+// RestartRVaaS simulates a controller crash and recovery: the running
+// RVaaS instance is torn down and a fresh one launched on the same enclave
+// platform and persistence store, re-attached to the LIVE fabric over new
+// secure channels. With Options.Persist set, the new instance restores the
+// full standing-invariant set and re-verifies it on its first recheck
+// pass. Running agents keep their subscriptions; they re-pin the new
+// enclave's signing key here, standing in for the attested key re-exchange
+// a real client performs after noticing a restart.
+func (d *Deployment) RestartRVaaS() error {
+	d.RVaaS.Close()
+	ctl, err := rvaas.New(rvaas.Config{
+		Topology:       d.Topology,
+		Platform:       d.Platform,
+		PollInterval:   d.opt.PollInterval,
+		RandomizePolls: d.opt.RandomizePolls,
+		AuthTimeout:    d.opt.AuthTimeout,
+		Seed:           d.opt.Seed + 1,
+		Clock:          d.opt.Clock,
+		ManualRecheck:  d.opt.ManualRecheck,
+		Persist:        d.opt.Persist,
+	})
+	if err != nil {
+		return fmt.Errorf("deploy: relaunch rvaas: %w", err)
+	}
+	ctlID, err := openflow.NewIdentity("rvaas-restarted")
+	if err != nil {
+		return err
+	}
+	ctlCert := d.CA.Issue(ctlID)
+	for _, swID := range d.Topology.Switches() {
+		swIdent, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", swID))
+		if err != nil {
+			return err
+		}
+		ctlConn, swConn, err := openflow.ConnectSecure(ctlID, ctlCert, swIdent, d.CA.Issue(swIdent), d.CA.Pub)
+		if err != nil {
+			return fmt.Errorf("deploy: secure channel to %d: %w", swID, err)
+		}
+		if err := d.Fabric.Switch(swID).Serve(swConn); err != nil {
+			return err
+		}
+		if err := ctl.Attach(swID, ctlConn); err != nil {
+			return fmt.Errorf("deploy: re-attach %d: %w", swID, err)
+		}
+	}
+	for id, ag := range d.Agents {
+		ag.PinServerKey(ctl.PublicKey())
+		ctl.RegisterClient(id, ag.PublicKey())
+	}
+	d.RVaaS = ctl
+	ctl.Start()
+	return nil
+}
 
 // Close tears everything down.
 func (d *Deployment) Close() {

@@ -15,9 +15,11 @@ import (
 // active phase where "these packets trigger destination clients to respond
 // to the querying clients, in an authenticated manner" (§IV-A3).
 type pendingQuery struct {
-	nonce     uint64
-	requester requesterInfo
-	resp      *wire.QueryResponse
+	nonce uint64
+	resp  *wire.QueryResponse
+	// deliver hands the finalized signed response back to the transport
+	// (or the in-process caller) that issued the query.
+	deliver func(*wire.QueryResponse)
 
 	mu       sync.Mutex
 	expected map[uint64]*authTarget // challenge -> target
@@ -46,12 +48,12 @@ func (p *pendingQuery) cancel() {
 // all replies arrive or the deadline passes. The response reports both how
 // many requests were made and how many replies came back, "such that it can
 // detect cases where some access points did not respond".
-func (c *Controller) startAuthRound(req requesterInfo, q *wire.QueryRequest, resp *wire.QueryResponse, targets []discoveredEndpoint) {
+func (c *Controller) startAuthRound(req requesterInfo, q *wire.QueryRequest, resp *wire.QueryResponse, targets []discoveredEndpoint, deliver func(*wire.QueryResponse)) {
 	p := &pendingQuery{
-		nonce:     q.Nonce,
-		requester: req,
-		resp:      resp,
-		expected:  make(map[uint64]*authTarget, len(targets)),
+		nonce:    q.Nonce,
+		resp:     resp,
+		deliver:  deliver,
+		expected: make(map[uint64]*authTarget, len(targets)),
 	}
 	// Derive per-target challenges deterministically from the enclave
 	// signature of (nonce, endpoint) so they are unforgeable by observers.
@@ -170,18 +172,20 @@ func (c *Controller) finishAuthRound(p *pendingQuery) {
 	c.mu.Lock()
 	delete(c.pending, p.nonce)
 	c.mu.Unlock()
-	c.finalizeAndSend(p.requester, p.resp)
+	c.finalizeQuery(p.resp, p.deliver)
 }
 
-// finalizeAndSend signs the response inside the enclave, attaches the
-// attestation quote and injects it back to the requesting client via
-// Packet-Out at its ingress port.
-func (c *Controller) finalizeAndSend(req requesterInfo, resp *wire.QueryResponse) {
+// finalizeQuery signs the response inside the enclave, attaches the
+// attestation quote and hands it to the transport's deliver callback
+// (which, for in-band requesters, injects it via Packet-Out at the
+// client's ingress port).
+func (c *Controller) finalizeQuery(resp *wire.QueryResponse, deliver func(*wire.QueryResponse)) {
 	resp.Signature = c.enclave.Sign(resp.SigningBytes())
 	resp.Quote = c.enclave.KeyQuote().Marshal()
 	c.mu.Lock()
 	c.stats.ResponsesSigned++
 	c.mu.Unlock()
-	pkt := wire.NewResponsePacket(req.mac, req.ip, resp)
-	_ = c.sendPacketOut(req.sw, req.port, pkt)
+	if deliver != nil {
+		deliver(resp)
+	}
 }

@@ -70,6 +70,14 @@ type Config struct {
 	// fans independent invariant evaluations across; <= 0 means GOMAXPROCS.
 	// Runtime-adjustable via SetRecheckTuning.
 	RecheckParallelism int
+	// Persist durably stores the standing-invariant set (client key,
+	// invariant spec, anchor binding, session, last verdict/seq). When
+	// set, every registration and verdict transition is appended to the
+	// store, and New restores the full subscription set from it — a
+	// restarted controller re-verifies every restored invariant and
+	// re-issues current verdicts instead of silently dropping the tenant
+	// fleet's standing monitoring. The caller owns (and closes) the store.
+	Persist SubscriptionStore
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +117,10 @@ type Controller struct {
 	subKick chan struct{}
 	notifyQ chan notifyJob
 	rng     *rand.Rand
+	persist SubscriptionStore
+	// svc is the client-facing service stack (auth gate over the core);
+	// the packet transport and in-process callers share it.
+	svc Service
 
 	mu       sync.Mutex
 	sessions map[topology.SwitchID]*session
@@ -158,8 +170,9 @@ func New(cfg Config) (*Controller, error) {
 	}
 	engine := newSubscriptionEngine()
 	engine.parallelism.Store(int64(cfg.RecheckParallelism))
-	return &Controller{
+	c := &Controller{
 		cfg:          cfg,
+		persist:      cfg.Persist,
 		enclave:      encl,
 		topo:         cfg.Topology,
 		snap:         newSnapshotStore(),
@@ -184,7 +197,14 @@ func New(cfg Config) (*Controller, error) {
 		probeConfirm: make(map[uint64]topology.Endpoint),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
-	}, nil
+	}
+	c.svc = authGate{core: coreService{c}, c: c}
+	if cfg.Persist != nil {
+		if err := c.restoreSubscriptions(); err != nil {
+			return nil, fmt.Errorf("rvaas: restore subscriptions: %w", err)
+		}
+	}
+	return c, nil
 }
 
 // PublicKey returns the enclave-held response signing key.
@@ -302,6 +322,7 @@ func (c *Controller) interceptionRules() []*openflow.FlowMod {
 		mkUDP(wire.PortRVaaSQuery, 1),
 		mkUDP(wire.PortRVaaSAuthRep, 2),
 		mkUDP(wire.PortRVaaSSub, 4),
+		mkUDP(wire.PortRVaaSV2, 5),
 		probe,
 	}
 }

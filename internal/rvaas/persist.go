@@ -1,0 +1,578 @@
+package rvaas
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/headerspace"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Durable sessions: the subscription engine is the controller's most
+// valuable state — 10⁵ standing invariants a tenant fleet registered, each
+// with an authenticated anchor and a signed verdict history — and before
+// this layer a controller restart silently dropped all of it (clients only
+// noticed via gap detection and had to blind re-subscribe). The store below
+// persists each subscription's durable core (client key, invariant spec,
+// anchor binding, session, last verdict/seq) on every registration and
+// verdict transition; a restarting controller rebuilds the set, re-verifies
+// every invariant against the freshly monitored network, and pushes signed
+// notifications for whatever changed while it was down. Clients then
+// resynchronize with one OpSessionResume exchange instead of re-registering
+// the world.
+//
+// Deliberately NOT persisted: footprints, isolation cones and the inverted
+// index (cheap to recompute, expensive to keep consistent on disk), and the
+// monitoring snapshot (the switches are the authority; a restart re-syncs).
+
+// SubscriptionRecord is the durable form of one standing invariant.
+type SubscriptionRecord struct {
+	ID        uint64
+	ClientID  uint64
+	SessionID uint64
+	Nonce     uint64
+	Proto     uint8
+	Kind      wire.QueryKind
+	// Anchor binding: the access point the invariant is pinned to and the
+	// L2/L3 addresses notifications are injected toward.
+	AnchorSwitch uint32
+	AnchorPort   uint32
+	MAC          uint64
+	IP           uint32
+	Constraints  []wire.FieldConstraint
+	Param        string
+	// Last committed verdict.
+	Violated bool
+	Detail   string
+	Seq      uint64
+	// ClientKey is the client's registered Ed25519 verification key, so a
+	// restored controller can authenticate the client's operations before
+	// any out-of-band re-registration.
+	ClientKey []byte
+}
+
+// SubscriptionStore persists the standing-invariant set across controller
+// restarts. Append upserts one record (keyed by ID), Remove deletes one,
+// Load returns the live set. Implementations must be safe for concurrent
+// use; errors are reported but the engine treats persistence as
+// best-effort (a failing store degrades durability, never correctness of
+// the live engine).
+type SubscriptionStore interface {
+	Append(rec SubscriptionRecord) error
+	Remove(id uint64) error
+	Load() ([]SubscriptionRecord, error)
+	Close() error
+}
+
+// ------------------------------------------------------------- codec -----
+
+const (
+	recUpsert byte = 1
+	recRemove byte = 2
+)
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func (r *SubscriptionRecord) marshal() []byte {
+	b := []byte{recUpsert}
+	b = appendU64(b, r.ID)
+	b = appendU64(b, r.ClientID)
+	b = appendU64(b, r.SessionID)
+	b = appendU64(b, r.Nonce)
+	b = append(b, r.Proto, byte(r.Kind))
+	b = appendU32(b, r.AnchorSwitch)
+	b = appendU32(b, r.AnchorPort)
+	b = appendU64(b, r.MAC)
+	b = appendU32(b, r.IP)
+	nc := len(r.Constraints)
+	if nc > 0xffff {
+		nc = 0xffff
+	}
+	b = appendU16(b, uint16(nc))
+	for _, c := range r.Constraints[:nc] {
+		b = append(b, byte(c.Field))
+		b = appendU64(b, c.Value)
+		b = appendU64(b, c.Mask)
+	}
+	b = appendStr(b, r.Param)
+	if r.Violated {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendStr(b, r.Detail)
+	b = appendU64(b, r.Seq)
+	b = appendStr(b, string(r.ClientKey))
+	return b
+}
+
+// recReader is a minimal bounds-checked decoder for store records.
+type recReader struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (r *recReader) need(n int) bool {
+	if r.bad || r.off+n > len(r.buf) {
+		r.bad = true
+		return false
+	}
+	return true
+}
+
+func (r *recReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *recReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *recReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *recReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *recReader) str() string {
+	n := int(r.u16())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func unmarshalRecord(b []byte) (*SubscriptionRecord, byte, error) {
+	r := recReader{buf: b}
+	op := r.u8()
+	switch op {
+	case recRemove:
+		rec := &SubscriptionRecord{ID: r.u64()}
+		if r.bad {
+			return nil, 0, fmt.Errorf("rvaas: truncated remove record")
+		}
+		return rec, op, nil
+	case recUpsert:
+		rec := &SubscriptionRecord{
+			ID:        r.u64(),
+			ClientID:  r.u64(),
+			SessionID: r.u64(),
+			Nonce:     r.u64(),
+			Proto:     r.u8(),
+		}
+		rec.Kind = wire.QueryKind(r.u8())
+		rec.AnchorSwitch = r.u32()
+		rec.AnchorPort = r.u32()
+		rec.MAC = r.u64()
+		rec.IP = r.u32()
+		nc := int(r.u16())
+		for i := 0; i < nc && !r.bad; i++ {
+			rec.Constraints = append(rec.Constraints, wire.FieldConstraint{
+				Field: wire.Field(r.u8()),
+				Value: r.u64(),
+				Mask:  r.u64(),
+			})
+		}
+		rec.Param = r.str()
+		rec.Violated = r.u8() == 1
+		rec.Detail = r.str()
+		rec.Seq = r.u64()
+		rec.ClientKey = []byte(r.str())
+		if r.bad {
+			return nil, 0, fmt.Errorf("rvaas: truncated subscription record")
+		}
+		return rec, op, nil
+	}
+	return nil, 0, fmt.Errorf("rvaas: unknown record op %d", op)
+}
+
+// ------------------------------------------------------------ MemStore ---
+
+// MemStore is an in-memory SubscriptionStore for tests and experiments
+// that exercise restore without touching disk.
+type MemStore struct {
+	mu   sync.Mutex
+	live map[uint64]SubscriptionRecord
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{live: make(map[uint64]SubscriptionRecord)}
+}
+
+// Append upserts a record.
+func (m *MemStore) Append(rec SubscriptionRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live[rec.ID] = rec
+	return nil
+}
+
+// Remove deletes a record.
+func (m *MemStore) Remove(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.live, id)
+	return nil
+}
+
+// Load returns the live set in id order.
+func (m *MemStore) Load() ([]SubscriptionRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SubscriptionRecord, 0, len(m.live))
+	for _, rec := range m.live {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Close is a no-op.
+func (m *MemStore) Close() error { return nil }
+
+// ----------------------------------------------------------- FileStore ---
+
+// fileCompactSlack bounds log growth: when the op count since the last
+// rewrite exceeds 2×live + slack, the log is rewritten to exactly the live
+// set (write-temp + rename, so a crash mid-compaction leaves either the
+// old or the new log, never a mix).
+const fileCompactSlack = 128
+
+// FileStore is an append-compacted on-disk SubscriptionStore: operations
+// append length-prefixed records to a single log file; when dead records
+// dominate, the log is compacted to the live set. A torn final record
+// (crash mid-append) is truncated away on load.
+type FileStore struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	live    map[uint64]SubscriptionRecord
+	appends int
+}
+
+// OpenFileStore opens (or creates) the log at path and replays it.
+func OpenFileStore(path string) (*FileStore, error) {
+	s := &FileStore{path: path, live: make(map[uint64]SubscriptionRecord)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	valid := 0
+	for off := 0; off+4 <= len(data); {
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if n <= 0 || off+4+n > len(data) {
+			break // torn tail
+		}
+		rec, op, err := unmarshalRecord(data[off+4 : off+4+n])
+		if err != nil {
+			break
+		}
+		if op == recRemove {
+			delete(s.live, rec.ID)
+		} else {
+			s.live[rec.ID] = *rec
+		}
+		off += 4 + n
+		valid = off
+		s.appends++
+	}
+	// Drop any torn tail so the next append starts at a record boundary.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, os.SEEK_END); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+func (s *FileStore) writeLocked(payload []byte) error {
+	if s.f == nil {
+		// A previous compaction renamed the log but failed to reopen it
+		// (e.g. fd exhaustion): retry here so appends never silently land
+		// in an unlinked inode.
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.f = f
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	s.appends++
+	if s.appends > 2*len(s.live)+fileCompactSlack {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the log to exactly the live set.
+func (s *FileStore) compactLocked() error {
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(s.live))
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := s.live[id]
+		payload := rec.marshal()
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	// The rename unlinked the inode s.f points at: close it NOW and only
+	// install the reopened handle on success — otherwise writeLocked would
+	// keep "successfully" appending into the orphaned file and every later
+	// update would vanish. On reopen failure s.f stays nil and the next
+	// write retries the open.
+	s.f.Close()
+	s.f = nil
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = nf
+	s.appends = len(s.live)
+	return nil
+}
+
+// Append upserts a record.
+func (s *FileStore) Append(rec SubscriptionRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.live[rec.ID] = rec
+	return s.writeLocked(rec.marshal())
+}
+
+// Remove deletes a record.
+func (s *FileStore) Remove(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.live, id)
+	payload := append([]byte{recRemove}, make([]byte, 8)...)
+	binary.BigEndian.PutUint64(payload[1:], id)
+	return s.writeLocked(payload)
+}
+
+// Load returns the live set in id order.
+func (s *FileStore) Load() ([]SubscriptionRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SubscriptionRecord, 0, len(s.live))
+	for _, rec := range s.live {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Path returns the log file's path (e.g. for reopening after a simulated
+// crash).
+func (s *FileStore) Path() string { return s.path }
+
+// Close syncs and closes the log.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// DefaultStorePath joins a state directory with the canonical log name.
+func DefaultStorePath(dir string) string {
+	return filepath.Join(dir, "subscriptions.log")
+}
+
+// ------------------------------------------------- controller plumbing ---
+
+// recordOfLocked captures one subscription's durable state. Callers hold
+// the subscription's shard mutex so verdict fields cannot mix commits; the
+// client key is filled in later (persistUpsert) outside the shard lock.
+func recordOfLocked(sub *subscription) *SubscriptionRecord {
+	return &SubscriptionRecord{
+		ID:           sub.id,
+		ClientID:     sub.clientID,
+		SessionID:    sub.sessionID,
+		Nonce:        sub.nonce,
+		Proto:        sub.proto,
+		Kind:         sub.kind,
+		AnchorSwitch: uint32(sub.req.sw),
+		AnchorPort:   uint32(sub.req.port),
+		MAC:          sub.req.mac,
+		IP:           sub.req.ip,
+		Constraints:  append([]wire.FieldConstraint(nil), sub.constraints...),
+		Param:        sub.param,
+		Violated:     sub.violated,
+		Detail:       sub.detail,
+		Seq:          sub.seq,
+	}
+}
+
+// persistUpsert appends one subscription record to the store. Best-effort:
+// a failing store costs durability of this update, never live correctness.
+func (c *Controller) persistUpsert(rec *SubscriptionRecord) {
+	if c.persist == nil {
+		return
+	}
+	if pub, ok := c.clientKeyOf(rec.ClientID); ok {
+		rec.ClientKey = append([]byte(nil), pub...)
+	}
+	_ = c.persist.Append(*rec)
+}
+
+// persistRemove deletes one subscription record from the store.
+func (c *Controller) persistRemove(id uint64) {
+	if c.persist == nil {
+		return
+	}
+	_ = c.persist.Remove(id)
+}
+
+// restoreSubscriptions rebuilds the standing-invariant set from the
+// persistence store at startup. Restored subscriptions keep their id,
+// session, anchor, verdict and sequence number — so resumed clients see
+// continuous seq streams — and are queued for a full re-verification on
+// the next recheck pass (the network may have changed arbitrarily while
+// the controller was down; transitions found then are pushed with the next
+// seq). Client keys ride along so restored clients authenticate
+// immediately.
+func (c *Controller) restoreSubscriptions() error {
+	recs, err := c.persist.Load()
+	if err != nil {
+		return err
+	}
+	e := c.subs
+	var maxID uint64
+	for i := range recs {
+		rec := &recs[i]
+		req := requesterInfo{
+			sw:   topology.SwitchID(rec.AnchorSwitch),
+			port: topology.PortNo(rec.AnchorPort),
+			mac:  rec.MAC,
+			ip:   rec.IP,
+		}
+		src := subSource{nonce: rec.Nonce, sessionID: rec.SessionID, proto: rec.Proto}
+		sub, err := newSubscription(rec.ClientID, src, rec.Kind, rec.Constraints, rec.Param, req)
+		if err != nil {
+			// A record written by a newer engine with a kind this build
+			// does not know: skip it rather than refuse to start.
+			continue
+		}
+		sub.id = rec.ID
+		sub.violated = rec.Violated
+		sub.detail = rec.Detail
+		sub.seq = rec.Seq
+		sub.evaluated = true
+		sub.needsFullEval = true
+		sub.fp = headerspace.NewFootprint()
+		if rec.ID > maxID {
+			maxID = rec.ID
+		}
+		sh := e.shardFor(sub.id)
+		sh.mu.Lock()
+		sh.subs[sub.id] = sub
+		sh.mu.Unlock()
+		if rec.Nonce != 0 {
+			// Re-seed replay protection: a captured pre-restart subscribe
+			// frame must stay unreplayable after the restart.
+			e.recordNonce(rec.ClientID, rec.Nonce)
+		}
+		if len(rec.ClientKey) == ed25519.PublicKeySize {
+			c.mu.Lock()
+			c.clients[rec.ClientID] = append(ed25519.PublicKey(nil), rec.ClientKey...)
+			c.mu.Unlock()
+		}
+		e.pendingRestore = append(e.pendingRestore, sub)
+		e.stats.restored.Add(1)
+	}
+	// Fresh registrations must never collide with a restored id.
+	for {
+		cur := e.nextID.Load()
+		if cur >= maxID || e.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+	return nil
+}

@@ -11,8 +11,11 @@ import (
 	"repro/internal/wire"
 )
 
-// handlePacketIn classifies an intercepted frame: client query, auth reply
-// or topology probe.
+// handlePacketIn is the controller's transport layer: it classifies an
+// intercepted frame and, for client operations, normalizes it into a
+// protocol envelope (v1 frames through the compat shim, v2 frames
+// directly) before handing it to the service stack. Auth replies and
+// topology probes are infrastructure traffic outside the client API.
 func (c *Controller) handlePacketIn(sw topology.SwitchID, m *openflow.PacketIn) {
 	c.mu.Lock()
 	c.stats.PacketIns++
@@ -22,18 +25,6 @@ func (c *Controller) handlePacketIn(sw topology.SwitchID, m *openflow.PacketIn) 
 		return
 	}
 	switch {
-	case pkt.IsRVaaSQuery():
-		q, err := wire.UnmarshalQueryRequest(pkt.Payload)
-		if err != nil {
-			return
-		}
-		c.handleQuery(sw, topology.PortNo(m.InPort), pkt, q)
-	case pkt.IsRVaaSSubscribe():
-		sr, err := wire.UnmarshalSubscribeRequest(pkt.Payload)
-		if err != nil {
-			return
-		}
-		c.handleSubscribe(sw, topology.PortNo(m.InPort), pkt, sr)
 	case pkt.IsAuthReply():
 		rep, err := wire.UnmarshalAuthReply(pkt.Payload)
 		if err != nil {
@@ -43,6 +34,12 @@ func (c *Controller) handlePacketIn(sw topology.SwitchID, m *openflow.PacketIn) 
 	case pkt.IsProbe():
 		// Topology probes confirm the wiring plan; handled in probe.go.
 		c.handleProbe(sw, topology.PortNo(m.InPort), pkt)
+	default:
+		env, err := wire.EnvelopeFromPacket(pkt)
+		if err != nil {
+			return
+		}
+		c.serveEnvelope(sw, topology.PortNo(m.InPort), pkt, env)
 	}
 }
 
@@ -69,27 +66,13 @@ type discoveredEndpoint struct {
 	pathLens []int
 }
 
-// handleQuery performs the paper's three-step pipeline for one query:
-// static trajectory analysis, endpoint discovery, and (for endpoint-kind
-// queries) active in-band authentication.
-func (c *Controller) handleQuery(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, q *wire.QueryRequest) {
-	c.mu.Lock()
-	c.stats.QueriesServed++
-	c.mu.Unlock()
-
-	requester := requesterInfo{sw: sw, port: inPort, mac: pkt.EthSrc, ip: pkt.IPSrc}
-	resp := &wire.QueryResponse{
-		Version:    wire.CurrentVersion,
-		Kind:       q.Kind,
-		Nonce:      q.Nonce,
-		Status:     wire.StatusOK,
-		SnapshotID: c.snap.snapshotID(),
-	}
-
-	// Served from the compile cache whenever the snapshot is unchanged.
-	net := c.CompiledNetwork()
+// answerQuery performs the logical part of the paper's pipeline for one
+// query — static trajectory analysis and endpoint discovery — writing the
+// verdict into resp and returning the discovered endpoints eligible for
+// the active in-band authentication round. Single queries with targets go
+// on to startAuthRound; batch queries run the logical pipeline only.
+func (c *Controller) answerQuery(net *headerspace.Network, requester requesterInfo, q *wire.QueryRequest, resp *wire.QueryResponse) []discoveredEndpoint {
 	var authTargets []discoveredEndpoint
-
 	switch q.Kind {
 	case wire.QueryReachableDestinations:
 		eps := c.reachableEndpoints(net, requester, q)
@@ -114,12 +97,7 @@ func (c *Controller) handleQuery(sw topology.SwitchID, inPort topology.PortNo, p
 		resp.Status = wire.StatusUnsupported
 		resp.Detail = fmt.Sprintf("unknown query kind %d", q.Kind)
 	}
-
-	if len(authTargets) == 0 {
-		c.finalizeAndSend(requester, resp)
-		return
-	}
-	c.startAuthRound(requester, q, resp, authTargets)
+	return authTargets
 }
 
 type requesterInfo struct {

@@ -154,17 +154,26 @@ func TestVerdictQueryRejectsWrongIngress(t *testing.T) {
 		sr.Signature = ed25519.Sign(priv, sr.SigningBytes())
 		return sr, wire.NewSubscribePacket(aps[0].HostMAC, aps[0].HostIP, sr)
 	}
+	// Drive the frames through the production dispatch path (compat shim
+	// + service stack), exactly as handlePacketIn would.
+	serve := func(ep topology.Endpoint, pkt *wire.Packet) {
+		env, err := wire.EnvelopeFromPacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.serveEnvelope(ep.Switch, ep.Port, pkt, env)
+	}
 
 	// Replay from the wrong ingress: rejected, no verdict served.
-	sr, pkt := mkQuery()
-	c.handleSubscribe(aps[1].Endpoint.Switch, aps[1].Endpoint.Port, pkt, sr)
+	_, pkt := mkQuery()
+	serve(aps[1].Endpoint, pkt)
 	if st := c.SubscriptionStats(); st.VerdictQueries != 0 {
 		t.Fatalf("verdict served to a replayed frame from foreign ingress: %+v", st)
 	}
 
 	// The genuine anchor is answered.
-	sr, pkt = mkQuery()
-	c.handleSubscribe(aps[0].Endpoint.Switch, aps[0].Endpoint.Port, pkt, sr)
+	_, pkt = mkQuery()
+	serve(aps[0].Endpoint, pkt)
 	if st := c.SubscriptionStats(); st.VerdictQueries != 1 {
 		t.Fatalf("verdict query from the anchored ingress not served: %+v", st)
 	}

@@ -1,0 +1,527 @@
+package rvaas
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+
+	"repro/internal/enclave"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// This file defines the transport-independent client-facing API of RVaaS.
+// The controller's packet handlers used to own query/subscribe/verdict
+// logic directly; they are now a thin transport — intercept frame, decode
+// envelope, call the Service, encode the reply in the protocol version the
+// request arrived with. Everything behind the interface (verification
+// pipeline, subscription engine, sessions, batching) is driven identically
+// by in-band packets, in-process tests and the bench harness.
+//
+// The service is layered:
+//
+//	transport (handlePacketIn / serveEnvelope)
+//	  → authGate   signature + anchor middleware (rejects forged or
+//	                replayed mutating ops before they reach the core)
+//	  → coreService  the verification/subscription logic itself
+//
+// Acks and replies leave the service already enclave-signed, so no
+// transport can forward an unsigned verdict.
+
+// Origin identifies where a client operation entered the network: the
+// ingress access point (checked against signed anchors), the requester's
+// L2/L3 addresses (where replies are injected), and the protocol version
+// plus session the operation arrived under.
+type Origin struct {
+	Switch topology.SwitchID
+	Port   topology.PortNo
+	MAC    uint64
+	IP     uint32
+	// Proto is the envelope version the request arrived with (1 = legacy
+	// v1 frames, wire.EnvelopeVersion = v2). Replies and notification
+	// pushes are encoded to match.
+	Proto uint8
+	// SessionID is the client session named by a v2 envelope (0 for v1).
+	// Subscriptions inherit it, making them resumable via OpSessionResume.
+	SessionID uint64
+}
+
+func (o Origin) requester() requesterInfo {
+	return requesterInfo{sw: o.Switch, port: o.Port, mac: o.MAC, ip: o.IP}
+}
+
+// Service is the client-facing API of RVaaS, decoupled from the in-band
+// transport. Query is asynchronous (the in-band authentication round
+// completes after a deadline): deliver is invoked exactly once with the
+// signed response, possibly synchronously. All other operations return
+// their signed reply directly.
+type Service interface {
+	Query(o Origin, q *wire.QueryRequest, deliver func(*wire.QueryResponse))
+	Subscribe(o Origin, s *wire.SubscribeRequest) *wire.Notification
+	Unsubscribe(o Origin, s *wire.SubscribeRequest) *wire.Notification
+	QueryVerdict(o Origin, s *wire.SubscribeRequest) *wire.Notification
+	BatchSubscribe(o Origin, b *wire.BatchSubscribeRequest) *wire.BatchReply
+	BatchQuery(o Origin, b *wire.BatchQueryRequest) *wire.BatchQueryReply
+	ResumeSession(o Origin, r *wire.SessionResumeRequest) *wire.SessionResumeReply
+}
+
+// Service returns the controller's client-facing API with the signature +
+// anchor middleware applied — the same stack in-band frames go through, so
+// driving it directly (tests, benches) measures exactly the service the
+// network sees minus frame transit.
+func (c *Controller) Service() Service { return c.svc }
+
+// signAck finalizes one subscription ack: snapshot id, enclave signature,
+// attestation quote.
+func (c *Controller) signAck(ack *wire.Notification) *wire.Notification {
+	ack.SnapshotID = c.snap.snapshotID()
+	ack.Signature = c.enclave.Sign(ack.SigningBytes())
+	ack.Quote = c.enclave.KeyQuote().Marshal()
+	return ack
+}
+
+// ------------------------------------------------------------ auth gate --
+
+// authGate is the middleware layer: it verifies client signatures on every
+// state-mutating or verdict-revealing operation and the signed anchor
+// binding on registrations, rejecting with a signed error before the core
+// is touched. Read-only unsigned ops (queries) pass through.
+type authGate struct {
+	core coreService
+	c    *Controller
+}
+
+// verifyClient checks sig over signing against clientID's registered key.
+// The signed message is session-bound for v2-carried operations
+// (wire.SessionSigningBytes): the envelope's SessionID field is otherwise
+// outside every signature, and an on-path modifier rewriting it would
+// silently register the subscription under the wrong session — breaking
+// OpSessionResume without any party noticing.
+func (g authGate) verifyClient(o Origin, clientID uint64, signing, sig []byte) bool {
+	g.c.mu.Lock()
+	pub, registered := g.c.clients[clientID]
+	g.c.mu.Unlock()
+	return registered && enclave.VerifyFrom(pub, wire.SessionSigningBytes(signing, o.Proto, o.SessionID), sig)
+}
+
+// errAck builds a signed rejection ack.
+func (g authGate) errAck(kind wire.QueryKind, nonce uint64, detail string) *wire.Notification {
+	return g.c.signAck(&wire.Notification{
+		Version: wire.CurrentVersion,
+		Event:   wire.NotifyError,
+		Kind:    kind,
+		Status:  wire.StatusError,
+		Nonce:   nonce,
+		Detail:  detail,
+	})
+}
+
+func (g authGate) Query(o Origin, q *wire.QueryRequest, deliver func(*wire.QueryResponse)) {
+	g.core.Query(o, q, deliver)
+}
+
+func (g authGate) BatchQuery(o Origin, b *wire.BatchQueryRequest) *wire.BatchQueryReply {
+	return g.core.BatchQuery(o, b)
+}
+
+func (g authGate) Subscribe(o Origin, s *wire.SubscribeRequest) *wire.Notification {
+	if s.Op != wire.SubOpAdd {
+		return g.errAck(s.Kind, s.Nonce, fmt.Sprintf("unknown subscription op %d", s.Op))
+	}
+	if !g.verifyClient(o, s.ClientID, s.SigningBytes(), s.Signature) {
+		return g.errAck(s.Kind, s.Nonce,
+			fmt.Sprintf("subscription op not signed by registered key of client %d", s.ClientID))
+	}
+	// The signed anchor must match the actual ingress: a captured
+	// subscribe frame replayed from a different port would otherwise
+	// re-anchor the invariant (and its notifications) at the replayer's
+	// endpoint.
+	if s.AnchorSwitch != uint32(o.Switch) || s.AnchorPort != uint32(o.Port) {
+		return g.errAck(s.Kind, s.Nonce, fmt.Sprintf("anchor (%d,%d) does not match ingress (%d,%d)",
+			s.AnchorSwitch, s.AnchorPort, o.Switch, o.Port))
+	}
+	return g.core.Subscribe(o, s)
+}
+
+func (g authGate) Unsubscribe(o Origin, s *wire.SubscribeRequest) *wire.Notification {
+	if s.Op != wire.SubOpRemove {
+		return g.errAck(s.Kind, s.Nonce, fmt.Sprintf("unknown subscription op %d", s.Op))
+	}
+	if !g.verifyClient(o, s.ClientID, s.SigningBytes(), s.Signature) {
+		return g.errAck(s.Kind, s.Nonce,
+			fmt.Sprintf("subscription op not signed by registered key of client %d", s.ClientID))
+	}
+	return g.core.Unsubscribe(o, s)
+}
+
+func (g authGate) QueryVerdict(o Origin, s *wire.SubscribeRequest) *wire.Notification {
+	if s.Op != wire.SubOpQueryVerdict {
+		return g.errAck(s.Kind, s.Nonce, fmt.Sprintf("unknown subscription op %d", s.Op))
+	}
+	if !g.verifyClient(o, s.ClientID, s.SigningBytes(), s.Signature) {
+		return g.errAck(s.Kind, s.Nonce,
+			fmt.Sprintf("subscription op not signed by registered key of client %d", s.ClientID))
+	}
+	return g.core.QueryVerdict(o, s)
+}
+
+func (g authGate) BatchSubscribe(o Origin, b *wire.BatchSubscribeRequest) *wire.BatchReply {
+	reject := func(detail string) *wire.BatchReply {
+		r := &wire.BatchReply{
+			Version: wire.CurrentVersion,
+			Nonce:   b.Nonce,
+			Status:  wire.StatusError,
+			Detail:  detail,
+		}
+		return g.c.signBatchReply(r)
+	}
+	if !g.verifyClient(o, b.ClientID, b.SigningBytes(), b.Signature) {
+		return reject(fmt.Sprintf("batch not signed by registered key of client %d", b.ClientID))
+	}
+	if b.AnchorSwitch != uint32(o.Switch) || b.AnchorPort != uint32(o.Port) {
+		return reject(fmt.Sprintf("anchor (%d,%d) does not match ingress (%d,%d)",
+			b.AnchorSwitch, b.AnchorPort, o.Switch, o.Port))
+	}
+	return g.core.BatchSubscribe(o, b)
+}
+
+func (g authGate) ResumeSession(o Origin, r *wire.SessionResumeRequest) *wire.SessionResumeReply {
+	if !g.verifyClient(o, r.ClientID, r.SigningBytes(), r.Signature) {
+		reply := &wire.SessionResumeReply{
+			Version:   wire.CurrentVersion,
+			Nonce:     r.Nonce,
+			SessionID: r.SessionID,
+			Status:    wire.StatusError,
+			Detail:    fmt.Sprintf("resume not signed by registered key of client %d", r.ClientID),
+		}
+		return g.c.signResumeReply(reply)
+	}
+	return g.core.ResumeSession(o, r)
+}
+
+// --------------------------------------------------------- core service --
+
+// coreService implements the verification and subscription logic. It
+// assumes the auth gate already vetted signatures and anchors; in-process
+// callers that bypass the gate are trusted by construction (they run
+// inside the enclave boundary).
+type coreService struct {
+	c *Controller
+}
+
+func (s coreService) Query(o Origin, q *wire.QueryRequest, deliver func(*wire.QueryResponse)) {
+	c := s.c
+	c.mu.Lock()
+	c.stats.QueriesServed++
+	c.mu.Unlock()
+
+	requester := o.requester()
+	resp := &wire.QueryResponse{
+		Version:    wire.CurrentVersion,
+		Kind:       q.Kind,
+		Nonce:      q.Nonce,
+		Status:     wire.StatusOK,
+		SnapshotID: c.snap.snapshotID(),
+	}
+	// Served from the compile cache whenever the snapshot is unchanged.
+	net := c.CompiledNetwork()
+	authTargets := c.answerQuery(net, requester, q, resp)
+	if len(authTargets) == 0 {
+		c.finalizeQuery(resp, deliver)
+		return
+	}
+	c.startAuthRound(requester, q, resp, authTargets, deliver)
+}
+
+func (s coreService) Subscribe(o Origin, sr *wire.SubscribeRequest) *wire.Notification {
+	c := s.c
+	ack := &wire.Notification{
+		Version: wire.CurrentVersion,
+		Event:   wire.NotifyAck,
+		Kind:    sr.Kind,
+		Status:  wire.StatusOK,
+		Nonce:   sr.Nonce,
+	}
+	src := subSource{nonce: sr.Nonce, sessionID: o.SessionID, proto: o.Proto}
+	id, err := c.subscribeWith(sr.ClientID, src, sr.Kind, sr.Constraints, sr.Param, o.requester())
+	if err != nil {
+		ack.Event = wire.NotifyError
+		ack.Status = wire.StatusError
+		ack.Detail = err.Error()
+		return c.signAck(ack)
+	}
+	ack.SubID = id
+	sh := c.subs.shardFor(id)
+	sh.mu.Lock()
+	if sub := sh.subs[id]; sub != nil {
+		ack.Detail = sub.detail
+		if sub.violated {
+			ack.Status = wire.StatusViolation
+		}
+		// An initially-violated invariant consumes sequence number 1
+		// without any push existing for it (the ack IS the verdict).
+		// Carrying the current seq lets the client baseline its gap
+		// detection so the first real push is not misread as a loss.
+		ack.Seq = sub.seq
+	}
+	sh.mu.Unlock()
+	return c.signAck(ack)
+}
+
+func (s coreService) Unsubscribe(o Origin, sr *wire.SubscribeRequest) *wire.Notification {
+	c := s.c
+	// Removal is idempotent: removing an already-absent subscription acks
+	// success, so clients can always reconcile local teardown with the
+	// server. NotifyError on a remove therefore always means the op itself
+	// was rejected (bad auth), never "already gone".
+	ack := &wire.Notification{
+		Version: wire.CurrentVersion,
+		Event:   wire.NotifyAck,
+		Kind:    sr.Kind,
+		Status:  wire.StatusOK,
+		Nonce:   sr.Nonce,
+		SubID:   sr.SubID,
+	}
+	if sr.SubID == 0 {
+		// Removal by registration nonce: orphan cleanup after a lost
+		// subscribe ack.
+		if id, ok := c.unsubscribeByNonce(sr.ClientID, sr.RefNonce); ok {
+			ack.SubID = id
+		} else {
+			ack.Detail = fmt.Sprintf("no subscription with nonce %#x (already removed)", sr.RefNonce)
+		}
+	} else if !c.Unsubscribe(sr.ClientID, sr.SubID) {
+		ack.Detail = fmt.Sprintf("no subscription %d (already removed)", sr.SubID)
+	}
+	return c.signAck(ack)
+}
+
+func (s coreService) QueryVerdict(o Origin, sr *wire.SubscribeRequest) *wire.Notification {
+	c := s.c
+	// Current-verdict query: gap recovery resyncs from the signed ack
+	// (status, detail, sequence number) without a re-subscribe. The gate
+	// bound the request to the client; the ownership check below keeps one
+	// tenant from reading another's verdicts.
+	ack := &wire.Notification{
+		Version: wire.CurrentVersion,
+		Event:   wire.NotifyAck,
+		Kind:    sr.Kind,
+		Status:  wire.StatusOK,
+		Nonce:   sr.Nonce,
+		SubID:   sr.SubID,
+	}
+	sh := c.subs.shardFor(sr.SubID)
+	sh.mu.Lock()
+	sub := sh.subs[sr.SubID]
+	if sub == nil || sub.clientID != sr.ClientID {
+		sh.mu.Unlock()
+		ack.Event = wire.NotifyError
+		ack.Status = wire.StatusError
+		ack.Detail = fmt.Sprintf("no subscription %d for client %d", sr.SubID, sr.ClientID)
+		return c.signAck(ack)
+	}
+	if sub.req.sw != o.Switch || sub.req.port != o.Port {
+		// Ingress must match the subscription's anchor — the same defense
+		// SubOpAdd applies: a captured (authentically signed) query frame
+		// replayed from another port would otherwise deliver the tenant's
+		// signed verdict to the replayer's endpoint.
+		sh.mu.Unlock()
+		ack.Event = wire.NotifyError
+		ack.Status = wire.StatusError
+		ack.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
+			o.Switch, o.Port, sub.req.sw, sub.req.port)
+		return c.signAck(ack)
+	}
+	ack.Kind = sub.kind
+	ack.Detail = sub.detail
+	if sub.violated {
+		ack.Status = wire.StatusViolation
+	}
+	// The current per-subscription sequence number lets the client rebase
+	// its gap detection: every push at or below it is covered by this
+	// verdict.
+	ack.Seq = sub.seq
+	sh.mu.Unlock()
+	c.subs.stats.verdictQueries.Add(1)
+	return c.signAck(ack)
+}
+
+func (s coreService) ResumeSession(o Origin, r *wire.SessionResumeRequest) *wire.SessionResumeReply {
+	c := s.c
+	reply := &wire.SessionResumeReply{
+		Version:   wire.CurrentVersion,
+		Nonce:     r.Nonce,
+		SessionID: r.SessionID,
+		Status:    wire.StatusOK,
+	}
+	// The session's live subscriptions — including ones restored from the
+	// persistence store after a controller restart, which is exactly the
+	// case resume exists for.
+	seen := make(map[uint64]bool, len(r.Entries))
+	e := c.subs
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, sub := range sh.subs {
+			if sub.clientID != r.ClientID || sub.sessionID != r.SessionID {
+				continue
+			}
+			ent := wire.ResumeVerdict{SubID: sub.id, Kind: sub.kind}
+			if sub.req.sw != o.Switch || sub.req.port != o.Port {
+				// Same replay defense as SubOpQueryVerdict: a captured
+				// resume frame replayed from a foreign port learns no
+				// verdicts.
+				ent.Status = wire.StatusError
+				ent.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
+					o.Switch, o.Port, sub.req.sw, sub.req.port)
+			} else {
+				ent.Status = wire.StatusOK
+				if sub.violated {
+					ent.Status = wire.StatusViolation
+				}
+				ent.Seq = sub.seq
+				ent.Detail = sub.detail
+			}
+			seen[sub.id] = true
+			reply.Entries = append(reply.Entries, ent)
+		}
+		sh.mu.Unlock()
+	}
+	// Subscriptions the client believes it holds but the server does not:
+	// reported explicitly so the client re-registers exactly those instead
+	// of blindly re-subscribing everything.
+	for _, ent := range r.Entries {
+		if !seen[ent.SubID] {
+			reply.Entries = append(reply.Entries, wire.ResumeVerdict{
+				SubID:  ent.SubID,
+				Status: wire.StatusError,
+				Detail: "unknown subscription",
+			})
+		}
+	}
+	sort.Slice(reply.Entries, func(i, j int) bool { return reply.Entries[i].SubID < reply.Entries[j].SubID })
+	e.stats.sessionResumes.Add(1)
+	return c.signResumeReply(reply)
+}
+
+// signBatchReply finalizes a batch reply with snapshot id, signature and
+// quote.
+func (c *Controller) signBatchReply(r *wire.BatchReply) *wire.BatchReply {
+	r.SnapshotID = c.snap.snapshotID()
+	r.Signature = c.enclave.Sign(r.SigningBytes())
+	r.Quote = c.enclave.KeyQuote().Marshal()
+	return r
+}
+
+// signResumeReply finalizes a resume reply with snapshot id, signature and
+// quote.
+func (c *Controller) signResumeReply(r *wire.SessionResumeReply) *wire.SessionResumeReply {
+	r.SnapshotID = c.snap.snapshotID()
+	r.Signature = c.enclave.Sign(r.SigningBytes())
+	r.Quote = c.enclave.KeyQuote().Marshal()
+	return r
+}
+
+// ------------------------------------------------------------ transport --
+
+// serveEnvelope dispatches one normalized client operation to the service
+// and injects the reply, encoded in the protocol version the request
+// arrived with.
+func (c *Controller) serveEnvelope(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, env *wire.Envelope) {
+	o := Origin{
+		Switch:    sw,
+		Port:      inPort,
+		MAC:       pkt.EthSrc,
+		IP:        pkt.IPSrc,
+		Proto:     env.Version,
+		SessionID: env.SessionID,
+	}
+	switch env.Op {
+	case wire.OpQuery:
+		q, err := wire.UnmarshalQueryRequest(env.Body)
+		if err != nil {
+			return
+		}
+		c.svc.Query(o, q, func(resp *wire.QueryResponse) {
+			c.deliverReply(o, wire.OpQueryResponse, resp.Nonce, func() []byte { return resp.Marshal() },
+				func() *wire.Packet { return wire.NewResponsePacket(o.MAC, o.IP, resp) })
+		})
+	case wire.OpSubscribe, wire.OpUnsubscribe, wire.OpQueryVerdict:
+		sr, err := wire.UnmarshalSubscribeRequest(env.Body)
+		if err != nil {
+			return
+		}
+		var ack *wire.Notification
+		switch env.Op {
+		case wire.OpSubscribe:
+			ack = c.svc.Subscribe(o, sr)
+		case wire.OpUnsubscribe:
+			ack = c.svc.Unsubscribe(o, sr)
+		default:
+			ack = c.svc.QueryVerdict(o, sr)
+		}
+		c.deliverAck(o, ack)
+	case wire.OpBatchSubscribe:
+		b, err := wire.UnmarshalBatchSubscribeRequest(env.Body)
+		if err != nil {
+			return
+		}
+		reply := c.svc.BatchSubscribe(o, b)
+		c.deliverReply(o, wire.OpBatchReply, reply.Nonce, func() []byte { return reply.Marshal() }, nil)
+	case wire.OpBatchQuery:
+		b, err := wire.UnmarshalBatchQueryRequest(env.Body)
+		if err != nil {
+			return
+		}
+		reply := c.svc.BatchQuery(o, b)
+		c.deliverReply(o, wire.OpBatchQueryReply, reply.Nonce, func() []byte { return reply.Marshal() }, nil)
+	case wire.OpSessionResume:
+		r, err := wire.UnmarshalSessionResumeRequest(env.Body)
+		if err != nil {
+			return
+		}
+		reply := c.svc.ResumeSession(o, r)
+		c.deliverReply(o, wire.OpSessionResumeReply, reply.Nonce, func() []byte { return reply.Marshal() }, nil)
+	}
+}
+
+// deliverReply injects one service reply at the requester's access point.
+// v2 requesters get an envelope; v1 requesters get the legacy frame shape
+// (v1Frame nil marks an op with no v1 encoding — batch and resume — whose
+// reply is silently dropped for a v1 requester, which cannot happen for
+// frames that entered through the shim).
+func (c *Controller) deliverReply(o Origin, op wire.Op, corr uint64, body func() []byte, v1Frame func() *wire.Packet) {
+	var pkt *wire.Packet
+	if o.Proto >= wire.EnvelopeVersion {
+		pkt = wire.NewEnvelopeReplyPacket(o.MAC, o.IP, &wire.Envelope{
+			Version:       wire.EnvelopeVersion,
+			Op:            op,
+			CorrelationID: corr,
+			SessionID:     o.SessionID,
+			Body:          body(),
+		})
+	} else if v1Frame != nil {
+		pkt = v1Frame()
+	} else {
+		return
+	}
+	_ = c.sendPacketOut(o.Switch, o.Port, pkt)
+}
+
+// deliverAck injects one subscription ack in the requester's protocol
+// version.
+func (c *Controller) deliverAck(o Origin, ack *wire.Notification) {
+	if ack == nil {
+		return
+	}
+	c.deliverReply(o, wire.OpNotify, ack.Nonce, func() []byte { return ack.Marshal() },
+		func() *wire.Packet { return wire.NewNotificationPacket(o.MAC, o.IP, ack) })
+}
+
+// clientKeyOf returns the registered verification key for a client.
+func (c *Controller) clientKeyOf(id uint64) (ed25519.PublicKey, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pub, ok := c.clients[id]
+	return pub, ok
+}

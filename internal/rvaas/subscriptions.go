@@ -2,13 +2,11 @@ package rvaas
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/enclave"
 	"repro/internal/headerspace"
 	"repro/internal/history"
 	"repro/internal/openflow"
@@ -78,6 +76,12 @@ type SubscriptionStats struct {
 	// VerdictQueries counts served SubOpQueryVerdict requests (gap-recovery
 	// resyncs answered without a re-subscribe).
 	VerdictQueries uint64
+	// SessionResumes counts served OpSessionResume requests (whole-session
+	// resyncs after notification loss or a controller restart).
+	SessionResumes uint64
+	// Restored counts subscriptions rebuilt from the persistence store at
+	// startup.
+	Restored uint64
 	// Violations/Recoveries count verdict transitions.
 	Violations uint64
 	Recoveries uint64
@@ -107,6 +111,11 @@ type subscription struct {
 	param       string
 	bound       int // parsed Param for path-length invariants
 	req         requesterInfo
+	// sessionID is the client session the invariant was registered under
+	// (protocol v2); OpSessionResume enumerates by it. proto is the
+	// envelope version notifications are encoded with.
+	sessionID uint64
+	proto     uint8
 
 	violated  bool
 	detail    string
@@ -114,6 +123,13 @@ type subscription struct {
 	evaluated bool
 	removed   bool
 	seq       uint64
+
+	// needsFullEval marks a subscription restored from the persistence
+	// store: its verdict/seq are durable state but footprint and cones are
+	// not, so the next pass re-evaluates it from scratch regardless of the
+	// dirty set. Written during restore (before the engine serves) and by
+	// the one pass worker that owns the subscription, under runMu.
+	needsFullEval bool
 
 	cones *isoConeCache
 }
@@ -151,10 +167,10 @@ type indexShard struct {
 // engineCounters are the hot-path statistics, kept as atomics so parallel
 // recheck workers never serialize on a stats mutex.
 type engineCounters struct {
-	registered, removed                  atomic.Uint64
+	registered, removed, restored        atomic.Uint64
 	rechecks, evaluated, revalidated     atomic.Uint64
 	indexDispatched, deltaSkipped        atomic.Uint64
-	verdictQueries                       atomic.Uint64
+	verdictQueries, sessionResumes       atomic.Uint64
 	violations, recoveries               atomic.Uint64
 	notificationsSent, notificationsDrop atomic.Uint64
 	isoPointsSwept, isoPointsReused      atomic.Uint64
@@ -201,6 +217,11 @@ type subscriptionEngine struct {
 	// against the store's current counters is the dirty set. Guarded by
 	// runMu.
 	lastGen map[topology.SwitchID]uint64
+
+	// pendingRestore holds subscriptions rebuilt from the persistence
+	// store that have not been re-verified yet; the next pass evaluates
+	// them from scratch regardless of the dirty set. Guarded by runMu.
+	pendingRestore []*subscription
 
 	parallelism atomic.Int64
 	legacyScan  atomic.Bool
@@ -285,12 +306,15 @@ func (e *subscriptionEngine) activeCount() uint64 {
 
 // SubscriptionInfo is a read-only snapshot of one standing invariant.
 type SubscriptionInfo struct {
-	ID       uint64
-	ClientID uint64
-	Kind     wire.QueryKind
-	Param    string
-	Violated bool
-	Detail   string
+	ID        uint64
+	ClientID  uint64
+	SessionID uint64
+	Kind      wire.QueryKind
+	Param     string
+	Violated  bool
+	Detail    string
+	// Seq is the subscription's current notification sequence number.
+	Seq uint64
 	// FootprintSize is the number of switches the last evaluation
 	// consulted.
 	FootprintSize int
@@ -309,6 +333,8 @@ func (c *Controller) SubscriptionStats() SubscriptionStats {
 		IndexDispatched:      e.stats.indexDispatched.Load(),
 		DeltaSkipped:         e.stats.deltaSkipped.Load(),
 		VerdictQueries:       e.stats.verdictQueries.Load(),
+		SessionResumes:       e.stats.sessionResumes.Load(),
+		Restored:             e.stats.restored.Load(),
 		Violations:           e.stats.violations.Load(),
 		Recoveries:           e.stats.recoveries.Load(),
 		NotificationsSent:    e.stats.notificationsSent.Load(),
@@ -336,8 +362,10 @@ func (c *Controller) Subscriptions() []SubscriptionInfo {
 		sh.mu.Lock()
 		for _, sub := range sh.subs {
 			out = append(out, SubscriptionInfo{
-				ID: sub.id, ClientID: sub.clientID, Kind: sub.kind, Param: sub.param,
-				Violated: sub.violated, Detail: sub.detail, FootprintSize: len(sub.fp),
+				ID: sub.id, ClientID: sub.clientID, SessionID: sub.sessionID,
+				Kind: sub.kind, Param: sub.param,
+				Violated: sub.violated, Detail: sub.detail, Seq: sub.seq,
+				FootprintSize: len(sub.fp),
 			})
 		}
 		sh.mu.Unlock()
@@ -362,13 +390,27 @@ func (c *Controller) Subscribe(clientID uint64, kind wire.QueryKind, constraints
 	if ap, ok := c.topo.AccessPointAt(at); ok {
 		req.mac, req.ip = ap.HostMAC, ap.HostIP
 	}
-	return c.subscribe(clientID, 0, kind, constraints, param, req)
+	return c.subscribeWith(clientID, subSource{}, kind, constraints, param, req)
 }
 
-func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, req requesterInfo) (uint64, error) {
+// subSource carries the wire-level provenance of a registration: the
+// operation nonce (0 for in-process callers), the client session (v2) and
+// the protocol version notifications must be encoded with.
+type subSource struct {
+	nonce     uint64
+	sessionID uint64
+	proto     uint8
+}
+
+// newSubscription validates an invariant spec and builds the (unregistered)
+// subscription object. Shared by single registration, batch registration
+// and persistence restore.
+func newSubscription(clientID uint64, src subSource, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, req requesterInfo) (*subscription, error) {
 	sub := &subscription{
 		clientID:    clientID,
-		nonce:       nonce,
+		nonce:       src.nonce,
+		sessionID:   src.sessionID,
+		proto:       src.proto,
 		kind:        kind,
 		constraints: append([]wire.FieldConstraint(nil), constraints...),
 		param:       param,
@@ -379,36 +421,52 @@ func (c *Controller) subscribe(clientID, nonce uint64, kind wire.QueryKind, cons
 	case wire.QueryPathLength:
 		bound, err := strconv.Atoi(param)
 		if err != nil {
-			return 0, fmt.Errorf("rvaas: path-length subscription needs integer Param, got %q", param)
+			return nil, fmt.Errorf("rvaas: path-length subscription needs integer Param, got %q", param)
 		}
 		sub.bound = bound
 	default:
-		return 0, fmt.Errorf("rvaas: unsupported subscription kind %s", kind)
+		return nil, fmt.Errorf("rvaas: unsupported subscription kind %s", kind)
+	}
+	return sub, nil
+}
+
+// recordNonce feeds one wire nonce into the per-client replay-protection
+// memory; it reports false on a duplicate (replay).
+func (e *subscriptionEngine) recordNonce(clientID, nonce uint64) bool {
+	e.nonceMu.Lock()
+	defer e.nonceMu.Unlock()
+	cn := e.seenNonces[clientID]
+	if cn == nil {
+		cn = &clientNonces{seen: make(map[uint64]struct{})}
+		e.seenNonces[clientID] = cn
+	}
+	if _, dup := cn.seen[nonce]; dup {
+		return false
+	}
+	cn.seen[nonce] = struct{}{}
+	cn.order = append(cn.order, nonce)
+	if len(cn.order) > maxSeenNoncesPerClient {
+		delete(cn.seen, cn.order[0])
+		cn.order = cn.order[1:]
+	}
+	return true
+}
+
+func (c *Controller) subscribeWith(clientID uint64, src subSource, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, req requesterInfo) (uint64, error) {
+	sub, err := newSubscription(clientID, src, kind, constraints, param, req)
+	if err != nil {
+		return 0, err
 	}
 
 	e := c.subs
-	if nonce != 0 {
+	if src.nonce != 0 {
 		// Wire-path replay protection: a (client, nonce) pair identifies
 		// one subscribe operation. The memory survives unsubscription so a
 		// captured frame cannot resurrect a removed invariant, and is
 		// bounded per client so no other tenant can age it out.
-		e.nonceMu.Lock()
-		cn := e.seenNonces[clientID]
-		if cn == nil {
-			cn = &clientNonces{seen: make(map[uint64]struct{})}
-			e.seenNonces[clientID] = cn
+		if !e.recordNonce(clientID, src.nonce) {
+			return 0, fmt.Errorf("rvaas: duplicate subscription nonce %#x for client %d (replay?)", src.nonce, clientID)
 		}
-		if _, dup := cn.seen[nonce]; dup {
-			e.nonceMu.Unlock()
-			return 0, fmt.Errorf("rvaas: duplicate subscription nonce %#x for client %d (replay?)", nonce, clientID)
-		}
-		cn.seen[nonce] = struct{}{}
-		cn.order = append(cn.order, nonce)
-		if len(cn.order) > maxSeenNoncesPerClient {
-			delete(cn.seen, cn.order[0])
-			cn.order = cn.order[1:]
-		}
-		e.nonceMu.Unlock()
 	}
 	sub.id = e.nextID.Add(1)
 	sh := e.shardFor(sub.id)
@@ -435,12 +493,14 @@ func (c *Controller) Unsubscribe(clientID, id uint64) bool {
 	e := c.subs
 	sh := e.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sub, ok := sh.subs[id]
 	if !ok || sub.clientID != clientID {
+		sh.mu.Unlock()
 		return false
 	}
 	e.removeLocked(sh, sub)
+	sh.mu.Unlock()
+	c.persistRemove(id)
 	return true
 }
 
@@ -459,6 +519,7 @@ func (c *Controller) unsubscribeByNonce(clientID, nonce uint64) (uint64, bool) {
 			if sub.clientID == clientID && sub.nonce == nonce {
 				e.removeLocked(sh, sub)
 				sh.mu.Unlock()
+				c.persistRemove(id)
 				return id, true
 			}
 		}
@@ -534,6 +595,7 @@ func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, 
 	sub.detail = v.detail
 	sub.fp = v.fp
 	sub.evaluated = true
+	sub.needsFullEval = false
 	e.indexAdd(sub, added)
 	e.indexRemove(sub, removed)
 	changed := (prevEvaluated && prevViolated != v.violated) || (!prevEvaluated && v.violated)
@@ -547,7 +609,18 @@ func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, 
 			e.stats.recoveries.Add(1)
 		}
 	}
+	// Durable state (spec + verdict + seq) is appended on first commit and
+	// on every verdict transition; a re-evaluation that confirms the
+	// stored verdict changes nothing durable. The record is captured under
+	// the shard lock so it can never mix two commits' fields.
+	var rec *SubscriptionRecord
+	if c.persist != nil && (!prevEvaluated || changed) {
+		rec = recordOfLocked(sub)
+	}
 	sh.mu.Unlock()
+	if rec != nil {
+		c.persistUpsert(rec)
+	}
 	if !changed {
 		return
 	}
@@ -596,11 +669,22 @@ func (c *Controller) sendNotification(sub *subscription, event wire.NotifyEvent,
 	}
 	n.Signature = c.enclave.Sign(n.SigningBytes())
 	n.Quote = c.enclave.KeyQuote().Marshal()
-	job := notifyJob{
-		sw:   sub.req.sw,
-		port: sub.req.port,
-		pkt:  wire.NewNotificationPacket(sub.req.mac, sub.req.ip, n),
+	// Pushes are encoded in the protocol version the subscription was
+	// registered with: legacy notification frames for v1, OpNotify
+	// envelopes (carrying the session) for v2.
+	var pkt *wire.Packet
+	if sub.proto >= wire.EnvelopeVersion {
+		pkt = wire.NewEnvelopeReplyPacket(sub.req.mac, sub.req.ip, &wire.Envelope{
+			Version:       wire.EnvelopeVersion,
+			Op:            wire.OpNotify,
+			CorrelationID: sub.nonce,
+			SessionID:     sub.sessionID,
+			Body:          n.Marshal(),
+		})
+	} else {
+		pkt = wire.NewNotificationPacket(sub.req.mac, sub.req.ip, n)
 	}
+	job := notifyJob{sw: sub.req.sw, port: sub.req.port, pkt: pkt}
 	select {
 	case c.notifyQ <- job:
 		c.subs.stats.notificationsSent.Add(1)
@@ -669,6 +753,13 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 
+	// Subscriptions restored from the persistence store re-verify on the
+	// next pass regardless of the dirty set: their verdict is durable
+	// state, but their footprints and cones are not, and the network may
+	// have changed arbitrarily while the controller was down.
+	restored := e.pendingRestore
+	e.pendingRestore = nil
+
 	// The drained deltas describe exactly the changes between the previous
 	// pass's generation baseline and this one (one lock acquisition covers
 	// both), so dirty-set membership and delta content can never disagree.
@@ -680,7 +771,7 @@ func (c *Controller) recheckSubscriptions(force bool) {
 		}
 	}
 	e.lastGen = gens
-	if !force && len(dirty) == 0 {
+	if !force && len(dirty) == 0 && len(restored) == 0 {
 		return
 	}
 
@@ -715,12 +806,15 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	if force || legacy {
 		// Full enumeration: RevalidateAll re-runs everything; the legacy
 		// ablation reproduces the pre-index engine's linear footprint scan.
+		// Restored subscriptions are already in the shards, so the
+		// enumeration covers them (their needsFullEval flag, not their
+		// empty footprint, is what forces their evaluation).
 		for i := range e.shards {
 			sh := &e.shards[i]
 			sh.mu.Lock()
 			for _, sub := range sh.subs {
 				active++
-				if force || sub.fp.Invalidated(dirty) {
+				if force || sub.needsFullEval || sub.fp.Invalidated(dirty) {
 					targets = append(targets, sub)
 				} else {
 					free++
@@ -758,11 +852,14 @@ func (c *Controller) recheckSubscriptions(force bool) {
 				e.stats.deltaSkipped.Add(1)
 			}
 		}
+		e.stats.indexDispatched.Add(uint64(len(targets)))
+		// Restored subscriptions have no footprint yet, so no index bucket
+		// can dispatch them — they join every pass until re-verified.
+		targets = append(targets, restored...)
 		active = e.activeCount()
 		if n := uint64(len(targets)); active > n {
 			free = active - n
 		}
-		e.stats.indexDispatched.Add(uint64(len(targets)))
 	}
 	if active == 0 {
 		return
@@ -780,10 +877,7 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	snapID := c.snap.snapshotID()
 	fullSweep := force || legacy
 
-	workers := int(e.parallelism.Load())
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := c.evalWorkers()
 	if legacy {
 		workers = 1
 	}
@@ -791,32 +885,14 @@ func (c *Controller) recheckSubscriptions(force bool) {
 		workers = len(targets)
 	}
 	pooled := workers > 1
-	run := func(sub *subscription) {
-		v := c.evaluateInvariant(net, sub, dirty, deltaByNode, fullSweep, pooled)
+	poolRun(len(targets), workers, func(i int) {
+		sub := targets[i]
+		// A restored subscription's first evaluation is always a full
+		// sweep: it has no footprint or cone state to be incremental
+		// against.
+		v := c.evaluateInvariant(net, sub, dirty, deltaByNode, fullSweep || sub.needsFullEval, pooled)
 		c.commitVerdict(sub, v, snapID, true)
-	}
-	if workers <= 1 {
-		for _, sub := range targets {
-			run(sub)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(targets) {
-					return
-				}
-				run(targets[i])
-			}
-		}()
-	}
-	wg.Wait()
+	})
 }
 
 // pokeSubscriptions nudges the background worker; called after every
@@ -839,140 +915,4 @@ func (c *Controller) subscriptionWorker() {
 			c.recheckSubscriptions(false)
 		}
 	}
-}
-
-// handleSubscribe serves one intercepted in-band subscription operation
-// and acknowledges it with a signed notification carrying the initial
-// verdict (SubOpAdd) or the removal outcome (SubOpRemove). Operations
-// mutate server state, so they are only honored when signed by the
-// requesting client's registered key — otherwise any in-network host
-// could forge a SubOpRemove and silently disable a victim's standing
-// monitoring.
-func (c *Controller) handleSubscribe(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, sr *wire.SubscribeRequest) {
-	req := requesterInfo{sw: sw, port: inPort, mac: pkt.EthSrc, ip: pkt.IPSrc}
-	ack := &wire.Notification{
-		Version: wire.CurrentVersion,
-		Event:   wire.NotifyAck,
-		Kind:    sr.Kind,
-		Status:  wire.StatusOK,
-		Nonce:   sr.Nonce,
-	}
-	c.mu.Lock()
-	pub, registered := c.clients[sr.ClientID]
-	c.mu.Unlock()
-	if !registered || !enclave.VerifyFrom(pub, sr.SigningBytes(), sr.Signature) {
-		ack.Event = wire.NotifyError
-		ack.Status = wire.StatusError
-		ack.Detail = fmt.Sprintf("subscription op not signed by registered key of client %d", sr.ClientID)
-		c.finishSubscribeAck(sw, inPort, pkt, ack)
-		return
-	}
-	switch sr.Op {
-	case wire.SubOpAdd:
-		// The signed anchor must match the actual ingress: a captured
-		// subscribe frame replayed from a different port would otherwise
-		// re-anchor the invariant (and its notifications) at the
-		// replayer's endpoint.
-		if sr.AnchorSwitch != uint32(sw) || sr.AnchorPort != uint32(inPort) {
-			ack.Event = wire.NotifyError
-			ack.Status = wire.StatusError
-			ack.Detail = fmt.Sprintf("anchor (%d,%d) does not match ingress (%d,%d)",
-				sr.AnchorSwitch, sr.AnchorPort, sw, inPort)
-			break
-		}
-		id, err := c.subscribe(sr.ClientID, sr.Nonce, sr.Kind, sr.Constraints, sr.Param, req)
-		if err != nil {
-			ack.Event = wire.NotifyError
-			ack.Status = wire.StatusError
-			ack.Detail = err.Error()
-			break
-		}
-		ack.SubID = id
-		e := c.subs
-		sh := e.shardFor(id)
-		sh.mu.Lock()
-		if sub := sh.subs[id]; sub != nil {
-			ack.Detail = sub.detail
-			if sub.violated {
-				ack.Status = wire.StatusViolation
-			}
-			// An initially-violated invariant consumes sequence number 1
-			// without any push existing for it (the ack IS the verdict).
-			// Carrying the current seq lets the client baseline its gap
-			// detection so the first real push is not misread as a loss.
-			ack.Seq = sub.seq
-		}
-		sh.mu.Unlock()
-	case wire.SubOpQueryVerdict:
-		// Current-verdict query: gap recovery resyncs from the signed ack
-		// (status, detail, sequence number) without a re-subscribe. The
-		// signature check above bound the request to the client, and the
-		// ownership check below keeps one tenant from reading another's
-		// verdicts.
-		ack.SubID = sr.SubID
-		sh := c.subs.shardFor(sr.SubID)
-		sh.mu.Lock()
-		sub := sh.subs[sr.SubID]
-		if sub == nil || sub.clientID != sr.ClientID {
-			sh.mu.Unlock()
-			ack.Event = wire.NotifyError
-			ack.Status = wire.StatusError
-			ack.Detail = fmt.Sprintf("no subscription %d for client %d", sr.SubID, sr.ClientID)
-			break
-		}
-		if sub.req.sw != sw || sub.req.port != inPort {
-			// Ingress must match the subscription's anchor — the same
-			// defense SubOpAdd applies: a captured (authentically signed)
-			// query frame replayed from another port would otherwise
-			// deliver the tenant's signed verdict to the replayer's
-			// endpoint.
-			sh.mu.Unlock()
-			ack.Event = wire.NotifyError
-			ack.Status = wire.StatusError
-			ack.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
-				sw, inPort, sub.req.sw, sub.req.port)
-			break
-		}
-		ack.Kind = sub.kind
-		ack.Detail = sub.detail
-		if sub.violated {
-			ack.Status = wire.StatusViolation
-		}
-		// The current per-subscription sequence number lets the client
-		// rebase its gap detection: every push at or below it is covered
-		// by this verdict.
-		ack.Seq = sub.seq
-		sh.mu.Unlock()
-		c.subs.stats.verdictQueries.Add(1)
-	case wire.SubOpRemove:
-		// Removal is idempotent: removing an already-absent subscription
-		// acks success, so clients can always reconcile local teardown
-		// with the server. NotifyError on a remove therefore always means
-		// the op itself was rejected (bad auth), never "already gone".
-		ack.SubID = sr.SubID
-		if sr.SubID == 0 {
-			// Removal by registration nonce: orphan cleanup after a lost
-			// subscribe ack.
-			if id, ok := c.unsubscribeByNonce(sr.ClientID, sr.RefNonce); ok {
-				ack.SubID = id
-			} else {
-				ack.Detail = fmt.Sprintf("no subscription with nonce %#x (already removed)", sr.RefNonce)
-			}
-		} else if !c.Unsubscribe(sr.ClientID, sr.SubID) {
-			ack.Detail = fmt.Sprintf("no subscription %d (already removed)", sr.SubID)
-		}
-	default:
-		ack.Event = wire.NotifyError
-		ack.Status = wire.StatusError
-		ack.Detail = fmt.Sprintf("unknown subscription op %d", sr.Op)
-	}
-	c.finishSubscribeAck(sw, inPort, pkt, ack)
-}
-
-// finishSubscribeAck signs and injects one subscription ack.
-func (c *Controller) finishSubscribeAck(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, ack *wire.Notification) {
-	ack.SnapshotID = c.snap.snapshotID()
-	ack.Signature = c.enclave.Sign(ack.SigningBytes())
-	ack.Quote = c.enclave.KeyQuote().Marshal()
-	_ = c.sendPacketOut(sw, inPort, wire.NewNotificationPacket(pkt.EthSrc, pkt.IPSrc, ack))
 }

@@ -27,8 +27,28 @@ func (w *writer) bytesN(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// bytes32 writes a 32-bit length prefix followed by the bytes — the framing
+// of envelope bodies and batch items, which routinely exceed 64 KiB.
+func (w *writer) bytes32(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
 // str writes a length-prefixed UTF-8 string.
 func (w *writer) str(s string) { w.bytesN([]byte(s)) }
+
+// count16 writes a clamped 16-bit element count and returns the number of
+// elements the caller must then actually encode. Writing len() unclamped
+// while encoding every element would desynchronize count and content for
+// inputs past 65535 — the decoder would misparse the remainder as other
+// fields.
+func (w *writer) count16(n int) int {
+	if n > 0xffff {
+		n = 0xffff
+	}
+	w.u16(uint16(n))
+	return n
+}
 
 // reader is a big-endian decoder with sticky error handling.
 type reader struct {
@@ -82,6 +102,17 @@ func (r *reader) u64() uint64 {
 func (r *reader) bytesN() []byte {
 	n := int(r.u16())
 	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return out
+}
+
+func (r *reader) bytes32() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) || r.off+n < r.off {
 		r.fail()
 		return nil
 	}

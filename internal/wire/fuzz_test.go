@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz harness for every unmarshal path reachable from network input. The
+// codecs use bounds-checked sticky-error readers, so the properties under
+// test are: no panics/OOM on arbitrary bytes, and decode → encode → decode
+// stability for everything that decodes (a frame the server accepts must
+// mean the same thing when re-emitted).
+
+// fuzzSeeds returns well-formed frames of every message kind, used both as
+// corpus seeds and by the roundtrip smoke test.
+func fuzzSeeds() [][]byte {
+	q := &QueryRequest{Version: 1, Kind: QueryIsolation, ClientID: 3, Nonce: 99,
+		Constraints: []FieldConstraint{{Field: FieldIPDst, Value: 7, Mask: 0xFF}}, Param: "x", DeadlineMillis: 9}
+	resp := &QueryResponse{Version: 1, Kind: QueryIsolation, Nonce: 99, Status: StatusViolation,
+		Detail: "d", Endpoints: []Endpoint{{ClientID: 1, SwitchID: 2, Port: 3, Detail: "e"}},
+		Regions: []string{"eu"}, SnapshotID: 4, Signature: []byte{1}, Quote: []byte{2}}
+	sr := &SubscribeRequest{Version: 1, Op: SubOpAdd, ClientID: 3, Nonce: 98, AnchorSwitch: 1, AnchorPort: 2,
+		Kind: QueryPathLength, Param: "7", Signature: []byte{3}}
+	n := &Notification{Version: 1, Event: NotifyViolation, Kind: QueryPathLength, Status: StatusViolation,
+		SubID: 5, Nonce: 98, Seq: 2, SnapshotID: 6, Detail: "v", Signature: []byte{4}, Quote: []byte{5}}
+	batch := &BatchSubscribeRequest{Version: CurrentVersion, ClientID: 3, Nonce: 97, AnchorSwitch: 1, AnchorPort: 2,
+		Items: []BatchItem{{Kind: QueryReachableDestinations}, {Kind: QueryPathLength, Param: "3"}}, Signature: []byte{6}}
+	bq := &BatchQueryRequest{Version: CurrentVersion, ClientID: 3, Nonce: 96,
+		Items: []*QueryRequest{{Version: CurrentVersion, Kind: QueryGeoRegions, Nonce: 95}}}
+	resume := &SessionResumeRequest{Version: CurrentVersion, ClientID: 3, Nonce: 94, SessionID: 12,
+		Entries: []ResumeEntry{{SubID: 1, LastSeq: 2}}, Signature: []byte{7}}
+	env := &Envelope{Version: EnvelopeVersion, Op: OpSubscribe, CorrelationID: 98, SessionID: 12, Body: sr.Marshal()}
+
+	return [][]byte{
+		q.Marshal(),
+		resp.Marshal(),
+		sr.Marshal(),
+		n.Marshal(),
+		batch.Marshal(),
+		bq.Marshal(),
+		resume.Marshal(),
+		env.Marshal(),
+		NewQueryPacket(2, 3, q).Marshal(),
+		NewSubscribePacket(2, 3, sr).Marshal(),
+		NewEnvelopePacket(2, 3, env).Marshal(),
+		NewNotificationPacket(2, 3, n).Marshal(),
+	}
+}
+
+// FuzzEnvelopeRoundtrip feeds arbitrary bytes through every payload
+// decoder (v1 and v2) and checks re-encode stability for whatever decodes.
+func FuzzEnvelopeRoundtrip(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if env, err := UnmarshalEnvelope(data); err == nil {
+			re, err := UnmarshalEnvelope(env.Marshal())
+			if err != nil {
+				t.Fatalf("envelope re-decode failed: %v", err)
+			}
+			if !bytes.Equal(re.Marshal(), env.Marshal()) {
+				t.Fatal("envelope re-encode not stable")
+			}
+		}
+		if q, err := UnmarshalQueryRequest(data); err == nil {
+			if _, err := UnmarshalQueryRequest(q.Marshal()); err != nil {
+				t.Fatalf("query request re-decode failed: %v", err)
+			}
+		}
+		if r, err := UnmarshalQueryResponse(data); err == nil {
+			if _, err := UnmarshalQueryResponse(r.Marshal()); err != nil {
+				t.Fatalf("query response re-decode failed: %v", err)
+			}
+		}
+		if s, err := UnmarshalSubscribeRequest(data); err == nil {
+			if _, err := UnmarshalSubscribeRequest(s.Marshal()); err != nil {
+				t.Fatalf("subscribe request re-decode failed: %v", err)
+			}
+		}
+		if n, err := UnmarshalNotification(data); err == nil {
+			if _, err := UnmarshalNotification(n.Marshal()); err != nil {
+				t.Fatalf("notification re-decode failed: %v", err)
+			}
+		}
+		if b, err := UnmarshalBatchSubscribeRequest(data); err == nil {
+			if _, err := UnmarshalBatchSubscribeRequest(b.Marshal()); err != nil {
+				t.Fatalf("batch subscribe re-decode failed: %v", err)
+			}
+		}
+		if b, err := UnmarshalBatchReply(data); err == nil {
+			if _, err := UnmarshalBatchReply(b.Marshal()); err != nil {
+				t.Fatalf("batch reply re-decode failed: %v", err)
+			}
+		}
+		if b, err := UnmarshalBatchQueryRequest(data); err == nil {
+			if _, err := UnmarshalBatchQueryRequest(b.Marshal()); err != nil {
+				t.Fatalf("batch query re-decode failed: %v", err)
+			}
+		}
+		if b, err := UnmarshalBatchQueryReply(data); err == nil {
+			if _, err := UnmarshalBatchQueryReply(b.Marshal()); err != nil {
+				t.Fatalf("batch query reply re-decode failed: %v", err)
+			}
+		}
+		if r, err := UnmarshalSessionResumeRequest(data); err == nil {
+			if _, err := UnmarshalSessionResumeRequest(r.Marshal()); err != nil {
+				t.Fatalf("resume request re-decode failed: %v", err)
+			}
+		}
+		if r, err := UnmarshalSessionResumeReply(data); err == nil {
+			if _, err := UnmarshalSessionResumeReply(r.Marshal()); err != nil {
+				t.Fatalf("resume reply re-decode failed: %v", err)
+			}
+		}
+		if a, err := UnmarshalAuthRequest(data); err == nil {
+			if _, err := UnmarshalAuthRequest(a.Marshal()); err != nil {
+				t.Fatalf("auth request re-decode failed: %v", err)
+			}
+		}
+		if a, err := UnmarshalAuthReply(data); err == nil {
+			if _, err := UnmarshalAuthReply(a.Marshal()); err != nil {
+				t.Fatalf("auth reply re-decode failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzPacketUnmarshal feeds arbitrary bytes through the L2/L3/L4 frame
+// parser: no panics, and accepted frames re-encode to decodable frames
+// with identical classification.
+func FuzzPacketUnmarshal(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		back, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if p.IsRVaaSQuery() != back.IsRVaaSQuery() ||
+			p.IsRVaaSSubscribe() != back.IsRVaaSSubscribe() ||
+			p.IsRVaaSV2() != back.IsRVaaSV2() ||
+			p.IsNotification() != back.IsNotification() ||
+			p.IsAuthReply() != back.IsAuthReply() ||
+			p.IsProbe() != back.IsProbe() {
+			t.Fatal("classification changed across re-encode")
+		}
+	})
+}

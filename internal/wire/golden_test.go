@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// The golden-frame tests lock the v1 wire encoding byte-for-byte. Every
+// New*Packet constructor now routes through the shared rvaasUDP envelope
+// builder; these fixtures guarantee that refactor (and any future one)
+// cannot move a single byte of the legacy protocol — v1 clients in the
+// field keep decoding.
+
+func goldenPacket(t *testing.T, name, wantHex string, pkt *Packet) {
+	t.Helper()
+	got := pkt.Marshal()
+	want, err := hex.DecodeString(wantHex)
+	if err != nil {
+		t.Fatalf("%s: bad fixture: %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s frame drifted from the golden bytes:\n got  %s\n want %s",
+			name, hex.EncodeToString(got), wantHex)
+	}
+	// The frame must also survive a decode round-trip.
+	back, err := Unmarshal(got)
+	if err != nil {
+		t.Fatalf("%s: unmarshal golden frame: %v", name, err)
+	}
+	if !bytes.Equal(back.Marshal(), got) {
+		t.Fatalf("%s: decode/encode round-trip not stable", name)
+	}
+}
+
+func TestGoldenQueryPacket(t *testing.T) {
+	q := &QueryRequest{Version: 1, Kind: QueryReachableDestinations, ClientID: 7, Nonce: 0x1122334455667788,
+		Constraints: []FieldConstraint{{Field: FieldIPDst, Value: 0x0A000001, Mask: 0xFFFFFFFF}},
+		Param:       "p", DeadlineMillis: 250}
+	goldenPacket(t, "query",
+		"ffffffffffff02000000000108004500004800000000401165a70a0000010afffffe04885aa500340000010100000000000000071122334455667788000106000000000a00000100000000ffffffff000170000000fa",
+		NewQueryPacket(0x020000000001, IPv4(10, 0, 0, 1), q))
+}
+
+func TestGoldenAuthRequestPacket(t *testing.T) {
+	ar := &AuthRequest{QueryNonce: 0x1122334455667788, Challenge: 0xCAFEBABE, ServerKey: []byte{1, 2, 3}}
+	goldenPacket(t, "auth-request",
+		"02000000000202005aa5000108004500003100000000401165bd0afffffe0a0000025aa85aa6001d0000112233445566778800000000cafebabe0003010203",
+		NewAuthRequestPacket(0x020000000002, IPv4(10, 0, 0, 2), ar))
+}
+
+func TestGoldenAuthReplyPacket(t *testing.T) {
+	rep := &AuthReply{QueryNonce: 0x1122334455667788, Challenge: 0xCAFEBABE, ClientID: 7, Signature: []byte{9}, PubKey: []byte{8}}
+	goldenPacket(t, "auth-reply",
+		"ffffffffffff02000000000308004500003a00000000401165b30a0000030afffffe70405aa700260000112233445566778800000000cafebabe0000000000000007000109000108",
+		NewAuthReplyPacket(0x020000000003, IPv4(10, 0, 0, 3), rep))
+}
+
+func TestGoldenResponsePacket(t *testing.T) {
+	resp := &QueryResponse{Version: 1, Kind: QueryReachableDestinations, Nonce: 0x1122334455667788,
+		Status: StatusOK, Detail: "d",
+		Endpoints: []Endpoint{{ClientID: 7, SwitchID: 2, Port: 3, Authenticated: true, Detail: "eu"}},
+		Regions:   []string{"eu"}, AuthRequested: 1, AuthReplied: 1, SnapshotID: 42,
+		Signature: []byte{0xAA}, Quote: []byte{0xBB}}
+	goldenPacket(t, "response",
+		"02000000000402005aa5000108004500005d000000004011658f0afffffe0a0000045aa8048800490000010111223344556677880100016400010000000000000007000000020000000301000265750001000265750000000100000001000000000000002a0001aa0001bb",
+		NewResponsePacket(0x020000000004, IPv4(10, 0, 0, 4), resp))
+}
+
+func TestGoldenSubscribePacket(t *testing.T) {
+	sr := &SubscribeRequest{Version: 1, Op: SubOpAdd, ClientID: 7, Nonce: 0x2233445566778899,
+		AnchorSwitch: 1, AnchorPort: 2, Kind: QueryIsolation,
+		Constraints: []FieldConstraint{{Field: FieldIPDst, Value: 0x0A000002, Mask: 0xFFFFFFFF}},
+		Signature:   []byte{0xCC}}
+	goldenPacket(t, "subscribe",
+		"ffffffffffff02000000000508004500005f000000004011658c0a0000050afffffe88885aa9004b000001010000000000000007223344556677889900000000000000000000000000000000000000010000000203000106000000000a00000200000000ffffffff00000001cc",
+		NewSubscribePacket(0x020000000005, IPv4(10, 0, 0, 5), sr))
+}
+
+func TestGoldenNotificationPacket(t *testing.T) {
+	n := &Notification{Version: 1, Event: NotifyViolation, Kind: QueryIsolation,
+		Status: StatusViolation, SubID: 4, Nonce: 0x2233445566778899, Seq: 2, SnapshotID: 43,
+		Detail: "v", Signature: []byte{0xDD}, Quote: []byte{0xEE}}
+	goldenPacket(t, "notification",
+		"02000000000602005aa5000108004500004900000000401165a10afffffe0a0000065aaa88880035000001020302000000000000000422334455667788990000000000000002000000000000002b0001760001dd0001ee",
+		NewNotificationPacket(0x020000000006, IPv4(10, 0, 0, 6), n))
+}
+
+func TestGoldenProbePacket(t *testing.T) {
+	pp := &ProbePayload{ProbeID: 5, SrcSwitch: 1, SrcPort: 2, IssuedUnix: 1700000000, MAC: []byte{0x11}}
+	goldenPacket(t, "probe",
+		"0180c200000e02005aa5000288b500000000000000050000000100000002000000006553f100000111",
+		NewProbePacket(pp))
+}

@@ -82,8 +82,8 @@ func (q *QueryRequest) Marshal() []byte {
 	w.u8(uint8(q.Kind))
 	w.u64(q.ClientID)
 	w.u64(q.Nonce)
-	w.u16(uint16(len(q.Constraints)))
-	for _, c := range q.Constraints {
+	n := w.count16(len(q.Constraints))
+	for _, c := range q.Constraints[:n] {
 		w.u8(uint8(c.Field))
 		w.u64(c.Value)
 		w.u64(c.Mask)
@@ -204,8 +204,8 @@ func (resp *QueryResponse) core() []byte {
 	w.u64(resp.Nonce)
 	w.u8(uint8(resp.Status))
 	w.str(resp.Detail)
-	w.u16(uint16(len(resp.Endpoints)))
-	for _, e := range resp.Endpoints {
+	ne := w.count16(len(resp.Endpoints))
+	for _, e := range resp.Endpoints[:ne] {
 		w.u64(e.ClientID)
 		w.u32(e.SwitchID)
 		w.u32(e.Port)
@@ -216,8 +216,8 @@ func (resp *QueryResponse) core() []byte {
 		}
 		w.str(e.Detail)
 	}
-	w.u16(uint16(len(resp.Regions)))
-	for _, g := range resp.Regions {
+	ng := w.count16(len(resp.Regions))
+	for _, g := range resp.Regions[:ng] {
 		w.str(g)
 	}
 	w.u32(resp.AuthRequested)
@@ -337,8 +337,8 @@ func (s *SubscribeRequest) core() []byte {
 	w.u32(s.AnchorSwitch)
 	w.u32(s.AnchorPort)
 	w.u8(uint8(s.Kind))
-	w.u16(uint16(len(s.Constraints)))
-	for _, c := range s.Constraints {
+	n := w.count16(len(s.Constraints))
+	for _, c := range s.Constraints[:n] {
 		w.u8(uint8(c.Field))
 		w.u64(c.Value)
 		w.u64(c.Mask)
@@ -613,106 +613,97 @@ func UnmarshalProbePayload(data []byte) (*ProbePayload, error) {
 	return pp, nil
 }
 
+// Canonical RVaaS addressing constants shared by every frame builder.
+const (
+	// rvaasSrcMAC is the locally-administered source MAC of frames RVaaS
+	// injects via Packet-Out.
+	rvaasSrcMAC uint64 = 0x02005AA5_0001
+	// broadcastMAC is used where client frames need no concrete
+	// destination (the ingress switch intercepts on the magic port).
+	broadcastMAC uint64 = 0xFFFFFFFFFFFF
+)
+
+// rvaasAnycastIP is the RVaaS anycast address (10.255.255.254).
+var rvaasAnycastIP = IPv4(10, 255, 255, 254)
+
+// rvaasUDP is the single envelope builder every RVaaS frame constructor
+// goes through: an Ethernet/IPv4/UDP frame with the model's fixed TTL.
+// Client → RVaaS frames address the anycast IP with an ephemeral source
+// port and a magic destination port; RVaaS → client frames invert that.
+// The v1 byte layout produced here is locked by the golden-frame tests.
+func rvaasUDP(ethDst, ethSrc uint64, ipSrc, ipDst uint32, l4Src, l4Dst uint16, payload []byte) *Packet {
+	return &Packet{
+		EthDst:  ethDst,
+		EthSrc:  ethSrc,
+		EthType: EthTypeIPv4,
+		IPSrc:   ipSrc,
+		IPDst:   ipDst,
+		IPProto: IPProtoUDP,
+		TTL:     64,
+		L4Src:   l4Src,
+		L4Dst:   l4Dst,
+		Payload: payload,
+	}
+}
+
+// toRVaaS builds a client → RVaaS frame on the given magic port.
+func toRVaaS(srcMAC uint64, srcIP uint32, corr uint64, dstPort uint16, payload []byte) *Packet {
+	return rvaasUDP(broadcastMAC, srcMAC, srcIP, rvaasAnycastIP, ephemeralPort(corr), dstPort, payload)
+}
+
+// fromRVaaS builds an RVaaS → client frame from the given magic port.
+func fromRVaaS(dstMAC uint64, dstIP uint32, corr uint64, srcPort uint16, payload []byte) *Packet {
+	return rvaasUDP(dstMAC, rvaasSrcMAC, rvaasAnycastIP, dstIP, srcPort, ephemeralPort(corr), payload)
+}
+
 // NewQueryPacket wraps a query request into a UDP packet with the RVaaS
 // magic destination port, ready for injection at the client's access point.
 func NewQueryPacket(srcMAC uint64, srcIP uint32, q *QueryRequest) *Packet {
-	return &Packet{
-		EthDst:  0xFFFFFFFFFFFF, // query packets need no concrete dst
-		EthSrc:  srcMAC,
-		EthType: EthTypeIPv4,
-		IPSrc:   srcIP,
-		IPDst:   IPv4(10, 255, 255, 254), // RVaaS anycast address
-		IPProto: IPProtoUDP,
-		TTL:     64,
-		L4Src:   ephemeralPort(q.Nonce),
-		L4Dst:   PortRVaaSQuery,
-		Payload: q.Marshal(),
-	}
+	return toRVaaS(srcMAC, srcIP, q.Nonce, PortRVaaSQuery, q.Marshal())
 }
 
 // NewAuthRequestPacket wraps an auth request for injection at an egress
 // port toward a discovered endpoint.
 func NewAuthRequestPacket(dstMAC uint64, dstIP uint32, a *AuthRequest) *Packet {
-	return &Packet{
-		EthDst:  dstMAC,
-		EthSrc:  0x02005AA5_0001, // locally-administered RVaaS source MAC
-		EthType: EthTypeIPv4,
-		IPSrc:   IPv4(10, 255, 255, 254),
-		IPDst:   dstIP,
-		IPProto: IPProtoUDP,
-		TTL:     64,
-		L4Src:   PortRVaaSResponse,
-		L4Dst:   PortRVaaSAuthReq,
-		Payload: a.Marshal(),
-	}
+	return rvaasUDP(dstMAC, rvaasSrcMAC, rvaasAnycastIP, dstIP,
+		PortRVaaSResponse, PortRVaaSAuthReq, a.Marshal())
 }
 
 // NewAuthReplyPacket wraps an auth reply for sending from a client agent.
 func NewAuthReplyPacket(srcMAC uint64, srcIP uint32, a *AuthReply) *Packet {
-	return &Packet{
-		EthDst:  0xFFFFFFFFFFFF,
-		EthSrc:  srcMAC,
-		EthType: EthTypeIPv4,
-		IPSrc:   srcIP,
-		IPDst:   IPv4(10, 255, 255, 254),
-		IPProto: IPProtoUDP,
-		TTL:     64,
-		L4Src:   ephemeralPort(a.Challenge),
-		L4Dst:   PortRVaaSAuthRep,
-		Payload: a.Marshal(),
-	}
+	return toRVaaS(srcMAC, srcIP, a.Challenge, PortRVaaSAuthRep, a.Marshal())
 }
 
 // NewResponsePacket wraps a query response for Packet-Out injection back to
 // the querying client.
 func NewResponsePacket(dstMAC uint64, dstIP uint32, resp *QueryResponse) *Packet {
-	return &Packet{
-		EthDst:  dstMAC,
-		EthSrc:  0x02005AA5_0001,
-		EthType: EthTypeIPv4,
-		IPSrc:   IPv4(10, 255, 255, 254),
-		IPDst:   dstIP,
-		IPProto: IPProtoUDP,
-		TTL:     64,
-		L4Src:   PortRVaaSResponse,
-		L4Dst:   ephemeralPort(resp.Nonce),
-		Payload: resp.Marshal(),
-	}
+	return fromRVaaS(dstMAC, dstIP, resp.Nonce, PortRVaaSResponse, resp.Marshal())
 }
 
 // NewSubscribePacket wraps a subscription operation into a UDP packet with
 // the RVaaS subscription magic port, ready for injection at the client's
 // access point.
 func NewSubscribePacket(srcMAC uint64, srcIP uint32, s *SubscribeRequest) *Packet {
-	return &Packet{
-		EthDst:  0xFFFFFFFFFFFF,
-		EthSrc:  srcMAC,
-		EthType: EthTypeIPv4,
-		IPSrc:   srcIP,
-		IPDst:   IPv4(10, 255, 255, 254),
-		IPProto: IPProtoUDP,
-		TTL:     64,
-		L4Src:   ephemeralPort(s.Nonce),
-		L4Dst:   PortRVaaSSub,
-		Payload: s.Marshal(),
-	}
+	return toRVaaS(srcMAC, srcIP, s.Nonce, PortRVaaSSub, s.Marshal())
 }
 
 // NewNotificationPacket wraps a subscription notification for Packet-Out
 // injection back to the subscribed client.
 func NewNotificationPacket(dstMAC uint64, dstIP uint32, n *Notification) *Packet {
-	return &Packet{
-		EthDst:  dstMAC,
-		EthSrc:  0x02005AA5_0001,
-		EthType: EthTypeIPv4,
-		IPSrc:   IPv4(10, 255, 255, 254),
-		IPDst:   dstIP,
-		IPProto: IPProtoUDP,
-		TTL:     64,
-		L4Src:   PortRVaaSNotify,
-		L4Dst:   ephemeralPort(n.Nonce),
-		Payload: n.Marshal(),
-	}
+	return fromRVaaS(dstMAC, dstIP, n.Nonce, PortRVaaSNotify, n.Marshal())
+}
+
+// NewEnvelopePacket wraps a protocol v2 envelope for injection at the
+// client's access point (client → RVaaS direction).
+func NewEnvelopePacket(srcMAC uint64, srcIP uint32, env *Envelope) *Packet {
+	return toRVaaS(srcMAC, srcIP, env.CorrelationID, PortRVaaSV2, env.Marshal())
+}
+
+// NewEnvelopeReplyPacket wraps a protocol v2 envelope for Packet-Out
+// injection back to a client (RVaaS → client direction: replies and
+// asynchronous pushes alike).
+func NewEnvelopeReplyPacket(dstMAC uint64, dstIP uint32, env *Envelope) *Packet {
+	return fromRVaaS(dstMAC, dstIP, env.CorrelationID, PortRVaaSV2, env.Marshal())
 }
 
 // NewProbePacket wraps a probe payload in a probe EthType frame.
@@ -728,15 +719,15 @@ func NewProbePacket(pp *ProbePayload) *Packet {
 // ephemeralPort derives a stable pseudo-ephemeral port from a nonce so the
 // response can be routed back without per-flow state. The result avoids
 // both well-known ports and the reserved RVaaS magic range
-// [PortRVaaSQuery, PortRVaaSNotify] — a collision with PortRVaaSAuthReq
-// would make a response packet classify as an auth request at the
-// receiving agent.
+// [PortRVaaSQuery, PortRVaaSV2] — a collision with PortRVaaSAuthReq would
+// make a response packet classify as an auth request at the receiving
+// agent, and one with PortRVaaSV2 would make it classify as an envelope.
 func ephemeralPort(nonce uint64) uint16 {
 	p := uint16(nonce>>48) ^ uint16(nonce>>32) ^ uint16(nonce>>16) ^ uint16(nonce)
 	if p < 1024 {
 		p += 1024
 	}
-	if p >= PortRVaaSQuery && p <= PortRVaaSNotify {
+	if p >= PortRVaaSQuery && p <= PortRVaaSV2 {
 		p += 8
 	}
 	return p

@@ -209,16 +209,17 @@ func TestEphemeralPortAvoidsMagicRange(t *testing.T) {
 		uint64(PortRVaaSQuery), uint64(PortRVaaSAuthReq),
 		uint64(PortRVaaSAuthRep), uint64(PortRVaaSResponse),
 		uint64(PortRVaaSSub), uint64(PortRVaaSNotify),
+		uint64(PortRVaaSV2),
 	} {
 		p := ephemeralPort(magic) // folds to exactly the magic value
-		if p >= PortRVaaSQuery && p <= PortRVaaSNotify {
+		if p >= PortRVaaSQuery && p <= PortRVaaSV2 {
 			t.Errorf("nonce %#x yields reserved port %#x", magic, p)
 		}
 	}
 	// Exhaustive over the low 16 bits.
 	for n := uint64(0); n < 0x10000; n++ {
 		p := ephemeralPort(n)
-		if p >= PortRVaaSQuery && p <= PortRVaaSNotify {
+		if p >= PortRVaaSQuery && p <= PortRVaaSV2 {
 			t.Fatalf("nonce %#x yields reserved port %#x", n, p)
 		}
 	}

@@ -46,6 +46,11 @@ const (
 	// PortRVaaSNotify is the UDP source port of asynchronous subscription
 	// notifications (acks, violations, recoveries) injected via Packet-Out.
 	PortRVaaSNotify uint16 = 0x5AAA
+	// PortRVaaSV2 carries protocol v2 envelopes: the UDP destination port
+	// of client → RVaaS envelope frames, and the source port of RVaaS →
+	// client envelope replies and pushes. One port pair replaces the v1
+	// per-shape ports; the envelope's Op selects the operation.
+	PortRVaaSV2 uint16 = 0x5AAB
 )
 
 // Packet is the in-model representation of a frame: the matchable fields
@@ -196,7 +201,11 @@ func Unmarshal(data []byte) (*Packet, error) {
 		return nil, ErrTruncated
 	}
 	ip := data[off : off+ipv4HeaderLen]
-	if ip[0]>>4 != 4 {
+	if ip[0] != 0x45 {
+		// Version must be 4 and IHL must be 5: Marshal never emits IP
+		// options, so a longer header would shift the UDP fields and
+		// payload — parsing it with the fixed offsets would misread
+		// attacker-chosen option bytes as ports and payload.
 		return nil, ErrNotIPv4
 	}
 	if ipChecksumVerify(ip) != 0 {
@@ -286,6 +295,18 @@ func (p *Packet) IsRVaaSSubscribe() bool {
 // notification injected toward a client.
 func (p *Packet) IsNotification() bool {
 	return p.EthType == EthTypeIPv4 && p.IPProto == IPProtoUDP && p.L4Src == PortRVaaSNotify
+}
+
+// IsRVaaSV2 reports whether the packet carries a protocol v2 envelope
+// request for RVaaS (the magic header the ingress switch rule matches on).
+func (p *Packet) IsRVaaSV2() bool {
+	return p.EthType == EthTypeIPv4 && p.IPProto == IPProtoUDP && p.L4Dst == PortRVaaSV2
+}
+
+// IsRVaaSV2Reply reports whether the packet is a protocol v2 envelope
+// injected by RVaaS toward a client (reply or asynchronous push).
+func (p *Packet) IsRVaaSV2Reply() bool {
+	return p.EthType == EthTypeIPv4 && p.IPProto == IPProtoUDP && p.L4Src == PortRVaaSV2
 }
 
 // IsProbe reports whether the packet is an RVaaS topology probe frame.

@@ -20,6 +20,10 @@ emits (cmd/benchharness -json):
        rule insert on a hub switch evaluates strictly fewer invariants
        per pass than the per-switch dirty bucket (which on a hub is the
        whole population).
+     * E15: protocol v2 batch registration of the 10^4-invariant
+       population is >= 5x faster than sequential signed round-trips, and
+       kill/restart recovery completes: every persisted subscription is
+       restored AND re-verified (restored == subs, reverified >= restored).
 
 2. Regression gate — when a previous run's artifacts are available (pass
    the directory as --prev), every key metric is diffed against its
@@ -88,6 +92,26 @@ def check_claims(cur):
         failures.append(
             f"e14: {key} rule-delta evals-per-check {delta:.1f} not below the per-switch "
             f"dirty bucket {per_switch:.1f} (the header-space overlap filter is not filtering)")
+
+    e15 = cur.get("e15", {})
+    key = "linear-40/subs=10000"
+    speedup = e15.get(f"{key}/batch-speedup", (0.0, ""))[0]
+    subs = e15.get(f"{key}/subs", (0.0, ""))[0]
+    restored = e15.get(f"{key}/restored", (0.0, ""))[0]
+    reverified = e15.get(f"{key}/reverified", (-1.0, ""))[0]
+    print(f"e15: {key} batch-vs-sequential registration speedup = {speedup:.1f}x (require >= 5)")
+    print(f"e15: {key} restart restore: {restored:.0f}/{subs:.0f} restored, "
+          f"{reverified:.0f} re-verified (require restored == subs, reverified >= restored)")
+    if speedup < 5.0:
+        failures.append(f"e15: {key} batch registration speedup {speedup:.1f}x < 5x")
+    if subs <= 0 or restored != subs:
+        failures.append(
+            f"e15: {key} restart restored {restored:.0f} of {subs:.0f} subscriptions "
+            "(persistence restore is incomplete)")
+    if reverified < restored:
+        failures.append(
+            f"e15: {key} only {reverified:.0f} of {restored:.0f} restored subscriptions were "
+            "re-verified after the restart")
     return failures
 
 
