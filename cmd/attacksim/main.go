@@ -3,25 +3,34 @@
 // the two baselines (traceroute, trajectory sampling), under both a lying
 // and an honest provider, and sweeps the flap-attack detection probability
 // for fixed versus randomized polling (experiments E4 and E5).
+//
+// SIGINT/SIGTERM aborts the run at the next phase boundary (between the
+// lying/honest matrices, and between flap-sweep duty cycles), so a long
+// sweep can be cut short without killing the terminal session.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
 	skipFlap := fs.Bool("skip-flap", false, "skip the E5 flap sweep")
 	horizon := fs.Duration("horizon", 600*time.Second, "virtual horizon for the flap sweep")
@@ -34,6 +43,10 @@ func run(args []string) error {
 	fmt.Print(experiments.FormatMatrix(lying))
 	printScore(lying)
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attacksim: interrupted after the lying-provider matrix: %w", err)
+	}
+
 	fmt.Println("\n=== E4 ablation: detection matrix, honest provider ===")
 	honest := experiments.DetectionMatrix(false)
 	fmt.Print(experiments.FormatMatrix(honest))
@@ -42,16 +55,24 @@ func run(args []string) error {
 	if *skipFlap {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attacksim: interrupted before the flap sweep: %w", err)
+	}
 	fmt.Println("\n=== E5: flap-attack detection rate vs attacker duty cycle ===")
 	fmt.Println("(virtual time; poll interval 10s; attacker aligned to the nominal schedule)")
 	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	rows, err := experiments.FlapSweep(fractions, 10*time.Second, *horizon, 17)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%-14s %-14s %-14s\n", "duty cycle", "fixed polls", "random polls")
-	for _, r := range rows {
-		fmt.Printf("%-14.1f %-14.2f %-14.2f\n", r.WindowFraction, r.FixedRate, r.RandomRate)
+	for _, f := range fractions {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("attacksim: interrupted at duty cycle %.1f: %w", f, err)
+		}
+		rows, err := experiments.FlapSweep([]float64{f}, 10*time.Second, *horizon, 17)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-14.1f %-14.2f %-14.2f\n", r.WindowFraction, r.FixedRate, r.RandomRate)
+		}
 	}
 	fmt.Println("\nfixed-phase polling is evaded at every duty cycle; randomized polling")
 	fmt.Println("detects at a rate tracking the attacker's exposure (paper §IV-A).")

@@ -28,6 +28,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/experiments"
 	"repro/internal/headerspace"
+	"repro/internal/labspec"
 	"repro/internal/openflow"
 	"repro/internal/switchsim"
 	"repro/internal/topology"
@@ -95,6 +96,19 @@ type recorder struct {
 
 var rec *recorder
 
+// specTopo, when -topology is given, replaces the built-in generator sweep
+// in the topology-driven experiments with the declared lab topology.
+var specTopo *experiments.NamedTopology
+
+// sweepTopologies returns the set the topology-driven experiments iterate:
+// the standard generator sweep, or only the spec-declared lab.
+func sweepTopologies() []experiments.NamedTopology {
+	if specTopo != nil {
+		return []experiments.NamedTopology{*specTopo}
+	}
+	return experiments.StandardSweep()
+}
+
 // record adds one measurement to the active experiment's JSON report.
 func record(metric string, value float64, unit string) {
 	if rec == nil || rec.current == "" {
@@ -121,11 +135,22 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a comma-separated subset of experiments ("+strings.Join(experimentIDs(), ",")+")")
 	jsonOut := fs.Bool("json", false, "emit BENCH_<EXPERIMENT>.json files with machine-readable metrics")
 	outDir := fs.String("outdir", ".", "directory for -json output files")
+	topoSpec := fs.String("topology", "", "lab spec file (YAML/JSON); topology-driven experiments then measure the declared lab instead of the built-in generator sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *iters < 1 {
 		*iters = 1
+	}
+	if *topoSpec != "" {
+		spec, err := labspec.Load(*topoSpec)
+		if err != nil {
+			return err
+		}
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		specTopo = &experiments.NamedTopology{Name: spec.Name, Build: spec.Topology.Build}
 	}
 
 	want := make(map[string]bool)
@@ -198,7 +223,7 @@ func header(id, claim string) {
 func e1(iters int) error {
 	fmt.Printf("%-12s %-9s %-7s %-26s %-12s %-12s\n",
 		"topology", "switches", "rules", "kind", "mean", "per-switch")
-	for _, nt := range experiments.StandardSweep() {
+	for _, nt := range sweepTopologies() {
 		for _, kind := range []wire.QueryKind{wire.QueryReachableDestinations, wire.QueryGeoRegions} {
 			row, err := experiments.QueryLatency(nt, kind, iters)
 			if err != nil {
@@ -260,7 +285,7 @@ func buildHSAChain(switches, rulesPer int) (*headerspace.Network, headerspace.Sp
 
 func e3(int) error {
 	fmt.Printf("%-12s %-9s %-14s %-16s\n", "topology", "switches", "poll-all mean", "event ingest")
-	for _, nt := range experiments.StandardSweep() {
+	for _, nt := range sweepTopologies() {
 		row, err := experiments.MonitoringOverhead(nt, 5, 100)
 		if err != nil {
 			return fmt.Errorf("%s: %w", nt.Name, err)
@@ -456,6 +481,9 @@ func e11(iters int) error {
 	tops := []experiments.NamedTopology{
 		{Name: "fattree-4", Build: func() (*topology.Topology, error) { return topology.FatTree(4) }},
 		{Name: "grid-4x4", Build: func() (*topology.Topology, error) { return topology.Grid(4, 4) }},
+	}
+	if specTopo != nil {
+		tops = []experiments.NamedTopology{*specTopo}
 	}
 	for _, nt := range tops {
 		rows, err := experiments.ReachScaling(nt, []int{1, 4, 16}, iters)

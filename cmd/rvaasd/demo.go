@@ -1,0 +1,192 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// runDemo brings up a complete in-process RVaaS deployment on a generated
+// topology, runs the standard verification queries against it, performs an
+// active wiring sweep and a self-rule tamper check, demos a standing-
+// invariant violation/recovery cycle, and reports controller statistics. It
+// is the operational smoke test of the reproduction.
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("rvaasd demo", flag.ContinueOnError)
+	topoName := fs.String("topo", "linear", "topology: linear|ring|star|grid|fattree|wan|random")
+	size := fs.Int("size", 6, "topology size parameter (switch count, k for fattree)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "mean active poll interval (0 disables)")
+	queries := fs.Int("queries", 4, "number of demo queries to run")
+	tenant := fs.Bool("tenant", false, "install tenant-isolated routing")
+	subscribe := fs.Bool("subscribe", true, "register standing invariants and demo a violation/recovery cycle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := BuildTopology(*topoName, *size)
+	if err != nil {
+		return err
+	}
+	d, err := deploy.New(topo, deploy.Options{
+		PollInterval:   *poll,
+		RandomizePolls: true,
+		TenantRouting:  *tenant,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	fmt.Fprintf(out, "rvaasd: %s topology, %d switches, %d access points\n",
+		*topoName, len(topo.Switches()), len(topo.AccessPoints()))
+	fmt.Fprintf(out, "enclave measurement: %x\n", d.RVaaS.KeyQuote().Measurement)
+
+	// Active wiring verification.
+	issued := d.RVaaS.ProbeSweep()
+	time.Sleep(100 * time.Millisecond)
+	mismatches := d.RVaaS.WiringReport()
+	fmt.Fprintf(out, "wiring sweep: %d probes issued, %d mismatches\n", issued, len(mismatches))
+
+	// Self-rule integrity.
+	if rep := d.RVaaS.CheckSelfRules(); rep.Clean() {
+		fmt.Fprintln(out, "interception rules: intact on all switches")
+	} else {
+		fmt.Fprintf(out, "interception rules: MISSING on %v\n", rep.MissingOn)
+	}
+
+	// Demo queries round-robin over clients.
+	aps := topo.AccessPoints()
+	kinds := []wire.QueryKind{
+		wire.QueryReachableDestinations,
+		wire.QueryReachingSources,
+		wire.QueryGeoRegions,
+		wire.QueryTransferFunction,
+	}
+	for i := 0; i < *queries; i++ {
+		src := aps[i%len(aps)]
+		dst := aps[(i+1)%len(aps)]
+		agent := d.Agent(src.ClientID)
+		if agent == nil {
+			continue
+		}
+		kind := kinds[i%len(kinds)]
+		constraintIP := dst.HostIP
+		if kind == wire.QueryReachingSources {
+			// "Who can reach MY card": constrain on the querier's address.
+			constraintIP = src.HostIP
+		}
+		start := time.Now()
+		resp, err := agent.Query(kind, []wire.FieldConstraint{
+			{Field: wire.FieldIPDst, Value: uint64(constraintIP), Mask: 0xFFFFFFFF},
+		}, "")
+		if err != nil {
+			fmt.Fprintf(out, "query %-24s client=%d error: %v\n", kind, src.ClientID, err)
+			continue
+		}
+		fmt.Fprintf(out, "query %-24s client=%-3d status=%-9s endpoints=%-3d auth=%d/%d latency=%s\n",
+			kind, src.ClientID, resp.Status, len(resp.Endpoints),
+			resp.AuthReplied, resp.AuthRequested, time.Since(start).Round(10*time.Microsecond))
+	}
+
+	if *subscribe {
+		if err := demoSubscriptions(d); err != nil {
+			return err
+		}
+	}
+
+	st := d.RVaaS.Stats()
+	fmt.Fprintf(out, "\ncontroller stats: polls=%d passiveEvents=%d resyncs=%d packetIns=%d queries=%d signed=%d\n",
+		st.ActivePolls, st.PassiveEvents, st.Resyncs, st.PacketIns, st.QueriesServed, st.ResponsesSigned)
+	return nil
+}
+
+// demoSubscriptions registers one standing reachability invariant per
+// access point (each watching the next one), injects a transient blackhole
+// on a middle switch to violate them, restores it, and prints the
+// violation log — the continuous-verification loop a one-shot query cannot
+// provide.
+func demoSubscriptions(d *deploy.Deployment) error {
+	aps := d.Topology.AccessPoints()
+	if len(aps) < 2 {
+		return nil
+	}
+	// Every client watches reachability to the last access point, so a
+	// single blackhole on the path serving it violates several tenants.
+	fmt.Fprintln(out, "\nstanding invariants:")
+	dst := aps[len(aps)-1]
+	for i := range aps[:len(aps)-1] {
+		if _, err := d.RVaaS.Subscribe(aps[i].ClientID, wire.QueryReachableDestinations,
+			[]wire.FieldConstraint{{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF}},
+			"", aps[i].Endpoint); err != nil {
+			return err
+		}
+	}
+	st := d.RVaaS.SubscriptionStats()
+	fmt.Fprintf(out, "registered %d invariants (%d evaluations)\n", st.Active, st.Evaluated)
+
+	// Transient blackhole next to the watched destination: a targeted
+	// single-switch attack between client polls.
+	victim := dst.Endpoint.Switch
+	blackhole := openflow.FlowEntry{
+		Priority: 3000,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF},
+		}},
+		Cookie: 0xB1AC_0001,
+	}
+	d.Fabric.Switch(victim).InstallDirect(blackhole)
+	waitUntil(func() bool { return d.RVaaS.SubscriptionStats().Violations > 0 })
+	d.Fabric.Switch(victim).RemoveDirect(blackhole)
+	waitUntil(func() bool {
+		s := d.RVaaS.SubscriptionStats()
+		return s.Recoveries >= s.Violations
+	})
+
+	st = d.RVaaS.SubscriptionStats()
+	fmt.Fprintf(out, "after blackhole cycle on switch %d: evaluated=%d revalidated-free=%d violations=%d recoveries=%d\n",
+		victim, st.Evaluated, st.Revalidated, st.Violations, st.Recoveries)
+	for _, v := range d.RVaaS.ViolationLog().All() {
+		fmt.Fprintf(out, "  %-9s sub=%d client=%d kind=%s snapshot=%d %s\n",
+			v.Event, v.SubID, v.ClientID, v.Kind, v.SnapshotID, v.Detail)
+	}
+	return nil
+}
+
+// waitUntil polls a condition with a bounded deadline.
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BuildTopology constructs one of the standard evaluation topologies.
+func BuildTopology(name string, size int) (*topology.Topology, error) {
+	switch name {
+	case "linear":
+		return topology.Linear(size, nil)
+	case "ring":
+		return topology.Ring(size)
+	case "star":
+		return topology.Star(size)
+	case "grid":
+		return topology.Grid(size, size)
+	case "fattree":
+		return topology.FatTree(size)
+	case "wan":
+		return topology.MultiRegionWAN(
+			[]topology.Region{"eu-west", "offshore", "us-east"}, size)
+	case "random":
+		return topology.RandomGeometric(size, 0.2, 42)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

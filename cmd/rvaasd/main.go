@@ -1,25 +1,28 @@
-// Command rvaasd brings up a complete RVaaS deployment on a generated
-// topology, runs the standard verification queries against it, performs an
-// active wiring sweep and a self-rule tamper check, and reports controller
-// statistics. It is the operational smoke test of the reproduction.
+// Command rvaasd is the operator entry point of the reproduction: a
+// containerlab-style lab runner plus an ops CLI over the admin API.
 //
-// Usage:
+//	rvaasd deploy -topo lab.yml            bring a declared lab up (UDP or
+//	                                       in-proc channels, admin endpoint,
+//	                                       signal-aware ordered shutdown)
+//	rvaasd deploy -topo lab.yml -validate  dry-run: parse + validate only
+//	rvaasd ops subs -filter status=violated -page-size 50
+//	                                       operate a running lab over HTTP
+//	rvaasd demo -topo fattree -size 4      the original in-process smoke demo
 //
-//	rvaasd -topo fattree -size 4 -poll 500ms -queries 8
+// Bare flags (`rvaasd -topo linear -size 3`) keep invoking the demo for
+// backward compatibility.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
-	"time"
-
-	"repro/internal/deploy"
-	"repro/internal/openflow"
-	"repro/internal/topology"
-	"repro/internal/wire"
+	"strings"
 )
+
+// out is the command output stream (swapped in e2e tests).
+var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -28,176 +31,31 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("rvaasd", flag.ContinueOnError)
-	topoName := fs.String("topo", "linear", "topology: linear|ring|star|grid|fattree|wan|random")
-	size := fs.Int("size", 6, "topology size parameter (switch count, k for fattree)")
-	poll := fs.Duration("poll", 500*time.Millisecond, "mean active poll interval (0 disables)")
-	queries := fs.Int("queries", 4, "number of demo queries to run")
-	tenant := fs.Bool("tenant", false, "install tenant-isolated routing")
-	subscribe := fs.Bool("subscribe", true, "register standing invariants and demo a violation/recovery cycle")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	topo, err := BuildTopology(*topoName, *size)
-	if err != nil {
-		return err
-	}
-	d, err := deploy.New(topo, deploy.Options{
-		PollInterval:   *poll,
-		RandomizePolls: true,
-		TenantRouting:  *tenant,
-	})
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-
-	fmt.Printf("rvaasd: %s topology, %d switches, %d access points\n",
-		*topoName, len(topo.Switches()), len(topo.AccessPoints()))
-	fmt.Printf("enclave measurement: %x\n", d.RVaaS.KeyQuote().Measurement)
-
-	// Active wiring verification.
-	issued := d.RVaaS.ProbeSweep()
-	time.Sleep(100 * time.Millisecond)
-	mismatches := d.RVaaS.WiringReport()
-	fmt.Printf("wiring sweep: %d probes issued, %d mismatches\n", issued, len(mismatches))
-
-	// Self-rule integrity.
-	if rep := d.RVaaS.CheckSelfRules(); rep.Clean() {
-		fmt.Println("interception rules: intact on all switches")
-	} else {
-		fmt.Printf("interception rules: MISSING on %v\n", rep.MissingOn)
-	}
-
-	// Demo queries round-robin over clients.
-	aps := topo.AccessPoints()
-	kinds := []wire.QueryKind{
-		wire.QueryReachableDestinations,
-		wire.QueryReachingSources,
-		wire.QueryGeoRegions,
-		wire.QueryTransferFunction,
-	}
-	for i := 0; i < *queries; i++ {
-		src := aps[i%len(aps)]
-		dst := aps[(i+1)%len(aps)]
-		agent := d.Agent(src.ClientID)
-		if agent == nil {
-			continue
-		}
-		kind := kinds[i%len(kinds)]
-		constraintIP := dst.HostIP
-		if kind == wire.QueryReachingSources {
-			// "Who can reach MY card": constrain on the querier's address.
-			constraintIP = src.HostIP
-		}
-		start := time.Now()
-		resp, err := agent.Query(kind, []wire.FieldConstraint{
-			{Field: wire.FieldIPDst, Value: uint64(constraintIP), Mask: 0xFFFFFFFF},
-		}, "")
-		if err != nil {
-			fmt.Printf("query %-24s client=%d error: %v\n", kind, src.ClientID, err)
-			continue
-		}
-		fmt.Printf("query %-24s client=%-3d status=%-9s endpoints=%-3d auth=%d/%d latency=%s\n",
-			kind, src.ClientID, resp.Status, len(resp.Endpoints),
-			resp.AuthReplied, resp.AuthRequested, time.Since(start).Round(10*time.Microsecond))
-	}
-
-	if *subscribe {
-		if err := demoSubscriptions(d); err != nil {
-			return err
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "deploy":
+			return runDeploy(args[1:])
+		case "ops":
+			return runOps(args[1:])
+		case "demo":
+			return runDemo(args[1:])
+		case "help":
+			usage()
+			return nil
+		default:
+			usage()
+			return fmt.Errorf("rvaasd: unknown command %q (want deploy, ops or demo)", args[0])
 		}
 	}
-
-	st := d.RVaaS.Stats()
-	fmt.Printf("\ncontroller stats: polls=%d passiveEvents=%d resyncs=%d packetIns=%d queries=%d signed=%d\n",
-		st.ActivePolls, st.PassiveEvents, st.Resyncs, st.PacketIns, st.QueriesServed, st.ResponsesSigned)
-	return nil
+	// Legacy invocation: flags only → the in-process demo.
+	return runDemo(args)
 }
 
-// demoSubscriptions registers one standing reachability invariant per
-// access point (each watching the next one), injects a transient blackhole
-// on a middle switch to violate them, restores it, and prints the
-// violation log — the continuous-verification loop a one-shot query cannot
-// provide.
-func demoSubscriptions(d *deploy.Deployment) error {
-	aps := d.Topology.AccessPoints()
-	if len(aps) < 2 {
-		return nil
-	}
-	// Every client watches reachability to the last access point, so a
-	// single blackhole on the path serving it violates several tenants.
-	fmt.Println("\nstanding invariants:")
-	dst := aps[len(aps)-1]
-	for i := range aps[:len(aps)-1] {
-		if _, err := d.RVaaS.Subscribe(aps[i].ClientID, wire.QueryReachableDestinations,
-			[]wire.FieldConstraint{{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF}},
-			"", aps[i].Endpoint); err != nil {
-			return err
-		}
-	}
-	st := d.RVaaS.SubscriptionStats()
-	fmt.Printf("registered %d invariants (%d evaluations)\n", st.Active, st.Evaluated)
-
-	// Transient blackhole next to the watched destination: a targeted
-	// single-switch attack between client polls.
-	victim := dst.Endpoint.Switch
-	blackhole := openflow.FlowEntry{
-		Priority: 3000,
-		Match: openflow.Match{Fields: []openflow.FieldMatch{
-			{Field: wire.FieldIPDst, Value: uint64(dst.HostIP), Mask: 0xFFFFFFFF},
-		}},
-		Cookie: 0xB1AC_0001,
-	}
-	d.Fabric.Switch(victim).InstallDirect(blackhole)
-	waitUntil(func() bool { return d.RVaaS.SubscriptionStats().Violations > 0 })
-	d.Fabric.Switch(victim).RemoveDirect(blackhole)
-	waitUntil(func() bool {
-		s := d.RVaaS.SubscriptionStats()
-		return s.Recoveries >= s.Violations
-	})
-
-	st = d.RVaaS.SubscriptionStats()
-	fmt.Printf("after blackhole cycle on switch %d: evaluated=%d revalidated-free=%d violations=%d recoveries=%d\n",
-		victim, st.Evaluated, st.Revalidated, st.Violations, st.Recoveries)
-	for _, v := range d.RVaaS.ViolationLog().All() {
-		fmt.Printf("  %-9s sub=%d client=%d kind=%s snapshot=%d %s\n",
-			v.Event, v.SubID, v.ClientID, v.Kind, v.SnapshotID, v.Detail)
-	}
-	return nil
-}
-
-// waitUntil polls a condition with a bounded deadline.
-func waitUntil(cond func() bool) {
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// BuildTopology constructs one of the standard evaluation topologies.
-func BuildTopology(name string, size int) (*topology.Topology, error) {
-	switch name {
-	case "linear":
-		return topology.Linear(size, nil)
-	case "ring":
-		return topology.Ring(size)
-	case "star":
-		return topology.Star(size)
-	case "grid":
-		return topology.Grid(size, size)
-	case "fattree":
-		return topology.FatTree(size)
-	case "wan":
-		return topology.MultiRegionWAN(
-			[]topology.Region{"eu-west", "offshore", "us-east"}, size)
-	case "random":
-		return topology.RandomGeometric(size, 0.2, 42)
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
-	}
+func usage() {
+	fmt.Fprint(out, `usage:
+  rvaasd deploy -topo <spec.yml|spec.json> [-validate] [-reconfigure]
+                [-max-workers N] [-admin host:port] [-run-for D]
+  rvaasd ops <overview|subs|shards|sessions|history|resync> [-addr host:port] ...
+  rvaasd demo [-topo NAME] [-size N] [-poll D] [-queries N] [-tenant]
+`)
 }

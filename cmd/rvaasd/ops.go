@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/rvaas/admin"
+)
+
+// runOps is the operator CLI over a running lab's admin API.
+//
+//	rvaasd ops overview
+//	rvaasd ops subs -filter status=violated -filter client=3 -page-size 50
+//	rvaasd ops shards
+//	rvaasd ops sessions
+//	rvaasd ops history <sub-id>
+//	rvaasd ops resync <switch-id>
+func runOps(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("rvaasd ops: missing verb (want overview, subs, shards, sessions, history or resync)")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("rvaasd ops "+verb, flag.ContinueOnError)
+	addr := fs.String("addr", defaultAdminAddr, "admin API address of the running lab")
+	var filters filterFlags
+	pageSize := fs.Int("page-size", 0, "subscriptions per page (0 = server default)")
+	after := fs.Uint64("after", 0, "resume listing after this subscription ID")
+	allPages := fs.Bool("all", false, "follow the cursor through every page")
+	if verb == "subs" {
+		fs.Var(&filters, "filter", "key=value filter (status|client|kind|session), repeatable")
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	cli := &opsClient{base: "http://" + *addr}
+
+	switch verb {
+	case "overview":
+		return cli.overview()
+	case "subs":
+		return cli.subs(filters, *after, *pageSize, *allPages)
+	case "shards":
+		return cli.shards()
+	case "sessions":
+		return cli.sessions()
+	case "history":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("rvaasd ops history: want exactly one subscription ID")
+		}
+		id, err := strconv.ParseUint(fs.Arg(0), 10, 64)
+		if err != nil {
+			return fmt.Errorf("rvaasd ops history: bad subscription ID %q", fs.Arg(0))
+		}
+		return cli.history(id)
+	case "resync":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("rvaasd ops resync: want exactly one switch ID")
+		}
+		sw, err := strconv.ParseUint(fs.Arg(0), 10, 32)
+		if err != nil {
+			return fmt.Errorf("rvaasd ops resync: bad switch ID %q", fs.Arg(0))
+		}
+		return cli.resync(uint32(sw))
+	}
+	return fmt.Errorf("rvaasd ops: unknown verb %q (want overview, subs, shards, sessions, history or resync)", verb)
+}
+
+// filterFlags collects repeatable -filter key=value flags.
+type filterFlags []string
+
+func (f *filterFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *filterFlags) Set(v string) error {
+	key, _, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want key=value")
+	}
+	switch key {
+	case "status", "client", "kind", "session":
+		*f = append(*f, v)
+		return nil
+	}
+	return fmt.Errorf("unknown filter key %q (want status, client, kind or session)", key)
+}
+
+func (f filterFlags) query() url.Values {
+	q := url.Values{}
+	for _, kv := range f {
+		key, val, _ := strings.Cut(kv, "=")
+		q.Set(key, val)
+	}
+	return q
+}
+
+// opsClient is the thin HTTP client side of the ops CLI.
+type opsClient struct {
+	base string
+}
+
+func (c *opsClient) get(path string, into any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("rvaasd ops: %w (is a lab running? start one with `rvaasd deploy -topo <spec>`)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		return fmt.Errorf("rvaasd ops: %s", body.Error)
+	}
+	return fmt.Errorf("rvaasd ops: admin API returned %s", resp.Status)
+}
+
+func (c *opsClient) overview() error {
+	var ov admin.OverviewView
+	if err := c.get("/v1/overview", &ov); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "snapshot=%d switches=%d\n", ov.SnapshotID, ov.Switches)
+	fmt.Fprintf(out, "subscriptions: active=%d violated=%d\n", ov.SubsActive, ov.SubsViolated)
+	fmt.Fprintf(out, "engine: rechecks=%d evaluated=%d revalidated-free=%d indexDispatched=%d deltaSkipped=%d\n",
+		ov.Rechecks, ov.Evaluated, ov.Revalidated, ov.IndexDispatched, ov.DeltaSkipped)
+	fmt.Fprintf(out, "verdicts: violations=%d recoveries=%d\n", ov.Violations, ov.Recoveries)
+	fmt.Fprintf(out, "controller: polls=%d passiveEvents=%d resyncs=%d queries=%d\n",
+		ov.ActivePolls, ov.PassiveEvents, ov.Resyncs, ov.QueriesServed)
+	return nil
+}
+
+func (c *opsClient) subs(filters filterFlags, after uint64, pageSize int, allPages bool) error {
+	q := filters.query()
+	if pageSize > 0 {
+		q.Set("pageSize", strconv.Itoa(pageSize))
+	}
+	fmt.Fprintf(out, "%-6s %-8s %-8s %-24s %-9s %-6s %s\n",
+		"ID", "CLIENT", "SESSION", "KIND", "STATUS", "SEQ", "DETAIL")
+	shown := 0
+	for {
+		if after > 0 {
+			q.Set("after", strconv.FormatUint(after, 10))
+		}
+		var page admin.SubPage
+		if err := c.get("/v1/subs?"+q.Encode(), &page); err != nil {
+			return err
+		}
+		for _, s := range page.Subs {
+			detail := s.Detail
+			if len(detail) > 48 {
+				detail = detail[:45] + "..."
+			}
+			fmt.Fprintf(out, "%-6d %-8d %-8d %-24s %-9s %-6d %s\n",
+				s.ID, s.Client, s.Session, s.Kind, s.Status, s.Seq, detail)
+		}
+		shown += len(page.Subs)
+		if page.NextAfter == 0 || !allPages {
+			if page.NextAfter != 0 {
+				fmt.Fprintf(out, "-- %d of %d matching; next page: -after %d (or -all)\n",
+					shown, page.Total, page.NextAfter)
+			} else {
+				fmt.Fprintf(out, "-- %d matching\n", page.Total)
+			}
+			return nil
+		}
+		after = page.NextAfter
+	}
+}
+
+func (c *opsClient) shards() error {
+	var shards []admin.ShardView
+	if err := c.get("/v1/shards", &shards); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-6s %-7s %-9s %-12s %s\n", "SHARD", "ACTIVE", "VIOLATED", "IDX-BUCKETS", "IDX-ENTRIES")
+	active, violated := 0, 0
+	for _, sh := range shards {
+		fmt.Fprintf(out, "%-6d %-7d %-9d %-12d %d\n",
+			sh.Shard, sh.Active, sh.Violated, sh.IndexBuckets, sh.IndexEntries)
+		active += sh.Active
+		violated += sh.Violated
+	}
+	fmt.Fprintf(out, "-- %d shards, %d active, %d violated\n", len(shards), active, violated)
+	return nil
+}
+
+func (c *opsClient) sessions() error {
+	var view admin.SessionsView
+	if err := c.get("/v1/sessions", &view); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "client sessions (%d):\n", len(view.Clients))
+	for _, cs := range view.Clients {
+		fmt.Fprintf(out, "  client=%-6d session=%-12d proto=v%d subs=%d violated=%d\n",
+			cs.Client, cs.Session, max(int(cs.Protocol), 1), cs.Subscriptions, cs.Violated)
+	}
+	fmt.Fprintf(out, "switch sessions (%d):\n", len(view.Switches))
+	for _, ss := range view.Switches {
+		state := "attached"
+		if ss.Resyncing {
+			state = "resyncing"
+		}
+		fmt.Fprintf(out, "  switch=%-6d peer=%-12s %s\n", ss.Switch, ss.PeerName, state)
+	}
+	return nil
+}
+
+func (c *opsClient) history(id uint64) error {
+	var view admin.HistoryView
+	if err := c.get(fmt.Sprintf("/v1/subs/%d/history", id), &view); err != nil {
+		return err
+	}
+	state := "live"
+	if !view.Live {
+		state = "removed"
+	}
+	fmt.Fprintf(out, "subscription %d (%s): %d verdict transitions\n", view.SubID, state, len(view.Verdicts))
+	for _, v := range view.Verdicts {
+		fmt.Fprintf(out, "  %s %-9s client=%d kind=%s snapshot=%d %s\n",
+			v.At.Format("15:04:05.000"), v.Event, v.Client, v.Kind, v.SnapshotID, v.Detail)
+	}
+	return nil
+}
+
+func (c *opsClient) resync(sw uint32) error {
+	resp, err := http.Post(fmt.Sprintf("%s/v1/resync?switch=%d", c.base, sw), "", nil)
+	if err != nil {
+		return fmt.Errorf("rvaasd ops: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	fmt.Fprintf(out, "resync of switch %d triggered\n", sw)
+	return nil
+}

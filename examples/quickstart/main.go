@@ -3,16 +3,23 @@
 // "which destinations can be reached by the traffic leaving my network
 // card?" — verified both logically (header space analysis on the monitored
 // configuration) and physically (in-band authentication of each endpoint).
+//
+// The lab itself is declared in lab.yml — the same spec format the rvaasd
+// runner deploys — and built here with deploy.FromSpec.
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"repro/internal/deploy"
-	"repro/internal/topology"
+	"repro/internal/labspec"
 	"repro/internal/wire"
 )
+
+//go:embed lab.yml
+var labYAML []byte
 
 func main() {
 	if err := run(); err != nil {
@@ -21,19 +28,19 @@ func main() {
 }
 
 func run() error {
-	// A 4-switch chain, one client per switch, all-pairs routing installed
-	// by the provider's controller.
-	topo, err := topology.Linear(4, nil)
+	spec, err := labspec.Parse(labYAML)
 	if err != nil {
 		return err
 	}
-	d, err := deploy.New(topo, deploy.Options{})
+	d, err := deploy.FromSpec(spec)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
+	topo := d.Topology
 
 	fmt.Println("RVaaS quickstart")
+	fmt.Printf("  lab spec: %q (%s)\n", spec.Name, "lab.yml")
 	fmt.Printf("  switches: %d, clients: %d\n", len(topo.Switches()), len(topo.AccessPoints()))
 	fmt.Printf("  enclave measurement: %x...\n", rvaasMeasurementPrefix(d))
 	fmt.Println()

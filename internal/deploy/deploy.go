@@ -2,21 +2,32 @@
 // wiring plan, the provider's (compromisable) controller, a secured RVaaS
 // controller attached to every switch over authenticated encrypted
 // channels, and one client agent per access point. Examples, experiments
-// and integration tests all build on it.
+// and integration tests build deployments directly from a topology;
+// operator tooling (cmd/rvaasd) builds them from a declarative lab spec
+// via FromSpec.
 package deploy
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/controlplane"
 	"repro/internal/enclave"
 	"repro/internal/fabric"
+	"repro/internal/labspec"
 	"repro/internal/openflow"
 	"repro/internal/rvaas"
 	"repro/internal/topology"
 )
+
+// defaultBringUpWorkers bounds concurrent switch bring-up (identity
+// provisioning + secure-channel handshake + attach) when Options.MaxWorkers
+// is unset.
+const defaultBringUpWorkers = 8
 
 // Options tunes a deployment.
 type Options struct {
@@ -33,6 +44,11 @@ type Options struct {
 	RandomizePolls bool
 	// AuthTimeout bounds per-query in-band authentication.
 	AuthTimeout time.Duration
+	// RecheckParallelism is the subscription re-check worker count
+	// (<= 0 means GOMAXPROCS).
+	RecheckParallelism int
+	// HistoryDepth is the number of snapshots RVaaS retains (0 = default).
+	HistoryDepth int
 	// Seed for RVaaS's poll-time randomness.
 	Seed int64
 	// Clock injection for simulated-time experiments.
@@ -51,6 +67,16 @@ type Options struct {
 	// legacy v1 frames, wire.EnvelopeVersion = protocol v2 envelopes with
 	// sessions and batching).
 	AgentProtocol uint8
+	// AgentResponseTimeout bounds each agent request awaiting its in-band
+	// response (0 = client default).
+	AgentResponseTimeout time.Duration
+	// Transport selects the controller↔switch channel substrate:
+	// labspec.TransportInProc (or "") for in-memory pipes,
+	// labspec.TransportUDP for real loopback UDP sockets with the
+	// loss-tolerant secure channel.
+	Transport string
+	// MaxWorkers bounds concurrent switch bring-up (0 = default 8).
+	MaxWorkers int
 }
 
 // Deployment is a running system.
@@ -66,6 +92,101 @@ type Deployment struct {
 	Agents map[uint64]*client.Agent
 
 	opt Options
+	// ownedStore is a persistence store opened by FromSpec on the
+	// deployment's behalf (nil when the caller supplied Options.Persist).
+	ownedStore io.Closer
+}
+
+func (opt Options) rvaasConfig(topo *topology.Topology, platform *enclave.Platform, seedBump int64) rvaas.Config {
+	return rvaas.Config{
+		Topology:           topo,
+		Platform:           platform,
+		PollInterval:       opt.PollInterval,
+		RandomizePolls:     opt.RandomizePolls,
+		AuthTimeout:        opt.AuthTimeout,
+		HistoryDepth:       opt.HistoryDepth,
+		Seed:               opt.Seed + seedBump,
+		Clock:              opt.Clock,
+		ManualRecheck:      opt.ManualRecheck,
+		RecheckParallelism: opt.RecheckParallelism,
+		Persist:            opt.Persist,
+	}
+}
+
+// connectPair builds one secured controller↔switch channel pair over the
+// configured transport. The first conn is the controller end.
+func (opt Options) connectPair(ctlID *openflow.Identity, ctlCert openflow.Certificate, swIdent *openflow.Identity, swCert openflow.Certificate, ca *openflow.CA) (*openflow.SecureConn, *openflow.SecureConn, error) {
+	switch opt.Transport {
+	case "", labspec.TransportInProc:
+		return openflow.ConnectSecure(ctlID, ctlCert, swIdent, swCert, ca.Pub)
+	case labspec.TransportUDP:
+		rawCtl, rawSw, err := openflow.UDPPipe()
+		if err != nil {
+			return nil, nil, err
+		}
+		return openflow.ConnectSecureOver(rawCtl, rawSw, ctlID, ctlCert, swIdent, swCert, ca.Pub)
+	}
+	return nil, nil, fmt.Errorf("deploy: unknown transport %q", opt.Transport)
+}
+
+// attachSwitches provisions an identity for every switch and brings its
+// secure control channel up (handshake, Serve, Attach with initial sync),
+// fanning the bring-up across at most opt.MaxWorkers workers. Switch
+// bring-ups are independent; the first error wins and the remaining
+// in-flight bring-ups are still waited for so the caller can tear down
+// safely.
+func attachSwitches(topo *topology.Topology, fab *fabric.Fabric, ctl *rvaas.Controller, ca *openflow.CA, ctlID *openflow.Identity, ctlCert openflow.Certificate, opt Options) error {
+	switches := topo.Switches()
+	workers := opt.MaxWorkers
+	if workers <= 0 {
+		workers = defaultBringUpWorkers
+	}
+	if workers > len(switches) {
+		workers = len(switches)
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, swID := range switches {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(swID topology.SwitchID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			swIdent, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", swID))
+			if err != nil {
+				fail(err)
+				return
+			}
+			ctlConn, swConn, err := opt.connectPair(ctlID, ctlCert, swIdent, ca.Issue(swIdent), ca)
+			if err != nil {
+				fail(fmt.Errorf("deploy: secure channel to %d: %w", swID, err))
+				return
+			}
+			if err := fab.Switch(swID).Serve(swConn); err != nil {
+				ctlConn.Close()
+				swConn.Close()
+				fail(err)
+				return
+			}
+			if err := ctl.Attach(swID, ctlConn); err != nil {
+				fail(fmt.Errorf("deploy: attach %d: %w", swID, err))
+				return
+			}
+		}(swID)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // New builds and starts a deployment on the given wiring plan.
@@ -96,17 +217,7 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 		fab.Close()
 		return nil, err
 	}
-	ctl, err := rvaas.New(rvaas.Config{
-		Topology:       topo,
-		Platform:       platform,
-		PollInterval:   opt.PollInterval,
-		RandomizePolls: opt.RandomizePolls,
-		AuthTimeout:    opt.AuthTimeout,
-		Seed:           opt.Seed,
-		Clock:          opt.Clock,
-		ManualRecheck:  opt.ManualRecheck,
-		Persist:        opt.Persist,
-	})
+	ctl, err := rvaas.New(opt.rvaasConfig(topo, platform, 0))
 	if err != nil {
 		fab.Close()
 		return nil, err
@@ -124,26 +235,10 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 		fab.Close()
 		return nil, err
 	}
-	ctlCert := ca.Issue(ctlID)
-	for _, swID := range topo.Switches() {
-		swIdent, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", swID))
-		if err != nil {
-			fab.Close()
-			return nil, err
-		}
-		ctlConn, swConn, err := openflow.ConnectSecure(ctlID, ctlCert, swIdent, ca.Issue(swIdent), ca.Pub)
-		if err != nil {
-			fab.Close()
-			return nil, fmt.Errorf("deploy: secure channel to %d: %w", swID, err)
-		}
-		if err := fab.Switch(swID).Serve(swConn); err != nil {
-			fab.Close()
-			return nil, err
-		}
-		if err := ctl.Attach(swID, ctlConn); err != nil {
-			fab.Close()
-			return nil, fmt.Errorf("deploy: attach %d: %w", swID, err)
-		}
+	if err := attachSwitches(topo, fab, ctl, ca, ctlID, ca.Issue(ctlID), opt); err != nil {
+		ctl.Close()
+		fab.Close()
+		return nil, err
 	}
 
 	d := &Deployment{
@@ -166,6 +261,76 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 	return d, nil
 }
 
+// FromSpec validates a lab spec and brings the lab it declares up: the
+// topology (generated or explicitly wired), the declared routing mode,
+// RVaaS tuning, channel transport, client agents — and every spec invariant
+// registered through the owning client's agent over the real in-band
+// subscribe path, so a deployed lab starts with its standing invariants
+// already under verification.
+func FromSpec(spec *labspec.Spec) (*Deployment, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := spec.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	opt := Options{
+		SkipRouting:          spec.Routing == "none",
+		TenantRouting:        spec.Routing == "tenant",
+		PollInterval:         spec.RVaaS.PollInterval.Std(),
+		RandomizePolls:       spec.RVaaS.RandomizePolls,
+		AuthTimeout:          spec.RVaaS.AuthTimeout.Std(),
+		RecheckParallelism:   spec.RVaaS.RecheckParallelism,
+		HistoryDepth:         spec.RVaaS.HistoryDepth,
+		Seed:                 spec.RVaaS.Seed,
+		SkipAgents:           spec.Agents.Skip,
+		AgentProtocol:        uint8(spec.Agents.Protocol),
+		AgentResponseTimeout: spec.Agents.ResponseTimeout.Std(),
+		Transport:            spec.Transport.Kind,
+		MaxWorkers:           spec.Transport.MaxWorkers,
+	}
+	var owned io.Closer
+	if spec.RVaaS.PersistPath != "" {
+		store, err := rvaas.OpenFileStore(spec.RVaaS.PersistPath)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: open persistence store: %w", err)
+		}
+		opt.Persist = store
+		owned = store
+	}
+	d, err := New(topo, opt)
+	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
+		return nil, err
+	}
+	d.ownedStore = owned
+	for _, inv := range spec.Invariants {
+		ag := d.Agent(inv.Client)
+		if ag == nil {
+			d.Close()
+			return nil, fmt.Errorf("deploy: invariant for client %d: no agent (spec validated against a different topology?)", inv.Client)
+		}
+		kind, err := inv.WireKind()
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		constraints, err := inv.WireConstraints()
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		if _, err := ag.Subscribe(kind, constraints, inv.Param); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("deploy: register %s invariant for client %d: %w", inv.Kind, inv.Client, err)
+		}
+	}
+	return d, nil
+}
+
 func (d *Deployment) createAgents() error {
 	trust := client.TrustAnchors{
 		PlatformRoot: d.Platform.RootKey(),
@@ -176,11 +341,12 @@ func (d *Deployment) createAgents() error {
 		if !exists {
 			var err error
 			ag, err = client.New(client.Config{
-				ClientID: ap.ClientID,
-				Access:   ap,
-				NIC:      d.Fabric,
-				Trust:    trust,
-				Protocol: d.opt.AgentProtocol,
+				ClientID:        ap.ClientID,
+				Access:          ap,
+				NIC:             d.Fabric,
+				Trust:           trust,
+				Protocol:        d.opt.AgentProtocol,
+				ResponseTimeout: d.opt.AgentResponseTimeout,
 			})
 			if err != nil {
 				return err
@@ -211,17 +377,7 @@ func (d *Deployment) Agent(id uint64) *client.Agent { return d.Agents[id] }
 // a real client performs after noticing a restart.
 func (d *Deployment) RestartRVaaS() error {
 	d.RVaaS.Close()
-	ctl, err := rvaas.New(rvaas.Config{
-		Topology:       d.Topology,
-		Platform:       d.Platform,
-		PollInterval:   d.opt.PollInterval,
-		RandomizePolls: d.opt.RandomizePolls,
-		AuthTimeout:    d.opt.AuthTimeout,
-		Seed:           d.opt.Seed + 1,
-		Clock:          d.opt.Clock,
-		ManualRecheck:  d.opt.ManualRecheck,
-		Persist:        d.opt.Persist,
-	})
+	ctl, err := rvaas.New(d.opt.rvaasConfig(d.Topology, d.Platform, 1))
 	if err != nil {
 		return fmt.Errorf("deploy: relaunch rvaas: %w", err)
 	}
@@ -229,22 +385,8 @@ func (d *Deployment) RestartRVaaS() error {
 	if err != nil {
 		return err
 	}
-	ctlCert := d.CA.Issue(ctlID)
-	for _, swID := range d.Topology.Switches() {
-		swIdent, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", swID))
-		if err != nil {
-			return err
-		}
-		ctlConn, swConn, err := openflow.ConnectSecure(ctlID, ctlCert, swIdent, d.CA.Issue(swIdent), d.CA.Pub)
-		if err != nil {
-			return fmt.Errorf("deploy: secure channel to %d: %w", swID, err)
-		}
-		if err := d.Fabric.Switch(swID).Serve(swConn); err != nil {
-			return err
-		}
-		if err := ctl.Attach(swID, ctlConn); err != nil {
-			return fmt.Errorf("deploy: re-attach %d: %w", swID, err)
-		}
+	if err := attachSwitches(d.Topology, d.Fabric, ctl, d.CA, ctlID, d.CA.Issue(ctlID), d.opt); err != nil {
+		return err
 	}
 	for id, ag := range d.Agents {
 		ag.PinServerKey(ctl.PublicKey())
@@ -255,11 +397,43 @@ func (d *Deployment) RestartRVaaS() error {
 	return nil
 }
 
-// Close tears everything down.
-func (d *Deployment) Close() {
-	for _, ag := range d.Agents {
-		ag.Close()
+// Shutdown tears the deployment down in dependency order — client agents
+// first (so no new in-band requests arrive), then the RVaaS controller
+// (which detaches every switch session), then the fabric — with the whole
+// teardown bounded by ctx. On ctx expiry the current stage keeps finishing
+// in the background and Shutdown reports which stage was interrupted.
+func (d *Deployment) Shutdown(ctx context.Context) error {
+	stages := []struct {
+		name string
+		fn   func()
+	}{
+		{"agents", func() {
+			for _, ag := range d.Agents {
+				ag.Close()
+			}
+		}},
+		{"rvaas", d.RVaaS.Close},
+		{"fabric", d.Fabric.Close},
+		{"persistence", func() {
+			if d.ownedStore != nil {
+				d.ownedStore.Close()
+			}
+		}},
 	}
-	d.RVaaS.Close()
-	d.Fabric.Close()
+	for _, stage := range stages {
+		done := make(chan struct{})
+		go func(fn func()) {
+			defer close(done)
+			fn()
+		}(stage.fn)
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return fmt.Errorf("deploy: shutdown interrupted in %s stage: %w", stage.name, ctx.Err())
+		}
+	}
+	return nil
 }
+
+// Close tears everything down (unbounded Shutdown).
+func (d *Deployment) Close() { _ = d.Shutdown(context.Background()) }

@@ -1,0 +1,597 @@
+// Package labspec defines the declarative lab specification the operator
+// plane is driven by: a YAML or JSON document declaring the topology (a
+// generator by name + parameters, or an explicit wiring plan), the routing
+// mode, RVaaS tuning, agent placement and protocol version, and the standing
+// invariants to register at bring-up. deploy.FromSpec turns a validated spec
+// into a running lab; `rvaasd deploy -topo lab.yml` is the CLI entry point.
+package labspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Duration is a time.Duration that (un)marshals as a human string ("50ms").
+// Bare JSON numbers are read as nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "50ms"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("bad duration %q (want e.g. \"50ms\", \"1s\"): %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Spec is the root of a lab specification.
+type Spec struct {
+	// Name identifies the lab (required; used in logs and persistence).
+	Name     string       `json:"name"`
+	Topology TopologySpec `json:"topology"`
+	// Routing selects the control-plane routing mode: "allpairs" (default),
+	// "tenant" (per-client VLAN isolation), or "none".
+	Routing    string          `json:"routing,omitempty"`
+	RVaaS      RVaaSSpec       `json:"rvaas,omitempty"`
+	Transport  TransportSpec   `json:"transport,omitempty"`
+	Agents     AgentsSpec      `json:"agents,omitempty"`
+	Invariants []InvariantSpec `json:"invariants,omitempty"`
+}
+
+// TopologySpec declares the wiring plan: either a named generator with its
+// parameters, or an explicit switch/link/access-point list. Exactly one of
+// the two forms must be used.
+type TopologySpec struct {
+	// Generator names a built-in topology: linear, ring, star, grid,
+	// fattree, wan, random.
+	Generator string `json:"generator,omitempty"`
+	// Size is the switch count for linear/ring/star/random.
+	Size int `json:"size,omitempty"`
+	// Rows/Cols size a grid.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// K is the fat-tree arity (even).
+	K int `json:"k,omitempty"`
+	// Regions + PerRegion size a multi-region WAN.
+	Regions   []string `json:"regions,omitempty"`
+	PerRegion int      `json:"perRegion,omitempty"`
+	// Prob is the random-geometric edge probability (default 0.1).
+	Prob float64 `json:"prob,omitempty"`
+	// Seed seeds the random generator.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Explicit wiring plan (mutually exclusive with Generator).
+	Switches     []SwitchSpec      `json:"switches,omitempty"`
+	Links        []LinkSpec        `json:"links,omitempty"`
+	AccessPoints []AccessPointSpec `json:"accessPoints,omitempty"`
+}
+
+// SwitchSpec declares one switch of an explicit wiring plan.
+type SwitchSpec struct {
+	ID    uint32 `json:"id"`
+	Ports uint32 `json:"ports"`
+	// Region optionally places the switch geographically.
+	Region string `json:"region,omitempty"`
+}
+
+// EndpointSpec is a (switch, port) pair.
+type EndpointSpec struct {
+	Switch uint32 `json:"switch"`
+	Port   uint32 `json:"port"`
+}
+
+func (e EndpointSpec) String() string { return fmt.Sprintf("s%d:p%d", e.Switch, e.Port) }
+
+// LinkSpec declares one cable of an explicit wiring plan.
+type LinkSpec struct {
+	A             EndpointSpec `json:"a"`
+	B             EndpointSpec `json:"b"`
+	LatencyMicros int          `json:"latencyMicros,omitempty"`
+}
+
+// AccessPointSpec attaches one client host at an edge port. Host MAC/IP are
+// derived deterministically from the switch and per-switch host sequence.
+type AccessPointSpec struct {
+	Switch uint32 `json:"switch"`
+	Port   uint32 `json:"port"`
+	Client uint64 `json:"client"`
+}
+
+// RVaaSSpec tunes the verification controller.
+type RVaaSSpec struct {
+	// PollInterval is the periodic flow-table poll cadence (0 = default).
+	PollInterval Duration `json:"pollInterval,omitempty"`
+	// RandomizePolls jitters poll timing (paper §IV-B evasion resistance).
+	RandomizePolls bool `json:"randomizePolls,omitempty"`
+	// AuthTimeout bounds client authentication handshakes.
+	AuthTimeout Duration `json:"authTimeout,omitempty"`
+	// RecheckParallelism sizes the subscription recheck worker pool
+	// (0 = GOMAXPROCS).
+	RecheckParallelism int `json:"recheckParallelism,omitempty"`
+	// HistoryDepth bounds the per-subscription verdict history ring.
+	HistoryDepth int `json:"historyDepth,omitempty"`
+	// PersistPath durably persists sessions + subscriptions for restart
+	// recovery ("" = ephemeral).
+	PersistPath string `json:"persistPath,omitempty"`
+	// Seed seeds controller randomness (poll jitter).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Transport kinds.
+const (
+	TransportInProc = "inproc"
+	TransportUDP    = "udp"
+)
+
+// TransportSpec selects how control channels are carried.
+type TransportSpec struct {
+	// Kind is "inproc" (in-memory pipes, default) or "udp" (real loopback
+	// UDP sockets).
+	Kind string `json:"kind,omitempty"`
+	// MaxWorkers bounds concurrent switch bring-up (0 = default).
+	MaxWorkers int `json:"maxWorkers,omitempty"`
+}
+
+// AgentsSpec controls client agent placement.
+type AgentsSpec struct {
+	// Protocol selects the client wire protocol: 1 (legacy per-port frames)
+	// or 2 (versioned envelope). 0 means the deployment default.
+	Protocol int `json:"protocol,omitempty"`
+	// Skip disables agent creation (infrastructure-only lab).
+	Skip bool `json:"skip,omitempty"`
+	// ResponseTimeout bounds each agent request awaiting its in-band
+	// response (0 = client default). Large labs with expensive invariant
+	// kinds (isolation over many endpoints) need more headroom.
+	ResponseTimeout Duration `json:"responseTimeout,omitempty"`
+}
+
+// InvariantSpec declares one standing invariant to register at bring-up via
+// the named client's agent — over the real in-band path, not an in-process
+// shortcut.
+type InvariantSpec struct {
+	// Client is the subscribing client ID (must have an access point).
+	Client uint64 `json:"client"`
+	// Kind is the query kind by wire name: reachable-destinations,
+	// reaching-sources, isolation, geo-regions, path-length,
+	// waypoint-avoidance, neutrality, transfer-function.
+	Kind string `json:"kind"`
+	// Param carries kind-specific data (max path length, region name, ...).
+	Param string `json:"param,omitempty"`
+	// Constraints scope the invariant's header space.
+	Constraints []ConstraintSpec `json:"constraints,omitempty"`
+}
+
+// ConstraintSpec restricts one packet field.
+type ConstraintSpec struct {
+	// Field is the wire field name: eth_dst, eth_src, eth_type, vlan,
+	// ip_src, ip_dst, ip_proto, l4_src, l4_dst.
+	Field string `json:"field"`
+	Value uint64 `json:"value"`
+	// Mask selects the significant bits (0 = exact full-width match).
+	Mask uint64 `json:"mask,omitempty"`
+}
+
+// Parse decodes a spec from JSON (first non-space byte '{') or the YAML
+// subset. Unknown keys are rejected so typos surface as errors.
+func Parse(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	jsonBytes := data
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("labspec: empty spec document")
+	}
+	if trimmed[0] != '{' {
+		doc, err := decodeYAML(data)
+		if err != nil {
+			return nil, fmt.Errorf("labspec: %w", err)
+		}
+		jsonBytes, err = json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("labspec: %w", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(jsonBytes))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("labspec: %w", err)
+	}
+	return &s, nil
+}
+
+// Load reads and parses a spec file (YAML or JSON by content sniffing).
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("labspec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// MarshalYAMLCompatJSON renders the spec as canonical indented JSON (every
+// JSON spec is also the interchange form for golden files and -validate
+// output).
+func (s *Spec) MarshalYAMLCompatJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+var queryKinds = map[string]wire.QueryKind{
+	"reachable-destinations": wire.QueryReachableDestinations,
+	"reaching-sources":       wire.QueryReachingSources,
+	"isolation":              wire.QueryIsolation,
+	"geo-regions":            wire.QueryGeoRegions,
+	"path-length":            wire.QueryPathLength,
+	"waypoint-avoidance":     wire.QueryWaypointAvoidance,
+	"neutrality":             wire.QueryNeutrality,
+	"transfer-function":      wire.QueryTransferFunction,
+}
+
+// ParseQueryKind maps a spec kind name to the wire enum.
+func ParseQueryKind(name string) (wire.QueryKind, error) {
+	if k, ok := queryKinds[name]; ok {
+		return k, nil
+	}
+	known := make([]string, 0, len(queryKinds))
+	for n := range queryKinds {
+		known = append(known, n)
+	}
+	return 0, fmt.Errorf("unknown invariant kind %q (known: %s)", name, strings.Join(sorted(known), ", "))
+}
+
+var fieldNames = func() map[string]wire.Field {
+	m := make(map[string]wire.Field)
+	for _, f := range wire.Fields() {
+		m[wire.FieldName(f)] = f
+	}
+	return m
+}()
+
+// ParseField maps a spec field name to the wire enum.
+func ParseField(name string) (wire.Field, error) {
+	if f, ok := fieldNames[name]; ok {
+		return f, nil
+	}
+	known := make([]string, 0, len(fieldNames))
+	for n := range fieldNames {
+		known = append(known, n)
+	}
+	return 0, fmt.Errorf("unknown field %q (known: %s)", name, strings.Join(sorted(known), ", "))
+}
+
+// WireConstraints converts an invariant's constraint specs to wire form. A
+// zero mask means "exact full-width match".
+func (inv *InvariantSpec) WireConstraints() ([]wire.FieldConstraint, error) {
+	out := make([]wire.FieldConstraint, 0, len(inv.Constraints))
+	for i, c := range inv.Constraints {
+		f, err := ParseField(c.Field)
+		if err != nil {
+			return nil, fmt.Errorf("constraints[%d]: %w", i, err)
+		}
+		mask := c.Mask
+		if mask == 0 {
+			mask = ^uint64(0)
+		}
+		out = append(out, wire.FieldConstraint{Field: f, Value: c.Value, Mask: mask})
+	}
+	return out, nil
+}
+
+// WireKind converts the invariant's kind name to the wire enum.
+func (inv *InvariantSpec) WireKind() (wire.QueryKind, error) {
+	return ParseQueryKind(inv.Kind)
+}
+
+// generatorNames lists the built-in topology generators.
+var generatorNames = []string{"linear", "ring", "star", "grid", "fattree", "wan", "random"}
+
+// Validate checks the spec for structural and semantic problems, returning
+// an actionable error naming the offending section.
+func (s *Spec) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("labspec: name: required (identifies the lab in logs and persistence)")
+	}
+	if err := s.Topology.validate(); err != nil {
+		return fmt.Errorf("labspec: topology: %w", err)
+	}
+	switch s.Routing {
+	case "", "allpairs", "tenant", "none":
+	default:
+		return fmt.Errorf("labspec: routing: unknown mode %q (want allpairs, tenant, or none)", s.Routing)
+	}
+	if s.RVaaS.PollInterval < 0 {
+		return fmt.Errorf("labspec: rvaas.pollInterval: must be >= 0, got %s", s.RVaaS.PollInterval.Std())
+	}
+	if s.RVaaS.AuthTimeout < 0 {
+		return fmt.Errorf("labspec: rvaas.authTimeout: must be >= 0, got %s", s.RVaaS.AuthTimeout.Std())
+	}
+	if s.RVaaS.RecheckParallelism < 0 {
+		return fmt.Errorf("labspec: rvaas.recheckParallelism: must be >= 0 (0 = GOMAXPROCS), got %d", s.RVaaS.RecheckParallelism)
+	}
+	if s.RVaaS.HistoryDepth < 0 {
+		return fmt.Errorf("labspec: rvaas.historyDepth: must be >= 0, got %d", s.RVaaS.HistoryDepth)
+	}
+	switch s.Transport.Kind {
+	case "", TransportInProc, TransportUDP:
+	default:
+		return fmt.Errorf("labspec: transport.kind: unknown kind %q (want %s or %s)", s.Transport.Kind, TransportInProc, TransportUDP)
+	}
+	if s.Transport.MaxWorkers < 0 {
+		return fmt.Errorf("labspec: transport.maxWorkers: must be >= 0 (0 = default), got %d", s.Transport.MaxWorkers)
+	}
+	switch s.Agents.Protocol {
+	case 0, 1, 2:
+	default:
+		return fmt.Errorf("labspec: agents.protocol: unknown version %d (want 1 or 2)", s.Agents.Protocol)
+	}
+	if s.Agents.ResponseTimeout < 0 {
+		return fmt.Errorf("labspec: agents.responseTimeout: must be >= 0, got %s", s.Agents.ResponseTimeout.Std())
+	}
+	if s.Agents.Skip && len(s.Invariants) > 0 {
+		return fmt.Errorf("labspec: invariants: %d invariants declared but agents.skip is true (invariants are registered via agents)", len(s.Invariants))
+	}
+
+	// Build the topology once to validate invariant placement against it.
+	topo, err := s.Topology.Build()
+	if err != nil {
+		return fmt.Errorf("labspec: topology: %w", err)
+	}
+	clients := make(map[uint64]bool)
+	for _, ap := range topo.AccessPoints() {
+		clients[ap.ClientID] = true
+	}
+	for i, inv := range s.Invariants {
+		if _, err := inv.WireKind(); err != nil {
+			return fmt.Errorf("labspec: invariants[%d]: %w", i, err)
+		}
+		if _, err := inv.WireConstraints(); err != nil {
+			return fmt.Errorf("labspec: invariants[%d]: %w", i, err)
+		}
+		if !clients[inv.Client] {
+			return fmt.Errorf("labspec: invariants[%d]: client %d has no access point in the topology (declared clients: %v)", i, inv.Client, sortedClients(clients))
+		}
+	}
+	return nil
+}
+
+func (t *TopologySpec) validate() error {
+	explicit := len(t.Switches) > 0 || len(t.Links) > 0 || len(t.AccessPoints) > 0
+	if t.Generator == "" && !explicit {
+		return fmt.Errorf("either generator or an explicit switches/links plan is required")
+	}
+	if t.Generator != "" && explicit {
+		return fmt.Errorf("generator %q and an explicit switches/links plan are mutually exclusive", t.Generator)
+	}
+	if t.Generator != "" {
+		return t.validateGenerator()
+	}
+	return t.validateExplicit()
+}
+
+func (t *TopologySpec) validateGenerator() error {
+	switch t.Generator {
+	case "linear", "ring", "star", "random":
+		if t.Size <= 0 {
+			return fmt.Errorf("generator %q: size: required (switch count), got %d", t.Generator, t.Size)
+		}
+		if t.Generator == "ring" && t.Size < 3 {
+			return fmt.Errorf("generator ring: size: needs >= 3 switches, got %d", t.Size)
+		}
+		if t.Generator == "random" {
+			if t.Size < 2 {
+				return fmt.Errorf("generator random: size: needs >= 2 switches, got %d", t.Size)
+			}
+			if t.Prob < 0 || t.Prob > 1 {
+				return fmt.Errorf("generator random: prob: must be in [0, 1], got %g", t.Prob)
+			}
+		}
+	case "grid":
+		if t.Rows <= 0 || t.Cols <= 0 {
+			return fmt.Errorf("generator grid: rows/cols: both required and positive, got %dx%d", t.Rows, t.Cols)
+		}
+	case "fattree":
+		if t.K < 2 || t.K%2 != 0 {
+			return fmt.Errorf("generator fattree: k: needs an even arity >= 2, got %d", t.K)
+		}
+	case "wan":
+		if len(t.Regions) < 2 {
+			return fmt.Errorf("generator wan: regions: needs >= 2 region names, got %d", len(t.Regions))
+		}
+		if t.PerRegion < 2 {
+			return fmt.Errorf("generator wan: perRegion: needs >= 2 switches per region, got %d", t.PerRegion)
+		}
+	default:
+		return fmt.Errorf("unknown generator %q (known: %s)", t.Generator, strings.Join(generatorNames, ", "))
+	}
+	return nil
+}
+
+func (t *TopologySpec) validateExplicit() error {
+	if len(t.Switches) == 0 {
+		return fmt.Errorf("explicit plan: switches: at least one switch is required")
+	}
+	ports := make(map[uint32]uint32, len(t.Switches))
+	for i, sw := range t.Switches {
+		if sw.Ports == 0 {
+			return fmt.Errorf("switches[%d]: switch %d: ports: must be >= 1", i, sw.ID)
+		}
+		if _, dup := ports[sw.ID]; dup {
+			return fmt.Errorf("switches[%d]: switch %d declared twice", i, sw.ID)
+		}
+		ports[sw.ID] = sw.Ports
+	}
+	type owner struct {
+		what string
+	}
+	used := make(map[EndpointSpec]owner)
+	checkEP := func(where string, ep EndpointSpec) error {
+		max, ok := ports[ep.Switch]
+		if !ok {
+			return fmt.Errorf("%s: references undeclared switch %d (a dangling link end)", where, ep.Switch)
+		}
+		if ep.Port == 0 || ep.Port > max {
+			return fmt.Errorf("%s: port %d out of range for switch %d (has %d ports)", where, ep.Port, ep.Switch, max)
+		}
+		return nil
+	}
+	for i, l := range t.Links {
+		for _, ep := range []EndpointSpec{l.A, l.B} {
+			where := fmt.Sprintf("links[%d] (%s-%s)", i, l.A, l.B)
+			if err := checkEP(where, ep); err != nil {
+				return err
+			}
+			if prev, clash := used[ep]; clash {
+				return fmt.Errorf("links[%d]: port %s already used by %s", i, ep, prev.what)
+			}
+			used[ep] = owner{what: fmt.Sprintf("links[%d]", i)}
+		}
+		if l.LatencyMicros < 0 {
+			return fmt.Errorf("links[%d]: latencyMicros: must be >= 0, got %d", i, l.LatencyMicros)
+		}
+	}
+	for i, ap := range t.AccessPoints {
+		ep := EndpointSpec{Switch: ap.Switch, Port: ap.Port}
+		where := fmt.Sprintf("accessPoints[%d] (client %d)", i, ap.Client)
+		if err := checkEP(where, ep); err != nil {
+			return err
+		}
+		if ap.Client == 0 {
+			return fmt.Errorf("accessPoints[%d]: client: required (non-zero client ID)", i)
+		}
+		if prev, clash := used[ep]; clash {
+			return fmt.Errorf("accessPoints[%d]: duplicate placement: port %s already used by %s", i, ep, prev.what)
+		}
+		used[ep] = owner{what: fmt.Sprintf("accessPoints[%d] (client %d)", i, ap.Client)}
+	}
+	return nil
+}
+
+// Build constructs the topology the spec declares. The spec should be
+// validated first; Build repeats only the checks needed for safety.
+func (t *TopologySpec) Build() (*topology.Topology, error) {
+	if t.Generator != "" {
+		return t.buildGenerator()
+	}
+	return t.buildExplicit()
+}
+
+func (t *TopologySpec) buildGenerator() (*topology.Topology, error) {
+	switch t.Generator {
+	case "linear":
+		return topology.Linear(t.Size, nil)
+	case "ring":
+		return topology.Ring(t.Size)
+	case "star":
+		return topology.Star(t.Size)
+	case "grid":
+		return topology.Grid(t.Rows, t.Cols)
+	case "fattree":
+		return topology.FatTree(t.K)
+	case "wan":
+		regions := make([]topology.Region, len(t.Regions))
+		for i, r := range t.Regions {
+			regions[i] = topology.Region(r)
+		}
+		return topology.MultiRegionWAN(regions, t.PerRegion)
+	case "random":
+		p := t.Prob
+		if p == 0 {
+			p = 0.1
+		}
+		return topology.RandomGeometric(t.Size, p, t.Seed)
+	}
+	return nil, fmt.Errorf("unknown generator %q (known: %s)", t.Generator, strings.Join(generatorNames, ", "))
+}
+
+func (t *TopologySpec) buildExplicit() (*topology.Topology, error) {
+	if err := t.validateExplicit(); err != nil {
+		return nil, err
+	}
+	topo := topology.New()
+	for _, sw := range t.Switches {
+		id := topology.SwitchID(sw.ID)
+		topo.AddSwitch(id, topology.PortNo(sw.Ports))
+		if sw.Region != "" {
+			topo.SetRegion(id, topology.Region(sw.Region))
+		}
+	}
+	for _, l := range t.Links {
+		lat := l.LatencyMicros
+		if lat == 0 {
+			lat = 10
+		}
+		err := topo.AddLink(topology.Link{
+			A:             topology.Endpoint{Switch: topology.SwitchID(l.A.Switch), Port: topology.PortNo(l.A.Port)},
+			B:             topology.Endpoint{Switch: topology.SwitchID(l.B.Switch), Port: topology.PortNo(l.B.Port)},
+			LatencyMicros: lat,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	hostSeq := make(map[topology.SwitchID]int)
+	for _, ap := range t.AccessPoints {
+		sw := topology.SwitchID(ap.Switch)
+		mac, ip := topology.HostAddr(sw, hostSeq[sw])
+		hostSeq[sw]++
+		err := topo.AddAccessPoint(topology.AccessPoint{
+			Endpoint: topology.Endpoint{Switch: sw, Port: topology.PortNo(ap.Port)},
+			ClientID: ap.Client,
+			HostMAC:  mac,
+			HostIP:   ip,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+func sorted(ss []string) []string {
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	return out
+}
+
+func sortedClients(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

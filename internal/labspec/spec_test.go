@@ -1,0 +1,414 @@
+package labspec
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func mustParseFile(t *testing.T, name string) *Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return s
+}
+
+func TestParseLinear40YAML(t *testing.T) {
+	s := mustParseFile(t, "linear40.yml")
+	if s.Name != "linear-40-lab" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if s.Topology.Generator != "linear" || s.Topology.Size != 40 {
+		t.Errorf("topology = %+v", s.Topology)
+	}
+	if s.RVaaS.PollInterval.Std() != 50*time.Millisecond {
+		t.Errorf("pollInterval = %v", s.RVaaS.PollInterval.Std())
+	}
+	if s.RVaaS.RecheckParallelism != 4 {
+		t.Errorf("recheckParallelism = %d", s.RVaaS.RecheckParallelism)
+	}
+	if s.Transport.Kind != TransportUDP || s.Transport.MaxWorkers != 8 {
+		t.Errorf("transport = %+v", s.Transport)
+	}
+	if s.Agents.Protocol != 2 {
+		t.Errorf("protocol = %d", s.Agents.Protocol)
+	}
+	if len(s.Invariants) != 3 {
+		t.Fatalf("invariants = %d, want 3", len(s.Invariants))
+	}
+	inv := s.Invariants[0]
+	if inv.Client != 1 || inv.Kind != "reachable-destinations" {
+		t.Errorf("invariants[0] = %+v", inv)
+	}
+	cs, err := inv.WireConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Field != wire.FieldIPDst || cs[0].Value != 0x0A000201 || cs[0].Mask != 0xFFFFFFFF {
+		t.Errorf("constraints = %+v", cs)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParseExplicitJSON(t *testing.T) {
+	s := mustParseFile(t, "explicit.json")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	topo, err := s.Topology.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Switches()); got != 3 {
+		t.Errorf("switches = %d", got)
+	}
+	if got := len(topo.Links()); got != 3 {
+		t.Errorf("links = %d", got)
+	}
+	aps := topo.AccessPoints()
+	if len(aps) != 3 {
+		t.Fatalf("access points = %d", len(aps))
+	}
+	for _, ap := range aps {
+		if ap.HostMAC == 0 || ap.HostIP == 0 {
+			t.Errorf("access point %v missing derived host addressing", ap.Endpoint)
+		}
+	}
+	if got := topo.RegionOf(3); got != "eu" {
+		t.Errorf("region of s3 = %q", got)
+	}
+	if s.RVaaS.PersistPath != "state.json" {
+		t.Errorf("persistPath = %q", s.RVaaS.PersistPath)
+	}
+}
+
+// TestGoldenRoundTrip locks the YAML->Spec->JSON pipeline: the parsed YAML
+// spec must marshal to the checked-in golden JSON, and re-parsing that JSON
+// must yield the identical spec.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, name := range []string{"linear40.yml", "explicit.json"} {
+		t.Run(name, func(t *testing.T) {
+			s := mustParseFile(t, name)
+			got, err := s.MarshalYAMLCompatJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", strings.TrimSuffix(name, filepath.Ext(name))+".golden.json")
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, append(got, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(got)+"\n" != string(want) {
+				t.Errorf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+			}
+
+			// JSON re-parse must round-trip to the same spec.
+			back, err := Parse(got)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if !reflect.DeepEqual(s, back) {
+				t.Errorf("round-trip mismatch:\n  first  = %+v\n  second = %+v", s, back)
+			}
+		})
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:     "t",
+			Topology: TopologySpec{Generator: "linear", Size: 3},
+		}
+	}
+	explicitBase := func() *Spec {
+		return &Spec{
+			Name: "t",
+			Topology: TopologySpec{
+				Switches: []SwitchSpec{{ID: 1, Ports: 2}, {ID: 2, Ports: 2}},
+				Links:    []LinkSpec{{A: EndpointSpec{1, 1}, B: EndpointSpec{2, 1}}},
+				AccessPoints: []AccessPointSpec{
+					{Switch: 1, Port: 2, Client: 7},
+				},
+			},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		spec    func() *Spec
+		wantSub string
+	}{
+		{
+			name:    "missing name",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Name = " " },
+			wantSub: "name: required",
+		},
+		{
+			name:    "no topology",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology = TopologySpec{} },
+			wantSub: "either generator or an explicit",
+		},
+		{
+			name:    "unknown generator",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Generator = "torus" },
+			wantSub: "unknown generator \"torus\"",
+		},
+		{
+			name:    "generator and explicit both",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Switches = []SwitchSpec{{ID: 1, Ports: 1}} },
+			wantSub: "mutually exclusive",
+		},
+		{
+			name:    "linear without size",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Size = 0 },
+			wantSub: "size: required",
+		},
+		{
+			name:    "bad routing",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Routing = "ecmp" },
+			wantSub: "routing: unknown mode",
+		},
+		{
+			name:    "negative poll",
+			spec:    base,
+			mutate:  func(s *Spec) { s.RVaaS.PollInterval = Duration(-time.Second) },
+			wantSub: "pollInterval: must be >= 0",
+		},
+		{
+			name:    "negative parallelism",
+			spec:    base,
+			mutate:  func(s *Spec) { s.RVaaS.RecheckParallelism = -1 },
+			wantSub: "recheckParallelism: must be >= 0",
+		},
+		{
+			name:    "bad transport",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Transport.Kind = "tcp" },
+			wantSub: "transport.kind: unknown kind \"tcp\"",
+		},
+		{
+			name:    "bad protocol",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Agents.Protocol = 3 },
+			wantSub: "agents.protocol: unknown version 3",
+		},
+		{
+			name: "invariant for unplaced client",
+			spec: base,
+			mutate: func(s *Spec) {
+				s.Invariants = []InvariantSpec{{Client: 99, Kind: "isolation"}}
+			},
+			wantSub: "client 99 has no access point",
+		},
+		{
+			name: "invariant with unknown kind",
+			spec: base,
+			mutate: func(s *Spec) {
+				s.Invariants = []InvariantSpec{{Client: 1, Kind: "liveness"}}
+			},
+			wantSub: "unknown invariant kind \"liveness\"",
+		},
+		{
+			name: "invariant with unknown field",
+			spec: base,
+			mutate: func(s *Spec) {
+				s.Invariants = []InvariantSpec{{
+					Client: 1, Kind: "isolation",
+					Constraints: []ConstraintSpec{{Field: "ipv6_dst", Value: 1}},
+				}}
+			},
+			wantSub: "unknown field \"ipv6_dst\"",
+		},
+		{
+			name: "invariants with agents skipped",
+			spec: base,
+			mutate: func(s *Spec) {
+				s.Agents.Skip = true
+				s.Invariants = []InvariantSpec{{Client: 1, Kind: "isolation"}}
+			},
+			wantSub: "agents.skip is true",
+		},
+		{
+			name:    "dangling link",
+			spec:    explicitBase,
+			mutate:  func(s *Spec) { s.Topology.Links[0].B.Switch = 9 },
+			wantSub: "undeclared switch 9",
+		},
+		{
+			name:    "port out of range",
+			spec:    explicitBase,
+			mutate:  func(s *Spec) { s.Topology.Links[0].B.Port = 5 },
+			wantSub: "port 5 out of range",
+		},
+		{
+			name:    "duplicate switch",
+			spec:    explicitBase,
+			mutate:  func(s *Spec) { s.Topology.Switches = append(s.Topology.Switches, SwitchSpec{ID: 1, Ports: 4}) },
+			wantSub: "switch 1 declared twice",
+		},
+		{
+			name: "duplicate agent placement",
+			spec: explicitBase,
+			mutate: func(s *Spec) {
+				s.Topology.AccessPoints = append(s.Topology.AccessPoints, AccessPointSpec{Switch: 1, Port: 2, Client: 8})
+			},
+			wantSub: "duplicate placement",
+		},
+		{
+			name: "access point on wired port",
+			spec: explicitBase,
+			mutate: func(s *Spec) {
+				s.Topology.AccessPoints[0] = AccessPointSpec{Switch: 1, Port: 1, Client: 7}
+			},
+			wantSub: "already used by links[0]",
+		},
+		{
+			name:    "access point without client",
+			spec:    explicitBase,
+			mutate:  func(s *Spec) { s.Topology.AccessPoints[0].Client = 0 },
+			wantSub: "client: required",
+		},
+		{
+			name:    "ring too small",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Generator = "ring"; s.Topology.Size = 2 },
+			wantSub: "ring: size: needs >= 3",
+		},
+		{
+			name:    "fattree odd arity",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Generator = "fattree"; s.Topology.K = 3 },
+			wantSub: "fattree: k: needs an even arity",
+		},
+		{
+			name:    "wan too few regions",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Generator = "wan"; s.Topology.Regions = []string{"us"} },
+			wantSub: "wan: regions: needs >= 2",
+		},
+		{
+			name:    "random bad prob",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Topology.Generator = "random"; s.Topology.Prob = 1.5 },
+			wantSub: "prob: must be in [0, 1]",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.spec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Validate() = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownKeys(t *testing.T) {
+	_, err := Parse([]byte("name: x\ntopology:\n  generater: linear\n  size: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "generater") {
+		t.Fatalf("err = %v, want unknown-field error naming the typo", err)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"tab indent", "name: x\n\ttopology: y\n", "tab in indentation"},
+		{"bad nesting", "name: x\ntopology:\n    generator: linear\n  size: 3\n", "unexpected indent"},
+		{"scalar where mapping expected", "name: x\ntopology:\n  just-a-scalar\n", "expected \"key: value\""},
+		{"duplicate key", "name: x\nname: y\n", "duplicate key"},
+		{"empty", "   \n\n", "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Parse(%q) err = %v, want substring %q", tc.doc, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestYAMLScalars(t *testing.T) {
+	doc := `
+name: "quoted name"
+topology:
+  generator: wan
+  regions: [us-east, eu, 'ap south']
+  perRegion: 2
+rvaas:
+  pollInterval: 1s
+  seed: 0x10
+  randomizePolls: true
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "quoted name" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if want := []string{"us-east", "eu", "ap south"}; !reflect.DeepEqual(s.Topology.Regions, want) {
+		t.Errorf("regions = %v", s.Topology.Regions)
+	}
+	if s.RVaaS.Seed != 0x10 {
+		t.Errorf("seed = %d", s.RVaaS.Seed)
+	}
+	if s.RVaaS.PollInterval.Std() != time.Second {
+		t.Errorf("poll = %v", s.RVaaS.PollInterval.Std())
+	}
+	if !s.RVaaS.RandomizePolls {
+		t.Error("randomizePolls not parsed")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestBuildLinear40(t *testing.T) {
+	s := mustParseFile(t, "linear40.yml")
+	topo, err := s.Topology.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Switches()); got != 40 {
+		t.Errorf("switches = %d, want 40", got)
+	}
+	if got := len(topo.AccessPoints()); got != 40 {
+		t.Errorf("access points = %d, want 40", got)
+	}
+}

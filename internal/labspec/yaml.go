@@ -1,0 +1,294 @@
+package labspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// decodeYAML parses the YAML subset lab specs are written in: block
+// mappings, block sequences ("- " entries, including inline "- key: value"
+// starts), scalars (strings, 0x-hex and decimal integers, floats, booleans,
+// null), '#' comments, and small inline flow sequences ("[a, b, c]"). The
+// repo carries zero dependencies, so this is hand-rolled rather than pulled
+// in; anything outside the subset fails with a line-numbered error rather
+// than being misread.
+func decodeYAML(data []byte) (any, error) {
+	lines, err := yamlLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	doc, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected content %q after document (check indentation)",
+			p.lines[p.pos].no, p.lines[p.pos].text)
+	}
+	return doc, nil
+}
+
+type yamlLine struct {
+	indent int
+	text   string
+	no     int
+}
+
+// yamlLines strips comments and blanks and records indentation.
+func yamlLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for no, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		if line == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("yaml: line %d: tab in indentation (use spaces)", no+1)
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " \t")
+		if text == "" {
+			continue
+		}
+		if text == "---" {
+			continue
+		}
+		out = append(out, yamlLine{indent: indent, text: text, no: no + 1})
+	}
+	return out, nil
+}
+
+// stripComment cuts an unquoted " #" comment (or a full-line "#" comment).
+func stripComment(s string) string {
+	if strings.HasPrefix(s, "#") {
+		return ""
+	}
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && i > 0 && (s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the mapping or sequence starting at the current line.
+func (p *yamlParser) parseBlock() (any, error) {
+	ln := p.lines[p.pos]
+	if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+		return p.parseSequence(ln.indent)
+	}
+	return p.parseMapping(ln.indent)
+}
+
+func (p *yamlParser) parseSequence(base int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < base {
+			break
+		}
+		if ln.indent > base {
+			return nil, fmt.Errorf("yaml: line %d: unexpected indent %d inside sequence indented %d", ln.no, ln.indent, base)
+		}
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// "-" alone: the entry is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= base {
+				out = append(out, nil)
+				continue
+			}
+			item, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+			continue
+		}
+		if key, ok := mappingStart(rest); ok {
+			// "- key: value": rewrite the line as the first mapping entry at
+			// the dash-stripped indent and parse the mapping from here.
+			_ = key
+			inner := ln.indent + (len(ln.text) - len(rest))
+			p.lines[p.pos] = yamlLine{indent: inner, text: rest, no: ln.no}
+			item, err := p.parseMapping(inner)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, item)
+			continue
+		}
+		val, err := parseScalar(rest, ln.no)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, val)
+		p.pos++
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseMapping(base int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < base {
+			break
+		}
+		if ln.indent > base {
+			return nil, fmt.Errorf("yaml: line %d: unexpected indent %d inside mapping indented %d", ln.no, ln.indent, base)
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, fmt.Errorf("yaml: line %d: expected \"key: value\", got %q", ln.no, ln.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.no, key)
+		}
+		p.pos++
+		if rest == "" {
+			// Value is the nested block below (or null if none).
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > base {
+				val, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				out[key] = val
+			} else {
+				out[key] = nil
+			}
+			continue
+		}
+		val, err := parseScalar(rest, ln.no)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// mappingStart reports whether a dash-stripped sequence entry opens an
+// inline mapping ("key: value" or "key:").
+func mappingStart(s string) (string, bool) {
+	key, _, ok := splitKey(s)
+	return key, ok
+}
+
+// splitKey splits "key: value" at the first unquoted colon followed by
+// space/EOL. Returns ok=false for plain scalars.
+func splitKey(s string) (key, rest string, ok bool) {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ':' && (i+1 == len(s) || s[i+1] == ' '):
+			key = strings.TrimSpace(s[:i])
+			key = unquote(key)
+			if key == "" {
+				return "", "", false
+			}
+			return key, strings.TrimSpace(s[i+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// parseScalar interprets one scalar value, including small inline flow
+// sequences.
+func parseScalar(s string, lineNo int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml: line %d: unterminated flow sequence %q", lineNo, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range strings.Split(inner, ",") {
+			v, err := parseScalar(strings.TrimSpace(part), lineNo)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		if s == "{}" {
+			return map[string]any{}, nil
+		}
+		return nil, fmt.Errorf("yaml: line %d: flow mappings are not supported (use block form)", lineNo)
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		return unquote(s), nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~", "Null":
+		return nil, nil
+	}
+	// base 0 handles decimal, 0x-hex and 0o-octal.
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return n, nil
+	}
+	if n, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -201,8 +201,9 @@ func (c *RawConn) Close() {
 
 // SecureConn is an authenticated, encrypted OpenFlow message channel.
 type SecureConn struct {
-	raw      *RawConn
+	raw      Transport
 	peerName string
+	lossy    bool
 
 	sendAEAD cipher.AEAD
 	recvAEAD cipher.AEAD
@@ -211,10 +212,21 @@ type SecureConn struct {
 	sendCtr uint64
 	recvMu  sync.Mutex
 	recvCtr uint64
+	// recvLost counts AEAD-counter gaps observed on a lossy transport —
+	// frames the network dropped between successfully delivered ones.
+	recvLost uint64
 }
 
 // PeerName returns the authenticated name of the remote end.
 func (s *SecureConn) PeerName() string { return s.peerName }
+
+// RecvLost reports how many inbound frames were observed lost (counter
+// gaps) on a lossy transport; always 0 on in-memory pipes.
+func (s *SecureConn) RecvLost() uint64 {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	return s.recvLost
+}
 
 // handshakeMsg is the single round-trip handshake payload.
 type handshakeMsg struct {
@@ -256,16 +268,16 @@ func transcript(initEph, respEph []byte) []byte {
 }
 
 // SecureClient runs the initiator side of the handshake over raw.
-func SecureClient(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.PublicKey) (*SecureConn, error) {
+func SecureClient(raw Transport, id *Identity, cert Certificate, caPub ed25519.PublicKey) (*SecureConn, error) {
 	return handshake(raw, id, cert, caPub, true)
 }
 
 // SecureServer runs the responder side of the handshake over raw.
-func SecureServer(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.PublicKey) (*SecureConn, error) {
+func SecureServer(raw Transport, id *Identity, cert Certificate, caPub ed25519.PublicKey) (*SecureConn, error) {
 	return handshake(raw, id, cert, caPub, false)
 }
 
-func handshake(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.PublicKey, initiator bool) (*SecureConn, error) {
+func handshake(raw Transport, id *Identity, cert Certificate, caPub ed25519.PublicKey, initiator bool) (*SecureConn, error) {
 	curve := ecdh.X25519()
 	ephPriv, err := curve.GenerateKey(rand.Reader)
 	if err != nil {
@@ -280,7 +292,7 @@ func handshake(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.Publi
 		if err := raw.Send((&handshakeMsg{cert: cert, ephPub: ephPub}).marshal()); err != nil {
 			return nil, err
 		}
-		data, err := raw.Recv()
+		data, err := recvWithTimeout(raw)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +307,7 @@ func handshake(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.Publi
 			return nil, err
 		}
 	} else {
-		data, err := raw.Recv()
+		data, err := recvWithTimeout(raw)
 		if err != nil {
 			return nil, err
 		}
@@ -308,7 +320,7 @@ func handshake(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.Publi
 		if err := raw.Send(reply.marshal()); err != nil {
 			return nil, err
 		}
-		final, err := raw.Recv()
+		final, err := recvWithTimeout(raw)
 		if err != nil {
 			return nil, err
 		}
@@ -343,9 +355,14 @@ func handshake(raw *RawConn, id *Identity, cert Certificate, caPub ed25519.Publi
 	if err != nil {
 		return nil, err
 	}
+	lossy := false
+	if lt, ok := raw.(LossyTransport); ok {
+		lossy = lt.Lossy()
+	}
 	return &SecureConn{
 		raw:      raw,
 		peerName: peer.cert.Name,
+		lossy:    lossy,
 		sendAEAD: sendAEAD,
 		recvAEAD: recvAEAD,
 	}, nil
@@ -408,7 +425,10 @@ func (s *SecureConn) TrySend(m Message) (sent bool, err error) {
 }
 
 // Recv receives and decrypts the next OpenFlow message. It enforces nonce
-// monotonicity, so replayed or reordered ciphertexts fail.
+// monotonicity, so replayed or reordered ciphertexts fail. On a lossy
+// transport (real UDP) the check relaxes to forward-monotonicity: a counter
+// jump means the network dropped frames (recorded in RecvLost), while a
+// counter at or below the high-water mark is still rejected as a replay.
 func (s *SecureConn) Recv() (Message, error) {
 	data, err := s.raw.Recv()
 	if err != nil {
@@ -422,10 +442,13 @@ func (s *SecureConn) Recv() (Message, error) {
 	want := s.recvCtr
 	got := binary.BigEndian.Uint64(nonce[4:])
 	if got != want {
-		s.recvMu.Unlock()
-		return nil, fmt.Errorf("openflow: nonce replay/reorder (got %d want %d)", got, want)
+		if !s.lossy || got < want {
+			s.recvMu.Unlock()
+			return nil, fmt.Errorf("openflow: nonce replay/reorder (got %d want %d)", got, want)
+		}
+		s.recvLost += got - want
 	}
-	s.recvCtr++
+	s.recvCtr = got + 1
 	s.recvMu.Unlock()
 	plain, err := s.recvAEAD.Open(nil, nonce, ct, nil)
 	if err != nil {
@@ -438,26 +461,9 @@ func (s *SecureConn) Recv() (Message, error) {
 // Close tears down the underlying connection.
 func (s *SecureConn) Close() { s.raw.Close() }
 
-// ConnectSecure is a convenience that wires a Pipe and runs both handshake
-// sides concurrently, returning the two authenticated ends.
+// ConnectSecure is a convenience that wires an in-memory Pipe and runs both
+// handshake sides concurrently, returning the two authenticated ends.
 func ConnectSecure(a *Identity, aCert Certificate, b *Identity, bCert Certificate, caPub ed25519.PublicKey) (*SecureConn, *SecureConn, error) {
 	rawA, rawB := Pipe()
-	type result struct {
-		conn *SecureConn
-		err  error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		conn, err := SecureServer(rawB, b, bCert, caPub)
-		ch <- result{conn, err}
-	}()
-	connA, errA := SecureClient(rawA, a, aCert, caPub)
-	resB := <-ch
-	if errA != nil {
-		return nil, nil, errA
-	}
-	if resB.err != nil {
-		return nil, nil, resB.err
-	}
-	return connA, resB.conn, nil
+	return ConnectSecureOver(rawA, rawB, a, aCert, b, bCert, caPub)
 }

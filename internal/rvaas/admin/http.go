@@ -1,0 +1,115 @@
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler maps the admin service onto a local HTTP API:
+//
+//	GET  /v1/overview                      health summary
+//	GET  /v1/subs?status=&client=&kind=&session=&after=&pageSize=
+//	GET  /v1/subs/{id}/history             verdict transitions
+//	GET  /v1/shards                        per-shard engine stats
+//	GET  /v1/sessions                      client + switch sessions
+//	POST /v1/resync?switch=N               force a switch resync
+//
+// Responses are JSON; errors are {"error": "..."} with a 4xx/5xx status.
+// The endpoint is an operator plane, not a tenant plane: rvaasd binds it to
+// loopback and it carries no authentication.
+func Handler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/overview", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Overview())
+	})
+	mux.HandleFunc("GET /v1/subs", func(w http.ResponseWriter, r *http.Request) {
+		filter, after, pageSize, err := parseSubsQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		page, err := svc.ListSubscriptions(filter, after, pageSize)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, page)
+	})
+	mux.HandleFunc("GET /v1/subs/{id}/history", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("admin: bad subscription id %q", r.PathValue("id")))
+			return
+		}
+		view, err := svc.VerdictHistory(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.ShardStats())
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Sessions())
+	})
+	mux.HandleFunc("POST /v1/resync", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("switch")
+		sw, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("admin: bad or missing switch parameter %q", raw))
+			return
+		}
+		if err := svc.ForceResync(uint32(sw)); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"resync": sw})
+	})
+	return mux
+}
+
+func parseSubsQuery(r *http.Request) (SubFilter, uint64, int, error) {
+	q := r.URL.Query()
+	filter := SubFilter{Status: q.Get("status"), Kind: q.Get("kind")}
+	var after uint64
+	pageSize := 0
+	var err error
+	if raw := q.Get("client"); raw != "" {
+		if filter.Client, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return filter, 0, 0, fmt.Errorf("admin: bad client %q", raw)
+		}
+	}
+	if raw := q.Get("session"); raw != "" {
+		if filter.Session, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return filter, 0, 0, fmt.Errorf("admin: bad session %q", raw)
+		}
+		filter.HasSession = true
+	}
+	if raw := q.Get("after"); raw != "" {
+		if after, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return filter, 0, 0, fmt.Errorf("admin: bad after cursor %q", raw)
+		}
+	}
+	if raw := q.Get("pageSize"); raw != "" {
+		if pageSize, err = strconv.Atoi(raw); err != nil || pageSize < 0 {
+			return filter, 0, 0, fmt.Errorf("admin: bad pageSize %q", raw)
+		}
+	}
+	return filter, after, pageSize, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

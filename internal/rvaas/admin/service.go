@@ -1,0 +1,302 @@
+// Package admin is the operator-plane ops API over a running RVaaS
+// controller, layered handler → service: Service exposes typed operations
+// (list/filter/paginate subscriptions, per-shard engine stats, verdict
+// history, forced resync, session listing, an overview), and Handler
+// (http.go) maps them onto a local HTTP endpoint. `rvaasd` mounts the
+// handler; `rvaasd ops` is the CLI client.
+//
+// Every read goes through the controller's lock-free admin surface
+// (per-shard snapshots and atomic counters) so operating the service never
+// contends with the verification engine's re-check passes.
+package admin
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rvaas"
+	"repro/internal/topology"
+)
+
+// Service is the operator-plane service layer.
+type Service struct {
+	ctl *rvaas.Controller
+}
+
+// NewService wraps a running controller.
+func NewService(ctl *rvaas.Controller) *Service { return &Service{ctl: ctl} }
+
+// Subscription status filter values.
+const (
+	StatusAny      = ""
+	StatusViolated = "violated"
+	StatusOK       = "ok"
+)
+
+// SubFilter restricts a subscription listing. Zero values mean "any".
+type SubFilter struct {
+	// Status is "", "violated" or "ok".
+	Status string
+	// Client restricts to one client ID (0 = any).
+	Client uint64
+	// Kind restricts to one invariant kind by wire name ("" = any).
+	Kind string
+	// Session restricts to one session ID; meaningful only with HasSession
+	// (session 0 is the v1/in-process group).
+	Session    uint64
+	HasSession bool
+}
+
+func (f SubFilter) validate() error {
+	switch f.Status {
+	case StatusAny, StatusViolated, StatusOK:
+		return nil
+	}
+	return fmt.Errorf("admin: unknown status filter %q (want %q or %q)", f.Status, StatusViolated, StatusOK)
+}
+
+func (f SubFilter) match(s rvaas.SubscriptionInfo) bool {
+	if f.Status == StatusViolated && !s.Violated {
+		return false
+	}
+	if f.Status == StatusOK && s.Violated {
+		return false
+	}
+	if f.Client != 0 && s.ClientID != f.Client {
+		return false
+	}
+	if f.Kind != "" && s.Kind.String() != f.Kind {
+		return false
+	}
+	if f.HasSession && s.SessionID != f.Session {
+		return false
+	}
+	return true
+}
+
+// SubView is the JSON shape of one standing invariant.
+type SubView struct {
+	ID            uint64 `json:"id"`
+	Client        uint64 `json:"client"`
+	Session       uint64 `json:"session"`
+	Kind          string `json:"kind"`
+	Param         string `json:"param,omitempty"`
+	Status        string `json:"status"`
+	Detail        string `json:"detail,omitempty"`
+	Seq           uint64 `json:"seq"`
+	FootprintSize int    `json:"footprintSize"`
+}
+
+func subView(s rvaas.SubscriptionInfo) SubView {
+	status := StatusOK
+	if s.Violated {
+		status = StatusViolated
+	}
+	return SubView{
+		ID: s.ID, Client: s.ClientID, Session: s.SessionID,
+		Kind: s.Kind.String(), Param: s.Param,
+		Status: status, Detail: s.Detail, Seq: s.Seq,
+		FootprintSize: s.FootprintSize,
+	}
+}
+
+// SubPage is one page of a filtered subscription listing, keyed by ID:
+// request the next page with After = NextAfter until NextAfter is 0.
+type SubPage struct {
+	Subs []SubView `json:"subs"`
+	// Total is the number of subscriptions matching the filter (all pages).
+	Total int `json:"total"`
+	// NextAfter is the cursor for the next page (0 = exhausted).
+	NextAfter uint64 `json:"nextAfter"`
+}
+
+// DefaultPageSize bounds listings when the caller does not choose one.
+const DefaultPageSize = 100
+
+// ListSubscriptions returns the page of filtered subscriptions with ID >
+// after, in ID order.
+func (s *Service) ListSubscriptions(f SubFilter, after uint64, pageSize int) (SubPage, error) {
+	if err := f.validate(); err != nil {
+		return SubPage{}, err
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	page := SubPage{Subs: []SubView{}}
+	for _, sub := range s.ctl.Subscriptions() {
+		if !f.match(sub) {
+			continue
+		}
+		page.Total++
+		if sub.ID <= after {
+			continue
+		}
+		if len(page.Subs) < pageSize {
+			page.Subs = append(page.Subs, subView(sub))
+		} else if page.NextAfter == 0 {
+			page.NextAfter = page.Subs[len(page.Subs)-1].ID
+		}
+	}
+	return page, nil
+}
+
+// ShardView is the JSON shape of one engine shard snapshot.
+type ShardView struct {
+	Shard        int `json:"shard"`
+	Active       int `json:"active"`
+	Violated     int `json:"violated"`
+	IndexBuckets int `json:"indexBuckets"`
+	IndexEntries int `json:"indexEntries"`
+}
+
+// ShardStats snapshots the 32 engine shards.
+func (s *Service) ShardStats() []ShardView {
+	infos := s.ctl.ShardStats()
+	out := make([]ShardView, len(infos))
+	for i, in := range infos {
+		out[i] = ShardView{
+			Shard: in.Shard, Active: in.Active, Violated: in.Violated,
+			IndexBuckets: in.IndexBuckets, IndexEntries: in.IndexEntries,
+		}
+	}
+	return out
+}
+
+// VerdictView is one verdict transition of a subscription.
+type VerdictView struct {
+	At         time.Time `json:"at"`
+	Event      string    `json:"event"`
+	Client     uint64    `json:"client"`
+	Kind       string    `json:"kind"`
+	Detail     string    `json:"detail,omitempty"`
+	SnapshotID uint64    `json:"snapshotId"`
+}
+
+// HistoryView is the verdict history of one subscription.
+type HistoryView struct {
+	SubID uint64 `json:"subId"`
+	// Live reports whether the subscription is currently registered.
+	Live     bool          `json:"live"`
+	Verdicts []VerdictView `json:"verdicts"`
+}
+
+// VerdictHistory returns the retained verdict transitions of a
+// subscription. An ID with no live registration and no history is an error.
+func (s *Service) VerdictHistory(subID uint64) (HistoryView, error) {
+	records, live := s.ctl.SubscriptionHistory(subID)
+	if !live && len(records) == 0 {
+		return HistoryView{}, fmt.Errorf("admin: subscription %d: not registered and no retained history", subID)
+	}
+	view := HistoryView{SubID: subID, Live: live, Verdicts: make([]VerdictView, 0, len(records))}
+	for _, r := range records {
+		view.Verdicts = append(view.Verdicts, VerdictView{
+			At: r.At, Event: r.Event.String(), Client: r.ClientID,
+			Kind: r.Kind, Detail: r.Detail, SnapshotID: r.SnapshotID,
+		})
+	}
+	return view, nil
+}
+
+// ForceResync triggers an authoritative re-sync of one switch's snapshot.
+func (s *Service) ForceResync(sw uint32) error {
+	return s.ctl.ForceResync(topology.SwitchID(sw))
+}
+
+// SessionsView lists client sessions and attached switch sessions.
+type SessionsView struct {
+	Clients  []ClientSessionView `json:"clients"`
+	Switches []SwitchSessionView `json:"switches"`
+}
+
+// ClientSessionView is one client session group.
+type ClientSessionView struct {
+	Session       uint64 `json:"session"`
+	Client        uint64 `json:"client"`
+	Protocol      uint8  `json:"protocol"`
+	Subscriptions int    `json:"subscriptions"`
+	Violated      int    `json:"violated"`
+}
+
+// SwitchSessionView is one attached switch control channel.
+type SwitchSessionView struct {
+	Switch    uint32 `json:"switch"`
+	PeerName  string `json:"peerName"`
+	Resyncing bool   `json:"resyncing"`
+}
+
+// Sessions lists client session groups and switch control sessions.
+func (s *Service) Sessions() SessionsView {
+	view := SessionsView{Clients: []ClientSessionView{}, Switches: []SwitchSessionView{}}
+	for _, cs := range s.ctl.ClientSessions() {
+		view.Clients = append(view.Clients, ClientSessionView{
+			Session: cs.SessionID, Client: cs.ClientID, Protocol: cs.Protocol,
+			Subscriptions: cs.Subscriptions, Violated: cs.Violated,
+		})
+	}
+	for _, ss := range s.ctl.SwitchSessions() {
+		view.Switches = append(view.Switches, SwitchSessionView{
+			Switch: uint32(ss.Switch), PeerName: ss.PeerName, Resyncing: ss.Resyncing,
+		})
+	}
+	return view
+}
+
+// OverviewView is the one-screen health summary.
+type OverviewView struct {
+	SnapshotID uint64 `json:"snapshotId"`
+	Switches   int    `json:"switches"`
+	// Controller activity counters.
+	ActivePolls   uint64 `json:"activePolls"`
+	PassiveEvents uint64 `json:"passiveEvents"`
+	Resyncs       uint64 `json:"resyncs"`
+	QueriesServed uint64 `json:"queriesServed"`
+	// Subscription engine counters.
+	SubsActive      uint64 `json:"subsActive"`
+	SubsViolated    int    `json:"subsViolated"`
+	Rechecks        uint64 `json:"rechecks"`
+	Evaluated       uint64 `json:"evaluated"`
+	Revalidated     uint64 `json:"revalidated"`
+	IndexDispatched uint64 `json:"indexDispatched"`
+	DeltaSkipped    uint64 `json:"deltaSkipped"`
+	Violations      uint64 `json:"violations"`
+	Recoveries      uint64 `json:"recoveries"`
+}
+
+// Overview assembles the health summary from atomic and per-shard reads.
+func (s *Service) Overview() OverviewView {
+	st := s.ctl.Stats()
+	es := s.ctl.SubscriptionStats()
+	violated := 0
+	for _, sh := range s.ctl.ShardStats() {
+		violated += sh.Violated
+	}
+	return OverviewView{
+		SnapshotID:      s.ctl.SnapshotID(),
+		Switches:        len(s.ctl.SwitchSessions()),
+		ActivePolls:     st.ActivePolls,
+		PassiveEvents:   st.PassiveEvents,
+		Resyncs:         st.Resyncs,
+		QueriesServed:   st.QueriesServed,
+		SubsActive:      es.Active,
+		SubsViolated:    violated,
+		Rechecks:        es.Rechecks,
+		Evaluated:       es.Evaluated,
+		Revalidated:     es.Revalidated,
+		IndexDispatched: es.IndexDispatched,
+		DeltaSkipped:    es.DeltaSkipped,
+		Violations:      es.Violations,
+		Recoveries:      es.Recoveries,
+	}
+}
+
+// Kinds lists the filterable invariant kind names, sorted.
+func Kinds() []string {
+	out := []string{
+		"reachable-destinations", "reaching-sources", "isolation",
+		"geo-regions", "path-length", "waypoint-avoidance",
+		"neutrality", "transfer-function",
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package rvaas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/topology"
+)
+
+// This file is the operator-plane read surface over the controller: the
+// per-shard engine snapshots, session grouping, verdict history and forced
+// resync the internal/rvaas/admin service layers its HTTP API on. Read
+// paths never take the engine's run lock — they use the per-shard mutexes
+// and atomic counters only, so an operator paging through 10^5 standing
+// invariants cannot stall a re-verification pass.
+
+// ShardInfo is a point-in-time snapshot of one subscription-engine shard
+// and its slice of the inverted footprint index.
+type ShardInfo struct {
+	// Shard is the shard number (0..31).
+	Shard int
+	// Active / Violated count the shard's standing invariants.
+	Active   int
+	Violated int
+	// IndexBuckets is the number of switches with a non-empty subscription
+	// bucket in this index shard; IndexEntries is the total number of
+	// (switch, subscription) index pairs.
+	IndexBuckets int
+	IndexEntries int
+}
+
+// ShardStats snapshots every engine shard. Each shard is locked briefly and
+// independently; no global engine lock is taken, so the view across shards
+// is not a single atomic cut — which is exactly the tradeoff an operator
+// dashboard wants against a live engine.
+func (c *Controller) ShardStats() []ShardInfo {
+	e := c.subs
+	out := make([]ShardInfo, subShardCount)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		info := ShardInfo{Shard: i}
+		sh.mu.Lock()
+		info.Active = len(sh.subs)
+		for _, sub := range sh.subs {
+			if sub.violated {
+				info.Violated++
+			}
+		}
+		sh.mu.Unlock()
+		ish := &e.index[i]
+		ish.mu.Lock()
+		info.IndexBuckets = len(ish.buckets)
+		for _, bucket := range ish.buckets {
+			info.IndexEntries += len(bucket)
+		}
+		ish.mu.Unlock()
+		out[i] = info
+	}
+	return out
+}
+
+// ClientSessionInfo summarizes one client session: the protocol-v2 envelope
+// session its subscriptions were registered under (SessionID 0 groups v1 and
+// in-process registrations).
+type ClientSessionInfo struct {
+	SessionID     uint64
+	ClientID      uint64
+	Protocol      uint8
+	Subscriptions int
+	Violated      int
+}
+
+// ClientSessions groups the standing invariants by (client, session),
+// ordered by client then session. Built from per-shard snapshots only.
+func (c *Controller) ClientSessions() []ClientSessionInfo {
+	type key struct {
+		client, session uint64
+	}
+	acc := make(map[key]*ClientSessionInfo)
+	e := c.subs
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, sub := range sh.subs {
+			k := key{client: sub.clientID, session: sub.sessionID}
+			info := acc[k]
+			if info == nil {
+				info = &ClientSessionInfo{SessionID: sub.sessionID, ClientID: sub.clientID, Protocol: sub.proto}
+				acc[k] = info
+			}
+			info.Subscriptions++
+			if sub.violated {
+				info.Violated++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]ClientSessionInfo, 0, len(acc))
+	for _, info := range acc {
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ClientID != out[j].ClientID {
+			return out[i].ClientID < out[j].ClientID
+		}
+		return out[i].SessionID < out[j].SessionID
+	})
+	return out
+}
+
+// SwitchSessionInfo describes one attached switch control session.
+type SwitchSessionInfo struct {
+	Switch topology.SwitchID
+	// PeerName is the authenticated certificate name of the switch end.
+	PeerName string
+	// Resyncing reports an in-flight forced/gap resync for the switch.
+	Resyncing bool
+}
+
+// SwitchSessions lists the attached secure-channel sessions in switch order.
+func (c *Controller) SwitchSessions() []SwitchSessionInfo {
+	c.mu.Lock()
+	out := make([]SwitchSessionInfo, 0, len(c.sessions))
+	for sw, sess := range c.sessions {
+		out = append(out, SwitchSessionInfo{
+			Switch:    sw,
+			PeerName:  sess.conn.PeerName(),
+			Resyncing: c.resyncing[sw],
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
+	return out
+}
+
+// ForceResync re-bases one switch's snapshot on its authoritative state
+// (operator-initiated; the same path as automatic sequence-regression
+// recovery). The resync runs asynchronously; an already-running resync for
+// the switch is not duplicated.
+func (c *Controller) ForceResync(sw topology.SwitchID) error {
+	c.mu.Lock()
+	_, attached := c.sessions[sw]
+	c.mu.Unlock()
+	if !attached {
+		return fmt.Errorf("rvaas: switch %d is not attached", sw)
+	}
+	c.forceResync(sw)
+	return nil
+}
+
+// SubscriptionHistory returns the retained verdict transitions of one
+// subscription in append order, and whether the subscription is currently
+// registered (history outlives unsubscription until the ring evicts it).
+func (c *Controller) SubscriptionHistory(id uint64) ([]history.Violation, bool) {
+	sh := c.subs.shardFor(id)
+	sh.mu.Lock()
+	_, live := sh.subs[id]
+	sh.mu.Unlock()
+	return c.vlog.PerSub(id), live
+}
