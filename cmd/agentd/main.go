@@ -1,0 +1,54 @@
+// Command agentd hosts one placement group of client verification agents
+// as a standalone process. It reads its rendezvous manifest from stdin
+// (the deploy supervisor's spawn path) or from -manifest (externally
+// launched groups), joins the lab controller's trunk with the manifest
+// token, registers its agents' verification keys, and then registers the
+// spec's standing invariants for its own clients over the real in-band
+// subscribe path. SIGINT/SIGTERM exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/procplane"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("agentd: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agentd", flag.ContinueOnError)
+	manifestPath := fs.String("manifest", "", "rendezvous manifest file (default: read manifest from stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		m   *procplane.Manifest
+		err error
+	)
+	if *manifestPath != "" {
+		m, err = procplane.LoadManifest(*manifestPath)
+	} else {
+		m, err = procplane.ReadManifest(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	if m.Kind != procplane.KindAgentd {
+		return fmt.Errorf("manifest is for a %q process", m.Kind)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return procplane.RunAgentd(ctx, m, log.Printf)
+}

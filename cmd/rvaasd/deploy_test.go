@@ -77,9 +77,71 @@ func TestUnknownCommand(t *testing.T) {
 	}
 }
 
+// TestOpsExitCodes locks the CLI's error-class -> exit-code contract
+// without a running lab.
+func TestOpsExitCodes(t *testing.T) {
+	captureOut(t)
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d", got)
+	}
+	err := run([]string{"ops"})
+	if err == nil || exitCode(err) != exitUsage {
+		t.Errorf("missing verb: err=%v code=%d, want %d", err, exitCode(err), exitUsage)
+	}
+	err = run([]string{"ops", "teleport"})
+	if err == nil || exitCode(err) != exitUsage {
+		t.Errorf("unknown verb: code=%d, want %d", exitCode(err), exitUsage)
+	}
+	err = run([]string{"ops", "history", "notanumber"})
+	if err == nil || exitCode(err) != exitUsage {
+		t.Errorf("bad history id: code=%d, want %d", exitCode(err), exitUsage)
+	}
+	// 127.0.0.1:1 is reliably closed: transport failure, not an API error.
+	err = run([]string{"ops", "overview", "-admin", "127.0.0.1:1", "-timeout", "2s"})
+	if err == nil || exitCode(err) != exitConnect {
+		t.Errorf("dead endpoint: err=%v code=%d, want %d", err, exitCode(err), exitConnect)
+	}
+}
+
+// TestSpecMigrate covers the canonicalizer CLI: v1 in, canonical v2 out,
+// both formats, and the migrated output re-validates.
+func TestSpecMigrate(t *testing.T) {
+	buf := captureOut(t)
+	if err := run([]string{"spec", "migrate", "-in", linear40Spec}); err != nil {
+		t.Fatalf("spec migrate: %v", err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "schemaVersion: 2") || !strings.Contains(got, "name: linear-40-lab") {
+		t.Fatalf("migrated yaml missing canonical fields:\n%s", got)
+	}
+
+	outFile := t.TempDir() + "/lab.v2.json"
+	if err := run([]string{"spec", "migrate", "-in", linear40Spec, "-out", outFile, "-format", "json"}); err != nil {
+		t.Fatalf("spec migrate -format json: %v", err)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schemaVersion": 2`) {
+		t.Fatalf("json output missing schemaVersion:\n%s", data)
+	}
+	// The migrated file itself passes deploy -validate.
+	if err := run([]string{"deploy", "-topo", outFile, "-validate"}); err != nil {
+		t.Fatalf("migrated spec fails validation: %v", err)
+	}
+
+	if err := run([]string{"spec", "migrate"}); err == nil || exitCode(err) != exitUsage {
+		t.Errorf("missing -in: err=%v code=%d, want %d", err, exitCode(err), exitUsage)
+	}
+	if err := run([]string{"spec", "frobnicate"}); err == nil || exitCode(err) != exitUsage {
+		t.Errorf("unknown spec verb accepted")
+	}
+}
+
 // TestDeployOpsEndToEnd is the acceptance run: `rvaasd deploy` brings the
 // linear-40 lab up over real UDP sockets (invariants registered through
-// client agents), `rvaasd ops subs -filter status=violated -page-size 50`
+// client agents), `rvaasd ops subs -filter status=violated -limit 50`
 // paginates live state from the admin API, and a SIGINT tears the lab down
 // in order.
 func TestDeployOpsEndToEnd(t *testing.T) {
@@ -114,7 +176,7 @@ func TestDeployOpsEndToEnd(t *testing.T) {
 
 	// The spec's isolation invariant is genuinely violated under all-pairs
 	// routing, so the flagship ops query returns live violated state.
-	if err := run([]string{"ops", "subs", "-addr", addr, "-filter", "status=violated", "-page-size", "50"}); err != nil {
+	if err := run([]string{"ops", "subs", "-addr", addr, "-filter", "status=violated", "-limit", "50"}); err != nil {
 		t.Fatalf("ops subs: %v", err)
 	}
 	got := buf.String()
@@ -124,27 +186,35 @@ func TestDeployOpsEndToEnd(t *testing.T) {
 
 	// Cursor pagination against the live lab: page-size 2 over 3 invariants
 	// needs a second page.
-	if err := run([]string{"ops", "subs", "-addr", addr, "-page-size", "2"}); err != nil {
+	if err := run([]string{"ops", "subs", "-addr", addr, "-limit", "2"}); err != nil {
 		t.Fatalf("ops subs paged: %v", err)
 	}
-	if !strings.Contains(buf.String(), "next page: -after") {
-		t.Fatalf("expected a continuation cursor with -page-size 2:\n%s", buf.String())
+	if !strings.Contains(buf.String(), "next page: -cursor") {
+		t.Fatalf("expected a continuation cursor with -limit 2:\n%s", buf.String())
 	}
-	if err := run([]string{"ops", "subs", "-addr", addr, "-page-size", "2", "-all"}); err != nil {
+	if err := run([]string{"ops", "subs", "-addr", addr, "-limit", "2", "-all"}); err != nil {
 		t.Fatalf("ops subs -all: %v", err)
 	}
 
-	// The rest of the ops surface against the live lab.
-	for _, verb := range []string{"overview", "shards", "sessions"} {
-		if err := run([]string{"ops", verb, "-addr", addr}); err != nil {
+	// The rest of the ops surface against the live lab (-addr stays as a
+	// deprecated alias of -admin).
+	for _, verb := range []string{"overview", "version", "shards", "sessions", "procs"} {
+		if err := run([]string{"ops", verb, "-admin", addr}); err != nil {
 			t.Fatalf("ops %s: %v", verb, err)
 		}
+	}
+	if !strings.Contains(buf.String(), "api=v1") {
+		t.Fatalf("ops version output missing api=v1:\n%s", buf.String())
 	}
 	if err := run([]string{"ops", "resync", "-addr", addr, "3"}); err != nil {
 		t.Fatalf("ops resync: %v", err)
 	}
-	if err := run([]string{"ops", "resync", "-addr", addr, "999"}); err == nil {
+	err := run([]string{"ops", "resync", "-admin", addr, "999"})
+	if err == nil {
 		t.Fatal("resync of unknown switch accepted")
+	}
+	if got := exitCode(err); got != exitNotFound {
+		t.Fatalf("resync unknown switch: exit code %d, want %d (err %v)", got, exitNotFound, err)
 	}
 
 	// Signal-aware ordered shutdown.
@@ -166,5 +236,7 @@ func TestDeployOpsEndToEnd(t *testing.T) {
 	// With the lab gone, ops calls fail with an actionable error.
 	if err := run([]string{"ops", "overview", "-addr", addr}); err == nil {
 		t.Fatal("ops against a stopped lab succeeded")
+	} else if got := exitCode(err); got != exitConnect {
+		t.Fatalf("ops against a stopped lab: exit code %d, want %d", got, exitConnect)
 	}
 }

@@ -34,6 +34,8 @@ func runDeploy(args []string) error {
 	adminAddr := fs.String("admin", defaultAdminAddr, "admin API listen address (empty disables)")
 	runFor := fs.Duration("run-for", 0, "exit after this duration (0 = run until signal)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "bound for ordered teardown")
+	switchdBin := fs.String("switchd-bin", "", "switchd binary for local-exec placement groups (default: PATH lookup)")
+	agentdBin := fs.String("agentd-bin", "", "agentd binary for local-exec placement groups (default: PATH lookup)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,15 +61,18 @@ func runDeploy(args []string) error {
 		}
 	}
 
-	l, err := startLab(spec, *adminAddr)
+	l, err := startLab(spec, *adminAddr, placedConfig(*switchdBin, *agentdBin))
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "lab %q up: %d switches, %d access points, %d invariants, transport=%s\n",
 		spec.Name, len(l.d.Topology.Switches()), len(l.d.Topology.AccessPoints()),
 		len(spec.Invariants), transportName(spec))
+	if p := l.d.Placed; p != nil {
+		fmt.Fprintf(out, "process plane: trunk %s, attach %s\n", p.TrunkAddr(), p.AttachAddr())
+	}
 	if addr := l.adminAddr(); addr != "" {
-		fmt.Fprintf(out, "admin API on http://%s (rvaasd ops -addr %s ...)\n", addr, addr)
+		fmt.Fprintf(out, "admin API on http://%s (rvaasd ops -admin %s ...)\n", addr, addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -126,11 +131,31 @@ type lab struct {
 	ln  net.Listener
 }
 
+// placedConfig builds the multi-process bring-up config: explicit child
+// binaries when the operator pins them, PATH lookup otherwise, with child
+// process output forwarded to the command's log stream.
+func placedConfig(switchdBin, agentdBin string) deploy.PlacedConfig {
+	return deploy.PlacedConfig{
+		ChildCommand: func(kind string) []string {
+			switch {
+			case kind == "switchd" && switchdBin != "":
+				return []string{switchdBin}
+			case kind == "agentd" && agentdBin != "":
+				return []string{agentdBin}
+			}
+			return nil // deploy default: PATH lookup
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	}
+}
+
 // startLab brings the spec's deployment up and, unless adminAddr is empty,
 // serves the admin API on it. (Loopback, unauthenticated: an operator
 // plane, not a tenant plane.)
-func startLab(spec *labspec.Spec, adminAddr string) (*lab, error) {
-	d, err := deploy.FromSpec(spec)
+func startLab(spec *labspec.Spec, adminAddr string, pc deploy.PlacedConfig) (*lab, error) {
+	d, err := deploy.FromSpecPlaced(spec, pc)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +167,11 @@ func startLab(spec *labspec.Spec, adminAddr string) (*lab, error) {
 			return nil, fmt.Errorf("rvaasd deploy: admin listener: %w", err)
 		}
 		l.ln = ln
-		l.srv = &http.Server{Handler: admin.Handler(admin.NewService(d.RVaaS))}
+		svc := admin.NewService(d.RVaaS)
+		if d.Placed != nil {
+			svc = svc.WithProcs(d.Placed.ProcHealth)
+		}
+		l.srv = &http.Server{Handler: admin.Handler(svc)}
 		go l.srv.Serve(ln)
 	}
 	return l, nil

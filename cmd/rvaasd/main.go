@@ -5,8 +5,9 @@
 //	                                       in-proc channels, admin endpoint,
 //	                                       signal-aware ordered shutdown)
 //	rvaasd deploy -topo lab.yml -validate  dry-run: parse + validate only
-//	rvaasd ops subs -filter status=violated -page-size 50
+//	rvaasd ops subs -filter status=violated -limit 50
 //	                                       operate a running lab over HTTP
+//	rvaasd spec migrate -in lab.yml        canonicalize a spec to schema v2
 //	rvaasd demo -topo fattree -size 4      the original in-process smoke demo
 //
 // Bare flags (`rvaasd -topo linear -size 3`) keep invoking the demo for
@@ -26,7 +27,8 @@ var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -37,6 +39,8 @@ func run(args []string) error {
 			return runDeploy(args[1:])
 		case "ops":
 			return runOps(args[1:])
+		case "spec":
+			return runSpec(args[1:])
 		case "demo":
 			return runDemo(args[1:])
 		case "help":
@@ -44,7 +48,7 @@ func run(args []string) error {
 			return nil
 		default:
 			usage()
-			return fmt.Errorf("rvaasd: unknown command %q (want deploy, ops or demo)", args[0])
+			return fmt.Errorf("rvaasd: unknown command %q (want deploy, ops, spec or demo)", args[0])
 		}
 	}
 	// Legacy invocation: flags only → the in-process demo.
@@ -55,7 +59,9 @@ func usage() {
 	fmt.Fprint(out, `usage:
   rvaasd deploy -topo <spec.yml|spec.json> [-validate] [-reconfigure]
                 [-max-workers N] [-admin host:port] [-run-for D]
-  rvaasd ops <overview|subs|shards|sessions|history|resync> [-addr host:port] ...
+  rvaasd ops <overview|version|subs|shards|sessions|procs|history|resync>
+             [-admin host:port] [-timeout D] ...
+  rvaasd spec migrate -in <spec.yml|spec.json> [-out FILE] [-format yaml|json]
   rvaasd demo [-topo NAME] [-size N] [-poll D] [-queries N] [-tenant]
 `)
 }

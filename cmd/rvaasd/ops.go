@@ -2,12 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/rvaas/admin"
 )
@@ -15,59 +17,142 @@ import (
 // runOps is the operator CLI over a running lab's admin API.
 //
 //	rvaasd ops overview
-//	rvaasd ops subs -filter status=violated -filter client=3 -page-size 50
+//	rvaasd ops version
+//	rvaasd ops subs -filter status=violated -filter client=3 -limit 50
 //	rvaasd ops shards
 //	rvaasd ops sessions
+//	rvaasd ops procs
 //	rvaasd ops history <sub-id>
 //	rvaasd ops resync <switch-id>
+//
+// -admin selects the controller's admin endpoint (any host, not just
+// loopback); -timeout bounds each request. Admin API errors map to distinct
+// process exit codes (see exitCode).
 func runOps(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("rvaasd ops: missing verb (want overview, subs, shards, sessions, history or resync)")
+		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, sessions, procs, history or resync)")
 	}
 	verb, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("rvaasd ops "+verb, flag.ContinueOnError)
-	addr := fs.String("addr", defaultAdminAddr, "admin API address of the running lab")
+	adminAddr := fs.String("admin", defaultAdminAddr, "admin API address of the running lab (host:port, any host)")
+	fs.StringVar(adminAddr, "addr", defaultAdminAddr, "alias of -admin (deprecated)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	var filters filterFlags
-	pageSize := fs.Int("page-size", 0, "subscriptions per page (0 = server default)")
-	after := fs.Uint64("after", 0, "resume listing after this subscription ID")
+	limit := fs.Int("limit", 0, "entries per page (0 = server default)")
+	cursor := fs.Uint64("cursor", 0, "resume a listing from this cursor")
 	allPages := fs.Bool("all", false, "follow the cursor through every page")
 	if verb == "subs" {
 		fs.Var(&filters, "filter", "key=value filter (status|client|kind|session), repeatable")
 	}
 	if err := fs.Parse(rest); err != nil {
-		return err
+		return usageErr("rvaasd ops: %v", err)
 	}
-	cli := &opsClient{base: "http://" + *addr}
+	cli := &opsClient{
+		base: "http://" + *adminAddr,
+		http: &http.Client{Timeout: *timeout},
+	}
 
 	switch verb {
 	case "overview":
 		return cli.overview()
+	case "version":
+		return cli.version()
 	case "subs":
-		return cli.subs(filters, *after, *pageSize, *allPages)
+		return cli.subs(filters, *cursor, *limit, *allPages)
 	case "shards":
 		return cli.shards()
 	case "sessions":
 		return cli.sessions()
+	case "procs":
+		return cli.procs()
 	case "history":
 		if fs.NArg() != 1 {
-			return fmt.Errorf("rvaasd ops history: want exactly one subscription ID")
+			return usageErr("rvaasd ops history: want exactly one subscription ID")
 		}
 		id, err := strconv.ParseUint(fs.Arg(0), 10, 64)
 		if err != nil {
-			return fmt.Errorf("rvaasd ops history: bad subscription ID %q", fs.Arg(0))
+			return usageErr("rvaasd ops history: bad subscription ID %q", fs.Arg(0))
 		}
 		return cli.history(id)
 	case "resync":
 		if fs.NArg() != 1 {
-			return fmt.Errorf("rvaasd ops resync: want exactly one switch ID")
+			return usageErr("rvaasd ops resync: want exactly one switch ID")
 		}
 		sw, err := strconv.ParseUint(fs.Arg(0), 10, 32)
 		if err != nil {
-			return fmt.Errorf("rvaasd ops resync: bad switch ID %q", fs.Arg(0))
+			return usageErr("rvaasd ops resync: bad switch ID %q", fs.Arg(0))
 		}
 		return cli.resync(uint32(sw))
 	}
-	return fmt.Errorf("rvaasd ops: unknown verb %q (want overview, subs, shards, sessions, history or resync)", verb)
+	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, sessions, procs, history or resync)", verb)
+}
+
+// Distinct exit codes per failure class, so scripts driving `rvaasd ops`
+// can branch on the admin API's typed error codes.
+const (
+	exitUsage      = 2
+	exitBadRequest = 3
+	exitNotFound   = 4
+	exitConflict   = 5
+	exitInternal   = 6
+	exitConnect    = 7
+)
+
+// usageError marks a local CLI misuse (exit code 2).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usageErr(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// apiError carries a decoded admin error envelope (exit code by Code).
+type apiError struct {
+	Envelope admin.Error
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("rvaasd ops: admin API: %s", e.Envelope.Error())
+}
+
+// connectError marks a transport-level failure reaching the admin endpoint
+// (exit code 7).
+type connectError struct{ err error }
+
+func (e *connectError) Error() string {
+	return fmt.Sprintf("rvaasd ops: %v (is a lab running? start one with `rvaasd deploy -topo <spec>`)", e.err)
+}
+
+func (e *connectError) Unwrap() error { return e.err }
+
+// exitCode maps an error from run() to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var usage *usageError
+	if errors.As(err, &usage) {
+		return exitUsage
+	}
+	var conn *connectError
+	if errors.As(err, &conn) {
+		return exitConnect
+	}
+	var api *apiError
+	if errors.As(err, &api) {
+		switch api.Envelope.Code {
+		case admin.CodeBadRequest, admin.CodeMethodNotAllowed:
+			return exitBadRequest
+		case admin.CodeNotFound:
+			return exitNotFound
+		case admin.CodeConflict:
+			return exitConflict
+		default:
+			return exitInternal
+		}
+	}
+	return 1
 }
 
 // filterFlags collects repeatable -filter key=value flags.
@@ -100,28 +185,30 @@ func (f filterFlags) query() url.Values {
 // opsClient is the thin HTTP client side of the ops CLI.
 type opsClient struct {
 	base string
+	http *http.Client
 }
 
 func (c *opsClient) get(path string, into any) error {
-	resp, err := http.Get(c.base + path)
+	resp, err := c.http.Get(c.base + path)
 	if err != nil {
-		return fmt.Errorf("rvaasd ops: %w (is a lab running? start one with `rvaasd deploy -topo <spec>`)", err)
+		return &connectError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return decodeAPIError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(into)
 }
 
-func apiError(resp *http.Response) error {
-	var body struct {
-		Error string `json:"error"`
+func decodeAPIError(resp *http.Response) error {
+	var envelope admin.Error
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Code != "" {
+		return &apiError{Envelope: envelope}
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
-		return fmt.Errorf("rvaasd ops: %s", body.Error)
-	}
-	return fmt.Errorf("rvaasd ops: admin API returned %s", resp.Status)
+	return &apiError{Envelope: admin.Error{
+		Code:    admin.CodeInternal,
+		Message: fmt.Sprintf("admin API returned %s without a typed envelope", resp.Status),
+	}}
 }
 
 func (c *opsClient) overview() error {
@@ -139,17 +226,35 @@ func (c *opsClient) overview() error {
 	return nil
 }
 
-func (c *opsClient) subs(filters filterFlags, after uint64, pageSize int, allPages bool) error {
+func (c *opsClient) version() error {
+	var v admin.VersionView
+	if err := c.get("/v1/version", &v); err != nil {
+		return err
+	}
+	protos := make([]string, len(v.EnvelopeProtocols))
+	for i, p := range v.EnvelopeProtocols {
+		protos[i] = strconv.Itoa(p)
+	}
+	fmt.Fprintf(out, "api=v%s envelopes=v%s\n", v.APIVersion, strings.Join(protos, ",v"))
+	fmt.Fprintf(out, "build: %s %s", v.Module, v.GoVersion)
+	if v.Revision != "" {
+		fmt.Fprintf(out, " rev=%s", v.Revision)
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func (c *opsClient) subs(filters filterFlags, cursor uint64, limit int, allPages bool) error {
 	q := filters.query()
-	if pageSize > 0 {
-		q.Set("pageSize", strconv.Itoa(pageSize))
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
 	}
 	fmt.Fprintf(out, "%-6s %-8s %-8s %-24s %-9s %-6s %s\n",
 		"ID", "CLIENT", "SESSION", "KIND", "STATUS", "SEQ", "DETAIL")
 	shown := 0
 	for {
-		if after > 0 {
-			q.Set("after", strconv.FormatUint(after, 10))
+		if cursor > 0 {
+			q.Set("cursor", strconv.FormatUint(cursor, 10))
 		}
 		var page admin.SubPage
 		if err := c.get("/v1/subs?"+q.Encode(), &page); err != nil {
@@ -164,16 +269,16 @@ func (c *opsClient) subs(filters filterFlags, after uint64, pageSize int, allPag
 				s.ID, s.Client, s.Session, s.Kind, s.Status, s.Seq, detail)
 		}
 		shown += len(page.Subs)
-		if page.NextAfter == 0 || !allPages {
-			if page.NextAfter != 0 {
-				fmt.Fprintf(out, "-- %d of %d matching; next page: -after %d (or -all)\n",
-					shown, page.Total, page.NextAfter)
+		if page.NextCursor == 0 || !allPages {
+			if page.NextCursor != 0 {
+				fmt.Fprintf(out, "-- %d of %d matching; next page: -cursor %d (or -all)\n",
+					shown, page.Total, page.NextCursor)
 			} else {
 				fmt.Fprintf(out, "-- %d matching\n", page.Total)
 			}
 			return nil
 		}
-		after = page.NextAfter
+		cursor = page.NextCursor
 	}
 }
 
@@ -199,19 +304,57 @@ func (c *opsClient) sessions() error {
 	if err := c.get("/v1/sessions", &view); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "client sessions (%d):\n", len(view.Clients))
+	fmt.Fprintf(out, "client sessions (%d):\n", view.TotalClients)
 	for _, cs := range view.Clients {
 		fmt.Fprintf(out, "  client=%-6d session=%-12d proto=v%d subs=%d violated=%d\n",
 			cs.Client, cs.Session, max(int(cs.Protocol), 1), cs.Subscriptions, cs.Violated)
 	}
 	fmt.Fprintf(out, "switch sessions (%d):\n", len(view.Switches))
 	for _, ss := range view.Switches {
-		state := "attached"
-		if ss.Resyncing {
-			state = "resyncing"
-		}
-		fmt.Fprintf(out, "  switch=%-6d peer=%-12s %s\n", ss.Switch, ss.PeerName, state)
+		fmt.Fprintf(out, "  switch=%-6d peer=%-12s %s\n", ss.Switch, ss.PeerName, switchStateString(ss))
 	}
+	return nil
+}
+
+func switchStateString(ss admin.SwitchSessionView) string {
+	if ss.State != "" {
+		return ss.State
+	}
+	// Older daemons omit the state field; infer it from the resync flag.
+	if ss.Resyncing {
+		return "resyncing"
+	}
+	return "attached"
+}
+
+func (c *opsClient) procs() error {
+	var view admin.ProcsView
+	if err := c.get("/v1/procs", &view); err != nil {
+		return err
+	}
+	if view.Total == 0 {
+		fmt.Fprintln(out, "no placed processes (single-process lab)")
+		return nil
+	}
+	fmt.Fprintf(out, "%-12s %-8s %-10s %-7s %-9s %s\n", "GROUP", "ROLE", "PROC", "PID", "STATE", "DETAIL")
+	for _, p := range view.Procs {
+		hosts := ""
+		if len(p.Switches) > 0 {
+			hosts = fmt.Sprintf("switches=%v", p.Switches)
+		}
+		if len(p.Agents) > 0 {
+			hosts = fmt.Sprintf("agents=%v", p.Agents)
+		}
+		detail := p.Detail
+		if detail == "" {
+			detail = hosts
+		} else if hosts != "" {
+			detail = hosts + " " + detail
+		}
+		fmt.Fprintf(out, "%-12s %-8s %-10s %-7d %-9s %s\n",
+			p.Name, p.Role, p.Proc, p.PID, p.State, detail)
+	}
+	fmt.Fprintf(out, "-- %d processes\n", view.Total)
 	return nil
 }
 
@@ -224,7 +367,7 @@ func (c *opsClient) history(id uint64) error {
 	if !view.Live {
 		state = "removed"
 	}
-	fmt.Fprintf(out, "subscription %d (%s): %d verdict transitions\n", view.SubID, state, len(view.Verdicts))
+	fmt.Fprintf(out, "subscription %d (%s): %d verdict transitions\n", view.SubID, state, view.Total)
 	for _, v := range view.Verdicts {
 		fmt.Fprintf(out, "  %s %-9s client=%d kind=%s snapshot=%d %s\n",
 			v.At.Format("15:04:05.000"), v.Event, v.Client, v.Kind, v.SnapshotID, v.Detail)
@@ -233,13 +376,13 @@ func (c *opsClient) history(id uint64) error {
 }
 
 func (c *opsClient) resync(sw uint32) error {
-	resp, err := http.Post(fmt.Sprintf("%s/v1/resync?switch=%d", c.base, sw), "", nil)
+	resp, err := c.http.Post(fmt.Sprintf("%s/v1/resync?switch=%d", c.base, sw), "", nil)
 	if err != nil {
-		return fmt.Errorf("rvaasd ops: %w", err)
+		return &connectError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return apiError(resp)
+		return decodeAPIError(resp)
 	}
 	fmt.Fprintf(out, "resync of switch %d triggered\n", sw)
 	return nil

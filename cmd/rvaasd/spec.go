@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/labspec"
+)
+
+// runSpec is the lab-spec toolbox.
+//
+//	rvaasd spec migrate -in lab.yml                  canonical v2 YAML to stdout
+//	rvaasd spec migrate -in lab.yml -out lab.v2.yml  rewrite to a file
+//	rvaasd spec migrate -in lab.yml -format json     canonical v2 JSON
+//
+// migrate parses a v1 or v2 document, validates it, pins schemaVersion to
+// the current revision and re-emits it canonically (YAML subset or JSON).
+func runSpec(args []string) error {
+	if len(args) == 0 || args[0] != "migrate" {
+		return usageErr("rvaasd spec: missing or unknown verb (want migrate)")
+	}
+	fs := flag.NewFlagSet("rvaasd spec migrate", flag.ContinueOnError)
+	in := fs.String("in", "", "spec file to canonicalize (YAML or JSON)")
+	outPath := fs.String("out", "", "output file (default: stdout)")
+	format := fs.String("format", "yaml", "output format: yaml or json")
+	if err := fs.Parse(args[1:]); err != nil {
+		return usageErr("rvaasd spec migrate: %v", err)
+	}
+	if *in == "" {
+		return usageErr("rvaasd spec migrate: -in is required")
+	}
+	spec, err := labspec.Load(*in)
+	if err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", *in, err)
+	}
+	from := spec.Version()
+	spec.Migrate()
+
+	var rendered []byte
+	switch *format {
+	case "yaml":
+		rendered, err = spec.EncodeYAML()
+	case "json":
+		rendered, err = spec.MarshalYAMLCompatJSON()
+		rendered = append(rendered, '\n')
+	default:
+		return usageErr("rvaasd spec migrate: unknown -format %q (want yaml or json)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		fmt.Fprint(out, string(rendered))
+		return nil
+	}
+	if err := os.WriteFile(*outPath, rendered, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "migrated %s (schema v%d) -> %s (schema v%d, %s)\n",
+		*in, from, *outPath, spec.Version(), *format)
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command switchd hosts one placement group of switch simulators as a
+// standalone process. It reads its rendezvous manifest from stdin (the
+// deploy supervisor's spawn path) or from -manifest (externally launched
+// groups), joins the lab controller's trunk with the manifest token, and
+// brings each hosted switch's secure control channel up to the
+// controller's UDP attach listener. SIGINT/SIGTERM exit cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/procplane"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("switchd: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("switchd", flag.ContinueOnError)
+	manifestPath := fs.String("manifest", "", "rendezvous manifest file (default: read manifest from stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		m   *procplane.Manifest
+		err error
+	)
+	if *manifestPath != "" {
+		m, err = procplane.LoadManifest(*manifestPath)
+	} else {
+		m, err = procplane.ReadManifest(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+	if m.Kind != procplane.KindSwitchd {
+		return fmt.Errorf("manifest is for a %q process", m.Kind)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return procplane.RunSwitchd(ctx, m, log.Printf)
+}

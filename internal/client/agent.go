@@ -543,7 +543,14 @@ func (a *Agent) handleNotification(payload []byte) {
 					a.dropped++
 					gap, to = true, n.Seq
 				}
-				if gap && !sub.resubbing && !sub.unsubscribing && !a.closed {
+				// A gap on a subscription whose initial Subscribe ack is
+				// still in flight (ID == 0, routed here by nonce) cannot
+				// recover: there is no server-side id to resync or retire
+				// yet, and re-registering would leak the original
+				// registration as a permanent duplicate. The push that
+				// exposed the gap already carries the freshest verdict;
+				// Subscribe baselines lastSeq when the ack lands.
+				if gap && sub.ID != 0 && !sub.resubbing && !sub.unsubscribing && !a.closed {
 					sub.resubbing = true
 					a.gapsSeen++
 					go a.recoverGap(sub, from, to)
@@ -877,14 +884,16 @@ func (a *Agent) Subscribe(kind wire.QueryKind, constraints []wire.FieldConstrain
 	if ack.Event == wire.NotifyError {
 		return fail(fmt.Errorf("client: subscription rejected: %s", ack.Detail))
 	}
-	sub.ID = ack.SubID
-	sub.InitialStatus = ack.Status
-	sub.InitialDetail = ack.Detail
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
 		return fail(ErrClosed)
 	}
+	// ID is assigned under the lock: the notification handler reads it to
+	// decide whether gap recovery may run (pushes can race the ack).
+	sub.ID = ack.SubID
+	sub.InitialStatus = ack.Status
+	sub.InitialDetail = ack.Detail
 	// An initially-violated invariant consumes sequence numbers without a
 	// push existing for them (the ack carries the verdict); baseline gap
 	// detection on the ack's seq. Only raise: a push racing the ack may

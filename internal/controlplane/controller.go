@@ -28,21 +28,61 @@ const (
 	CookieAttack uint64 = 0xBAD0_0000
 )
 
+// Programmer abstracts "apply this flow modification on that switch" so the
+// provider control plane can program datapaths it does not host. The
+// in-process fabric is the default implementation; a placed lab substitutes
+// a programmer that routes the mod over the process trunk to the switchd
+// child hosting the switch.
+type Programmer interface {
+	Program(sw topology.SwitchID, mod *openflow.FlowMod) error
+}
+
 // Controller is the provider's network controller.
 type Controller struct {
+	// fab is the in-process fabric (nil when programming runs through a
+	// remote Programmer only; the attack simulators need a local fabric).
 	fab  *fabric.Fabric
 	topo *topology.Topology
+	prog Programmer
 	// priority of legitimate routing rules.
 	routePriority uint16
 }
 
 // New binds a controller to a fabric.
 func New(fab *fabric.Fabric) *Controller {
-	return &Controller{fab: fab, topo: fab.Topology(), routePriority: 100}
+	return &Controller{fab: fab, topo: fab.Topology(), prog: fabricProgrammer{fab}, routePriority: 100}
 }
 
-// Fabric returns the managed fabric.
+// NewWithProgrammer binds a controller to an arbitrary programming plane —
+// for deployments whose switches live (partly) in other processes. The
+// attack/compromise simulators require an in-process fabric and must not be
+// used on a controller built this way.
+func NewWithProgrammer(topo *topology.Topology, prog Programmer) *Controller {
+	return &Controller{topo: topo, prog: prog, routePriority: 100}
+}
+
+// Fabric returns the managed fabric (nil with a remote programming plane).
 func (c *Controller) Fabric() *fabric.Fabric { return c.fab }
+
+// fabricProgrammer applies flow mods to in-process datapaths.
+type fabricProgrammer struct{ fab *fabric.Fabric }
+
+func (p fabricProgrammer) Program(sw topology.SwitchID, mod *openflow.FlowMod) error {
+	dp := p.fab.Switch(sw)
+	if dp == nil {
+		return fmt.Errorf("controlplane: no datapath for switch %d", sw)
+	}
+	return dp.ApplyFlowMod(mod)
+}
+
+// install / remove route one rule change through the programming plane.
+func (c *Controller) install(sw topology.SwitchID, e openflow.FlowEntry) error {
+	return c.prog.Program(sw, &openflow.FlowMod{Command: openflow.FlowAdd, Entry: e})
+}
+
+func (c *Controller) remove(sw topology.SwitchID, e openflow.FlowEntry) error {
+	return c.prog.Program(sw, &openflow.FlowMod{Command: openflow.FlowDeleteStrict, Entry: e})
+}
 
 // InstallAllPairs installs destination-based shortest-path routing between
 // every pair of access points.
@@ -74,7 +114,9 @@ func (c *Controller) InstallDestinationTree(dst topology.AccessPoint) error {
 				return fmt.Errorf("controlplane: no port from %d toward %d", sw, path[1])
 			}
 		}
-		c.fab.Switch(sw).InstallDirect(routingEntry(c.routePriority, dst.HostIP, uint32(out)))
+		if err := c.install(sw, routingEntry(c.routePriority, dst.HostIP, uint32(out))); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -141,7 +183,9 @@ func (c *Controller) installPinnedPath(src, dst topology.AccessPoint) error {
 			Actions: []openflow.Action{openflow.Output(uint32(out))},
 			Cookie:  CookieRouting | uint64(src.HostIP&0xFFF)<<12 | uint64(dst.HostIP&0xFFF),
 		}
-		c.fab.Switch(sw).InstallDirect(e)
+		if err := c.install(sw, e); err != nil {
+			return err
+		}
 		if i < len(path)-1 {
 			// The far end of this hop is the next switch's ingress port.
 			peer, ok := c.topo.Peer(topology.Endpoint{Switch: sw, Port: out})
@@ -157,17 +201,17 @@ func (c *Controller) installPinnedPath(src, dst topology.AccessPoint) error {
 // UninstallDestination removes the destination tree for an IP.
 func (c *Controller) UninstallDestination(dstIP uint32) {
 	for _, sw := range c.topo.Switches() {
-		c.fab.Switch(sw).RemoveDirect(routingEntry(c.routePriority, dstIP, 0))
+		_ = c.remove(sw, routingEntry(c.routePriority, dstIP, 0))
 	}
 }
 
 // InstallEntry places an arbitrary rule on a switch through the provider's
 // (untrusted) control session. Attacks use this.
 func (c *Controller) InstallEntry(sw topology.SwitchID, e openflow.FlowEntry) {
-	c.fab.Switch(sw).InstallDirect(e)
+	_ = c.install(sw, e)
 }
 
 // RemoveEntry removes a rule (strict match) through the provider session.
 func (c *Controller) RemoveEntry(sw topology.SwitchID, e openflow.FlowEntry) {
-	c.fab.Switch(sw).RemoveDirect(e)
+	_ = c.remove(sw, e)
 }

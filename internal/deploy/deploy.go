@@ -77,6 +77,11 @@ type Options struct {
 	Transport string
 	// MaxWorkers bounds concurrent switch bring-up (0 = default 8).
 	MaxWorkers int
+	// Heartbeat enables controller-side session liveness probing at this
+	// period (0 = disabled). Multi-process placements set it: a UDP channel
+	// to a dead switchd process delivers no transport-close signal, so only
+	// missed heartbeats reveal the loss.
+	Heartbeat time.Duration
 }
 
 // Deployment is a running system.
@@ -90,6 +95,9 @@ type Deployment struct {
 	// Agents maps client id -> agent (one per access point; when a client
 	// has several access points the first wins).
 	Agents map[uint64]*client.Agent
+	// Placed is the multi-process runtime (trunk hub, attach listener,
+	// child supervision); nil for single-process deployments.
+	Placed *Placement
 
 	opt Options
 	// ownedStore is a persistence store opened by FromSpec on the
@@ -109,6 +117,7 @@ func (opt Options) rvaasConfig(topo *topology.Topology, platform *enclave.Platfo
 		Clock:              opt.Clock,
 		ManualRecheck:      opt.ManualRecheck,
 		RecheckParallelism: opt.RecheckParallelism,
+		HeartbeatInterval:  opt.Heartbeat,
 		Persist:            opt.Persist,
 	}
 }
@@ -136,7 +145,13 @@ func (opt Options) connectPair(ctlID *openflow.Identity, ctlCert openflow.Certif
 // in-flight bring-ups are still waited for so the caller can tear down
 // safely.
 func attachSwitches(topo *topology.Topology, fab *fabric.Fabric, ctl *rvaas.Controller, ca *openflow.CA, ctlID *openflow.Identity, ctlCert openflow.Certificate, opt Options) error {
-	switches := topo.Switches()
+	return attachSwitchList(topo.Switches(), fab, ctl, ca, ctlID, ctlCert, opt)
+}
+
+// attachSwitchList is attachSwitches over an explicit switch subset —
+// placed deployments bring only their in-process share up this way, the
+// rest attach over the network.
+func attachSwitchList(switches []topology.SwitchID, fab *fabric.Fabric, ctl *rvaas.Controller, ca *openflow.CA, ctlID *openflow.Identity, ctlCert openflow.Certificate, opt Options) error {
 	workers := opt.MaxWorkers
 	if workers <= 0 {
 		workers = defaultBringUpWorkers
@@ -268,11 +283,31 @@ func New(topo *topology.Topology, opt Options) (*Deployment, error) {
 // subscribe path, so a deployed lab starts with its standing invariants
 // already under verification.
 func FromSpec(spec *labspec.Spec) (*Deployment, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
+	return FromSpecPlaced(spec, PlacedConfig{})
+}
+
+// multiProcess reports whether the spec places any group outside the
+// controller process.
+func multiProcess(spec *labspec.Spec) bool {
+	if spec.Placement == nil {
+		return false
 	}
-	topo, err := spec.Topology.Build()
-	if err != nil {
+	for _, g := range spec.Placement.Groups {
+		if g.Proc != labspec.ProcInProc {
+			return true
+		}
+	}
+	return false
+}
+
+// FromSpecPlaced is FromSpec with multi-process bring-up configuration.
+// Specs whose placement section puts groups in local-exec or external
+// processes come up as placed labs: child processes (or externally
+// launched ones) host their switches and agents, joined over the trunk,
+// with switch control channels on the UDP attach listener. Specs without
+// such a placement behave exactly as FromSpec.
+func FromSpecPlaced(spec *labspec.Spec, pc PlacedConfig) (*Deployment, error) {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	opt := Options{
@@ -299,7 +334,21 @@ func FromSpec(spec *labspec.Spec) (*Deployment, error) {
 		opt.Persist = store
 		owned = store
 	}
-	d, err := New(topo, opt)
+	var (
+		d        *Deployment
+		err      error
+		placedAg map[uint64]string
+	)
+	if multiProcess(spec) {
+		placedAg = spec.Placement.PlacedAgents()
+		d, err = fromPlacedSpec(spec, opt, pc)
+	} else {
+		var topo *topology.Topology
+		topo, err = spec.Topology.Build()
+		if err == nil {
+			d, err = New(topo, opt)
+		}
+	}
 	if err != nil {
 		if owned != nil {
 			owned.Close()
@@ -308,6 +357,11 @@ func FromSpec(spec *labspec.Spec) (*Deployment, error) {
 	}
 	d.ownedStore = owned
 	for _, inv := range spec.Invariants {
+		if _, placed := placedAg[inv.Client]; placed {
+			// The hosting agentd registers this invariant itself over its
+			// own in-band path after joining.
+			continue
+		}
 		ag := d.Agent(inv.Client)
 		if ag == nil {
 			d.Close()
@@ -376,6 +430,9 @@ func (d *Deployment) Agent(id uint64) *client.Agent { return d.Agents[id] }
 // enclave's signing key here, standing in for the attested key re-exchange
 // a real client performs after noticing a restart.
 func (d *Deployment) RestartRVaaS() error {
+	if d.Placed != nil {
+		return fmt.Errorf("deploy: RestartRVaaS is not supported for placed labs (placed switches hold live channels to the old instance)")
+	}
 	d.RVaaS.Close()
 	ctl, err := rvaas.New(d.opt.rvaasConfig(d.Topology, d.Platform, 1))
 	if err != nil {
@@ -403,23 +460,34 @@ func (d *Deployment) RestartRVaaS() error {
 // teardown bounded by ctx. On ctx expiry the current stage keeps finishing
 // in the background and Shutdown reports which stage was interrupted.
 func (d *Deployment) Shutdown(ctx context.Context) error {
-	stages := []struct {
+	type stageT struct {
 		name string
 		fn   func()
-	}{
+	}
+	stages := []stageT{
 		{"agents", func() {
 			for _, ag := range d.Agents {
 				ag.Close()
 			}
 		}},
-		{"rvaas", d.RVaaS.Close},
-		{"fabric", d.Fabric.Close},
-		{"persistence", func() {
+	}
+	if d.Placed != nil {
+		// Process plane next: SIGTERM local children, grace, SIGKILL
+		// stragglers; close the trunk so external processes exit too.
+		stages = append(stages, stageT{"procs", func() { d.Placed.stop(ctx) }})
+	}
+	stages = append(stages, stageT{"rvaas", d.RVaaS.Close})
+	if d.Placed != nil {
+		stages = append(stages, stageT{"listeners", d.Placed.closeListeners})
+	}
+	stages = append(stages,
+		stageT{"fabric", d.Fabric.Close},
+		stageT{"persistence", func() {
 			if d.ownedStore != nil {
 				d.ownedStore.Close()
 			}
 		}},
-	}
+	)
 	for _, stage := range stages {
 		done := make(chan struct{})
 		go func(fn func()) {

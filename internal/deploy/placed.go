@@ -1,0 +1,951 @@
+package deploy
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controlplane"
+	"repro/internal/enclave"
+	"repro/internal/fabric"
+	"repro/internal/labspec"
+	"repro/internal/openflow"
+	"repro/internal/procplane"
+	"repro/internal/rvaas"
+	"repro/internal/rvaas/admin"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Placed-lab defaults.
+const (
+	// defaultPlacedHeartbeat is the secure-channel liveness probe period for
+	// multi-process labs when the spec does not choose one: a SIGKILLed
+	// switchd gives no transport-close signal over UDP, so only missed
+	// heartbeats reveal the loss.
+	defaultPlacedHeartbeat = 200 * time.Millisecond
+	// defaultJoinTimeout bounds waiting for every placed group to join and
+	// its switches to attach.
+	defaultJoinTimeout = 30 * time.Second
+	// beatStale is how long without a trunk beat before a joined process is
+	// reported degraded.
+	beatStale = 8 * procplane.BeatInterval
+)
+
+// PlacedConfig tunes multi-process bring-up (FromSpecPlaced). The zero
+// value resolves switchd/agentd from PATH and discards child logs.
+type PlacedConfig struct {
+	// ChildCommand returns the argv used to spawn a local-exec child of the
+	// given kind ("switchd" or "agentd"). Nil resolves the kind from PATH.
+	ChildCommand func(kind string) []string
+	// Logf receives deployment and child-process log lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// procGroup is the controller-side state of one placed process group.
+type procGroup struct {
+	spec labspec.PlacementGroup
+	role string // procplane.KindSwitchd or KindAgentd
+	// token is the effective join token (generated for tokenless
+	// local-exec groups).
+	token string
+
+	mu       sync.Mutex
+	conn     *procplane.Conn
+	lastBeat time.Time
+	joins    int
+	detail   string
+	child    *ChildProc
+	joinedC  chan struct{} // closed on first successful join
+}
+
+func (g *procGroup) send(typ byte, payload []byte) {
+	g.mu.Lock()
+	tc := g.conn
+	g.mu.Unlock()
+	if tc == nil {
+		return // process gone: the frame is lost, the health view degrades
+	}
+	_ = tc.Write(typ, payload)
+}
+
+// Placement is the runtime of a multi-process lab: the TCP trunk hub the
+// placed processes join and exchange data-plane frames over, the UDP attach
+// listener their switches bring secure control channels up to, and the
+// supervisor state of locally spawned children.
+type Placement struct {
+	spec     *labspec.Spec
+	specJSON []byte
+	topo     *topology.Topology
+	fab      *fabric.Fabric
+	ctl      *rvaas.Controller
+	ca       *openflow.CA
+	ctlID    *openflow.Identity
+	ctlCert  openflow.Certificate
+	// Join-ack trust material for agentd children.
+	platformRoot []byte
+	measurement  []byte
+	serverKey    []byte
+
+	ln   net.Listener
+	mux  *openflow.UDPMux
+	logf func(string, ...any)
+
+	mu       sync.Mutex
+	groups   map[string]*procGroup
+	bySwitch map[topology.SwitchID]*procGroup
+	byClient map[uint64]*procGroup
+	// hostHandlers are the controller-process agents' NIC receive paths
+	// (edge deliveries route here when the owning fabric is remote).
+	hostHandlers map[topology.Endpoint]fabric.HostHandler
+	// apGroup maps a placed agent's access endpoint to its hosting group.
+	apGroup map[topology.Endpoint]*procGroup
+	closed  bool
+	wg      sync.WaitGroup
+
+	childCmd func(kind string) []string
+}
+
+// TrunkAddr reports the trunk listen address.
+func (p *Placement) TrunkAddr() string { return p.ln.Addr().String() }
+
+// AttachAddr reports the UDP secure-channel attach address.
+func (p *Placement) AttachAddr() string { return p.mux.Addr().String() }
+
+// Child returns the supervised child process of a group (nil when the
+// group is external or has not been spawned).
+func (p *Placement) Child(name string) *ChildProc {
+	p.mu.Lock()
+	g := p.groups[name]
+	p.mu.Unlock()
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.child
+}
+
+// newToken generates a random join token.
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("deploy: token: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// remoteDeliver is the controller fabric's cross-seam hand-off.
+func (p *Placement) remoteDeliver(to topology.Endpoint, host bool, pkt *wire.Packet) {
+	if host {
+		p.deliverHost(to, pkt)
+		return
+	}
+	p.mu.Lock()
+	g := p.bySwitch[to.Switch]
+	p.mu.Unlock()
+	if g == nil {
+		return
+	}
+	g.send(procplane.MsgFramePort, procplane.EncodeFrame(to, pkt))
+}
+
+// deliverHost routes an edge delivery to whichever process hosts the
+// endpoint's agent: a controller-process handler or an agentd group.
+func (p *Placement) deliverHost(ep topology.Endpoint, pkt *wire.Packet) {
+	p.mu.Lock()
+	h := p.hostHandlers[ep]
+	g := p.apGroup[ep]
+	p.mu.Unlock()
+	if h != nil {
+		h(pkt)
+		return
+	}
+	if g != nil {
+		g.send(procplane.MsgFrameHost, procplane.EncodeFrame(ep, pkt))
+	}
+}
+
+// routeInject enters a host-originated frame into the fabric that owns its
+// access switch. Controller-process agents use this as their NIC; trunk
+// MsgFrameInject traffic from agentd children lands here too.
+func (p *Placement) routeInject(ep topology.Endpoint, pkt *wire.Packet) error {
+	if p.fab.Owns(ep.Switch) {
+		return p.fab.InjectFromHost(ep, pkt)
+	}
+	p.mu.Lock()
+	g := p.bySwitch[ep.Switch]
+	p.mu.Unlock()
+	if g == nil {
+		return fmt.Errorf("deploy: no process places switch %d", ep.Switch)
+	}
+	g.send(procplane.MsgFrameInject, procplane.EncodeFrame(ep, pkt))
+	return nil
+}
+
+// placedNIC adapts routeInject to the client agent NIC interface.
+type placedNIC struct{ p *Placement }
+
+func (n placedNIC) InjectFromHost(ep topology.Endpoint, pkt *wire.Packet) error {
+	return n.p.routeInject(ep, pkt)
+}
+
+// placedProgrammer routes provider flow programming to the process hosting
+// each switch: locally owned datapaths directly, placed ones over the trunk
+// (fire-and-forget — the programming plane is the untrusted provider path;
+// the verification plane audits actual switch state over its own channel).
+type placedProgrammer struct{ p *Placement }
+
+func (pp placedProgrammer) Program(sw topology.SwitchID, mod *openflow.FlowMod) error {
+	if dp := pp.p.fab.Switch(sw); dp != nil {
+		return dp.ApplyFlowMod(mod)
+	}
+	pp.p.mu.Lock()
+	g := pp.p.bySwitch[sw]
+	pp.p.mu.Unlock()
+	if g == nil {
+		return fmt.Errorf("deploy: no process places switch %d", sw)
+	}
+	g.mu.Lock()
+	joined := g.conn != nil
+	g.mu.Unlock()
+	if !joined {
+		return fmt.Errorf("deploy: group %s not joined, cannot program switch %d", g.spec.Name, sw)
+	}
+	g.send(procplane.MsgFlowMod, procplane.EncodeFlowMod(sw, mod))
+	return nil
+}
+
+// acceptTrunk accepts placed-process trunk connections for the lab's
+// lifetime.
+func (p *Placement) acceptTrunk() {
+	defer p.wg.Done()
+	for {
+		nc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serveTrunkConn(procplane.NewConn(nc))
+		}()
+	}
+}
+
+// serveTrunkConn runs one trunk connection: join handshake, then frame /
+// beat / register traffic until the peer goes away.
+func (p *Placement) serveTrunkConn(tc *procplane.Conn) {
+	g, err := p.handleJoin(tc)
+	if err != nil {
+		p.logf("deploy: trunk join from %s refused: %v", tc.RemoteAddr(), err)
+		_ = tc.WriteJSON(procplane.MsgJoinAck, &procplane.JoinAck{Error: err.Error()})
+		tc.Close()
+		return
+	}
+	defer func() {
+		tc.Close()
+		g.mu.Lock()
+		if g.conn == tc {
+			g.conn = nil
+			g.detail = "trunk connection lost"
+		}
+		g.mu.Unlock()
+	}()
+	for {
+		typ, payload, err := tc.Read()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case procplane.MsgBeat:
+			g.mu.Lock()
+			g.lastBeat = time.Now()
+			g.mu.Unlock()
+		case procplane.MsgFramePort:
+			ep, pkt, err := procplane.DecodeFrame(payload)
+			if err != nil {
+				p.logf("deploy: trunk %s: %v", g.spec.Name, err)
+				continue
+			}
+			if p.fab.Owns(ep.Switch) {
+				if err := p.fab.InjectAtPort(ep, pkt); err != nil {
+					p.logf("deploy: trunk %s: %v", g.spec.Name, err)
+				}
+				continue
+			}
+			// A seam between two child processes: relay.
+			p.mu.Lock()
+			dst := p.bySwitch[ep.Switch]
+			p.mu.Unlock()
+			if dst != nil {
+				dst.send(procplane.MsgFramePort, payload)
+			}
+		case procplane.MsgFrameHost:
+			ep, pkt, err := procplane.DecodeFrame(payload)
+			if err != nil {
+				p.logf("deploy: trunk %s: %v", g.spec.Name, err)
+				continue
+			}
+			p.deliverHost(ep, pkt)
+		case procplane.MsgFrameInject:
+			ep, pkt, err := procplane.DecodeFrame(payload)
+			if err != nil {
+				p.logf("deploy: trunk %s: %v", g.spec.Name, err)
+				continue
+			}
+			if err := p.routeInject(ep, pkt); err != nil {
+				p.logf("deploy: trunk %s: %v", g.spec.Name, err)
+			}
+		case procplane.MsgRegister:
+			var reg procplane.Register
+			if err := json.Unmarshal(payload, &reg); err != nil {
+				_ = tc.WriteJSON(procplane.MsgRegisterAck, &procplane.RegisterAck{Error: err.Error()})
+				continue
+			}
+			if err := p.registerAgents(g, reg.Keys); err != nil {
+				_ = tc.WriteJSON(procplane.MsgRegisterAck, &procplane.RegisterAck{Error: err.Error()})
+				continue
+			}
+			_ = tc.WriteJSON(procplane.MsgRegisterAck, &procplane.RegisterAck{})
+		default:
+			p.logf("deploy: trunk %s: unexpected message type %d", g.spec.Name, typ)
+		}
+	}
+}
+
+// handleJoin validates a join request against the placement spec and, on
+// success, issues switch certificates and acks with the lab's credentials.
+func (p *Placement) handleJoin(tc *procplane.Conn) (*procGroup, error) {
+	tc.SetReadDeadline(time.Now().Add(defaultJoinTimeout))
+	typ, payload, err := tc.Read()
+	tc.SetReadDeadline(time.Time{})
+	if err != nil {
+		return nil, fmt.Errorf("reading join: %w", err)
+	}
+	if typ != procplane.MsgJoin {
+		return nil, fmt.Errorf("expected join, got message type %d", typ)
+	}
+	var jr procplane.JoinRequest
+	if err := json.Unmarshal(payload, &jr); err != nil {
+		return nil, fmt.Errorf("join request: %w", err)
+	}
+	if jr.Lab != p.spec.Name {
+		return nil, fmt.Errorf("join for lab %q, this controller runs %q", jr.Lab, p.spec.Name)
+	}
+	p.mu.Lock()
+	g := p.groups[jr.Group]
+	p.mu.Unlock()
+	if g == nil {
+		return nil, fmt.Errorf("unknown placement group %q", jr.Group)
+	}
+	if subtle.ConstantTimeCompare([]byte(jr.Token), []byte(g.token)) != 1 {
+		return nil, fmt.Errorf("bad token for group %q", jr.Group)
+	}
+	if jr.Kind != g.role {
+		return nil, fmt.Errorf("group %q is a %s group, join says %s", jr.Group, g.role, jr.Kind)
+	}
+	ack := procplane.JoinAck{Spec: p.specJSON, CAPub: p.ca.Pub}
+	switch g.role {
+	case procplane.KindSwitchd:
+		want := make(map[uint32]bool, len(g.spec.Switches))
+		for _, sw := range g.spec.Switches {
+			want[sw] = true
+		}
+		if len(jr.SwitchKeys) != len(want) {
+			return nil, fmt.Errorf("group %q places %d switches, join presents %d keys", jr.Group, len(want), len(jr.SwitchKeys))
+		}
+		ack.AttachAddr = p.mux.Addr().String()
+		ack.Certs = make(map[uint32]openflow.Certificate, len(jr.SwitchKeys))
+		for sw, pub := range jr.SwitchKeys {
+			if !want[sw] {
+				return nil, fmt.Errorf("group %q does not place switch %d", jr.Group, sw)
+			}
+			ack.Certs[sw] = p.ca.IssueKey(fmt.Sprintf("switch-%d", sw), pub)
+		}
+	case procplane.KindAgentd:
+		want := make(map[uint64]bool, len(g.spec.Agents))
+		for _, id := range g.spec.Agents {
+			want[id] = true
+		}
+		for _, id := range jr.Agents {
+			if !want[id] {
+				return nil, fmt.Errorf("group %q does not place client %d", jr.Group, id)
+			}
+		}
+		ack.PlatformRoot = p.platformRoot
+		ack.Measurement = p.measurement
+		ack.ServerKey = p.serverKey
+	}
+	g.mu.Lock()
+	if g.conn != nil {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("group %q already joined", jr.Group)
+	}
+	g.conn = tc
+	g.lastBeat = time.Now()
+	g.joins++
+	g.detail = ""
+	joined := g.joinedC
+	g.mu.Unlock()
+	if err := tc.WriteJSON(procplane.MsgJoinAck, &ack); err != nil {
+		g.mu.Lock()
+		if g.conn == tc {
+			g.conn = nil
+		}
+		g.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case <-joined:
+	default:
+		close(joined)
+	}
+	p.logf("deploy: group %s joined (%s)", g.spec.Name, g.role)
+	return g, nil
+}
+
+// registerAgents records an agentd group's client verification keys with
+// the verification controller and routes their access points' host
+// deliveries to the group.
+func (p *Placement) registerAgents(g *procGroup, keys map[uint64][]byte) error {
+	if g.role != procplane.KindAgentd {
+		return fmt.Errorf("group %q is not an agentd group", g.spec.Name)
+	}
+	placed := make(map[uint64]bool, len(g.spec.Agents))
+	for _, id := range g.spec.Agents {
+		placed[id] = true
+	}
+	for id := range keys {
+		if !placed[id] {
+			return fmt.Errorf("group %q does not place client %d", g.spec.Name, id)
+		}
+	}
+	for id, key := range keys {
+		p.ctl.RegisterClient(id, key)
+	}
+	p.mu.Lock()
+	for _, ap := range p.topo.AccessPoints() {
+		if placed[ap.ClientID] {
+			p.apGroup[ap.Endpoint] = g
+		}
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// acceptAttach accepts switch secure-channel handshakes on the UDP mux and
+// attaches each authenticated switch to the verification controller.
+func (p *Placement) acceptAttach() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.mux.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			sc, err := openflow.SecureServer(conn, p.ctlID, p.ctlCert, p.ca.Pub)
+			if err != nil {
+				p.logf("deploy: attach handshake from %s: %v", conn.PeerAddr(), err)
+				conn.Close()
+				return
+			}
+			var sw uint32
+			if _, err := fmt.Sscanf(sc.PeerName(), "switch-%d", &sw); err != nil {
+				p.logf("deploy: attach peer %q is not a switch identity", sc.PeerName())
+				sc.Close()
+				return
+			}
+			swID := topology.SwitchID(sw)
+			p.mu.Lock()
+			g := p.bySwitch[swID]
+			p.mu.Unlock()
+			if g == nil {
+				p.logf("deploy: switch %d attached but no group places it", sw)
+				sc.Close()
+				return
+			}
+			err = p.ctl.Attach(swID, sc)
+			if err != nil && strings.Contains(err.Error(), "already attached") {
+				// A rejoining process raced the heartbeat detach of its dead
+				// predecessor: retire the stale session and attach fresh.
+				p.ctl.Detach(swID)
+				err = p.ctl.Attach(swID, sc)
+			}
+			if err != nil {
+				p.logf("deploy: attach switch %d: %v", sw, err)
+				sc.Close()
+				return
+			}
+			p.logf("deploy: switch %d attached from group %s", sw, g.spec.Name)
+		}()
+	}
+}
+
+// ProcHealth reports per-process health for the admin API: trunk liveness,
+// child-process state, and (for switchd groups) control-session health.
+func (p *Placement) ProcHealth() []admin.ProcHealth {
+	sessions := make(map[topology.SwitchID]rvaas.SwitchSessionInfo)
+	for _, ss := range p.ctl.SwitchSessions() {
+		sessions[ss.Switch] = ss
+	}
+	p.mu.Lock()
+	groups := make([]*procGroup, 0, len(p.groups))
+	for _, g := range p.groups {
+		groups = append(groups, g)
+	}
+	p.mu.Unlock()
+	out := make([]admin.ProcHealth, 0, len(groups))
+	for _, g := range groups {
+		g.mu.Lock()
+		h := admin.ProcHealth{
+			Name:     g.spec.Name,
+			Role:     g.role,
+			Proc:     g.spec.Proc,
+			Switches: g.spec.Switches,
+			Agents:   g.spec.Agents,
+			Detail:   g.detail,
+		}
+		joined := g.conn != nil
+		stale := joined && time.Since(g.lastBeat) > beatStale
+		child := g.child
+		g.mu.Unlock()
+		exited := false
+		if child != nil {
+			h.PID = child.PID()
+			exited, _ = child.Exited()
+		}
+		switch {
+		case exited:
+			h.State = admin.ProcStateExited
+			if h.Detail == "" {
+				h.Detail = "child process exited"
+			}
+		case !joined:
+			h.State = admin.ProcStateDegraded
+			if h.Detail == "" {
+				h.Detail = "not joined"
+			}
+		case stale:
+			h.State = admin.ProcStateDegraded
+			h.Detail = "trunk beats stale"
+		default:
+			h.State = admin.ProcStateRunning
+			for _, sw := range g.spec.Switches {
+				if ss, ok := sessions[topology.SwitchID(sw)]; !ok || !ss.Attached() {
+					h.State = admin.ProcStateDegraded
+					h.Detail = fmt.Sprintf("switch %d session %s", sw, ss.State)
+					break
+				}
+			}
+		}
+		out = append(out, h)
+	}
+	sortProcHealth(out)
+	return out
+}
+
+func sortProcHealth(hs []admin.ProcHealth) {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j].Name < hs[j-1].Name; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
+}
+
+// manifestFor renders a group's rendezvous manifest.
+func (p *Placement) manifestFor(g *procGroup) *procplane.Manifest {
+	return &procplane.Manifest{
+		Lab: p.spec.Name, Group: g.spec.Name, Kind: g.role,
+		Token: g.token, Trunk: p.TrunkAddr(),
+		Switches: g.spec.Switches, Agents: g.spec.Agents,
+	}
+}
+
+// Respawn relaunches a local-exec group's child process after it died (the
+// operator recovery path). The fresh process rejoins the trunk with the
+// group's token and its switches re-attach over new secure channels,
+// converging via forced resync.
+func (p *Placement) Respawn(name string) error {
+	p.mu.Lock()
+	g := p.groups[name]
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return fmt.Errorf("deploy: lab is shut down")
+	}
+	if g == nil {
+		return fmt.Errorf("deploy: unknown placement group %q", name)
+	}
+	if g.spec.Proc != labspec.ProcLocalExec {
+		return fmt.Errorf("deploy: group %q is %s, only local-exec groups can be respawned", name, g.spec.Proc)
+	}
+	g.mu.Lock()
+	old := g.child
+	g.mu.Unlock()
+	if old != nil {
+		if exited, _ := old.Exited(); !exited {
+			return fmt.Errorf("deploy: group %q child (pid %d) is still running", name, old.PID())
+		}
+	}
+	child, err := spawnChild(g.spec.Name, g.role, p.childCmd(g.role), p.manifestFor(g), p.logf)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.child = child
+	g.detail = ""
+	g.mu.Unlock()
+	return nil
+}
+
+// stop tears the process plane down: stop accepting joins, close trunks
+// (placed processes exit when their trunk closes), and stop local children
+// (SIGTERM, grace, SIGKILL) bounded by ctx.
+func (p *Placement) stop(ctx context.Context) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	groups := make([]*procGroup, 0, len(p.groups))
+	for _, g := range p.groups {
+		groups = append(groups, g)
+	}
+	p.mu.Unlock()
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	var children []*ChildProc
+	for _, g := range groups {
+		g.mu.Lock()
+		if g.conn != nil {
+			g.conn.Close()
+		}
+		if g.child != nil {
+			children = append(children, g.child)
+		}
+		g.mu.Unlock()
+	}
+	if killed := stopChildren(ctx, children); len(killed) > 0 {
+		p.logf("deploy: killed unresponsive children: %v", killed)
+	}
+}
+
+// closeListeners shuts the attach mux down (after the controller released
+// its sessions) and waits for the accept loops and per-conn goroutines.
+func (p *Placement) closeListeners() {
+	if p.mux != nil {
+		p.mux.Close()
+	}
+	p.wg.Wait()
+}
+
+// fromPlacedSpec brings a multi-process lab up: the controller process
+// hosts the verification controller, the provider programming plane, the
+// fabric share of in-proc switches and the non-placed agents; every placed
+// group runs in its own process joined over the trunk.
+func fromPlacedSpec(spec *labspec.Spec, opt Options, pc PlacedConfig) (*Deployment, error) {
+	topo, err := spec.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	if opt.AuthTimeout == 0 {
+		opt.AuthTimeout = 250 * time.Millisecond
+	}
+	if opt.Heartbeat == 0 {
+		opt.Heartbeat = defaultPlacedHeartbeat
+	}
+	logf := pc.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	userCmd := pc.ChildCommand
+	childCmd := func(kind string) []string {
+		if userCmd != nil {
+			if argv := userCmd(kind); len(argv) > 0 {
+				return argv
+			}
+		}
+		return defaultChildCommand(kind)
+	}
+	// (stored on the Placement below for Respawn)
+
+	placedSw := spec.Placement.PlacedSwitches()
+	var owned []topology.SwitchID
+	for _, sw := range topo.Switches() {
+		if _, ok := placedSw[uint32(sw)]; !ok {
+			owned = append(owned, sw)
+		}
+	}
+
+	p := &Placement{
+		spec:         spec,
+		topo:         topo,
+		logf:         logf,
+		groups:       make(map[string]*procGroup),
+		bySwitch:     make(map[topology.SwitchID]*procGroup),
+		byClient:     make(map[uint64]*procGroup),
+		hostHandlers: make(map[topology.Endpoint]fabric.HostHandler),
+		apGroup:      make(map[topology.Endpoint]*procGroup),
+	}
+	p.childCmd = childCmd
+	spec.Migrate()
+	p.specJSON, err = json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	fab, err := fabric.NewPartial(topo, owned, p.remoteDeliver)
+	if err != nil {
+		return nil, err
+	}
+	p.fab = fab
+	fail := func(err error) (*Deployment, error) {
+		p.stop(context.Background())
+		if p.mux != nil {
+			p.mux.Close()
+		}
+		p.wg.Wait()
+		if p.ctl != nil {
+			p.ctl.Close()
+		}
+		fab.Close()
+		return nil, err
+	}
+
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return fail(err)
+	}
+	p.ctl, err = rvaas.New(opt.rvaasConfig(topo, platform, 0))
+	if err != nil {
+		return fail(err)
+	}
+
+	// PKI + listeners.
+	p.ca, err = openflow.NewCA()
+	if err != nil {
+		return fail(err)
+	}
+	p.ctlID, err = openflow.NewIdentity("rvaas")
+	if err != nil {
+		return fail(err)
+	}
+	p.ctlCert = p.ca.Issue(p.ctlID)
+	trunkAddr := spec.Placement.Trunk
+	if trunkAddr == "" {
+		trunkAddr = "127.0.0.1:0"
+	}
+	p.ln, err = net.Listen("tcp", trunkAddr)
+	if err != nil {
+		return fail(fmt.Errorf("deploy: trunk listener: %w", err))
+	}
+	attachAddr := spec.Placement.Attach
+	if attachAddr == "" {
+		attachAddr = "127.0.0.1:0"
+	}
+	p.mux, err = openflow.ListenUDPMux(attachAddr)
+	if err != nil {
+		return fail(fmt.Errorf("deploy: attach listener: %w", err))
+	}
+	p.platformRoot = platform.RootKey()
+	meas := rvaas.Measurement()
+	p.measurement = meas[:]
+	p.serverKey = p.ctl.PublicKey()
+
+	// Group state; tokens for tokenless local-exec groups.
+	for _, g := range spec.Placement.Groups {
+		if g.Proc == labspec.ProcInProc {
+			continue
+		}
+		pg := &procGroup{spec: g, token: g.Token, joinedC: make(chan struct{})}
+		if len(g.Switches) > 0 {
+			pg.role = procplane.KindSwitchd
+		} else {
+			pg.role = procplane.KindAgentd
+		}
+		if pg.token == "" {
+			if pg.token, err = newToken(); err != nil {
+				return fail(err)
+			}
+		}
+		p.groups[g.Name] = pg
+		for _, sw := range g.Switches {
+			p.bySwitch[topology.SwitchID(sw)] = pg
+		}
+		for _, id := range g.Agents {
+			p.byClient[id] = pg
+		}
+	}
+	p.wg.Add(2)
+	go p.acceptTrunk()
+	go p.acceptAttach()
+
+	// Rendezvous manifests for externally launched groups; spawned children
+	// for local-exec groups (manifest on stdin).
+	for _, pg := range p.groups {
+		m := p.manifestFor(pg)
+		switch pg.spec.Proc {
+		case labspec.ProcExternal:
+			path := filepath.Join(spec.Placement.RendezvousDir, pg.spec.Name+".json")
+			if err := procplane.WriteManifest(path, m); err != nil {
+				return fail(err)
+			}
+			logf("deploy: wrote rendezvous manifest %s", path)
+		case labspec.ProcLocalExec:
+			child, err := spawnChild(pg.spec.Name, pg.role, childCmd(pg.role), m, logf)
+			if err != nil {
+				return fail(err)
+			}
+			pg.mu.Lock()
+			pg.child = child
+			pg.mu.Unlock()
+		}
+	}
+
+	// In-proc switches attach directly. They always use UDP loopback pipes:
+	// a placed lab's channel substrate is lossy by construction, and the
+	// in-memory pipe transport cannot model that.
+	swOpt := opt
+	if swOpt.Transport == "" || swOpt.Transport == labspec.TransportInProc {
+		swOpt.Transport = labspec.TransportUDP
+	}
+	if err := attachSwitchList(owned, fab, p.ctl, p.ca, p.ctlID, p.ctlCert, swOpt); err != nil {
+		return fail(err)
+	}
+
+	// Wait for every placed group to join and every switch session to come
+	// up before programming routing.
+	joinTimeout := spec.Placement.JoinTimeout.Std()
+	if joinTimeout == 0 {
+		joinTimeout = defaultJoinTimeout
+	}
+	deadline := time.Now().Add(joinTimeout)
+	for _, pg := range p.groups {
+		select {
+		case <-pg.joinedC:
+		case <-time.After(time.Until(deadline)):
+			return fail(fmt.Errorf("deploy: group %s did not join within %s", pg.spec.Name, joinTimeout))
+		}
+	}
+	if err := p.waitSwitchesAttached(deadline); err != nil {
+		return fail(err)
+	}
+
+	// Provider routing through the placement-aware programming plane.
+	provider := controlplane.NewWithProgrammer(topo, placedProgrammer{p})
+	if !opt.SkipRouting {
+		var rerr error
+		if opt.TenantRouting {
+			rerr = provider.InstallTenantRouting()
+		} else {
+			rerr = provider.InstallAllPairs()
+		}
+		if rerr != nil {
+			return fail(fmt.Errorf("deploy: install routing: %w", rerr))
+		}
+	}
+
+	d := &Deployment{
+		Topology: topo,
+		Fabric:   fab,
+		Provider: provider,
+		RVaaS:    p.ctl,
+		Platform: platform,
+		CA:       p.ca,
+		Agents:   make(map[uint64]*client.Agent),
+		Placed:   p,
+		opt:      opt,
+	}
+	if !opt.SkipAgents {
+		if err := d.createPlacedAgents(spec.Placement.PlacedAgents()); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	p.ctl.Start()
+	return d, nil
+}
+
+// waitSwitchesAttached polls the controller's session surface until every
+// topology switch has a live session.
+func (p *Placement) waitSwitchesAttached(deadline time.Time) error {
+	for {
+		missing := ""
+		for _, ss := range p.ctl.SwitchSessions() {
+			if !ss.Attached() {
+				missing = fmt.Sprintf("switch %d is %s", ss.Switch, ss.State)
+				break
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("deploy: bring-up incomplete: %s", missing)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// createPlacedAgents builds controller-process agents for every client the
+// placement does not move elsewhere, registering their NIC receive paths
+// with the frame router (not the fabric: their access switch may live in a
+// child process).
+func (d *Deployment) createPlacedAgents(placedAg map[uint64]string) error {
+	p := d.Placed
+	trust := client.TrustAnchors{
+		PlatformRoot: d.Platform.RootKey(),
+		Measurement:  rvaas.Measurement(),
+	}
+	for _, ap := range d.Topology.AccessPoints() {
+		if _, placed := placedAg[ap.ClientID]; placed {
+			continue
+		}
+		ag, exists := d.Agents[ap.ClientID]
+		if !exists {
+			var err error
+			ag, err = client.New(client.Config{
+				ClientID:        ap.ClientID,
+				Access:          ap,
+				NIC:             placedNIC{p},
+				Trust:           trust,
+				Protocol:        d.opt.AgentProtocol,
+				ResponseTimeout: d.opt.AgentResponseTimeout,
+			})
+			if err != nil {
+				return err
+			}
+			ag.PinServerKey(d.RVaaS.PublicKey())
+			d.RVaaS.RegisterClient(ap.ClientID, ag.PublicKey())
+			d.Agents[ap.ClientID] = ag
+		}
+		h := ag.HandlerFor(ap)
+		p.mu.Lock()
+		p.hostHandlers[ap.Endpoint] = h
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// defaultChildCommand resolves the child binaries from PATH.
+func defaultChildCommand(kind string) []string {
+	if path, err := exec.LookPath(kind); err == nil {
+		return []string{path}
+	}
+	return []string{kind}
+}

@@ -1,0 +1,167 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// bridge wires two partial fabrics together the way the deploy trunk does:
+// each fabric's remote hand-off is injected into the other side.
+func bridge(t *testing.T, topo *topology.Topology, ownA, ownB []topology.SwitchID) (*Fabric, *Fabric) {
+	t.Helper()
+	var fa, fb *Fabric
+	toB := func(to topology.Endpoint, host bool, pkt *wire.Packet) {
+		if host {
+			fb.DeliverToHost(to, pkt)
+			return
+		}
+		if err := fb.InjectAtPort(to, pkt); err != nil {
+			t.Errorf("inject at %s: %v", to, err)
+		}
+	}
+	toA := func(to topology.Endpoint, host bool, pkt *wire.Packet) {
+		if host {
+			fa.DeliverToHost(to, pkt)
+			return
+		}
+		if err := fa.InjectAtPort(to, pkt); err != nil {
+			t.Errorf("inject at %s: %v", to, err)
+		}
+	}
+	var err error
+	fa, err = NewPartial(topo, ownA, toB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err = NewPartial(topo, ownB, toA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fa.Close)
+	t.Cleanup(fb.Close)
+	return fa, fb
+}
+
+// routingRule is the exact-IPDst forwarding entry used across these tests.
+func routingRule(dstIP uint32, outPort uint32) openflow.FlowEntry {
+	return openflow.FlowEntry{
+		Priority: 100,
+		Match: openflow.Match{Fields: []openflow.FieldMatch{
+			{Field: wire.FieldIPDst, Value: uint64(dstIP), Mask: 0xFFFFFFFF},
+		}},
+		Actions: []openflow.Action{openflow.Output(outPort)},
+	}
+}
+
+// TestPartialFabricCrossProcessDelivery splits a linear-4 lab into two
+// "processes" (switches 1-2 and 3-4) and checks a frame crosses the seam
+// with identical TTL semantics to the single-process fabric.
+func TestPartialFabricCrossProcessDelivery(t *testing.T) {
+	topo, err := topology.Linear(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := bridge(t, topo, []topology.SwitchID{1, 2}, []topology.SwitchID{3, 4})
+	aps := topo.AccessPoints()
+	src, dst := aps[0], aps[3]
+
+	// Program each hop on the fabric that owns it.
+	path := topo.ShortestPath(src.Endpoint.Switch, dst.Endpoint.Switch)
+	for i, sw := range path {
+		var out topology.PortNo
+		if i == len(path)-1 {
+			out = dst.Endpoint.Port
+		} else {
+			out = topo.PortTowards(sw, path[i+1])
+		}
+		owner := fa
+		if !fa.Owns(sw) {
+			owner = fb
+		}
+		owner.Switch(sw).InstallDirect(routingRule(dst.HostIP, uint32(out)))
+	}
+
+	var mb mailbox
+	if err := fb.AttachHost(dst.Endpoint, mb.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.InjectFromHost(src.Endpoint, udp(src, dst)); err != nil {
+		t.Fatal(err)
+	}
+	if mb.count() != 1 {
+		t.Fatalf("delivered = %d, want 1", mb.count())
+	}
+	// Exactly one TTL decrement per internal link (3 links), no double
+	// decrement at the process seam.
+	if got := mb.last().TTL; got != 61 {
+		t.Errorf("TTL = %d, want 61", got)
+	}
+	// The seam traversal is counted once, by the sending fabric.
+	if got := fa.LinkDeliveries() + fb.LinkDeliveries(); got != 3 {
+		t.Errorf("link deliveries = %d, want 3", got)
+	}
+}
+
+// TestPartialFabricRemoteHostDelivery: a frame reaching an edge port with
+// no local handler crosses to the process that hosts the agent.
+func TestPartialFabricRemoteHostDelivery(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got mailbox
+	// Fabric A owns both switches; the "agent process" B owns none and only
+	// receives host deliveries.
+	remote := func(to topology.Endpoint, host bool, pkt *wire.Packet) {
+		if !host {
+			t.Errorf("unexpected switch hand-off to %s", to)
+			return
+		}
+		got.handler(pkt)
+	}
+	fa, err := NewPartial(topo, []topology.SwitchID{1, 2}, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	aps := topo.AccessPoints()
+	src, dst := aps[0], aps[1]
+	installPath(t, fa, src, dst)
+	// No AttachHost for dst: delivery must go remote.
+	if err := fa.InjectFromHost(src.Endpoint, udp(src, dst)); err != nil {
+		t.Fatal(err)
+	}
+	if got.count() != 1 {
+		t.Fatalf("remote host deliveries = %d, want 1", got.count())
+	}
+}
+
+// TestPartialFabricValidation: unknown switches and a nil remote are
+// rejected; InjectAtPort refuses unowned switches.
+func TestPartialFabricValidation(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartial(topo, []topology.SwitchID{1}, nil); err == nil {
+		t.Error("nil remote accepted")
+	}
+	noop := func(topology.Endpoint, bool, *wire.Packet) {}
+	if _, err := NewPartial(topo, []topology.SwitchID{99}, noop); err == nil {
+		t.Error("unknown switch accepted")
+	}
+	f, err := NewPartial(topo, []topology.SwitchID{1}, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Owns(1) || f.Owns(2) {
+		t.Error("ownership wrong")
+	}
+	if err := f.InjectAtPort(topology.Endpoint{Switch: 2, Port: 1}, udp(topo.AccessPoints()[0], topo.AccessPoints()[1])); err == nil {
+		t.Error("InjectAtPort accepted an unowned switch")
+	}
+}

@@ -23,6 +23,10 @@ type Source uint8
 const (
 	SourcePassive Source = iota + 1 // flow-monitor event stream
 	SourceActivePoll
+	// SourceDetach marks a snapshot recorded when a switch's control session
+	// was lost: its forwarding state is wiped so standing invariants degrade
+	// instead of staying green on the pre-detach snapshot.
+	SourceDetach
 )
 
 // Record is one stored snapshot.

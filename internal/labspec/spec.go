@@ -53,8 +53,20 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 // Std returns the standard-library duration.
 func (d Duration) Std() time.Duration { return time.Duration(d) }
 
+// Schema versions. A spec without a schemaVersion is a v1 document; the
+// placement section is a v2 addition and requires schemaVersion >= 2.
+const (
+	SchemaV1 = 1
+	SchemaV2 = 2
+	// SchemaCurrent is the version Migrate canonicalizes to.
+	SchemaCurrent = SchemaV2
+)
+
 // Spec is the root of a lab specification.
 type Spec struct {
+	// SchemaVersion is the spec schema revision (absent means 1). Placement
+	// requires >= 2. `rvaasd spec migrate` rewrites v1 specs to canonical v2.
+	SchemaVersion int `json:"schemaVersion,omitempty"`
 	// Name identifies the lab (required; used in logs and persistence).
 	Name     string       `json:"name"`
 	Topology TopologySpec `json:"topology"`
@@ -64,7 +76,73 @@ type Spec struct {
 	RVaaS      RVaaSSpec       `json:"rvaas,omitempty"`
 	Transport  TransportSpec   `json:"transport,omitempty"`
 	Agents     AgentsSpec      `json:"agents,omitempty"`
+	Placement  *PlacementSpec  `json:"placement,omitempty"`
 	Invariants []InvariantSpec `json:"invariants,omitempty"`
+}
+
+// Version returns the effective schema version (absent means 1).
+func (s *Spec) Version() int {
+	if s.SchemaVersion == 0 {
+		return SchemaV1
+	}
+	return s.SchemaVersion
+}
+
+// Migrate canonicalizes the spec in place to the current schema version:
+// a v1 document becomes an equivalent v2 document (no placement section,
+// i.e. every component stays in the controller process). Already-v2 specs
+// only get their version pinned.
+func (s *Spec) Migrate() {
+	s.SchemaVersion = SchemaCurrent
+}
+
+// Placement process kinds.
+const (
+	// ProcInProc hosts the group inside the controller process (default).
+	ProcInProc = "inproc"
+	// ProcLocalExec spawns a switchd/agentd child process on this machine.
+	ProcLocalExec = "local-exec"
+	// ProcExternal expects an externally launched switchd/agentd to join via
+	// the rendezvous manifest deploy writes.
+	ProcExternal = "external"
+)
+
+// PlacementSpec splits a lab across processes: each group of switches
+// and/or client agents is hosted either in the controller process, in a
+// locally spawned child process, or in an externally launched one that
+// joins through a rendezvous manifest (schemaVersion >= 2).
+type PlacementSpec struct {
+	// Trunk is the controller's data-plane trunk listen address
+	// ("127.0.0.1:0" when empty — an ephemeral loopback port).
+	Trunk string `json:"trunk,omitempty"`
+	// Attach is the controller's UDP secure-channel listen address placed
+	// switches dial ("127.0.0.1:0" when empty).
+	Attach string `json:"attach,omitempty"`
+	// RendezvousDir is where deploy writes per-process manifests for
+	// external groups (required when any group is external).
+	RendezvousDir string `json:"rendezvousDir,omitempty"`
+	// JoinTimeout bounds waiting for every placed group to join and its
+	// switches to attach (0 = deploy default).
+	JoinTimeout Duration         `json:"joinTimeout,omitempty"`
+	Groups      []PlacementGroup `json:"groups"`
+}
+
+// PlacementGroup places one set of switches and/or client agents into a
+// process.
+type PlacementGroup struct {
+	// Name identifies the group (process name, manifest file name).
+	Name string `json:"name"`
+	// Proc is "inproc", "local-exec" or "external".
+	Proc string `json:"proc"`
+	// Switches lists switch IDs hosted by this group's process (switchd).
+	Switches []uint32 `json:"switches,omitempty"`
+	// Agents lists client IDs whose agents this group's process hosts
+	// (agentd).
+	Agents []uint64 `json:"agents,omitempty"`
+	// Token is the join token the process must present on the trunk before
+	// the controller issues its channel certificates. Local-exec groups get
+	// a generated token when empty; external groups must pin one.
+	Token string `json:"token,omitempty"`
 }
 
 // TopologySpec declares the wiring plan: either a named generator with its
@@ -322,6 +400,14 @@ func (s *Spec) Validate() error {
 	if strings.TrimSpace(s.Name) == "" {
 		return fmt.Errorf("labspec: name: required (identifies the lab in logs and persistence)")
 	}
+	switch s.SchemaVersion {
+	case 0, SchemaV1, SchemaV2:
+	default:
+		return fmt.Errorf("labspec: schemaVersion: unknown version %d (want 1 or 2; this build speaks up to %d)", s.SchemaVersion, SchemaCurrent)
+	}
+	if s.Placement != nil && s.Version() < SchemaV2 {
+		return fmt.Errorf("labspec: placement: requires schemaVersion >= %d (got %d; run `rvaasd spec migrate` to canonicalize)", SchemaV2, s.Version())
+	}
 	if err := s.Topology.validate(); err != nil {
 		return fmt.Errorf("labspec: topology: %w", err)
 	}
@@ -382,7 +468,133 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("labspec: invariants[%d]: client %d has no access point in the topology (declared clients: %v)", i, inv.Client, sortedClients(clients))
 		}
 	}
+	if s.Placement != nil {
+		switches := make(map[uint32]bool)
+		for _, sw := range topo.Switches() {
+			switches[uint32(sw)] = true
+		}
+		if err := s.Placement.validate(switches, clients, s.Agents.Skip); err != nil {
+			return fmt.Errorf("labspec: placement: %w", err)
+		}
+	}
 	return nil
+}
+
+func (p *PlacementSpec) validate(switches map[uint32]bool, clients map[uint64]bool, agentsSkipped bool) error {
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("groups: at least one group is required (or drop the placement section for a single-process lab)")
+	}
+	if p.JoinTimeout < 0 {
+		return fmt.Errorf("joinTimeout: must be >= 0, got %s", p.JoinTimeout.Std())
+	}
+	names := make(map[string]bool, len(p.Groups))
+	swOwner := make(map[uint32]string)
+	agOwner := make(map[uint64]string)
+	anyExternal := false
+	for i, g := range p.Groups {
+		where := fmt.Sprintf("groups[%d] (%s)", i, g.Name)
+		if strings.TrimSpace(g.Name) == "" {
+			return fmt.Errorf("groups[%d]: name: required (process and manifest name)", i)
+		}
+		if names[g.Name] {
+			return fmt.Errorf("%s: duplicate group name", where)
+		}
+		names[g.Name] = true
+		switch g.Proc {
+		case ProcInProc, ProcLocalExec, ProcExternal:
+		case "":
+			return fmt.Errorf("%s: proc: required (want %s, %s or %s)", where, ProcInProc, ProcLocalExec, ProcExternal)
+		default:
+			return fmt.Errorf("%s: proc: unknown kind %q (want %s, %s or %s)", where, g.Proc, ProcInProc, ProcLocalExec, ProcExternal)
+		}
+		if len(g.Switches) == 0 && len(g.Agents) == 0 {
+			return fmt.Errorf("%s: empty group (needs switches and/or agents)", where)
+		}
+		if len(g.Switches) > 0 && len(g.Agents) > 0 {
+			return fmt.Errorf("%s: a group hosts either switches (switchd) or agents (agentd), not both", where)
+		}
+		for _, sw := range g.Switches {
+			if !switches[sw] {
+				return fmt.Errorf("%s: switch %d is not in the topology", where, sw)
+			}
+			if prev, dup := swOwner[sw]; dup {
+				return fmt.Errorf("%s: switch %d already placed by group %q", where, sw, prev)
+			}
+			swOwner[sw] = g.Name
+		}
+		for _, cl := range g.Agents {
+			if agentsSkipped {
+				return fmt.Errorf("%s: places agent for client %d but agents.skip is true", where, cl)
+			}
+			if !clients[cl] {
+				return fmt.Errorf("%s: client %d has no access point in the topology", where, cl)
+			}
+			if prev, dup := agOwner[cl]; dup {
+				return fmt.Errorf("%s: client %d already placed by group %q", where, cl, prev)
+			}
+			agOwner[cl] = g.Name
+		}
+		if g.Proc == ProcExternal {
+			anyExternal = true
+			if strings.TrimSpace(g.Token) == "" {
+				return fmt.Errorf("%s: token: required for external groups (the join token the launched process must present)", where)
+			}
+		}
+	}
+	if anyExternal && strings.TrimSpace(p.RendezvousDir) == "" {
+		return fmt.Errorf("rendezvousDir: required when any group is external (deploy writes per-process manifests there)")
+	}
+	return nil
+}
+
+// GroupsOfKind returns the placement groups matching the given proc kind.
+func (p *PlacementSpec) GroupsOfKind(proc string) []PlacementGroup {
+	if p == nil {
+		return nil
+	}
+	var out []PlacementGroup
+	for _, g := range p.Groups {
+		if g.Proc == proc {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// PlacedSwitches returns the set of switch IDs hosted outside the controller
+// process (local-exec or external groups).
+func (p *PlacementSpec) PlacedSwitches() map[uint32]string {
+	if p == nil {
+		return nil
+	}
+	out := make(map[uint32]string)
+	for _, g := range p.Groups {
+		if g.Proc == ProcInProc {
+			continue
+		}
+		for _, sw := range g.Switches {
+			out[sw] = g.Name
+		}
+	}
+	return out
+}
+
+// PlacedAgents returns the set of client IDs whose agents run outside the
+// controller process, keyed to the owning group name.
+func (p *PlacementSpec) PlacedAgents() map[uint64]string {
+	if p == nil {
+		return nil
+	}
+	out := make(map[uint64]string)
+	for _, g := range p.Groups {
+		if g.Proc == ProcInProc {
+			continue
+		}
+		for _, cl := range g.Agents {
+			out[cl] = g.Name
+		}
+	}
+	return out
 }
 
 func (t *TopologySpec) validate() error {

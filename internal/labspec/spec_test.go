@@ -102,7 +102,7 @@ func TestParseExplicitJSON(t *testing.T) {
 // spec must marshal to the checked-in golden JSON, and re-parsing that JSON
 // must yield the identical spec.
 func TestGoldenRoundTrip(t *testing.T) {
-	for _, name := range []string{"linear40.yml", "explicit.json"} {
+	for _, name := range []string{"linear40.yml", "explicit.json", "placed.yml"} {
 		t.Run(name, func(t *testing.T) {
 			s := mustParseFile(t, name)
 			got, err := s.MarshalYAMLCompatJSON()
@@ -135,6 +135,119 @@ func TestGoldenRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParsePlacedV2(t *testing.T) {
+	s := mustParseFile(t, "placed.yml")
+	if s.Version() != SchemaV2 {
+		t.Errorf("version = %d, want 2", s.Version())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if s.Placement == nil || len(s.Placement.Groups) != 2 {
+		t.Fatalf("placement = %+v", s.Placement)
+	}
+	if s.Placement.JoinTimeout.Std() != 20*time.Second {
+		t.Errorf("joinTimeout = %v", s.Placement.JoinTimeout.Std())
+	}
+	placed := s.Placement.PlacedSwitches()
+	if len(placed) != 6 {
+		t.Errorf("placed switches = %v, want 6 entries", placed)
+	}
+	if placed[2] != "sw-left" || placed[5] != "sw-right" {
+		t.Errorf("ownership wrong: %v", placed)
+	}
+	if got := s.Placement.GroupsOfKind(ProcLocalExec); len(got) != 2 {
+		t.Errorf("local-exec groups = %d, want 2", len(got))
+	}
+	if got := s.Placement.GroupsOfKind(ProcExternal); len(got) != 0 {
+		t.Errorf("external groups = %d, want 0", len(got))
+	}
+}
+
+// TestMigrateCanonicalizes locks the v1 -> v2 migration: a v1 document gains
+// schemaVersion 2 and re-encodes byte-identically to the checked-in
+// migrated YAML golden; parsing that output yields the same spec back.
+func TestMigrateCanonicalizes(t *testing.T) {
+	s := mustParseFile(t, "linear40.yml")
+	if s.Version() != SchemaV1 {
+		t.Fatalf("pre-migrate version = %d, want 1", s.Version())
+	}
+	s.Migrate()
+	if s.Version() != SchemaCurrent {
+		t.Fatalf("post-migrate version = %d, want %d", s.Version(), SchemaCurrent)
+	}
+	got, err := s.EncodeYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "linear40.migrated.golden.yml")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("migrated golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	back, err := Parse(got)
+	if err != nil {
+		t.Fatalf("re-parse migrated yaml: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("migrated yaml round-trip mismatch:\n  first  = %+v\n  second = %+v", s, back)
+	}
+}
+
+// TestEncodeYAMLRoundTrip re-parses the YAML emitter's output for every
+// checked-in spec and requires the identical spec back.
+func TestEncodeYAMLRoundTrip(t *testing.T) {
+	for _, name := range []string{"linear40.yml", "explicit.json", "placed.yml"} {
+		t.Run(name, func(t *testing.T) {
+			s := mustParseFile(t, name)
+			y, err := s.EncodeYAML()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(y)
+			if err != nil {
+				t.Fatalf("re-parse emitted yaml: %v\n--- yaml ---\n%s", err, y)
+			}
+			if !reflect.DeepEqual(s, back) {
+				t.Errorf("round-trip mismatch:\n--- yaml ---\n%s\n  first  = %+v\n  second = %+v", y, s, back)
+			}
+		})
+	}
+}
+
+// TestEncodeYAMLQuoting covers scalars that must be quoted to survive the
+// subset parser: numeric-looking strings, booleans, flow-syntax leads.
+func TestEncodeYAMLQuoting(t *testing.T) {
+	s := &Spec{
+		SchemaVersion: 2,
+		Name:          "true",
+		Topology:      TopologySpec{Generator: "wan", Regions: []string{"0x10", "eu west", "null", "plain"}, PerRegion: 2},
+		Invariants: []InvariantSpec{
+			{Client: 1, Kind: "path-length", Param: "45"},
+			{Client: 2, Kind: "geo-regions", Param: "eu: west"},
+		},
+	}
+	y, err := s.EncodeYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(y)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n--- yaml ---\n%s", err, y)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("quoting round-trip mismatch:\n--- yaml ---\n%s\n  first  = %+v\n  second = %+v", y, s, back)
+	}
+}
+
 func TestValidateErrors(t *testing.T) {
 	base := func() *Spec {
 		return &Spec{
@@ -154,12 +267,123 @@ func TestValidateErrors(t *testing.T) {
 			},
 		}
 	}
+	placedBase := func() *Spec {
+		return &Spec{
+			SchemaVersion: 2,
+			Name:          "t",
+			Topology:      TopologySpec{Generator: "linear", Size: 4},
+			Placement: &PlacementSpec{
+				Groups: []PlacementGroup{
+					{Name: "left", Proc: ProcLocalExec, Switches: []uint32{1, 2}},
+					{Name: "right", Proc: ProcLocalExec, Switches: []uint32{3, 4}},
+				},
+			},
+		}
+	}
 	cases := []struct {
 		name    string
 		mutate  func(*Spec)
 		spec    func() *Spec
 		wantSub string
 	}{
+		{
+			name:    "unknown schema version",
+			spec:    base,
+			mutate:  func(s *Spec) { s.SchemaVersion = 3 },
+			wantSub: "schemaVersion: unknown version 3",
+		},
+		{
+			name:    "placement on v1",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.SchemaVersion = 0 },
+			wantSub: "placement: requires schemaVersion >= 2",
+		},
+		{
+			name:    "placement without groups",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups = nil },
+			wantSub: "groups: at least one group",
+		},
+		{
+			name:    "placement group without name",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[0].Name = "" },
+			wantSub: "name: required",
+		},
+		{
+			name:    "placement duplicate group name",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[1].Name = "left" },
+			wantSub: "duplicate group name",
+		},
+		{
+			name:    "placement bad proc",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[0].Proc = "remote" },
+			wantSub: "proc: unknown kind \"remote\"",
+		},
+		{
+			name:    "placement empty group",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[0].Switches = nil },
+			wantSub: "empty group",
+		},
+		{
+			name:    "placement mixed group",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[0].Agents = []uint64{1} },
+			wantSub: "not both",
+		},
+		{
+			name:    "placement unknown switch",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[1].Switches = []uint32{3, 9} },
+			wantSub: "switch 9 is not in the topology",
+		},
+		{
+			name:    "placement switch placed twice",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[1].Switches = []uint32{2, 3} },
+			wantSub: "switch 2 already placed by group \"left\"",
+		},
+		{
+			name: "placement unknown agent client",
+			spec: placedBase,
+			mutate: func(s *Spec) {
+				s.Placement.Groups[1] = PlacementGroup{Name: "ag", Proc: ProcLocalExec, Agents: []uint64{99}}
+			},
+			wantSub: "client 99 has no access point",
+		},
+		{
+			name: "placement agent with agents skipped",
+			spec: placedBase,
+			mutate: func(s *Spec) {
+				s.Agents.Skip = true
+				s.Placement.Groups[1] = PlacementGroup{Name: "ag", Proc: ProcLocalExec, Agents: []uint64{1}}
+			},
+			wantSub: "agents.skip is true",
+		},
+		{
+			name:    "placement external without token",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Groups[0].Proc = ProcExternal; s.Placement.RendezvousDir = "/tmp/x" },
+			wantSub: "token: required for external groups",
+		},
+		{
+			name: "placement external without rendezvous dir",
+			spec: placedBase,
+			mutate: func(s *Spec) {
+				s.Placement.Groups[0].Proc = ProcExternal
+				s.Placement.Groups[0].Token = "secret"
+			},
+			wantSub: "rendezvousDir: required",
+		},
+		{
+			name:    "placement negative join timeout",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.JoinTimeout = Duration(-time.Second) },
+			wantSub: "joinTimeout: must be >= 0",
+		},
 		{
 			name:    "missing name",
 			spec:    base,

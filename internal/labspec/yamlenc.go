@@ -1,0 +1,215 @@
+package labspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EncodeYAML renders the spec in the YAML subset decodeYAML reads, so
+// migrated specs stay editable in the same dialect the repo's lab files use.
+// Field order follows the Go struct (the walk runs over the canonical JSON
+// token stream, which preserves it); strings that would re-parse as numbers,
+// booleans, null or flow syntax are quoted.
+func (s *Spec) EncodeYAML() ([]byte, error) {
+	canon, err := s.MarshalYAMLCompatJSON()
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(canon))
+	dec.UseNumber()
+	v, err := decodeOrdered(dec)
+	if err != nil {
+		return nil, fmt.Errorf("labspec: encode yaml: %w", err)
+	}
+	obj, ok := v.(orderedMap)
+	if !ok {
+		return nil, fmt.Errorf("labspec: encode yaml: spec did not marshal to an object")
+	}
+	var buf bytes.Buffer
+	emitMapping(&buf, obj, 0)
+	return buf.Bytes(), nil
+}
+
+// orderedMap is a JSON object with field order preserved.
+type orderedMap []orderedEntry
+
+type orderedEntry struct {
+	key string
+	val any
+}
+
+// decodeOrdered reads one JSON value off the decoder, keeping object field
+// order (encoding/json's map decoding would sort keys).
+func decodeOrdered(dec *json.Decoder) (any, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			var obj orderedMap
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key := keyTok.(string)
+				val, err := decodeOrdered(dec)
+				if err != nil {
+					return nil, err
+				}
+				obj = append(obj, orderedEntry{key: key, val: val})
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return obj, nil
+		case '[':
+			arr := []any{}
+			for dec.More() {
+				val, err := decodeOrdered(dec)
+				if err != nil {
+					return nil, err
+				}
+				arr = append(arr, val)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			return arr, nil
+		}
+		return nil, fmt.Errorf("unexpected delimiter %v", t)
+	default:
+		return tok, nil
+	}
+}
+
+func emitMapping(buf *bytes.Buffer, obj orderedMap, indent int) {
+	pad := strings.Repeat(" ", indent)
+	for _, e := range obj {
+		switch v := e.val.(type) {
+		case orderedMap:
+			if len(v) == 0 {
+				fmt.Fprintf(buf, "%s%s: {}\n", pad, e.key)
+				continue
+			}
+			fmt.Fprintf(buf, "%s%s:\n", pad, e.key)
+			emitMapping(buf, v, indent+2)
+		case []any:
+			if len(v) == 0 {
+				fmt.Fprintf(buf, "%s%s: []\n", pad, e.key)
+				continue
+			}
+			fmt.Fprintf(buf, "%s%s:\n", pad, e.key)
+			emitSequence(buf, v, indent+2)
+		default:
+			fmt.Fprintf(buf, "%s%s: %s\n", pad, e.key, yamlScalar(v, true))
+		}
+	}
+}
+
+func emitSequence(buf *bytes.Buffer, arr []any, indent int) {
+	pad := strings.Repeat(" ", indent)
+	for _, item := range arr {
+		switch v := item.(type) {
+		case orderedMap:
+			if len(v) == 0 {
+				fmt.Fprintf(buf, "%s- {}\n", pad)
+				continue
+			}
+			// "- key: value" inline start when the first entry is a scalar;
+			// otherwise a bare dash with the whole mapping nested below.
+			first := v[0]
+			_, firstMap := first.val.(orderedMap)
+			_, firstArr := first.val.([]any)
+			if firstMap || firstArr {
+				fmt.Fprintf(buf, "%s-\n", pad)
+				emitMapping(buf, v, indent+2)
+				continue
+			}
+			fmt.Fprintf(buf, "%s- %s: %s\n", pad, first.key, yamlScalar(first.val, true))
+			emitMapping(buf, v[1:], indent+2)
+		case []any:
+			fmt.Fprintf(buf, "%s- %s\n", pad, yamlFlow(v))
+		default:
+			fmt.Fprintf(buf, "%s- %s\n", pad, yamlScalar(v, false))
+		}
+	}
+}
+
+// yamlFlow renders a nested array of scalars as an inline flow sequence
+// (the only nested-array form the subset parser accepts).
+func yamlFlow(arr []any) string {
+	parts := make([]string, len(arr))
+	for i, v := range arr {
+		parts[i] = yamlScalar(v, true)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// yamlScalar renders one scalar, quoting strings that would otherwise
+// re-parse as a different type or break line syntax. inValue is false when
+// the scalar is a bare sequence entry, where an unquoted "key: value" shape
+// would be misread as an inline mapping start.
+func yamlScalar(v any, inValue bool) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(t)
+	case json.Number:
+		return t.String()
+	case string:
+		if needsQuoting(t, inValue) {
+			return strconv.Quote(t)
+		}
+		return t
+	default:
+		return strconv.Quote(fmt.Sprint(v))
+	}
+}
+
+func needsQuoting(s string, inValue bool) bool {
+	if s == "" {
+		return true
+	}
+	switch s {
+	case "true", "True", "false", "False", "null", "~", "Null":
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	switch s[0] {
+	case '[', '{', '\'', '"', '#', ' ', '&', '*', '!', '|', '>', '%', '@', '`':
+		return true
+	}
+	if strings.ContainsAny(s, "\n\t") || strings.Contains(s, " #") {
+		return true
+	}
+	if strings.HasSuffix(s, " ") {
+		return true
+	}
+	if !inValue {
+		// A bare sequence entry shaped like "key: value" would be taken as
+		// an inline mapping start by the parser.
+		if _, _, ok := splitKey(s); ok {
+			return true
+		}
+	} else if strings.HasSuffix(s, ":") || strings.Contains(s, ": ") {
+		// Keep value-position strings unambiguous too.
+		return true
+	}
+	return false
+}

@@ -102,10 +102,18 @@ func NewCA() (*CA, error) {
 
 // Issue signs a certificate for the identity.
 func (ca *CA) Issue(id *Identity) Certificate {
+	return ca.IssueKey(id.Name, id.Pub)
+}
+
+// IssueKey signs a certificate binding name to a bare public key — the
+// CSR-style path: a remote process generates its identity locally, sends
+// only the public key, and receives a certificate back (the private key
+// never crosses a process boundary).
+func (ca *CA) IssueKey(name string, pub ed25519.PublicKey) Certificate {
 	return Certificate{
-		Name: id.Name,
-		Pub:  id.Pub,
-		Sig:  ed25519.Sign(ca.priv, certSigningBytes(id.Name, id.Pub)),
+		Name: name,
+		Pub:  pub,
+		Sig:  ed25519.Sign(ca.priv, certSigningBytes(name, pub)),
 	}
 }
 

@@ -211,9 +211,19 @@ func ConnectSecureOver(a, b Transport, aID *Identity, aCert Certificate, bID *Id
 // lost handshake datagram surfaces as an error instead of a hang.
 const handshakeTimeout = 5 * time.Second
 
+// deadlineRecver is a transport with a bounded receive of its own (the mux
+// conns, whose datagrams arrive through a shared socket rather than a
+// per-conn one, implement it).
+type deadlineRecver interface {
+	RecvTimeout(d time.Duration) ([]byte, error)
+}
+
 // recvWithTimeout receives one message with a deadline when the transport
 // supports it (UDP); in-memory pipes block indefinitely as before.
 func recvWithTimeout(t Transport) ([]byte, error) {
+	if dr, ok := t.(deadlineRecver); ok {
+		return dr.RecvTimeout(handshakeTimeout)
+	}
 	u, ok := t.(*UDPTransport)
 	if !ok {
 		return t.Recv()

@@ -1,0 +1,270 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPMux is a secure-channel listener over one bound UDP socket: datagrams
+// are demultiplexed by source address into per-peer Transports, so a
+// controller can accept attach dials from many separately-launched switch
+// processes on a single well-known port. Each accepted MuxConn is the
+// responder end of one handshake (SecureServer); the dialing process uses
+// DialUDP + SecureClient.
+type UDPMux struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	peers  map[string]*MuxConn
+	closed bool
+
+	accept chan *MuxConn
+	done   chan struct{}
+}
+
+// ListenUDPMux binds addr ("" or host:0 for an ephemeral loopback port) and
+// starts demultiplexing.
+func ListenUDPMux(addr string) (*UDPMux, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: mux listen %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: mux listen %q: %w", addr, err)
+	}
+	_ = conn.SetReadBuffer(udpSocketBuffer)
+	_ = conn.SetWriteBuffer(udpSocketBuffer)
+	m := &UDPMux{
+		conn:   conn,
+		peers:  make(map[string]*MuxConn),
+		accept: make(chan *MuxConn, 16),
+		done:   make(chan struct{}),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// Addr returns the bound listen address.
+func (m *UDPMux) Addr() *net.UDPAddr { return m.conn.LocalAddr().(*net.UDPAddr) }
+
+// Accept blocks for the next new-peer connection; io.EOF after Close.
+func (m *UDPMux) Accept() (*MuxConn, error) {
+	select {
+	case c := <-m.accept:
+		return c, nil
+	case <-m.done:
+		return nil, io.EOF
+	}
+}
+
+// Close shuts the socket down; every peer conn's Recv unblocks with EOF.
+func (m *UDPMux) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	peers := make([]*MuxConn, 0, len(m.peers))
+	for _, c := range m.peers {
+		peers = append(peers, c)
+	}
+	m.mu.Unlock()
+	close(m.done)
+	_ = m.conn.Close()
+	for _, c := range peers {
+		c.Close()
+	}
+}
+
+// readLoop pumps the shared socket, routing each datagram to its peer's
+// receive queue (creating the peer conn on first sight).
+func (m *UDPMux) readLoop() {
+	buf := make([]byte, maxUDPMessage+12)
+	for {
+		n, from, err := m.conn.ReadFromUDP(buf)
+		if err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			// Unrecoverable socket error: behave like Close.
+			m.Close()
+			return
+		}
+		if from == nil {
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		c, fresh := m.connFor(from)
+		if c == nil {
+			continue // mux closing
+		}
+		if fresh {
+			select {
+			case m.accept <- c:
+			case <-m.done:
+				return
+			}
+		}
+		// Per-peer queue; a full queue drops the datagram, which is exactly
+		// the loss semantics the secure channel tolerates on UDP.
+		select {
+		case c.recv <- data:
+		default:
+		}
+	}
+}
+
+func (m *UDPMux) connFor(from *net.UDPAddr) (*MuxConn, bool) {
+	key := from.String()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false
+	}
+	if c, ok := m.peers[key]; ok {
+		return c, false
+	}
+	c := &MuxConn{
+		mux:  m,
+		peer: from,
+		key:  key,
+		recv: make(chan []byte, 256),
+		done: make(chan struct{}),
+	}
+	m.peers[key] = c
+	return c, true
+}
+
+// forget drops a closed peer conn so a later dial from the same source
+// address is surfaced as a fresh Accept.
+func (m *UDPMux) forget(key string) {
+	m.mu.Lock()
+	delete(m.peers, key)
+	m.mu.Unlock()
+}
+
+// MuxConn is one peer's Transport over the shared mux socket. UDP loss
+// semantics apply (LossyTransport), same as UDPTransport.
+type MuxConn struct {
+	mux  *UDPMux
+	peer *net.UDPAddr
+	key  string
+	recv chan []byte
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Lossy marks mux delivery as best-effort.
+func (c *MuxConn) Lossy() bool { return true }
+
+// PeerAddr returns the remote address this conn exchanges datagrams with.
+func (c *MuxConn) PeerAddr() *net.UDPAddr { return c.peer }
+
+// Send transmits one datagram to the peer through the shared socket.
+func (c *MuxConn) Send(data []byte) error {
+	if len(data) > maxUDPMessage {
+		return fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, len(data))
+	}
+	select {
+	case <-c.done:
+		return ErrChannelClosed
+	default:
+	}
+	if _, err := c.mux.conn.WriteToUDP(data, c.peer); err != nil {
+		select {
+		case <-c.done:
+			return ErrChannelClosed
+		default:
+		}
+		return err
+	}
+	return nil
+}
+
+// TrySend transmits best-effort: oversized or transiently-refused datagrams
+// count as drops, not failures.
+func (c *MuxConn) TrySend(data []byte) (bool, error) {
+	if len(data) > maxUDPMessage {
+		return false, nil
+	}
+	if err := c.Send(data); err != nil {
+		if errors.Is(err, ErrChannelClosed) {
+			return false, ErrChannelClosed
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// Recv blocks for the next datagram from this peer; io.EOF after Close.
+func (c *MuxConn) Recv() ([]byte, error) {
+	select {
+	case data := <-c.recv:
+		return data, nil
+	case <-c.done:
+		// Drain anything routed before close so no message is lost on a
+		// graceful shutdown race.
+		select {
+		case data := <-c.recv:
+			return data, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// RecvTimeout receives with a deadline (the handshake path's bounded read).
+func (c *MuxConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case data := <-c.recv:
+		return data, nil
+	case <-c.done:
+		return nil, io.EOF
+	case <-timer.C:
+		return nil, fmt.Errorf("openflow: handshake receive: timeout after %v", d)
+	}
+}
+
+// Close detaches the peer from the mux; the mux socket stays up for other
+// peers, and a re-dial from the same address Accepts as a new conn.
+func (c *MuxConn) Close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.mux.forget(c.key)
+	})
+}
+
+// DialUDP opens a Transport to a remote mux (or single-peer) UDP listener:
+// a fresh local socket exchanging datagrams with addr. The dialer is the
+// handshake initiator (SecureClient).
+func DialUDP(addr string) (*UDPTransport, error) {
+	peer, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: dial udp %q: %w", addr, err)
+	}
+	conn, err := newUDPSocket()
+	if err != nil {
+		return nil, err
+	}
+	return &UDPTransport{conn: conn, peer: peer}, nil
+}

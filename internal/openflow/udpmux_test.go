@@ -1,0 +1,403 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUDPMuxDemuxByPeer: two dialers through one listener socket, each
+// accepted conn only sees its own peer's datagrams.
+func TestUDPMuxDemuxByPeer(t *testing.T) {
+	mux, err := ListenUDPMux("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	d1, err := DialUDP(mux.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	d2, err := DialUDP(mux.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	if err := d1.Send([]byte("from-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Send([]byte("from-two")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accept both conns and read each one's first datagram; arrival order is
+	// not deterministic, so match by payload.
+	got := map[string]*MuxConn{}
+	for i := 0; i < 2; i++ {
+		c, err := mux.Accept()
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		defer c.Close()
+		data, err := c.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatalf("recv on conn %d: %v", i, err)
+		}
+		got[string(data)] = c
+	}
+	if got["from-one"] == nil || got["from-two"] == nil {
+		t.Fatalf("demux payloads = %v", got)
+	}
+
+	// Replies route back through the shared socket to the right dialer.
+	if err := got["from-one"].Send([]byte("ack-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := got["from-two"].Send([]byte("ack-two")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := d1.Recv(); err != nil || string(data) != "ack-one" {
+		t.Fatalf("dialer one reply = %q, %v", data, err)
+	}
+	if data, err := d2.Recv(); err != nil || string(data) != "ack-two" {
+		t.Fatalf("dialer two reply = %q, %v", data, err)
+	}
+
+	// Later datagrams from a known peer go to the existing conn, not Accept.
+	if err := d1.Send([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := got["from-one"].RecvTimeout(2 * time.Second); err != nil || string(data) != "again" {
+		t.Fatalf("second datagram = %q, %v", data, err)
+	}
+}
+
+// TestUDPMuxSecureHandshake: a full secure channel between a DialUDP client
+// and a mux-accepted server conn — the exact shape a switchd child uses to
+// attach to the controller's mux listener.
+func TestUDPMuxSecureHandshake(t *testing.T) {
+	ca, ctl, ctlCert, sw, swCert := transportPKI(t)
+
+	mux, err := ListenUDPMux("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	type serverResult struct {
+		conn *SecureConn
+		err  error
+	}
+	srvCh := make(chan serverResult, 1)
+	go func() {
+		mc, err := mux.Accept()
+		if err != nil {
+			srvCh <- serverResult{nil, err}
+			return
+		}
+		conn, err := SecureServer(mc, ctl, ctlCert, ca.Pub)
+		srvCh <- serverResult{conn, err}
+	}()
+
+	dial, err := DialUDP(mux.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := SecureClient(dial, sw, swCert, ca.Pub)
+	if err != nil {
+		t.Fatalf("secure client over mux: %v", err)
+	}
+	defer cli.Close()
+	res := <-srvCh
+	if res.err != nil {
+		t.Fatalf("secure server over mux: %v", res.err)
+	}
+	defer res.conn.Close()
+
+	if got := res.conn.PeerName(); got != "switch-1" {
+		t.Fatalf("server peer = %q, want switch-1", got)
+	}
+	if got := cli.PeerName(); got != "controller" {
+		t.Fatalf("client peer = %q, want controller", got)
+	}
+
+	// Encrypted round trip both ways over the shared socket.
+	if err := cli.Send(&Hello{XID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := m.(*Hello); !ok || h.XID != 7 {
+		t.Fatalf("server got %#v", m)
+	}
+	if err := res.conn.Send(&EchoReply{XID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := m.(*EchoReply); !ok || r.XID != 7 {
+		t.Fatalf("client got %#v", m)
+	}
+}
+
+// TestUDPMuxHandshakeTimeout: a server handshake on a conn whose peer never
+// answers fails within the handshake bound instead of hanging.
+func TestUDPMuxHandshakeTimeout(t *testing.T) {
+	ca, ctl, ctlCert, _, _ := transportPKI(t)
+
+	mux, err := ListenUDPMux("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	// A bare dialer pokes the mux once, then goes silent mid-handshake.
+	dial, err := DialUDP(mux.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dial.Close()
+	if err := dial.Send([]byte("client-hello-that-never-continues")); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := mux.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := SecureServer(mc, ctl, ctlCert, ca.Pub)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("handshake with a silent peer succeeded")
+		}
+	case <-time.After(handshakeTimeout + 3*time.Second):
+		t.Fatal("handshake did not time out")
+	}
+}
+
+// TestUDPMuxConnCloseAndRedial: closing a peer conn detaches it; a fresh
+// datagram from the same source address surfaces as a new Accept.
+func TestUDPMuxConnCloseAndRedial(t *testing.T) {
+	mux, err := ListenUDPMux("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	dial, err := DialUDP(mux.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dial.Close()
+	if err := dial.Send([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := mux.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := c1.RecvTimeout(2 * time.Second); err != nil || string(data) != "one" {
+		t.Fatalf("first datagram = %q, %v", data, err)
+	}
+	c1.Close()
+	if _, err := c1.Recv(); err != io.EOF {
+		t.Fatalf("recv after close = %v, want EOF", err)
+	}
+	if err := c1.Send([]byte("x")); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("send after close = %v, want ErrChannelClosed", err)
+	}
+
+	// Same source address dials again: new conn, not the closed one.
+	if err := dial.Send([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := mux.Accept()
+	if err != nil {
+		t.Fatalf("re-accept after close: %v", err)
+	}
+	defer c2.Close()
+	if data, err := c2.RecvTimeout(2 * time.Second); err != nil || string(data) != "two" {
+		t.Fatalf("redial datagram = %q, %v", data, err)
+	}
+}
+
+// TestUDPMuxCloseUnblocks: closing the mux unblocks Accept and every peer
+// conn's Recv with EOF.
+func TestUDPMuxCloseUnblocks(t *testing.T) {
+	mux, err := ListenUDPMux("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial, err := DialUDP(mux.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dial.Close()
+	if err := dial.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := mux.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvTimeout(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := mux.Accept(); err != io.EOF {
+			t.Errorf("accept after close = %v, want EOF", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := c.Recv(); err != io.EOF {
+			t.Errorf("peer recv after close = %v, want EOF", err)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	mux.Close()
+	mux.Close() // idempotent
+	wg.Wait()
+}
+
+// TestUDPMuxManySecureChannels: N dialers handshake concurrently through one
+// mux socket and exchange traffic — the multi-switchd attach pattern.
+func TestUDPMuxManySecureChannels(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewIdentity("controller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlCert := ca.Issue(ctl)
+
+	mux, err := ListenUDPMux("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	const n = 8
+	// Server side: accept and handshake each peer as it arrives.
+	var srvWG sync.WaitGroup
+	srvWG.Add(n)
+	go func() {
+		for i := 0; i < n; i++ {
+			mc, err := mux.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			go func() {
+				defer srvWG.Done()
+				conn, err := SecureServer(mc, ctl, ctlCert, ca.Pub)
+				if err != nil {
+					t.Errorf("server handshake: %v", err)
+					return
+				}
+				defer conn.Close()
+				if !strings.HasPrefix(conn.PeerName(), "switch-") {
+					t.Errorf("peer name = %q", conn.PeerName())
+				}
+				m, err := conn.Recv()
+				if err != nil {
+					t.Errorf("server recv: %v", err)
+					return
+				}
+				if err := conn.Send(&EchoReply{XID: m.(*EchoRequest).XID}); err != nil {
+					t.Errorf("server send: %v", err)
+				}
+			}()
+		}
+	}()
+
+	var cliWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cliWG.Add(1)
+		go func(i int) {
+			defer cliWG.Done()
+			id, err := NewIdentity(fmt.Sprintf("switch-%d", i+1))
+			if err != nil {
+				t.Errorf("identity %d: %v", i, err)
+				return
+			}
+			dial, err := DialUDP(mux.Addr().String())
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			conn, err := SecureClient(dial, id, ca.Issue(id), ca.Pub)
+			if err != nil {
+				t.Errorf("client handshake %d: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			if err := conn.Send(&EchoRequest{XID: uint32(i)}); err != nil {
+				t.Errorf("client send %d: %v", i, err)
+				return
+			}
+			m, err := conn.Recv()
+			if err != nil {
+				t.Errorf("client recv %d: %v", i, err)
+				return
+			}
+			if r, ok := m.(*EchoReply); !ok || r.XID != uint32(i) {
+				t.Errorf("client %d reply = %#v", i, m)
+			}
+		}(i)
+	}
+	cliWG.Wait()
+	srvWG.Wait()
+}
+
+// TestIssueKeyCSRPath: a certificate issued from a bare public key (the
+// cross-process CSR path) verifies and handshakes exactly like one issued
+// from a local Identity.
+func TestIssueKeyCSRPath(t *testing.T) {
+	ca, ctl, ctlCert, _, _ := transportPKI(t)
+
+	// The "remote process" generates its identity locally...
+	remote, err := NewIdentity("switch-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and only the public key crosses the boundary.
+	cert := ca.IssueKey(remote.Name, remote.Pub)
+	if !cert.Verify(ca.Pub) {
+		t.Fatal("IssueKey cert does not verify")
+	}
+	if cert.Name != "switch-9" {
+		t.Fatalf("cert name = %q", cert.Name)
+	}
+
+	a, b := Pipe()
+	connA, connB, err := ConnectSecureOver(a, b, remote, cert, ctl, ctlCert, ca.Pub)
+	if err != nil {
+		t.Fatalf("handshake with IssueKey cert: %v", err)
+	}
+	connA.Close()
+	connB.Close()
+}

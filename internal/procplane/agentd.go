@@ -1,0 +1,219 @@
+package procplane
+
+import (
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/enclave"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// trunkNIC is an agent's network attachment in a placed process: frame
+// injection rides the trunk to the controller, which routes it into the
+// fabric that owns the access switch.
+type trunkNIC struct {
+	tc *Conn
+}
+
+func (n trunkNIC) InjectFromHost(ep topology.Endpoint, pkt *wire.Packet) error {
+	return n.tc.Write(MsgFrameInject, EncodeFrame(ep, pkt))
+}
+
+// RunAgentd joins the lab described by the manifest and hosts its group of
+// client agents until ctx is cancelled or the trunk closes. The join ack
+// carries the trust anchors a real client would obtain out of band (enclave
+// platform root, expected RVaaS measurement, attested server key); agent
+// identity keys are generated here and only their public halves are
+// registered with the controller. The child then registers the spec's
+// standing invariants for its own clients over the real in-band subscribe
+// path — the controller registers only in-process clients' invariants.
+func RunAgentd(ctx context.Context, m *Manifest, logf Logf) error {
+	if logf == nil {
+		logf = nopLog
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Kind != KindAgentd {
+		return fmt.Errorf("procplane: RunAgentd on a %q manifest", m.Kind)
+	}
+	tc, ack, err := dialTrunk(ctx, m, &JoinRequest{
+		Lab: m.Lab, Group: m.Group, Token: m.Token,
+		Kind: KindAgentd, Agents: m.Agents,
+	})
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	stopWatch, cancelled := watchCtx(ctx, tc)
+	defer stopWatch()
+
+	spec, topo, err := buildLab(ack)
+	if err != nil {
+		return err
+	}
+	if len(ack.Measurement) != len(enclave.Measurement{}) {
+		return fmt.Errorf("procplane: join ack measurement is %d bytes, want %d", len(ack.Measurement), len(enclave.Measurement{}))
+	}
+	trust := client.TrustAnchors{PlatformRoot: ed25519.PublicKey(ack.PlatformRoot)}
+	copy(trust.Measurement[:], ack.Measurement)
+
+	mine := make(map[uint64]bool, len(m.Agents))
+	for _, id := range m.Agents {
+		mine[id] = true
+	}
+	agents := make(map[uint64]*client.Agent)
+	handlers := make(map[topology.Endpoint]func(*wire.Packet))
+	defer func() {
+		for _, ag := range agents {
+			ag.Close()
+		}
+	}()
+	for _, ap := range topo.AccessPoints() {
+		if !mine[ap.ClientID] {
+			continue
+		}
+		ag, exists := agents[ap.ClientID]
+		if !exists {
+			ag, err = client.New(client.Config{
+				ClientID:        ap.ClientID,
+				Access:          ap,
+				NIC:             trunkNIC{tc},
+				Trust:           trust,
+				Protocol:        uint8(spec.Agents.Protocol),
+				ResponseTimeout: spec.Agents.ResponseTimeout.Std(),
+			})
+			if err != nil {
+				return err
+			}
+			ag.PinServerKey(ed25519.PublicKey(ack.ServerKey))
+			agents[ap.ClientID] = ag
+		}
+		handlers[ap.Endpoint] = ag.HandlerFor(ap)
+	}
+	for id := range mine {
+		if agents[id] == nil {
+			return fmt.Errorf("procplane: client %d has no access point in the acked topology", id)
+		}
+	}
+
+	// deliver routes a trunk host delivery to the owning agent's NIC.
+	deliver := func(payload []byte) {
+		ep, pkt, err := DecodeFrame(payload)
+		if err != nil {
+			logf("agentd %s: %v", m.Group, err)
+			return
+		}
+		h := handlers[ep]
+		if h == nil {
+			logf("agentd %s: host delivery for unhosted endpoint %s", m.Group, ep)
+			return
+		}
+		h(pkt)
+	}
+
+	// Register the agents' verification keys; frames may already interleave
+	// on the trunk while the ack is in flight.
+	reg := Register{Keys: make(map[uint64][]byte, len(agents))}
+	for id, ag := range agents {
+		reg.Keys[id] = ag.PublicKey()
+	}
+	if err := tc.WriteJSON(MsgRegister, &reg); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(joinWait)
+	for acked := false; !acked; {
+		tc.SetReadDeadline(deadline)
+		typ, payload, err := tc.Read()
+		if err != nil {
+			return fmt.Errorf("procplane: waiting for register ack: %w", err)
+		}
+		switch typ {
+		case MsgRegisterAck:
+			var rack RegisterAck
+			if err := decodeJSON(payload, &rack); err != nil {
+				return err
+			}
+			if rack.Error != "" {
+				return fmt.Errorf("procplane: register refused: %s", rack.Error)
+			}
+			acked = true
+		case MsgFrameHost:
+			deliver(payload)
+		case MsgBeat:
+		default:
+			logf("agentd %s: unexpected trunk message type %d before register ack", m.Group, typ)
+		}
+	}
+	tc.SetReadDeadline(time.Time{})
+	logf("agentd %s: joined lab %q hosting clients %v", m.Group, m.Lab, m.Agents)
+
+	beatStop := make(chan struct{})
+	defer close(beatStop)
+	go beatLoop(tc, beatStop)
+
+	// The read loop must run before any agent request: responses come back
+	// as trunk host deliveries.
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			typ, payload, err := tc.Read()
+			if err != nil {
+				if cancelled() {
+					readErr <- nil
+				} else {
+					readErr <- fmt.Errorf("procplane: trunk closed: %w", err)
+				}
+				return
+			}
+			switch typ {
+			case MsgFrameHost:
+				deliver(payload)
+			case MsgBeat:
+			default:
+				logf("agentd %s: unexpected trunk message type %d", m.Group, typ)
+			}
+		}
+	}()
+
+	// Standing invariants for this group's clients, over the real in-band
+	// path (frame inject -> trunk -> fabric -> RVaaS and back). Bring-up
+	// races are expected — this process may join before the switch hosting
+	// the client's access point has attached, or before the controller
+	// started — so failed subscribes retry until the join window closes.
+	subDeadline := time.Now().Add(joinWait)
+	for _, inv := range spec.Invariants {
+		ag := agents[inv.Client]
+		if ag == nil {
+			continue
+		}
+		kind, err := inv.WireKind()
+		if err != nil {
+			return err
+		}
+		constraints, err := inv.WireConstraints()
+		if err != nil {
+			return err
+		}
+		for {
+			_, err := ag.Subscribe(kind, constraints, inv.Param)
+			if err == nil {
+				break
+			}
+			if time.Now().After(subDeadline) {
+				return fmt.Errorf("procplane: register %s invariant for client %d: %w", inv.Kind, inv.Client, err)
+			}
+			logf("agentd %s: subscribe %s for client %d: %v (retrying)", m.Group, inv.Kind, inv.Client, err)
+			select {
+			case <-time.After(250 * time.Millisecond):
+			case err := <-readErr:
+				return err
+			}
+		}
+	}
+	return <-readErr
+}

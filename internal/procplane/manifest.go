@@ -1,0 +1,143 @@
+// Package procplane is the process plane of a multi-process lab: the
+// rendezvous manifest a placed process starts from, the length-prefixed TCP
+// trunk protocol it speaks to the deploy controller (join, data-plane frame
+// hand-off, flow programming, liveness beats), and the child-side runtimes —
+// RunSwitchd hosts a group of switch simulators, RunAgentd a group of client
+// agents. The controller side (supervisor, trunk hub, attach listener) lives
+// in internal/deploy; cmd/switchd and cmd/agentd are thin mains over the
+// runtimes here.
+package procplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Process kinds a manifest can describe.
+const (
+	// KindSwitchd hosts switch simulators (data + control plane).
+	KindSwitchd = "switchd"
+	// KindAgentd hosts client agents.
+	KindAgentd = "agentd"
+)
+
+// Manifest is the rendezvous document a placed process needs to join its
+// lab: where the trunk is, who the process is, and what it must present.
+// deploy writes one per external group; local-exec children receive theirs
+// on stdin. Everything else — the lab spec, channel certificates, trust
+// anchors — arrives over the trunk in the join acknowledgement, so a
+// manifest stays small and a stale one fails closed at join time.
+type Manifest struct {
+	// Lab is the lab name (must match the controller's spec).
+	Lab string `json:"lab"`
+	// Group names the placement group this process hosts.
+	Group string `json:"group"`
+	// Kind is "switchd" or "agentd".
+	Kind string `json:"kind"`
+	// Token is the join token presented on the trunk. The controller
+	// refuses joins with the wrong token before issuing any credentials.
+	Token string `json:"token"`
+	// Trunk is the controller's TCP trunk address to dial.
+	Trunk string `json:"trunk"`
+	// Switches lists the switch IDs this process hosts (switchd).
+	Switches []uint32 `json:"switches,omitempty"`
+	// Agents lists the client IDs whose agents this process hosts (agentd).
+	Agents []uint64 `json:"agents,omitempty"`
+}
+
+// Validate checks the manifest is self-consistent and complete.
+func (m *Manifest) Validate() error {
+	if strings.TrimSpace(m.Lab) == "" {
+		return fmt.Errorf("procplane: manifest: lab: required")
+	}
+	if strings.TrimSpace(m.Group) == "" {
+		return fmt.Errorf("procplane: manifest: group: required")
+	}
+	if strings.TrimSpace(m.Token) == "" {
+		return fmt.Errorf("procplane: manifest: token: required")
+	}
+	if strings.TrimSpace(m.Trunk) == "" {
+		return fmt.Errorf("procplane: manifest: trunk: required (controller trunk address)")
+	}
+	switch m.Kind {
+	case KindSwitchd:
+		if len(m.Switches) == 0 {
+			return fmt.Errorf("procplane: manifest: switches: a switchd group needs at least one switch")
+		}
+		if len(m.Agents) > 0 {
+			return fmt.Errorf("procplane: manifest: a switchd group cannot host agents")
+		}
+	case KindAgentd:
+		if len(m.Agents) == 0 {
+			return fmt.Errorf("procplane: manifest: agents: an agentd group needs at least one client")
+		}
+		if len(m.Switches) > 0 {
+			return fmt.Errorf("procplane: manifest: an agentd group cannot host switches")
+		}
+	case "":
+		return fmt.Errorf("procplane: manifest: kind: required (%s or %s)", KindSwitchd, KindAgentd)
+	default:
+		return fmt.Errorf("procplane: manifest: kind: unknown %q (want %s or %s)", m.Kind, KindSwitchd, KindAgentd)
+	}
+	return nil
+}
+
+// Marshal renders the manifest as indented JSON.
+func (m *Manifest) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("procplane: marshal manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseManifest decodes and validates a manifest document.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("procplane: parse manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WriteManifest writes the manifest to path with owner-only permissions
+// (it carries the join token).
+func WriteManifest(path string, m *Manifest) error {
+	b, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		return fmt.Errorf("procplane: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest reads and validates a manifest from a stream (the stdin
+// hand-off a spawned local-exec child starts from).
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("procplane: read manifest: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("procplane: %w", err)
+	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,281 @@
+package procplane
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/labspec"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Logf is the child runtimes' logging hook (nil discards).
+type Logf func(format string, args ...any)
+
+// joinWait bounds the join / register round trips with the controller.
+const joinWait = 15 * time.Second
+
+func nopLog(string, ...any) {}
+
+// dialTrunk connects the trunk and completes the join exchange, returning
+// the framed connection and the parsed acknowledgement.
+func dialTrunk(ctx context.Context, m *Manifest, join *JoinRequest) (*Conn, *JoinAck, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", m.Trunk)
+	if err != nil {
+		return nil, nil, fmt.Errorf("procplane: dial trunk %s: %w", m.Trunk, err)
+	}
+	tc := NewConn(nc)
+	if err := tc.WriteJSON(MsgJoin, join); err != nil {
+		tc.Close()
+		return nil, nil, err
+	}
+	tc.SetReadDeadline(time.Now().Add(joinWait))
+	typ, payload, err := tc.Read()
+	tc.SetReadDeadline(time.Time{})
+	if err != nil {
+		tc.Close()
+		return nil, nil, fmt.Errorf("procplane: waiting for join ack: %w", err)
+	}
+	if typ != MsgJoinAck {
+		tc.Close()
+		return nil, nil, fmt.Errorf("procplane: expected join ack, got message type %d", typ)
+	}
+	var ack JoinAck
+	if err := decodeJSON(payload, &ack); err != nil {
+		tc.Close()
+		return nil, nil, err
+	}
+	if ack.Error != "" {
+		tc.Close()
+		return nil, nil, fmt.Errorf("procplane: join refused: %s", ack.Error)
+	}
+	return tc, &ack, nil
+}
+
+// buildLab parses the acked spec and rebuilds the (deterministic) topology.
+func buildLab(ack *JoinAck) (*labspec.Spec, *topology.Topology, error) {
+	spec, err := labspec.Parse(ack.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("procplane: acked spec: %w", err)
+	}
+	topo, err := spec.Topology.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("procplane: acked topology: %w", err)
+	}
+	return spec, topo, nil
+}
+
+// watchCtx closes the trunk when ctx is cancelled so blocked reads unwind;
+// the returned func reports whether the cancel fired.
+func watchCtx(ctx context.Context, tc *Conn) (stop func(), cancelled func() bool) {
+	done := make(chan struct{})
+	fired := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			close(fired)
+			tc.Close()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }, func() bool {
+		select {
+		case <-fired:
+			return true
+		default:
+			return ctx.Err() != nil
+		}
+	}
+}
+
+// beatLoop sends liveness beats until the trunk dies or stop closes.
+func beatLoop(tc *Conn, stop <-chan struct{}) {
+	tick := time.NewTicker(BeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if err := tc.Write(MsgBeat, nil); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// RunSwitchd joins the lab described by the manifest and hosts its group of
+// switch simulators until ctx is cancelled or the trunk closes: it presents
+// the join token with one CSR public key per switch, rebuilds the topology
+// from the acked spec, runs a partial fabric whose cross-seam traffic rides
+// the trunk, and brings each switch's secure control channel up to the
+// controller's UDP attach listener — the same authenticated encrypted
+// channel an in-process lab uses, now crossing a real process boundary.
+func RunSwitchd(ctx context.Context, m *Manifest, logf Logf) error {
+	if logf == nil {
+		logf = nopLog
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Kind != KindSwitchd {
+		return fmt.Errorf("procplane: RunSwitchd on a %q manifest", m.Kind)
+	}
+
+	// Local switch identities; only public keys travel in the join.
+	idents := make(map[uint32]*openflow.Identity, len(m.Switches))
+	keys := make(map[uint32][]byte, len(m.Switches))
+	for _, sw := range m.Switches {
+		id, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", sw))
+		if err != nil {
+			return err
+		}
+		idents[sw] = id
+		keys[sw] = id.Pub
+	}
+	tc, ack, err := dialTrunk(ctx, m, &JoinRequest{
+		Lab: m.Lab, Group: m.Group, Token: m.Token,
+		Kind: KindSwitchd, SwitchKeys: keys,
+	})
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	stopWatch, cancelled := watchCtx(ctx, tc)
+	defer stopWatch()
+
+	_, topo, err := buildLab(ack)
+	if err != nil {
+		return err
+	}
+	if ack.AttachAddr == "" {
+		return errors.New("procplane: join ack carries no attach address")
+	}
+	own := make([]topology.SwitchID, len(m.Switches))
+	for i, sw := range m.Switches {
+		own[i] = topology.SwitchID(sw)
+	}
+	fab, err := fabric.NewPartial(topo, own, func(to topology.Endpoint, host bool, pkt *wire.Packet) {
+		typ := MsgFramePort
+		if host {
+			typ = MsgFrameHost
+		}
+		if err := tc.Write(typ, EncodeFrame(to, pkt)); err != nil {
+			logf("switchd %s: trunk hand-off to %s: %v", m.Group, to, err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	// Secure control channels: one UDP dial + client handshake per switch.
+	// The controller attaches each on its side of the handshake.
+	caPub := ed25519.PublicKey(ack.CAPub)
+	var swConns []*openflow.SecureConn
+	defer func() {
+		for _, c := range swConns {
+			c.Close()
+		}
+	}()
+	for _, sw := range m.Switches {
+		cert, ok := ack.Certs[sw]
+		if !ok {
+			return fmt.Errorf("procplane: join ack carries no certificate for switch %d", sw)
+		}
+		raw, err := openflow.DialUDP(ack.AttachAddr)
+		if err != nil {
+			return fmt.Errorf("procplane: dial attach listener: %w", err)
+		}
+		sc, err := openflow.SecureClient(raw, idents[sw], cert, caPub)
+		if err != nil {
+			raw.Close()
+			return fmt.Errorf("procplane: secure channel for switch %d: %w", sw, err)
+		}
+		if err := fab.Switch(topology.SwitchID(sw)).Serve(sc); err != nil {
+			sc.Close()
+			return err
+		}
+		swConns = append(swConns, sc)
+	}
+	logf("switchd %s: joined lab %q hosting switches %v", m.Group, m.Lab, m.Switches)
+
+	beatStop := make(chan struct{})
+	defer close(beatStop)
+	go beatLoop(tc, beatStop)
+
+	for {
+		typ, payload, err := tc.Read()
+		if err != nil {
+			if cancelled() {
+				return nil
+			}
+			return fmt.Errorf("procplane: trunk closed: %w", err)
+		}
+		switch typ {
+		case MsgFramePort:
+			ep, pkt, err := DecodeFrame(payload)
+			if err != nil {
+				logf("switchd %s: %v", m.Group, err)
+				continue
+			}
+			if err := fab.InjectAtPort(ep, pkt); err != nil {
+				logf("switchd %s: inject at %s: %v", m.Group, ep, err)
+			}
+		case MsgFrameInject:
+			ep, pkt, err := DecodeFrame(payload)
+			if err != nil {
+				logf("switchd %s: %v", m.Group, err)
+				continue
+			}
+			if err := fab.InjectFromHost(ep, pkt); err != nil {
+				logf("switchd %s: host inject at %s: %v", m.Group, ep, err)
+			}
+		case MsgFrameHost:
+			// No agents live here; deliver to any locally attached handler
+			// (counts the delivery even without one).
+			ep, pkt, err := DecodeFrame(payload)
+			if err != nil {
+				logf("switchd %s: %v", m.Group, err)
+				continue
+			}
+			fab.DeliverToHost(ep, pkt)
+		case MsgFlowMod:
+			sw, mod, err := DecodeFlowMod(payload)
+			if err != nil {
+				logf("switchd %s: %v", m.Group, err)
+				continue
+			}
+			dp := fab.Switch(sw)
+			if dp == nil {
+				logf("switchd %s: flowmod for unhosted switch %d", m.Group, sw)
+				continue
+			}
+			// Fire-and-forget by design: the programming plane is the
+			// untrusted provider path, and the verification plane audits
+			// the switch's actual state over its own secure channel.
+			if err := dp.ApplyFlowMod(mod); err != nil {
+				logf("switchd %s: flowmod on switch %d: %v", m.Group, sw, err)
+			}
+		case MsgBeat:
+			// Controller beats are informational.
+		default:
+			logf("switchd %s: unexpected trunk message type %d", m.Group, typ)
+		}
+	}
+}
+
+func decodeJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("procplane: decode trunk message: %w", err)
+	}
+	return nil
+}

@@ -100,9 +100,9 @@ func TestListSubscriptionsFilterAndPaginate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("list: %v", err)
 	}
-	if all.Total != size || len(all.Subs) != size || all.NextAfter != 0 {
+	if all.Total != size || len(all.Subs) != size || all.NextCursor != 0 {
 		t.Fatalf("list all = total %d, %d subs, next %d; want %d, %d, 0",
-			all.Total, len(all.Subs), all.NextAfter, size, size)
+			all.Total, len(all.Subs), all.NextCursor, size, size)
 	}
 	for i := 1; i < len(all.Subs); i++ {
 		if all.Subs[i].ID <= all.Subs[i-1].ID {
@@ -112,9 +112,9 @@ func TestListSubscriptionsFilterAndPaginate(t *testing.T) {
 
 	// Paginate by 5: 12 subs = pages of 5, 5, 2.
 	var got []uint64
-	after, pages := uint64(0), 0
+	cursor, pages := uint64(0), 0
 	for {
-		page, err := svc.ListSubscriptions(admin.SubFilter{}, after, 5)
+		page, err := svc.ListSubscriptions(admin.SubFilter{}, cursor, 5)
 		if err != nil {
 			t.Fatalf("page: %v", err)
 		}
@@ -122,10 +122,10 @@ func TestListSubscriptionsFilterAndPaginate(t *testing.T) {
 		for _, s := range page.Subs {
 			got = append(got, s.ID)
 		}
-		if page.NextAfter == 0 {
+		if page.NextCursor == 0 {
 			break
 		}
-		after = page.NextAfter
+		cursor = page.NextCursor
 	}
 	if pages != 3 || len(got) != size {
 		t.Fatalf("pagination: %d pages, %d subs; want 3 pages, %d subs", pages, len(got), size)
@@ -226,21 +226,39 @@ func TestVerdictHistoryAndSessions(t *testing.T) {
 	viol := awaitViolated(t, d, svc, 3)
 	sub := viol.Subs[0]
 
-	hist, err := svc.VerdictHistory(sub.ID)
+	hist, err := svc.VerdictHistory(sub.ID, 0, 0)
 	if err != nil {
 		t.Fatalf("history: %v", err)
 	}
-	if !hist.Live || len(hist.Verdicts) == 0 {
+	if !hist.Live || len(hist.Verdicts) == 0 || hist.Total != len(hist.Verdicts) {
 		t.Fatalf("history: %+v", hist)
 	}
 	if hist.Verdicts[len(hist.Verdicts)-1].Event != "violation" {
 		t.Fatalf("last verdict %q, want violation", hist.Verdicts[len(hist.Verdicts)-1].Event)
 	}
-	if _, err := svc.VerdictHistory(999999); err == nil {
+	// History pagination: limit 1 walks the ring one verdict per page.
+	var walked int
+	for cursor := uint64(0); ; {
+		page, err := svc.VerdictHistory(sub.ID, cursor, 1)
+		if err != nil {
+			t.Fatalf("history page: %v", err)
+		}
+		walked += len(page.Verdicts)
+		if page.NextCursor == 0 {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if walked != hist.Total {
+		t.Fatalf("history pagination walked %d of %d", walked, hist.Total)
+	}
+	if _, err := svc.VerdictHistory(999999, 0, 0); err == nil {
 		t.Fatal("history for unknown sub accepted")
+	} else if admin.AsError(err).Code != admin.CodeNotFound {
+		t.Fatalf("unknown sub error code = %q, want not_found", admin.AsError(err).Code)
 	}
 
-	sess := svc.Sessions()
+	sess := svc.Sessions(0, 0)
 	if len(sess.Switches) != 4 {
 		t.Fatalf("switch sessions: %d, want 4", len(sess.Switches))
 	}
@@ -255,6 +273,25 @@ func TestVerdictHistoryAndSessions(t *testing.T) {
 			t.Fatalf("client %d session: %+v", cs.Client, cs)
 		}
 	}
+	if sess.TotalClients != 4 {
+		t.Fatalf("totalClients = %d, want 4", sess.TotalClients)
+	}
+
+	// Client-session pagination walks every session exactly once.
+	var clients []uint64
+	for cursor := uint64(0); ; {
+		page := svc.Sessions(cursor, 3)
+		for _, cs := range page.Clients {
+			clients = append(clients, cs.Client)
+		}
+		if page.NextCursor == 0 {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(clients) != 4 {
+		t.Fatalf("paged client sessions = %v, want 4 entries", clients)
+	}
 }
 
 func TestForceResync(t *testing.T) {
@@ -263,8 +300,39 @@ func TestForceResync(t *testing.T) {
 		t.Fatalf("resync attached switch: %v", err)
 	}
 	waitUntil(t, "resync counted", func() bool { return d.RVaaS.Stats().Resyncs > 0 })
-	if err := svc.ForceResync(99); err == nil {
-		t.Fatal("resync of unattached switch accepted")
+	err := svc.ForceResync(99)
+	if err == nil {
+		t.Fatal("resync of unknown switch accepted")
+	}
+	if admin.AsError(err).Code != admin.CodeNotFound {
+		t.Fatalf("unknown switch error code = %q, want not_found", admin.AsError(err).Code)
+	}
+}
+
+func TestVersionAndProcs(t *testing.T) {
+	_, svc, _, _ := lab(t, 3)
+	v := svc.Version()
+	if v.APIVersion != admin.APIVersion || v.GoVersion == "" {
+		t.Fatalf("version: %+v", v)
+	}
+	if len(v.EnvelopeProtocols) != 2 || v.EnvelopeProtocols[0] != 1 || v.EnvelopeProtocols[1] != 2 {
+		t.Fatalf("envelope protocols: %v", v.EnvelopeProtocols)
+	}
+
+	// No proc source: empty but well-formed.
+	procs := svc.Procs()
+	if procs.Total != 0 || procs.Procs == nil {
+		t.Fatalf("procs without source: %+v", procs)
+	}
+	svc.WithProcs(func() []admin.ProcHealth {
+		return []admin.ProcHealth{{
+			Name: "sw-left", Role: admin.ProcRoleSwitchd, Proc: "local-exec",
+			PID: 4242, State: admin.ProcStateRunning, Switches: []uint32{1, 2},
+		}}
+	})
+	procs = svc.Procs()
+	if procs.Total != 1 || procs.Procs[0].Name != "sw-left" {
+		t.Fatalf("procs with source: %+v", procs)
 	}
 }
 
@@ -293,40 +361,52 @@ func TestHTTPHandler(t *testing.T) {
 	}
 
 	var ov admin.OverviewView
-	if resp := getJSON("/v1/overview", &ov); resp.StatusCode != http.StatusOK {
+	resp := getJSON("/v1/overview", &ov)
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("overview status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(admin.APIVersionHeader); got != admin.APIVersion {
+		t.Fatalf("%s header = %q, want %q", admin.APIVersionHeader, got, admin.APIVersion)
 	}
 	if ov.SubsActive != size {
 		t.Fatalf("overview subsActive %d, want %d", ov.SubsActive, size)
+	}
+
+	var ver admin.VersionView
+	if resp := getJSON("/v1/version", &ver); resp.StatusCode != http.StatusOK {
+		t.Fatalf("version status %d", resp.StatusCode)
+	}
+	if ver.APIVersion != admin.APIVersion || len(ver.EnvelopeProtocols) == 0 {
+		t.Fatalf("version body: %+v", ver)
 	}
 
 	d.Fabric.Switch(victim).InstallDirect(blackhole)
 	awaitViolated(t, d, svc, size-1)
 
 	var page admin.SubPage
-	if resp := getJSON("/v1/subs?status=violated&pageSize=50", &page); resp.StatusCode != http.StatusOK {
+	if resp := getJSON("/v1/subs?status=violated&limit=50", &page); resp.StatusCode != http.StatusOK {
 		t.Fatalf("subs status %d", resp.StatusCode)
 	}
-	if page.Total != size-1 || len(page.Subs) != page.Total || page.NextAfter != 0 {
+	if page.Total != size-1 || len(page.Subs) != page.Total || page.NextCursor != 0 {
 		t.Fatalf("violated page: %+v", page)
 	}
 
-	// Pagination over HTTP: pageSize=3 cursor walk covers every sub once.
+	// Pagination over HTTP: limit=3 cursor walk covers every sub once.
 	seen := map[uint64]bool{}
-	after := uint64(0)
+	cursor := uint64(0)
 	for {
 		var p admin.SubPage
-		getJSON(fmt.Sprintf("/v1/subs?pageSize=3&after=%d", after), &p)
+		getJSON(fmt.Sprintf("/v1/subs?limit=3&cursor=%d", cursor), &p)
 		for _, s := range p.Subs {
 			if seen[s.ID] {
 				t.Fatalf("sub %d returned twice", s.ID)
 			}
 			seen[s.ID] = true
 		}
-		if p.NextAfter == 0 {
+		if p.NextCursor == 0 {
 			break
 		}
-		after = p.NextAfter
+		cursor = p.NextCursor
 	}
 	if len(seen) != size {
 		t.Fatalf("cursor walk covered %d of %d subs", len(seen), size)
@@ -352,23 +432,58 @@ func TestHTTPHandler(t *testing.T) {
 		t.Fatalf("sessions: %d switches, want %d", len(sess.Switches), size)
 	}
 
-	// Error shapes.
-	var apiErr map[string]string
-	if resp := getJSON("/v1/subs?status=bogus", &apiErr); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bogus status -> %d, want 400", resp.StatusCode)
-	}
-	if !strings.Contains(apiErr["error"], "unknown status filter") {
-		t.Fatalf("error body: %v", apiErr)
-	}
-	if resp := getJSON("/v1/subs/notanumber/history", &apiErr); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad id -> %d, want 400", resp.StatusCode)
-	}
-	if resp := getJSON("/v1/subs/424242/history", &apiErr); resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown id -> %d, want 404", resp.StatusCode)
+	var procs admin.ProcsView
+	if resp := getJSON("/v1/procs", &procs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("procs status %d", resp.StatusCode)
 	}
 
+	// Typed error envelope on every failure shape.
+	wantError := func(resp *http.Response, apiErr admin.Error, status int, code admin.ErrorCode, msgSub string) {
+		t.Helper()
+		if resp.StatusCode != status {
+			t.Fatalf("status %d, want %d (envelope %+v)", resp.StatusCode, status, apiErr)
+		}
+		if apiErr.Code != code {
+			t.Fatalf("code %q, want %q (envelope %+v)", apiErr.Code, code, apiErr)
+		}
+		if msgSub != "" && !strings.Contains(apiErr.Message, msgSub) {
+			t.Fatalf("message %q missing %q", apiErr.Message, msgSub)
+		}
+		if got := resp.Header.Get(admin.APIVersionHeader); got != admin.APIVersion {
+			t.Fatalf("error response missing version header (got %q)", got)
+		}
+	}
+	var apiErr admin.Error
+	wantError(getJSON("/v1/subs?status=bogus", &apiErr), apiErr,
+		http.StatusBadRequest, admin.CodeBadRequest, "unknown status filter")
+	apiErr = admin.Error{}
+	wantError(getJSON("/v1/subs/notanumber/history", &apiErr), apiErr,
+		http.StatusBadRequest, admin.CodeBadRequest, "bad subscription id")
+	apiErr = admin.Error{}
+	wantError(getJSON("/v1/subs/424242/history", &apiErr), apiErr,
+		http.StatusNotFound, admin.CodeNotFound, "no retained history")
+	// Pre-v1 pagination names are rejected, not silently ignored.
+	apiErr = admin.Error{}
+	wantError(getJSON("/v1/subs?pageSize=3", &apiErr), apiErr,
+		http.StatusBadRequest, admin.CodeBadRequest, "renamed")
+	// Unknown endpoint: typed 404 instead of the mux's plain text.
+	apiErr = admin.Error{}
+	wantError(getJSON("/v1/nonsense", &apiErr), apiErr,
+		http.StatusNotFound, admin.CodeNotFound, "no such endpoint")
+	// Wrong method: typed 405.
+	resp, err := http.Post(srv.URL+"/v1/overview", "", nil)
+	if err != nil {
+		t.Fatalf("post overview: %v", err)
+	}
+	apiErr = admin.Error{}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("decode 405 envelope: %v", err)
+	}
+	resp.Body.Close()
+	wantError(resp, apiErr, http.StatusMethodNotAllowed, admin.CodeMethodNotAllowed, "not allowed")
+
 	// Resync endpoint.
-	resp, err := http.Post(srv.URL+"/v1/resync?switch=1", "", nil)
+	resp, err = http.Post(srv.URL+"/v1/resync?switch=1", "", nil)
 	if err != nil {
 		t.Fatalf("resync: %v", err)
 	}
@@ -380,8 +495,10 @@ func TestHTTPHandler(t *testing.T) {
 	if err != nil {
 		t.Fatalf("resync: %v", err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("resync unattached -> %d, want 404", resp.StatusCode)
+	apiErr = admin.Error{}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("decode resync envelope: %v", err)
 	}
+	resp.Body.Close()
+	wantError(resp, apiErr, http.StatusNotFound, admin.CodeNotFound, "not in the topology")
 }

@@ -1,0 +1,78 @@
+package admin
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error is the typed error envelope every /v1/* endpoint returns on
+// failure: a stable machine-readable code, a human message, and optional
+// detail. `rvaasd ops` maps codes to distinct process exit codes.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// ErrorCode enumerates the stable v1 error codes.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: malformed parameter or filter (HTTP 400).
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeNotFound: the referenced object does not exist (HTTP 404).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeMethodNotAllowed: known path, wrong HTTP method (HTTP 405).
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeConflict: the object exists but is in a state that rejects the
+	// operation, e.g. resync of a detached switch (HTTP 409).
+	CodeConflict ErrorCode = "conflict"
+	// CodeInternal: unexpected server-side failure (HTTP 500).
+	CodeInternal ErrorCode = "internal"
+)
+
+func (e *Error) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s: %s (%s)", e.Code, e.Message, e.Detail)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// HTTPStatus maps the code to its HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeConflict:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func badRequest(format string, args ...any) *Error {
+	return &Error{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *Error {
+	return &Error{Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
+}
+
+func conflict(format string, args ...any) *Error {
+	return &Error{Code: CodeConflict, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsError coerces any error to the typed envelope; non-typed errors become
+// code "internal" so clients always see the same shape.
+func AsError(err error) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Code: CodeInternal, Message: err.Error()}
+}

@@ -11,21 +11,38 @@
 package admin
 
 import (
-	"fmt"
+	"errors"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"time"
 
 	"repro/internal/rvaas"
 	"repro/internal/topology"
+	"repro/internal/wire"
 )
+
+// APIVersion is the admin API contract version, reported by /v1/version and
+// the X-RVaaS-Api-Version header on every response.
+const APIVersion = "1"
 
 // Service is the operator-plane service layer.
 type Service struct {
 	ctl *rvaas.Controller
+	// procs reports per-process health of a multi-process lab (nil for a
+	// single-process deployment).
+	procs func() []ProcHealth
 }
 
 // NewService wraps a running controller.
 func NewService(ctl *rvaas.Controller) *Service { return &Service{ctl: ctl} }
+
+// WithProcs attaches a per-process health source (a multi-process lab's
+// supervisor). Returns the service for chaining.
+func (s *Service) WithProcs(fn func() []ProcHealth) *Service {
+	s.procs = fn
+	return s
+}
 
 // Subscription status filter values.
 const (
@@ -53,7 +70,7 @@ func (f SubFilter) validate() error {
 	case StatusAny, StatusViolated, StatusOK:
 		return nil
 	}
-	return fmt.Errorf("admin: unknown status filter %q (want %q or %q)", f.Status, StatusViolated, StatusOK)
+	return badRequest("unknown status filter %q (want %q or %q)", f.Status, StatusViolated, StatusOK)
 }
 
 func (f SubFilter) match(s rvaas.SubscriptionInfo) bool {
@@ -102,26 +119,26 @@ func subView(s rvaas.SubscriptionInfo) SubView {
 }
 
 // SubPage is one page of a filtered subscription listing, keyed by ID:
-// request the next page with After = NextAfter until NextAfter is 0.
+// request the next page with cursor = NextCursor until NextCursor is 0.
 type SubPage struct {
 	Subs []SubView `json:"subs"`
 	// Total is the number of subscriptions matching the filter (all pages).
 	Total int `json:"total"`
-	// NextAfter is the cursor for the next page (0 = exhausted).
-	NextAfter uint64 `json:"nextAfter"`
+	// NextCursor resumes the listing on the next page (0 = exhausted).
+	NextCursor uint64 `json:"nextCursor"`
 }
 
 // DefaultPageSize bounds listings when the caller does not choose one.
 const DefaultPageSize = 100
 
 // ListSubscriptions returns the page of filtered subscriptions with ID >
-// after, in ID order.
-func (s *Service) ListSubscriptions(f SubFilter, after uint64, pageSize int) (SubPage, error) {
+// cursor, in ID order, at most limit entries (0 = DefaultPageSize).
+func (s *Service) ListSubscriptions(f SubFilter, cursor uint64, limit int) (SubPage, error) {
 	if err := f.validate(); err != nil {
 		return SubPage{}, err
 	}
-	if pageSize <= 0 {
-		pageSize = DefaultPageSize
+	if limit <= 0 {
+		limit = DefaultPageSize
 	}
 	page := SubPage{Subs: []SubView{}}
 	for _, sub := range s.ctl.Subscriptions() {
@@ -129,13 +146,13 @@ func (s *Service) ListSubscriptions(f SubFilter, after uint64, pageSize int) (Su
 			continue
 		}
 		page.Total++
-		if sub.ID <= after {
+		if sub.ID <= cursor {
 			continue
 		}
-		if len(page.Subs) < pageSize {
+		if len(page.Subs) < limit {
 			page.Subs = append(page.Subs, subView(sub))
-		} else if page.NextAfter == 0 {
-			page.NextAfter = page.Subs[len(page.Subs)-1].ID
+		} else if page.NextCursor == 0 {
+			page.NextCursor = page.Subs[len(page.Subs)-1].ID
 		}
 	}
 	return page, nil
@@ -173,22 +190,37 @@ type VerdictView struct {
 	SnapshotID uint64    `json:"snapshotId"`
 }
 
-// HistoryView is the verdict history of one subscription.
+// HistoryView is one page of the verdict history of one subscription,
+// oldest first. Request the next page with cursor = NextCursor until
+// NextCursor is 0 (the cursor is a position in the retained ring).
 type HistoryView struct {
 	SubID uint64 `json:"subId"`
 	// Live reports whether the subscription is currently registered.
 	Live     bool          `json:"live"`
 	Verdicts []VerdictView `json:"verdicts"`
+	// Total is the number of retained transitions (all pages).
+	Total int `json:"total"`
+	// NextCursor resumes the listing on the next page (0 = exhausted).
+	NextCursor uint64 `json:"nextCursor"`
 }
 
-// VerdictHistory returns the retained verdict transitions of a
-// subscription. An ID with no live registration and no history is an error.
-func (s *Service) VerdictHistory(subID uint64) (HistoryView, error) {
+// VerdictHistory returns one page of the retained verdict transitions of a
+// subscription, skipping cursor entries, at most limit per page (0 = all).
+// An ID with no live registration and no history is a not_found error.
+func (s *Service) VerdictHistory(subID, cursor uint64, limit int) (HistoryView, error) {
 	records, live := s.ctl.SubscriptionHistory(subID)
 	if !live && len(records) == 0 {
-		return HistoryView{}, fmt.Errorf("admin: subscription %d: not registered and no retained history", subID)
+		return HistoryView{}, notFound("subscription %d: not registered and no retained history", subID)
 	}
-	view := HistoryView{SubID: subID, Live: live, Verdicts: make([]VerdictView, 0, len(records))}
+	view := HistoryView{SubID: subID, Live: live, Total: len(records), Verdicts: []VerdictView{}}
+	if cursor > uint64(len(records)) {
+		cursor = uint64(len(records))
+	}
+	records = records[cursor:]
+	if limit > 0 && len(records) > limit {
+		records = records[:limit]
+		view.NextCursor = cursor + uint64(limit)
+	}
 	for _, r := range records {
 		view.Verdicts = append(view.Verdicts, VerdictView{
 			At: r.At, Event: r.Event.String(), Client: r.ClientID,
@@ -199,14 +231,33 @@ func (s *Service) VerdictHistory(subID uint64) (HistoryView, error) {
 }
 
 // ForceResync triggers an authoritative re-sync of one switch's snapshot.
+// An unknown switch is a not_found error; a known but currently detached
+// switch is a conflict (the session must reattach first).
 func (s *Service) ForceResync(sw uint32) error {
-	return s.ctl.ForceResync(topology.SwitchID(sw))
+	err := s.ctl.ForceResync(topology.SwitchID(sw))
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, rvaas.ErrUnknownSwitch):
+		return notFound("%v", err)
+	case errors.Is(err, rvaas.ErrNotAttached):
+		return conflict("%v", err)
+	default:
+		return err
+	}
 }
 
-// SessionsView lists client sessions and attached switch sessions.
+// SessionsView lists client sessions (one page) and switch sessions (all —
+// bounded by topology size). Request the next client page with cursor =
+// NextCursor until NextCursor is 0 (the cursor is a position in the
+// client-ordered listing).
 type SessionsView struct {
 	Clients  []ClientSessionView `json:"clients"`
 	Switches []SwitchSessionView `json:"switches"`
+	// TotalClients is the number of client sessions (all pages).
+	TotalClients int `json:"totalClients"`
+	// NextCursor resumes the client listing on the next page (0 = exhausted).
+	NextCursor uint64 `json:"nextCursor"`
 }
 
 // ClientSessionView is one client session group.
@@ -218,17 +269,30 @@ type ClientSessionView struct {
 	Violated      int    `json:"violated"`
 }
 
-// SwitchSessionView is one attached switch control channel.
+// SwitchSessionView is one topology switch's control-channel state:
+// attached / resyncing / detached / pending.
 type SwitchSessionView struct {
 	Switch    uint32 `json:"switch"`
-	PeerName  string `json:"peerName"`
+	PeerName  string `json:"peerName,omitempty"`
+	State     string `json:"state"`
 	Resyncing bool   `json:"resyncing"`
 }
 
-// Sessions lists client session groups and switch control sessions.
-func (s *Service) Sessions() SessionsView {
+// Sessions lists client session groups (paginated: skip cursor entries, at
+// most limit per page, 0 = all) and switch control sessions.
+func (s *Service) Sessions(cursor uint64, limit int) SessionsView {
 	view := SessionsView{Clients: []ClientSessionView{}, Switches: []SwitchSessionView{}}
-	for _, cs := range s.ctl.ClientSessions() {
+	clients := s.ctl.ClientSessions()
+	view.TotalClients = len(clients)
+	if cursor > uint64(len(clients)) {
+		cursor = uint64(len(clients))
+	}
+	clients = clients[cursor:]
+	if limit > 0 && len(clients) > limit {
+		clients = clients[:limit]
+		view.NextCursor = cursor + uint64(limit)
+	}
+	for _, cs := range clients {
 		view.Clients = append(view.Clients, ClientSessionView{
 			Session: cs.SessionID, Client: cs.ClientID, Protocol: cs.Protocol,
 			Subscriptions: cs.Subscriptions, Violated: cs.Violated,
@@ -236,9 +300,92 @@ func (s *Service) Sessions() SessionsView {
 	}
 	for _, ss := range s.ctl.SwitchSessions() {
 		view.Switches = append(view.Switches, SwitchSessionView{
-			Switch: uint32(ss.Switch), PeerName: ss.PeerName, Resyncing: ss.Resyncing,
+			Switch: uint32(ss.Switch), PeerName: ss.PeerName,
+			State: ss.State, Resyncing: ss.Resyncing,
 		})
 	}
+	return view
+}
+
+// VersionView reports the admin API contract version and build provenance.
+type VersionView struct {
+	APIVersion string `json:"apiVersion"`
+	GoVersion  string `json:"goVersion"`
+	// Module and Revision come from the binary's embedded build info
+	// (empty outside a module-aware build).
+	Module   string `json:"module,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	// EnvelopeProtocols lists the client wire-protocol versions the
+	// controller speaks.
+	EnvelopeProtocols []int `json:"envelopeProtocols"`
+}
+
+// Version reports API and build version information.
+func (s *Service) Version() VersionView {
+	v := VersionView{
+		APIVersion:        APIVersion,
+		GoVersion:         runtime.Version(),
+		EnvelopeProtocols: []int{1, int(wire.EnvelopeVersion)},
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		v.Module = info.Main.Path
+		for _, st := range info.Settings {
+			if st.Key == "vcs.revision" {
+				v.Revision = st.Value
+			}
+		}
+	}
+	return v
+}
+
+// Process roles and states reported by /v1/procs.
+const (
+	ProcRoleSwitchd = "switchd"
+	ProcRoleAgentd  = "agentd"
+
+	ProcStateRunning  = "running"
+	ProcStateDegraded = "degraded"
+	ProcStateExited   = "exited"
+)
+
+// ProcHealth is the controller-side view of one lab process: which group it
+// hosts, how it was launched, and its liveness judged by trunk heartbeats
+// and child-process state.
+type ProcHealth struct {
+	// Name is the placement group name.
+	Name string `json:"name"`
+	// Role is "switchd" or "agentd".
+	Role string `json:"role"`
+	// Proc is the placement kind ("local-exec" or "external").
+	Proc string `json:"proc"`
+	// PID is the OS process ID (0 when not yet joined or not local).
+	PID int `json:"pid,omitempty"`
+	// State is "running", "degraded" (missed heartbeats or lost switch
+	// sessions) or "exited".
+	State string `json:"state"`
+	// Switches / Agents list what the process hosts.
+	Switches []uint32 `json:"switches,omitempty"`
+	Agents   []uint64 `json:"agents,omitempty"`
+	// Detail carries the degradation or exit reason.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ProcsView lists per-process health of a multi-process lab.
+type ProcsView struct {
+	Procs []ProcHealth `json:"procs"`
+	Total int          `json:"total"`
+}
+
+// Procs reports per-process health. A single-process lab reports an empty
+// list.
+func (s *Service) Procs() ProcsView {
+	view := ProcsView{Procs: []ProcHealth{}}
+	if s.procs != nil {
+		if ps := s.procs(); ps != nil {
+			view.Procs = ps
+		}
+	}
+	view.Total = len(view.Procs)
 	return view
 }
 
@@ -271,9 +418,15 @@ func (s *Service) Overview() OverviewView {
 	for _, sh := range s.ctl.ShardStats() {
 		violated += sh.Violated
 	}
+	attached := 0
+	for _, ss := range s.ctl.SwitchSessions() {
+		if ss.Attached() {
+			attached++
+		}
+	}
 	return OverviewView{
 		SnapshotID:      s.ctl.SnapshotID(),
-		Switches:        len(s.ctl.SwitchSessions()),
+		Switches:        attached,
 		ActivePolls:     st.ActivePolls,
 		PassiveEvents:   st.PassiveEvents,
 		Resyncs:         st.Resyncs,

@@ -1,6 +1,7 @@
 package rvaas
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -109,41 +110,88 @@ func (c *Controller) ClientSessions() []ClientSessionInfo {
 	return out
 }
 
-// SwitchSessionInfo describes one attached switch control session.
+// Switch control-session states as reported by SwitchSessions.
+const (
+	// SwitchAttached: a live secure channel, snapshot in sync.
+	SwitchAttached = "attached"
+	// SwitchResyncing: attached with an in-flight forced/gap resync.
+	SwitchResyncing = "resyncing"
+	// SwitchDetached: the switch held a session that was lost (process
+	// death, heartbeat silence); its snapshot state is wiped and standing
+	// invariants over it report degraded verdicts until it re-attaches.
+	SwitchDetached = "detached"
+	// SwitchPending: the switch has never attached (bring-up still in
+	// progress, or an external process that has not joined yet).
+	SwitchPending = "pending"
+)
+
+// SwitchSessionInfo describes one topology switch's control session state.
 type SwitchSessionInfo struct {
 	Switch topology.SwitchID
-	// PeerName is the authenticated certificate name of the switch end.
+	// PeerName is the authenticated certificate name of the switch end
+	// ("" unless attached).
 	PeerName string
+	// State is one of the Switch* state constants above.
+	State string
 	// Resyncing reports an in-flight forced/gap resync for the switch.
 	Resyncing bool
 }
 
-// SwitchSessions lists the attached secure-channel sessions in switch order.
+// Attached reports whether the switch currently holds a live session.
+func (s SwitchSessionInfo) Attached() bool {
+	return s.State == SwitchAttached || s.State == SwitchResyncing
+}
+
+// SwitchSessions lists every topology switch's control-session state in
+// switch order — attached sessions with their authenticated peer, plus the
+// detached/pending remainder, so an operator sees losses instead of a
+// silently shrinking list.
 func (c *Controller) SwitchSessions() []SwitchSessionInfo {
+	switches := c.topo.Switches()
+	out := make([]SwitchSessionInfo, 0, len(switches))
 	c.mu.Lock()
-	out := make([]SwitchSessionInfo, 0, len(c.sessions))
-	for sw, sess := range c.sessions {
-		out = append(out, SwitchSessionInfo{
-			Switch:    sw,
-			PeerName:  sess.conn.PeerName(),
-			Resyncing: c.resyncing[sw],
-		})
+	for _, sw := range switches {
+		info := SwitchSessionInfo{Switch: sw}
+		if sess, ok := c.sessions[sw]; ok {
+			info.PeerName = sess.conn.PeerName()
+			info.Resyncing = c.resyncing[sw]
+			if info.Resyncing {
+				info.State = SwitchResyncing
+			} else {
+				info.State = SwitchAttached
+			}
+		} else if c.wasAttached[sw] {
+			info.State = SwitchDetached
+		} else {
+			info.State = SwitchPending
+		}
+		out = append(out, info)
 	}
 	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
 	return out
 }
 
+// ForceResync error kinds, distinguishable so the admin layer can map a
+// missing switch (404) apart from a known-but-detached one (409).
+var (
+	ErrUnknownSwitch = errors.New("switch is not in the topology")
+	ErrNotAttached   = errors.New("switch is not attached")
+)
+
 // ForceResync re-bases one switch's snapshot on its authoritative state
 // (operator-initiated; the same path as automatic sequence-regression
 // recovery). The resync runs asynchronously; an already-running resync for
 // the switch is not duplicated.
 func (c *Controller) ForceResync(sw topology.SwitchID) error {
+	if c.topo.PortCount(sw) == 0 {
+		return fmt.Errorf("rvaas: switch %d: %w", sw, ErrUnknownSwitch)
+	}
 	c.mu.Lock()
 	_, attached := c.sessions[sw]
 	c.mu.Unlock()
 	if !attached {
-		return fmt.Errorf("rvaas: switch %d is not attached", sw)
+		return fmt.Errorf("rvaas: switch %d: %w", sw, ErrNotAttached)
 	}
 	c.forceResync(sw)
 	return nil

@@ -70,6 +70,15 @@ type Config struct {
 	// fans independent invariant evaluations across; <= 0 means GOMAXPROCS.
 	// Runtime-adjustable via SetRecheckTuning.
 	RecheckParallelism int
+	// HeartbeatInterval enables per-session liveness probing: the controller
+	// sends an echo request on every attached switch channel at this period
+	// and detaches the session after HeartbeatMisses consecutive unanswered
+	// probes. 0 disables probing — in-process channels surface peer death as
+	// a transport close, but a UDP channel to a separately-running switchd
+	// process has no such signal, so multi-process deployments set this.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the consecutive-miss detach threshold; <= 0 means 3.
+	HeartbeatMisses int
 	// Persist durably stores the standing-invariant set (client key,
 	// invariant spec, anchor binding, session, last verdict/seq). When
 	// set, every registration and verdict transition is appended to the
@@ -90,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
 	return c
 }
 
@@ -97,6 +109,8 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	PassiveEvents   uint64
 	Resyncs         uint64
+	Detaches        uint64
+	Reattaches      uint64
 	ActivePolls     uint64
 	QueriesServed   uint64
 	AuthRequested   uint64
@@ -131,6 +145,10 @@ type Controller struct {
 	evHigh      map[topology.SwitchID]uint64
 	staleEvents map[topology.SwitchID]int
 	stalePolls  map[topology.SwitchID]int
+	// wasAttached marks switches that held a session at some point; a
+	// re-attach of such a switch force-resyncs (the restarted process's
+	// sequence counter regressed, and the switch is authoritative again).
+	wasAttached map[topology.SwitchID]bool
 	clients     map[uint64]ed25519.PublicKey
 	pending     map[uint64]*pendingQuery // by query nonce
 	waiters     map[uint32]chan openflow.Message
@@ -187,6 +205,7 @@ func New(cfg Config) (*Controller, error) {
 		evHigh:       make(map[topology.SwitchID]uint64),
 		staleEvents:  make(map[topology.SwitchID]int),
 		stalePolls:   make(map[topology.SwitchID]int),
+		wasAttached:  make(map[topology.SwitchID]bool),
 		clients:      make(map[uint64]ed25519.PublicKey),
 		pending:      make(map[uint64]*pendingQuery),
 		waiters:      make(map[uint32]chan openflow.Message),
@@ -256,7 +275,12 @@ func (c *Controller) CompileCacheStats() CompileStats {
 // Attach connects the controller to one switch over an established secure
 // channel. It subscribes to flow-monitor events, installs the in-band
 // interception rules, performs an initial full-state sync, and starts the
-// session reader.
+// session reader (plus the liveness prober when heartbeats are enabled).
+//
+// Attaching a switch whose previous session was lost (process death, channel
+// failure) is a re-attach: the initial sync is a forced resync, because the
+// restarted switch's sequence counter regressed and its live state — not the
+// controller's pre-detach view — is authoritative.
 func (c *Controller) Attach(sw topology.SwitchID, conn *openflow.SecureConn) error {
 	sess := &session{sw: sw, conn: conn, done: make(chan struct{})}
 	c.mu.Lock()
@@ -264,7 +288,18 @@ func (c *Controller) Attach(sw topology.SwitchID, conn *openflow.SecureConn) err
 		c.mu.Unlock()
 		return fmt.Errorf("rvaas: switch %d already attached", sw)
 	}
+	reattach := c.wasAttached[sw]
+	c.wasAttached[sw] = true
 	c.sessions[sw] = sess
+	if reattach {
+		c.stats.Reattaches++
+		// The dead process's staleness evidence is meaningless for the new
+		// one, and the old event high-water mark would manufacture a gap out
+		// of the restarted switch's low sequence numbers.
+		c.staleEvents[sw] = 0
+		c.stalePolls[sw] = 0
+		c.evHigh[sw] = 0
+	}
 	c.mu.Unlock()
 
 	if err := conn.Send(&openflow.Hello{XID: c.xid()}); err != nil {
@@ -281,12 +316,104 @@ func (c *Controller) Attach(sw topology.SwitchID, conn *openflow.SecureConn) err
 	}
 	c.wg.Add(1)
 	go c.readLoop(sess)
+	if c.cfg.HeartbeatInterval > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop(sess)
+	}
 
 	// Initial sync after the reader is running so the reply is routed.
-	if err := c.pollSwitch(sw, 2*time.Second); err != nil {
+	if err := c.pollSwitchMode(sw, 2*time.Second, reattach); err != nil {
 		return fmt.Errorf("rvaas: initial sync %d: %w", sw, err)
 	}
+	if reattach {
+		c.mu.Lock()
+		c.evHigh[sw] = c.snap.seqOf(sw)
+		c.mu.Unlock()
+	}
 	return nil
+}
+
+// Detach tears one switch session down and wipes the switch's snapshot
+// state so standing invariants re-verify degraded instead of staying green
+// on a view nobody can vouch for. Called by the session reader on channel
+// failure, by the heartbeat prober on sustained silence, and by deployment
+// supervisors that observed the hosting process die. Detaching a switch
+// with no session is a no-op.
+func (c *Controller) Detach(sw topology.SwitchID) {
+	c.mu.Lock()
+	sess := c.sessions[sw]
+	c.mu.Unlock()
+	if sess != nil {
+		c.detachSession(sess)
+	}
+}
+
+// detachSession removes exactly this session (a re-attach may already have
+// installed a successor for the same switch — that one is left alone).
+func (c *Controller) detachSession(sess *session) {
+	c.mu.Lock()
+	if c.sessions[sess.sw] != sess {
+		c.mu.Unlock()
+		sess.conn.Close()
+		return
+	}
+	delete(c.sessions, sess.sw)
+	stopped := false
+	select {
+	case <-c.stop:
+		stopped = true
+	default:
+	}
+	if !stopped {
+		c.stats.Detaches++
+	}
+	c.mu.Unlock()
+	sess.conn.Close()
+	if stopped {
+		// Controller shutdown tears sessions down in bulk; the final
+		// snapshot must not record every switch as unreachable.
+		return
+	}
+	if cap, changed := c.snap.markUnreachable(sess.sw); changed {
+		c.recordHistory(history.SourceDetach, cap)
+	}
+}
+
+// heartbeatLoop probes one session's liveness with echo requests; after
+// HeartbeatMisses consecutive unanswered probes the session is detached. A
+// probe is an ordinary request/reply, so a switch that is slow but alive
+// resets the miss counter with any answered probe.
+func (c *Controller) heartbeatLoop(sess *session) {
+	defer c.wg.Done()
+	interval := c.cfg.HeartbeatInterval
+	misses := 0
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+		case <-sess.done:
+			return
+		case <-c.stop:
+			return
+		}
+		c.mu.Lock()
+		current := c.sessions[sess.sw] == sess
+		c.mu.Unlock()
+		if !current {
+			return
+		}
+		xid := c.xid()
+		if _, err := c.request(sess.sw, &openflow.EchoRequest{XID: xid}, xid, interval); err != nil {
+			misses++
+			if misses >= c.cfg.HeartbeatMisses {
+				c.detachSession(sess)
+				return
+			}
+			continue
+		}
+		misses = 0
+	}
 }
 
 // interceptionRules are the magic-header rules RVaaS installs on every
@@ -403,13 +530,16 @@ func (c *Controller) xid() uint32 {
 	return c.nextXID
 }
 
-// readLoop dispatches messages from one switch session.
+// readLoop dispatches messages from one switch session. A receive failure
+// (peer closed the channel, transport died) detaches the session so the
+// switch's state degrades instead of freezing green.
 func (c *Controller) readLoop(sess *session) {
 	defer c.wg.Done()
-	defer close(sess.done)
 	for {
 		msg, err := sess.conn.Recv()
 		if err != nil {
+			close(sess.done)
+			c.detachSession(sess)
 			return
 		}
 		// Route request/reply pairs to waiters first.

@@ -1,0 +1,127 @@
+package rvaas
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/enclave"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// fakeSwitch answers the controller's attach sequence (stats polls, echoes)
+// over a secure channel until muted — then it keeps the channel open but
+// stops answering, the way a wedged or SIGKILLed remote process looks to a
+// datagram transport.
+type fakeSwitch struct {
+	conn  *openflow.SecureConn
+	muted atomic.Bool
+	seq   uint64
+}
+
+func (f *fakeSwitch) run() {
+	for {
+		msg, err := f.conn.Recv()
+		if err != nil {
+			return
+		}
+		if f.muted.Load() {
+			continue
+		}
+		switch m := msg.(type) {
+		case *openflow.StatsRequest:
+			f.seq++
+			_ = f.conn.Send(&openflow.StatsReply{XID: m.XID, TableSeq: f.seq})
+		case *openflow.EchoRequest:
+			_ = f.conn.Send(&openflow.EchoReply{XID: m.XID, Data: m.Data})
+		}
+	}
+}
+
+// TestHeartbeatDetachesSilentSession: with heartbeats enabled, a session
+// whose peer goes silent (channel still open — no transport-close signal)
+// is detached after the miss threshold and reported as detached, while a
+// responsive session stays attached.
+func TestHeartbeatDetachesSilentSession(t *testing.T) {
+	topo, err := topology.Linear(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(Config{
+		Topology:          topo,
+		Platform:          platform,
+		ManualRecheck:     true,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMisses:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	ca, err := openflow.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlID, err := openflow.NewIdentity("rvaas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlCert := ca.Issue(ctlID)
+	attach := func(sw topology.SwitchID, name string) *fakeSwitch {
+		t.Helper()
+		swID, err := openflow.NewIdentity(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctlConn, swConn, err := openflow.ConnectSecure(ctlID, ctlCert, swID, ca.Issue(swID), ca.Pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := &fakeSwitch{conn: swConn}
+		go f.run()
+		if err := ctl.Attach(sw, ctlConn); err != nil {
+			t.Fatalf("attach %d: %v", sw, err)
+		}
+		return f
+	}
+	silent := attach(1, "switch-1")
+	attach(2, "switch-2")
+
+	// Both alive: heartbeats keep both sessions attached.
+	time.Sleep(100 * time.Millisecond)
+	for _, ss := range ctl.SwitchSessions() {
+		if !ss.Attached() {
+			t.Fatalf("switch %d = %q with a live peer", ss.Switch, ss.State)
+		}
+	}
+	if ctl.Stats().Detaches != 0 {
+		t.Fatal("spurious detach with live peers")
+	}
+
+	// Switch 1's host process wedges: channel open, nobody home.
+	silent.muted.Store(true)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		sessions := ctl.SwitchSessions()
+		if sessions[0].State == SwitchDetached {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("silent session never detached: %+v", sessions)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sessions := ctl.SwitchSessions()
+	if sessions[1].State != SwitchAttached {
+		t.Fatalf("responsive switch 2 = %q, want attached", sessions[1].State)
+	}
+	if st := ctl.Stats(); st.Detaches != 1 {
+		t.Errorf("detaches = %d, want 1", st.Detaches)
+	}
+}

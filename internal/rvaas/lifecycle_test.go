@@ -1,0 +1,128 @@
+package rvaas_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/history"
+	"repro/internal/openflow"
+	"repro/internal/rvaas"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// TestDetachDegradesAndReattachConverges is the dynamic-session lifecycle:
+// losing a switch's control channel wipes its snapshot state so standing
+// invariants over it go violated (degraded — never stale-green on a view
+// nobody can vouch for), and a re-attach of the restarted switch converges
+// back via a forced resync.
+func TestDetachDegradesAndReattachConverges(t *testing.T) {
+	d := deployLinear(t, 3, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	aps := d.Topology.AccessPoints()
+
+	if _, err := d.RVaaS.Subscribe(aps[0].ClientID, wire.QueryReachableDestinations,
+		ipConstraint(aps[2].HostIP), "", aps[0].Endpoint); err != nil {
+		t.Fatal(err)
+	}
+	subs := d.RVaaS.Subscriptions()
+	if len(subs) != 1 || subs[0].Violated {
+		t.Fatalf("initial subscriptions = %+v", subs)
+	}
+	for _, ss := range d.RVaaS.SwitchSessions() {
+		// A bring-up gap resync may still be settling: attached or
+		// resyncing both count as live.
+		if !ss.Attached() {
+			t.Fatalf("switch %d state = %q before detach", ss.Switch, ss.State)
+		}
+	}
+
+	// The middle switch's control session dies (its hosting process was
+	// killed, say).
+	const mid = topology.SwitchID(2)
+	d.RVaaS.Detach(mid)
+	d.RVaaS.RecheckNow()
+
+	subs = d.RVaaS.Subscriptions()
+	if len(subs) != 1 || !subs[0].Violated {
+		t.Fatalf("subscription not degraded after detach: %+v", subs)
+	}
+	sessions := d.RVaaS.SwitchSessions()
+	if len(sessions) != 3 {
+		t.Fatalf("sessions = %+v, want all 3 topology switches listed", sessions)
+	}
+	for _, ss := range sessions {
+		if ss.Switch == mid {
+			if ss.State != rvaas.SwitchDetached {
+				t.Errorf("switch %d state = %q, want %q", ss.Switch, ss.State, rvaas.SwitchDetached)
+			}
+		} else if !ss.Attached() {
+			t.Errorf("switch %d state = %q, want a live session", ss.Switch, ss.State)
+		}
+	}
+	if ss := sessions[1]; ss.Attached() {
+		t.Errorf("detached switch reports Attached()")
+	}
+	rec, ok := d.RVaaS.History().Latest()
+	if !ok || rec.Source != history.SourceDetach {
+		t.Errorf("latest history record = %+v, want a SourceDetach wipe", rec)
+	}
+	if st := d.RVaaS.Stats(); st.Detaches != 1 {
+		t.Errorf("detaches = %d, want 1", st.Detaches)
+	}
+	// A forced resync of a detached switch is a conflict, not a crash.
+	if err := d.RVaaS.ForceResync(mid); err == nil {
+		t.Error("ForceResync of a detached switch succeeded")
+	}
+
+	// The switch's process restarts and re-attaches over a fresh channel.
+	swIdent, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlID, err := openflow.NewIdentity("rvaas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlConn, swConn, err := openflow.ConnectSecure(ctlID, d.CA.Issue(ctlID), swIdent, d.CA.Issue(swIdent), d.CA.Pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fabric.Switch(mid).Serve(swConn); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RVaaS.Attach(mid, ctlConn); err != nil {
+		t.Fatalf("reattach: %v", err)
+	}
+	d.RVaaS.RecheckNow()
+
+	subs = d.RVaaS.Subscriptions()
+	if len(subs) != 1 || subs[0].Violated {
+		t.Fatalf("subscription did not recover after reattach: %+v", subs)
+	}
+	for _, ss := range d.RVaaS.SwitchSessions() {
+		if !ss.Attached() {
+			t.Errorf("switch %d state = %q after reattach", ss.Switch, ss.State)
+		}
+	}
+	if st := d.RVaaS.Stats(); st.Reattaches != 1 {
+		t.Errorf("reattaches = %d, want 1", st.Reattaches)
+	}
+}
+
+// TestDetachIdempotentAndShutdownQuiet: a second Detach of the same switch
+// is a no-op, and the controller's bulk teardown must not record the
+// remaining sessions as detach wipes.
+func TestDetachIdempotentAndShutdownQuiet(t *testing.T) {
+	d := deployLinear(t, 2, deploy.Options{SkipAgents: true, ManualRecheck: true})
+	d.RVaaS.Detach(1)
+	d.RVaaS.Detach(1) // idempotent: no session, no second wipe
+	if st := d.RVaaS.Stats(); st.Detaches != 1 {
+		t.Fatalf("detaches = %d, want 1", st.Detaches)
+	}
+	before := d.RVaaS.Stats().Detaches
+	d.RVaaS.Close()
+	if got := d.RVaaS.Stats().Detaches; got != before {
+		t.Errorf("shutdown recorded %d extra detach wipes", got-before)
+	}
+}

@@ -25,6 +25,7 @@ func bareController() *Controller {
 		evHigh:      make(map[topology.SwitchID]uint64),
 		staleEvents: make(map[topology.SwitchID]int),
 		stalePolls:  make(map[topology.SwitchID]int),
+		wasAttached: make(map[topology.SwitchID]bool),
 	}
 }
 

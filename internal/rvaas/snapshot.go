@@ -225,6 +225,29 @@ func metersEqual(a, b []openflow.MeterConfig) bool {
 	return true
 }
 
+// markUnreachable wipes one switch's forwarding state after its control
+// session is lost: with no live channel the controller cannot vouch for any
+// of the switch's rules, so standing invariants must re-verify against a
+// network where the switch forwards nothing (degraded verdicts, not
+// stale-green ones). The event sequence is kept — late replies computed by
+// the dead process stay rejected as stale — and the reattach path re-bases
+// with a forced resync instead.
+func (s *snapshotStore) markUnreachable(sw topology.SwitchID) (cap capture, changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.tables[sw]; !seen {
+		return s.captureLocked(), false
+	}
+	if len(s.tables[sw]) == 0 && len(s.meters[sw]) == 0 {
+		return s.captureLocked(), false
+	}
+	s.accumulateDeltaLocked(sw, headerspace.FullSpace(wire.HeaderWidth))
+	s.tables[sw] = []openflow.FlowEntry{}
+	s.meters[sw] = []openflow.MeterConfig{}
+	s.bumpLocked(sw)
+	return s.captureLocked(), true
+}
+
 // metersOf returns a copy of a switch's polled meter table.
 func (s *snapshotStore) metersOf(sw topology.SwitchID) []openflow.MeterConfig {
 	s.mu.Lock()

@@ -512,6 +512,15 @@ func (s *Switch) sendPacketIn(inPort topology.PortNo, pkt *wire.Packet, cookie u
 	}
 }
 
+// ApplyFlowMod applies one flow modification exactly as if it had arrived
+// on a control channel: the table mutates under the switch lock and monitor
+// events fan out to every attached session. Remote programming planes (a
+// switchd process applying trunk-delivered flow mods from the parent's
+// provider controller) use this entry point.
+func (s *Switch) ApplyFlowMod(m *openflow.FlowMod) error {
+	return s.applyFlowMod(m)
+}
+
 // InstallDirect adds a flow entry bypassing the control channel. Tests and
 // the compromised-controller simulator use it to model rule changes that
 // arrive through the provider's own (untrusted) session.
