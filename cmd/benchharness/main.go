@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/json"
@@ -21,8 +22,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/enclave"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/headerspace"
 	"repro/internal/labspec"
 	"repro/internal/openflow"
+	"repro/internal/procplane"
 	"repro/internal/switchsim"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -60,6 +64,7 @@ var experimentTable = []experiment{
 	{"e13", "sharded recheck engine scale-out: indexed dispatch + worker pool vs linear scan", e13},
 	{"e14", "rule-delta dispatch: header-space overlap filter vs per-switch dirty bucket on a hub", e14},
 	{"e15", "protocol v2: batch registration vs sequential round-trips; kill/restart restore + re-verify", e15},
+	{"e16", "fault envelopes: trunk partition + channel loss vs detach-detect / stale-green / rejoin convergence", e16},
 }
 
 func experimentIDs() []string {
@@ -124,7 +129,33 @@ func recordDuration(metric string, d time.Duration) {
 }
 
 func main() {
+	// E16's placed labs spawn their switchd/agentd children as
+	// re-executions of this binary, so the bench needs no prebuilt child
+	// binaries on PATH (mirrors the deploy package's e2e harness).
+	if len(os.Args) > 1 && os.Args[1] == "--placed-child" {
+		runPlacedChild()
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runPlacedChild() {
+	log.SetFlags(0)
+	mf, err := procplane.ReadManifest(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch mf.Kind {
+	case procplane.KindSwitchd:
+		err = procplane.RunSwitchd(ctx, mf, log.Printf)
+	case procplane.KindAgentd:
+		err = procplane.RunAgentd(ctx, mf, log.Printf)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -597,6 +628,30 @@ func e15(iters int) error {
 		record(key+"/subs", float64(r.Subs), "count")
 		record(key+"/restored", float64(r.Restored), "count")
 		record(key+"/reverified", float64(r.Reverified), "count")
+	}
+	return nil
+}
+
+func e16(int) error {
+	fmt.Printf("%-10s %-6s %-11s %-15s %-18s %-12s %-9s %-10s\n",
+		"lab", "loss%", "partition", "detach-detect", "reattach-converge", "stale-green", "rejoins", "ch-dropped")
+	childCmd := func(string) []string { return []string{os.Args[0], "--placed-child"} }
+	rows, err := experiments.FaultEnvelopeSweep(childCmd, nil)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-10s %-6d %-11s %-15s %-18s %-12d %-9d %-10d\n",
+			r.Lab, r.LossPct, r.Partition,
+			r.DetachDetect.Round(time.Millisecond),
+			r.ReattachConverge.Round(time.Millisecond),
+			r.StaleGreen, r.Rejoins, r.ChannelDropped)
+		key := fmt.Sprintf("%s/loss=%d/part=%dms", r.Lab, r.LossPct, r.Partition.Milliseconds())
+		recordDuration(key+"/detach-detect", r.DetachDetect)
+		recordDuration(key+"/reattach-converge", r.ReattachConverge)
+		record(key+"/stale-green", float64(r.StaleGreen), "count")
+		record(key+"/rejoins", float64(r.Rejoins), "count")
+		record(key+"/channel-dropped", float64(r.ChannelDropped), "count")
 	}
 	return nil
 }

@@ -169,7 +169,7 @@ func startLab(spec *labspec.Spec, adminAddr string, pc deploy.PlacedConfig) (*la
 		l.ln = ln
 		svc := admin.NewService(d.RVaaS)
 		if d.Placed != nil {
-			svc = svc.WithProcs(d.Placed.ProcHealth)
+			svc = svc.WithProcs(d.Placed.ProcHealth).WithFaults(d.Placed)
 		}
 		l.srv = &http.Server{Handler: admin.Handler(svc)}
 		go l.srv.Serve(ln)

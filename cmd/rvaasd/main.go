@@ -59,7 +59,7 @@ func usage() {
 	fmt.Fprint(out, `usage:
   rvaasd deploy -topo <spec.yml|spec.json> [-validate] [-reconfigure]
                 [-max-workers N] [-admin host:port] [-run-for D]
-  rvaasd ops <overview|version|subs|shards|sessions|procs|history|resync>
+  rvaasd ops <overview|version|subs|shards|sessions|procs|history|resync|faults>
              [-admin host:port] [-timeout D] ...
   rvaasd spec migrate -in <spec.yml|spec.json> [-out FILE] [-format yaml|json]
   rvaasd demo [-topo NAME] [-size N] [-poll D] [-queries N] [-tenant]

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -24,25 +26,55 @@ import (
 //	rvaasd ops procs
 //	rvaasd ops history <sub-id>
 //	rvaasd ops resync <switch-id>
+//	rvaasd ops faults
+//	rvaasd ops faults inject -target trunk -group right -kind partition -for 2s
+//	rvaasd ops faults clear -id 3   (or -all)
 //
 // -admin selects the controller's admin endpoint (any host, not just
 // loopback); -timeout bounds each request. Admin API errors map to distinct
 // process exit codes (see exitCode).
 func runOps(args []string) error {
 	if len(args) == 0 {
-		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, sessions, procs, history or resync)")
+		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, sessions, procs, history, resync or faults)")
 	}
 	verb, rest := args[0], args[1:]
-	fs := flag.NewFlagSet("rvaasd ops "+verb, flag.ContinueOnError)
+	// faults takes a sub-action (inject, clear) before its flags; bare
+	// `ops faults` lists the fault plane.
+	sub := ""
+	if verb == "faults" && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		sub, rest = rest[0], rest[1:]
+	}
+	fsName := "rvaasd ops " + verb
+	if sub != "" {
+		fsName += " " + sub
+	}
+	fs := flag.NewFlagSet(fsName, flag.ContinueOnError)
 	adminAddr := fs.String("admin", defaultAdminAddr, "admin API address of the running lab (host:port, any host)")
 	fs.StringVar(adminAddr, "addr", defaultAdminAddr, "alias of -admin (deprecated)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	var filters filterFlags
 	limit := fs.Int("limit", 0, "entries per page (0 = server default)")
 	cursor := fs.Uint64("cursor", 0, "resume a listing from this cursor")
-	allPages := fs.Bool("all", false, "follow the cursor through every page")
+	allHelp := "follow the cursor through every page"
+	if verb == "faults" {
+		allHelp = "clear every fault window"
+	}
+	allPages := fs.Bool("all", false, allHelp)
 	if verb == "subs" {
 		fs.Var(&filters, "filter", "key=value filter (status|client|kind|session), repeatable")
+	}
+	var fTarget, fGroup, fKind, fProfile *string
+	var fSwitch *uint
+	var fFor *time.Duration
+	var fID *uint64
+	if verb == "faults" {
+		fTarget = fs.String("target", "", "fault target: trunk, channel or proc (inject)")
+		fGroup = fs.String("group", "", "placement group (trunk and proc targets)")
+		fKind = fs.String("kind", "", "trunk/proc fault kind: partition, stall, reset, starve-beats, kill")
+		fProfile = fs.String("profile", "", "declared channel profile name (channel target)")
+		fSwitch = fs.Uint("switch", 0, "scope a channel window to one switch (0 = every switch)")
+		fFor = fs.Duration("for", 0, "window duration (0 = until cleared)")
+		fID = fs.Uint64("id", 0, "fault window id (clear)")
 	}
 	if err := fs.Parse(rest); err != nil {
 		return usageErr("rvaasd ops: %v", err)
@@ -83,8 +115,25 @@ func runOps(args []string) error {
 			return usageErr("rvaasd ops resync: bad switch ID %q", fs.Arg(0))
 		}
 		return cli.resync(uint32(sw))
+	case "faults":
+		switch sub {
+		case "":
+			return cli.faults()
+		case "inject":
+			return cli.faultInject(admin.FaultInjectRequest{
+				Target:     *fTarget,
+				Group:      *fGroup,
+				Switch:     uint32(*fSwitch),
+				Kind:       *fKind,
+				Profile:    *fProfile,
+				DurationMS: fFor.Milliseconds(),
+			})
+		case "clear":
+			return cli.faultClear(*fID, *allPages)
+		}
+		return usageErr("rvaasd ops faults: unknown action %q (want inject, clear, or no action to list)", sub)
 	}
-	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, sessions, procs, history or resync)", verb)
+	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, sessions, procs, history, resync or faults)", verb)
 }
 
 // Distinct exit codes per failure class, so scripts driving `rvaasd ops`
@@ -385,5 +434,104 @@ func (c *opsClient) resync(sw uint32) error {
 		return decodeAPIError(resp)
 	}
 	fmt.Fprintf(out, "resync of switch %d triggered\n", sw)
+	return nil
+}
+
+// postJSON posts a JSON body (nil for none) and decodes the response into
+// into when the status matches wantStatus.
+func (c *opsClient) postJSON(path string, body, into any, wantStatus int) error {
+	var reader io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(b)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", reader)
+	if err != nil {
+		return &connectError{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func (c *opsClient) faults() error {
+	var view admin.FaultsView
+	if err := c.get("/v1/faults", &view); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fault plane: seed=%d\n", view.Seed)
+	if len(view.Profiles) > 0 {
+		fmt.Fprintf(out, "profiles (%d):\n", len(view.Profiles))
+		for _, p := range view.Profiles {
+			fmt.Fprintf(out, "  %-12s drop=%.3f dup=%.3f reorder=%.3f latency=%dms jitter=%dms\n",
+				p.Name, p.Drop, p.Duplicate, p.Reorder, p.LatencyMS, p.JitterMS)
+		}
+	}
+	fmt.Fprintf(out, "windows (%d):\n", len(view.Windows))
+	for _, w := range view.Windows {
+		fmt.Fprintf(out, "  %s\n", windowLine(w))
+	}
+	cn := view.Counters
+	fmt.Fprintf(out, "counters: channel drop=%d delay=%d dup=%d reorder=%d; trunk drop=%d delay=%d; joinsRefused=%d\n",
+		cn.ChannelDropped, cn.ChannelDelayed, cn.ChannelDuplicated, cn.ChannelReordered,
+		cn.TrunkDropped, cn.TrunkDelayed, cn.JoinsRefused)
+	return nil
+}
+
+func windowLine(w admin.FaultWindowView) string {
+	sel := ""
+	switch w.Target {
+	case "trunk", "proc":
+		sel = fmt.Sprintf("group=%s kind=%s", w.Group, w.Kind)
+	case "channel":
+		sel = fmt.Sprintf("profile=%s", w.Profile)
+		if w.Switch != 0 {
+			sel += fmt.Sprintf(" switch=%d", w.Switch)
+		}
+	}
+	span := "until cleared"
+	if !w.Until.IsZero() {
+		span = "until " + w.Until.Format("15:04:05.000")
+	}
+	state := "pending"
+	if w.Active {
+		state = "active"
+	}
+	return fmt.Sprintf("id=%-4d %-8s %s  start=%s %s  [%s]",
+		w.ID, w.Target, sel, w.Start.Format("15:04:05.000"), span, state)
+}
+
+func (c *opsClient) faultInject(req admin.FaultInjectRequest) error {
+	if req.Target == "" {
+		return usageErr("rvaasd ops faults inject: -target is required (trunk, channel or proc)")
+	}
+	var win admin.FaultWindowView
+	if err := c.postJSON("/v1/faults", req, &win, http.StatusCreated); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fault window opened: %s\n", windowLine(win))
+	return nil
+}
+
+func (c *opsClient) faultClear(id uint64, all bool) error {
+	if !all && id == 0 {
+		return usageErr("rvaasd ops faults clear: want -id <window> or -all")
+	}
+	path := "/v1/faults/clear?"
+	if all {
+		path += "all=1"
+	} else {
+		path += "id=" + strconv.FormatUint(id, 10)
+	}
+	var res admin.FaultClearResult
+	if err := c.postJSON(path, nil, &res, http.StatusOK); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cleared %d fault window(s)\n", res.Cleared)
 	return nil
 }

@@ -1,0 +1,147 @@
+// Package backoff is the repo's one retry-pacing helper: jittered
+// exponential delays with a cap, deterministic when seeded, and
+// context-aware waits. Every reconnect/retry loop (trunk rejoin, agentd
+// subscribe bring-up, client gap recovery) paces itself through a Policy
+// so retry behavior is tuned in one place.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a jittered exponential backoff schedule.
+type Policy struct {
+	// Initial is the base delay before the first retry (default 100ms).
+	Initial time.Duration
+	// Max caps the exponential growth (default 2s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter spreads each delay uniformly over
+	// [d*(1-Jitter), d*(1+Jitter)]; 0 disables jitter, values are
+	// clamped to [0, 1] (default 0.5).
+	Jitter float64
+	// MaxAttempts bounds Retry and callers' own loops; <= 0 means
+	// unbounded.
+	MaxAttempts int
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Backoff produces the delay sequence for one retry loop. Not safe for
+// concurrent use; each loop owns its Backoff.
+type Backoff struct {
+	pol     Policy
+	rng     *rand.Rand
+	attempt int
+}
+
+// New builds a Backoff seeded from the clock (independent loops desync).
+func New(p Policy) *Backoff {
+	return NewSeeded(p, time.Now().UnixNano())
+}
+
+// NewSeeded builds a Backoff with a fixed jitter seed, for deterministic
+// tests.
+func NewSeeded(p Policy, seed int64) *Backoff {
+	if p.Jitter == 0 {
+		// Callers that set Jitter explicitly keep it; the zero value
+		// means "default" to match Policy's other fields.
+		p.Jitter = 0.5
+	}
+	return &Backoff{pol: p.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Attempt reports how many delays have been produced since the last Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Exhausted reports whether MaxAttempts delays have been produced.
+func (b *Backoff) Exhausted() bool {
+	return b.pol.MaxAttempts > 0 && b.attempt >= b.pol.MaxAttempts
+}
+
+// Next returns the next delay in the schedule.
+func (b *Backoff) Next() time.Duration {
+	base := float64(b.pol.Initial)
+	for i := 0; i < b.attempt; i++ {
+		base *= b.pol.Factor
+		if base >= float64(b.pol.Max) {
+			base = float64(b.pol.Max)
+			break
+		}
+	}
+	if base > float64(b.pol.Max) {
+		base = float64(b.pol.Max)
+	}
+	b.attempt++
+	if j := b.pol.Jitter; j > 0 {
+		base *= 1 - j + 2*j*b.rng.Float64()
+	}
+	d := time.Duration(base)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Reset restarts the schedule (e.g. after a successful attempt).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Wait sleeps for the next delay or until ctx is done, reporting ctx.Err
+// in the latter case.
+func (b *Backoff) Wait(ctx context.Context) error {
+	d := b.Next()
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry runs fn until it succeeds, the policy's MaxAttempts is exhausted,
+// or ctx is cancelled. It returns nil on success, ctx.Err() on
+// cancellation, and the last fn error when attempts run out.
+func Retry(ctx context.Context, p Policy, fn func() error) error {
+	b := New(p)
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if b.Exhausted() {
+			return err
+		}
+		if werr := b.Wait(ctx); werr != nil {
+			return werr
+		}
+	}
+}

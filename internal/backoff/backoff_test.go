@@ -1,0 +1,143 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestJitterBounds: every delay stays inside [base*(1-j), base*(1+j)] with
+// the exponential base capped at Max, across many draws.
+func TestJitterBounds(t *testing.T) {
+	pol := Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.5}
+	b := NewSeeded(pol, 42)
+	base := float64(pol.Initial)
+	for i := 0; i < 50; i++ {
+		d := b.Next()
+		lo, hi := time.Duration(base*0.5), time.Duration(base*1.5)
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", i, d, lo, hi)
+		}
+		base *= pol.Factor
+		if base > float64(pol.Max) {
+			base = float64(pol.Max)
+		}
+	}
+}
+
+// TestNoJitterIsExactExponential: Jitter can be disabled, yielding the
+// bare capped exponential.
+func TestNoJitterIsExactExponential(t *testing.T) {
+	b := NewSeeded(Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}, 1)
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if d := b.Next(); d != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay = %s, want %s", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+// TestDeterministicSequence: the same seed replays the same delays.
+func TestDeterministicSequence(t *testing.T) {
+	pol := Policy{Initial: 50 * time.Millisecond, Max: time.Second}
+	a, b := NewSeeded(pol, 7), NewSeeded(pol, 7)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: %s != %s with equal seeds", i, da, db)
+		}
+	}
+}
+
+// TestResetRestartsSchedule: Reset returns the schedule to the initial
+// delay band.
+func TestResetRestartsSchedule(t *testing.T) {
+	pol := Policy{Initial: 10 * time.Millisecond, Max: 10 * time.Second}
+	b := NewSeeded(pol, 3)
+	for i := 0; i < 8; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d > 15*time.Millisecond {
+		t.Fatalf("post-reset delay = %s, want within the initial band", d)
+	}
+	if got := b.Attempt(); got != 1 {
+		t.Fatalf("post-reset attempt = %d, want 1", got)
+	}
+}
+
+// TestWaitCancelled: a cancelled ctx unblocks Wait promptly with ctx.Err.
+func TestWaitCancelled(t *testing.T) {
+	b := NewSeeded(Policy{Initial: 10 * time.Second, Max: 10 * time.Second}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Wait(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not unblock on cancellation")
+	}
+}
+
+// TestRetryBounded: Retry stops after MaxAttempts retries and reports the
+// last error.
+func TestRetryBounded(t *testing.T) {
+	calls := 0
+	errNope := errors.New("nope")
+	err := Retry(context.Background(), Policy{Initial: time.Millisecond, Max: time.Millisecond, MaxAttempts: 3}, func() error {
+		calls++
+		return errNope
+	})
+	if !errors.Is(err, errNope) {
+		t.Fatalf("Retry = %v, want %v", err, errNope)
+	}
+	if calls != 4 { // initial call + MaxAttempts retries
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+// TestRetrySucceeds: Retry returns nil as soon as fn does.
+func TestRetrySucceeds(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Policy{Initial: time.Millisecond, Max: time.Millisecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("again")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+// TestRetryCancelled: cancellation between attempts surfaces ctx.Err.
+func TestRetryCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, Policy{Initial: time.Hour, Max: time.Hour}, func() error {
+			calls++
+			return errors.New("always")
+		})
+	}()
+	// Let the first attempt land, then cancel during the backoff wait.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Retry = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Retry did not unblock on cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/enclave"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -26,6 +27,16 @@ var (
 	ErrBadAttestaton = errors.New("client: attestation failed")
 	ErrClosed        = errors.New("client: agent closed")
 )
+
+// gapRecoveryPolicy paces the lightweight gap-recovery tiers (session
+// resume, verdict query) before recovery escalates to a re-subscribe: two
+// retries, so a transiently lossy channel gets three chances to heal in
+// place.
+var gapRecoveryPolicy = backoff.Policy{
+	Initial:     50 * time.Millisecond,
+	Max:         500 * time.Millisecond,
+	MaxAttempts: 2,
+}
 
 // NIC abstracts the agent's attachment to the network: frame injection at
 // its access point. The fabric satisfies this.
@@ -578,15 +589,28 @@ func (a *Agent) recoverGap(sub *Subscription, missedFrom, missedTo uint64) {
 	a.mu.Unlock()
 	ev := GapEvent{SubID: oldID, MissedFrom: missedFrom, MissedTo: missedTo}
 
-	// Protocol v2 heals losses at session granularity first: one signed
-	// resume exchange rebases EVERY subscription of the session (resumes
-	// racing from a burst of gaps coalesce onto a single in-flight
-	// exchange, and a restarted-then-restored controller resumes the whole
-	// fleet without a single re-subscribe). Only when the server cannot
-	// resume this subscription does recovery fall through to the
-	// per-subscription tiers below.
-	if a.protocol() >= wire.EnvelopeVersion {
-		if entries, err := a.sharedResume(); err == nil {
+	// The lightweight tiers retry under a short bounded backoff before
+	// recovery escalates: on a lossy channel a recovery exchange is as
+	// likely to lose a frame as the notification whose loss triggered it,
+	// and the heavyweight re-subscribe below costs the server a fresh
+	// registration. Deterministic refusals (the server answers but cannot
+	// resume or does not know the subscription) escalate immediately.
+	bo := backoff.New(gapRecoveryPolicy)
+	for {
+		transient := false
+
+		// Protocol v2 heals losses at session granularity first: one signed
+		// resume exchange rebases EVERY subscription of the session (resumes
+		// racing from a burst of gaps coalesce onto a single in-flight
+		// exchange, and a restarted-then-restored controller resumes the
+		// whole fleet without a single re-subscribe). Only when the server
+		// cannot resume this subscription does recovery fall through to the
+		// per-subscription tiers below.
+		if a.protocol() >= wire.EnvelopeVersion {
+			entries, err := a.sharedResume()
+			if err != nil {
+				transient = true
+			}
 			for _, ent := range entries {
 				if ent.SubID != oldID || ent.Status == wire.StatusError {
 					continue
@@ -603,29 +627,45 @@ func (a *Agent) recoverGap(sub *Subscription, missedFrom, missedTo uint64) {
 				return
 			}
 		}
-	}
 
-	if ack, err := a.queryVerdictByID(oldID); err == nil && ack.Event == wire.NotifyAck {
-		a.mu.Lock()
-		if !a.closed && !sub.unsubscribing && sub.ID == oldID {
-			// Rebase gap detection on the verdict's sequence number: every
-			// push at or below it is superseded by the verdict we now hold,
-			// so in-flight stale pushes are dropped instead of re-triggering
-			// recovery. Only raise — a fresh push may already have advanced
-			// the counter past the ack.
-			if ack.Seq > sub.lastSeq {
-				sub.lastSeq = ack.Seq
+		if ack, err := a.queryVerdictByID(oldID); err == nil && ack.Event == wire.NotifyAck {
+			a.mu.Lock()
+			if !a.closed && !sub.unsubscribing && sub.ID == oldID {
+				// Rebase gap detection on the verdict's sequence number: every
+				// push at or below it is superseded by the verdict we now hold,
+				// so in-flight stale pushes are dropped instead of re-triggering
+				// recovery. Only raise — a fresh push may already have advanced
+				// the counter past the ack.
+				if ack.Seq > sub.lastSeq {
+					sub.lastSeq = ack.Seq
+				}
+				sub.resubbing = false
+				a.mu.Unlock()
+				ev.NewSubID, ev.Status, ev.Detail = oldID, ack.Status, ack.Detail
+				a.emitGap(ev)
+				return
 			}
+			// Closed or a user Unsubscribe raced the resync: nothing to rebind.
 			sub.resubbing = false
 			a.mu.Unlock()
-			ev.NewSubID, ev.Status, ev.Detail = oldID, ack.Status, ack.Detail
-			a.emitGap(ev)
+			return
+		} else if err != nil {
+			transient = true
+		}
+
+		if !transient || bo.Exhausted() {
+			break
+		}
+		time.Sleep(bo.Next())
+		a.mu.Lock()
+		gone := a.closed || sub.unsubscribing
+		if gone {
+			sub.resubbing = false
+		}
+		a.mu.Unlock()
+		if gone {
 			return
 		}
-		// Closed or a user Unsubscribe raced the resync: nothing to rebind.
-		sub.resubbing = false
-		a.mu.Unlock()
-		return
 	}
 	fail := func(err error) {
 		a.mu.Lock()

@@ -1,0 +1,111 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/rvaas/admin"
+	"repro/internal/topology"
+)
+
+// Faults implements admin.FaultController: a snapshot of the lab's fault
+// plane (seed, declared profiles, windows, counters).
+func (p *Placement) Faults() admin.FaultsView {
+	view := admin.FaultsView{Seed: p.inj.Seed()}
+	for _, pr := range p.inj.Profiles() {
+		view.Profiles = append(view.Profiles, admin.FaultProfileView{
+			Name:      pr.Name,
+			Drop:      pr.Drop,
+			Duplicate: pr.Duplicate,
+			Reorder:   pr.Reorder,
+			LatencyMS: pr.Latency.Milliseconds(),
+			JitterMS:  pr.Jitter.Milliseconds(),
+		})
+	}
+	windows, counters := p.inj.Windows()
+	now := time.Now()
+	for _, w := range windows {
+		view.Windows = append(view.Windows, windowView(w, now))
+	}
+	view.Counters = admin.FaultCountersView{
+		ChannelDropped:    counters.ChannelDropped,
+		ChannelDelayed:    counters.ChannelDelayed,
+		ChannelDuplicated: counters.ChannelDuplicated,
+		ChannelReordered:  counters.ChannelReordered,
+		TrunkDropped:      counters.TrunkDropped,
+		TrunkDelayed:      counters.TrunkDelayed,
+		JoinsRefused:      counters.JoinsRefused,
+	}
+	return view
+}
+
+func windowView(w faultinject.Window, now time.Time) admin.FaultWindowView {
+	return admin.FaultWindowView{
+		ID:      w.ID,
+		Target:  w.Target,
+		Group:   w.Group,
+		Switch:  w.Switch,
+		Kind:    w.Kind,
+		Profile: w.Profile,
+		Start:   w.Start,
+		Until:   w.Until,
+		Active:  !now.Before(w.Start) && (w.Until.IsZero() || now.Before(w.Until)),
+	}
+}
+
+// InjectFault opens a runtime fault window starting now. Selector existence
+// is validated here — the injector knows fault shapes, the deployment knows
+// which groups and switches actually exist.
+func (p *Placement) InjectFault(req admin.FaultInjectRequest) (admin.FaultWindowView, error) {
+	switch req.Target {
+	case faultinject.TargetTrunk, faultinject.TargetProc:
+		p.mu.Lock()
+		_, ok := p.groups[req.Group]
+		p.mu.Unlock()
+		if !ok {
+			return admin.FaultWindowView{}, fmt.Errorf("unknown placement group %q (placed groups only)", req.Group)
+		}
+	case faultinject.TargetChannel:
+		if req.Switch != 0 && p.topo.PortCount(topology.SwitchID(req.Switch)) == 0 {
+			return admin.FaultWindowView{}, fmt.Errorf("switch %d is not in the topology", req.Switch)
+		}
+	}
+	w := faultinject.Window{
+		Target:  req.Target,
+		Group:   req.Group,
+		Switch:  req.Switch,
+		Kind:    req.Kind,
+		Profile: req.Profile,
+	}
+	if req.DurationMS > 0 {
+		now := time.Now()
+		w.Start = now
+		w.Until = now.Add(time.Duration(req.DurationMS) * time.Millisecond)
+	}
+	id, err := p.inj.Schedule(w)
+	if err != nil {
+		return admin.FaultWindowView{}, err
+	}
+	windows, _ := p.inj.Windows()
+	now := time.Now()
+	for _, got := range windows {
+		if got.ID == id {
+			return windowView(got, now), nil
+		}
+	}
+	// Cleared between Schedule and the snapshot: report what was asked for.
+	w.ID = id
+	return windowView(w, now), nil
+}
+
+// ClearFaults removes one window by id, or every window with all.
+func (p *Placement) ClearFaults(id uint64, all bool) (int, error) {
+	if all {
+		return p.inj.ClearAll(), nil
+	}
+	if p.inj.Clear(id) {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -6,18 +6,21 @@ import (
 	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/controlplane"
 	"repro/internal/enclave"
 	"repro/internal/fabric"
+	"repro/internal/faultinject"
 	"repro/internal/labspec"
 	"repro/internal/openflow"
 	"repro/internal/procplane"
@@ -37,9 +40,6 @@ const (
 	// defaultJoinTimeout bounds waiting for every placed group to join and
 	// its switches to attach.
 	defaultJoinTimeout = 30 * time.Second
-	// beatStale is how long without a trunk beat before a joined process is
-	// reported degraded.
-	beatStale = 8 * procplane.BeatInterval
 )
 
 // PlacedConfig tunes multi-process bring-up (FromSpecPlaced). The zero
@@ -60,6 +60,9 @@ type procGroup struct {
 	// local-exec groups).
 	token string
 
+	// inj is the lab's fault injector; outbound trunk messages consult it.
+	inj *faultinject.Injector
+
 	mu       sync.Mutex
 	conn     *procplane.Conn
 	lastBeat time.Time
@@ -70,6 +73,16 @@ type procGroup struct {
 }
 
 func (g *procGroup) send(typ byte, payload []byte) {
+	if g.inj != nil {
+		drop, delay := g.inj.TrunkVerdict(g.spec.Name, false, typ == procplane.MsgBeat)
+		if drop {
+			return // the fault window ate it
+		}
+		if delay > 0 {
+			// A stalled trunk is slow, not reordered: block the sender.
+			time.Sleep(delay)
+		}
+	}
 	g.mu.Lock()
 	tc := g.conn
 	g.mu.Unlock()
@@ -100,6 +113,13 @@ type Placement struct {
 	ln   net.Listener
 	mux  *openflow.UDPMux
 	logf func(string, ...any)
+
+	// inj is the lab's fault injector (always present; idle without
+	// windows). beatInterval / beatMiss are the spec-resolved trunk
+	// liveness parameters the beat-miss monitor enforces.
+	inj          *faultinject.Injector
+	beatInterval time.Duration
+	beatMiss     time.Duration
 
 	mu       sync.Mutex
 	groups   map[string]*procGroup
@@ -249,23 +269,38 @@ func (p *Placement) serveTrunkConn(tc *procplane.Conn) {
 	g, err := p.handleJoin(tc)
 	if err != nil {
 		p.logf("deploy: trunk join from %s refused: %v", tc.RemoteAddr(), err)
-		_ = tc.WriteJSON(procplane.MsgJoinAck, &procplane.JoinAck{Error: err.Error()})
+		ack := procplane.JoinAck{Error: err.Error()}
+		var refused *procplane.JoinRefusedError
+		if errors.As(err, &refused) {
+			ack.Error = refused.Reason
+			ack.Retry = refused.Retryable
+		}
+		_ = tc.WriteJSON(procplane.MsgJoinAck, &ack)
 		tc.Close()
 		return
 	}
 	defer func() {
 		tc.Close()
 		g.mu.Lock()
-		if g.conn == tc {
+		lost := g.conn == tc
+		if lost {
 			g.conn = nil
 			g.detail = "trunk connection lost"
 		}
 		g.mu.Unlock()
+		if lost {
+			p.trunkLost(g)
+		}
 	}()
 	for {
 		typ, payload, err := tc.Read()
 		if err != nil {
 			return
+		}
+		if drop, delay := p.inj.TrunkVerdict(g.spec.Name, true, typ == procplane.MsgBeat); drop {
+			continue
+		} else if delay > 0 {
+			time.Sleep(delay)
 		}
 		switch typ {
 		case procplane.MsgBeat:
@@ -355,6 +390,15 @@ func (p *Placement) handleJoin(tc *procplane.Conn) (*procGroup, error) {
 	if jr.Kind != g.role {
 		return nil, fmt.Errorf("group %q is a %s group, join says %s", jr.Group, g.role, jr.Kind)
 	}
+	if p.inj.TrunkPartitioned(jr.Group) {
+		// The partition also blocks rejoins; the child backs off and
+		// retries until the window heals.
+		p.inj.CountJoinRefused()
+		return nil, &procplane.JoinRefusedError{
+			Reason:    fmt.Sprintf("group %q trunk is partitioned", jr.Group),
+			Retryable: true,
+		}
+	}
 	ack := procplane.JoinAck{Spec: p.specJSON, CAPub: p.ca.Pub}
 	switch g.role {
 	case procplane.KindSwitchd:
@@ -390,7 +434,12 @@ func (p *Placement) handleJoin(tc *procplane.Conn) (*procGroup, error) {
 	g.mu.Lock()
 	if g.conn != nil {
 		g.mu.Unlock()
-		return nil, fmt.Errorf("group %q already joined", jr.Group)
+		// Retryable: a rejoining child can race the beat-miss reaping of
+		// its dead predecessor's connection.
+		return nil, &procplane.JoinRefusedError{
+			Reason:    fmt.Sprintf("group %q already joined", jr.Group),
+			Retryable: true,
+		}
 	}
 	g.conn = tc
 	g.lastBeat = time.Now()
@@ -456,10 +505,14 @@ func (p *Placement) acceptAttach() {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			sc, err := openflow.SecureServer(conn, p.ctlID, p.ctlCert, p.ca.Pub)
+			// Every attach channel runs through the fault layer, keyed by
+			// peer address so a link's perturbation sequence is
+			// deterministic per (seed, link). Idle without windows.
+			ft := p.inj.WrapChannel(conn.PeerAddr().String(), conn)
+			sc, err := openflow.SecureServer(ft, p.ctlID, p.ctlCert, p.ca.Pub)
 			if err != nil {
 				p.logf("deploy: attach handshake from %s: %v", conn.PeerAddr(), err)
-				conn.Close()
+				ft.Close()
 				return
 			}
 			var sw uint32
@@ -468,6 +521,7 @@ func (p *Placement) acceptAttach() {
 				sc.Close()
 				return
 			}
+			ft.SetSwitch(sw)
 			swID := topology.SwitchID(sw)
 			p.mu.Lock()
 			g := p.bySwitch[swID]
@@ -494,6 +548,107 @@ func (p *Placement) acceptAttach() {
 	}
 }
 
+// trunkLost detaches a group's switch control sessions after its trunk
+// went away (skipped during shutdown, where stop tears everything down).
+// Degraded, never stale-green: with the trunk gone, the group's cross-seam
+// data plane is broken, so its switches must not keep reporting healthy
+// attached sessions.
+func (p *Placement) trunkLost(g *procGroup) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, sw := range g.spec.Switches {
+		p.ctl.Detach(topology.SwitchID(sw))
+	}
+	if len(g.spec.Switches) > 0 {
+		p.logf("deploy: group %s trunk lost; detached switches %v", g.spec.Name, g.spec.Switches)
+	}
+}
+
+// detachGroup force-closes a group's trunk connection and detaches its
+// switches, recording why. The connection close also unblocks the child's
+// read loop, sending it into its rejoin backoff.
+func (p *Placement) detachGroup(g *procGroup, detail string) {
+	g.mu.Lock()
+	tc := g.conn
+	if tc != nil {
+		g.conn = nil
+		g.detail = detail
+	}
+	g.mu.Unlock()
+	if tc == nil {
+		return
+	}
+	tc.Close()
+	p.logf("deploy: group %s: %s", g.spec.Name, detail)
+	p.trunkLost(g)
+}
+
+// monitor is the controller-side liveness judge: it reaps trunk sessions
+// whose beats went stale past the spec's beatMissTimeout (closing the
+// stale-green hole where attach channels stay up while the trunk is
+// partitioned) and applies one-shot fault actions (reset, kill).
+func (p *Placement) monitor() {
+	defer p.wg.Done()
+	interval := p.beatInterval / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for range tick.C {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		groups := make([]*procGroup, 0, len(p.groups))
+		for _, g := range p.groups {
+			groups = append(groups, g)
+		}
+		p.mu.Unlock()
+
+		for _, act := range p.inj.TakeActions() {
+			w := act.Window
+			var target *procGroup
+			for _, g := range groups {
+				if g.spec.Name == w.Group {
+					target = g
+					break
+				}
+			}
+			if target == nil {
+				continue
+			}
+			switch w.Kind {
+			case faultinject.KindReset:
+				p.detachGroup(target, "trunk reset by fault window")
+			case faultinject.KindKill:
+				target.mu.Lock()
+				child := target.child
+				target.mu.Unlock()
+				if child != nil {
+					p.logf("deploy: group %s: child killed by fault window", w.Group)
+					child.Signal(syscall.SIGKILL)
+				}
+			}
+		}
+
+		now := time.Now()
+		for _, g := range groups {
+			g.mu.Lock()
+			stale := g.conn != nil && now.Sub(g.lastBeat) > p.beatMiss
+			g.mu.Unlock()
+			if stale {
+				p.detachGroup(g, "trunk beats stale; detached")
+			}
+		}
+	}
+}
+
 // ProcHealth reports per-process health for the admin API: trunk liveness,
 // child-process state, and (for switchd groups) control-session health.
 func (p *Placement) ProcHealth() []admin.ProcHealth {
@@ -517,9 +672,10 @@ func (p *Placement) ProcHealth() []admin.ProcHealth {
 			Switches: g.spec.Switches,
 			Agents:   g.spec.Agents,
 			Detail:   g.detail,
+			Joins:    g.joins,
 		}
 		joined := g.conn != nil
-		stale := joined && time.Since(g.lastBeat) > beatStale
+		stale := joined && time.Since(g.lastBeat) > p.beatMiss
 		child := g.child
 		g.mu.Unlock()
 		exited := false
@@ -567,11 +723,19 @@ func sortProcHealth(hs []admin.ProcHealth) {
 
 // manifestFor renders a group's rendezvous manifest.
 func (p *Placement) manifestFor(g *procGroup) *procplane.Manifest {
-	return &procplane.Manifest{
+	m := &procplane.Manifest{
 		Lab: p.spec.Name, Group: g.spec.Name, Kind: g.role,
 		Token: g.token, Trunk: p.TrunkAddr(),
 		Switches: g.spec.Switches, Agents: g.spec.Agents,
 	}
+	if r := p.spec.Placement.Rejoin; r != nil {
+		m.Rejoin = &procplane.RejoinConfig{
+			MaxAttempts: r.MaxAttempts,
+			Backoff:     r.Backoff.Std(),
+			MaxBackoff:  r.MaxBackoff.Std(),
+		}
+	}
+	return m
 }
 
 // Respawn relaunches a local-exec group's child process after it died (the
@@ -703,6 +867,26 @@ func fromPlacedSpec(spec *labspec.Spec, opt Options, pc PlacedConfig) (*Deployme
 		apGroup:      make(map[topology.Endpoint]*procGroup),
 	}
 	p.childCmd = childCmd
+	p.beatInterval = spec.Placement.EffectiveBeatInterval()
+	p.beatMiss = spec.Placement.EffectiveBeatMissTimeout()
+
+	// The fault injector is always present (idle without windows): runtime
+	// injection over the admin API must not need a faults: section.
+	faultSeed := int64(1)
+	if spec.Faults != nil && spec.Faults.Seed != 0 {
+		faultSeed = spec.Faults.Seed
+	}
+	p.inj = faultinject.New(faultSeed)
+	if spec.Faults != nil {
+		for _, pr := range spec.Faults.Profiles {
+			if err := p.inj.DefineProfile(faultinject.Profile{
+				Name: pr.Name, Drop: pr.Drop, Duplicate: pr.Duplicate,
+				Reorder: pr.Reorder, Latency: pr.Latency.Std(), Jitter: pr.Jitter.Std(),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
 	spec.Migrate()
 	p.specJSON, err = json.Marshal(spec)
 	if err != nil {
@@ -772,7 +956,7 @@ func fromPlacedSpec(spec *labspec.Spec, opt Options, pc PlacedConfig) (*Deployme
 		if g.Proc == labspec.ProcInProc {
 			continue
 		}
-		pg := &procGroup{spec: g, token: g.Token, joinedC: make(chan struct{})}
+		pg := &procGroup{spec: g, token: g.Token, inj: p.inj, joinedC: make(chan struct{})}
 		if len(g.Switches) > 0 {
 			pg.role = procplane.KindSwitchd
 		} else {
@@ -791,9 +975,10 @@ func fromPlacedSpec(spec *labspec.Spec, opt Options, pc PlacedConfig) (*Deployme
 			p.byClient[id] = pg
 		}
 	}
-	p.wg.Add(2)
+	p.wg.Add(3)
 	go p.acceptTrunk()
 	go p.acceptAttach()
+	go p.monitor()
 
 	// Rendezvous manifests for externally launched groups; spawned children
 	// for local-exec groups (manifest on stdin).
@@ -875,6 +1060,25 @@ func fromPlacedSpec(spec *labspec.Spec, opt Options, pc PlacedConfig) (*Deployme
 		if err := d.createPlacedAgents(spec.Placement.PlacedAgents()); err != nil {
 			d.Close()
 			return nil, err
+		}
+	}
+	// Spec-scheduled fault windows anchor to the end of bring-up, so an
+	// `at: 1s` window opens one second into the healthy lab.
+	if spec.Faults != nil && len(spec.Faults.Windows) > 0 {
+		base := time.Now()
+		for _, w := range spec.Faults.Windows {
+			fw := faultinject.Window{
+				Target: w.Target, Group: w.Group, Switch: w.Switch,
+				Kind: w.Kind, Profile: w.Profile,
+				Start: base.Add(w.At.Std()),
+			}
+			if w.Duration > 0 {
+				fw.Until = fw.Start.Add(w.Duration.Std())
+			}
+			if _, err := p.inj.Schedule(fw); err != nil {
+				d.Close()
+				return nil, err
+			}
 		}
 	}
 	p.ctl.Start()

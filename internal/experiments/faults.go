@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/faultinject"
+	"repro/internal/labspec"
+	"repro/internal/rvaas"
+	"repro/internal/rvaas/admin"
+)
+
+// Experiment E16: measured degradation envelopes under injected faults.
+// The paper's core promise is that the verification plane never lies about
+// network state; the fault plane is how we audit that promise under the
+// conditions where lying is easiest — a partitioned trunk and a lossy
+// attach path. Each row runs a real multi-process lab (two switchd
+// children, one agentd child), schedules a trunk partition against the
+// group hosting the far switches — optionally under sustained channel
+// loss — and measures the envelope: how long until the partition is
+// *detected* (first hosted switch detached), whether the standing
+// invariants ever report green while their switches are known-detached
+// (stale-green — the one unacceptable outcome), and how long after the
+// partition heals until the children have rejoined through their own
+// backoff loops and every invariant is green again.
+
+// envelopeSpecYAML is the placed lab the envelope rows run: linear-4 with
+// the middle and far switches in child processes and the far client's
+// agent in a third, under a fast trunk liveness contract so detection
+// and rejoin happen at bench speed.
+const envelopeSpecYAML = `
+name: envelope-lab
+schemaVersion: 2
+topology:
+  generator: linear
+  size: 4
+transport:
+  kind: udp
+placement:
+  joinTimeout: 30s
+  beatInterval: 50ms
+  beatMissTimeout: 400ms
+  rejoin:
+    maxAttempts: 60
+    backoff: 50ms
+    maxBackoff: 250ms
+  groups:
+    - name: left
+      proc: local-exec
+      switches: [2]
+    - name: right
+      proc: local-exec
+      switches: [3, 4]
+    - name: edge
+      proc: local-exec
+      agents: [3]
+invariants:
+  - client: 1
+    kind: reachable-destinations
+    constraints:
+      - field: ip_dst
+        value: 0x0A000401
+        mask: 0xFFFFFFFF
+  - client: 3
+    kind: path-length
+    param: "10"
+`
+
+// FaultEnvelopeRow is one row of the E16 table.
+type FaultEnvelopeRow struct {
+	Lab string
+	// LossPct is the sustained channel drop percentage active for the
+	// whole row; Partition the scheduled trunk partition length.
+	LossPct   int
+	Partition time.Duration
+	// DetachDetect is partition start -> first hosted switch marked
+	// detached: how long the controller could, in principle, have served
+	// stale state before noticing.
+	DetachDetect time.Duration
+	// ReattachConverge is partition end -> children rejoined, every
+	// switch re-attached and every invariant green again.
+	ReattachConverge time.Duration
+	// StaleGreen counts poll samples during the partition where the
+	// invariants reported green AFTER the degradation had been surfaced,
+	// while the partitioned switches were still detached. Must be zero.
+	StaleGreen int
+	// Rejoins counts trunk join handshakes beyond the initial ones: the
+	// children's own backoff rejoin doing the healing (no respawn).
+	Rejoins int
+	// ChannelDropped is the injector's count of channel messages eaten by
+	// the loss profile (0 for the loss-free row).
+	ChannelDropped uint64
+}
+
+// FaultEnvelopeSweep runs the three envelope rows: a clean partition, the
+// same partition under 5% channel loss, and a longer partition under the
+// same loss. childCmd spawns the lab's child processes (the benchharness
+// re-execs itself); logf receives child/deploy logs (nil discards).
+func FaultEnvelopeSweep(childCmd func(string) []string, logf func(string, ...any)) ([]FaultEnvelopeRow, error) {
+	cases := []struct {
+		loss      int
+		partition time.Duration
+	}{
+		{0, 1200 * time.Millisecond},
+		{5, 1200 * time.Millisecond},
+		{5, 2500 * time.Millisecond},
+	}
+	rows := make([]FaultEnvelopeRow, 0, len(cases))
+	for _, c := range cases {
+		row, err := faultEnvelope(childCmd, logf, c.loss, c.partition)
+		if err != nil {
+			return nil, fmt.Errorf("loss=%d%%/partition=%s: %w", c.loss, c.partition, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func faultEnvelope(childCmd func(string) []string, logf func(string, ...any), loss int, partition time.Duration) (FaultEnvelopeRow, error) {
+	row := FaultEnvelopeRow{Lab: "placed4", LossPct: loss, Partition: partition}
+	spec, err := labspec.Parse([]byte(envelopeSpecYAML))
+	if err != nil {
+		return row, err
+	}
+	spec.Name = fmt.Sprintf("envelope-loss%d", loss)
+	if loss > 0 {
+		spec.Faults = &labspec.FaultsSpec{
+			Seed: 42,
+			Profiles: []labspec.FaultProfileSpec{{
+				Name:    "lossy",
+				Drop:    float64(loss) / 100,
+				Latency: labspec.Duration(2 * time.Millisecond),
+			}},
+		}
+	}
+	d, err := deploy.FromSpecPlaced(spec, deploy.PlacedConfig{ChildCommand: childCmd, Logf: logf})
+	if err != nil {
+		return row, err
+	}
+	defer d.Close()
+	p := d.Placed
+
+	green := func() bool {
+		subs := d.RVaaS.Subscriptions()
+		if len(subs) != 2 {
+			return false
+		}
+		for _, s := range subs {
+			if s.Violated {
+				return false
+			}
+		}
+		return true
+	}
+	rightDetached := func() bool {
+		for _, ss := range d.RVaaS.SwitchSessions() {
+			if (ss.Switch == 3 || ss.Switch == 4) && ss.State == rvaas.SwitchDetached {
+				return true
+			}
+		}
+		return false
+	}
+	allAttached := func() bool {
+		for _, ss := range d.RVaaS.SwitchSessions() {
+			if !ss.Attached() {
+				return false
+			}
+		}
+		return true
+	}
+	rightRunning := func() bool {
+		for _, h := range p.ProcHealth() {
+			if h.Name == "right" {
+				return h.State == admin.ProcStateRunning
+			}
+		}
+		return false
+	}
+	totalJoins := func() int {
+		n := 0
+		for _, h := range p.ProcHealth() {
+			n += h.Joins
+		}
+		return n
+	}
+
+	if err := waitUntil(30*time.Second, green); err != nil {
+		return row, fmt.Errorf("bring-up: %w", err)
+	}
+	if loss > 0 {
+		if _, err := p.InjectFault(admin.FaultInjectRequest{
+			Target: faultinject.TargetChannel, Profile: "lossy",
+		}); err != nil {
+			return row, fmt.Errorf("inject channel loss: %w", err)
+		}
+		// Let the loss profile bite before the partition starts, so the
+		// partition rows under loss really measure detection *under* loss.
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	joinsBefore := totalJoins()
+	start := time.Now()
+	if _, err := p.InjectFault(admin.FaultInjectRequest{
+		Target: faultinject.TargetTrunk, Group: "right",
+		Kind: faultinject.KindPartition, DurationMS: partition.Milliseconds(),
+	}); err != nil {
+		return row, fmt.Errorf("inject partition: %w", err)
+	}
+
+	// Ride the partition out sampling the controller's story. Stale-green
+	// only counts after the degradation has been surfaced once: the window
+	// between detach and the first re-evaluation IS the detection latency,
+	// measured separately.
+	surfaced := false
+	for time.Since(start) < partition {
+		detached := rightDetached()
+		g := green()
+		if detached && row.DetachDetect == 0 {
+			row.DetachDetect = time.Since(start)
+		}
+		if detached && !g {
+			surfaced = true
+		}
+		if detached && surfaced && g {
+			row.StaleGreen++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if row.DetachDetect == 0 {
+		return row, fmt.Errorf("partition of %s never detected", partition)
+	}
+
+	healed := start.Add(partition)
+	if err := waitUntil(30*time.Second, func() bool {
+		return allAttached() && rightRunning() && green()
+	}); err != nil {
+		return row, fmt.Errorf("reconvergence after heal: %w", err)
+	}
+	row.ReattachConverge = time.Since(healed)
+	row.Rejoins = totalJoins() - joinsBefore
+	if row.Rejoins < 1 {
+		return row, fmt.Errorf("healed with %d rejoins: children must rejoin through their own backoff", row.Rejoins)
+	}
+	row.ChannelDropped = p.Faults().Counters.ChannelDropped
+	return row, nil
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %s", d)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}

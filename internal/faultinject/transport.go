@@ -1,0 +1,235 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/openflow"
+)
+
+// timeoutRecver mirrors openflow's unexported deadlineRecver so the
+// wrapper can delegate bounded receives (heartbeat probes, handshakes).
+type timeoutRecver interface {
+	RecvTimeout(d time.Duration) ([]byte, error)
+}
+
+// ChannelTransport wraps an openflow.Transport with the injector's active
+// channel profile: per-message drop on both directions, and latency /
+// duplication / reordering on sends. With no active window it forwards
+// untouched. The wrapper always reports Lossy — a faulted channel is
+// best-effort by construction, whatever the substrate.
+//
+// Reordered or duplicated ciphertexts are rejected by the secure
+// channel's anti-replay window and so surface as loss to the session —
+// exactly how a real datagram path misbehaves under the channel's rules.
+type ChannelTransport struct {
+	inner openflow.Transport
+	inj   *Injector
+
+	mu   sync.Mutex
+	send *DecisionStream
+	recv *DecisionStream
+	sw   uint32
+	held []byte // reorder hold-back: sent after the next message
+}
+
+// WrapChannel wraps one attach-path transport. key must be stable for the
+// link (e.g. the peer address) so the decision streams are deterministic
+// per (seed, link).
+func (in *Injector) WrapChannel(key string, inner openflow.Transport) *ChannelTransport {
+	return &ChannelTransport{
+		inner: inner,
+		inj:   in,
+		send:  NewDecisionStream(in.seed, key+"/send"),
+		recv:  NewDecisionStream(in.seed, key+"/recv"),
+	}
+}
+
+// SetSwitch records the authenticated switch behind this link so windows
+// with a switch selector apply (before identification only 0-selector
+// windows match).
+func (t *ChannelTransport) SetSwitch(sw uint32) {
+	t.mu.Lock()
+	t.sw = sw
+	t.mu.Unlock()
+}
+
+// Inner returns the wrapped transport.
+func (t *ChannelTransport) Inner() openflow.Transport { return t.inner }
+
+// Lossy marks the channel best-effort.
+func (t *ChannelTransport) Lossy() bool { return true }
+
+// sendDecision rolls the send-side fate of one message, also returning
+// any held reorder payload to flush after it.
+func (t *ChannelTransport) sendDecision(data []byte) (d Decision, flush []byte, active bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.inj.channelProfile(t.sw)
+	if !ok {
+		flush = t.held
+		t.held = nil
+		return Decision{}, flush, false
+	}
+	d = t.send.Next(p)
+	if d.Drop {
+		t.inj.count(&t.inj.counters.ChannelDropped)
+		return d, nil, true
+	}
+	if d.Duplicate {
+		t.inj.count(&t.inj.counters.ChannelDuplicated)
+	}
+	if d.Delay > 0 {
+		t.inj.count(&t.inj.counters.ChannelDelayed)
+	}
+	if d.Reorder {
+		t.inj.count(&t.inj.counters.ChannelReordered)
+		t.held, data = data, t.held // hold this one, flush the previous
+		flush = data
+		d.Reorder = true
+	} else {
+		flush = t.held
+		t.held = nil
+	}
+	return d, flush, true
+}
+
+// deliver sends one payload now or after the decision's delay.
+func (t *ChannelTransport) deliver(data []byte, delay time.Duration) error {
+	if delay <= 0 {
+		return t.inner.Send(data)
+	}
+	time.AfterFunc(delay, func() { _ = t.inner.Send(data) })
+	return nil
+}
+
+// Send applies the active profile and forwards.
+func (t *ChannelTransport) Send(data []byte) error {
+	d, flush, active := t.sendDecision(data)
+	if !active {
+		if flush != nil {
+			_ = t.inner.Send(flush)
+		}
+		return t.inner.Send(data)
+	}
+	if d.Drop {
+		return nil // the network ate it
+	}
+	if d.Reorder {
+		// data is held; flush is the previously held message (may be nil).
+		if flush != nil {
+			return t.deliver(flush, d.Delay)
+		}
+		return nil
+	}
+	if err := t.deliver(data, d.Delay); err != nil {
+		return err
+	}
+	if d.Duplicate {
+		_ = t.deliver(data, d.Delay)
+	}
+	if flush != nil {
+		return t.deliver(flush, d.Delay)
+	}
+	return nil
+}
+
+// TrySend applies the same perturbations without blocking; a dropped
+// message reports sent (the caller cannot tell loss from delivery).
+func (t *ChannelTransport) TrySend(data []byte) (bool, error) {
+	d, flush, active := t.sendDecision(data)
+	if !active {
+		if flush != nil {
+			_, _ = t.inner.TrySend(flush)
+		}
+		return t.inner.TrySend(data)
+	}
+	if d.Drop {
+		return true, nil
+	}
+	if d.Reorder {
+		if flush != nil {
+			_ = t.deliver(flush, d.Delay)
+		}
+		return true, nil
+	}
+	if d.Delay > 0 {
+		_ = t.deliver(data, d.Delay)
+		if d.Duplicate {
+			_ = t.deliver(data, d.Delay)
+		}
+		if flush != nil {
+			_ = t.deliver(flush, d.Delay)
+		}
+		return true, nil
+	}
+	sent, err := t.inner.TrySend(data)
+	if sent && d.Duplicate {
+		_, _ = t.inner.TrySend(data)
+	}
+	if flush != nil {
+		_, _ = t.inner.TrySend(flush)
+	}
+	return sent, err
+}
+
+// recvDrop rolls the receive-side fate of one message.
+func (t *ChannelTransport) recvDrop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.inj.channelProfile(t.sw)
+	if !ok {
+		return false
+	}
+	if t.recv.Next(p).Drop {
+		t.inj.count(&t.inj.counters.ChannelDropped)
+		return true
+	}
+	return false
+}
+
+// Recv forwards the next message that survives the receive-side drop roll.
+func (t *ChannelTransport) Recv() ([]byte, error) {
+	for {
+		data, err := t.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if t.recvDrop() {
+			continue
+		}
+		return data, nil
+	}
+}
+
+// RecvTimeout bounds Recv when the wrapped transport supports deadlines
+// (the UDP mux path always does); dropped messages consume the deadline.
+func (t *ChannelTransport) RecvTimeout(d time.Duration) ([]byte, error) {
+	tr, ok := t.inner.(timeoutRecver)
+	if !ok {
+		return t.Recv()
+	}
+	deadline := time.Now().Add(d)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			remain = time.Nanosecond
+		}
+		data, err := tr.RecvTimeout(remain)
+		if err != nil {
+			return nil, err
+		}
+		if t.recvDrop() {
+			continue
+		}
+		return data, nil
+	}
+}
+
+// Close tears the wrapped transport down.
+func (t *ChannelTransport) Close() {
+	t.mu.Lock()
+	t.held = nil
+	t.mu.Unlock()
+	t.inner.Close()
+}

@@ -78,6 +78,11 @@ type Spec struct {
 	Agents     AgentsSpec      `json:"agents,omitempty"`
 	Placement  *PlacementSpec  `json:"placement,omitempty"`
 	Invariants []InvariantSpec `json:"invariants,omitempty"`
+	// Faults declares the lab's fault plane: named channel perturbation
+	// profiles and scheduled fault windows (schemaVersion >= 2, placed
+	// labs only — the targets are the trunk, the attach channels and the
+	// placed processes).
+	Faults *FaultsSpec `json:"faults,omitempty"`
 }
 
 // Version returns the effective schema version (absent means 1).
@@ -123,8 +128,59 @@ type PlacementSpec struct {
 	RendezvousDir string `json:"rendezvousDir,omitempty"`
 	// JoinTimeout bounds waiting for every placed group to join and its
 	// switches to attach (0 = deploy default).
-	JoinTimeout Duration         `json:"joinTimeout,omitempty"`
-	Groups      []PlacementGroup `json:"groups"`
+	JoinTimeout Duration `json:"joinTimeout,omitempty"`
+	// BeatInterval is the placed processes' trunk liveness beat period
+	// (0 = DefaultBeatInterval, 250ms).
+	BeatInterval Duration `json:"beatInterval,omitempty"`
+	// BeatMissTimeout is how long the controller tolerates beat silence
+	// before it detaches a joined group — closing its trunk and marking
+	// its switch sessions detached so invariants degrade instead of going
+	// stale-green (0 = DefaultBeatMissFactor x the beat interval; must
+	// exceed the beat interval when set).
+	BeatMissTimeout Duration `json:"beatMissTimeout,omitempty"`
+	// Rejoin tunes the children's trunk reconnect backoff.
+	Rejoin *RejoinSpec      `json:"rejoin,omitempty"`
+	Groups []PlacementGroup `json:"groups"`
+}
+
+// Trunk liveness defaults.
+const (
+	// DefaultBeatInterval is the trunk liveness beat period when the spec
+	// does not choose one.
+	DefaultBeatInterval = 250 * time.Millisecond
+	// DefaultBeatMissFactor scales the beat interval into the default
+	// beat-miss detach threshold.
+	DefaultBeatMissFactor = 8
+)
+
+// EffectiveBeatInterval resolves the trunk beat period (nil-safe).
+func (p *PlacementSpec) EffectiveBeatInterval() time.Duration {
+	if p == nil || p.BeatInterval <= 0 {
+		return DefaultBeatInterval
+	}
+	return p.BeatInterval.Std()
+}
+
+// EffectiveBeatMissTimeout resolves the controller-side beat-miss detach
+// threshold (nil-safe).
+func (p *PlacementSpec) EffectiveBeatMissTimeout() time.Duration {
+	if p == nil || p.BeatMissTimeout <= 0 {
+		return DefaultBeatMissFactor * p.EffectiveBeatInterval()
+	}
+	return p.BeatMissTimeout.Std()
+}
+
+// RejoinSpec tunes how a placed child reconnects its trunk after loss:
+// jittered exponential backoff between attempts, bounded per outage.
+type RejoinSpec struct {
+	// MaxAttempts bounds consecutive failed rejoin attempts before the
+	// child gives up (0 = procplane default; the counter resets on every
+	// successful join).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// Backoff is the initial retry delay (0 = procplane default).
+	Backoff Duration `json:"backoff,omitempty"`
+	// MaxBackoff caps the exponential growth (0 = procplane default).
+	MaxBackoff Duration `json:"maxBackoff,omitempty"`
 }
 
 // PlacementGroup places one set of switches and/or client agents into a
@@ -276,6 +332,127 @@ type ConstraintSpec struct {
 	Value uint64 `json:"value"`
 	// Mask selects the significant bits (0 = exact full-width match).
 	Mask uint64 `json:"mask,omitempty"`
+}
+
+// Fault targets and kinds (mirrored by internal/faultinject, which owns
+// the runtime semantics).
+const (
+	FaultTargetTrunk   = "trunk"
+	FaultTargetChannel = "channel"
+	FaultTargetProc    = "proc"
+
+	FaultKindPartition   = "partition"
+	FaultKindStall       = "stall"
+	FaultKindReset       = "reset"
+	FaultKindStarveBeats = "starve-beats"
+	FaultKindKill        = "kill"
+)
+
+// FaultsSpec declares the lab's fault plane: a seed for deterministic
+// perturbation streams, named channel profiles, and scheduled windows.
+type FaultsSpec struct {
+	// Seed seeds every fault decision stream; the same seed replays the
+	// same drop/delay sequences (0 = seed 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Profiles are named channel perturbations windows reference.
+	Profiles []FaultProfileSpec `json:"profiles,omitempty"`
+	// Windows are the scheduled faults; more can be injected at runtime
+	// via `rvaasd ops faults inject`.
+	Windows []FaultWindowSpec `json:"windows,omitempty"`
+}
+
+// FaultProfileSpec is one named channel perturbation.
+type FaultProfileSpec struct {
+	Name string `json:"name"`
+	// Drop / Duplicate / Reorder are per-message probabilities in [0, 1].
+	Drop      float64 `json:"drop,omitempty"`
+	Duplicate float64 `json:"duplicate,omitempty"`
+	Reorder   float64 `json:"reorder,omitempty"`
+	// Latency delays each message; Jitter adds a uniform extra draw.
+	Latency Duration `json:"latency,omitempty"`
+	Jitter  Duration `json:"jitter,omitempty"`
+}
+
+// FaultWindowSpec schedules one fault. At is the offset from lab
+// bring-up; a zero Duration keeps the window open until cleared.
+type FaultWindowSpec struct {
+	At       Duration `json:"at,omitempty"`
+	Duration Duration `json:"duration,omitempty"`
+	// Target is "trunk", "channel" or "proc".
+	Target string `json:"target"`
+	// Group selects the placement group (trunk and proc targets).
+	Group string `json:"group,omitempty"`
+	// Switch selects one switch's channel (0 = every placed switch).
+	Switch uint32 `json:"switch,omitempty"`
+	// Kind names the trunk fault (partition, stall, reset, starve-beats)
+	// or the proc fault (kill).
+	Kind string `json:"kind,omitempty"`
+	// Profile names the channel perturbation profile (channel targets).
+	Profile string `json:"profile,omitempty"`
+}
+
+func (f *FaultsSpec) validate(groups map[string]bool, switches map[uint32]bool) error {
+	profiles := make(map[string]bool, len(f.Profiles))
+	for i, p := range f.Profiles {
+		where := fmt.Sprintf("profiles[%d] (%s)", i, p.Name)
+		if strings.TrimSpace(p.Name) == "" {
+			return fmt.Errorf("profiles[%d]: name: required", i)
+		}
+		if profiles[p.Name] {
+			return fmt.Errorf("%s: duplicate profile name", where)
+		}
+		profiles[p.Name] = true
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{{"drop", p.Drop}, {"duplicate", p.Duplicate}, {"reorder", p.Reorder}} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("%s: %s: probability must be in [0, 1], got %g", where, pr.name, pr.v)
+			}
+		}
+		if p.Latency < 0 || p.Jitter < 0 {
+			return fmt.Errorf("%s: latency/jitter: must be >= 0", where)
+		}
+	}
+	for i, w := range f.Windows {
+		where := fmt.Sprintf("windows[%d]", i)
+		if w.At < 0 || w.Duration < 0 {
+			return fmt.Errorf("%s: at/duration: must be >= 0", where)
+		}
+		switch w.Target {
+		case FaultTargetTrunk:
+			switch w.Kind {
+			case FaultKindPartition, FaultKindStall, FaultKindReset, FaultKindStarveBeats:
+			default:
+				return fmt.Errorf("%s: kind: trunk windows want %s, %s, %s or %s, got %q",
+					where, FaultKindPartition, FaultKindStall, FaultKindReset, FaultKindStarveBeats, w.Kind)
+			}
+			if !groups[w.Group] {
+				return fmt.Errorf("%s: group: %q is not a placed (non-inproc) placement group", where, w.Group)
+			}
+		case FaultTargetChannel:
+			if w.Kind != "" {
+				return fmt.Errorf("%s: kind: channel windows use a profile, not a kind", where)
+			}
+			if !profiles[w.Profile] {
+				return fmt.Errorf("%s: profile: %q is not a declared fault profile", where, w.Profile)
+			}
+			if w.Switch != 0 && !switches[w.Switch] {
+				return fmt.Errorf("%s: switch: %d is not in the topology", where, w.Switch)
+			}
+		case FaultTargetProc:
+			if w.Kind != FaultKindKill {
+				return fmt.Errorf("%s: kind: proc windows want %s, got %q", where, FaultKindKill, w.Kind)
+			}
+			if !groups[w.Group] {
+				return fmt.Errorf("%s: group: %q is not a placed (non-inproc) placement group", where, w.Group)
+			}
+		default:
+			return fmt.Errorf("%s: target: want %s, %s or %s, got %q",
+				where, FaultTargetTrunk, FaultTargetChannel, FaultTargetProc, w.Target)
+		}
+	}
+	return nil
 }
 
 // Parse decodes a spec from JSON (first non-space byte '{') or the YAML
@@ -468,13 +645,30 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("labspec: invariants[%d]: client %d has no access point in the topology (declared clients: %v)", i, inv.Client, sortedClients(clients))
 		}
 	}
+	switches := make(map[uint32]bool)
+	for _, sw := range topo.Switches() {
+		switches[uint32(sw)] = true
+	}
 	if s.Placement != nil {
-		switches := make(map[uint32]bool)
-		for _, sw := range topo.Switches() {
-			switches[uint32(sw)] = true
-		}
 		if err := s.Placement.validate(switches, clients, s.Agents.Skip); err != nil {
 			return fmt.Errorf("labspec: placement: %w", err)
+		}
+	}
+	if s.Faults != nil {
+		if s.Version() < SchemaV2 {
+			return fmt.Errorf("labspec: faults: requires schemaVersion >= %d (got %d)", SchemaV2, s.Version())
+		}
+		if s.Placement == nil {
+			return fmt.Errorf("labspec: faults: requires a placement section (the fault targets are the trunk, attach channels and placed processes)")
+		}
+		placedGroups := make(map[string]bool)
+		for _, g := range s.Placement.Groups {
+			if g.Proc != ProcInProc {
+				placedGroups[g.Name] = true
+			}
+		}
+		if err := s.Faults.validate(placedGroups, switches); err != nil {
+			return fmt.Errorf("labspec: faults: %w", err)
 		}
 	}
 	return nil
@@ -486,6 +680,27 @@ func (p *PlacementSpec) validate(switches map[uint32]bool, clients map[uint64]bo
 	}
 	if p.JoinTimeout < 0 {
 		return fmt.Errorf("joinTimeout: must be >= 0, got %s", p.JoinTimeout.Std())
+	}
+	if p.BeatInterval < 0 {
+		return fmt.Errorf("beatInterval: must be >= 0 (0 = %s default), got %s", DefaultBeatInterval, p.BeatInterval.Std())
+	}
+	if p.BeatMissTimeout < 0 {
+		return fmt.Errorf("beatMissTimeout: must be >= 0 (0 = %dx the beat interval), got %s", DefaultBeatMissFactor, p.BeatMissTimeout.Std())
+	}
+	if p.BeatMissTimeout > 0 && p.BeatMissTimeout.Std() <= p.EffectiveBeatInterval() {
+		return fmt.Errorf("beatMissTimeout: %s must exceed the beat interval %s (a threshold at or under one beat detaches healthy groups)",
+			p.BeatMissTimeout.Std(), p.EffectiveBeatInterval())
+	}
+	if r := p.Rejoin; r != nil {
+		if r.MaxAttempts < 0 {
+			return fmt.Errorf("rejoin.maxAttempts: must be >= 0 (0 = default), got %d", r.MaxAttempts)
+		}
+		if r.Backoff < 0 || r.MaxBackoff < 0 {
+			return fmt.Errorf("rejoin: backoff/maxBackoff must be >= 0")
+		}
+		if r.Backoff > 0 && r.MaxBackoff > 0 && r.MaxBackoff < r.Backoff {
+			return fmt.Errorf("rejoin.maxBackoff: %s is below the initial backoff %s", r.MaxBackoff.Std(), r.Backoff.Std())
+		}
 	}
 	names := make(map[string]bool, len(p.Groups))
 	swOwner := make(map[uint32]string)

@@ -164,6 +164,95 @@ func TestParsePlacedV2(t *testing.T) {
 	}
 }
 
+// TestParseFaultsV2 parses a spec with trunk liveness tuning, a rejoin
+// policy and a faults section, validates it, resolves the effective beat
+// thresholds and round-trips it through the YAML encoder.
+func TestParseFaultsV2(t *testing.T) {
+	doc := `schemaVersion: 2
+name: faulted
+topology:
+  generator: linear
+  size: 4
+placement:
+  beatInterval: 50ms
+  beatMissTimeout: 400ms
+  rejoin:
+    maxAttempts: 12
+    backoff: 80ms
+    maxBackoff: 1s
+  groups:
+    - name: left
+      proc: inproc
+      switches: [1, 2]
+    - name: right
+      proc: local-exec
+      switches: [3, 4]
+faults:
+  seed: 42
+  profiles:
+    - name: lossy
+      drop: 0.05
+      latency: 2ms
+      jitter: 1ms
+  windows:
+    - at: 1s
+      duration: 2s
+      target: trunk
+      kind: partition
+      group: right
+    - at: 500ms
+      target: channel
+      profile: lossy
+      switch: 3
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := s.Placement.EffectiveBeatInterval(); got != 50*time.Millisecond {
+		t.Errorf("EffectiveBeatInterval = %s, want 50ms", got)
+	}
+	if got := s.Placement.EffectiveBeatMissTimeout(); got != 400*time.Millisecond {
+		t.Errorf("EffectiveBeatMissTimeout = %s, want 400ms", got)
+	}
+	if s.Faults == nil || s.Faults.Seed != 42 || len(s.Faults.Profiles) != 1 || len(s.Faults.Windows) != 2 {
+		t.Fatalf("faults = %+v", s.Faults)
+	}
+	if w := s.Faults.Windows[0]; w.Kind != FaultKindPartition || w.Duration.Std() != 2*time.Second {
+		t.Errorf("window 0 = %+v", w)
+	}
+	y, err := s.EncodeYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(y)
+	if err != nil {
+		t.Fatalf("re-parse emitted yaml: %v\n--- yaml ---\n%s", err, y)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("faults round-trip mismatch:\n--- yaml ---\n%s", y)
+	}
+}
+
+// TestEffectiveBeatDefaults: an untuned placement resolves to the wire
+// defaults (and the helpers are nil-safe).
+func TestEffectiveBeatDefaults(t *testing.T) {
+	var p *PlacementSpec
+	if got := p.EffectiveBeatInterval(); got != DefaultBeatInterval {
+		t.Errorf("nil EffectiveBeatInterval = %s, want %s", got, DefaultBeatInterval)
+	}
+	if got := p.EffectiveBeatMissTimeout(); got != DefaultBeatMissFactor*DefaultBeatInterval {
+		t.Errorf("nil EffectiveBeatMissTimeout = %s", got)
+	}
+	p = &PlacementSpec{}
+	if got := p.EffectiveBeatMissTimeout(); got != DefaultBeatMissFactor*DefaultBeatInterval {
+		t.Errorf("zero EffectiveBeatMissTimeout = %s", got)
+	}
+}
+
 // TestMigrateCanonicalizes locks the v1 -> v2 migration: a v1 document gains
 // schemaVersion 2 and re-encodes byte-identically to the checked-in
 // migrated YAML golden; parsing that output yields the same spec back.
@@ -279,6 +368,16 @@ func TestValidateErrors(t *testing.T) {
 				},
 			},
 		}
+	}
+	faultedBase := func() *Spec {
+		s := placedBase()
+		s.Faults = &FaultsSpec{
+			Profiles: []FaultProfileSpec{{Name: "lossy", Drop: 0.05}},
+			Windows: []FaultWindowSpec{
+				{Target: FaultTargetTrunk, Kind: FaultKindPartition, Group: "right", At: Duration(time.Second), Duration: Duration(time.Second)},
+			},
+		}
+		return s
 	}
 	cases := []struct {
 		name    string
@@ -543,6 +642,146 @@ func TestValidateErrors(t *testing.T) {
 			spec:    base,
 			mutate:  func(s *Spec) { s.Topology.Generator = "random"; s.Topology.Prob = 1.5 },
 			wantSub: "prob: must be in [0, 1]",
+		},
+		{
+			name:    "beat interval negative",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.BeatInterval = Duration(-time.Millisecond) },
+			wantSub: "beatInterval: must be >= 0",
+		},
+		{
+			name:    "beat miss at one beat",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.BeatMissTimeout = Duration(DefaultBeatInterval) },
+			wantSub: "must exceed the beat interval",
+		},
+		{
+			name: "beat miss under custom interval",
+			spec: placedBase,
+			mutate: func(s *Spec) {
+				s.Placement.BeatInterval = Duration(time.Second)
+				s.Placement.BeatMissTimeout = Duration(500 * time.Millisecond)
+			},
+			wantSub: "must exceed the beat interval",
+		},
+		{
+			name:    "rejoin negative attempts",
+			spec:    placedBase,
+			mutate:  func(s *Spec) { s.Placement.Rejoin = &RejoinSpec{MaxAttempts: -1} },
+			wantSub: "rejoin.maxAttempts: must be >= 0",
+		},
+		{
+			name: "rejoin cap below initial",
+			spec: placedBase,
+			mutate: func(s *Spec) {
+				s.Placement.Rejoin = &RejoinSpec{Backoff: Duration(time.Second), MaxBackoff: Duration(100 * time.Millisecond)}
+			},
+			wantSub: "rejoin.maxBackoff",
+		},
+		{
+			name:    "faults on v1",
+			spec:    base,
+			mutate:  func(s *Spec) { s.Faults = &FaultsSpec{} },
+			wantSub: "faults: requires schemaVersion >= 2",
+		},
+		{
+			name: "faults without placement",
+			spec: placedBase,
+			mutate: func(s *Spec) {
+				s.Placement = nil
+				s.Faults = &FaultsSpec{}
+			},
+			wantSub: "faults: requires a placement section",
+		},
+		{
+			name:    "fault profile bad prob",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Profiles[0].Drop = 1.5 },
+			wantSub: "probability must be in [0, 1]",
+		},
+		{
+			name:    "fault profile unnamed",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Profiles[0].Name = "" },
+			wantSub: "name: required",
+		},
+		{
+			name: "fault profile duplicate",
+			spec: faultedBase,
+			mutate: func(s *Spec) {
+				s.Faults.Profiles = append(s.Faults.Profiles, FaultProfileSpec{Name: "lossy"})
+			},
+			wantSub: "duplicate profile name",
+		},
+		{
+			name:    "fault profile negative latency",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Profiles[0].Latency = Duration(-time.Millisecond) },
+			wantSub: "latency/jitter: must be >= 0",
+		},
+		{
+			name:    "fault window bad target",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Windows[0].Target = "cable" },
+			wantSub: "target: want trunk, channel or proc",
+		},
+		{
+			name:    "fault window bad trunk kind",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Windows[0].Kind = "meltdown" },
+			wantSub: "kind: trunk windows want",
+		},
+		{
+			name:    "fault window unplaced group",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Windows[0].Group = "middle" },
+			wantSub: "not a placed (non-inproc) placement group",
+		},
+		{
+			name: "fault window inproc group",
+			spec: faultedBase,
+			mutate: func(s *Spec) {
+				s.Placement.Groups[1].Proc = ProcInProc
+			},
+			wantSub: "not a placed (non-inproc) placement group",
+		},
+		{
+			name: "fault window channel kind",
+			spec: faultedBase,
+			mutate: func(s *Spec) {
+				s.Faults.Windows[0] = FaultWindowSpec{Target: FaultTargetChannel, Profile: "lossy", Kind: FaultKindStall}
+			},
+			wantSub: "channel windows use a profile, not a kind",
+		},
+		{
+			name: "fault window unknown profile",
+			spec: faultedBase,
+			mutate: func(s *Spec) {
+				s.Faults.Windows[0] = FaultWindowSpec{Target: FaultTargetChannel, Profile: "ghost"}
+			},
+			wantSub: "not a declared fault profile",
+		},
+		{
+			name: "fault window unknown switch",
+			spec: faultedBase,
+			mutate: func(s *Spec) {
+				s.Faults.Windows[0] = FaultWindowSpec{Target: FaultTargetChannel, Profile: "lossy", Switch: 99}
+			},
+			wantSub: "switch: 99 is not in the topology",
+		},
+		{
+			name: "fault window proc kind",
+			spec: faultedBase,
+			mutate: func(s *Spec) {
+				s.Faults.Windows[0] = FaultWindowSpec{Target: FaultTargetProc, Kind: FaultKindStall, Group: "right"}
+			},
+			wantSub: "kind: proc windows want kill",
+		},
+		{
+			name:    "fault window negative offset",
+			spec:    faultedBase,
+			mutate:  func(s *Spec) { s.Faults.Windows[0].At = Duration(-time.Second) },
+			wantSub: "at/duration: must be >= 0",
 		},
 	}
 	for _, tc := range cases {

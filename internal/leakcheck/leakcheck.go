@@ -1,0 +1,105 @@
+// Package leakcheck is a test helper that catches goroutine leaks: a
+// snapshot of the live goroutines at Check time is diffed against the set
+// alive when the test finishes, with a settle window for goroutines still
+// winding down. The trunk rejoin machinery spawns readers, beat loops and
+// monitors per session; this is the guard that every session's goroutines
+// actually die with it.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settle bounds how long cleanup waits for goroutines to finish exiting
+// before declaring them leaked.
+const settle = 5 * time.Second
+
+// Check snapshots the goroutine set and registers a cleanup that fails the
+// test if goroutines created after the snapshot are still running once the
+// test (and its other cleanups) finished. Call it first so its cleanup runs
+// last, after the lab's own teardown.
+func Check(t testing.TB) {
+	t.Helper()
+	before := ids()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settle)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// ids returns the set of live goroutine IDs.
+func ids() map[string]bool {
+	out := make(map[string]bool)
+	for id := range stacks() {
+		out[id] = true
+	}
+	return out
+}
+
+// leakedSince lists the stacks of goroutines that did not exist in before
+// and are not expected to outlive a test.
+func leakedSince(before map[string]bool) []string {
+	var out []string
+	for id, stack := range stacks() {
+		if before[id] || ignorable(stack) {
+			continue
+		}
+		out = append(out, stack)
+	}
+	return out
+}
+
+// ignorable marks goroutines the harness itself owns.
+func ignorable(stack string) bool {
+	for _, frame := range []string{
+		"testing.tRunner",  // the test function's own goroutine
+		"testing.(*T).Run", // parent test waiting on a subtest
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.goexit0",
+		"leakcheck.Check",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}
+
+// stacks maps goroutine id -> its stack stanza.
+func stacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]string)
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		header, _, ok := strings.Cut(stanza, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id := strings.Fields(header)[1]
+		out[id] = stanza
+	}
+	return out
+}

@@ -129,6 +129,25 @@ func (u *UDPTransport) Recv() ([]byte, error) {
 	}
 }
 
+// RecvTimeout receives one datagram from the peer with a deadline; a silent
+// peer surfaces as an error instead of a hang. Datagrams from other source
+// addresses are rejected as in Recv.
+func (u *UDPTransport) RecvTimeout(d time.Duration) ([]byte, error) {
+	_ = u.conn.SetReadDeadline(time.Now().Add(d))
+	defer func() { _ = u.conn.SetReadDeadline(time.Time{}) }()
+	buf := make([]byte, maxUDPMessage+12)
+	n, from, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: bounded receive: %w", err)
+	}
+	if from == nil || !from.IP.Equal(u.peer.IP) || from.Port != u.peer.Port {
+		return nil, errors.New("openflow: datagram from unexpected peer")
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	return out, nil
+}
+
 // Close shuts the socket down; a blocked Recv unblocks with EOF.
 func (u *UDPTransport) Close() {
 	u.mu.Lock()
@@ -211,9 +230,9 @@ func ConnectSecureOver(a, b Transport, aID *Identity, aCert Certificate, bID *Id
 // lost handshake datagram surfaces as an error instead of a hang.
 const handshakeTimeout = 5 * time.Second
 
-// deadlineRecver is a transport with a bounded receive of its own (the mux
-// conns, whose datagrams arrive through a shared socket rather than a
-// per-conn one, implement it).
+// deadlineRecver is a transport with a bounded receive (the UDP transports
+// and mux conns implement it; wrappers that decorate them should forward it
+// so handshakes over them stay bounded too).
 type deadlineRecver interface {
 	RecvTimeout(d time.Duration) ([]byte, error)
 }
@@ -224,21 +243,5 @@ func recvWithTimeout(t Transport) ([]byte, error) {
 	if dr, ok := t.(deadlineRecver); ok {
 		return dr.RecvTimeout(handshakeTimeout)
 	}
-	u, ok := t.(*UDPTransport)
-	if !ok {
-		return t.Recv()
-	}
-	_ = u.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-	defer func() { _ = u.conn.SetReadDeadline(time.Time{}) }()
-	buf := make([]byte, maxUDPMessage+12)
-	n, from, err := u.conn.ReadFromUDP(buf)
-	if err != nil {
-		return nil, fmt.Errorf("openflow: handshake receive: %w", err)
-	}
-	if from == nil || !from.IP.Equal(u.peer.IP) || from.Port != u.peer.Port {
-		return nil, errors.New("openflow: handshake datagram from unexpected peer")
-	}
-	out := make([]byte, n)
-	copy(out, buf[:n])
-	return out, nil
+	return t.Recv()
 }

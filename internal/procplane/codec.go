@@ -49,7 +49,8 @@ const (
 	MsgBeat byte = 9
 )
 
-// BeatInterval is the child liveness beat period.
+// BeatInterval is the default child liveness beat period; specs override
+// it via placement.beatInterval (labspec.DefaultBeatInterval mirrors this).
 const BeatInterval = 250 * time.Millisecond
 
 // maxTrunkMsg bounds one trunk message (the lab spec for a large explicit
@@ -75,6 +76,10 @@ type JoinRequest struct {
 // carries no credentials.
 type JoinAck struct {
 	Error string `json:"error,omitempty"`
+	// Retry marks a refusal as transient (trunk partitioned, previous
+	// session not yet reaped): the child may back off and rejoin rather
+	// than exit.
+	Retry bool `json:"retry,omitempty"`
 	// Spec is the canonical lab spec JSON; the child rebuilds the topology
 	// from it, which is deterministic, so both sides agree on wiring and
 	// host addressing without shipping derived state.

@@ -46,6 +46,9 @@ type Manifest struct {
 	Switches []uint32 `json:"switches,omitempty"`
 	// Agents lists the client IDs whose agents this process hosts (agentd).
 	Agents []uint64 `json:"agents,omitempty"`
+	// Rejoin tunes the trunk reconnect backoff after a lost session
+	// (nil = defaults; copied from the spec's placement.rejoin section).
+	Rejoin *RejoinConfig `json:"rejoin,omitempty"`
 }
 
 // Validate checks the manifest is self-consistent and complete.

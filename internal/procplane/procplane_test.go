@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/enclave"
 	"repro/internal/labspec"
+	"repro/internal/leakcheck"
 	"repro/internal/openflow"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -239,6 +240,7 @@ func (fc *fakeController) acceptSecure(t *testing.T) *openflow.SecureConn {
 // mux, trunk flow programming, and cross-seam frame hand-off back onto the
 // trunk.
 func TestRunSwitchdHostsSwitches(t *testing.T) {
+	leakcheck.Check(t)
 	_, specJSON := linearSpec(t)
 	fc := newFakeController(t, specJSON, nil)
 
@@ -340,6 +342,7 @@ func TestRunSwitchdHostsSwitches(t *testing.T) {
 }
 
 func TestRunSwitchdJoinRefused(t *testing.T) {
+	leakcheck.Check(t)
 	_, specJSON := linearSpec(t)
 	fc := newFakeController(t, specJSON, nil)
 	m := &Manifest{
@@ -356,6 +359,7 @@ func TestRunSwitchdJoinRefused(t *testing.T) {
 // and a clean cancel (the in-band query path needs a live RVaaS and is
 // covered by the deploy integration tests).
 func TestRunAgentdRegisters(t *testing.T) {
+	leakcheck.Check(t)
 	spec := &labspec.Spec{
 		SchemaVersion: labspec.SchemaV2,
 		Name:          "lab",

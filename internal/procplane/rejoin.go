@@ -1,0 +1,114 @@
+package procplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// JoinRefusedError is a controller refusal carried in a JoinAck. Retryable
+// refusals (trunk partitioned, a previous session not yet reaped) resolve
+// on their own; terminal ones (bad token, unknown group) never will, so
+// the rejoin loop surfaces them immediately.
+type JoinRefusedError struct {
+	Reason    string
+	Retryable bool
+}
+
+func (e *JoinRefusedError) Error() string { return "procplane: join refused: " + e.Reason }
+
+// retryableError marks a transient trunk failure (dial refused, trunk
+// closed mid-session) the rejoin loop may retry. Everything unmarked —
+// bad specs, missing credentials, terminal refusals — is deterministic
+// and fails fast.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err}
+}
+
+// isRetryable reports whether the rejoin loop may try another session.
+func isRetryable(err error) bool {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return true
+	}
+	var jr *JoinRefusedError
+	if errors.As(err, &jr) {
+		return jr.Retryable
+	}
+	return false
+}
+
+// RejoinConfig tunes a child's trunk reconnect backoff — the manifest copy
+// of the spec's placement.rejoin section. Zero fields take the defaults.
+type RejoinConfig struct {
+	// MaxAttempts bounds consecutive failed sessions before the child
+	// gives up (default 10; a successful join resets the count).
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// Backoff is the initial retry delay (default 100ms).
+	Backoff time.Duration `json:"backoff,omitempty"`
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration `json:"maxBackoff,omitempty"`
+}
+
+// defaultRejoinAttempts rides out multi-second partitions (10 attempts
+// from 100ms doubling to a 2s cap spans roughly 10s of outage) without
+// hammering the controller.
+const defaultRejoinAttempts = 10
+
+func (m *Manifest) rejoinPolicy() backoff.Policy {
+	p := backoff.Policy{MaxAttempts: defaultRejoinAttempts}
+	if r := m.Rejoin; r != nil {
+		if r.MaxAttempts > 0 {
+			p.MaxAttempts = r.MaxAttempts
+		}
+		if r.Backoff > 0 {
+			p.Initial = r.Backoff
+		}
+		if r.MaxBackoff > 0 {
+			p.Max = r.MaxBackoff
+		}
+	}
+	return p
+}
+
+// runRejoin drives repeated trunk sessions under the manifest's rejoin
+// policy. session reports whether the join was acknowledged (joined) and
+// why it ended; transient failures back off with jittered exponential
+// delays, a successful join resets the outage budget, and terminal errors
+// or exhausted attempts surface to the caller. A nil session error or a
+// cancelled ctx is a clean shutdown.
+func runRejoin(ctx context.Context, m *Manifest, logf Logf, kind string, session func(context.Context) (bool, error)) error {
+	bo := backoff.New(m.rejoinPolicy())
+	for {
+		joined, err := session(ctx)
+		if err == nil || ctx.Err() != nil {
+			return nil
+		}
+		if !isRetryable(err) {
+			return err
+		}
+		if joined {
+			// Only consecutive failed sessions exhaust the policy; every
+			// acknowledged join restarts the outage budget.
+			bo.Reset()
+		}
+		if bo.Exhausted() {
+			return fmt.Errorf("procplane: %s %s: rejoin attempts exhausted: %w", kind, m.Group, err)
+		}
+		logf("%s %s: trunk lost (%v); rejoin attempt %d", kind, m.Group, err, bo.Attempt()+1)
+		if werr := bo.Wait(ctx); werr != nil {
+			return nil
+		}
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/fabric"
 	"repro/internal/labspec"
 	"repro/internal/openflow"
@@ -25,24 +28,26 @@ const joinWait = 15 * time.Second
 func nopLog(string, ...any) {}
 
 // dialTrunk connects the trunk and completes the join exchange, returning
-// the framed connection and the parsed acknowledgement.
+// the framed connection and the parsed acknowledgement. Dial and ack-wait
+// failures are retryable; a refusal's retryability is the controller's
+// call (JoinAck.Retry).
 func dialTrunk(ctx context.Context, m *Manifest, join *JoinRequest) (*Conn, *JoinAck, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", m.Trunk)
 	if err != nil {
-		return nil, nil, fmt.Errorf("procplane: dial trunk %s: %w", m.Trunk, err)
+		return nil, nil, retryable(fmt.Errorf("procplane: dial trunk %s: %w", m.Trunk, err))
 	}
 	tc := NewConn(nc)
 	if err := tc.WriteJSON(MsgJoin, join); err != nil {
 		tc.Close()
-		return nil, nil, err
+		return nil, nil, retryable(err)
 	}
 	tc.SetReadDeadline(time.Now().Add(joinWait))
 	typ, payload, err := tc.Read()
 	tc.SetReadDeadline(time.Time{})
 	if err != nil {
 		tc.Close()
-		return nil, nil, fmt.Errorf("procplane: waiting for join ack: %w", err)
+		return nil, nil, retryable(fmt.Errorf("procplane: waiting for join ack: %w", err))
 	}
 	if typ != MsgJoinAck {
 		tc.Close()
@@ -55,7 +60,7 @@ func dialTrunk(ctx context.Context, m *Manifest, join *JoinRequest) (*Conn, *Joi
 	}
 	if ack.Error != "" {
 		tc.Close()
-		return nil, nil, fmt.Errorf("procplane: join refused: %s", ack.Error)
+		return nil, nil, &JoinRefusedError{Reason: ack.Error, Retryable: ack.Retry}
 	}
 	return tc, &ack, nil
 }
@@ -97,8 +102,11 @@ func watchCtx(ctx context.Context, tc *Conn) (stop func(), cancelled func() bool
 }
 
 // beatLoop sends liveness beats until the trunk dies or stop closes.
-func beatLoop(tc *Conn, stop <-chan struct{}) {
-	tick := time.NewTicker(BeatInterval)
+func beatLoop(tc *Conn, interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = BeatInterval
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
@@ -112,13 +120,104 @@ func beatLoop(tc *Conn, stop <-chan struct{}) {
 	}
 }
 
+// switchdState is what survives a trunk loss: the switch identities
+// (certificates are re-issued against the same keys on every join), the
+// partial fabric whose switches keep their programmed flow state, and the
+// live trunk pointer the fabric's cross-seam hand-off reads. Rebuilding a
+// session reattaches the same switches over fresh secure channels, so the
+// controller resyncs from actual switch state instead of reprogramming.
+type switchdState struct {
+	m      *Manifest
+	logf   Logf
+	idents map[uint32]*openflow.Identity
+	keys   map[uint32][]byte
+
+	tc       atomic.Pointer[Conn]
+	fab      *fabric.Fabric
+	beat     time.Duration
+	chanIdle time.Duration
+}
+
+// minChanIdle floors the per-switch channel idle threshold: the controller
+// heartbeats attached channels far more often than this, so a channel this
+// quiet has been silently detached (UDP gives the child no close signal).
+const minChanIdle = 2 * time.Second
+
+// watchedTransport decorates a channel transport with liveness signals: the
+// time of the last received message and a channel closed when Recv fails.
+// The secure channel's UDP substrate delivers no close notification — a
+// controller-side detach is indistinguishable from silence — so the channel
+// keeper uses this to tell a live-but-quiet channel from a dead one.
+type watchedTransport struct {
+	inner openflow.Transport
+	last  atomic.Int64
+	dead  chan struct{}
+	once  sync.Once
+}
+
+func newWatchedTransport(inner openflow.Transport) *watchedTransport {
+	w := &watchedTransport{inner: inner, dead: make(chan struct{})}
+	w.last.Store(time.Now().UnixNano())
+	return w
+}
+
+func (w *watchedTransport) Send(data []byte) error            { return w.inner.Send(data) }
+func (w *watchedTransport) TrySend(data []byte) (bool, error) { return w.inner.TrySend(data) }
+
+func (w *watchedTransport) Recv() ([]byte, error) {
+	data, err := w.inner.Recv()
+	if err != nil {
+		w.once.Do(func() { close(w.dead) })
+		return data, err
+	}
+	w.last.Store(time.Now().UnixNano())
+	return data, nil
+}
+
+// RecvTimeout keeps the handshake's bounded reads bounded through the
+// wrapper (the raw UDP transport implements it).
+func (w *watchedTransport) RecvTimeout(d time.Duration) ([]byte, error) {
+	type deadlineRecver interface {
+		RecvTimeout(time.Duration) ([]byte, error)
+	}
+	dr, ok := w.inner.(deadlineRecver)
+	if !ok {
+		return w.Recv()
+	}
+	data, err := dr.RecvTimeout(d)
+	if err == nil {
+		w.last.Store(time.Now().UnixNano())
+	}
+	return data, err
+}
+
+// Lossy preserves the substrate's loss contract so the secure channel keeps
+// its replay-window (rather than strict-counter) behaviour over UDP.
+func (w *watchedTransport) Lossy() bool {
+	if l, ok := w.inner.(openflow.LossyTransport); ok {
+		return l.Lossy()
+	}
+	return false
+}
+
+func (w *watchedTransport) Close() {
+	w.inner.Close()
+	w.once.Do(func() { close(w.dead) })
+}
+
+func (w *watchedTransport) lastRecv() time.Time { return time.Unix(0, w.last.Load()) }
+
 // RunSwitchd joins the lab described by the manifest and hosts its group of
-// switch simulators until ctx is cancelled or the trunk closes: it presents
-// the join token with one CSR public key per switch, rebuilds the topology
-// from the acked spec, runs a partial fabric whose cross-seam traffic rides
-// the trunk, and brings each switch's secure control channel up to the
-// controller's UDP attach listener — the same authenticated encrypted
-// channel an in-process lab uses, now crossing a real process boundary.
+// switch simulators until ctx is cancelled or the rejoin policy gives up:
+// it presents the join token with one CSR public key per switch, rebuilds
+// the topology from the acked spec, runs a partial fabric whose cross-seam
+// traffic rides the trunk, and brings each switch's secure control channel
+// up to the controller's UDP attach listener — the same authenticated
+// encrypted channel an in-process lab uses, now crossing a real process
+// boundary. A lost trunk is not terminal: the switches and their flow
+// tables stay alive while the child rejoins under backoff, and each
+// reattach runs a fresh channel handshake so the verification plane
+// resyncs from the switches' actual state.
 func RunSwitchd(ctx context.Context, m *Manifest, logf Logf) error {
 	if logf == nil {
 		logf = nopLog
@@ -130,145 +229,248 @@ func RunSwitchd(ctx context.Context, m *Manifest, logf Logf) error {
 		return fmt.Errorf("procplane: RunSwitchd on a %q manifest", m.Kind)
 	}
 
-	// Local switch identities; only public keys travel in the join.
-	idents := make(map[uint32]*openflow.Identity, len(m.Switches))
-	keys := make(map[uint32][]byte, len(m.Switches))
+	// Local switch identities; only public keys travel in the join, and
+	// they stay fixed across rejoins so reattachment is the same identity
+	// returning, not a new switch appearing.
+	st := &switchdState{
+		m: m, logf: logf, beat: BeatInterval, chanIdle: minChanIdle,
+		idents: make(map[uint32]*openflow.Identity, len(m.Switches)),
+		keys:   make(map[uint32][]byte, len(m.Switches)),
+	}
 	for _, sw := range m.Switches {
 		id, err := openflow.NewIdentity(fmt.Sprintf("switch-%d", sw))
 		if err != nil {
 			return err
 		}
-		idents[sw] = id
-		keys[sw] = id.Pub
+		st.idents[sw] = id
+		st.keys[sw] = id.Pub
 	}
+	defer func() {
+		if st.fab != nil {
+			st.fab.Close()
+		}
+	}()
+	return runRejoin(ctx, m, logf, KindSwitchd, st.session)
+}
+
+// session runs one trunk attachment from dial to loss.
+func (st *switchdState) session(ctx context.Context) (joined bool, err error) {
+	m := st.m
 	tc, ack, err := dialTrunk(ctx, m, &JoinRequest{
 		Lab: m.Lab, Group: m.Group, Token: m.Token,
-		Kind: KindSwitchd, SwitchKeys: keys,
+		Kind: KindSwitchd, SwitchKeys: st.keys,
 	})
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer tc.Close()
 	stopWatch, cancelled := watchCtx(ctx, tc)
 	defer stopWatch()
 
-	_, topo, err := buildLab(ack)
-	if err != nil {
-		return err
+	if st.fab == nil {
+		spec, topo, err := buildLab(ack)
+		if err != nil {
+			return true, err
+		}
+		st.beat = spec.Placement.EffectiveBeatInterval()
+		if idle := 4 * spec.Placement.EffectiveBeatMissTimeout(); idle > minChanIdle {
+			st.chanIdle = idle
+		}
+		own := make([]topology.SwitchID, len(m.Switches))
+		for i, sw := range m.Switches {
+			own[i] = topology.SwitchID(sw)
+		}
+		fab, err := fabric.NewPartial(topo, own, func(to topology.Endpoint, host bool, pkt *wire.Packet) {
+			typ := MsgFramePort
+			if host {
+				typ = MsgFrameHost
+			}
+			c := st.tc.Load()
+			if c == nil {
+				// Degraded, not stale: with the trunk down, cross-seam
+				// traffic drops loudly instead of being queued forever.
+				st.logf("switchd %s: trunk down; dropped hand-off to %s", m.Group, to)
+				return
+			}
+			if err := c.Write(typ, EncodeFrame(to, pkt)); err != nil {
+				st.logf("switchd %s: trunk hand-off to %s: %v", m.Group, to, err)
+			}
+		})
+		if err != nil {
+			return true, err
+		}
+		st.fab = fab
 	}
 	if ack.AttachAddr == "" {
-		return errors.New("procplane: join ack carries no attach address")
+		return true, errors.New("procplane: join ack carries no attach address")
 	}
-	own := make([]topology.SwitchID, len(m.Switches))
-	for i, sw := range m.Switches {
-		own[i] = topology.SwitchID(sw)
-	}
-	fab, err := fabric.NewPartial(topo, own, func(to topology.Endpoint, host bool, pkt *wire.Packet) {
-		typ := MsgFramePort
-		if host {
-			typ = MsgFrameHost
-		}
-		if err := tc.Write(typ, EncodeFrame(to, pkt)); err != nil {
-			logf("switchd %s: trunk hand-off to %s: %v", m.Group, to, err)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	defer fab.Close()
+	st.tc.Store(tc)
+	defer st.tc.Store(nil)
 
-	// Secure control channels: one UDP dial + client handshake per switch.
-	// The controller attaches each on its side of the handshake.
+	// (Re)attach each switch's secure control channel: one UDP dial and
+	// client handshake per switch, paced under backoff because the
+	// handshake itself may cross a lossy fault window. The first attach is
+	// synchronous (bring-up waits on it); after that a per-switch keeper
+	// owns the channel for the rest of the session and re-dials when it
+	// dies or goes silent — the controller's detach of a channel is
+	// invisible over UDP, so silence is the only signal the child gets.
 	caPub := ed25519.PublicKey(ack.CAPub)
-	var swConns []*openflow.SecureConn
-	defer func() {
-		for _, c := range swConns {
-			c.Close()
-		}
-	}()
+	sessCtx, stopKeepers := context.WithCancel(ctx)
+	var keepers sync.WaitGroup
+	defer keepers.Wait()
+	defer stopKeepers()
 	for _, sw := range m.Switches {
 		cert, ok := ack.Certs[sw]
 		if !ok {
-			return fmt.Errorf("procplane: join ack carries no certificate for switch %d", sw)
+			return true, fmt.Errorf("procplane: join ack carries no certificate for switch %d", sw)
 		}
-		raw, err := openflow.DialUDP(ack.AttachAddr)
+		sc, wt, err := st.dialChannel(ctx, sw, ack.AttachAddr, cert, caPub)
 		if err != nil {
-			return fmt.Errorf("procplane: dial attach listener: %w", err)
+			return true, retryable(fmt.Errorf("procplane: secure channel for switch %d: %w", sw, err))
 		}
-		sc, err := openflow.SecureClient(raw, idents[sw], cert, caPub)
-		if err != nil {
-			raw.Close()
-			return fmt.Errorf("procplane: secure channel for switch %d: %w", sw, err)
-		}
-		if err := fab.Switch(topology.SwitchID(sw)).Serve(sc); err != nil {
-			sc.Close()
-			return err
-		}
-		swConns = append(swConns, sc)
+		keepers.Add(1)
+		go func(sw uint32, cert openflow.Certificate) {
+			defer keepers.Done()
+			st.keepChannel(sessCtx, sw, ack.AttachAddr, cert, caPub, sc, wt)
+		}(sw, cert)
 	}
-	logf("switchd %s: joined lab %q hosting switches %v", m.Group, m.Lab, m.Switches)
+	st.logf("switchd %s: joined lab %q hosting switches %v", m.Group, m.Lab, m.Switches)
 
 	beatStop := make(chan struct{})
 	defer close(beatStop)
-	go beatLoop(tc, beatStop)
+	go beatLoop(tc, st.beat, beatStop)
 
 	for {
 		typ, payload, err := tc.Read()
 		if err != nil {
 			if cancelled() {
-				return nil
+				return true, nil
 			}
-			return fmt.Errorf("procplane: trunk closed: %w", err)
+			return true, retryable(fmt.Errorf("procplane: trunk closed: %w", err))
 		}
 		switch typ {
 		case MsgFramePort:
 			ep, pkt, err := DecodeFrame(payload)
 			if err != nil {
-				logf("switchd %s: %v", m.Group, err)
+				st.logf("switchd %s: %v", m.Group, err)
 				continue
 			}
-			if err := fab.InjectAtPort(ep, pkt); err != nil {
-				logf("switchd %s: inject at %s: %v", m.Group, ep, err)
+			if err := st.fab.InjectAtPort(ep, pkt); err != nil {
+				st.logf("switchd %s: inject at %s: %v", m.Group, ep, err)
 			}
 		case MsgFrameInject:
 			ep, pkt, err := DecodeFrame(payload)
 			if err != nil {
-				logf("switchd %s: %v", m.Group, err)
+				st.logf("switchd %s: %v", m.Group, err)
 				continue
 			}
-			if err := fab.InjectFromHost(ep, pkt); err != nil {
-				logf("switchd %s: host inject at %s: %v", m.Group, ep, err)
+			if err := st.fab.InjectFromHost(ep, pkt); err != nil {
+				st.logf("switchd %s: host inject at %s: %v", m.Group, ep, err)
 			}
 		case MsgFrameHost:
 			// No agents live here; deliver to any locally attached handler
 			// (counts the delivery even without one).
 			ep, pkt, err := DecodeFrame(payload)
 			if err != nil {
-				logf("switchd %s: %v", m.Group, err)
+				st.logf("switchd %s: %v", m.Group, err)
 				continue
 			}
-			fab.DeliverToHost(ep, pkt)
+			st.fab.DeliverToHost(ep, pkt)
 		case MsgFlowMod:
 			sw, mod, err := DecodeFlowMod(payload)
 			if err != nil {
-				logf("switchd %s: %v", m.Group, err)
+				st.logf("switchd %s: %v", m.Group, err)
 				continue
 			}
-			dp := fab.Switch(sw)
+			dp := st.fab.Switch(sw)
 			if dp == nil {
-				logf("switchd %s: flowmod for unhosted switch %d", m.Group, sw)
+				st.logf("switchd %s: flowmod for unhosted switch %d", m.Group, sw)
 				continue
 			}
 			// Fire-and-forget by design: the programming plane is the
 			// untrusted provider path, and the verification plane audits
 			// the switch's actual state over its own secure channel.
 			if err := dp.ApplyFlowMod(mod); err != nil {
-				logf("switchd %s: flowmod on switch %d: %v", m.Group, sw, err)
+				st.logf("switchd %s: flowmod on switch %d: %v", m.Group, sw, err)
 			}
 		case MsgBeat:
 			// Controller beats are informational.
 		default:
-			logf("switchd %s: unexpected trunk message type %d", m.Group, typ)
+			st.logf("switchd %s: unexpected trunk message type %d", m.Group, typ)
+		}
+	}
+}
+
+// dialChannel brings one switch's secure control channel up: UDP dial,
+// client handshake, and hand-off to the hosted switch's serve loop. The
+// returned watchedTransport carries the channel's liveness signals.
+func (st *switchdState) dialChannel(ctx context.Context, sw uint32, attach string, cert openflow.Certificate, caPub ed25519.PublicKey) (*openflow.SecureConn, *watchedTransport, error) {
+	var sc *openflow.SecureConn
+	var wt *watchedTransport
+	err := backoff.Retry(ctx, backoff.Policy{Initial: 200 * time.Millisecond, Max: time.Second, MaxAttempts: 2}, func() error {
+		raw, err := openflow.DialUDP(attach)
+		if err != nil {
+			return err
+		}
+		w := newWatchedTransport(raw)
+		c, err := openflow.SecureClient(w, st.idents[sw], cert, caPub)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if err := st.fab.Switch(topology.SwitchID(sw)).Serve(c); err != nil {
+			c.Close()
+			return err
+		}
+		sc, wt = c, w
+		return nil
+	})
+	return sc, wt, err
+}
+
+// keepChannel owns one switch's control channel for the life of a trunk
+// session: it watches for transport loss or prolonged silence (a
+// controller-side detach sends nothing over UDP) and re-dials under
+// backoff, so a switch detached by heartbeat misses reattaches without
+// waiting for a whole trunk rejoin. Returns when ctx is cancelled (the
+// session ended), closing the live channel so the serve loop unwinds.
+func (st *switchdState) keepChannel(ctx context.Context, sw uint32, attach string, cert openflow.Certificate, caPub ed25519.PublicKey, sc *openflow.SecureConn, wt *watchedTransport) {
+	bo := backoff.New(backoff.Policy{Initial: 200 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5})
+	for {
+	watch:
+		for {
+			select {
+			case <-ctx.Done():
+				sc.Close()
+				return
+			case <-wt.dead:
+				break watch
+			case <-time.After(st.chanIdle):
+				if time.Since(wt.lastRecv()) >= st.chanIdle {
+					break watch
+				}
+			}
+		}
+		sc.Close()
+		st.logf("switchd %s: switch %d control channel lost; re-dialing", st.m.Group, sw)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(bo.Next()):
+			}
+			nsc, nwt, err := st.dialChannel(ctx, sw, attach, cert, caPub)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				st.logf("switchd %s: switch %d re-attach: %v", st.m.Group, sw, err)
+				continue
+			}
+			sc, wt = nsc, nwt
+			bo.Reset()
+			st.logf("switchd %s: switch %d control channel re-attached", st.m.Group, sw)
+			break
 		}
 	}
 }

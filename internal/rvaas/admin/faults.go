@@ -1,0 +1,130 @@
+package admin
+
+import "time"
+
+// FaultController is the deploy layer's fault-plane surface: list the
+// injector's state, open a runtime window, clear windows. A single-process
+// deployment has none (the fault targets are the trunk, attach channels
+// and placed processes).
+type FaultController interface {
+	Faults() FaultsView
+	InjectFault(req FaultInjectRequest) (FaultWindowView, error)
+	ClearFaults(id uint64, all bool) (int, error)
+}
+
+// FaultProfileView is one declared channel perturbation profile.
+type FaultProfileView struct {
+	Name      string  `json:"name"`
+	Drop      float64 `json:"drop,omitempty"`
+	Duplicate float64 `json:"duplicate,omitempty"`
+	Reorder   float64 `json:"reorder,omitempty"`
+	LatencyMS int64   `json:"latencyMs,omitempty"`
+	JitterMS  int64   `json:"jitterMs,omitempty"`
+}
+
+// FaultWindowView is one scheduled or injected fault window.
+type FaultWindowView struct {
+	ID     uint64 `json:"id"`
+	Target string `json:"target"`
+	Group  string `json:"group,omitempty"`
+	Switch uint32 `json:"switch,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	// Profile names the channel perturbation (channel windows only).
+	Profile string    `json:"profile,omitempty"`
+	Start   time.Time `json:"start"`
+	// Until is zero for windows that stay open until cleared.
+	Until time.Time `json:"until,omitempty"`
+	// Active reports whether the window covers the present moment.
+	Active bool `json:"active"`
+}
+
+// FaultCountersView is the injector's cumulative perturbation tally.
+type FaultCountersView struct {
+	ChannelDropped    uint64 `json:"channelDropped"`
+	ChannelDelayed    uint64 `json:"channelDelayed"`
+	ChannelDuplicated uint64 `json:"channelDuplicated"`
+	ChannelReordered  uint64 `json:"channelReordered"`
+	TrunkDropped      uint64 `json:"trunkDropped"`
+	TrunkDelayed      uint64 `json:"trunkDelayed"`
+	JoinsRefused      uint64 `json:"joinsRefused"`
+}
+
+// FaultsView is the fault plane's full state.
+type FaultsView struct {
+	Seed     int64              `json:"seed"`
+	Profiles []FaultProfileView `json:"profiles"`
+	Windows  []FaultWindowView  `json:"windows"`
+	Counters FaultCountersView  `json:"counters"`
+}
+
+// FaultInjectRequest opens a runtime fault window. The window opens
+// immediately and stays open for DurationMS (0 = until cleared).
+type FaultInjectRequest struct {
+	// Target is "trunk", "channel" or "proc".
+	Target string `json:"target"`
+	// Group selects the placement group (trunk and proc targets).
+	Group string `json:"group,omitempty"`
+	// Switch scopes a channel window to one switch (0 = every switch).
+	Switch uint32 `json:"switch,omitempty"`
+	// Kind names the trunk/proc fault (partition, stall, reset,
+	// starve-beats, kill); channel windows use Profile instead.
+	Kind string `json:"kind,omitempty"`
+	// Profile names a declared channel perturbation profile.
+	Profile string `json:"profile,omitempty"`
+	// DurationMS bounds the window in milliseconds (0 = until cleared).
+	DurationMS int64 `json:"durationMs,omitempty"`
+}
+
+// FaultClearResult reports how many windows a clear removed.
+type FaultClearResult struct {
+	Cleared int `json:"cleared"`
+}
+
+// WithFaults attaches a fault controller (a placed lab's supervisor).
+// Returns the service for chaining.
+func (s *Service) WithFaults(fc FaultController) *Service {
+	s.faults = fc
+	return s
+}
+
+// FaultsState reports the fault plane's state. Without a fault controller
+// (single-process lab) the operation conflicts.
+func (s *Service) FaultsState() (FaultsView, error) {
+	if s.faults == nil {
+		return FaultsView{}, conflict("no fault plane: not a multi-process lab")
+	}
+	return s.faults.Faults(), nil
+}
+
+// InjectFault opens a runtime fault window.
+func (s *Service) InjectFault(req FaultInjectRequest) (FaultWindowView, error) {
+	if s.faults == nil {
+		return FaultWindowView{}, conflict("no fault plane: not a multi-process lab")
+	}
+	if req.DurationMS < 0 {
+		return FaultWindowView{}, badRequest("durationMs must be >= 0, got %d", req.DurationMS)
+	}
+	w, err := s.faults.InjectFault(req)
+	if err != nil {
+		return FaultWindowView{}, badRequest("%v", err)
+	}
+	return w, nil
+}
+
+// ClearFaults removes one window by ID, or every window with all=true.
+func (s *Service) ClearFaults(id uint64, all bool) (FaultClearResult, error) {
+	if s.faults == nil {
+		return FaultClearResult{}, conflict("no fault plane: not a multi-process lab")
+	}
+	if !all && id == 0 {
+		return FaultClearResult{}, badRequest("clear needs a window id or all=true")
+	}
+	n, err := s.faults.ClearFaults(id, all)
+	if err != nil {
+		return FaultClearResult{}, err
+	}
+	if !all && n == 0 {
+		return FaultClearResult{}, notFound("no fault window %d", id)
+	}
+	return FaultClearResult{Cleared: n}, nil
+}

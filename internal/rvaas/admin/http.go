@@ -20,6 +20,9 @@ const APIVersionHeader = "X-RVaaS-Api-Version"
 //	GET  /v1/sessions?cursor=&limit=       client + switch sessions
 //	GET  /v1/procs                         per-process health (placed labs)
 //	POST /v1/resync?switch=N               force a switch resync
+//	GET  /v1/faults                        fault-plane state (placed labs)
+//	POST /v1/faults                        open a runtime fault window (JSON body)
+//	POST /v1/faults/clear?id=N | ?all=1    clear fault windows
 //
 // Responses are JSON and carry the X-RVaaS-Api-Version header; failures are
 // the typed envelope {code, message, detail} with a matching 4xx/5xx status.
@@ -103,6 +106,56 @@ func Handler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{"resync": sw})
+	})
+	// /v1/faults serves two methods, so the wrong-method catch-all is
+	// registered once by hand instead of through handle().
+	mux.HandleFunc("/v1/faults", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &Error{
+			Code:    CodeMethodNotAllowed,
+			Message: "method " + r.Method + " not allowed",
+			Detail:  "use GET /v1/faults or POST /v1/faults",
+		})
+	})
+	mux.HandleFunc("GET /v1/faults", func(w http.ResponseWriter, r *http.Request) {
+		view, err := svc.FaultsState()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("POST /v1/faults", func(w http.ResponseWriter, r *http.Request) {
+		var req FaultInjectRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, badRequest("bad fault request body: %v", err))
+			return
+		}
+		win, err := svc.InjectFault(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, win)
+	})
+	handle("POST", "/v1/faults/clear", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		all := q.Get("all") == "1" || q.Get("all") == "true"
+		var id uint64
+		if raw := q.Get("id"); raw != "" {
+			var err error
+			if id, err = strconv.ParseUint(raw, 10, 64); err != nil {
+				writeError(w, badRequest("bad window id %q", raw))
+				return
+			}
+		}
+		res, err := svc.ClearFaults(id, all)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 	// Anything else under the mux is a typed not_found instead of the
 	// default plain-text 404.

@@ -32,6 +32,9 @@ type Service struct {
 	// procs reports per-process health of a multi-process lab (nil for a
 	// single-process deployment).
 	procs func() []ProcHealth
+	// faults is the fault-plane controller of a multi-process lab (nil
+	// for a single-process deployment).
+	faults FaultController
 }
 
 // NewService wraps a running controller.
@@ -368,6 +371,9 @@ type ProcHealth struct {
 	Agents   []uint64 `json:"agents,omitempty"`
 	// Detail carries the degradation or exit reason.
 	Detail string `json:"detail,omitempty"`
+	// Joins counts trunk join handshakes (>1 means the process rejoined
+	// after losing its trunk).
+	Joins int `json:"joins,omitempty"`
 }
 
 // ProcsView lists per-process health of a multi-process lab.

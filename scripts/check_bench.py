@@ -25,6 +25,10 @@ emits (cmd/benchharness -json):
        population is >= 5x faster than sequential signed round-trips, and
        kill/restart recovery completes: every persisted subscription is
        restored AND re-verified (restored == subs, reverified >= restored).
+     * E16: every fault-envelope row (trunk partition, with and without
+       channel loss) detects the partition within the liveness contract,
+       reports ZERO stale-green samples, and heals through the children's
+       own rejoin backoff (>= 1 rejoin per row) within a bounded window.
 
 2. Regression gate — when a previous run's artifacts are available (pass
    the directory as --prev), every key metric is diffed against its
@@ -119,6 +123,37 @@ def check_claims(cur):
         failures.append(
             f"e15: {key} only {reverified:.0f} of {restored:.0f} restored subscriptions were "
             "re-verified after the restart")
+
+    e16 = cur.get("e16", {})
+    # Detection must beat 5x the lab's 400ms beat-miss contract; recovery
+    # is randomized (jittered backoff under loss) but must stay inside the
+    # sweep's own convergence deadline.
+    DETECT_BOUND_NS = 2e9
+    CONVERGE_BOUND_NS = 25e9
+    for row in ("loss=0/part=1200ms", "loss=5/part=1200ms", "loss=5/part=2500ms"):
+        key = f"placed4/{row}"
+        detect = e16.get(f"{key}/detach-detect", (0.0, ""))[0]
+        converge = e16.get(f"{key}/reattach-converge", (0.0, ""))[0]
+        stale = e16.get(f"{key}/stale-green", (-1.0, ""))[0]
+        rejoins = e16.get(f"{key}/rejoins", (0.0, ""))[0]
+        print(f"e16: {key} detach-detect = {detect / 1e6:.0f}ms, reattach-converge = "
+              f"{converge / 1e6:.0f}ms, stale-green = {stale:.0f}, rejoins = {rejoins:.0f}")
+        if not 0 < detect < DETECT_BOUND_NS:
+            failures.append(
+                f"e16: {key} detach-detect {detect / 1e6:.0f}ms outside (0, {DETECT_BOUND_NS / 1e6:.0f}ms) "
+                "(the beat-miss monitor is not detecting the partition)")
+        if not 0 < converge < CONVERGE_BOUND_NS:
+            failures.append(
+                f"e16: {key} reattach-converge {converge / 1e6:.0f}ms outside "
+                f"(0, {CONVERGE_BOUND_NS / 1e6:.0f}ms)")
+        if stale != 0:
+            failures.append(
+                f"e16: {key} stale-green = {stale:.0f} (the verification plane reported green "
+                "while partitioned switches were known-detached)")
+        if rejoins < 1:
+            failures.append(
+                f"e16: {key} rejoins = {rejoins:.0f} (healing did not go through the child's "
+                "rejoin backoff)")
     return failures
 
 
@@ -126,6 +161,12 @@ def check_regressions(prev, cur):
     failures = []
     compared = 0
     for exp, cur_metrics in sorted(cur.items()):
+        if exp == "e16":
+            # Envelope latencies are dominated by jittered backoff and
+            # randomized loss timing; they are gated by the absolute
+            # bounds in check_claims, not run-to-run diffs.
+            print("e16: envelope metrics gated by absolute bounds; skipping regression diff")
+            continue
         prev_metrics = prev.get(exp)
         if not prev_metrics:
             print(f"{exp}: no previous artifact, skipping regression diff")
