@@ -65,6 +65,7 @@ var experimentTable = []experiment{
 	{"e14", "rule-delta dispatch: header-space overlap filter vs per-switch dirty bucket on a hub", e14},
 	{"e15", "protocol v2: batch registration vs sequential round-trips; kill/restart restore + re-verify", e15},
 	{"e16", "fault envelopes: trunk partition + channel loss vs detach-detect / stale-green / rejoin convergence", e16},
+	{"e18", "verifier fleet: N=4 partitioned engine vs N=1, dispatch confinement + differential verdict equality", e18},
 }
 
 func experimentIDs() []string {
@@ -628,6 +629,44 @@ func e15(iters int) error {
 		record(key+"/subs", float64(r.Subs), "count")
 		record(key+"/restored", float64(r.Restored), "count")
 		record(key+"/reverified", float64(r.Reverified), "count")
+	}
+	return nil
+}
+
+func e18(iters int) error {
+	fmt.Printf("%-10s %-6s %-4s %-11s %-7s %-14s %-12s %-13s %-8s\n",
+		"topology", "pop", "n", "placement", "subs", "register", "recheck", "touched/pass", "match")
+	// Two populations: anchor-rooted reachability only (the confinement
+	// showcase — a single-switch event reaches only the instances owning
+	// the dirty buckets) and mixed with isolation invariants (whole-fabric
+	// footprints spread by id, so every instance owns every switch's
+	// bucket; the differential gate still applies).
+	pops := []struct {
+		label string
+		iso   int
+	}{{"reach", 0}, {"mixed", 200}}
+	for _, pop := range pops {
+		rows, err := experiments.FleetSweep(10000, pop.iso, iters)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-10s %-6s %-4d %-11s %-7d %-14s %-12s %-13.2f %-8v\n",
+				r.Topology, pop.label, r.Instances, r.Placement, r.Subs,
+				r.RegisterTotal.Round(time.Millisecond),
+				r.RecheckMean.Round(time.Microsecond),
+				r.TouchedPerPass, r.VerdictsMatch)
+			key := fmt.Sprintf("%s/%s/n=%d-%s", r.Topology, pop.label, r.Instances, r.Placement)
+			recordDuration(key+"/register-total", r.RegisterTotal)
+			recordDuration(key+"/recheck", r.RecheckMean)
+			record(key+"/touched-per-pass", r.TouchedPerPass, "count")
+			record(key+"/subs", float64(r.Subs), "count")
+			match := 0.0
+			if r.VerdictsMatch {
+				match = 1.0
+			}
+			record(key+"/verdicts-match", match, "bool")
+		}
 	}
 	return nil
 }

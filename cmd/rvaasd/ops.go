@@ -22,6 +22,8 @@ import (
 //	rvaasd ops version
 //	rvaasd ops subs -filter status=violated -filter client=3 -limit 50
 //	rvaasd ops shards
+//	rvaasd ops verifiers
+//	rvaasd ops verifiers rebalance
 //	rvaasd ops sessions
 //	rvaasd ops procs
 //	rvaasd ops history <sub-id>
@@ -35,13 +37,13 @@ import (
 // process exit codes (see exitCode).
 func runOps(args []string) error {
 	if len(args) == 0 {
-		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, sessions, procs, history, resync or faults)")
+		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, verifiers, sessions, procs, history, resync or faults)")
 	}
 	verb, rest := args[0], args[1:]
-	// faults takes a sub-action (inject, clear) before its flags; bare
-	// `ops faults` lists the fault plane.
+	// faults and verifiers take a sub-action (inject, clear, rebalance)
+	// before their flags; the bare verb lists.
 	sub := ""
-	if verb == "faults" && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+	if (verb == "faults" || verb == "verifiers") && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
 		sub, rest = rest[0], rest[1:]
 	}
 	fsName := "rvaasd ops " + verb
@@ -93,6 +95,14 @@ func runOps(args []string) error {
 		return cli.subs(filters, *cursor, *limit, *allPages)
 	case "shards":
 		return cli.shards()
+	case "verifiers":
+		switch sub {
+		case "":
+			return cli.verifiers()
+		case "rebalance":
+			return cli.verifiersRebalance()
+		}
+		return usageErr("rvaasd ops verifiers: unknown action %q (want rebalance, or no action to list)", sub)
 	case "sessions":
 		return cli.sessions()
 	case "procs":
@@ -133,7 +143,7 @@ func runOps(args []string) error {
 		}
 		return usageErr("rvaasd ops faults: unknown action %q (want inject, clear, or no action to list)", sub)
 	}
-	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, sessions, procs, history, resync or faults)", verb)
+	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, verifiers, sessions, procs, history, resync or faults)", verb)
 }
 
 // Distinct exit codes per failure class, so scripts driving `rvaasd ops`
@@ -345,6 +355,38 @@ func (c *opsClient) shards() error {
 		violated += sh.Violated
 	}
 	fmt.Fprintf(out, "-- %d shards, %d active, %d violated\n", len(shards), active, violated)
+	return nil
+}
+
+func printVerifiers(view admin.VerifiersView) {
+	fmt.Fprintf(out, "fleet: %d instance(s), placement=%s\n", view.Instances, view.Placement)
+	fmt.Fprintf(out, "%-9s %-7s %-9s %-12s %-10s %-10s %s\n",
+		"INSTANCE", "ACTIVE", "VIOLATED", "IDX-ENTRIES", "EVALUATED", "DISPATCHED", "VIOLATIONS")
+	active := 0
+	for _, v := range view.Verifiers {
+		fmt.Fprintf(out, "%-9d %-7d %-9d %-12d %-10d %-10d %d\n",
+			v.Instance, v.Active, v.Violated, v.IndexEntries, v.Evaluated, v.IndexDispatched, v.Violations)
+		active += v.Active
+	}
+	fmt.Fprintf(out, "-- %d active invariants across the fleet\n", active)
+}
+
+func (c *opsClient) verifiers() error {
+	var view admin.VerifiersView
+	if err := c.get("/v1/verifiers", &view); err != nil {
+		return err
+	}
+	printVerifiers(view)
+	return nil
+}
+
+func (c *opsClient) verifiersRebalance() error {
+	var res admin.RebalanceView
+	if err := c.postJSON("/v1/verifiers/rebalance", nil, &res, http.StatusOK); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rebalanced: %d invariant(s) moved\n", res.Moved)
+	printVerifiers(res.VerifiersView)
 	return nil
 }
 

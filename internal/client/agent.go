@@ -102,6 +102,9 @@ type Agent struct {
 	resumeShared chan struct{}
 	resumeResult []wire.ResumeVerdict
 	resumeErr    error
+	// reasm rebuilds logical reply envelopes from OpChunk continuation
+	// frames (e.g. a large batch reply split across wire frames).
+	reasm *wire.Reassembler
 }
 
 // Subscription is one standing invariant registered with RVaaS. Verified
@@ -206,6 +209,7 @@ func New(cfg Config) (*Agent, error) {
 		subs:        make(map[uint64]*Subscription),
 		subsByNonce: make(map[uint64]*Subscription),
 		gapC:        make(chan GapEvent, 16),
+		reasm:       wire.NewReassembler(0),
 	}, nil
 }
 
@@ -337,6 +341,16 @@ func (a *Agent) handleEnvelope(pkt *wire.Packet) {
 	env, err := wire.UnmarshalEnvelope(pkt.Payload)
 	if err != nil {
 		return
+	}
+	if env.Op == wire.OpChunk {
+		// Continuation frame of a chunked reply: fold it into its chain
+		// and dispatch only the completed logical envelope (the inner
+		// signature is verified once, after reassembly).
+		full, err := a.reasm.Accept(uint64(pkt.EthSrc)^uint64(pkt.IPSrc), env)
+		if err != nil || full == nil {
+			return
+		}
+		env = full
 	}
 	switch env.Op {
 	case wire.OpQueryResponse:
@@ -1202,8 +1216,21 @@ func (a *Agent) sendAs(proto uint8, op wire.Op, corr uint64, body func() []byte,
 			SessionID:     a.sessionID,
 			Body:          body(),
 		}
-		pkt := wire.NewEnvelopePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, env)
-		return a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt)
+		// A logical envelope past the frame budget (e.g. a 10⁴-item batch
+		// registration) goes out as OpChunk continuation frames; the
+		// controller reassembles before dispatch, so no single wire frame
+		// ever exceeds the budget.
+		frames, err := wire.ChunkEnvelope(env, 0)
+		if err != nil {
+			return err
+		}
+		for _, fr := range frames {
+			pkt := wire.NewEnvelopePacket(a.cfg.Access.HostMAC, a.cfg.Access.HostIP, fr)
+			if err := a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, pkt); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return a.cfg.NIC.InjectFromHost(a.cfg.Access.Endpoint, v1Frame())
 }

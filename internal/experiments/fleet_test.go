@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestFleetSweepSmall is the E18 harness at a toy population, mixed with
+// isolation invariants: three arms (N=1 baseline, N=4 footprint, N=4
+// rendezvous) over the same WAN, churn and registration sequence. The
+// differential gate — fleet verdict streams byte-identical to the single
+// engine — holds at any scale, so the small run checks it too.
+func TestFleetSweepSmall(t *testing.T) {
+	leakcheck.Check(t)
+	rows, err := FleetSweep(60, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.VerdictsMatch {
+			t.Errorf("arm n=%d/%s: verdict stream diverged from the N=1 baseline", r.Instances, r.Placement)
+		}
+		if r.Subs != 60 {
+			t.Errorf("arm n=%d/%s: registered %d invariants, want 60", r.Instances, r.Placement, r.Subs)
+		}
+		if r.Violations == 0 {
+			t.Errorf("arm n=%d/%s: churn produced no verdict transitions", r.Instances, r.Placement)
+		}
+	}
+	if rows[0].TouchedPerPass != 1 {
+		t.Errorf("N=1 touched %.2f instances per pass, want exactly 1", rows[0].TouchedPerPass)
+	}
+}
+
+// TestFleetConfinement gates the dispatch-confinement claim on an
+// anchor-rooted (no isolation) population: invariants place by anchor
+// switch, so a single-switch event must reach only the instances owning
+// the dirty buckets — strictly fewer than the fleet size. (Isolation
+// invariants sweep every switch, putting a bucket for every switch on
+// every instance, so the mixed population legitimately fans out; that arm
+// is covered by TestFleetSweepSmall's differential gate instead.)
+func TestFleetConfinement(t *testing.T) {
+	leakcheck.Check(t)
+	rows, err := FleetSweep(60, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	footprint := rows[1]
+	if footprint.Placement != "footprint" || footprint.Instances != 4 {
+		t.Fatalf("arm order changed: rows[1] = n=%d/%s", footprint.Instances, footprint.Placement)
+	}
+	if footprint.TouchedPerPass >= float64(footprint.Instances) {
+		t.Errorf("footprint fleet touched %.2f of %d instances per single-switch pass, want < %d",
+			footprint.TouchedPerPass, footprint.Instances, footprint.Instances)
+	}
+	for _, r := range rows {
+		if !r.VerdictsMatch {
+			t.Errorf("arm n=%d/%s: verdict stream diverged from the N=1 baseline", r.Instances, r.Placement)
+		}
+	}
+}

@@ -106,15 +106,15 @@ func TestFootprintSlices(t *testing.T) {
 	if fp.OverlapsAt(2, disjoint) {
 		t.Error("disjoint delta overlaps node 2's slice")
 	}
-	if fp.InvalidatedBy(map[NodeID]Space{2: disjoint}) {
+	if fp.InvalidatedBy(map[NodeID]Delta{2: {Space: disjoint}}) {
 		t.Error("disjoint delta invalidated the footprint")
 	}
 	hit := NewSpace(width, AllX(width).SetBit(0, Bit1).SetBit(1, Bit1))
-	if !fp.InvalidatedBy(map[NodeID]Space{2: hit}) {
+	if !fp.InvalidatedBy(map[NodeID]Delta{2: {Space: hit}}) {
 		t.Error("overlapping delta did not invalidate the footprint")
 	}
 	// Deltas at unvisited nodes never invalidate.
-	if fp.InvalidatedBy(map[NodeID]Space{9: FullSpace(width)}) {
+	if fp.InvalidatedBy(map[NodeID]Delta{9: {Space: FullSpace(width)}}) {
 		t.Error("delta at unvisited node invalidated the footprint")
 	}
 
@@ -134,7 +134,7 @@ func TestFootprintSlices(t *testing.T) {
 func TestFootprintSliceCap(t *testing.T) {
 	width := 8
 	fp := NewFootprint()
-	for i := 0; i < footprintSliceTermCap+8; i++ {
+	for i := 0; i < DefaultFootprintTermCap+8; i++ {
 		h := AllX(width)
 		for b := 0; b < 5; b++ {
 			bit := Bit0
@@ -149,8 +149,8 @@ func TestFootprintSliceCap(t *testing.T) {
 	if !ok {
 		t.Fatal("node missing")
 	}
-	if sl.Size() > footprintSliceTermCap {
-		t.Fatalf("slice terms = %d, cap = %d", sl.Size(), footprintSliceTermCap)
+	if sl.Size() > DefaultFootprintTermCap {
+		t.Fatalf("slice terms = %d, cap = %d", sl.Size(), DefaultFootprintTermCap)
 	}
 	// Post-collapse the slice must still cover everything accumulated.
 	if !fp.OverlapsAt(3, NewSpace(width, AllX(width).SetBit(0, Bit0))) {
@@ -201,7 +201,104 @@ func TestReachAllFootprints(t *testing.T) {
 	}
 	// Without RecordFootprint no footprints are allocated.
 	prs := net.ReachAll(points, FullSpace(8), ReachOptions{})
-	if prs[0].Footprint != nil || prs[1].Footprint != nil {
+	if prs[0].Footprint.Recorded() || prs[1].Footprint.Recorded() {
 		t.Error("footprints recorded without RecordFootprint")
+	}
+}
+
+// TestFootprintPorts checks the traversal records arrival in-ports and
+// that port-confined deltas only invalidate evaluations whose traffic
+// actually entered the changed switch on a restricted port.
+func TestFootprintPorts(t *testing.T) {
+	net := lineNetwork(t, 3, 8)
+	_, fp := net.ReachFootprint(1, 1, FullSpace(8), ReachOptions{})
+	// The line wires node n port 2 -> node n+1 port 1: node 2 is entered
+	// on port 1 only.
+	ports, constrained := fp.PortsAt(2)
+	if !constrained || len(ports) != 1 || ports[0] != 1 {
+		t.Fatalf("ports at node 2 = %v (constrained=%v), want [1]", ports, constrained)
+	}
+
+	full := FullSpace(8)
+	// A delta confined to an in-port the traversal never used cannot
+	// affect the evaluation, even though its space overlaps the slice.
+	if fp.InvalidatedBy(map[NodeID]Delta{2: {Space: full, Ports: []PortID{7}}}) {
+		t.Error("delta on an unused in-port invalidated the footprint")
+	}
+	// The same delta on the arrival port must invalidate.
+	if !fp.InvalidatedBy(map[NodeID]Delta{2: {Space: full, Ports: []PortID{1}}}) {
+		t.Error("delta on the arrival port did not invalidate")
+	}
+	// An unrestricted delta must invalidate regardless of ports.
+	if !fp.InvalidatedBy(map[NodeID]Delta{2: {Space: full}}) {
+		t.Error("any-port delta did not invalidate")
+	}
+
+	// Unconstrained entries (Add / AddSlice) match every port restriction.
+	fp2 := NewFootprint()
+	fp2.AddSlice(2, full)
+	if !fp2.AffectedBy(2, Delta{Space: full, Ports: []PortID{7}}) {
+		t.Error("port-unconstrained entry must match any port-restricted delta")
+	}
+
+	// Port sets collapse to any-port past the cap.
+	fp3 := NewFootprint()
+	for p := PortID(1); p <= footprintPortCap+2; p++ {
+		fp3.AddSliceAt(5, full, p)
+	}
+	if _, constrained := fp3.PortsAt(5); constrained {
+		t.Error("port set did not collapse to any-port past the cap")
+	}
+
+	// Union: merging an any-port side widens the entry.
+	a, b := NewFootprint(), NewFootprint()
+	a.AddSliceAt(4, full, 1)
+	b.AddSlice(4, full)
+	a.Union(b)
+	if _, constrained := a.PortsAt(4); constrained {
+		t.Error("union with an any-port entry must widen to any-port")
+	}
+	// Union of two constrained sides merges the sets.
+	c, d := NewFootprint(), NewFootprint()
+	c.AddSliceAt(4, full, 1)
+	d.AddSliceAt(4, full, 2)
+	c.Union(d)
+	ports, constrained = c.PortsAt(4)
+	if !constrained || len(ports) != 2 {
+		t.Errorf("union of constrained port sets = %v (constrained=%v), want both ports", ports, constrained)
+	}
+}
+
+// TestFootprintTermCapConfigurable checks SetFootprintTermCap takes effect
+// for subsequently recorded slices.
+func TestFootprintTermCapConfigurable(t *testing.T) {
+	defer SetFootprintTermCap(0) // restore default
+	SetFootprintTermCap(4)
+	if got := FootprintTermCap(); got != 4 {
+		t.Fatalf("FootprintTermCap() = %d, want 4", got)
+	}
+	width := 8
+	fp := NewFootprint()
+	for i := 0; i < 12; i++ {
+		h := AllX(width)
+		for b := 0; b < 4; b++ {
+			bit := Bit0
+			if i>>b&1 == 1 {
+				bit = Bit1
+			}
+			h = h.SetBit(b, bit)
+		}
+		fp.AddSlice(3, NewSpace(width, h))
+	}
+	sl, ok := fp.SliceAt(3)
+	if !ok {
+		t.Fatal("node missing")
+	}
+	if sl.Size() > 4+1 {
+		t.Fatalf("slice terms = %d, want collapsed under lowered cap", sl.Size())
+	}
+	SetFootprintTermCap(0)
+	if got := FootprintTermCap(); got != DefaultFootprintTermCap {
+		t.Fatalf("FootprintTermCap() after reset = %d, want %d", got, DefaultFootprintTermCap)
 	}
 }

@@ -155,29 +155,117 @@ type ReachOptions struct {
 // via Add, with no slice information): it conservatively overlaps every
 // delta. Genuinely-visited nodes always carry the non-empty arriving
 // space.
-type Footprint map[NodeID]Space
+//
+// Alongside the slice, the footprint records the in-ports the traversal
+// actually arrived on at each node. Rule deltas confined to specific
+// in-ports (Delta.Ports) are then filtered a third way: a change to a rule
+// that only matches packets entering on port 5 cannot affect an evaluation
+// whose traffic only ever reached that switch on port 2. A node present in
+// slices but absent from the port map was visited with unconstrained port
+// information (Add, AddSlice, or port-cap collapse) and conservatively
+// matches every port-restricted delta.
+type Footprint struct {
+	slices  map[NodeID]Space
+	inPorts map[NodeID][]PortID
+}
 
-// footprintSliceTermCap bounds the union-term count accumulated per node;
-// past it the slice collapses to the full header space (conservative:
+// DefaultFootprintTermCap is the default per-node union-term cap; past it
+// a footprint slice collapses to the full header space (conservative:
 // every delta overlaps it), keeping footprint memory and overlap-test cost
-// bounded on term-explosive traversals.
-const footprintSliceTermCap = 32
+// bounded on term-explosive traversals. SetFootprintTermCap raises or
+// lowers it process-wide: hub-heavy topologies can spend memory to keep
+// precise slices instead of collapsing to always-invalidated full cones.
+const DefaultFootprintTermCap = 32
+
+var footprintTermCap atomic.Int64
+
+func init() { footprintTermCap.Store(DefaultFootprintTermCap) }
+
+// SetFootprintTermCap sets the per-node slice term cap for footprints
+// recorded from now on (existing footprints are unaffected). Values < 1
+// restore the default. The cap is process-global: it tunes the recording
+// side of every traversal, which has no per-subscription context.
+func SetFootprintTermCap(n int) {
+	if n < 1 {
+		n = DefaultFootprintTermCap
+	}
+	footprintTermCap.Store(int64(n))
+}
+
+// FootprintTermCap returns the current per-node slice term cap.
+func FootprintTermCap() int { return int(footprintTermCap.Load()) }
+
+// footprintPortCap bounds the per-node in-port set; past it the entry
+// collapses to "any port" (the map entry is dropped). Real traversals
+// enter a switch on one or two ports; anything wider is hub-like and the
+// port filter would not discriminate anyway.
+const footprintPortCap = 8
 
 // NewFootprint returns an empty footprint.
-func NewFootprint() Footprint { return make(Footprint) }
+func NewFootprint() Footprint {
+	return Footprint{
+		slices:  make(map[NodeID]Space),
+		inPorts: make(map[NodeID][]PortID),
+	}
+}
+
+// Recorded reports whether the footprint was ever initialised (a zero
+// Footprint — never evaluated — is not). ReachAll leaves PointResult
+// footprints unrecorded unless RecordFootprint is set.
+func (f Footprint) Recorded() bool { return f.slices != nil }
+
+// Len returns the number of visited nodes.
+func (f Footprint) Len() int { return len(f.slices) }
 
 // Add records a visited node with no slice information (unconstrained:
-// treated as overlapping every delta). AddSlice is the precise form.
-func (f Footprint) Add(id NodeID) { f[id] = Space{} }
+// treated as overlapping every delta, on any in-port). AddSliceAt is the
+// precise form.
+func (f Footprint) Add(id NodeID) {
+	f.slices[id] = Space{}
+	delete(f.inPorts, id)
+}
 
-// AddSlice records a visit of id by the arriving space s, unioning it into
-// the node's recorded slice. The stored terms are detached from s's spare
-// capacity but alias its headers (headers are treated as immutable
-// throughout the package).
+// AddSlice records a visit of id by the arriving space s with no in-port
+// information: the node's port set widens to "any port". The stored terms
+// are detached from s's spare capacity but alias its headers (headers are
+// treated as immutable throughout the package).
 func (f Footprint) AddSlice(id NodeID, s Space) {
-	cur, ok := f[id]
+	f.addSliceTerms(id, s)
+	delete(f.inPorts, id)
+}
+
+// AddSliceAt is AddSlice plus the in-port the space arrived on. The
+// traversal engine uses this form; the recorded port sets let
+// port-restricted deltas skip evaluations whose traffic entered the
+// changed switch elsewhere.
+func (f Footprint) AddSliceAt(id NodeID, s Space, port PortID) {
+	_, existed := f.slices[id]
+	f.addSliceTerms(id, s)
+	if !existed {
+		f.inPorts[id] = []PortID{port}
+		return
+	}
+	ps, constrained := f.inPorts[id]
+	if !constrained {
+		return // already widened to any port
+	}
+	for _, p := range ps {
+		if p == port {
+			return
+		}
+	}
+	if len(ps) >= footprintPortCap {
+		delete(f.inPorts, id) // collapse: any port
+		return
+	}
+	f.inPorts[id] = append(ps, port)
+}
+
+// addSliceTerms unions s into the node's recorded slice.
+func (f Footprint) addSliceTerms(id NodeID, s Space) {
+	cur, ok := f.slices[id]
 	if !ok {
-		f[id] = Space{width: s.width, terms: s.terms[:len(s.terms):len(s.terms)]}
+		f.slices[id] = Space{width: s.width, terms: s.terms[:len(s.terms):len(s.terms)]}
 		return
 	}
 	if len(cur.terms) == 0 {
@@ -186,18 +274,26 @@ func (f Footprint) AddSlice(id NodeID, s Space) {
 	// Plain term append, no compaction: this runs once per traversal frame,
 	// and Overlaps is pairwise anyway. The cap bounds degenerate growth.
 	cur.terms = append(cur.terms, s.terms...)
-	if len(cur.terms) > footprintSliceTermCap {
+	if len(cur.terms) > FootprintTermCap() {
 		cur.terms = []Header{AllX(cur.width)}
 	}
-	f[id] = cur
+	f.slices[id] = cur
 }
 
 // SliceAt returns the recorded slice for one node and whether the node is
 // in the footprint. An empty returned space on a present node means
 // "unconstrained" (see Footprint).
 func (f Footprint) SliceAt(id NodeID) (Space, bool) {
-	s, ok := f[id]
+	s, ok := f.slices[id]
 	return s, ok
+}
+
+// PortsAt returns the in-ports the traversal arrived on at id. ok is false
+// when the node's port set is unconstrained (any port) — including when
+// the node was never visited; check Contains separately.
+func (f Footprint) PortsAt(id NodeID) (ports []PortID, ok bool) {
+	ps, ok := f.inPorts[id]
+	return ps, ok
 }
 
 // OverlapsAt reports whether a header-space delta at node id can affect an
@@ -205,7 +301,7 @@ func (f Footprint) SliceAt(id NodeID) (Space, bool) {
 // recorded slice overlaps the delta (an unconstrained visit overlaps
 // everything).
 func (f Footprint) OverlapsAt(id NodeID, delta Space) bool {
-	sl, ok := f[id]
+	sl, ok := f.slices[id]
 	if !ok {
 		return false
 	}
@@ -215,44 +311,93 @@ func (f Footprint) OverlapsAt(id NodeID, delta Space) bool {
 	return sl.Overlaps(delta)
 }
 
+// AffectedBy reports whether a rule delta at node id can affect an
+// evaluation that produced this footprint: the node was visited, the
+// delta's in-port restriction (if any) intersects the ports the traversal
+// arrived on, and the delta's space overlaps the recorded slice.
+func (f Footprint) AffectedBy(id NodeID, d Delta) bool {
+	if _, ok := f.slices[id]; !ok {
+		return false
+	}
+	if len(d.Ports) > 0 {
+		if ps, constrained := f.inPorts[id]; constrained && !portsIntersect(ps, d.Ports) {
+			return false
+		}
+	}
+	return f.OverlapsAt(id, d.Space)
+}
+
 // Contains reports whether the node was visited.
 func (f Footprint) Contains(id NodeID) bool {
-	_, ok := f[id]
+	_, ok := f.slices[id]
 	return ok
 }
 
 // Union folds other into f and returns f, unioning per-node slices (an
-// unconstrained entry on either side stays unconstrained).
+// unconstrained entry on either side stays unconstrained) and per-node
+// port sets (an any-port entry on either side stays any-port).
 func (f Footprint) Union(other Footprint) Footprint {
-	for id, sl := range other {
-		cur, ok := f[id]
+	for id, sl := range other.slices {
+		cur, ok := f.slices[id]
 		if !ok {
 			// Clamp capacity so a later AddSlice on the merged footprint
 			// can't append into the source footprint's backing array.
 			sl.terms = sl.terms[:len(sl.terms):len(sl.terms)]
-			f[id] = sl
+			f.slices[id] = sl
+			if ps, constrained := other.inPorts[id]; constrained {
+				f.inPorts[id] = append([]PortID(nil), ps...)
+			}
 			continue
 		}
+		f.unionPorts(id, other)
 		if len(cur.terms) == 0 {
 			continue // already unconstrained
 		}
 		if len(sl.terms) == 0 {
-			f[id] = Space{}
+			f.slices[id] = Space{}
 			continue
 		}
 		cur.terms = append(cur.terms[:len(cur.terms):len(cur.terms)], sl.terms...)
-		if len(cur.terms) > footprintSliceTermCap {
+		if len(cur.terms) > FootprintTermCap() {
 			cur.terms = []Header{AllX(cur.width)}
 		}
-		f[id] = cur
+		f.slices[id] = cur
 	}
 	return f
 }
 
+// unionPorts merges other's port set at id into f's, widening to any-port
+// when either side is unconstrained or the merged set passes the cap.
+func (f Footprint) unionPorts(id NodeID, other Footprint) {
+	cur, curConstrained := f.inPorts[id]
+	if !curConstrained {
+		return
+	}
+	ps, otherConstrained := other.inPorts[id]
+	if !otherConstrained {
+		delete(f.inPorts, id)
+		return
+	}
+merge:
+	for _, p := range ps {
+		for _, q := range cur {
+			if q == p {
+				continue merge
+			}
+		}
+		if len(cur) >= footprintPortCap {
+			delete(f.inPorts, id)
+			return
+		}
+		cur = append(cur, p)
+	}
+	f.inPorts[id] = cur
+}
+
 // Nodes returns the visited node ids in ascending order.
 func (f Footprint) Nodes() []NodeID {
-	ids := make([]NodeID, 0, len(f))
-	for id := range f {
+	ids := make([]NodeID, 0, len(f.slices))
+	for id := range f.slices {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -264,13 +409,13 @@ func (f Footprint) Nodes() []NodeID {
 // by each re-evaluation against the previous one to keep its inverted
 // switch → subscriptions index in sync without rebuilding it.
 func DiffFootprints(prev, next Footprint) (added, removed []NodeID) {
-	for id := range next {
-		if _, ok := prev[id]; !ok {
+	for id := range next.slices {
+		if _, ok := prev.slices[id]; !ok {
 			added = append(added, id)
 		}
 	}
-	for id := range prev {
-		if _, ok := next[id]; !ok {
+	for id := range prev.slices {
+		if _, ok := next.slices[id]; !ok {
 			removed = append(removed, id)
 		}
 	}
@@ -279,14 +424,14 @@ func DiffFootprints(prev, next Footprint) (added, removed []NodeID) {
 
 // Invalidated reports whether any dirty node lies inside the footprint —
 // i.e. whether an evaluation that produced this footprint must be re-run
-// after the dirty nodes' transfer functions changed. A nil footprint (never
-// evaluated) is always invalidated.
+// after the dirty nodes' transfer functions changed. A zero footprint
+// (never evaluated) is always invalidated.
 func (f Footprint) Invalidated(dirty []NodeID) bool {
-	if f == nil {
+	if f.slices == nil {
 		return true
 	}
 	for _, id := range dirty {
-		if _, ok := f[id]; ok {
+		if _, ok := f.slices[id]; ok {
 			return true
 		}
 	}
@@ -294,20 +439,70 @@ func (f Footprint) Invalidated(dirty []NodeID) bool {
 }
 
 // InvalidatedBy is the rule-delta refinement of Invalidated: deltas maps
-// each changed node to the header-space slice its configuration change can
-// affect, and the footprint is invalidated only when some changed node's
-// delta overlaps the slice this evaluation actually presented there. A nil
-// footprint (never evaluated) is always invalidated. Callers must omit
-// nodes whose delta is semantically empty (e.g. a fully-shadowed rule
-// insert) from the map — an unconstrained footprint entry overlaps every
-// listed delta.
-func (f Footprint) InvalidatedBy(deltas map[NodeID]Space) bool {
-	if f == nil {
+// each changed node to the header-space change its configuration change
+// can affect (optionally confined to specific in-ports), and the footprint
+// is invalidated only when some changed node's delta can affect the
+// evaluation per AffectedBy. A zero footprint (never evaluated) is always
+// invalidated. Callers must omit nodes whose delta is semantically empty
+// (e.g. a fully-shadowed rule insert) from the map — an unconstrained
+// footprint entry overlaps every listed delta.
+func (f Footprint) InvalidatedBy(deltas map[NodeID]Delta) bool {
+	if f.slices == nil {
 		return true
 	}
 	for id, d := range deltas {
-		if f.OverlapsAt(id, d) {
+		if f.AffectedBy(id, d) {
 			return true
+		}
+	}
+	return false
+}
+
+// Delta describes the effective change to one node's forwarding behavior:
+// the header-space slice whose handling may differ (Space) and, when every
+// changed rule was in-port-restricted, the in-ports the change is confined
+// to. Nil or empty Ports means the change applies on any in-port.
+type Delta struct {
+	Space Space
+	Ports []PortID
+}
+
+// deltaPortCap bounds a Delta's in-port set as restrictions accumulate
+// across coalesced events; past it the delta widens to any-port.
+const deltaPortCap = 8
+
+// MergeDeltas unions b into a: spaces union (term count capped by the
+// caller's policy via Space.Union semantics at the call site) and port
+// restrictions union, widening to any-port when either side is
+// unrestricted or the merged set passes the cap. Only the Ports half is
+// handled here; callers union the spaces themselves (term caps differ per
+// accumulator).
+func MergeDeltaPorts(a, b []PortID) []PortID {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+merge:
+	for _, p := range b {
+		for _, q := range a {
+			if q == p {
+				continue merge
+			}
+		}
+		if len(a) >= deltaPortCap {
+			return nil
+		}
+		a = append(a, p)
+	}
+	return a
+}
+
+// portsIntersect reports whether the two (small) port sets share a port.
+func portsIntersect(a, b []PortID) bool {
+	for _, p := range a {
+		for _, q := range b {
+			if p == q {
+				return true
+			}
 		}
 	}
 	return false
@@ -375,7 +570,7 @@ type frame struct {
 // deep topologies cannot exhaust goroutine stacks, and branch state (seen
 // sets, paths) is structurally shared between siblings instead of copied.
 func (n *Network) Reach(at NodeID, port PortID, in Space, opt ReachOptions) []ReachResult {
-	return n.reach(at, port, in, opt, nil)
+	return n.reach(at, port, in, opt, Footprint{})
 }
 
 // ReachFootprint is Reach plus the visited-node cone of the traversal
@@ -427,13 +622,16 @@ func (n *Network) reach(at NodeID, port PortID, in Space, opt ReachOptions, fp F
 			}
 			continue
 		}
-		if fp != nil {
+		if fp.Recorded() {
 			// Every consulted node enters the footprint — including nodes
 			// where the branch dies (drop, loop, hop bound): a change there
 			// could revive it. The arriving space is recorded as the node's
 			// slice: a rule delta disjoint from every slice presented here
 			// cannot change any Apply outcome, hence not the evaluation.
-			fp.AddSlice(st.node, st.space)
+			// The in-port rides along so port-confined deltas can be
+			// filtered too; egress frames never reach this point, so only
+			// genuine arrival ports are recorded.
+			fp.AddSliceAt(st.node, st.space, st.inPort)
 		}
 		if st.path.len() >= maxHops {
 			if opt.KeepLoops {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/topology"
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
@@ -72,8 +73,11 @@ type Spec struct {
 	Topology TopologySpec `json:"topology"`
 	// Routing selects the control-plane routing mode: "allpairs" (default),
 	// "tenant" (per-client VLAN isolation), or "none".
-	Routing    string          `json:"routing,omitempty"`
-	RVaaS      RVaaSSpec       `json:"rvaas,omitempty"`
+	Routing string    `json:"routing,omitempty"`
+	RVaaS   RVaaSSpec `json:"rvaas,omitempty"`
+	// Verifiers sizes the standing-invariant verifier fleet: how many
+	// instances partition the subscription population, and by what policy.
+	Verifiers  *VerifiersSpec  `json:"verifiers,omitempty"`
 	Transport  TransportSpec   `json:"transport,omitempty"`
 	Agents     AgentsSpec      `json:"agents,omitempty"`
 	Placement  *PlacementSpec  `json:"placement,omitempty"`
@@ -278,6 +282,26 @@ type RVaaSSpec struct {
 	PersistPath string `json:"persistPath,omitempty"`
 	// Seed seeds controller randomness (poll jitter).
 	Seed int64 `json:"seed,omitempty"`
+	// FootprintTermCap bounds the per-node slice count a recorded
+	// reachability footprint keeps before collapsing to a whole-node
+	// wildcard (0 = engine default). Lower is coarser: cheaper to record,
+	// more spurious rechecks.
+	FootprintTermCap int `json:"footprintTermCap,omitempty"`
+	// DeltaTermCap bounds the union terms a per-switch rule delta keeps
+	// before widening to the full header space (0 = engine default).
+	DeltaTermCap int `json:"deltaTermCap,omitempty"`
+}
+
+// VerifiersSpec sizes and shapes the verifier fleet the controller runs
+// the standing-invariant engine on.
+type VerifiersSpec struct {
+	// Count is the number of verifier instances (0 or 1 = the classic
+	// single-engine layout; N=1 is bit-compatible with it).
+	Count int `json:"count,omitempty"`
+	// Placement selects the partitioning policy: "footprint" (default;
+	// anchor-switch rendezvous so invariants sharing a root share an
+	// instance) or "rendezvous" (uniform id-hash spread, no locality).
+	Placement string `json:"placement,omitempty"`
 }
 
 // Transport kinds.
@@ -604,6 +628,20 @@ func (s *Spec) Validate() error {
 	}
 	if s.RVaaS.HistoryDepth < 0 {
 		return fmt.Errorf("labspec: rvaas.historyDepth: must be >= 0, got %d", s.RVaaS.HistoryDepth)
+	}
+	if s.RVaaS.FootprintTermCap < 0 {
+		return fmt.Errorf("labspec: rvaas.footprintTermCap: must be >= 0 (0 = engine default), got %d", s.RVaaS.FootprintTermCap)
+	}
+	if s.RVaaS.DeltaTermCap < 0 {
+		return fmt.Errorf("labspec: rvaas.deltaTermCap: must be >= 0 (0 = engine default), got %d", s.RVaaS.DeltaTermCap)
+	}
+	if v := s.Verifiers; v != nil {
+		if v.Count < 0 {
+			return fmt.Errorf("labspec: verifiers.count: must be >= 0 (0 = single instance), got %d", v.Count)
+		}
+		if _, err := verifier.ParsePlacement(v.Placement); err != nil {
+			return fmt.Errorf("labspec: verifiers.placement: unknown policy %q (want footprint or rendezvous)", v.Placement)
+		}
 	}
 	switch s.Transport.Kind {
 	case "", TransportInProc, TransportUDP:

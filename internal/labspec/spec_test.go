@@ -875,3 +875,85 @@ func TestBuildLinear40(t *testing.T) {
 		t.Errorf("access points = %d, want 40", got)
 	}
 }
+
+func TestParseVerifiersSection(t *testing.T) {
+	yml := `
+name: fleet-lab
+topology:
+  generator: linear
+  size: 6
+rvaas:
+  footprintTermCap: 16
+  deltaTermCap: 24
+verifiers:
+  count: 4
+  placement: footprint
+`
+	s, err := Parse([]byte(yml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Verifiers == nil || s.Verifiers.Count != 4 || s.Verifiers.Placement != "footprint" {
+		t.Fatalf("verifiers = %+v", s.Verifiers)
+	}
+	if s.RVaaS.FootprintTermCap != 16 || s.RVaaS.DeltaTermCap != 24 {
+		t.Fatalf("term caps = %d/%d", s.RVaaS.FootprintTermCap, s.RVaaS.DeltaTermCap)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestValidateVerifiersErrors(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:      "t",
+			Topology:  TopologySpec{Generator: "linear", Size: 3},
+			Verifiers: &VerifiersSpec{Count: 2},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{
+			name:    "negative count",
+			mutate:  func(s *Spec) { s.Verifiers.Count = -1 },
+			wantSub: "verifiers.count: must be >= 0",
+		},
+		{
+			name:    "unknown placement",
+			mutate:  func(s *Spec) { s.Verifiers.Placement = "round-robin" },
+			wantSub: `verifiers.placement: unknown policy "round-robin"`,
+		},
+		{
+			name:    "negative footprint cap",
+			mutate:  func(s *Spec) { s.RVaaS.FootprintTermCap = -1 },
+			wantSub: "rvaas.footprintTermCap: must be >= 0",
+		},
+		{
+			name:    "negative delta cap",
+			mutate:  func(s *Spec) { s.RVaaS.DeltaTermCap = -2 },
+			wantSub: "rvaas.deltaTermCap: must be >= 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+	// The rendezvous arm and the empty default are both accepted.
+	for _, placement := range []string{"", "rendezvous"} {
+		s := base()
+		s.Verifiers.Placement = placement
+		if err := s.Validate(); err != nil {
+			t.Fatalf("placement %q rejected: %v", placement, err)
+		}
+	}
+}

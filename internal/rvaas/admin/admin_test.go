@@ -502,3 +502,117 @@ func TestHTTPHandler(t *testing.T) {
 	resp.Body.Close()
 	wantError(resp, apiErr, http.StatusNotFound, admin.CodeNotFound, "not in the topology")
 }
+
+// fleetLab is lab() with a multi-instance verifier fleet.
+func fleetLab(t *testing.T, size, verifiers int) (*deploy.Deployment, *admin.Service) {
+	t.Helper()
+	clients := make([]uint64, size)
+	for i := range clients {
+		clients[i] = uint64(i + 1)
+	}
+	topo, err := topology.Linear(size, clients)
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	d, err := deploy.New(topo, deploy.Options{
+		SkipAgents: true, ManualRecheck: true, Verifiers: verifiers,
+	})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(d.Close)
+	aps := topo.AccessPoints()
+	for _, ap := range aps {
+		target := aps[(len(aps)-1)%len(aps)]
+		if ap.ClientID == target.ClientID {
+			target = aps[0]
+		}
+		if _, err := d.RVaaS.Subscribe(ap.ClientID, wire.QueryReachableDestinations, []wire.FieldConstraint{
+			{Field: wire.FieldIPDst, Value: uint64(target.HostIP), Mask: 0xFFFFFFFF},
+		}, "", ap.Endpoint); err != nil {
+			t.Fatalf("subscribe client %d: %v", ap.ClientID, err)
+		}
+	}
+	return d, admin.NewService(d.RVaaS)
+}
+
+func TestVerifiersViewAndRebalance(t *testing.T) {
+	const size, instances = 6, 3
+	_, svc := fleetLab(t, size, instances)
+
+	view := svc.Verifiers()
+	if view.Instances != instances {
+		t.Fatalf("instances = %d, want %d", view.Instances, instances)
+	}
+	if view.Placement != "footprint" {
+		t.Fatalf("placement = %q, want footprint", view.Placement)
+	}
+	if len(view.Verifiers) != instances {
+		t.Fatalf("per-instance views = %d, want %d", len(view.Verifiers), instances)
+	}
+	active := 0
+	for _, v := range view.Verifiers {
+		active += v.Active
+	}
+	if active != size {
+		t.Fatalf("fleet holds %d invariants, want %d", active, size)
+	}
+
+	// Placement did not change, so re-running it moves nothing.
+	res := svc.RebalanceVerifiers()
+	if res.Moved != 0 {
+		t.Fatalf("rebalance moved %d invariants under an unchanged policy", res.Moved)
+	}
+	if res.Instances != instances {
+		t.Fatalf("rebalance view instances = %d", res.Instances)
+	}
+}
+
+func TestHTTPVerifiers(t *testing.T) {
+	_, svc := fleetLab(t, 4, 2)
+	srv := httptest.NewServer(admin.Handler(svc))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/verifiers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/verifiers: %s", resp.Status)
+	}
+	var view admin.VerifiersView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Instances != 2 || len(view.Verifiers) != 2 {
+		t.Fatalf("view = %+v", view)
+	}
+
+	post, err := http.Post(srv.URL+"/v1/verifiers/rebalance", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/verifiers/rebalance: %s", post.Status)
+	}
+	var res admin.RebalanceView
+	if err := json.NewDecoder(post.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved != 0 || res.Instances != 2 {
+		t.Fatalf("rebalance = %+v", res)
+	}
+
+	// Wrong method gets the typed envelope, not the mux default.
+	bad, err := http.Get(srv.URL + "/v1/verifiers/rebalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	var envelope admin.Error
+	if err := json.NewDecoder(bad.Body).Decode(&envelope); err != nil || envelope.Code != admin.CodeMethodNotAllowed {
+		t.Fatalf("wrong-method envelope = %+v (err %v)", envelope, err)
+	}
+}

@@ -17,6 +17,8 @@ const APIVersionHeader = "X-RVaaS-Api-Version"
 //	GET  /v1/subs?status=&client=&kind=&session=&cursor=&limit=
 //	GET  /v1/subs/{id}/history?cursor=&limit=
 //	GET  /v1/shards                        per-shard engine stats
+//	GET  /v1/verifiers                     verifier fleet shape + per-instance stats
+//	POST /v1/verifiers/rebalance           re-place every standing invariant
 //	GET  /v1/sessions?cursor=&limit=       client + switch sessions
 //	GET  /v1/procs                         per-process health (placed labs)
 //	POST /v1/resync?switch=N               force a switch resync
@@ -82,6 +84,12 @@ func Handler(svc *Service) http.Handler {
 	})
 	handle("GET", "/v1/shards", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.ShardStats())
+	})
+	handle("GET", "/v1/verifiers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Verifiers())
+	})
+	handle("POST", "/v1/verifiers/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.RebalanceVerifiers())
 	})
 	handle("GET", "/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		cursor, limit, err := parsePageQuery(r)

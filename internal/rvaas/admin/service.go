@@ -183,6 +183,64 @@ func (s *Service) ShardStats() []ShardView {
 	return out
 }
 
+// VerifierView is the JSON shape of one verifier instance's counters.
+type VerifierView struct {
+	Instance int `json:"instance"`
+	Active   int `json:"active"`
+	Violated int `json:"violated"`
+	// PendingRestore counts restored-but-not-yet-reevaluated invariants.
+	PendingRestore int `json:"pendingRestore,omitempty"`
+	IndexEntries   int `json:"indexEntries"`
+
+	Registered      uint64 `json:"registered"`
+	Removed         uint64 `json:"removed"`
+	Evaluated       uint64 `json:"evaluated"`
+	IndexDispatched uint64 `json:"indexDispatched"`
+	DeltaSkipped    uint64 `json:"deltaSkipped"`
+	Violations      uint64 `json:"violations"`
+	Recoveries      uint64 `json:"recoveries"`
+}
+
+// VerifiersView is the verifier fleet: its shape and each instance's
+// population and activity counters.
+type VerifiersView struct {
+	Instances int            `json:"instances"`
+	Placement string         `json:"placement"`
+	Verifiers []VerifierView `json:"verifiers"`
+}
+
+// Verifiers snapshots the verifier fleet: instance count, placement
+// policy, and per-instance counters.
+func (s *Service) Verifiers() VerifiersView {
+	n, placement := s.ctl.VerifierFleetInfo()
+	view := VerifiersView{Instances: n, Placement: placement, Verifiers: []VerifierView{}}
+	for _, in := range s.ctl.VerifierStats() {
+		view.Verifiers = append(view.Verifiers, VerifierView{
+			Instance: in.Instance, Active: in.Active, Violated: in.Violated,
+			PendingRestore: in.PendingRestore, IndexEntries: in.IndexEntries,
+			Registered: in.Registered, Removed: in.Removed, Evaluated: in.Evaluated,
+			IndexDispatched: in.IndexDispatched, DeltaSkipped: in.DeltaSkipped,
+			Violations: in.Violations, Recoveries: in.Recoveries,
+		})
+	}
+	return view
+}
+
+// RebalanceView reports the outcome of a fleet rebalance.
+type RebalanceView struct {
+	// Moved is the number of invariants that changed owning instance.
+	Moved int `json:"moved"`
+	VerifiersView
+}
+
+// RebalanceVerifiers re-runs placement over every standing invariant
+// (after a placement policy change or a skewed registration order) and
+// reports the resulting fleet shape.
+func (s *Service) RebalanceVerifiers() RebalanceView {
+	moved := s.ctl.RebalanceVerifiers()
+	return RebalanceView{Moved: moved, VerifiersView: s.Verifiers()}
+}
+
 // VerdictView is one verdict transition of a subscription.
 type VerdictView struct {
 	At         time.Time `json:"at"`

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 )
 
 // This file is the operator-plane read surface over the controller: the
@@ -17,48 +18,48 @@ import (
 // invariants cannot stall a re-verification pass.
 
 // ShardInfo is a point-in-time snapshot of one subscription-engine shard
-// and its slice of the inverted footprint index.
-type ShardInfo struct {
-	// Shard is the shard number (0..31).
-	Shard int
-	// Active / Violated count the shard's standing invariants.
-	Active   int
-	Violated int
-	// IndexBuckets is the number of switches with a non-empty subscription
-	// bucket in this index shard; IndexEntries is the total number of
-	// (switch, subscription) index pairs.
-	IndexBuckets int
-	IndexEntries int
-}
+// and its slice of the inverted footprint index, summed across the
+// verifier fleet (same-numbered shards on different instances merge).
+type ShardInfo = verifier.ShardInfo
 
 // ShardStats snapshots every engine shard. Each shard is locked briefly and
 // independently; no global engine lock is taken, so the view across shards
 // is not a single atomic cut — which is exactly the tradeoff an operator
 // dashboard wants against a live engine.
 func (c *Controller) ShardStats() []ShardInfo {
-	e := c.subs
-	out := make([]ShardInfo, subShardCount)
-	for i := range e.shards {
-		sh := &e.shards[i]
-		info := ShardInfo{Shard: i}
-		sh.mu.Lock()
-		info.Active = len(sh.subs)
-		for _, sub := range sh.subs {
-			if sub.violated {
-				info.Violated++
-			}
-		}
-		sh.mu.Unlock()
-		ish := &e.index[i]
-		ish.mu.Lock()
-		info.IndexBuckets = len(ish.buckets)
-		for _, bucket := range ish.buckets {
-			info.IndexEntries += len(bucket)
-		}
-		ish.mu.Unlock()
-		out[i] = info
+	return c.fleet.ShardStats()
+}
+
+// VerifierStats snapshots each verifier-fleet instance: active/violated
+// counts, index geometry and per-instance evaluation counters. Instances
+// are reported in fleet order.
+func (c *Controller) VerifierStats() []verifier.InstanceStats {
+	return c.fleet.InstanceStats()
+}
+
+// VerifierFleetInfo reports the fleet geometry (instance count, placement
+// policy name).
+func (c *Controller) VerifierFleetInfo() (instances int, placement string) {
+	return c.fleet.Size(), c.fleet.GetPlacement().String()
+}
+
+// RebalanceVerifiers re-places every standing invariant under the current
+// placement policy and migrates the ones whose owner changed, returning
+// the number moved. Operators trigger it after switching placement policy
+// at runtime; it takes every instance's run lock, so it briefly pauses
+// re-verification.
+func (c *Controller) RebalanceVerifiers() int { return c.fleet.Rebalance() }
+
+// SetVerifierPlacement switches the fleet's placement policy at runtime
+// (new registrations only — call RebalanceVerifiers to migrate the
+// standing set).
+func (c *Controller) SetVerifierPlacement(policy string) error {
+	p, err := verifier.ParsePlacement(policy)
+	if err != nil {
+		return err
 	}
-	return out
+	c.fleet.SetPlacement(p)
+	return nil
 }
 
 // ClientSessionInfo summarizes one client session: the protocol-v2 envelope
@@ -79,23 +80,17 @@ func (c *Controller) ClientSessions() []ClientSessionInfo {
 		client, session uint64
 	}
 	acc := make(map[key]*ClientSessionInfo)
-	e := c.subs
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		for _, sub := range sh.subs {
-			k := key{client: sub.clientID, session: sub.sessionID}
-			info := acc[k]
-			if info == nil {
-				info = &ClientSessionInfo{SessionID: sub.sessionID, ClientID: sub.clientID, Protocol: sub.proto}
-				acc[k] = info
-			}
-			info.Subscriptions++
-			if sub.violated {
-				info.Violated++
-			}
+	for _, st := range c.fleet.List() {
+		k := key{client: st.ClientID, session: st.SessionID}
+		info := acc[k]
+		if info == nil {
+			info = &ClientSessionInfo{SessionID: st.SessionID, ClientID: st.ClientID, Protocol: st.Proto}
+			acc[k] = info
 		}
-		sh.mu.Unlock()
+		info.Subscriptions++
+		if st.Violated {
+			info.Violated++
+		}
 	}
 	out := make([]ClientSessionInfo, 0, len(acc))
 	for _, info := range acc {
@@ -201,9 +196,6 @@ func (c *Controller) ForceResync(sw topology.SwitchID) error {
 // subscription in append order, and whether the subscription is currently
 // registered (history outlives unsubscription until the ring evicts it).
 func (c *Controller) SubscriptionHistory(id uint64) ([]history.Violation, bool) {
-	sh := c.subs.shardFor(id)
-	sh.mu.Lock()
-	_, live := sh.subs[id]
-	sh.mu.Unlock()
+	_, live := c.fleet.View(id)
 	return c.vlog.PerSub(id), live
 }

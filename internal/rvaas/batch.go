@@ -2,21 +2,21 @@ package rvaas
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
 // Batch operations: the amortization layer of protocol v2. A tenant
 // registering 10⁴ standing invariants over v1 pays 10⁴ round-trips, each
 // with its own client signature, server-side verification, serialized
-// initial evaluation (every subscribe takes the engine's run lock for one
+// initial evaluation (every subscribe takes an instance's run lock for one
 // invariant) and ack signature. A batch pays ONE signature verification,
-// ONE run-lock acquisition with the initial evaluations fanned across the
-// recheck worker pool, and ONE signed reply — the E15 experiment measures
-// the resulting speedup.
+// ONE run-lock acquisition per owning fleet instance with the initial
+// evaluations fanned across the recheck worker pool, and ONE signed reply
+// — the E15 experiment measures the resulting speedup.
 
 // poolRun fans f(i) for i in [0,n) across the given number of workers
 // (sequentially when workers <= 1).
@@ -48,17 +48,8 @@ func poolRun(n, workers int, f func(int)) {
 	wg.Wait()
 }
 
-func (c *Controller) evalWorkers() int {
-	workers := int(c.subs.parallelism.Load())
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return workers
-}
-
 func (s coreService) BatchSubscribe(o Origin, b *wire.BatchSubscribeRequest) *wire.BatchReply {
 	c := s.c
-	e := c.subs
 	reply := &wire.BatchReply{
 		Version: wire.CurrentVersion,
 		Nonce:   b.Nonce,
@@ -67,59 +58,44 @@ func (s coreService) BatchSubscribe(o Origin, b *wire.BatchSubscribeRequest) *wi
 	// The whole batch consumes one replay-protection nonce; per-item
 	// routing nonces are derived (BatchItemNonce) and never wire-accepted,
 	// so they do not age out the client's nonce memory.
-	if b.Nonce != 0 && !e.recordNonce(b.ClientID, b.Nonce) {
+	if b.Nonce != 0 && !c.fleet.RecordNonce(b.ClientID, b.Nonce) {
 		reply.Status = wire.StatusError
 		reply.Detail = fmt.Sprintf("duplicate batch nonce %#x for client %d (replay?)", b.Nonce, b.ClientID)
 		return c.signBatchReply(reply)
 	}
 
 	req := o.requester()
+	anchor := verifier.Anchor{Switch: req.sw, Port: req.port, MAC: req.mac, IP: req.ip}
 	items := make([]wire.BatchReplyItem, len(b.Items))
-	subs := make([]*subscription, 0, len(b.Items))
+	subs := make([]*verifier.Subscription, 0, len(b.Items))
 	idx := make([]int, 0, len(b.Items)) // subs position -> request item index
 	for i, it := range b.Items {
-		src := subSource{nonce: wire.BatchItemNonce(b.Nonce, i), sessionID: o.SessionID, proto: o.Proto}
-		sub, err := newSubscription(b.ClientID, src, it.Kind, it.Constraints, it.Param, req)
+		src := verifier.Source{Nonce: wire.BatchItemNonce(b.Nonce, i), SessionID: o.SessionID, Proto: o.Proto}
+		sub, err := verifier.NewSubscription(b.ClientID, src, it.Kind, it.Constraints, it.Param, anchor)
 		if err != nil {
 			items[i] = wire.BatchReplyItem{Status: wire.StatusError, Detail: err.Error()}
 			continue
 		}
-		sub.id = e.nextID.Add(1)
-		sh := e.shardFor(sub.id)
-		sh.mu.Lock()
-		sh.subs[sub.id] = sub
-		sh.mu.Unlock()
-		e.stats.registered.Add(1)
 		subs = append(subs, sub)
 		idx = append(idx, i)
 	}
 
-	// One run-lock acquisition covers every initial evaluation; the
-	// per-invariant evaluations are independent and fan across the worker
-	// pool exactly like a recheck pass. Initial verdicts are carried in
-	// the reply (not pushed), mirroring single-subscribe ack semantics.
+	// The fleet groups the batch by owning instance and takes each run
+	// lock once, fanning the initial evaluations across the worker pool
+	// exactly like a recheck pass. Initial verdicts are carried in the
+	// reply (not pushed), mirroring single-subscribe ack semantics.
 	if len(subs) > 0 {
-		e.runMu.Lock()
-		net := c.snap.buildNetwork(c.topo)
-		snapID := c.snap.snapshotID()
-		workers := c.evalWorkers()
-		pooled := workers > 1 && len(subs) > 1
-		poolRun(len(subs), workers, func(i int) {
-			sub := subs[i]
-			v := c.evaluateInvariant(net, sub, nil, nil, true, pooled)
-			c.commitVerdict(sub, v, snapID, false)
-		})
-		e.runMu.Unlock()
+		c.fleet.RegisterBatch(subs, verifier.EvalContext{Build: c.passBuild, Workers: c.evalWorkers()})
 	}
 
 	for k, sub := range subs {
-		sh := e.shardFor(sub.id)
-		sh.mu.Lock()
-		it := wire.BatchReplyItem{SubID: sub.id, Status: wire.StatusOK, Seq: sub.seq, Detail: sub.detail}
-		if sub.violated {
-			it.Status = wire.StatusViolation
+		it := wire.BatchReplyItem{SubID: sub.ID, Status: wire.StatusOK}
+		if st, ok := c.fleet.View(sub.ID); ok {
+			it.Seq, it.Detail = st.Seq, st.Detail
+			if st.Violated {
+				it.Status = wire.StatusViolation
+			}
 		}
-		sh.mu.Unlock()
 		items[idx[k]] = it
 	}
 	reply.Items = items

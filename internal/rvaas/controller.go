@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/enclave"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/openflow"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
@@ -70,6 +72,23 @@ type Config struct {
 	// fans independent invariant evaluations across; <= 0 means GOMAXPROCS.
 	// Runtime-adjustable via SetRecheckTuning.
 	RecheckParallelism int
+	// Verifiers is the verifier-fleet size: the number of engine instances
+	// the standing-invariant set is partitioned across. <= 0 means 1 (the
+	// pre-fleet engine, bit-compatible with earlier releases).
+	Verifiers int
+	// VerifierPlacement selects the fleet's partitioning policy:
+	// "footprint" (default — rendezvous-hash on the invariant's anchor
+	// switch, so one switch's invariants co-locate and a single-switch
+	// event dispatches to few instances) or "rendezvous" (rendezvous-hash
+	// on the subscription id, spreading uniformly).
+	VerifierPlacement string
+	// FootprintTermCap, when > 0, bounds the per-switch union-term count of
+	// recorded footprints (process-global; see
+	// headerspace.SetFootprintTermCap). DeltaTermCap, when > 0, bounds the
+	// union-term count of one switch's accumulated rule delta. Both are
+	// runtime-adjustable via SetRecheckTuning.
+	FootprintTermCap int
+	DeltaTermCap     int
 	// HeartbeatInterval enables per-session liveness probing: the controller
 	// sends an echo request on every attached switch channel at this period
 	// and detaches the session after HeartbeatMisses consecutive unanswered
@@ -127,11 +146,28 @@ type Controller struct {
 	snap    *snapshotStore
 	hist    *history.Store
 	vlog    *history.ViolationLog
-	subs    *subscriptionEngine
+	fleet   *verifier.Fleet
 	subKick chan struct{}
 	notifyQ chan notifyJob
 	rng     *rand.Rand
 	persist SubscriptionStore
+	// reasm rebuilds logical v2 envelopes from OpChunk continuation
+	// frames before dispatch (chains keyed by requester MAC⊕IP).
+	reasm *wire.Reassembler
+
+	// recheckMu serializes recheck-pass assembly (generation diff + delta
+	// drain); lastGen is the per-switch generation baseline of the last
+	// pass, guarded by recheckMu.
+	recheckMu sync.Mutex
+	lastGen   map[topology.SwitchID]uint64
+
+	// svcStats are service-plane counters outside the verifier fleet.
+	svcStats struct {
+		verdictQueries    atomic.Uint64
+		sessionResumes    atomic.Uint64
+		notificationsSent atomic.Uint64
+		notificationsDrop atomic.Uint64
+	}
 	// svc is the client-facing service stack (auth gate over the core);
 	// the packet transport and in-process callers share it.
 	svc Service
@@ -186,8 +222,10 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rvaas: launch enclave: %w", err)
 	}
-	engine := newSubscriptionEngine()
-	engine.parallelism.Store(int64(cfg.RecheckParallelism))
+	placement, err := verifier.ParsePlacement(cfg.VerifierPlacement)
+	if err != nil {
+		return nil, fmt.Errorf("rvaas: %w", err)
+	}
 	c := &Controller{
 		cfg:          cfg,
 		persist:      cfg.Persist,
@@ -196,7 +234,8 @@ func New(cfg Config) (*Controller, error) {
 		snap:         newSnapshotStore(),
 		hist:         history.NewStore(cfg.HistoryDepth),
 		vlog:         history.NewViolationLog(4 * cfg.HistoryDepth),
-		subs:         engine,
+		lastGen:      make(map[topology.SwitchID]uint64),
+		reasm:        wire.NewReassembler(0),
 		subKick:      make(chan struct{}, 1),
 		notifyQ:      make(chan notifyJob, 1024),
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
@@ -216,6 +255,17 @@ func New(cfg Config) (*Controller, error) {
 		probeConfirm: make(map[uint64]topology.Endpoint),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
+	}
+	c.fleet = verifier.New(verifier.Config{
+		Instances:   cfg.Verifiers,
+		Placement:   placement,
+		Parallelism: cfg.RecheckParallelism,
+	}, verifierEnv{c})
+	if cfg.FootprintTermCap > 0 {
+		headerspace.SetFootprintTermCap(cfg.FootprintTermCap)
+	}
+	if cfg.DeltaTermCap > 0 {
+		c.snap.setDeltaCap(cfg.DeltaTermCap)
 	}
 	c.svc = authGate{core: coreService{c}, c: c}
 	if cfg.Persist != nil {

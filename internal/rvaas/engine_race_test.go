@@ -55,57 +55,13 @@ func raceRoutingTable(topo *topology.Topology, sw topology.SwitchID, n int) []op
 	return out
 }
 
-// checkEngineConsistency cross-checks the inverted index against every
-// live subscription's footprint. Called quiescent (no concurrent engine
-// activity).
-func checkEngineConsistency(t *testing.T, e *subscriptionEngine) {
+// checkEngineConsistency cross-checks every fleet instance's inverted
+// index against its live subscriptions' footprints and the fleet's owner
+// map. Called quiescent (no concurrent engine activity).
+func checkEngineConsistency(t *testing.T, c *Controller) {
 	t.Helper()
-	live := make(map[uint64]*subscription)
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		for id, sub := range sh.subs {
-			live[id] = sub
-		}
-		sh.mu.Unlock()
-	}
-	indexed := 0
-	for i := range e.index {
-		ish := &e.index[i]
-		ish.mu.Lock()
-		for node, bucket := range ish.buckets {
-			for id, sub := range bucket {
-				indexed++
-				lsub, ok := live[id]
-				if !ok {
-					t.Errorf("index bucket %d holds removed subscription %d", node, id)
-					continue
-				}
-				if lsub != sub {
-					t.Errorf("index bucket %d holds stale pointer for subscription %d", node, id)
-				}
-				if !sub.fp.Contains(node) {
-					t.Errorf("index bucket %d holds subscription %d whose footprint misses it", node, id)
-				}
-			}
-		}
-		ish.mu.Unlock()
-	}
-	want := 0
-	for id, sub := range live {
-		want += len(sub.fp)
-		for _, node := range sub.fp.Nodes() {
-			ish := e.indexFor(node)
-			ish.mu.Lock()
-			_, ok := ish.buckets[node][id]
-			ish.mu.Unlock()
-			if !ok {
-				t.Errorf("subscription %d footprint node %d missing from index", id, node)
-			}
-		}
-	}
-	if indexed != want {
-		t.Errorf("index holds %d entries, live footprints sum to %d", indexed, want)
+	if err := c.fleet.CheckConsistency(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -244,7 +200,7 @@ func TestEngineConcurrencyAndIndexConsistency(t *testing.T) {
 	if n := subErrs.Load(); n > 0 {
 		t.Fatalf("%d subscribe/unsubscribe operations failed", n)
 	}
-	checkEngineConsistency(t, c.subs)
+	checkEngineConsistency(t, c)
 
 	// Per-subscription transition discipline: strictly alternating
 	// violation/recovery starting with a violation, and the notification
@@ -260,27 +216,19 @@ func TestEngineConcurrencyAndIndexConsistency(t *testing.T) {
 				t.Fatalf("sub %d transition %d = %v, want %v (records: %s)", id, i, r.Event, wantEvent, fmtRecords(recs))
 			}
 		}
-		sh := c.subs.shardFor(id)
-		sh.mu.Lock()
-		sub := sh.subs[id]
-		var seq uint64
-		var violated, evaluated bool
-		if sub != nil {
-			seq, violated, evaluated = sub.seq, sub.violated, sub.evaluated
-		}
-		sh.mu.Unlock()
-		if sub == nil {
+		st, ok := c.fleet.View(id)
+		if !ok {
 			t.Fatalf("standing subscription %d disappeared", id)
 		}
-		if !evaluated {
+		if !st.Evaluated {
 			t.Fatalf("standing subscription %d never evaluated", id)
 		}
-		if seq != uint64(len(recs)) {
-			t.Fatalf("sub %d seq %d != %d logged transitions", id, seq, len(recs))
+		if st.Seq != uint64(len(recs)) {
+			t.Fatalf("sub %d seq %d != %d logged transitions", id, st.Seq, len(recs))
 		}
 		wantViolated := len(recs)%2 == 1
-		if violated != wantViolated {
-			t.Fatalf("sub %d violated=%v inconsistent with %d transitions", id, violated, len(recs))
+		if st.Violated != wantViolated {
+			t.Fatalf("sub %d violated=%v inconsistent with %d transitions", id, st.Violated, len(recs))
 		}
 	}
 

@@ -3,6 +3,7 @@ package rvaas
 import (
 	"repro/internal/headerspace"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 )
 
 // Isolation invariants ("which sources can reach my network card?") are
@@ -31,10 +32,11 @@ type isoCone struct {
 	lens    []int
 }
 
-// isoConeCache is one isolation subscription's per-injection-point state.
-// It is touched only during evaluation, which the engine's run lock
-// serializes (each subscription is evaluated by at most one worker per
-// pass, and passes do not overlap).
+// isoConeCache is one isolation subscription's per-injection-point state,
+// carried in verifier.Subscription.Cones. It is touched only during
+// evaluation, which the owning instance's run lock serializes (each
+// subscription is evaluated by at most one worker per pass, and passes on
+// one instance do not overlap).
 type isoConeCache struct {
 	points []headerspace.InjectionPoint
 	eps    []topology.Endpoint
@@ -69,14 +71,15 @@ func (c *Controller) newIsoConeCache(req requesterInfo) *isoConeCache {
 // cached outcome. The aggregate verdict and footprint are byte-identical
 // to a full sweep, so switching between the paths can never manufacture a
 // verdict transition.
-func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Space, fullSweep, pooled bool) verdict {
-	cache := sub.cones
+func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *verifier.Subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Delta, fullSweep, pooled bool) verifier.Verdict {
+	cache, _ := sub.Cones.(*isoConeCache)
 	if cache == nil {
-		cache = c.newIsoConeCache(sub.req)
-		sub.cones = cache
+		cache = c.newIsoConeCache(reqOf(sub))
+		sub.Cones = cache
 	}
-	space := scopeSpace(sub.constraints)
+	space := scopeSpace(sub.Constraints)
 
+	var v verifier.Verdict
 	var sweep []int
 	if fullSweep || !cache.primed {
 		sweep = make([]int, len(cache.points))
@@ -95,9 +98,9 @@ func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscripti
 				sweep = append(sweep, i)
 			}
 		}
-		c.subs.stats.isoPointsReused.Add(uint64(len(cache.points) - len(sweep)))
+		v.IsoPointsReused = uint64(len(cache.points) - len(sweep))
 	}
-	c.subs.stats.isoPointsSwept.Add(uint64(len(sweep)))
+	v.IsoPointsSwept = uint64(len(sweep))
 
 	if len(sweep) > 0 {
 		points := make([]headerspace.InjectionPoint, len(sweep))
@@ -126,7 +129,7 @@ func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscripti
 				if r.Looped {
 					continue
 				}
-				if r.EgressNode == headerspace.NodeID(sub.req.sw) && r.EgressPort == headerspace.PortID(sub.req.port) {
+				if r.EgressNode == headerspace.NodeID(sub.Anchor.Switch) && r.EgressPort == headerspace.PortID(sub.Anchor.Port) {
 					reaches = true
 					lens = append(lens, len(r.Path))
 				}
@@ -152,10 +155,11 @@ func (c *Controller) evaluateIsolation(net *headerspace.Network, sub *subscripti
 		found = append(found, de)
 	}
 	sortEndpoints(found)
-	violated, detail := isolationVerdict(found, sub.clientID)
+	violated, detail := isolationVerdict(found, sub.ClientID)
 	// The subscriber's own switch is consulted implicitly (traffic must
 	// arrive there to reach the card); keep it in the footprint so local
 	// reconfigurations always re-run the invariant.
-	fp.Add(headerspace.NodeID(sub.req.sw))
-	return verdict{violated: violated, detail: detail, fp: fp}
+	fp.Add(headerspace.NodeID(sub.Anchor.Switch))
+	v.Violated, v.Detail, v.FP = violated, detail, fp
+	return v
 }

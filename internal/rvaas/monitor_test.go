@@ -7,18 +7,19 @@ import (
 	"repro/internal/history"
 	"repro/internal/openflow"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
 // bareController builds a Controller with just enough state to exercise
 // the snapshot/monitor plumbing without sessions or an enclave.
 func bareController() *Controller {
-	return &Controller{
+	c := &Controller{
 		cfg:         Config{Clock: time.Now},
 		snap:        newSnapshotStore(),
 		hist:        history.NewStore(16),
 		vlog:        history.NewViolationLog(16),
-		subs:        newSubscriptionEngine(),
+		lastGen:     make(map[topology.SwitchID]uint64),
 		subKick:     make(chan struct{}, 1),
 		sessions:    make(map[topology.SwitchID]*session),
 		resyncing:   make(map[topology.SwitchID]bool),
@@ -27,6 +28,8 @@ func bareController() *Controller {
 		stalePolls:  make(map[topology.SwitchID]int),
 		wasAttached: make(map[topology.SwitchID]bool),
 	}
+	c.fleet = verifier.New(verifier.Config{}, verifierEnv{c})
+	return c
 }
 
 func monEntry(ip uint32) openflow.FlowEntry {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/headerspace"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
@@ -467,26 +468,29 @@ func DefaultStorePath(dir string) string {
 
 // ------------------------------------------------- controller plumbing ---
 
-// recordOfLocked captures one subscription's durable state. Callers hold
-// the subscription's shard mutex so verdict fields cannot mix commits; the
-// client key is filled in later (persistUpsert) outside the shard lock.
-func recordOfLocked(sub *subscription) *SubscriptionRecord {
+// recordOfTransition captures one subscription's durable state from a
+// committed verdict transition. The verdict fields (Violated/Detail/Seq)
+// ride in the Transition — captured under the owning shard's mutex — so a
+// record can never mix two commits; the identity fields are immutable
+// after registration. The client key is filled in later (persistUpsert).
+func recordOfTransition(t verifier.Transition) *SubscriptionRecord {
+	sub := t.Sub
 	return &SubscriptionRecord{
-		ID:           sub.id,
-		ClientID:     sub.clientID,
-		SessionID:    sub.sessionID,
-		Nonce:        sub.nonce,
-		Proto:        sub.proto,
-		Kind:         sub.kind,
-		AnchorSwitch: uint32(sub.req.sw),
-		AnchorPort:   uint32(sub.req.port),
-		MAC:          sub.req.mac,
-		IP:           sub.req.ip,
-		Constraints:  append([]wire.FieldConstraint(nil), sub.constraints...),
-		Param:        sub.param,
-		Violated:     sub.violated,
-		Detail:       sub.detail,
-		Seq:          sub.seq,
+		ID:           sub.ID,
+		ClientID:     sub.ClientID,
+		SessionID:    sub.SessionID,
+		Nonce:        sub.Nonce,
+		Proto:        sub.Proto,
+		Kind:         sub.Kind,
+		AnchorSwitch: uint32(sub.Anchor.Switch),
+		AnchorPort:   uint32(sub.Anchor.Port),
+		MAC:          sub.Anchor.MAC,
+		IP:           sub.Anchor.IP,
+		Constraints:  append([]wire.FieldConstraint(nil), sub.Constraints...),
+		Param:        sub.Param,
+		Violated:     t.Violated,
+		Detail:       t.Detail,
+		Seq:          t.Seq,
 	}
 }
 
@@ -523,56 +527,45 @@ func (c *Controller) restoreSubscriptions() error {
 	if err != nil {
 		return err
 	}
-	e := c.subs
 	var maxID uint64
 	for i := range recs {
 		rec := &recs[i]
-		req := requesterInfo{
-			sw:   topology.SwitchID(rec.AnchorSwitch),
-			port: topology.PortNo(rec.AnchorPort),
-			mac:  rec.MAC,
-			ip:   rec.IP,
+		anchor := verifier.Anchor{
+			Switch: topology.SwitchID(rec.AnchorSwitch),
+			Port:   topology.PortNo(rec.AnchorPort),
+			MAC:    rec.MAC,
+			IP:     rec.IP,
 		}
-		src := subSource{nonce: rec.Nonce, sessionID: rec.SessionID, proto: rec.Proto}
-		sub, err := newSubscription(rec.ClientID, src, rec.Kind, rec.Constraints, rec.Param, req)
+		src := verifier.Source{Nonce: rec.Nonce, SessionID: rec.SessionID, Proto: rec.Proto}
+		sub, err := verifier.NewSubscription(rec.ClientID, src, rec.Kind, rec.Constraints, rec.Param, anchor)
 		if err != nil {
 			// A record written by a newer engine with a kind this build
 			// does not know: skip it rather than refuse to start.
 			continue
 		}
-		sub.id = rec.ID
-		sub.violated = rec.Violated
-		sub.detail = rec.Detail
-		sub.seq = rec.Seq
-		sub.evaluated = true
-		sub.needsFullEval = true
-		sub.fp = headerspace.NewFootprint()
+		sub.ID = rec.ID
+		sub.Violated = rec.Violated
+		sub.Detail = rec.Detail
+		sub.Seq = rec.Seq
+		sub.Evaluated = true
+		sub.NeedsFullEval = true
+		sub.FP = headerspace.NewFootprint()
 		if rec.ID > maxID {
 			maxID = rec.ID
 		}
-		sh := e.shardFor(sub.id)
-		sh.mu.Lock()
-		sh.subs[sub.id] = sub
-		sh.mu.Unlock()
 		if rec.Nonce != 0 {
 			// Re-seed replay protection: a captured pre-restart subscribe
 			// frame must stay unreplayable after the restart.
-			e.recordNonce(rec.ClientID, rec.Nonce)
+			c.fleet.SeedNonce(rec.ClientID, rec.Nonce)
 		}
 		if len(rec.ClientKey) == ed25519.PublicKeySize {
 			c.mu.Lock()
 			c.clients[rec.ClientID] = append(ed25519.PublicKey(nil), rec.ClientKey...)
 			c.mu.Unlock()
 		}
-		e.pendingRestore = append(e.pendingRestore, sub)
-		e.stats.restored.Add(1)
+		c.fleet.Restore(sub)
 	}
 	// Fresh registrations must never collide with a restored id.
-	for {
-		cur := e.nextID.Load()
-		if cur >= maxID || e.nextID.CompareAndSwap(cur, maxID) {
-			break
-		}
-	}
+	c.fleet.EnsureNextID(maxID)
 	return nil
 }

@@ -19,23 +19,29 @@ import (
 // Veriflow/NetPlumber-style refinement of per-switch dirty dispatch. A
 // fully shadowed change yields an empty delta and dispatches nothing.
 //
+// Deltas carry a port refinement (headerspace.Delta.Ports): when EVERY
+// changed rule restricts its ingress port, only packets arriving on the
+// union of those ports can behave differently, and an invariant whose
+// recorded traversal entered the switch on other ports is revalidated for
+// free. A single unrestricted changed rule widens the delta to any-port
+// (nil Ports).
+//
 // Conservative approximations (all widen the delta, never narrow it):
-//   - a changed rule's in-port restriction is ignored (the delta is
-//     per-switch, not per-port);
 //   - shadowing rules with an in-port restriction are ignored (they only
 //     shadow on one port);
 //   - a port-set change or a first-ever snapshot widens to the full header
-//     space.
+//     space on any port.
 //
 // Controller-only (data-plane transparent) entries are excluded from both
 // sides: they are omitted from the compiled transfer function, so churning
 // them — e.g. RVaaS's own interception rules — cannot change any
 // evaluation and must not dispatch anything.
 
-// deltaTermCap bounds the union-term count of one switch's accumulated
-// delta; past it the delta collapses to the full header space
+// defaultDeltaTermCap bounds the union-term count of one switch's
+// accumulated delta; past it the delta collapses to the full header space
 // (conservative, equivalent to per-switch dispatch for that switch).
-const deltaTermCap = 48
+// Runtime-tunable per store (snapshotStore.deltaCap, RecheckTuning).
+const defaultDeltaTermCap = 48
 
 // shadowSet is the precomputed shadow geometry of a table's unchanged
 // rules: the match headers of modeled, port-unrestricted entries, sorted
@@ -76,9 +82,9 @@ func (ss *shadowSet) Less(i, j int) bool { return ss.prios[i] > ss.prios[j] }
 // wildcard term into up to header-width pieces, so a broad changed rule
 // under many exact-match shadowers would otherwise blow up quadratically
 // — and this runs on the commit path while snapshotStore.mu is held. Past
-// deltaTermCap intermediate terms the chain stops and the UN-shadowED
-// match space is returned (wider, never narrower: strictly conservative).
-func (ss *shadowSet) residual(e openflow.FlowEntry) headerspace.Space {
+// cap intermediate terms the chain stops and the UN-shadowED match space
+// is returned (wider, never narrower: strictly conservative).
+func (ss *shadowSet) residual(e openflow.FlowEntry, cap int) headerspace.Space {
 	full := headerspace.NewSpace(wire.HeaderWidth, e.Match.ToHeader())
 	out := full
 	for i := range ss.prios {
@@ -89,7 +95,7 @@ func (ss *shadowSet) residual(e openflow.FlowEntry) headerspace.Space {
 		if out.IsEmpty() {
 			break
 		}
-		if out.Size() > deltaTermCap {
+		if out.Size() > cap {
 			return full
 		}
 	}
@@ -97,21 +103,53 @@ func (ss *shadowSet) residual(e openflow.FlowEntry) headerspace.Space {
 }
 
 // deltaOf computes the header-space delta of a set of changed entries
-// against the table's unchanged (common) entries.
-func deltaOf(changed, common []openflow.FlowEntry) headerspace.Space {
-	out := headerspace.EmptySpace(wire.HeaderWidth)
+// against the table's unchanged (common) entries. The delta's port
+// refinement is sound exactly because the transfer-function compiler maps
+// Match.HasInPort() onto the rule's InPorts (openflow/hsa.go): a packet
+// arriving on another port is handled by the same non-changed rules in
+// both tables.
+func deltaOf(changed, common []openflow.FlowEntry, cap int) headerspace.Delta {
+	out := headerspace.Delta{Space: headerspace.EmptySpace(wire.HeaderWidth)}
 	if len(changed) == 0 {
 		return out
 	}
 	ss := newShadowSet(common)
+	// Ports narrows to the union of the changed rules' in-port restrictions
+	// — valid only while EVERY contributing rule carries one. A single
+	// unrestricted changed rule collapses the refinement to any-port (nil)
+	// for good; so does exceeding the port cap inside MergeDeltaPorts.
+	allRestricted := true
+	var ports []headerspace.PortID
+	spaceCapped := false
 	for _, e := range changed {
 		if e.DataPlaneTransparent() {
 			continue
 		}
-		out = out.Union(ss.residual(e))
-		if out.Size() > deltaTermCap {
-			return headerspace.FullSpace(wire.HeaderWidth)
+		if !spaceCapped {
+			out.Space = out.Space.Union(ss.residual(e, cap))
+			if out.Space.Size() > cap {
+				// Term-cap collapse widens the SPACE only; the port scan must
+				// still cover every remaining changed rule or the refinement
+				// would be unsoundly narrow.
+				out.Space = headerspace.FullSpace(wire.HeaderWidth)
+				spaceCapped = true
+			}
 		}
+		if !allRestricted {
+			continue
+		}
+		if !e.Match.HasInPort() {
+			allRestricted = false
+		} else if p := []headerspace.PortID{headerspace.PortID(e.Match.InPort)}; ports == nil {
+			ports = p
+		} else if merged := headerspace.MergeDeltaPorts(ports, p); merged == nil {
+			allRestricted = false // port-cap collapse: conservative any-port
+		} else {
+			ports = merged
+		}
+	}
+	if allRestricted {
+		out.Ports = ports
 	}
 	return out
 }
@@ -122,7 +160,7 @@ func deltaOf(changed, common []openflow.FlowEntry) headerspace.Space {
 // stable among equals) — so a pure reorder of equal-priority rules is
 // correctly treated as a change, while identical tables yield an empty
 // delta.
-func tableDelta(oldT, newT []openflow.FlowEntry) headerspace.Space {
+func tableDelta(oldT, newT []openflow.FlowEntry, cap int) headerspace.Delta {
 	byPrio := func(t []openflow.FlowEntry) map[uint16][]openflow.FlowEntry {
 		m := make(map[uint16][]openflow.FlowEntry)
 		for _, e := range t {
@@ -157,16 +195,16 @@ func tableDelta(oldT, newT []openflow.FlowEntry) headerspace.Space {
 			diffBucket(nil, nb)
 		}
 	}
-	return deltaOf(changed, common)
+	return deltaOf(changed, common, cap)
 }
 
 // eventDelta computes the delta of one applied flow-monitor event against
 // the table state BEFORE the event was folded in.
-func eventDelta(before []openflow.FlowEntry, ev *openflow.FlowMonitorReply) headerspace.Space {
+func eventDelta(before []openflow.FlowEntry, ev *openflow.FlowMonitorReply, cap int) headerspace.Delta {
 	switch ev.Kind {
 	case openflow.FlowEventAdded:
 		// Everything already in the table is unchanged and shadows.
-		return deltaOf([]openflow.FlowEntry{ev.Entry}, before)
+		return deltaOf([]openflow.FlowEntry{ev.Entry}, before, cap)
 	case openflow.FlowEventRemoved:
 		var removed, kept []openflow.FlowEntry
 		for _, e := range before {
@@ -176,7 +214,7 @@ func eventDelta(before []openflow.FlowEntry, ev *openflow.FlowMonitorReply) head
 				kept = append(kept, e)
 			}
 		}
-		return deltaOf(removed, kept)
+		return deltaOf(removed, kept, cap)
 	case openflow.FlowEventModified:
 		var replaced, rest []openflow.FlowEntry
 		for _, e := range before {
@@ -188,12 +226,12 @@ func eventDelta(before []openflow.FlowEntry, ev *openflow.FlowMonitorReply) head
 		}
 		if len(replaced) == 0 {
 			// Unmatched modify appends (see applyEvent): behaves as an add.
-			return deltaOf([]openflow.FlowEntry{ev.Entry}, before)
+			return deltaOf([]openflow.FlowEntry{ev.Entry}, before, cap)
 		}
 		// Old and new versions share priority+match, so the changed set's
 		// match union is just the replaced entries' (the new actions only
 		// alter behavior inside the same match space).
-		return deltaOf(append(replaced, ev.Entry), rest)
+		return deltaOf(append(replaced, ev.Entry), rest, cap)
 	}
-	return headerspace.EmptySpace(wire.HeaderWidth)
+	return headerspace.Delta{Space: headerspace.EmptySpace(wire.HeaderWidth)}
 }

@@ -183,7 +183,7 @@ func TestVerdictQueryRejectsWrongIngress(t *testing.T) {
 
 func TestTableDeltaIdenticalEmpty(t *testing.T) {
 	tab := []openflow.FlowEntry{fwdEntry(100, 0x0A000001, 2), fwdEntry(90, 0x0A000002, 1)}
-	if d := tableDelta(tab, append([]openflow.FlowEntry(nil), tab...)); !d.IsEmpty() {
+	if d := tableDelta(tab, append([]openflow.FlowEntry(nil), tab...), defaultDeltaTermCap); !d.Space.IsEmpty() {
 		t.Fatalf("identical tables produced delta %v", d)
 	}
 }
@@ -192,21 +192,21 @@ func TestTableDeltaAddRemoveModify(t *testing.T) {
 	base := []openflow.FlowEntry{fwdEntry(100, 0x0A000001, 2)}
 	added := append([]openflow.FlowEntry{fwdEntry(50, 0x0A000009, 1)}, base...)
 
-	d := tableDelta(base, added)
-	if !d.Overlaps(ipSpace(0x0A000009)) {
+	d := tableDelta(base, added, defaultDeltaTermCap)
+	if !d.Space.Overlaps(ipSpace(0x0A000009)) {
 		t.Fatalf("added rule's space missing from delta %v", d)
 	}
-	if d.Overlaps(ipSpace(0x0A000001)) {
+	if d.Space.Overlaps(ipSpace(0x0A000001)) {
 		t.Fatalf("unchanged rule's space leaked into delta %v", d)
 	}
 	// Removal is symmetric.
-	if d := tableDelta(added, base); !d.Overlaps(ipSpace(0x0A000009)) {
+	if d := tableDelta(added, base, defaultDeltaTermCap); !d.Space.Overlaps(ipSpace(0x0A000009)) {
 		t.Fatalf("removed rule's space missing from delta %v", d)
 	}
 	// An action rewrite of an existing rule is a change inside its match.
 	mod := []openflow.FlowEntry{fwdEntry(100, 0x0A000001, 3)}
 	mod[0].Cookie = base[0].Cookie
-	if d := tableDelta(base, mod); !d.Overlaps(ipSpace(0x0A000001)) {
+	if d := tableDelta(base, mod, defaultDeltaTermCap); !d.Space.Overlaps(ipSpace(0x0A000001)) {
 		t.Fatalf("modified rule's space missing from delta %v", d)
 	}
 }
@@ -221,7 +221,7 @@ func TestTableDeltaShadowing(t *testing.T) {
 
 	// Insert a low-priority rule for the same destination: fully shadowed.
 	ins := append(append([]openflow.FlowEntry(nil), base...), fwdEntry(10, 0x0A000009, 1))
-	if d := tableDelta(base, ins); !d.IsEmpty() {
+	if d := tableDelta(base, ins, defaultDeltaTermCap); !d.Space.IsEmpty() {
 		t.Fatalf("fully shadowed insert produced delta %v", d)
 	}
 
@@ -234,16 +234,16 @@ func TestTableDeltaShadowing(t *testing.T) {
 		}},
 		Actions: []openflow.Action{openflow.Output(1)},
 	}
-	d := tableDelta(base, append(append([]openflow.FlowEntry(nil), base...), wide))
-	if d.Overlaps(ipSpace(0x0A000009)) {
+	d := tableDelta(base, append(append([]openflow.FlowEntry(nil), base...), wide), defaultDeltaTermCap)
+	if d.Space.Overlaps(ipSpace(0x0A000009)) {
 		t.Fatalf("shadowed slice leaked into delta %v", d)
 	}
-	if !d.Overlaps(ipSpace(0x0A000055)) {
+	if !d.Space.Overlaps(ipSpace(0x0A000055)) {
 		t.Fatalf("unshadowed slice missing from delta %v", d)
 	}
 	// Equal priority never shadows (arrival order is unknown).
 	eq := append(append([]openflow.FlowEntry(nil), base...), fwdEntry(200, 0x0A000009, 1))
-	if d := tableDelta(base, eq); !d.Overlaps(ipSpace(0x0A000009)) {
+	if d := tableDelta(base, eq, defaultDeltaTermCap); !d.Space.Overlaps(ipSpace(0x0A000009)) {
 		t.Fatalf("equal-priority insert wrongly shadowed: %v", d)
 	}
 }
@@ -260,13 +260,13 @@ func TestTableDeltaTransparentChurn(t *testing.T) {
 		Actions: []openflow.Action{openflow.Output(openflow.ControllerPort)},
 	}
 	base := []openflow.FlowEntry{fwdEntry(100, 0x0A000001, 2)}
-	if d := tableDelta(base, append([]openflow.FlowEntry{intercept}, base...)); !d.IsEmpty() {
+	if d := tableDelta(base, append([]openflow.FlowEntry{intercept}, base...), defaultDeltaTermCap); !d.Space.IsEmpty() {
 		t.Fatalf("transparent entry churn produced delta %v", d)
 	}
 	// Not a shadower: an insert below the interception rule still deltas.
 	withIntercept := append([]openflow.FlowEntry{intercept}, base...)
 	ins := append(append([]openflow.FlowEntry(nil), withIntercept...), fwdEntry(10, 0x0A000009, 1))
-	if d := tableDelta(withIntercept, ins); !d.Overlaps(ipSpace(0x0A000009)) {
+	if d := tableDelta(withIntercept, ins, defaultDeltaTermCap); !d.Space.Overlaps(ipSpace(0x0A000009)) {
 		t.Fatalf("transparent entry wrongly shadowed the delta: %v", d)
 	}
 }
@@ -279,8 +279,8 @@ func TestTableDeltaEqualPriorityReorder(t *testing.T) {
 	r2 := fwdEntry(100, 0x0A000009, 2)
 	d := tableDelta(
 		[]openflow.FlowEntry{r1, r2},
-		[]openflow.FlowEntry{r2, r1})
-	if !d.Overlaps(ipSpace(0x0A000009)) {
+		[]openflow.FlowEntry{r2, r1}, defaultDeltaTermCap)
+	if !d.Space.Overlaps(ipSpace(0x0A000009)) {
 		t.Fatalf("equal-priority reorder produced no delta: %v", d)
 	}
 }
@@ -289,27 +289,27 @@ func TestEventDelta(t *testing.T) {
 	base := []openflow.FlowEntry{fwdEntry(200, 0x0A000009, 2), fwdEntry(100, 0x0A000001, 2)}
 	// Added, fully shadowed.
 	d := eventDelta(base, &openflow.FlowMonitorReply{
-		Kind: openflow.FlowEventAdded, Entry: fwdEntry(10, 0x0A000009, 1)})
-	if !d.IsEmpty() {
+		Kind: openflow.FlowEventAdded, Entry: fwdEntry(10, 0x0A000009, 1)}, defaultDeltaTermCap)
+	if !d.Space.IsEmpty() {
 		t.Fatalf("shadowed add event produced delta %v", d)
 	}
 	// Added, unshadowed.
 	d = eventDelta(base, &openflow.FlowMonitorReply{
-		Kind: openflow.FlowEventAdded, Entry: fwdEntry(10, 0x0A000077, 1)})
-	if !d.Overlaps(ipSpace(0x0A000077)) {
+		Kind: openflow.FlowEventAdded, Entry: fwdEntry(10, 0x0A000077, 1)}, defaultDeltaTermCap)
+	if !d.Space.Overlaps(ipSpace(0x0A000077)) {
 		t.Fatalf("add event delta %v misses the new rule", d)
 	}
 	// Removed.
 	d = eventDelta(base, &openflow.FlowMonitorReply{
-		Kind: openflow.FlowEventRemoved, Entry: base[1]})
-	if !d.Overlaps(ipSpace(0x0A000001)) {
+		Kind: openflow.FlowEventRemoved, Entry: base[1]}, defaultDeltaTermCap)
+	if !d.Space.Overlaps(ipSpace(0x0A000001)) {
 		t.Fatalf("remove event delta %v misses the removed rule", d)
 	}
 	// Modified in place (same priority+match, new actions).
 	mod := fwdEntry(100, 0x0A000001, 3)
 	d = eventDelta(base, &openflow.FlowMonitorReply{
-		Kind: openflow.FlowEventModified, Entry: mod})
-	if !d.Overlaps(ipSpace(0x0A000001)) {
+		Kind: openflow.FlowEventModified, Entry: mod}, defaultDeltaTermCap)
+	if !d.Space.Overlaps(ipSpace(0x0A000001)) {
 		t.Fatalf("modify event delta %v misses the modified rule", d)
 	}
 }
@@ -543,7 +543,7 @@ func TestDeltaCommitSubscribeRaceStress(t *testing.T) {
 	if n := subErrs.Load(); n > 0 {
 		t.Fatalf("%d subscribe/unsubscribe operations failed", n)
 	}
-	checkEngineConsistency(t, c.subs)
+	checkEngineConsistency(t, c)
 	if st := c.SubscriptionStats(); st.DeltaSkipped == 0 {
 		t.Errorf("stress never exercised the delta filter: %+v", st)
 	}
@@ -573,4 +573,73 @@ func diffCommon(a, b []string) string {
 		}
 	}
 	return ""
+}
+
+// TestDeltaPortRefinement: deltas built exclusively from in-port-restricted
+// changed rules carry the union of those ports, and an invariant whose
+// recorded traversal slice entered the switch on a different port is
+// revalidated for free — while a single unrestricted changed rule collapses
+// the refinement to any-port.
+func TestDeltaPortRefinement(t *testing.T) {
+	inPortEntry := func(port uint32, dst uint32) openflow.FlowEntry {
+		return openflow.FlowEntry{
+			Priority: 50,
+			Match: openflow.Match{
+				InPort: port,
+				Fields: []openflow.FieldMatch{
+					{Field: wire.FieldIPDst, Value: uint64(dst), Mask: 0xFFFFFFFF},
+				},
+			},
+			Actions: []openflow.Action{openflow.Output(1)},
+		}
+	}
+
+	// Single restricted rule: exact port refinement.
+	d := deltaOf([]openflow.FlowEntry{inPortEntry(3, 0x0A000009)}, nil, defaultDeltaTermCap)
+	if len(d.Ports) != 1 || d.Ports[0] != 3 {
+		t.Fatalf("single restricted rule delta ports = %v, want [3]", d.Ports)
+	}
+	if !d.Space.Overlaps(ipSpace(0x0A000009)) {
+		t.Fatalf("restricted rule's space missing from delta")
+	}
+
+	// Two restricted rules: port union.
+	d = deltaOf([]openflow.FlowEntry{inPortEntry(3, 0x0A000009), inPortEntry(5, 0x0A000010)}, nil, defaultDeltaTermCap)
+	if len(d.Ports) != 2 {
+		t.Fatalf("two restricted rules delta ports = %v, want two entries", d.Ports)
+	}
+
+	// One unrestricted rule anywhere collapses to any-port, regardless of
+	// position in the changed set.
+	for _, changed := range [][]openflow.FlowEntry{
+		{inPortEntry(3, 0x0A000009), fwdEntry(50, 0x0A000010, 1)},
+		{fwdEntry(50, 0x0A000010, 1), inPortEntry(3, 0x0A000009)},
+	} {
+		if d := deltaOf(changed, nil, defaultDeltaTermCap); d.Ports != nil {
+			t.Fatalf("unrestricted rule left port refinement %v, want any-port", d.Ports)
+		}
+	}
+
+	// Exact-slice dispatch: a footprint whose slice at the switch entered
+	// on port 7 is disjoint from a port-3 delta even when the header spaces
+	// overlap; the same slice on port 3 is invalidated.
+	d = deltaOf([]openflow.FlowEntry{inPortEntry(3, 0x0A000009)}, nil, defaultDeltaTermCap)
+	deltas := map[headerspace.NodeID]headerspace.Delta{5: d}
+	miss := headerspace.NewFootprint()
+	miss.AddSliceAt(5, ipSpace(0x0A000009), 7)
+	if miss.InvalidatedBy(deltas) {
+		t.Fatal("slice entering on port 7 invalidated by a port-3 delta")
+	}
+	hit := headerspace.NewFootprint()
+	hit.AddSliceAt(5, ipSpace(0x0A000009), 3)
+	if !hit.InvalidatedBy(deltas) {
+		t.Fatal("slice entering on port 3 not invalidated by a port-3 delta")
+	}
+	// A slice recorded without port information (any-port) stays
+	// conservative: the refinement can only ever skip provably safe work.
+	anyPort := headerspace.NewFootprint()
+	anyPort.AddSlice(5, ipSpace(0x0A000009))
+	if !anyPort.InvalidatedBy(deltas) {
+		t.Fatal("any-port slice not invalidated by an overlapping port-restricted delta")
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/enclave"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
@@ -242,8 +243,10 @@ func (s coreService) Subscribe(o Origin, sr *wire.SubscribeRequest) *wire.Notifi
 		Status:  wire.StatusOK,
 		Nonce:   sr.Nonce,
 	}
-	src := subSource{nonce: sr.Nonce, sessionID: o.SessionID, proto: o.Proto}
-	id, err := c.subscribeWith(sr.ClientID, src, sr.Kind, sr.Constraints, sr.Param, o.requester())
+	src := verifier.Source{Nonce: sr.Nonce, SessionID: o.SessionID, Proto: o.Proto}
+	req := o.requester()
+	anchor := verifier.Anchor{Switch: req.sw, Port: req.port, MAC: req.mac, IP: req.ip}
+	id, err := c.subscribeWith(sr.ClientID, src, sr.Kind, sr.Constraints, sr.Param, anchor)
 	if err != nil {
 		ack.Event = wire.NotifyError
 		ack.Status = wire.StatusError
@@ -251,20 +254,17 @@ func (s coreService) Subscribe(o Origin, sr *wire.SubscribeRequest) *wire.Notifi
 		return c.signAck(ack)
 	}
 	ack.SubID = id
-	sh := c.subs.shardFor(id)
-	sh.mu.Lock()
-	if sub := sh.subs[id]; sub != nil {
-		ack.Detail = sub.detail
-		if sub.violated {
+	if st, ok := c.fleet.View(id); ok {
+		ack.Detail = st.Detail
+		if st.Violated {
 			ack.Status = wire.StatusViolation
 		}
 		// An initially-violated invariant consumes sequence number 1
 		// without any push existing for it (the ack IS the verdict).
 		// Carrying the current seq lets the client baseline its gap
 		// detection so the first real push is not misread as a loss.
-		ack.Seq = sub.seq
+		ack.Seq = st.Seq
 	}
-	sh.mu.Unlock()
 	return c.signAck(ack)
 }
 
@@ -310,39 +310,34 @@ func (s coreService) QueryVerdict(o Origin, sr *wire.SubscribeRequest) *wire.Not
 		Nonce:   sr.Nonce,
 		SubID:   sr.SubID,
 	}
-	sh := c.subs.shardFor(sr.SubID)
-	sh.mu.Lock()
-	sub := sh.subs[sr.SubID]
-	if sub == nil || sub.clientID != sr.ClientID {
-		sh.mu.Unlock()
+	st, ok := c.fleet.View(sr.SubID)
+	if !ok || st.ClientID != sr.ClientID {
 		ack.Event = wire.NotifyError
 		ack.Status = wire.StatusError
 		ack.Detail = fmt.Sprintf("no subscription %d for client %d", sr.SubID, sr.ClientID)
 		return c.signAck(ack)
 	}
-	if sub.req.sw != o.Switch || sub.req.port != o.Port {
+	if st.Anchor.Switch != o.Switch || st.Anchor.Port != o.Port {
 		// Ingress must match the subscription's anchor — the same defense
 		// SubOpAdd applies: a captured (authentically signed) query frame
 		// replayed from another port would otherwise deliver the tenant's
 		// signed verdict to the replayer's endpoint.
-		sh.mu.Unlock()
 		ack.Event = wire.NotifyError
 		ack.Status = wire.StatusError
 		ack.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
-			o.Switch, o.Port, sub.req.sw, sub.req.port)
+			o.Switch, o.Port, st.Anchor.Switch, st.Anchor.Port)
 		return c.signAck(ack)
 	}
-	ack.Kind = sub.kind
-	ack.Detail = sub.detail
-	if sub.violated {
+	ack.Kind = st.Kind
+	ack.Detail = st.Detail
+	if st.Violated {
 		ack.Status = wire.StatusViolation
 	}
 	// The current per-subscription sequence number lets the client rebase
 	// its gap detection: every push at or below it is covered by this
 	// verdict.
-	ack.Seq = sub.seq
-	sh.mu.Unlock()
-	c.subs.stats.verdictQueries.Add(1)
+	ack.Seq = st.Seq
+	c.svcStats.verdictQueries.Add(1)
 	return c.signAck(ack)
 }
 
@@ -358,34 +353,25 @@ func (s coreService) ResumeSession(o Origin, r *wire.SessionResumeRequest) *wire
 	// persistence store after a controller restart, which is exactly the
 	// case resume exists for.
 	seen := make(map[uint64]bool, len(r.Entries))
-	e := c.subs
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		for _, sub := range sh.subs {
-			if sub.clientID != r.ClientID || sub.sessionID != r.SessionID {
-				continue
+	for _, st := range c.fleet.ResumeSlice(r.ClientID, r.SessionID) {
+		ent := wire.ResumeVerdict{SubID: st.ID, Kind: st.Kind}
+		if st.Anchor.Switch != o.Switch || st.Anchor.Port != o.Port {
+			// Same replay defense as SubOpQueryVerdict: a captured
+			// resume frame replayed from a foreign port learns no
+			// verdicts.
+			ent.Status = wire.StatusError
+			ent.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
+				o.Switch, o.Port, st.Anchor.Switch, st.Anchor.Port)
+		} else {
+			ent.Status = wire.StatusOK
+			if st.Violated {
+				ent.Status = wire.StatusViolation
 			}
-			ent := wire.ResumeVerdict{SubID: sub.id, Kind: sub.kind}
-			if sub.req.sw != o.Switch || sub.req.port != o.Port {
-				// Same replay defense as SubOpQueryVerdict: a captured
-				// resume frame replayed from a foreign port learns no
-				// verdicts.
-				ent.Status = wire.StatusError
-				ent.Detail = fmt.Sprintf("ingress (%d,%d) does not match subscription anchor (%d,%d)",
-					o.Switch, o.Port, sub.req.sw, sub.req.port)
-			} else {
-				ent.Status = wire.StatusOK
-				if sub.violated {
-					ent.Status = wire.StatusViolation
-				}
-				ent.Seq = sub.seq
-				ent.Detail = sub.detail
-			}
-			seen[sub.id] = true
-			reply.Entries = append(reply.Entries, ent)
+			ent.Seq = st.Seq
+			ent.Detail = st.Detail
 		}
-		sh.mu.Unlock()
+		seen[st.ID] = true
+		reply.Entries = append(reply.Entries, ent)
 	}
 	// Subscriptions the client believes it holds but the server does not:
 	// reported explicitly so the client re-registers exactly those instead
@@ -400,7 +386,7 @@ func (s coreService) ResumeSession(o Origin, r *wire.SessionResumeRequest) *wire
 		}
 	}
 	sort.Slice(reply.Entries, func(i, j int) bool { return reply.Entries[i].SubID < reply.Entries[j].SubID })
-	e.stats.sessionResumes.Add(1)
+	c.svcStats.sessionResumes.Add(1)
 	return c.signResumeReply(reply)
 }
 
@@ -428,6 +414,17 @@ func (c *Controller) signResumeReply(r *wire.SessionResumeReply) *wire.SessionRe
 // and injects the reply, encoded in the protocol version the request
 // arrived with.
 func (c *Controller) serveEnvelope(sw topology.SwitchID, inPort topology.PortNo, pkt *wire.Packet, env *wire.Envelope) {
+	if env.Op == wire.OpChunk {
+		// Continuation frame: fold it into its chain and dispatch only the
+		// completed logical envelope. Incomplete chains wait; torn or
+		// replayed chains are discarded (the client times out and retries —
+		// the inner signature is verified once, after reassembly).
+		full, err := c.reasm.Accept(uint64(pkt.EthSrc)^uint64(pkt.IPSrc), env)
+		if err != nil || full == nil {
+			return
+		}
+		env = full
+	}
 	o := Origin{
 		Switch:    sw,
 		Port:      inPort,
@@ -491,21 +488,30 @@ func (c *Controller) serveEnvelope(sw topology.SwitchID, inPort topology.PortNo,
 // reply is silently dropped for a v1 requester, which cannot happen for
 // frames that entered through the shim).
 func (c *Controller) deliverReply(o Origin, op wire.Op, corr uint64, body func() []byte, v1Frame func() *wire.Packet) {
-	var pkt *wire.Packet
 	if o.Proto >= wire.EnvelopeVersion {
-		pkt = wire.NewEnvelopeReplyPacket(o.MAC, o.IP, &wire.Envelope{
+		env := &wire.Envelope{
 			Version:       wire.EnvelopeVersion,
 			Op:            op,
 			CorrelationID: corr,
 			SessionID:     o.SessionID,
 			Body:          body(),
-		})
-	} else if v1Frame != nil {
-		pkt = v1Frame()
-	} else {
+		}
+		// A reply past the frame budget (e.g. a 10⁴-item batch reply) goes
+		// out as OpChunk continuation frames under the same correlation id;
+		// the client reassembles before decoding.
+		frames, err := wire.ChunkEnvelope(env, 0)
+		if err != nil {
+			return
+		}
+		for _, fr := range frames {
+			_ = c.sendPacketOut(o.Switch, o.Port, wire.NewEnvelopeReplyPacket(o.MAC, o.IP, fr))
+		}
 		return
 	}
-	_ = c.sendPacketOut(o.Switch, o.Port, pkt)
+	if v1Frame == nil {
+		return
+	}
+	_ = c.sendPacketOut(o.Switch, o.Port, v1Frame())
 }
 
 // deliverAck injects one subscription ack in the requester's protocol

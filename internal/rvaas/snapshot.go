@@ -61,7 +61,10 @@ type snapshotStore struct {
 	// ruledelta.go). A switch with a bumped generation but a semantically
 	// empty delta (fully shadowed insert, meter-only change, interception-
 	// rule churn) dispatches no re-verification at all.
-	deltas map[topology.SwitchID]headerspace.Space
+	deltas map[topology.SwitchID]headerspace.Delta
+	// deltaCap bounds the union-term count of one accumulated delta
+	// (defaultDeltaTermCap unless tuned via RecheckTuning.DeltaTermCap).
+	deltaCap int
 
 	// Compiled-network cache. Guarded by mu; the cached *Network itself is
 	// immutable once published and safe for concurrent readers.
@@ -79,7 +82,8 @@ func newSnapshotStore() *snapshotStore {
 		meters:   make(map[topology.SwitchID][]openflow.MeterConfig),
 		seq:      make(map[topology.SwitchID]uint64),
 		gen:      make(map[topology.SwitchID]uint64),
-		deltas:   make(map[topology.SwitchID]headerspace.Space),
+		deltas:   make(map[topology.SwitchID]headerspace.Delta),
+		deltaCap: defaultDeltaTermCap,
 		compiled: make(map[topology.SwitchID]compiledSwitch),
 	}
 }
@@ -87,17 +91,31 @@ func newSnapshotStore() *snapshotStore {
 // accumulateDeltaLocked folds one change's header-space delta into the
 // switch's pending delta, collapsing to the full space past the term cap
 // (conservative: equivalent to per-switch dispatch). Callers hold s.mu.
-func (s *snapshotStore) accumulateDeltaLocked(sw topology.SwitchID, d headerspace.Space) {
+func (s *snapshotStore) accumulateDeltaLocked(sw topology.SwitchID, d headerspace.Delta) {
 	cur, ok := s.deltas[sw]
 	if !ok {
 		s.deltas[sw] = d
 		return
 	}
-	merged := cur.Union(d)
-	if merged.Size() > deltaTermCap {
+	merged := cur.Space.Union(d.Space)
+	if merged.Size() > s.deltaCap {
 		merged = headerspace.FullSpace(wire.HeaderWidth)
 	}
-	s.deltas[sw] = merged
+	s.deltas[sw] = headerspace.Delta{
+		Space: merged,
+		Ports: headerspace.MergeDeltaPorts(cur.Ports, d.Ports),
+	}
+}
+
+// setDeltaCap tunes the per-switch delta term cap (<=0 restores the
+// default).
+func (s *snapshotStore) setDeltaCap(n int) {
+	s.mu.Lock()
+	if n <= 0 {
+		n = defaultDeltaTermCap
+	}
+	s.deltaCap = n
+	s.mu.Unlock()
 }
 
 // bumpLocked records a state change on sw. Callers hold s.mu.
@@ -171,9 +189,9 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 	// whole table) widens to the full header space.
 	switch {
 	case !seen || (ports != nil && !portsEqual(s.ports[sw], ports)):
-		s.accumulateDeltaLocked(sw, headerspace.FullSpace(wire.HeaderWidth))
+		s.accumulateDeltaLocked(sw, headerspace.Delta{Space: headerspace.FullSpace(wire.HeaderWidth)})
 	default:
-		s.accumulateDeltaLocked(sw, tableDelta(s.tables[sw], entries))
+		s.accumulateDeltaLocked(sw, tableDelta(s.tables[sw], entries, s.deltaCap))
 	}
 	s.tables[sw] = append([]openflow.FlowEntry(nil), entries...)
 	if ports != nil {
@@ -241,7 +259,7 @@ func (s *snapshotStore) markUnreachable(sw topology.SwitchID) (cap capture, chan
 	if len(s.tables[sw]) == 0 && len(s.meters[sw]) == 0 {
 		return s.captureLocked(), false
 	}
-	s.accumulateDeltaLocked(sw, headerspace.FullSpace(wire.HeaderWidth))
+	s.accumulateDeltaLocked(sw, headerspace.Delta{Space: headerspace.FullSpace(wire.HeaderWidth)})
 	s.tables[sw] = []openflow.FlowEntry{}
 	s.meters[sw] = []openflow.MeterConfig{}
 	s.bumpLocked(sw)
@@ -271,7 +289,7 @@ func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonito
 		return capture{}, false, false
 	}
 	s.seq[sw] = ev.Seq
-	s.accumulateDeltaLocked(sw, eventDelta(s.tables[sw], ev))
+	s.accumulateDeltaLocked(sw, eventDelta(s.tables[sw], ev, s.deltaCap))
 	s.bumpLocked(sw)
 	switch ev.Kind {
 	case openflow.FlowEventAdded:
@@ -369,7 +387,7 @@ func (s *snapshotStore) generations() (uint64, map[topology.SwitchID]uint64) {
 // between the previous drain and the returned generation counters (both
 // are read under one lock acquisition, so no change can fall between
 // them). Ownership of the returned spaces transfers to the caller.
-func (s *snapshotStore) generationsAndDeltas() (uint64, map[topology.SwitchID]uint64, map[topology.SwitchID]headerspace.Space) {
+func (s *snapshotStore) generationsAndDeltas() (uint64, map[topology.SwitchID]uint64, map[topology.SwitchID]headerspace.Delta) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	gens := make(map[topology.SwitchID]uint64, len(s.gen))
@@ -377,7 +395,7 @@ func (s *snapshotStore) generationsAndDeltas() (uint64, map[topology.SwitchID]ui
 		gens[sw] = g
 	}
 	deltas := s.deltas
-	s.deltas = make(map[topology.SwitchID]headerspace.Space)
+	s.deltas = make(map[topology.SwitchID]headerspace.Delta)
 	return s.id, gens, deltas
 }
 

@@ -2,50 +2,45 @@ package rvaas
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
+	"runtime"
 
 	"repro/internal/headerspace"
 	"repro/internal/history"
 	"repro/internal/openflow"
 	"repro/internal/topology"
+	"repro/internal/verifier"
 	"repro/internal/wire"
 )
 
-// This file implements the standing-invariant subscription engine: the
-// continuous form of the paper's verification service. A one-shot query
-// tells a client its invariant held at one instant; an adversary who
+// This file hosts the controller side of the standing-invariant engine:
+// the continuous form of the paper's verification service. A one-shot
+// query tells a client its invariant held at one instant; an adversary who
 // reconfigures between two polls is never seen by the client. A
 // subscription instead re-evaluates the invariant after every applied
 // snapshot change and pushes a signed notification on every verdict
 // transition — the monitoring loop the paper runs for its own interception
 // rules, generalized to arbitrary client invariants.
 //
-// Re-verification is incremental and indexed. Every evaluation records its
-// footprint: the set of switches the reachability traversal consulted
-// (headerspace.Footprint). An applied event dirties exactly the switches
-// whose per-switch generation counter advanced (snapshotStore.generations);
-// an invariant whose footprint is disjoint from the dirty set is
-// revalidated for free — its evaluation is a deterministic function of the
-// transfer functions of the footprint switches, none of which changed.
+// The engine itself — sharded subscription maps, the inverted
+// switch → subscriptions footprint index, verdict commit, per-pass worker
+// pools — lives in internal/verifier, partitioned across N instances
+// behind a verifier.Fleet (one instance unless Config.Verifiers says
+// otherwise). The controller supplies the two domain callbacks the engine
+// is parameterized over:
 //
-// The engine is built for ~10⁵ standing invariants per controller:
+//   - Evaluate: run one invariant against the compiled network (this
+//     file's evaluateInvariant, with isolation.go's cone cache), recording
+//     the traversal footprint for incremental revalidation;
+//   - Commit: publish one verdict transition — persistence append,
+//     violation-log record, signed in-band notification through the
+//     per-session ordered notifier (onVerifierCommit below).
 //
-//   - The subscription map is split across a fixed number of shards with
-//     per-shard locks, so Subscribe/Unsubscribe and verdict publication
-//     from parallel recheck workers do not contend on one mutex.
-//   - An inverted index switch → subscription bucket is kept in sync with
-//     each evaluation's recorded footprint (diffed on every commit), so a
-//     single-switch event dispatches only the affected bucket — O(touched)
-//     instead of a linear footprint scan over every subscription.
-//   - The per-invariant evaluations of one pass are independent and fan
-//     out across a bounded worker pool. Passes themselves stay serialized
-//     (runMu), and each subscription is evaluated at most once per pass,
-//     so per-subscription Notification.Seq remains strictly ordered.
-//   - Isolation invariants cache one traversal cone per injection point
-//     (isolation.go) and re-sweep only the points whose cone was dirtied.
+// Re-verification stays incremental and indexed: an applied event dirties
+// exactly the switches whose per-switch generation advanced; the pass
+// assembled here (recheckSubscriptions) carries the dirty set and its
+// drained per-switch rule deltas — refined with ingress-port restrictions
+// when every changed rule carries one — and the fleet fans it only to the
+// instances owning an affected index bucket.
 
 // SubscriptionStats counts subscription-engine activity.
 type SubscriptionStats struct {
@@ -95,85 +90,13 @@ type SubscriptionStats struct {
 	// cone evaluations re-run versus served from the cone cache.
 	IsoPointsSwept  uint64
 	IsoPointsReused uint64
-}
-
-// subscription is one standing invariant. Identity fields are immutable
-// after registration; verdict state (violated, detail, fp, seq, removed) is
-// guarded by the owning shard's mutex. The isolation cone cache (cones) is
-// touched only during evaluation, which the engine's run lock serializes
-// per subscription.
-type subscription struct {
-	id          uint64
-	clientID    uint64
-	nonce       uint64
-	kind        wire.QueryKind
-	constraints []wire.FieldConstraint
-	param       string
-	bound       int // parsed Param for path-length invariants
-	req         requesterInfo
-	// sessionID is the client session the invariant was registered under
-	// (protocol v2); OpSessionResume enumerates by it. proto is the
-	// envelope version notifications are encoded with.
-	sessionID uint64
-	proto     uint8
-
-	violated  bool
-	detail    string
-	fp        headerspace.Footprint
-	evaluated bool
-	removed   bool
-	seq       uint64
-
-	// needsFullEval marks a subscription restored from the persistence
-	// store: its verdict/seq are durable state but footprint and cones are
-	// not, so the next pass re-evaluates it from scratch regardless of the
-	// dirty set. Written during restore (before the engine serves) and by
-	// the one pass worker that owns the subscription, under runMu.
-	needsFullEval bool
-
-	cones *isoConeCache
-}
-
-// maxSeenNoncesPerClient bounds the replay-protection memory per client
-// (FIFO eviction). The bound is per client, not global: one tenant
-// churning subscribe ops can only evict its OWN nonce history, never age
-// out another client's — so a captured frame of client A stays
-// unreplayable no matter what client B does.
-const maxSeenNoncesPerClient = 1024
-
-// clientNonces is one client's replay-protection memory.
-type clientNonces struct {
-	seen  map[uint64]struct{}
-	order []uint64
-}
-
-// subShardCount fixes the number of subscription map shards and inverted
-// index shards (power of two so the shard pick is a mask).
-const subShardCount = 32
-
-// subShard is one slice of the subscription map.
-type subShard struct {
-	mu   sync.Mutex
-	subs map[uint64]*subscription
-}
-
-// indexShard is one slice of the inverted footprint index. buckets[n] holds
-// every live subscription whose recorded footprint contains switch n.
-type indexShard struct {
-	mu      sync.Mutex
-	buckets map[headerspace.NodeID]map[uint64]*subscription
-}
-
-// engineCounters are the hot-path statistics, kept as atomics so parallel
-// recheck workers never serialize on a stats mutex.
-type engineCounters struct {
-	registered, removed, restored        atomic.Uint64
-	rechecks, evaluated, revalidated     atomic.Uint64
-	indexDispatched, deltaSkipped        atomic.Uint64
-	verdictQueries, sessionResumes       atomic.Uint64
-	violations, recoveries               atomic.Uint64
-	notificationsSent, notificationsDrop atomic.Uint64
-	isoPointsSwept, isoPointsReused      atomic.Uint64
+	// VerifierInstances is the fleet size; InstanceDispatches/FleetPasses
+	// count indexed passes and the instances they visited, so
+	// InstanceDispatches/FleetPasses is the per-event fleet confinement
+	// ratio (1.0 when every pass touches one instance).
+	VerifierInstances  int
+	FleetPasses        uint64
+	InstanceDispatches uint64
 }
 
 // RecheckTuning controls the recheck engine's dispatch strategy and
@@ -193,115 +116,15 @@ type RecheckTuning struct {
 	// rule-delta overlap filter. Verdicts are identical either way — the
 	// filter only skips evaluations whose outcome provably cannot change.
 	PerSwitchDispatch bool
-}
-
-// subscriptionEngine owns the subscription set and the incremental
-// re-verification state.
-type subscriptionEngine struct {
-	// runMu serializes whole re-verification passes so concurrent triggers
-	// (parallel polls, passive events, manual rechecks) cannot interleave
-	// evaluations and double-report one transition. It also guards lastGen
-	// and every subscription's evaluation-only state (isolation cones).
-	runMu  sync.Mutex
-	shards [subShardCount]subShard
-	index  [subShardCount]indexShard
-	nextID atomic.Uint64
-
-	// nonceMu guards seenNonces: wire-registered nonces per client —
-	// including removed subscriptions, so a captured SubOpAdd frame cannot
-	// be replayed after the client unsubscribes.
-	nonceMu    sync.Mutex
-	seenNonces map[uint64]*clientNonces
-
-	// lastGen is the generation baseline of the previous pass; the diff
-	// against the store's current counters is the dirty set. Guarded by
-	// runMu.
-	lastGen map[topology.SwitchID]uint64
-
-	// pendingRestore holds subscriptions rebuilt from the persistence
-	// store that have not been re-verified yet; the next pass evaluates
-	// them from scratch regardless of the dirty set. Guarded by runMu.
-	pendingRestore []*subscription
-
-	parallelism atomic.Int64
-	legacyScan  atomic.Bool
-	perSwitch   atomic.Bool
-
-	stats engineCounters
-}
-
-func newSubscriptionEngine() *subscriptionEngine {
-	e := &subscriptionEngine{
-		seenNonces: make(map[uint64]*clientNonces),
-		lastGen:    make(map[topology.SwitchID]uint64),
-	}
-	for i := range e.shards {
-		e.shards[i].subs = make(map[uint64]*subscription)
-	}
-	for i := range e.index {
-		e.index[i].buckets = make(map[headerspace.NodeID]map[uint64]*subscription)
-	}
-	return e
-}
-
-func (e *subscriptionEngine) shardFor(id uint64) *subShard {
-	return &e.shards[id&(subShardCount-1)]
-}
-
-func (e *subscriptionEngine) indexFor(n headerspace.NodeID) *indexShard {
-	return &e.index[uint32(n)&(subShardCount-1)]
-}
-
-// indexAdd/indexRemove maintain the inverted footprint index. Callers hold
-// the subscription's shard mutex; index shard mutexes nest inside shard
-// mutexes (never the other way around), so the lock order is acyclic.
-func (e *subscriptionEngine) indexAdd(sub *subscription, nodes []headerspace.NodeID) {
-	for _, n := range nodes {
-		ish := e.indexFor(n)
-		ish.mu.Lock()
-		bucket := ish.buckets[n]
-		if bucket == nil {
-			bucket = make(map[uint64]*subscription)
-			ish.buckets[n] = bucket
-		}
-		bucket[sub.id] = sub
-		ish.mu.Unlock()
-	}
-}
-
-func (e *subscriptionEngine) indexRemove(sub *subscription, nodes []headerspace.NodeID) {
-	for _, n := range nodes {
-		ish := e.indexFor(n)
-		ish.mu.Lock()
-		if bucket := ish.buckets[n]; bucket != nil {
-			delete(bucket, sub.id)
-			if len(bucket) == 0 {
-				delete(ish.buckets, n)
-			}
-		}
-		ish.mu.Unlock()
-	}
-}
-
-// removeLocked unlinks one subscription from its shard map and the inverted
-// index. Callers hold sh.mu (the shard owning sub).
-func (e *subscriptionEngine) removeLocked(sh *subShard, sub *subscription) {
-	sub.removed = true
-	delete(sh.subs, sub.id)
-	e.indexRemove(sub, sub.fp.Nodes())
-	e.stats.removed.Add(1)
-}
-
-// activeCount sums the shard sizes.
-func (e *subscriptionEngine) activeCount() uint64 {
-	var n uint64
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		n += uint64(len(sh.subs))
-		sh.mu.Unlock()
-	}
-	return n
+	// FootprintTermCap bounds the per-switch union-term count of recorded
+	// footprints before a slice collapses to the full header space
+	// (process-global; see headerspace.SetFootprintTermCap). 0 leaves the
+	// current cap unchanged; negative restores the default.
+	FootprintTermCap int
+	// DeltaTermCap bounds the union-term count of one switch's accumulated
+	// rule delta before it collapses to the full header space. 0 leaves
+	// the current cap unchanged; negative restores the default.
+	DeltaTermCap int
 }
 
 // SubscriptionInfo is a read-only snapshot of one standing invariant.
@@ -318,59 +141,88 @@ type SubscriptionInfo struct {
 	// FootprintSize is the number of switches the last evaluation
 	// consulted.
 	FootprintSize int
+	// Instance is the verifier-fleet instance owning the invariant.
+	Instance int
 }
 
-// SubscriptionStats returns a copy of the engine counters.
+// verifierEnv is the controller's implementation of verifier.Env: the
+// domain half of the engine (invariant evaluation, commit fan-out).
+type verifierEnv struct{ c *Controller }
+
+func (ve verifierEnv) Evaluate(net *headerspace.Network, sub *verifier.Subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Delta, fullSweep, pooled bool) verifier.Verdict {
+	return ve.c.evaluateInvariant(net, sub, dirty, deltas, fullSweep, pooled)
+}
+
+func (ve verifierEnv) Commit(t verifier.Transition) { ve.c.onVerifierCommit(t) }
+
+// passBuild compiles the current snapshot (served from the compile cache)
+// and pairs it with the snapshot id. The fleet memoizes it per pass so N
+// instances share one compiled network.
+func (c *Controller) passBuild() (*headerspace.Network, uint64) {
+	return c.snap.buildNetwork(c.topo), c.snap.snapshotID()
+}
+
+// reqOf recovers the query-plane requester view of a subscription anchor.
+func reqOf(sub *verifier.Subscription) requesterInfo {
+	return requesterInfo{sw: sub.Anchor.Switch, port: sub.Anchor.Port, mac: sub.Anchor.MAC, ip: sub.Anchor.IP}
+}
+
+// SubscriptionStats returns a copy of the engine counters, aggregated
+// across the verifier fleet. With one instance the numbers are identical
+// to the pre-fleet engine's.
 func (c *Controller) SubscriptionStats() SubscriptionStats {
-	e := c.subs
+	fs := c.fleet.Stats()
 	return SubscriptionStats{
-		Registered:           e.stats.registered.Load(),
-		Removed:              e.stats.removed.Load(),
-		Active:               e.activeCount(),
-		Rechecks:             e.stats.rechecks.Load(),
-		Evaluated:            e.stats.evaluated.Load(),
-		Revalidated:          e.stats.revalidated.Load(),
-		IndexDispatched:      e.stats.indexDispatched.Load(),
-		DeltaSkipped:         e.stats.deltaSkipped.Load(),
-		VerdictQueries:       e.stats.verdictQueries.Load(),
-		SessionResumes:       e.stats.sessionResumes.Load(),
-		Restored:             e.stats.restored.Load(),
-		Violations:           e.stats.violations.Load(),
-		Recoveries:           e.stats.recoveries.Load(),
-		NotificationsSent:    e.stats.notificationsSent.Load(),
-		NotificationsDropped: e.stats.notificationsDrop.Load(),
-		IsoPointsSwept:       e.stats.isoPointsSwept.Load(),
-		IsoPointsReused:      e.stats.isoPointsReused.Load(),
+		Registered:           fs.Registered,
+		Removed:              fs.Removed,
+		Active:               uint64(fs.Active),
+		Rechecks:             fs.Rechecks,
+		Evaluated:            fs.Evaluated,
+		Revalidated:          fs.Revalidated,
+		IndexDispatched:      fs.IndexDispatched,
+		DeltaSkipped:         fs.DeltaSkipped,
+		VerdictQueries:       c.svcStats.verdictQueries.Load(),
+		SessionResumes:       c.svcStats.sessionResumes.Load(),
+		Restored:             fs.Restored,
+		Violations:           fs.Violations,
+		Recoveries:           fs.Recoveries,
+		NotificationsSent:    c.svcStats.notificationsSent.Load(),
+		NotificationsDropped: c.svcStats.notificationsDrop.Load(),
+		IsoPointsSwept:       fs.IsoPointsSwept,
+		IsoPointsReused:      fs.IsoPointsReused,
+		VerifierInstances:    fs.Instances,
+		FleetPasses:          fs.Passes,
+		InstanceDispatches:   fs.InstanceDispatches,
 	}
 }
 
-// SetRecheckTuning adjusts the recheck engine's dispatch strategy and
-// worker-pool width at runtime (safe concurrently with passes: the next
-// pass observes the new tuning).
+// SetRecheckTuning adjusts the recheck engine's dispatch strategy,
+// worker-pool width and approximation caps at runtime (safe concurrently
+// with passes: the next pass observes the new tuning).
 func (c *Controller) SetRecheckTuning(t RecheckTuning) {
-	c.subs.parallelism.Store(int64(t.Parallelism))
-	c.subs.legacyScan.Store(t.LegacyScan)
-	c.subs.perSwitch.Store(t.PerSwitchDispatch)
+	c.fleet.SetParallelism(t.Parallelism)
+	c.fleet.SetLegacyScan(t.LegacyScan)
+	c.fleet.SetPerSwitchDispatch(t.PerSwitchDispatch)
+	if t.FootprintTermCap != 0 {
+		headerspace.SetFootprintTermCap(t.FootprintTermCap)
+	}
+	if t.DeltaTermCap != 0 {
+		c.snap.setDeltaCap(t.DeltaTermCap)
+	}
 }
 
 // Subscriptions lists the standing invariants in id order.
 func (c *Controller) Subscriptions() []SubscriptionInfo {
-	e := c.subs
-	var out []SubscriptionInfo
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		for _, sub := range sh.subs {
-			out = append(out, SubscriptionInfo{
-				ID: sub.id, ClientID: sub.clientID, SessionID: sub.sessionID,
-				Kind: sub.kind, Param: sub.param,
-				Violated: sub.violated, Detail: sub.detail, Seq: sub.seq,
-				FootprintSize: len(sub.fp),
-			})
-		}
-		sh.mu.Unlock()
+	states := c.fleet.List()
+	out := make([]SubscriptionInfo, 0, len(states))
+	for _, st := range states {
+		out = append(out, SubscriptionInfo{
+			ID: st.ID, ClientID: st.ClientID, SessionID: st.SessionID,
+			Kind: st.Kind, Param: st.Param,
+			Violated: st.Violated, Detail: st.Detail, Seq: st.Seq,
+			FootprintSize: st.FootprintSize, Instance: st.Instance,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -386,120 +238,42 @@ func (c *Controller) ViolationLog() *history.ViolationLog { return c.vlog }
 // evaluated immediately; the verdict is readable via Subscriptions and the
 // returned id.
 func (c *Controller) Subscribe(clientID uint64, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, at topology.Endpoint) (uint64, error) {
-	req := requesterInfo{sw: at.Switch, port: at.Port}
+	anchor := verifier.Anchor{Switch: at.Switch, Port: at.Port}
 	if ap, ok := c.topo.AccessPointAt(at); ok {
-		req.mac, req.ip = ap.HostMAC, ap.HostIP
+		anchor.MAC, anchor.IP = ap.HostMAC, ap.HostIP
 	}
-	return c.subscribeWith(clientID, subSource{}, kind, constraints, param, req)
+	return c.subscribeWith(clientID, verifier.Source{}, kind, constraints, param, anchor)
 }
 
-// subSource carries the wire-level provenance of a registration: the
-// operation nonce (0 for in-process callers), the client session (v2) and
-// the protocol version notifications must be encoded with.
-type subSource struct {
-	nonce     uint64
-	sessionID uint64
-	proto     uint8
-}
-
-// newSubscription validates an invariant spec and builds the (unregistered)
-// subscription object. Shared by single registration, batch registration
-// and persistence restore.
-func newSubscription(clientID uint64, src subSource, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, req requesterInfo) (*subscription, error) {
-	sub := &subscription{
-		clientID:    clientID,
-		nonce:       src.nonce,
-		sessionID:   src.sessionID,
-		proto:       src.proto,
-		kind:        kind,
-		constraints: append([]wire.FieldConstraint(nil), constraints...),
-		param:       param,
-		req:         req,
-	}
-	switch kind {
-	case wire.QueryReachableDestinations, wire.QueryIsolation, wire.QueryWaypointAvoidance:
-	case wire.QueryPathLength:
-		bound, err := strconv.Atoi(param)
-		if err != nil {
-			return nil, fmt.Errorf("rvaas: path-length subscription needs integer Param, got %q", param)
-		}
-		sub.bound = bound
-	default:
-		return nil, fmt.Errorf("rvaas: unsupported subscription kind %s", kind)
-	}
-	return sub, nil
-}
-
-// recordNonce feeds one wire nonce into the per-client replay-protection
-// memory; it reports false on a duplicate (replay).
-func (e *subscriptionEngine) recordNonce(clientID, nonce uint64) bool {
-	e.nonceMu.Lock()
-	defer e.nonceMu.Unlock()
-	cn := e.seenNonces[clientID]
-	if cn == nil {
-		cn = &clientNonces{seen: make(map[uint64]struct{})}
-		e.seenNonces[clientID] = cn
-	}
-	if _, dup := cn.seen[nonce]; dup {
-		return false
-	}
-	cn.seen[nonce] = struct{}{}
-	cn.order = append(cn.order, nonce)
-	if len(cn.order) > maxSeenNoncesPerClient {
-		delete(cn.seen, cn.order[0])
-		cn.order = cn.order[1:]
-	}
-	return true
-}
-
-func (c *Controller) subscribeWith(clientID uint64, src subSource, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, req requesterInfo) (uint64, error) {
-	sub, err := newSubscription(clientID, src, kind, constraints, param, req)
+func (c *Controller) subscribeWith(clientID uint64, src verifier.Source, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, anchor verifier.Anchor) (uint64, error) {
+	sub, err := verifier.NewSubscription(clientID, src, kind, constraints, param, anchor)
 	if err != nil {
 		return 0, err
 	}
-
-	e := c.subs
-	if src.nonce != 0 {
+	if src.Nonce != 0 {
 		// Wire-path replay protection: a (client, nonce) pair identifies
 		// one subscribe operation. The memory survives unsubscription so a
 		// captured frame cannot resurrect a removed invariant, and is
 		// bounded per client so no other tenant can age it out.
-		if !e.recordNonce(clientID, src.nonce) {
-			return 0, fmt.Errorf("rvaas: duplicate subscription nonce %#x for client %d (replay?)", src.nonce, clientID)
+		if !c.fleet.RecordNonce(clientID, src.Nonce) {
+			return 0, fmt.Errorf("rvaas: duplicate subscription nonce %#x for client %d (replay?)", src.Nonce, clientID)
 		}
 	}
-	sub.id = e.nextID.Add(1)
-	sh := e.shardFor(sub.id)
-	sh.mu.Lock()
-	sh.subs[sub.id] = sub
-	sh.mu.Unlock()
-	e.stats.registered.Add(1)
-
-	// Initial evaluation, serialized with re-verification passes so the
-	// first verdict cannot race a concurrent recheck of the same
-	// subscription. An initially-violated invariant is recorded in the
-	// violation log but not pushed in-band: the ack carries the verdict.
-	e.runMu.Lock()
-	net := c.snap.buildNetwork(c.topo)
-	v := c.evaluateInvariant(net, sub, nil, nil, true, false)
-	c.commitVerdict(sub, v, c.snap.snapshotID(), false)
-	e.runMu.Unlock()
-	return sub.id, nil
+	// Initial evaluation runs under the owning instance's run lock,
+	// serialized with re-verification passes so the first verdict cannot
+	// race a concurrent recheck of the same subscription. An initially-
+	// violated invariant is recorded in the violation log but not pushed
+	// in-band: the ack carries the verdict.
+	c.fleet.Register(sub, verifier.EvalContext{Build: c.passBuild, Workers: c.evalWorkers()})
+	return sub.ID, nil
 }
 
 // Unsubscribe removes a standing invariant; it reports whether the id was
 // registered to the given client.
 func (c *Controller) Unsubscribe(clientID, id uint64) bool {
-	e := c.subs
-	sh := e.shardFor(id)
-	sh.mu.Lock()
-	sub, ok := sh.subs[id]
-	if !ok || sub.clientID != clientID {
-		sh.mu.Unlock()
+	if !c.fleet.Unsubscribe(clientID, id) {
 		return false
 	}
-	e.removeLocked(sh, sub)
-	sh.mu.Unlock()
 	c.persistRemove(id)
 	return true
 }
@@ -508,127 +282,70 @@ func (c *Controller) Unsubscribe(clientID, id uint64) bool {
 // nonce — the cleanup path for a client whose subscribe ack was lost and
 // who therefore never learned the SubID.
 func (c *Controller) unsubscribeByNonce(clientID, nonce uint64) (uint64, bool) {
-	if nonce == 0 {
+	id, ok := c.fleet.UnsubscribeByNonce(clientID, nonce)
+	if !ok {
 		return 0, false
 	}
-	e := c.subs
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.Lock()
-		for id, sub := range sh.subs {
-			if sub.clientID == clientID && sub.nonce == nonce {
-				e.removeLocked(sh, sub)
-				sh.mu.Unlock()
-				c.persistRemove(id)
-				return id, true
-			}
-		}
-		sh.mu.Unlock()
-	}
-	return 0, false
-}
-
-// verdict is one invariant evaluation outcome.
-type verdict struct {
-	violated bool
-	detail   string
-	fp       headerspace.Footprint
+	c.persistRemove(id)
+	return id, true
 }
 
 // evaluateInvariant runs one standing invariant against the compiled
 // network, capturing the footprint for future incremental revalidation.
 // dirty is the current pass's dirty switch set; deltas (nil under
 // per-switch dispatch, RevalidateAll and the legacy ablation) refines it
-// with each dirty switch's rule-delta header space. fullSweep forces
-// from-scratch evaluation (registration, RevalidateAll, legacy mode) —
-// isolation invariants otherwise re-sweep only the injection points whose
-// cached cone was dirtied (isolation.go). pooled marks evaluation inside
-// a multi-worker pass, where isolation sweeps must not nest a second
-// fan-out. Callers hold the engine's run lock (directly or by running
-// inside a pass's worker pool).
-func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Space, fullSweep, pooled bool) verdict {
-	space := scopeSpace(sub.constraints)
-	at, port := headerspace.NodeID(sub.req.sw), headerspace.PortID(sub.req.port)
-	switch sub.kind {
+// with each dirty switch's rule-delta header space and ingress ports.
+// fullSweep forces from-scratch evaluation (registration, RevalidateAll,
+// legacy mode) — isolation invariants otherwise re-sweep only the
+// injection points whose cached cone was dirtied (isolation.go). pooled
+// marks evaluation inside a multi-worker pass, where isolation sweeps must
+// not nest a second fan-out. Called with the owning instance's run lock
+// held (directly or from a pass's worker pool).
+func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *verifier.Subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Delta, fullSweep, pooled bool) verifier.Verdict {
+	space := scopeSpace(sub.Constraints)
+	at, port := headerspace.NodeID(sub.Anchor.Switch), headerspace.PortID(sub.Anchor.Port)
+	switch sub.Kind {
 	case wire.QueryReachableDestinations:
 		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{})
-		eps := c.collectEndpoints(results, sub.req)
+		eps := c.collectEndpoints(results, reqOf(sub))
 		if len(eps) == 0 {
-			return verdict{violated: true, detail: "no reachable destinations for scoped traffic", fp: fp}
+			return verifier.Verdict{Violated: true, Detail: "no reachable destinations for scoped traffic", FP: fp}
 		}
-		return verdict{detail: fmt.Sprintf("%d reachable endpoint(s)", len(eps)), fp: fp}
+		return verifier.Verdict{Detail: fmt.Sprintf("%d reachable endpoint(s)", len(eps)), FP: fp}
 	case wire.QueryIsolation:
 		return c.evaluateIsolation(net, sub, dirty, deltas, fullSweep, pooled)
 	case wire.QueryPathLength:
 		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{KeepLoops: true})
-		violated, detail := pathLengthVerdict(results, sub.bound)
-		return verdict{violated: violated, detail: detail, fp: fp}
+		violated, detail := pathLengthVerdict(results, sub.Bound)
+		return verifier.Verdict{Violated: violated, Detail: detail, FP: fp}
 	case wire.QueryWaypointAvoidance:
 		results, fp := net.ReachFootprint(at, port, space, headerspace.ReachOptions{})
-		violated, detail := c.waypointVerdict(results, sub.param)
-		return verdict{violated: violated, detail: detail, fp: fp}
+		violated, detail := c.waypointVerdict(results, sub.Param)
+		return verifier.Verdict{Violated: violated, Detail: detail, FP: fp}
 	}
-	return verdict{violated: false, detail: "unsupported kind", fp: headerspace.NewFootprint()}
+	return verifier.Verdict{Violated: false, Detail: "unsupported kind", FP: headerspace.NewFootprint()}
 }
 
-// commitVerdict publishes one evaluation outcome, re-syncs the inverted
-// footprint index with the new footprint and, on a verdict transition,
-// appends a violation-log record and (when notify is set) queues a signed
-// in-band notification to the subscriber. Callers hold the engine's run
-// lock; the shard mutex makes the publication atomic against concurrent
-// Subscribe/Unsubscribe on other subscriptions of the same shard.
-func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, notify bool) {
-	e := c.subs
-	sh := e.shardFor(sub.id)
-	sh.mu.Lock()
-	if sub.removed {
-		// Unsubscribed while the evaluation ran: the index entries are
-		// gone; publishing (or re-indexing) would resurrect a dead
-		// invariant.
-		sh.mu.Unlock()
-		return
+// onVerifierCommit is the engine's commit fan-out, called by the owning
+// instance OUTSIDE every engine lock, only on a subscription's first
+// commit or on a verdict transition. Durable state (spec + verdict + seq)
+// is appended on both; the violation log and the signed in-band
+// notification fire only on a transition. The verdict fields ride in the
+// Transition (captured under the shard lock), so the record can never mix
+// two commits.
+func (c *Controller) onVerifierCommit(t verifier.Transition) {
+	sub := t.Sub
+	if c.persist != nil {
+		c.persistUpsert(recordOfTransition(t))
 	}
-	e.stats.evaluated.Add(1)
-	prevViolated, prevEvaluated := sub.violated, sub.evaluated
-	added, removed := headerspace.DiffFootprints(sub.fp, v.fp)
-	sub.violated = v.violated
-	sub.detail = v.detail
-	sub.fp = v.fp
-	sub.evaluated = true
-	sub.needsFullEval = false
-	e.indexAdd(sub, added)
-	e.indexRemove(sub, removed)
-	changed := (prevEvaluated && prevViolated != v.violated) || (!prevEvaluated && v.violated)
-	var seq uint64
-	if changed {
-		sub.seq++
-		seq = sub.seq
-		if v.violated {
-			e.stats.violations.Add(1)
-		} else {
-			e.stats.recoveries.Add(1)
-		}
-	}
-	// Durable state (spec + verdict + seq) is appended on first commit and
-	// on every verdict transition; a re-evaluation that confirms the
-	// stored verdict changes nothing durable. The record is captured under
-	// the shard lock so it can never mix two commits' fields.
-	var rec *SubscriptionRecord
-	if c.persist != nil && (!prevEvaluated || changed) {
-		rec = recordOfLocked(sub)
-	}
-	sh.mu.Unlock()
-	if rec != nil {
-		c.persistUpsert(rec)
-	}
-	if !changed {
+	if !t.Changed {
 		return
 	}
 
 	event := history.EventRecovery
 	nev := wire.NotifyRecovery
 	status := wire.StatusOK
-	if v.violated {
+	if t.Violated {
 		event = history.EventViolation
 		nev = wire.NotifyViolation
 		status = wire.StatusViolation
@@ -636,33 +353,37 @@ func (c *Controller) commitVerdict(sub *subscription, v verdict, snapID uint64, 
 	c.vlog.Append(history.Violation{
 		At:         c.cfg.Clock(),
 		Event:      event,
-		SubID:      sub.id,
-		ClientID:   sub.clientID,
-		Kind:       sub.kind.String(),
-		Detail:     v.detail,
-		SnapshotID: snapID,
+		SubID:      sub.ID,
+		ClientID:   sub.ClientID,
+		Kind:       sub.Kind.String(),
+		Detail:     t.Detail,
+		SnapshotID: t.SnapshotID,
 	})
-	if notify {
-		c.sendNotification(sub, nev, status, v.detail, seq, snapID)
+	if t.Notify {
+		c.sendNotification(sub, nev, status, t.Detail, t.Seq, t.SnapshotID)
 	}
 }
 
 // sendNotification signs one notification and hands it to the asynchronous
 // delivery queue. The queue is bounded and the enqueue never blocks: a
-// wedged or dead subscriber can stall neither a recheck worker nor the
-// engine's run lock. Dropped notifications surface at the client as a
-// Notification.Seq gap, which triggers its re-subscribe recovery.
-func (c *Controller) sendNotification(sub *subscription, event wire.NotifyEvent, status wire.ResponseStatus, detail string, seq, snapID uint64) {
-	if sub.req.mac == 0 && sub.req.ip == 0 {
+// wedged or dead subscriber can stall neither a recheck worker nor an
+// instance's run lock. Dropped notifications surface at the client as a
+// Notification.Seq gap, which triggers its re-subscribe recovery. The
+// queue is controller-global: verdict streams from different fleet
+// instances merge here, and per-subscription ordering is preserved because
+// each subscription is owned by one instance and evaluated at most once
+// per pass.
+func (c *Controller) sendNotification(sub *verifier.Subscription, event wire.NotifyEvent, status wire.ResponseStatus, detail string, seq, snapID uint64) {
+	if sub.Anchor.MAC == 0 && sub.Anchor.IP == 0 {
 		return // no in-band delivery point (in-process subscriber)
 	}
 	n := &wire.Notification{
 		Version:    wire.CurrentVersion,
 		Event:      event,
-		Kind:       sub.kind,
+		Kind:       sub.Kind,
 		Status:     status,
-		SubID:      sub.id,
-		Nonce:      sub.nonce,
+		SubID:      sub.ID,
+		Nonce:      sub.Nonce,
 		Seq:        seq,
 		SnapshotID: snapID,
 		Detail:     detail,
@@ -673,23 +394,23 @@ func (c *Controller) sendNotification(sub *subscription, event wire.NotifyEvent,
 	// registered with: legacy notification frames for v1, OpNotify
 	// envelopes (carrying the session) for v2.
 	var pkt *wire.Packet
-	if sub.proto >= wire.EnvelopeVersion {
-		pkt = wire.NewEnvelopeReplyPacket(sub.req.mac, sub.req.ip, &wire.Envelope{
+	if sub.Proto >= wire.EnvelopeVersion {
+		pkt = wire.NewEnvelopeReplyPacket(sub.Anchor.MAC, sub.Anchor.IP, &wire.Envelope{
 			Version:       wire.EnvelopeVersion,
 			Op:            wire.OpNotify,
-			CorrelationID: sub.nonce,
-			SessionID:     sub.sessionID,
+			CorrelationID: sub.Nonce,
+			SessionID:     sub.SessionID,
 			Body:          n.Marshal(),
 		})
 	} else {
-		pkt = wire.NewNotificationPacket(sub.req.mac, sub.req.ip, n)
+		pkt = wire.NewNotificationPacket(sub.Anchor.MAC, sub.Anchor.IP, n)
 	}
-	job := notifyJob{sw: sub.req.sw, port: sub.req.port, pkt: pkt}
+	job := notifyJob{sw: sub.Anchor.Switch, port: sub.Anchor.Port, pkt: pkt}
 	select {
 	case c.notifyQ <- job:
-		c.subs.stats.notificationsSent.Add(1)
+		c.svcStats.notificationsSent.Add(1)
 	default:
-		c.subs.stats.notificationsDrop.Add(1)
+		c.svcStats.notificationsDrop.Add(1)
 	}
 }
 
@@ -712,7 +433,7 @@ func (c *Controller) notifier() {
 			return
 		case j := <-c.notifyQ:
 			if !c.trySendPacketOut(j.sw, j.port, j.pkt) {
-				c.subs.stats.notificationsDrop.Add(1)
+				c.svcStats.notificationsDrop.Add(1)
 			}
 		}
 	}
@@ -736,11 +457,22 @@ func (c *Controller) trySendPacketOut(sw topology.SwitchID, outPort topology.Por
 	return sent && err == nil
 }
 
+// evalWorkers resolves the configured evaluation fan-out (GOMAXPROCS by
+// default).
+func (c *Controller) evalWorkers() int {
+	workers := c.fleet.Parallelism()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // RecheckNow runs one incremental re-verification pass synchronously:
 // the dirty switches since the last pass select the affected subscription
-// buckets from the inverted index, and only those invariants re-run —
-// fanned across the worker pool. The background worker calls this after
-// every applied snapshot change; experiments and tests call it directly.
+// buckets from the inverted index — on the fleet instances owning them —
+// and only those invariants re-run, fanned across the worker pool. The
+// background worker calls this after every applied snapshot change;
+// experiments and tests call it directly.
 func (c *Controller) RecheckNow() { c.recheckSubscriptions(false) }
 
 // RevalidateAll re-evaluates every standing invariant from scratch,
@@ -748,17 +480,13 @@ func (c *Controller) RecheckNow() { c.recheckSubscriptions(false) }
 // compares incremental re-verification against.
 func (c *Controller) RevalidateAll() { c.recheckSubscriptions(true) }
 
+// recheckSubscriptions assembles one re-verification pass and hands it to
+// the fleet. recheckMu serializes pass assembly so the generation baseline
+// diff and the drained deltas stay consistent (one drain per pass); the
+// per-instance run locks then serialize the evaluations themselves.
 func (c *Controller) recheckSubscriptions(force bool) {
-	e := c.subs
-	e.runMu.Lock()
-	defer e.runMu.Unlock()
-
-	// Subscriptions restored from the persistence store re-verify on the
-	// next pass regardless of the dirty set: their verdict is durable
-	// state, but their footprints and cones are not, and the network may
-	// have changed arbitrarily while the controller was down.
-	restored := e.pendingRestore
-	e.pendingRestore = nil
+	c.recheckMu.Lock()
+	defer c.recheckMu.Unlock()
 
 	// The drained deltas describe exactly the changes between the previous
 	// pass's generation baseline and this one (one lock acquisition covers
@@ -766,34 +494,35 @@ func (c *Controller) recheckSubscriptions(force bool) {
 	_, gens, deltas := c.snap.generationsAndDeltas()
 	var dirty []headerspace.NodeID
 	for sw, g := range gens {
-		if e.lastGen[sw] != g {
+		if c.lastGen[sw] != g {
 			dirty = append(dirty, headerspace.NodeID(sw))
 		}
 	}
-	e.lastGen = gens
-	if !force && len(dirty) == 0 && len(restored) == 0 {
+	c.lastGen = gens
+	if !force && len(dirty) == 0 && !c.fleet.HasPendingRestore() {
 		return
 	}
 
-	legacy := e.legacyScan.Load()
-	perSwitch := e.perSwitch.Load() || force || legacy
+	legacy := c.fleet.LegacyScan()
+	perSwitch := c.fleet.PerSwitchDispatch() || force || legacy
 	// deltaByNode maps each dirty switch to its pending rule delta. Dirty
 	// switches whose delta is semantically empty — a fully shadowed insert,
 	// meter-only churn, interception-rule churn — are dropped from dispatch
 	// entirely: no packet's forwarding behavior changed, so no invariant
 	// can flip. A dirty switch with no drained delta (engine attached after
-	// store churn) conservatively widens to the full header space.
-	var deltaByNode map[headerspace.NodeID]headerspace.Space
+	// store churn) conservatively widens to the full header space on any
+	// port.
+	var deltaByNode map[headerspace.NodeID]headerspace.Delta
 	dispatch := dirty
 	if !perSwitch {
-		deltaByNode = make(map[headerspace.NodeID]headerspace.Space, len(dirty))
+		deltaByNode = make(map[headerspace.NodeID]headerspace.Delta, len(dirty))
 		dispatch = make([]headerspace.NodeID, 0, len(dirty))
 		for _, n := range dirty {
 			d, ok := deltas[topology.SwitchID(n)]
 			if !ok {
-				d = headerspace.FullSpace(wire.HeaderWidth)
+				d = headerspace.Delta{Space: headerspace.FullSpace(wire.HeaderWidth)}
 			}
-			if d.IsEmpty() {
+			if d.Space.IsEmpty() {
 				continue
 			}
 			deltaByNode[n] = d
@@ -801,97 +530,14 @@ func (c *Controller) recheckSubscriptions(force bool) {
 		}
 	}
 
-	var targets []*subscription
-	var active, free uint64
-	if force || legacy {
-		// Full enumeration: RevalidateAll re-runs everything; the legacy
-		// ablation reproduces the pre-index engine's linear footprint scan.
-		// Restored subscriptions are already in the shards, so the
-		// enumeration covers them (their needsFullEval flag, not their
-		// empty footprint, is what forces their evaluation).
-		for i := range e.shards {
-			sh := &e.shards[i]
-			sh.mu.Lock()
-			for _, sub := range sh.subs {
-				active++
-				if force || sub.needsFullEval || sub.fp.Invalidated(dirty) {
-					targets = append(targets, sub)
-				} else {
-					free++
-				}
-			}
-			sh.mu.Unlock()
-		}
-	} else {
-		// Indexed dirty dispatch: the union of the dispatch switches'
-		// buckets is the set of invariants whose footprint was touched;
-		// the rule-delta overlap filter then discards the ones whose
-		// recorded traversal slice misses every delta (their evaluation is
-		// a function of transfer-function behavior on exactly those
-		// slices, none of which changed).
-		seen := make(map[uint64]*subscription)
-		for _, n := range dispatch {
-			ish := e.indexFor(n)
-			ish.mu.Lock()
-			for id, sub := range ish.buckets[n] {
-				seen[id] = sub
-			}
-			ish.mu.Unlock()
-		}
-		targets = make([]*subscription, 0, len(seen))
-		for _, sub := range seen {
-			// sub.fp is written only under runMu (commitVerdict), which we
-			// hold: the read is race-free. The pass-start perSwitch capture
-			// (not a re-load) decides the filter: a concurrent
-			// SetRecheckTuning flip must not turn a per-switch pass (nil
-			// deltaByNode) into a delta-filtered one mid-loop, which would
-			// skip every target against an empty delta map.
-			if perSwitch || sub.fp.InvalidatedBy(deltaByNode) {
-				targets = append(targets, sub)
-			} else {
-				e.stats.deltaSkipped.Add(1)
-			}
-		}
-		e.stats.indexDispatched.Add(uint64(len(targets)))
-		// Restored subscriptions have no footprint yet, so no index bucket
-		// can dispatch them — they join every pass until re-verified.
-		targets = append(targets, restored...)
-		active = e.activeCount()
-		if n := uint64(len(targets)); active > n {
-			free = active - n
-		}
-	}
-	if active == 0 {
-		return
-	}
-	e.stats.rechecks.Add(1)
-	if free > 0 {
-		e.stats.revalidated.Add(free)
-	}
-	if len(targets) == 0 {
-		return
-	}
-
-	// Served from the compile cache: only dirty switches recompile.
-	net := c.snap.buildNetwork(c.topo)
-	snapID := c.snap.snapshotID()
-	fullSweep := force || legacy
-
-	workers := c.evalWorkers()
-	if legacy {
-		workers = 1
-	}
-	if workers > len(targets) {
-		workers = len(targets)
-	}
-	pooled := workers > 1
-	poolRun(len(targets), workers, func(i int) {
-		sub := targets[i]
-		// A restored subscription's first evaluation is always a full
-		// sweep: it has no footprint or cone state to be incremental
-		// against.
-		v := c.evaluateInvariant(net, sub, dirty, deltaByNode, fullSweep || sub.needsFullEval, pooled)
-		c.commitVerdict(sub, v, snapID, true)
+	c.fleet.Run(verifier.Pass{
+		Build:    c.passBuild,
+		Dirty:    dirty,
+		Deltas:   deltaByNode,
+		Dispatch: dispatch,
+		Force:    force,
+		Legacy:   legacy,
+		Workers:  c.evalWorkers(),
 	})
 }
 

@@ -1,0 +1,317 @@
+// Package verifier hosts the standing-invariant verification engine,
+// extracted from the controller so N instances can share the load.
+//
+// The paper's service model runs ONE verifier that owns the whole fabric.
+// The ROADMAP north star (10⁶ standing invariants across a multi-region
+// WAN, per-event work still O(touched)) breaks that assumption: this
+// package turns the monolithic in-controller recheck engine into
+// instances behind a fleet router.
+//
+//   - Instance is the engine core: sharded subscription map, inverted
+//     switch → subscriptions footprint index, per-pass worker pool,
+//     verdict commit with index re-sync. It is the former
+//     rvaas/subscriptions.go engine, verbatim in semantics.
+//   - Fleet owns global identity (subscription ids, replay nonces,
+//     ownership) and partitions standing invariants across instances by
+//     footprint: anchor-rooted invariants place by their anchor switch
+//     (the inverted index's bucket key — invariants whose footprints
+//     share a root land together, so a single-switch event touches few
+//     instances), full-space cones (isolation) spread by rendezvous hash.
+//   - The host (the controller) supplies an Env: invariant evaluation
+//     stays domain logic above this package, and every committed verdict
+//     transition is handed back OUT of the shard locks for persistence,
+//     violation-log append and notification delivery — the per-session
+//     ordered notifier is unchanged, so client-visible Notification.Seq
+//     semantics survive the partitioning.
+//
+// With one instance the fleet is bit-compatible with the pre-extraction
+// engine (same counters, same evaluation order discipline, same commit
+// rules); experiment E18 keeps N=1 as the differential reference for
+// N=4, like the per-switch dispatch reference of earlier PRs.
+package verifier
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/headerspace"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// ShardCount fixes the number of subscription map shards and inverted
+// index shards per instance (power of two so the shard pick is a mask).
+const ShardCount = 32
+
+// Anchor is the access point an invariant is registered at: the
+// subscriber's network card, where notifications are injected.
+type Anchor struct {
+	Switch topology.SwitchID
+	Port   topology.PortNo
+	MAC    uint64
+	IP     uint32
+}
+
+// Subscription is one standing invariant. Identity fields are immutable
+// after registration; verdict state (Violated, Detail, FP, Seq, Removed)
+// is guarded by the owning shard's mutex. The evaluation-only cone cache
+// (Cones) is touched only during evaluation, which the owning instance's
+// run lock serializes per subscription.
+type Subscription struct {
+	ID          uint64
+	ClientID    uint64
+	Nonce       uint64
+	Kind        wire.QueryKind
+	Constraints []wire.FieldConstraint
+	Param       string
+	Bound       int // parsed Param for path-length invariants
+	Anchor      Anchor
+	// SessionID is the client session the invariant was registered under
+	// (protocol v2); session resume enumerates by it. Proto is the
+	// envelope version notifications are encoded with.
+	SessionID uint64
+	Proto     uint8
+
+	Violated  bool
+	Detail    string
+	FP        headerspace.Footprint
+	Evaluated bool
+	Removed   bool
+	Seq       uint64
+
+	// NeedsFullEval marks a subscription restored from the persistence
+	// store: its verdict/seq are durable state but footprint and cones
+	// are not, so the next pass re-evaluates it from scratch regardless
+	// of the dirty set.
+	NeedsFullEval bool
+
+	// Cones is the host's per-subscription evaluation cache (the
+	// controller's isolation cone cache); opaque to this package. It
+	// moves with the subscription on rebalance.
+	Cones any
+}
+
+// Source carries the wire-level provenance of a registration: the
+// operation nonce (0 for in-process callers), the client session (v2) and
+// the protocol version notifications must be encoded with.
+type Source struct {
+	Nonce     uint64
+	SessionID uint64
+	Proto     uint8
+}
+
+// NewSubscription validates an invariant spec and builds the
+// (unregistered) subscription object. Shared by single registration,
+// batch registration and persistence restore.
+func NewSubscription(clientID uint64, src Source, kind wire.QueryKind, constraints []wire.FieldConstraint, param string, anchor Anchor) (*Subscription, error) {
+	sub := &Subscription{
+		ClientID:    clientID,
+		Nonce:       src.Nonce,
+		SessionID:   src.SessionID,
+		Proto:       src.Proto,
+		Kind:        kind,
+		Constraints: append([]wire.FieldConstraint(nil), constraints...),
+		Param:       param,
+		Anchor:      anchor,
+	}
+	switch kind {
+	case wire.QueryReachableDestinations, wire.QueryIsolation, wire.QueryWaypointAvoidance:
+	case wire.QueryPathLength:
+		bound, err := strconv.Atoi(param)
+		if err != nil {
+			return nil, fmt.Errorf("verifier: path-length subscription needs integer Param, got %q", param)
+		}
+		sub.Bound = bound
+	default:
+		return nil, fmt.Errorf("verifier: unsupported subscription kind %s", kind)
+	}
+	return sub, nil
+}
+
+// Verdict is one invariant evaluation outcome, produced by the host's
+// Env.Evaluate. The isolation cone-cache counters ride along so the
+// evaluator never touches engine state directly.
+type Verdict struct {
+	Violated bool
+	Detail   string
+	FP       headerspace.Footprint
+	// IsoPointsSwept/IsoPointsReused count per-injection-point cone
+	// evaluations re-run versus served from the cone cache during this
+	// evaluation (zero for non-isolation kinds).
+	IsoPointsSwept  uint64
+	IsoPointsReused uint64
+}
+
+// Transition is one committed verdict publication, handed to Env.Commit
+// OUTSIDE the shard lock — only on first commit or on a verdict flip.
+// Identity fields are read through Sub (immutable after registration);
+// the verdict fields are copies captured under the shard lock, so the
+// record can never mix two commits.
+type Transition struct {
+	Sub      *Subscription
+	Violated bool
+	Detail   string
+	// Seq is the subscription's notification sequence number after this
+	// commit (incremented exactly when Changed).
+	Seq        uint64
+	SnapshotID uint64
+	// First marks the subscription's first-ever commit; Changed marks a
+	// verdict flip (the notification-worthy event). Durable state should
+	// be written when First || Changed; log/notify when Changed.
+	Changed bool
+	First   bool
+	// Notify is false for registration-time initial evaluations (the ack
+	// carries the verdict) and true for recheck passes.
+	Notify bool
+}
+
+// Env is the host side of the engine: invariant evaluation (domain logic
+// over the compiled network) and commit fan-out (persistence, violation
+// log, notification delivery). Evaluate is called with the owning
+// instance's run lock held (directly or from a pass's worker pool);
+// Commit is called outside every engine lock.
+type Env interface {
+	Evaluate(net *headerspace.Network, sub *Subscription, dirty []headerspace.NodeID, deltas map[headerspace.NodeID]headerspace.Delta, fullSweep, pooled bool) Verdict
+	Commit(t Transition)
+}
+
+// EvalContext parameterizes registration-time initial evaluations. Build
+// returns the compiled network and snapshot id; it is called inside the
+// instance's run lock and must be idempotent (the fleet wraps it in a
+// sync.Once when fanning one context across instances).
+type EvalContext struct {
+	Build   func() (*headerspace.Network, uint64)
+	Workers int
+}
+
+// Pass describes one re-verification pass, assembled by the host from the
+// drained snapshot deltas and fanned by the fleet to the owning
+// instances.
+type Pass struct {
+	// Build returns the compiled network and snapshot id; called only if
+	// an instance has evaluation targets (so a pass that revalidates
+	// everything for free never compiles).
+	Build func() (*headerspace.Network, uint64)
+	// Dirty is the switches whose generation advanced since the previous
+	// pass. Deltas refines each dispatch switch with its rule-delta
+	// header space; nil Deltas selects per-switch dispatch (every
+	// invariant in a dirty bucket re-runs). Dispatch is the dirty set
+	// actually dispatched through the index (dirty minus switches whose
+	// delta is semantically empty).
+	Dirty    []headerspace.NodeID
+	Deltas   map[headerspace.NodeID]headerspace.Delta
+	Dispatch []headerspace.NodeID
+	// Force re-evaluates everything from scratch (RevalidateAll); Legacy
+	// reproduces the pre-sharding engine (linear scan, sequential
+	// evaluation, full sweeps).
+	Force  bool
+	Legacy bool
+	// Workers bounds the evaluation fan-out across the whole pass; the
+	// fleet divides it among concurrently-running instances.
+	Workers int
+}
+
+// SubState is a read-only snapshot of one standing invariant, taken under
+// its shard lock.
+type SubState struct {
+	ID        uint64
+	ClientID  uint64
+	SessionID uint64
+	Nonce     uint64
+	Proto     uint8
+	Kind      wire.QueryKind
+	Param     string
+	Anchor    Anchor
+	Violated  bool
+	Evaluated bool
+	Detail    string
+	Seq       uint64
+	// FootprintSize is the number of switches the last evaluation
+	// consulted; Instance is the owning fleet instance.
+	FootprintSize int
+	Instance      int
+}
+
+// InstanceStats is one instance's engine counters.
+type InstanceStats struct {
+	Instance       int
+	Active         int
+	Violated       int
+	PendingRestore int
+	IndexBuckets   int
+	IndexEntries   int
+
+	Registered      uint64
+	Removed         uint64
+	Restored        uint64
+	Evaluated       uint64
+	IndexDispatched uint64
+	DeltaSkipped    uint64
+	Violations      uint64
+	Recoveries      uint64
+	IsoPointsSwept  uint64
+	IsoPointsReused uint64
+}
+
+// ShardInfo is one shard's occupancy within an instance.
+type ShardInfo struct {
+	Shard        int
+	Active       int
+	Violated     int
+	IndexBuckets int
+	IndexEntries int
+}
+
+// VerifierInstance is the narrow surface the fleet router drives. Instance
+// implements it; tests substitute fakes.
+type VerifierInstance interface {
+	// RegisterBatch inserts pre-validated subscriptions (ids assigned by
+	// the fleet) and runs their initial evaluations under one run-lock
+	// acquisition.
+	RegisterBatch(subs []*Subscription, ec EvalContext)
+	// Unsubscribe removes one standing invariant; it reports whether the
+	// id was registered here to the given client.
+	Unsubscribe(clientID, id uint64) bool
+	// ApplyDeltas runs one re-verification pass over this instance's
+	// subscriptions, returning the number of invariants evaluated.
+	ApplyDeltas(p Pass) int
+	// ResumeSlice snapshots the instance's subscriptions of one client
+	// session.
+	ResumeSlice(clientID, sessionID uint64) []SubState
+	// Stats returns the instance's counters.
+	Stats() InstanceStats
+}
+
+var _ VerifierInstance = (*Instance)(nil)
+
+// poolRun fans f(i) for i in [0,n) across the given number of workers
+// (sequentially when workers <= 1).
+func poolRun(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

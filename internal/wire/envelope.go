@@ -64,6 +64,11 @@ const (
 	// session, so the client rebases instead of blindly re-subscribing.
 	OpSessionResume
 	OpSessionResumeReply
+	// OpChunk is one fragment of a logical envelope too large for the UDP
+	// frame budget: the outer envelope's CorrelationID is the continuation
+	// id shared by every fragment of the chain, and the body (Chunk) names
+	// the inner op plus this fragment's position. See chunk.go.
+	OpChunk
 )
 
 // String names the op.
@@ -93,6 +98,8 @@ func (op Op) String() string {
 		return "session-resume"
 	case OpSessionResumeReply:
 		return "session-resume-reply"
+	case OpChunk:
+		return "chunk"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }

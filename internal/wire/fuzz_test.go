@@ -30,6 +30,8 @@ func fuzzSeeds() [][]byte {
 	resume := &SessionResumeRequest{Version: CurrentVersion, ClientID: 3, Nonce: 94, SessionID: 12,
 		Entries: []ResumeEntry{{SubID: 1, LastSeq: 2}}, Signature: []byte{7}}
 	env := &Envelope{Version: EnvelopeVersion, Op: OpSubscribe, CorrelationID: 98, SessionID: 12, Body: sr.Marshal()}
+	chunk := &Chunk{InnerOp: OpBatchSubscribe, Index: 0, Total: 2, Fragment: batch.Marshal()[:16]}
+	chunkEnv := &Envelope{Version: EnvelopeVersion, Op: OpChunk, CorrelationID: 97, SessionID: 12, Body: chunk.Marshal()}
 
 	return [][]byte{
 		q.Marshal(),
@@ -40,6 +42,8 @@ func fuzzSeeds() [][]byte {
 		bq.Marshal(),
 		resume.Marshal(),
 		env.Marshal(),
+		chunk.Marshal(),
+		chunkEnv.Marshal(),
 		NewQueryPacket(2, 3, q).Marshal(),
 		NewSubscribePacket(2, 3, sr).Marshal(),
 		NewEnvelopePacket(2, 3, env).Marshal(),
@@ -61,6 +65,15 @@ func FuzzEnvelopeRoundtrip(f *testing.F) {
 			}
 			if !bytes.Equal(re.Marshal(), env.Marshal()) {
 				t.Fatal("envelope re-encode not stable")
+			}
+		}
+		if c, err := UnmarshalChunk(data); err == nil {
+			re, err := UnmarshalChunk(c.Marshal())
+			if err != nil {
+				t.Fatalf("chunk re-decode failed: %v", err)
+			}
+			if !bytes.Equal(re.Marshal(), c.Marshal()) {
+				t.Fatal("chunk re-encode not stable")
 			}
 		}
 		if q, err := UnmarshalQueryRequest(data); err == nil {

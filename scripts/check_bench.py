@@ -29,6 +29,11 @@ emits (cmd/benchharness -json):
        channel loss) detects the partition within the liveness contract,
        reports ZERO stale-green samples, and heals through the children's
        own rejoin backoff (>= 1 rejoin per row) within a bounded window.
+     * E18: every verifier-fleet arm's verdict/detail/seq stream is
+       byte-identical to the N=1 reference (verdicts-match == 1), and on
+       the anchor-rooted population the N=4 footprint fleet confines a
+       single-switch pass to strictly fewer instances than the fleet size
+       (dispatch reaches only the instances owning a dirty bucket).
 
 2. Regression gate — when a previous run's artifacts are available (pass
    the directory as --prev), every key metric is diffed against its
@@ -154,6 +159,27 @@ def check_claims(cur):
             failures.append(
                 f"e16: {key} rejoins = {rejoins:.0f} (healing did not go through the child's "
                 "rejoin backoff)")
+
+    e18 = cur.get("e18", {})
+    FLEET_ARMS = [
+        f"fatwan-4x6/{pop}/n={n}-{placement}"
+        for pop in ("reach", "mixed")
+        for n, placement in ((1, "footprint"), (4, "footprint"), (4, "rendezvous"))
+    ]
+    for key in FLEET_ARMS:
+        match = e18.get(f"{key}/verdicts-match", (-1.0, ""))[0]
+        print(f"e18: {key} verdicts-match = {match:.0f} (require 1)")
+        if match != 1.0:
+            failures.append(
+                f"e18: {key} verdicts-match = {match:.0f} (the fleet's merged verdict stream "
+                "diverged from the N=1 reference engine)")
+    key = "fatwan-4x6/reach/n=4-footprint"
+    touched = e18.get(f"{key}/touched-per-pass", (float("inf"), ""))[0]
+    print(f"e18: {key} touched/pass = {touched:.2f} of 4 instances (require < 4)")
+    if touched >= 4.0:
+        failures.append(
+            f"e18: {key} single-switch passes touched {touched:.2f} of 4 instances "
+            "(footprint placement is not confining dispatch to owning instances)")
     return failures
 
 
