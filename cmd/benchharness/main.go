@@ -48,6 +48,11 @@ type experiment struct {
 	run   func(iters int) error
 }
 
+// benchSeed drives every seeded experiment (-seed): the e5 flap sweep's
+// randomized poll phases and the e16 fault-injection profiles. One value,
+// one reproducible run.
+var benchSeed int64 = 17
+
 var experimentTable = []experiment{
 	{"e1", "end-to-end query latency (Fig.1+2 round trip)", e1},
 	{"e2", "HSA reachability cost vs rule count", e2},
@@ -168,12 +173,14 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit BENCH_<EXPERIMENT>.json files with machine-readable metrics")
 	outDir := fs.String("outdir", ".", "directory for -json output files")
 	topoSpec := fs.String("topology", "", "lab spec file (YAML/JSON); topology-driven experiments then measure the declared lab instead of the built-in generator sweep")
+	seed := fs.Int64("seed", 17, "RNG seed threaded through the seeded experiments (e5 poll phases, e16 fault profiles)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *iters < 1 {
 		*iters = 1
 	}
+	benchSeed = *seed
 	if *topoSpec != "" {
 		spec, err := labspec.Load(*topoSpec)
 		if err != nil {
@@ -343,7 +350,7 @@ func e4(int) error {
 
 func e5(int) error {
 	rows, err := experiments.FlapSweep(
-		[]float64{0.1, 0.3, 0.5, 0.7, 0.9}, 10*time.Second, 600*time.Second, 17)
+		[]float64{0.1, 0.3, 0.5, 0.7, 0.9}, 10*time.Second, 600*time.Second, benchSeed)
 	if err != nil {
 		return err
 	}
@@ -675,7 +682,7 @@ func e16(int) error {
 	fmt.Printf("%-10s %-6s %-11s %-15s %-18s %-12s %-9s %-10s\n",
 		"lab", "loss%", "partition", "detach-detect", "reattach-converge", "stale-green", "rejoins", "ch-dropped")
 	childCmd := func(string) []string { return []string{os.Args[0], "--placed-child"} }
-	rows, err := experiments.FaultEnvelopeSweep(childCmd, nil)
+	rows, err := experiments.FaultEnvelopeSweep(childCmd, nil, benchSeed)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ import (
 //	rvaasd ops verifiers rebalance
 //	rvaasd ops sessions
 //	rvaasd ops procs
+//	rvaasd ops campaign
 //	rvaasd ops history <sub-id>
 //	rvaasd ops resync <switch-id>
 //	rvaasd ops faults
@@ -37,7 +38,7 @@ import (
 // process exit codes (see exitCode).
 func runOps(args []string) error {
 	if len(args) == 0 {
-		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, verifiers, sessions, procs, history, resync or faults)")
+		return usageErr("rvaasd ops: missing verb (want overview, version, subs, shards, verifiers, sessions, procs, campaign, history, resync or faults)")
 	}
 	verb, rest := args[0], args[1:]
 	// faults and verifiers take a sub-action (inject, clear, rebalance)
@@ -107,6 +108,8 @@ func runOps(args []string) error {
 		return cli.sessions()
 	case "procs":
 		return cli.procs()
+	case "campaign":
+		return cli.campaign()
 	case "history":
 		if fs.NArg() != 1 {
 			return usageErr("rvaasd ops history: want exactly one subscription ID")
@@ -143,7 +146,7 @@ func runOps(args []string) error {
 		}
 		return usageErr("rvaasd ops faults: unknown action %q (want inject, clear, or no action to list)", sub)
 	}
-	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, verifiers, sessions, procs, history, resync or faults)", verb)
+	return usageErr("rvaasd ops: unknown verb %q (want overview, version, subs, shards, verifiers, sessions, procs, campaign, history, resync or faults)", verb)
 }
 
 // Distinct exit codes per failure class, so scripts driving `rvaasd ops`
@@ -280,6 +283,7 @@ func (c *opsClient) overview() error {
 	fmt.Fprintf(out, "engine: rechecks=%d evaluated=%d revalidated-free=%d indexDispatched=%d deltaSkipped=%d\n",
 		ov.Rechecks, ov.Evaluated, ov.Revalidated, ov.IndexDispatched, ov.DeltaSkipped)
 	fmt.Fprintf(out, "verdicts: violations=%d recoveries=%d\n", ov.Violations, ov.Recoveries)
+	fmt.Fprintf(out, "violation-log: retained=%d/%d dropped=%d\n", ov.VlogRetained, ov.VlogCapacity, ov.VlogDropped)
 	fmt.Fprintf(out, "controller: polls=%d passiveEvents=%d resyncs=%d queries=%d\n",
 		ov.ActivePolls, ov.PassiveEvents, ov.Resyncs, ov.QueriesServed)
 	return nil
@@ -446,6 +450,34 @@ func (c *opsClient) procs() error {
 			p.Name, p.Role, p.Proc, p.PID, p.State, detail)
 	}
 	fmt.Fprintf(out, "-- %d processes\n", view.Total)
+	return nil
+}
+
+func (c *opsClient) campaign() error {
+	var view admin.CampaignView
+	if err := c.get("/v1/campaign", &view); err != nil {
+		return err
+	}
+	state := "finished"
+	if view.Running {
+		state = "running"
+	}
+	fmt.Fprintf(out, "campaign %s: seed=%d oracle=%s step=%d/%d\n",
+		state, view.Seed, view.Oracle, view.Step, view.Steps)
+	if view.LastAction != "" {
+		fmt.Fprintf(out, "last action: %s\n", view.LastAction)
+	}
+	fmt.Fprintf(out, "streams: events=%d transitions=%d staleGreenMax=%s\n",
+		view.Events, view.Transitions, view.StaleGreenMax)
+	if view.Fingerprint != "" {
+		fmt.Fprintf(out, "fingerprint: %s\n", view.Fingerprint)
+	}
+	if view.Diverged && view.Divergence != nil {
+		fmt.Fprintf(out, "DIVERGED at step %d (%s): %s divergence: %s\n",
+			view.Divergence.Step, view.Divergence.Action, view.Divergence.Kind, view.Divergence.Detail)
+	} else {
+		fmt.Fprintln(out, "no divergence")
+	}
 	return nil
 }
 

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shrink reduces a diverging action trace to a 1-minimal reproducer using
+// delta debugging (ddmin): repeatedly re-executing candidate sub-traces
+// against fresh lab+oracle pairs and keeping any that still produce a
+// divergence of the same kind. Because every action is concrete (rule sets,
+// targets and attack parameters derive from the action's own Key, never
+// from trace position), any sub-trace is executable, which is what makes
+// ddmin applicable at all.
+//
+// The result is 1-minimal: removing any single remaining action makes the
+// divergence disappear. Each probe costs a full lab bring-up, so expect
+// shrinking to dominate campaign wall time.
+func Shrink(cfg Config, actions []Action) ([]Action, *Result, error) {
+	cfg = cfg.withDefaults()
+	base, err := New(cfg).Execute(actions)
+	if err != nil {
+		return nil, nil, err
+	}
+	if base.Divergence == nil {
+		return nil, nil, errors.New("campaign: trace does not diverge; nothing to shrink")
+	}
+	kind := base.Divergence.Kind
+	probes := 0
+	fails := func(trace []Action) (*Result, bool) {
+		probes++
+		r, err := New(cfg).Execute(trace)
+		if err != nil {
+			// A sub-trace that breaks the lab itself (not the oracle) is
+			// treated as non-reproducing: shrinking must converge on the
+			// divergence, not on unrelated failures.
+			return nil, false
+		}
+		return r, r.Divergence != nil && r.Divergence.Kind == kind
+	}
+
+	cur, res := actions, base
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Action, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if r, ok := fails(cand); ok {
+				cfg.Logf("shrink: %d -> %d actions (probe %d)", len(cur), len(cand), probes)
+				cur, res = cand, r
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n == len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	cfg.Logf("shrink: minimal trace has %d action(s) after %d probe(s): %s",
+		len(cur), probes, summarize(cur))
+	return cur, res, nil
+}
+
+func summarize(actions []Action) string {
+	s := ""
+	for i, a := range actions {
+		if i > 0 {
+			s += "; "
+		}
+		s += a.String()
+	}
+	if s == "" {
+		s = "<empty>"
+	}
+	return fmt.Sprintf("[%s]", s)
+}

@@ -476,6 +476,22 @@ func (d *Deployment) RestartRVaaS() error {
 	return nil
 }
 
+// ReattachSwitch re-establishes one switch's secure control channel after a
+// Detach — the single-switch "restart" adversarial campaigns exercise
+// mid-batch. The switch keeps its flow table (the process survived; only
+// the session dropped), and the controller's re-attach path force-resyncs
+// so its wiped snapshot re-bases on the switch's authoritative state.
+func (d *Deployment) ReattachSwitch(sw topology.SwitchID) error {
+	if d.Placed != nil {
+		return fmt.Errorf("deploy: ReattachSwitch is not supported for placed labs (the child process owns the channel)")
+	}
+	ctlID, err := openflow.NewIdentity("rvaas-reattach")
+	if err != nil {
+		return err
+	}
+	return attachSwitchList([]topology.SwitchID{sw}, d.Fabric, d.RVaaS, d.CA, ctlID, d.CA.Issue(ctlID), d.opt)
+}
+
 // Shutdown tears the deployment down in dependency order — client agents
 // first (so no new in-band requests arrive), then the RVaaS controller
 // (which detaches every switch session), then the fabric — with the whole

@@ -96,8 +96,9 @@ type FaultEnvelopeRow struct {
 // FaultEnvelopeSweep runs the three envelope rows: a clean partition, the
 // same partition under 5% channel loss, and a longer partition under the
 // same loss. childCmd spawns the lab's child processes (the benchharness
-// re-execs itself); logf receives child/deploy logs (nil discards).
-func FaultEnvelopeSweep(childCmd func(string) []string, logf func(string, ...any)) ([]FaultEnvelopeRow, error) {
+// re-execs itself); logf receives child/deploy logs (nil discards); seed
+// drives the loss profiles' RNG so a sweep is reproducible end to end.
+func FaultEnvelopeSweep(childCmd func(string) []string, logf func(string, ...any), seed int64) ([]FaultEnvelopeRow, error) {
 	cases := []struct {
 		loss      int
 		partition time.Duration
@@ -108,7 +109,7 @@ func FaultEnvelopeSweep(childCmd func(string) []string, logf func(string, ...any
 	}
 	rows := make([]FaultEnvelopeRow, 0, len(cases))
 	for _, c := range cases {
-		row, err := faultEnvelope(childCmd, logf, c.loss, c.partition)
+		row, err := faultEnvelope(childCmd, logf, c.loss, c.partition, seed)
 		if err != nil {
 			return nil, fmt.Errorf("loss=%d%%/partition=%s: %w", c.loss, c.partition, err)
 		}
@@ -117,7 +118,7 @@ func FaultEnvelopeSweep(childCmd func(string) []string, logf func(string, ...any
 	return rows, nil
 }
 
-func faultEnvelope(childCmd func(string) []string, logf func(string, ...any), loss int, partition time.Duration) (FaultEnvelopeRow, error) {
+func faultEnvelope(childCmd func(string) []string, logf func(string, ...any), loss int, partition time.Duration, seed int64) (FaultEnvelopeRow, error) {
 	row := FaultEnvelopeRow{Lab: "placed4", LossPct: loss, Partition: partition}
 	spec, err := labspec.Parse([]byte(envelopeSpecYAML))
 	if err != nil {
@@ -126,7 +127,7 @@ func faultEnvelope(childCmd func(string) []string, logf func(string, ...any), lo
 	spec.Name = fmt.Sprintf("envelope-loss%d", loss)
 	if loss > 0 {
 		spec.Faults = &labspec.FaultsSpec{
-			Seed: 42,
+			Seed: seed,
 			Profiles: []labspec.FaultProfileSpec{{
 				Name:    "lossy",
 				Drop:    float64(loss) / 100,

@@ -44,11 +44,17 @@ type Violation struct {
 }
 
 // ViolationLog is a bounded, append-ordered ring of verdict transitions.
-// The zero value is unusable; use NewViolationLog.
+// The backing array is allocated once at capacity; once full, each append
+// overwrites the oldest record in place and bumps the dropped counter, so
+// week-long adversarial campaigns run in constant memory. The zero value
+// is unusable; use NewViolationLog.
 type ViolationLog struct {
-	mu       sync.Mutex
-	capacity int
-	records  []Violation
+	mu      sync.Mutex
+	ring    []Violation
+	head    int    // index of the oldest retained record
+	n       int    // retained count, n <= len(ring)
+	total   uint64 // records ever appended
+	dropped uint64 // records evicted to make room
 }
 
 // NewViolationLog returns a log retaining up to capacity records.
@@ -56,31 +62,88 @@ func NewViolationLog(capacity int) *ViolationLog {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &ViolationLog{capacity: capacity}
+	return &ViolationLog{ring: make([]Violation, capacity)}
 }
 
 // Append stores one transition, evicting the oldest record if full.
 func (l *ViolationLog) Append(v Violation) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.records = append(l.records, v)
-	if len(l.records) > l.capacity {
-		l.records = l.records[len(l.records)-l.capacity:]
+	if l.n == len(l.ring) {
+		l.ring[l.head] = v
+		l.head = (l.head + 1) % len(l.ring)
+		l.dropped++
+	} else {
+		l.ring[(l.head+l.n)%len(l.ring)] = v
+		l.n++
 	}
+	l.total++
 }
 
 // Len returns the number of retained records.
 func (l *ViolationLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.records)
+	return l.n
+}
+
+// Capacity returns the fixed retention limit.
+func (l *ViolationLog) Capacity() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Dropped returns how many records have been evicted to bound the log.
+func (l *ViolationLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Appended returns the total number of records ever appended, retained or
+// not. It is a monotone cursor: Since(Appended()) returns only records
+// appended after this call.
+func (l *ViolationLog) Appended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+func (l *ViolationLog) at(i int) Violation {
+	return l.ring[(l.head+i)%len(l.ring)]
 }
 
 // All returns a copy of every retained record in append order.
 func (l *ViolationLog) All() []Violation {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Violation(nil), l.records...)
+	out := make([]Violation, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.at(i)
+	}
+	return out
+}
+
+// Since returns, in append order, the retained records whose append index
+// is >= cursor (as returned by a prior Appended call). Records already
+// evicted are silently absent — compare len(result) against Appended()-cursor
+// to detect loss.
+func (l *ViolationLog) Since(cursor uint64) []Violation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.total - uint64(l.n) // append index of ring[head]
+	if cursor < oldest {
+		cursor = oldest
+	}
+	if cursor >= l.total {
+		return nil
+	}
+	out := make([]Violation, 0, l.total-cursor)
+	for i := int(cursor - oldest); i < l.n; i++ {
+		out = append(out, l.at(i))
+	}
+	return out
 }
 
 // PerSub returns the retained records of one subscription in append order.
@@ -88,8 +151,8 @@ func (l *ViolationLog) PerSub(subID uint64) []Violation {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []Violation
-	for _, v := range l.records {
-		if v.SubID == subID {
+	for i := 0; i < l.n; i++ {
+		if v := l.at(i); v.SubID == subID {
 			out = append(out, v)
 		}
 	}
@@ -102,11 +165,13 @@ func (l *ViolationLog) Open() []Violation {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	latest := make(map[uint64]Violation)
-	for _, v := range l.records {
+	for i := 0; i < l.n; i++ {
+		v := l.at(i)
 		latest[v.SubID] = v
 	}
 	var out []Violation
-	for _, v := range l.records { // keep append order
+	for i := 0; i < l.n; i++ { // keep append order
+		v := l.at(i)
 		if lv := latest[v.SubID]; lv == v && v.Event == EventViolation {
 			out = append(out, v)
 		}

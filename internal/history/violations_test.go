@@ -26,6 +26,65 @@ func TestViolationLogAppendOrderAndBound(t *testing.T) {
 	}
 }
 
+func TestViolationLogDroppedCounter(t *testing.T) {
+	l := NewViolationLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append(violationAt(i, uint64(i), EventViolation))
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", l.Dropped())
+	}
+	if l.Appended() != 5 {
+		t.Errorf("appended = %d, want 5", l.Appended())
+	}
+	if l.Capacity() != 3 {
+		t.Errorf("capacity = %d, want 3", l.Capacity())
+	}
+}
+
+func TestViolationLogSince(t *testing.T) {
+	l := NewViolationLog(3)
+	cur := l.Appended()
+	if got := l.Since(cur); got != nil {
+		t.Errorf("since on empty log = %+v", got)
+	}
+	for i := 0; i < 2; i++ {
+		l.Append(violationAt(i, uint64(i), EventViolation))
+	}
+	got := l.Since(cur)
+	if len(got) != 2 || got[0].SubID != 0 || got[1].SubID != 1 {
+		t.Fatalf("since(%d) = %+v, want subs 0,1", cur, got)
+	}
+	cur = l.Appended()
+	for i := 2; i < 7; i++ { // overflows the ring: indices 2..6, ring keeps 4..6
+		l.Append(violationAt(i, uint64(i), EventViolation))
+	}
+	got = l.Since(cur)
+	if len(got) != 3 || got[0].SubID != 4 || got[2].SubID != 6 {
+		t.Errorf("since(%d) after overflow = %+v, want subs 4..6", cur, got)
+	}
+	if got := l.Since(l.Appended()); got != nil {
+		t.Errorf("since(now) = %+v, want nil", got)
+	}
+}
+
+func TestViolationLogRingReuse(t *testing.T) {
+	// Appends far beyond capacity must keep order and constant length.
+	l := NewViolationLog(4)
+	for i := 0; i < 103; i++ {
+		l.Append(violationAt(i%60, uint64(i), EventViolation))
+	}
+	all := l.All()
+	if len(all) != 4 {
+		t.Fatalf("len = %d, want 4", len(all))
+	}
+	for i, v := range all {
+		if v.SubID != uint64(99+i) {
+			t.Fatalf("all[%d].SubID = %d, want %d", i, v.SubID, 99+i)
+		}
+	}
+}
+
 func TestViolationLogPerSub(t *testing.T) {
 	l := NewViolationLog(16)
 	l.Append(violationAt(0, 1, EventViolation))

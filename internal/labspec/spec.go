@@ -87,6 +87,11 @@ type Spec struct {
 	// labs only — the targets are the trunk, the attach channels and the
 	// placed processes).
 	Faults *FaultsSpec `json:"faults,omitempty"`
+	// Campaign declares a seeded adversarial campaign over this spec's
+	// topology (attacksim run -spec). Campaign labs are always fresh
+	// single-process deployments, so the section composes with any spec but
+	// ignores placement/agents/invariants.
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
 }
 
 // Version returns the effective schema version (absent means 1).
@@ -479,6 +484,93 @@ func (f *FaultsSpec) validate(groups map[string]bool, switches map[uint32]bool) 
 	return nil
 }
 
+// CampaignSpec declares a seeded adversarial campaign: a randomized
+// attack/churn program executed against a fresh lab built from this spec's
+// topology, differentially checked against a trusted oracle controller
+// (internal/campaign; `attacksim run -spec` is the CLI entry point).
+type CampaignSpec struct {
+	// Seed drives action generation; the same (seed, steps, weights,
+	// topology) replays the identical campaign.
+	Seed int64 `json:"seed,omitempty"`
+	// Steps is the campaign length in actions (0 = engine default).
+	Steps int `json:"steps,omitempty"`
+	// Subscribers is the number of standing invariants registered up front,
+	// cycling reach/isolation/path-length/waypoint (0 = engine default).
+	Subscribers int `json:"subscribers,omitempty"`
+	// Oracle selects the trusted reference recheck path: "legacy" (full
+	// rescan, default) or "per-switch" (per-switch dispatch, no deltas).
+	Oracle string `json:"oracle,omitempty"`
+	// Weights overrides the action-grammar distribution, op name → weight
+	// (see CampaignOps; omitted ops keep weight 0, nil = engine defaults).
+	Weights map[string]int `json:"weights,omitempty"`
+	// LieStep, when > 0, replaces that step's action with the Byzantine
+	// verdict-stream lie the differential oracle must catch.
+	LieStep int `json:"lieStep,omitempty"`
+	// SettleTimeout bounds the engine's per-step quiescence barrier
+	// (0 = engine default).
+	SettleTimeout Duration `json:"settleTimeout,omitempty"`
+}
+
+// CampaignOps lists the action-grammar op names a campaign weights map may
+// reference. Kept in lockstep with internal/campaign's grammar (which
+// cannot be imported from here without a cycle through deploy); the
+// campaign package's tests assert the two lists agree.
+func CampaignOps() []string {
+	return []string{
+		"churn", "unchurn", "flap", "shadow", "restart", "detach",
+		"reattach", "attack", "revert", "suppress", "poll", "sub",
+		"unsub", "lie",
+	}
+}
+
+// campaignGenerators are the topology generators a campaign lab supports
+// (the reproducer format re-builds the lab from kind + size alone).
+var campaignGenerators = map[string]bool{
+	"linear": true, "ring": true, "star": true, "grid": true, "fattree": true,
+}
+
+func (c *CampaignSpec) validate(topo TopologySpec) error {
+	if topo.Generator == "" {
+		return fmt.Errorf("campaign labs need a generator topology, not an explicit wiring plan")
+	}
+	if !campaignGenerators[topo.Generator] {
+		return fmt.Errorf("topology generator %q is not replayable in a campaign (want linear, ring, star, grid or fattree)", topo.Generator)
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("steps: must be >= 0, got %d", c.Steps)
+	}
+	if c.Subscribers < 0 {
+		return fmt.Errorf("subscribers: must be >= 0, got %d", c.Subscribers)
+	}
+	switch c.Oracle {
+	case "", "legacy", "per-switch":
+	default:
+		return fmt.Errorf("oracle: unknown mode %q (want legacy or per-switch)", c.Oracle)
+	}
+	known := make(map[string]bool)
+	for _, op := range CampaignOps() {
+		known[op] = true
+	}
+	for op, w := range c.Weights {
+		if !known[op] {
+			return fmt.Errorf("weights: unknown op %q (want one of %s)", op, strings.Join(CampaignOps(), ", "))
+		}
+		if w < 0 {
+			return fmt.Errorf("weights: %s: must be >= 0, got %d", op, w)
+		}
+	}
+	if c.LieStep < 0 {
+		return fmt.Errorf("lieStep: must be >= 0, got %d", c.LieStep)
+	}
+	if c.Steps > 0 && c.LieStep > c.Steps {
+		return fmt.Errorf("lieStep: %d is past the last step (%d)", c.LieStep, c.Steps)
+	}
+	if c.SettleTimeout < 0 {
+		return fmt.Errorf("settleTimeout: must be >= 0")
+	}
+	return nil
+}
+
 // Parse decodes a spec from JSON (first non-space byte '{') or the YAML
 // subset. Unknown keys are rejected so typos surface as errors.
 func Parse(data []byte) (*Spec, error) {
@@ -707,6 +799,11 @@ func (s *Spec) Validate() error {
 		}
 		if err := s.Faults.validate(placedGroups, switches); err != nil {
 			return fmt.Errorf("labspec: faults: %w", err)
+		}
+	}
+	if s.Campaign != nil {
+		if err := s.Campaign.validate(s.Topology); err != nil {
+			return fmt.Errorf("labspec: campaign: %w", err)
 		}
 	}
 	return nil

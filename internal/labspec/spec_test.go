@@ -957,3 +957,124 @@ func TestValidateVerifiersErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseCampaignSection(t *testing.T) {
+	doc := `name: adversarial
+topology:
+  generator: linear
+  size: 5
+campaign:
+  seed: 7
+  steps: 24
+  subscribers: 8
+  oracle: per-switch
+  lieStep: 12
+  settleTimeout: 3s
+  weights:
+    churn: 10
+    poll: 4
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	c := s.Campaign
+	if c == nil || c.Seed != 7 || c.Steps != 24 || c.Subscribers != 8 ||
+		c.Oracle != "per-switch" || c.LieStep != 12 ||
+		c.SettleTimeout.Std() != 3*time.Second || c.Weights["churn"] != 10 {
+		t.Fatalf("campaign = %+v", c)
+	}
+	y, err := s.EncodeYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(y)
+	if err != nil {
+		t.Fatalf("re-parse emitted yaml: %v\n--- yaml ---\n%s", err, y)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("campaign round-trip mismatch:\n--- yaml ---\n%s", y)
+	}
+}
+
+func TestValidateCampaignErrors(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:     "c",
+			Topology: TopologySpec{Generator: "linear", Size: 5},
+			Campaign: &CampaignSpec{Steps: 10},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(s *Spec)
+		wantSub string
+	}{
+		{
+			name:    "wan topology",
+			mutate:  func(s *Spec) { s.Topology = TopologySpec{Generator: "wan", Regions: []string{"a", "b"}, PerRegion: 2} },
+			wantSub: `generator "wan" is not replayable`,
+		},
+		{
+			name: "explicit topology",
+			mutate: func(s *Spec) {
+				s.Topology = TopologySpec{
+					Switches:     []SwitchSpec{{ID: 1, Ports: 4}},
+					AccessPoints: []AccessPointSpec{{Switch: 1, Port: 2, Client: 1}},
+				}
+			},
+			wantSub: "campaign labs need a generator topology",
+		},
+		{
+			name:    "unknown oracle",
+			mutate:  func(s *Spec) { s.Campaign.Oracle = "psychic" },
+			wantSub: `oracle: unknown mode "psychic"`,
+		},
+		{
+			name:    "unknown weight op",
+			mutate:  func(s *Spec) { s.Campaign.Weights = map[string]int{"frobnicate": 3} },
+			wantSub: `weights: unknown op "frobnicate"`,
+		},
+		{
+			name:    "negative weight",
+			mutate:  func(s *Spec) { s.Campaign.Weights = map[string]int{"churn": -1} },
+			wantSub: "weights: churn: must be >= 0",
+		},
+		{
+			name:    "lie past end",
+			mutate:  func(s *Spec) { s.Campaign.LieStep = 11 },
+			wantSub: "lieStep: 11 is past the last step (10)",
+		},
+		{
+			name:    "negative steps",
+			mutate:  func(s *Spec) { s.Campaign.Steps = -1 },
+			wantSub: "steps: must be >= 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseCampaignTestdata(t *testing.T) {
+	s, err := Load("testdata/campaign.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if s.Campaign == nil || s.Campaign.Seed != 1234 || len(s.Campaign.Weights) != 13 {
+		t.Fatalf("campaign = %+v", s.Campaign)
+	}
+}

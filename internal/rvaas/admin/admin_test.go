@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -614,5 +615,74 @@ func TestHTTPVerifiers(t *testing.T) {
 	var envelope admin.Error
 	if err := json.NewDecoder(bad.Body).Decode(&envelope); err != nil || envelope.Code != admin.CodeMethodNotAllowed {
 		t.Fatalf("wrong-method envelope = %+v (err %v)", envelope, err)
+	}
+}
+
+// TestCampaignEndpoint: GET /v1/campaign conflicts on a deployment with no
+// campaign engine attached, and reflects the attached engine's snapshot
+// (including a divergence) once one is wired in with WithCampaign.
+func TestCampaignEndpoint(t *testing.T) {
+	_, svc, _, _ := lab(t, 4)
+	srv := httptest.NewServer(admin.Handler(svc))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/v1/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("no-engine status = %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+	var envelope admin.Error
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Code != admin.CodeConflict {
+		t.Fatalf("no-engine envelope = %+v (err %v)", envelope, err)
+	}
+
+	want := admin.CampaignView{
+		Running: true, Seed: 42, Oracle: "legacy", Step: 7, Steps: 40,
+		LastAction: "churn sw=3 n=4", Events: 19, Transitions: 2,
+		Diverged: true,
+		Divergence: &admin.CampaignDivergenceView{
+			Step: 7, Action: "lie key=0x1", Kind: "transition", Detail: "primary[0]=...",
+		},
+		Fingerprint:   "ev:1 verdicts:2 transitions:3",
+		StaleGreenMax: "1ms",
+	}
+	svc.WithCampaign(func() admin.CampaignView { return want })
+
+	ok, err := http.Get(srv.URL + "/v1/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("campaign status = %d", ok.StatusCode)
+	}
+	var got admin.CampaignView
+	if err := json.NewDecoder(ok.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("campaign view round-trip:\n  got  %+v\n  want %+v", got, want)
+	}
+}
+
+// TestOverviewViolationLog: the bounded violation ring's occupancy and drop
+// counter surface in the operator overview.
+func TestOverviewViolationLog(t *testing.T) {
+	d, svc, victim, blackhole := lab(t, 6)
+	d.Fabric.Switch(victim).InstallDirect(blackhole)
+	awaitViolated(t, d, svc, 5)
+
+	ov := svc.Overview()
+	if ov.VlogRetained == 0 || ov.VlogCapacity == 0 {
+		t.Fatalf("violation-log fields not surfaced: %+v", ov)
+	}
+	if ov.VlogRetained > ov.VlogCapacity {
+		t.Fatalf("retained %d exceeds capacity %d", ov.VlogRetained, ov.VlogCapacity)
+	}
+	if ov.VlogDropped != d.RVaaS.ViolationLog().Dropped() {
+		t.Fatalf("dropped %d, controller reports %d", ov.VlogDropped, d.RVaaS.ViolationLog().Dropped())
 	}
 }

@@ -21,6 +21,7 @@ const APIVersionHeader = "X-RVaaS-Api-Version"
 //	POST /v1/verifiers/rebalance           re-place every standing invariant
 //	GET  /v1/sessions?cursor=&limit=       client + switch sessions
 //	GET  /v1/procs                         per-process health (placed labs)
+//	GET  /v1/campaign                      adversarial-campaign progress (attacksim)
 //	POST /v1/resync?switch=N               force a switch resync
 //	GET  /v1/faults                        fault-plane state (placed labs)
 //	POST /v1/faults                        open a runtime fault window (JSON body)
@@ -101,6 +102,14 @@ func Handler(svc *Service) http.Handler {
 	})
 	handle("GET", "/v1/procs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Procs())
+	})
+	handle("GET", "/v1/campaign", func(w http.ResponseWriter, r *http.Request) {
+		view, err := svc.Campaign()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
 	})
 	handle("POST", "/v1/resync", func(w http.ResponseWriter, r *http.Request) {
 		raw := r.URL.Query().Get("switch")

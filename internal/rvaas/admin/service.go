@@ -35,6 +35,9 @@ type Service struct {
 	// faults is the fault-plane controller of a multi-process lab (nil
 	// for a single-process deployment).
 	faults FaultController
+	// campaign reports live adversarial-campaign progress (nil when no
+	// campaign engine is attached).
+	campaign func() CampaignView
 }
 
 // NewService wraps a running controller.
@@ -472,6 +475,11 @@ type OverviewView struct {
 	DeltaSkipped    uint64 `json:"deltaSkipped"`
 	Violations      uint64 `json:"violations"`
 	Recoveries      uint64 `json:"recoveries"`
+	// Violation-log ring occupancy: retained/capacity, plus how many old
+	// transitions the bounded ring has overwritten since boot.
+	VlogRetained int    `json:"vlogRetained"`
+	VlogCapacity int    `json:"vlogCapacity"`
+	VlogDropped  uint64 `json:"vlogDropped"`
 }
 
 // Overview assembles the health summary from atomic and per-shard reads.
@@ -488,8 +496,12 @@ func (s *Service) Overview() OverviewView {
 			attached++
 		}
 	}
+	vlog := s.ctl.ViolationLog()
 	return OverviewView{
 		SnapshotID:      s.ctl.SnapshotID(),
+		VlogRetained:    vlog.Len(),
+		VlogCapacity:    vlog.Capacity(),
+		VlogDropped:     vlog.Dropped(),
 		Switches:        attached,
 		ActivePolls:     st.ActivePolls,
 		PassiveEvents:   st.PassiveEvents,

@@ -155,6 +155,13 @@ type Controller struct {
 	// frames before dispatch (chains keyed by requester MAC⊕IP).
 	reasm *wire.Reassembler
 
+	// tapMu guards the adversarial-testing taps (tap.go): eventTap observes
+	// every committed snapshot mutation, commitTap intercepts (and may
+	// corrupt) verdict transitions before they reach the violation log.
+	tapMu     sync.RWMutex
+	eventTap  func(TapEvent)
+	commitTap func(*verifier.Transition)
+
 	// recheckMu serializes recheck-pass assembly (generation diff + delta
 	// drain); lastGen is the per-switch generation baseline of the last
 	// pass, guarded by recheckMu.

@@ -197,6 +197,7 @@ func (c *Controller) recordHistory(src history.Source, cap capture) {
 		Source:     src,
 		Tables:     cap.tables,
 	})
+	c.tapCommittedEvent(src, cap)
 	c.pokeSubscriptions()
 }
 

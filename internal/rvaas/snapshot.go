@@ -1,6 +1,7 @@
 package rvaas
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/headerspace"
@@ -129,18 +130,61 @@ func (s *snapshotStore) bumpLocked(sw topology.SwitchID) {
 // passive events) each get a history record matching exactly their own
 // change — re-reading id and tables after releasing the lock could pair a
 // later id with later tables, duplicating or skipping snapshot ids.
+//
+// It additionally carries the mutated switch's committed state (entries,
+// ports, meters, event seq) copied under the same lock acquisition: the
+// event tap (SetEventTap) hands exactly this payload to differential
+// oracles, which must replay the committed stream, not a racy re-read.
 type capture struct {
 	id     uint64
 	tables map[topology.SwitchID][]openflow.FlowEntry
+
+	sw      topology.SwitchID
+	entries []openflow.FlowEntry
+	ports   []uint32
+	meters  []openflow.MeterConfig
+	seq     uint64
 }
 
-// captureLocked deep-copies the current state. Callers hold s.mu.
-func (s *snapshotStore) captureLocked() capture {
+// captureLocked deep-copies the current state; sw names the switch this
+// mutation touched. Callers hold s.mu.
+func (s *snapshotStore) captureLocked(sw topology.SwitchID) capture {
 	c := capture{id: s.id, tables: make(map[topology.SwitchID][]openflow.FlowEntry, len(s.tables))}
 	for k, v := range s.tables {
 		c.tables[k] = append([]openflow.FlowEntry(nil), v...)
 	}
+	c.sw = sw
+	c.entries = c.tables[sw]
+	// make+copy (not append) so "present but empty" survives the copy:
+	// replaying a meter wipe needs an empty non-nil slice, nil means "keep".
+	if p := s.ports[sw]; p != nil {
+		c.ports = make([]uint32, len(p))
+		copy(c.ports, p)
+	}
+	if m := s.meters[sw]; m != nil {
+		c.meters = make([]openflow.MeterConfig, len(m))
+		copy(c.meters, m)
+	}
+	c.seq = s.seq[sw]
 	return c
+}
+
+// exportAll captures every seen switch's committed state in switch order —
+// the baseline a differential oracle replays before the event tap takes
+// over. One lock acquisition, so the captures are mutually consistent.
+func (s *snapshotStore) exportAll() []capture {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sws := make([]topology.SwitchID, 0, len(s.tables))
+	for sw := range s.tables {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	caps := make([]capture, 0, len(sws))
+	for _, sw := range sws {
+		caps = append(caps, s.captureLocked(sw))
+	}
+	return caps
 }
 
 // replaceTable installs a full-table snapshot (active poll result).
@@ -169,7 +213,7 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 		// events we have already folded in. Applying it would roll the
 		// switch back in time (and the rolled-back sequence number would
 		// manufacture a gap out of the very next in-order event).
-		return s.captureLocked(), false, true
+		return s.captureLocked(sw), false, true
 	}
 	// nil ports and nil meters both mean "this reply carries no such
 	// section — keep the stored state". Treating nil meters as "wipe" made
@@ -182,7 +226,7 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 		(meters != nil && !metersEqual(s.meters[sw], meters))
 	s.seq[sw] = seq
 	if !changed {
-		return s.captureLocked(), false, false
+		return s.captureLocked(sw), false, false
 	}
 	// Rule-delta extraction against the outgoing state: a first-ever
 	// snapshot or a port-set change (which alters flood expansion for the
@@ -201,7 +245,7 @@ func (s *snapshotStore) replaceState(sw topology.SwitchID, entries []openflow.Fl
 		s.meters[sw] = append([]openflow.MeterConfig(nil), meters...)
 	}
 	s.bumpLocked(sw)
-	return s.captureLocked(), true, false
+	return s.captureLocked(sw), true, false
 }
 
 // tablesEqual compares two flow tables entry-wise (order-sensitive: polls
@@ -254,16 +298,16 @@ func (s *snapshotStore) markUnreachable(sw topology.SwitchID) (cap capture, chan
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, seen := s.tables[sw]; !seen {
-		return s.captureLocked(), false
+		return s.captureLocked(sw), false
 	}
 	if len(s.tables[sw]) == 0 && len(s.meters[sw]) == 0 {
-		return s.captureLocked(), false
+		return s.captureLocked(sw), false
 	}
 	s.accumulateDeltaLocked(sw, headerspace.Delta{Space: headerspace.FullSpace(wire.HeaderWidth)})
 	s.tables[sw] = []openflow.FlowEntry{}
 	s.meters[sw] = []openflow.MeterConfig{}
 	s.bumpLocked(sw)
-	return s.captureLocked(), true
+	return s.captureLocked(sw), true
 }
 
 // metersOf returns a copy of a switch's polled meter table.
@@ -314,7 +358,7 @@ func (s *snapshotStore) applyEvent(sw topology.SwitchID, ev *openflow.FlowMonito
 			s.tables[sw] = append(s.tables[sw], ev.Entry)
 		}
 	}
-	return s.captureLocked(), true, false
+	return s.captureLocked(sw), true, false
 }
 
 // seqOf returns the last applied event sequence for one switch.

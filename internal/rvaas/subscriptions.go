@@ -334,6 +334,11 @@ func (c *Controller) evaluateInvariant(net *headerspace.Network, sub *verifier.S
 // Transition (captured under the shard lock), so the record can never mix
 // two commits.
 func (c *Controller) onVerifierCommit(t verifier.Transition) {
+	// The commit tap sits between the engine and everything client-visible
+	// (violation log, persistence, notifications): an adversarial campaign
+	// can corrupt the transition here to model a lying verdict stream and
+	// assert the differential oracle flags it.
+	c.tapTransition(&t)
 	sub := t.Sub
 	if c.persist != nil {
 		c.persistUpsert(recordOfTransition(t))

@@ -1,0 +1,127 @@
+package rvaas
+
+import (
+	"repro/internal/history"
+	"repro/internal/openflow"
+	"repro/internal/topology"
+	"repro/internal/verifier"
+)
+
+// TapEvent is one committed snapshot mutation as observed by the event tap:
+// the mutated switch together with its full committed state, copied under
+// the same lock acquisition as the mutation itself. A differential oracle
+// (internal/campaign) feeds the stream to a shadow controller via
+// ReplayState so the reference re-verifies exactly the committed event
+// order — not a re-read of live state that concurrent mutators may have
+// moved past.
+type TapEvent struct {
+	Switch     topology.SwitchID
+	Source     history.Source
+	SnapshotID uint64
+	// Seq is the switch's flow-monitor event sequence as of this commit.
+	Seq     uint64
+	Entries []openflow.FlowEntry
+	Ports   []uint32
+	Meters  []openflow.MeterConfig
+}
+
+// SetEventTap installs fn to observe every committed snapshot mutation
+// (passive event, active poll, detach wipe, replay). fn runs on the
+// committing goroutine — keep it cheap and never call back into the
+// controller from it. nil removes the tap.
+func (c *Controller) SetEventTap(fn func(TapEvent)) {
+	c.tapMu.Lock()
+	c.eventTap = fn
+	c.tapMu.Unlock()
+}
+
+// SetCommitTap installs fn to intercept every verdict-transition commit
+// before it is logged and notified. fn may mutate the transition in place —
+// this is the adversarial-campaign hook for modelling a Byzantine
+// controller component corrupting the client-visible verdict stream (the
+// differential oracle must catch the corruption). nil removes the tap.
+func (c *Controller) SetCommitTap(fn func(*verifier.Transition)) {
+	c.tapMu.Lock()
+	c.commitTap = fn
+	c.tapMu.Unlock()
+}
+
+// tapCommittedEvent hands one committed mutation to the event tap, if any.
+func (c *Controller) tapCommittedEvent(src history.Source, cap capture) {
+	c.tapMu.RLock()
+	fn := c.eventTap
+	c.tapMu.RUnlock()
+	if fn == nil {
+		return
+	}
+	fn(TapEvent{
+		Switch:     cap.sw,
+		Source:     src,
+		SnapshotID: cap.id,
+		Seq:        cap.seq,
+		Entries:    cap.entries,
+		Ports:      cap.ports,
+		Meters:     cap.meters,
+	})
+}
+
+// tapTransition lets the commit tap observe/corrupt one verdict transition.
+func (c *Controller) tapTransition(t *verifier.Transition) {
+	c.tapMu.RLock()
+	fn := c.commitTap
+	c.tapMu.RUnlock()
+	if fn != nil {
+		fn(t)
+	}
+}
+
+// ReplayState force-installs one switch's full committed state, exactly as
+// captured by an event tap on another controller. It is the shadow-oracle
+// ingestion path: the shadow controller has no attached switches and learns
+// the network solely through replayed taps, so its standing invariants
+// re-verify against byte-identical snapshots in the identical committed
+// order. force semantics bypass staleness rejection (the primary already
+// arbitrated event ordering). Returns whether the state differed.
+func (c *Controller) ReplayState(sw topology.SwitchID, src history.Source, entries []openflow.FlowEntry, ports []uint32, meters []openflow.MeterConfig, seq uint64) bool {
+	if entries == nil {
+		entries = []openflow.FlowEntry{}
+	}
+	cap, changed, _ := c.snap.replaceState(sw, entries, ports, meters, seq, true)
+	if changed {
+		c.recordHistory(src, cap)
+	}
+	return changed
+}
+
+// ReplayTap is ReplayState in terms of a captured TapEvent.
+func (c *Controller) ReplayTap(ev TapEvent) bool {
+	return c.ReplayState(ev.Switch, ev.Source, ev.Entries, ev.Ports, ev.Meters, ev.Seq)
+}
+
+// ExportState returns every seen switch's committed state as replayable
+// tap events, in switch order and mutually consistent (one lock
+// acquisition). A differential oracle replays this baseline into its
+// shadow controller before live tap events take over.
+func (c *Controller) ExportState() []TapEvent {
+	caps := c.snap.exportAll()
+	out := make([]TapEvent, 0, len(caps))
+	for _, cap := range caps {
+		out = append(out, TapEvent{
+			Switch:     cap.sw,
+			Source:     history.SourceActivePoll,
+			SnapshotID: cap.id,
+			Seq:        cap.seq,
+			Entries:    cap.entries,
+			Ports:      cap.ports,
+			Meters:     cap.meters,
+		})
+	}
+	return out
+}
+
+// SnapshotSeq returns the last committed flow-monitor event sequence for
+// one switch — the settle barrier adversarial campaigns use to decide the
+// controller has ingested everything the data plane emitted.
+func (c *Controller) SnapshotSeq(sw topology.SwitchID) uint64 {
+	return c.snap.seqOf(sw)
+}
